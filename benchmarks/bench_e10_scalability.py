@@ -1,0 +1,14 @@
+"""E10 benchmark: regenerate the scalability / substrate-tax table."""
+
+from repro.harness.experiments import e10_scalability
+
+
+def test_e10_scalability(benchmark, show):
+    report = benchmark.pedantic(
+        lambda: e10_scalability.run(seeds=3, max_f=3), rounds=3, iterations=1
+    )
+    show(report.table())
+    fifo = [
+        r for r in report.row_dicts() if r["configuration"] == "fifo channels"
+    ]
+    assert fifo[-1]["msgs/op"] > fifo[0]["msgs/op"]

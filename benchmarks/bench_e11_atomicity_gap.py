@@ -1,0 +1,14 @@
+"""E11 benchmark: regenerate the regular-vs-atomic separation table."""
+
+from repro.harness.experiments import e11_atomicity_gap
+
+
+def test_e11_atomicity_gap(benchmark, show):
+    report = benchmark(e11_atomicity_gap.run)
+    show(report.table())
+    rows = {r["protocol"]: r for r in report.row_dicts()}
+    ours = rows["stabilizing (paper)"]
+    assert ours["regular"] is True
+    assert ours["linearizable"] is False
+    assert (ours["r1"], ours["r2"]) == ("new", "old")
+    assert rows["abd (write-back reads)"]["linearizable"] is True

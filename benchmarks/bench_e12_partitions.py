@@ -1,0 +1,12 @@
+"""E12 benchmark: regenerate the partition-availability table."""
+
+from repro.harness.experiments import e12_partitions
+
+
+def test_e12_partitions(benchmark, show):
+    report = benchmark.pedantic(e12_partitions.run, rounds=3, iterations=1)
+    show(report.table())
+    rows = {r["island size"]: r for r in report.row_dicts()}
+    assert rows[1]["ops stalled to heal"] == 0
+    assert rows[2]["ops stalled to heal"] > 0
+    assert all(r["regular"] for r in rows.values())

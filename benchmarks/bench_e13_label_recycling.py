@@ -1,0 +1,18 @@
+"""E13 benchmark: regenerate the bounded-label economy table."""
+
+from repro.harness.experiments import e13_label_recycling
+
+
+def test_e13_label_recycling(benchmark, show):
+    report = benchmark.pedantic(
+        lambda: e13_label_recycling.run(writes=150), rounds=3, iterations=1
+    )
+    show(report.table())
+    for row in report.row_dicts():
+        assert row["regular"] is True
+        if row["configuration"].startswith("unbounded"):
+            # the contrast row: one fresh label per write, forever
+            assert row["distinct labels used"] == row["writes"]
+        else:
+            assert row["distinct labels used"] < row["writes"]
+            assert row["distinct labels used"] <= row["|domain|"]

@@ -1,0 +1,11 @@
+"""E1 benchmark: regenerate the Theorem 1 lower-bound table."""
+
+from repro.harness.experiments import e1_lower_bound
+
+
+def test_e1_lower_bound(benchmark, show):
+    report = benchmark(e1_lower_bound.run)
+    show(report.table())
+    rows = report.row_dicts()
+    assert all(not r["regular"] for r in rows if r["protocol"] == "tm1r")
+    assert all(r["regular"] for r in rows if r["protocol"].startswith("stab"))

@@ -1,0 +1,14 @@
+"""E2 benchmark: regenerate the Theorems 2-3 correctness sweep."""
+
+from repro.harness.experiments import e2_correctness
+
+
+def test_e2_correctness(benchmark, show):
+    report = benchmark.pedantic(
+        lambda: e2_correctness.run(seeds=3), rounds=3, iterations=1
+    )
+    show(report.table())
+    for row in report.row_dicts():
+        assert row["stabilized"] == row["runs"]
+        assert row["violations"] == 0
+        assert row["suffix aborts"] == 0

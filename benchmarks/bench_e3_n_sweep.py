@@ -1,0 +1,14 @@
+"""E3 benchmark: regenerate the resilience-boundary sweep."""
+
+from repro.harness.experiments import e3_n_sweep
+
+
+def test_e3_n_sweep(benchmark, show):
+    report = benchmark.pedantic(
+        lambda: e3_n_sweep.run(seeds=12), rounds=3, iterations=1
+    )
+    show(report.table())
+    by_n = {r["n"]: r for r in report.row_dicts()}
+    assert by_n[6]["stabilized"] == by_n[6]["runs"]
+    assert by_n[7]["stabilized"] == by_n[7]["runs"]
+    assert by_n[4]["stabilized"] < by_n[4]["runs"]

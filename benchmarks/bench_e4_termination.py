@@ -1,0 +1,13 @@
+"""E4 benchmark: regenerate the termination/latency table."""
+
+from repro.harness.experiments import e4_termination
+
+
+def test_e4_termination(benchmark, show):
+    report = benchmark.pedantic(
+        lambda: e4_termination.run(seeds=3), rounds=3, iterations=1
+    )
+    show(report.table())
+    for row in report.row_dicts():
+        assert row["pending"] == 0
+        assert row["aborts"] == 0

@@ -1,0 +1,14 @@
+"""E5 benchmark: regenerate the Lemma 2 write-propagation census."""
+
+from repro.harness.experiments import e5_write_propagation
+
+
+def test_e5_write_propagation(benchmark, show):
+    report = benchmark.pedantic(
+        lambda: e5_write_propagation.run(writes=8, seeds=3),
+        rounds=3,
+        iterations=1,
+    )
+    show(report.table())
+    for row in report.row_dicts():
+        assert row["holds"] is True

@@ -1,0 +1,12 @@
+"""E6 benchmark: regenerate the corruption-severity stabilization sweep."""
+
+from repro.harness.experiments import e6_stabilization
+
+
+def test_e6_stabilization(benchmark, show):
+    report = benchmark.pedantic(
+        lambda: e6_stabilization.run(seeds=4), rounds=3, iterations=1
+    )
+    show(report.table())
+    for row in report.row_dicts():
+        assert row["stabilized"] == row["runs"]

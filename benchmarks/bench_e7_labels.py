@@ -1,0 +1,17 @@
+"""E7 benchmark: regenerate the bounded-labels table."""
+
+from repro.harness.experiments import e7_labels
+
+
+def test_e7_labels(benchmark, show):
+    report = benchmark.pedantic(
+        lambda: e7_labels.run(seeds=2, trials=800), rounds=3, iterations=1
+    )
+    show(report.table())
+    rows = report.row_dicts()
+    alon = [
+        r
+        for r in rows
+        if r["sub-experiment"] == "domination" and "alon" in r["scheme"]
+    ]
+    assert all(r["result"].startswith("0/") for r in alon)

@@ -1,0 +1,13 @@
+"""E8 benchmark: regenerate the protocol x fault-class matrix."""
+
+from repro.harness.experiments import e8_comparison
+
+
+def test_e8_comparison(benchmark, show):
+    report = benchmark.pedantic(
+        lambda: e8_comparison.run(seeds=3), rounds=3, iterations=1
+    )
+    show(report.table())
+    rows = {r["protocol"]: r for r in report.row_dicts()}
+    ours = rows["stabilizing (paper, n=6)"]
+    assert all(ours[c] == "OK" for c in report.headers[1:])

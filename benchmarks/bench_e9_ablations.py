@@ -1,0 +1,13 @@
+"""E9 benchmark: regenerate the ablation table."""
+
+from repro.harness.experiments import e9_ablations
+
+
+def test_e9_ablations(benchmark, show):
+    report = benchmark.pedantic(
+        lambda: e9_ablations.run(seeds=6), rounds=3, iterations=1
+    )
+    show(report.table())
+    rows = {(r["ablation"], r["setting"]): r for r in report.row_dicts()}
+    assert rows[("FLUSH handshake (Lemma 5 attack)", "OFF")]["violations"] > 0
+    assert rows[("FLUSH handshake (Lemma 5 attack)", "on")]["violations"] == 0

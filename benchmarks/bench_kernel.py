@@ -1,0 +1,127 @@
+"""Micro-benchmarks of the hot kernels (guide: measure before optimizing).
+
+These keep the substrate honest: the experiment sweeps above execute
+hundreds of thousands of simulator events, label computations and graph
+selections; regressions here multiply across every table.
+"""
+
+import random
+
+from repro.core.config import SystemConfig
+from repro.core.register import RegisterSystem
+from repro.labels.alon import AlonLabelingScheme
+from repro.sim.scheduler import Scheduler
+from repro.wtsg.graph import WeightedTimestampGraph
+
+
+def test_scheduler_event_throughput(benchmark):
+    def spin():
+        s = Scheduler()
+        state = {"n": 0}
+
+        def tick():
+            state["n"] += 1
+            if state["n"] < 5000:
+                s.call_in(1.0, tick)
+
+        s.call_in(1.0, tick)
+        s.run()
+        return state["n"]
+
+    assert benchmark(spin) == 5000
+
+
+def test_alon_next_label_throughput(benchmark):
+    scheme = AlonLabelingScheme(k=7)
+
+    def chain():
+        lab = scheme.initial_label()
+        window = [lab]
+        for _ in range(500):
+            lab = scheme.next_label(window)
+            window.append(lab)
+            del window[:-5]
+        return lab
+
+    assert scheme.is_label(benchmark(chain))
+
+
+def test_alon_precedes_throughput(benchmark):
+    scheme = AlonLabelingScheme(k=7)
+    rng = random.Random(0)
+    labels = [scheme.random_label(rng) for _ in range(100)]
+
+    def compare_all():
+        hits = 0
+        for a in labels:
+            for b in labels:
+                if scheme.precedes(a, b):
+                    hits += 1
+        return hits
+
+    benchmark(compare_all)
+
+
+def test_wtsg_build_and_select(benchmark):
+    scheme = AlonLabelingScheme(k=7)
+    rng = random.Random(1)
+    chain = [scheme.initial_label()]
+    for _ in range(10):
+        chain.append(scheme.next_label(chain[-3:]))
+
+    def build():
+        g = WeightedTimestampGraph(scheme)
+        for i, lab in enumerate(chain):
+            for s in range(6):
+                g.add_witness(f"s{s}", lab, f"v{i}", current=(i == len(chain) - 1))
+        return g.select_maximal_qualified(3)
+
+    node = benchmark(build)
+    assert node is not None
+
+
+def test_full_write_read_cycle(benchmark):
+    """Wall-clock cost of one write + one read on a 6-server deployment."""
+    state = {"i": 0}
+    system = RegisterSystem(SystemConfig(n=6, f=1), seed=0, n_clients=2)
+
+    def cycle():
+        state["i"] += 1
+        value = f"v{state['i']}"
+        system.write_sync("c0", value)
+        return system.read_sync("c1")
+
+    result = benchmark(cycle)
+    assert str(result).startswith("v")
+
+
+def test_corrupted_recovery_cycle(benchmark):
+    """Wall-clock cost of corrupt-everything + recover-by-write."""
+    state = {"i": 0}
+    system = RegisterSystem(SystemConfig(n=6, f=1), seed=1, n_clients=2)
+
+    def cycle():
+        state["i"] += 1
+        system.corrupt_servers()
+        value = f"r{state['i']}"
+        system.write_sync("c0", value)
+        return system.read_sync("c1")
+
+    result = benchmark(cycle)
+    assert str(result).startswith("r")
+
+
+def test_fuzz_trial_throughput(benchmark):
+    """Wall-clock cost of one randomized hostile trial (the fuzzer's unit)."""
+    import random
+
+    from repro.harness.fuzz import run_trial, sample_recipe
+
+    rng = random.Random(42)
+
+    def one_trial():
+        recipe = sample_recipe(rng, n=6, f=1, trial_seed=rng.getrandbits(30))
+        return run_trial(recipe)
+
+    witness = benchmark(one_trial)
+    assert witness is None  # n = 6 trials must stay clean

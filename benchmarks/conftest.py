@@ -1,0 +1,22 @@
+"""Benchmark-suite helpers.
+
+Every experiment benchmark times the experiment's ``run`` and prints the
+regenerated table (the rows recorded in EXPERIMENTS.md) once, so
+``pytest benchmarks/ --benchmark-only`` both measures and reproduces.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def show(capsys):
+    """Print a table to the real terminal from inside a test."""
+
+    def _show(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _show

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""A guided tour of the Byzantine strategy zoo.
+
+For each adversary in the zoo, this demo deploys the register with that
+adversary controlling one server, runs a short hostile scenario (initial
+corruption + a couple of writes and reads), and reports: what the attacker
+tried, what the readers saw, and the checker's verdict. One table at the
+end summarizes that nothing in the zoo dents the register — the point of
+Theorems 2–3.
+
+Run:  python examples/byzantine_zoo_tour.py
+"""
+
+from repro.byzantine import STRATEGY_ZOO
+from repro.core import RegisterSystem, SystemConfig
+from repro.harness.tables import render_table
+from repro.spec import evaluate_stabilization
+
+ATTACK_NOTES = {
+    "correct-acting": "sleeper agent: follows the protocol (control row)",
+    "silent": "simulates a crash; tries to starve quorums",
+    "phase-silent": "answers only some phases (Lemma 2's case analysis)",
+    "stale-replay": "keeps presenting one old value as current",
+    "forging": "invents values and timestamps for every reply",
+    "inflating": "feeds writers artificially dominating labels",
+    "equivocating": "tells different clients different stories",
+    "nack-spammer": "refuses every write, stores nothing",
+    "ack-no-store": "acknowledges writes it never stores",
+    "random-noise": "replies with uniformly random protocol messages",
+}
+
+
+def tour_one(name: str) -> tuple:
+    config = SystemConfig(n=6, f=1)
+    system = RegisterSystem(
+        config,
+        seed=13,
+        n_clients=3,
+        byzantine={"s5": STRATEGY_ZOO[name].factory()},
+    )
+    system.corrupt_servers()
+    system.corrupt_clients()
+    pre = system.read_sync("c2")  # transitory-phase read: anything goes
+    system.write_sync("c0", "genuine-1")
+    r1 = system.read_sync("c1")
+    system.write_sync("c1", "genuine-2")
+    r2 = system.read_sync("c2")
+    report = evaluate_stabilization(
+        system.history, system.checker(), last_fault_time=0.0
+    )
+    return (
+        name,
+        ATTACK_NOTES[name],
+        r1,
+        r2,
+        "stabilized" if report.stabilized else "FAILED",
+    )
+
+
+def main() -> None:
+    print(__doc__)
+    rows = [tour_one(name) for name in sorted(STRATEGY_ZOO)]
+    print(
+        render_table(
+            ["strategy", "attack", "read after w1", "read after w2", "verdict"],
+            rows,
+            title="the zoo vs. the register (n=6, f=1, corrupted start)",
+        )
+    )
+    assert all(row[-1] == "stabilized" for row in rows)
+    print(
+        "\nevery adversary is held to at most f = 1 voice; the 2f+1-witness "
+        "rule,\nthe flush handshake and one completed write absorb the rest."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""The full stack: register over a lossy, reordering, duplicating network.
+
+The paper assumes reliable FIFO channels and points at a stabilizing
+data-link protocol (its reference [8]) for building them from fair-lossy
+non-FIFO links. This demo runs the *whole* stack:
+
+    register protocol  (Section IV)
+        over
+    stabilizing data-link  (token-counting stop-and-wait, ref [8])
+        over
+    fair-lossy channels  (drops, duplicates, reorders)
+
+and compares its cost against the idealized FIFO substrate.
+
+Run:  python examples/lossy_datacenter.py
+"""
+
+from repro.core import RegisterSystem, SystemConfig
+from repro.core.lossy import LossyRegisterClient, LossyRegisterServer
+from repro.harness.metrics import history_metrics
+from repro.sim.channels import FairLossyChannel
+
+
+def run_stack(name: str, **system_kwargs) -> dict:
+    system = RegisterSystem(
+        SystemConfig(n=6, f=1), seed=31, n_clients=2, **system_kwargs
+    )
+    for i in range(5):
+        system.write_sync("c0", f"cfg-{i}")
+        value = system.read_sync("c1")
+        assert value == f"cfg-{i}", value
+    metrics = history_metrics(system.history)
+    verdict = system.check_regularity()
+    assert verdict.ok
+    return {
+        "name": name,
+        "messages": system.message_stats.total_sent,
+        "dropped": system.message_stats.dropped,
+        "write_mean": metrics.write_latency.mean,
+        "read_mean": metrics.read_latency.mean,
+    }
+
+
+def main() -> None:
+    print(__doc__)
+    fifo = run_stack("idealized FIFO channels")
+    lossy = run_stack(
+        "fair-lossy + stabilizing data-link",
+        channel_factory=lambda: FairLossyChannel(
+            loss=0.2, duplication=0.05, fairness_bound=6, jitter=1.5
+        ),
+        server_cls=LossyRegisterServer,
+        client_cls=LossyRegisterClient,
+    )
+
+    print(f"{'substrate':38s} {'msgs':>7s} {'dropped':>8s} "
+          f"{'write lat':>10s} {'read lat':>9s}")
+    for row in (fifo, lossy):
+        print(
+            f"{row['name']:38s} {row['messages']:7d} {row['dropped']:8d} "
+            f"{row['write_mean']:10.1f} {row['read_mean']:9.1f}"
+        )
+
+    factor = lossy["messages"] / fifo["messages"]
+    print(
+        f"\nthe data-link pays ~{factor:.0f}x the messages "
+        f"(retransmissions + ack counting)\nto manufacture the reliable FIFO "
+        f"channels the register assumes — and every\nread still returned the "
+        f"right value, in order."
+    )
+
+
+if __name__ == "__main__":
+    main()

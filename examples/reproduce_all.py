@@ -1,0 +1,29 @@
+#!/usr/bin/env python
+"""Regenerate every experiment table (E1-E10) in one run.
+
+This is the one-button reproduction: each table printed here is the
+source of the corresponding section in EXPERIMENTS.md.
+
+Run:  python examples/reproduce_all.py
+"""
+
+import time
+
+from repro.harness.experiments import ALL_EXPERIMENTS
+
+
+def main() -> None:
+    total = time.time()
+    for name in sorted(ALL_EXPERIMENTS, key=lambda s: int(s[1:])):
+        mod = ALL_EXPERIMENTS[name]
+        start = time.time()
+        report = mod.run()
+        elapsed = time.time() - start
+        print(report.table())
+        print(f"  [{name} regenerated in {elapsed:.1f}s]")
+        print()
+    print(f"all experiments regenerated in {time.time() - total:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""repro — Stabilizing Byzantine-Fault Tolerant Storage, reproduced.
+
+Executable reproduction of Bonomi, Potop-Butucaru & Tixeuil,
+"Stabilizing Byzantine-Fault Tolerant Storage" (IPPS 2015): a
+pseudo-stabilizing Byzantine-fault-tolerant multi-writer multi-reader
+regular register with bounded timestamps, on a deterministic
+discrete-event message-passing simulator, with specification checkers,
+baseline protocols and the full experiment harness (see DESIGN.md and
+EXPERIMENTS.md).
+
+Quick tour::
+
+    from repro import RegisterSystem, SystemConfig, evaluate_stabilization
+
+    system = RegisterSystem(SystemConfig(n=6, f=1), seed=42, n_clients=3)
+    system.write_sync("c0", "hello")
+    assert system.read_sync("c1") == "hello"
+
+Subpackages:
+
+* :mod:`repro.sim` — simulation substrate (scheduler, channels, faults,
+  stabilizing data-link);
+* :mod:`repro.labels` — bounded labeling systems (Alon et al. k-SBLS and
+  baselines);
+* :mod:`repro.wtsg` — weighted timestamp graphs;
+* :mod:`repro.core` — the paper's protocol;
+* :mod:`repro.byzantine` — the adversary zoo;
+* :mod:`repro.baselines` — comparison protocols (ABD, Malkhi-Reiter,
+  Kanjani-style, TM_1R);
+* :mod:`repro.spec` — histories and specification checkers;
+* :mod:`repro.workloads` — workload scripts and fault schedules;
+* :mod:`repro.harness` — metrics, tables and experiments E1-E12.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.client import ABORT
+from repro.core.config import SystemConfig
+from repro.core.register import RegisterSystem
+from repro.labels.alon import AlonLabelingScheme
+from repro.spec.regularity import RegularityChecker
+from repro.spec.stabilization import evaluate_stabilization
+
+__all__ = [
+    "__version__",
+    "ABORT",
+    "SystemConfig",
+    "RegisterSystem",
+    "AlonLabelingScheme",
+    "RegularityChecker",
+    "evaluate_stabilization",
+]

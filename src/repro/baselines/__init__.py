@@ -1,0 +1,44 @@
+"""Baseline register protocols for the comparative experiments.
+
+* :mod:`repro.baselines.tm1r` — the protocol class ``TM_1R`` of Theorem 1:
+  timestamp-based, one-phase reads, majority decisions, bounded wraparound
+  labels. Used to mechanize the lower bound (E1): with ``n = 5f`` there is
+  an execution from a corrupted configuration that violates regularity,
+  whichever deterministic read decision the protocol uses.
+* :mod:`repro.baselines.abd` — the classical crash-tolerant SWMR atomic
+  register (ABD) with majority quorums (``n >= 2f + 1``) and unbounded
+  timestamps. Atomic under crash faults; broken by a single Byzantine
+  server (E8).
+* :mod:`repro.baselines.malkhi_reiter` — the Malkhi-Reiter masking-quorum
+  *safe* register (``n >= 4f + 1``). Byzantine-tolerant but only safe, and
+  not stabilizing (E8).
+* :mod:`repro.baselines.kanjani` — a Kanjani-et-al.-style BFT MWMR
+  *regular* register with ``n >= 3f + 1`` and unbounded timestamps. The
+  strongest non-stabilizing comparison point: regular under Byzantine
+  faults, but transient corruption can wedge or mislead it (E8), which is
+  the gap the paper fills.
+
+All baselines run on the same simulation substrate, record the same
+history format, and are judged by the same checkers as the paper's
+protocol.
+"""
+
+from repro.baselines.tm1r import Tm1rSystem, Tm1rServer, Tm1rClient
+from repro.baselines.abd import AbdSystem, AbdServer, AbdClient
+from repro.baselines.malkhi_reiter import MrSafeSystem, MrSafeServer, MrSafeClient
+from repro.baselines.kanjani import KanjaniSystem, KanjaniServer, KanjaniClient
+
+__all__ = [
+    "Tm1rSystem",
+    "Tm1rServer",
+    "Tm1rClient",
+    "AbdSystem",
+    "AbdServer",
+    "AbdClient",
+    "MrSafeSystem",
+    "MrSafeServer",
+    "MrSafeClient",
+    "KanjaniSystem",
+    "KanjaniServer",
+    "KanjaniClient",
+]

@@ -1,0 +1,177 @@
+"""The classical crash-tolerant atomic register (ABD), multi-writer form.
+
+Attiya-Bar-Noy-Dolev style majority-quorum emulation with unbounded
+``(counter, writer_id)`` timestamps, ``n >= 2f + 1`` where ``f`` bounds
+*crash* failures:
+
+* **write** — phase 1: query a majority for timestamps, pick
+  ``(max + 1, id)``; phase 2: store at a majority.
+* **read** — phase 1: query a majority, select the lexicographically
+  largest pair; phase 2: *write back* that pair to a majority (the
+  write-back is what lifts regular to atomic); return the value.
+
+Servers adopt any strictly newer pair and acknowledge every store.
+
+Role in the reproduction (E8): ABD is linearizable under crash faults —
+and a single Byzantine server demolishes it, because a lone forged
+timestamp wins every majority read. The experiments show exactly that,
+motivating Byzantine quorums, and then show its unbounded timestamps are
+also not a remedy for transient corruption in the Byzantine setting.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Generator
+
+from repro.baselines.common import BaselineClient, BaselineSystem, LexPairScheme
+from repro.core.messages import (
+    GetTs,
+    ReadReply,
+    ReadRequest,
+    TsReply,
+    WriteAck,
+    WriteRequest,
+)
+from repro.sim.environment import SimEnvironment
+from repro.sim.process import Process, Wait
+from repro.spec.history import OpKind, OpStatus
+
+
+class AbdServer(Process):
+    """Majority-quorum replica: adopt-if-newer, acknowledge always."""
+
+    def __init__(self, pid: str, env: SimEnvironment, system: "AbdSystem") -> None:
+        super().__init__(pid, env)
+        self.system = system
+        self.scheme = system.scheme
+        self.value: Any = None
+        self.ts: tuple[int, str] = self.scheme.initial_label()
+
+    def on_message(self, src: str, payload: Any) -> None:
+        if isinstance(payload, GetTs):
+            self.send(src, TsReply(ts=self.ts))
+        elif isinstance(payload, WriteRequest):
+            if self.scheme.is_label(payload.ts) and self.scheme.precedes(
+                self.ts, payload.ts
+            ):
+                self.value = payload.value
+                self.ts = payload.ts
+            self.send(src, WriteAck(ts=payload.ts))
+        elif isinstance(payload, ReadRequest):
+            if isinstance(payload.label, int):
+                self.send(
+                    src,
+                    ReadReply(
+                        server=self.pid,
+                        value=self.value,
+                        ts=self.ts,
+                        old_vals=(),
+                        label=payload.label,
+                    ),
+                )
+
+    def corrupt_state(self, rng: random.Random) -> None:
+        self.value = f"corrupt-{rng.getrandbits(24):06x}"
+        self.ts = self.scheme.random_label(rng)
+
+
+class AbdClient(BaselineClient):
+    """Two-phase writes and two-phase (write-back) reads."""
+
+    def __init__(self, pid: str, env: SimEnvironment, system: "AbdSystem") -> None:
+        super().__init__(pid, env, system.server_ids, system.recorder)
+        self.system = system
+        self.scheme = system.scheme
+        self._read_nonce = 0
+        self._ts_replies: dict[str, Any] = {}
+        self._collecting_ts = False
+        self._acks: set[str] = set()
+        self._pending_ts: Any = None
+        self._replies: dict[str, tuple[Any, Any]] = {}
+        self._read_label: Any = None
+
+    # ------------------------------------------------------------------
+    def on_message(self, src: str, payload: Any) -> None:
+        if isinstance(payload, TsReply):
+            if self._collecting_ts and src not in self._ts_replies:
+                self._ts_replies[src] = payload.ts
+        elif isinstance(payload, WriteAck):
+            if payload.ts == self._pending_ts:
+                self._acks.add(src)
+        elif isinstance(payload, ReadReply):
+            if payload.label == self._read_label and src not in self._replies:
+                self._replies[src] = (payload.value, payload.ts)
+
+    # ------------------------------------------------------------------
+    def write(self, value: Any):
+        return self._begin(self._write_op(value), f"{self.pid}:write({value!r})")
+
+    def read(self):
+        return self._begin(self._read_op(), f"{self.pid}:read()")
+
+    @property
+    def _majority(self) -> int:
+        return self.system.n // 2 + 1
+
+    def _store(self, value: Any, ts: Any) -> Generator[Wait, None, None]:
+        """Phase 2 of writes and the write-back of reads."""
+        self._pending_ts = ts
+        self._acks = set()
+        self.broadcast(self.servers, WriteRequest(value=value, ts=ts))
+        yield Wait(lambda: len(self._acks) >= self._majority, label="abd store")
+        self._pending_ts = None
+
+    def _write_op(self, value: Any) -> Generator[Wait, None, Any]:
+        op = self.recorder.invoked(self.pid, OpKind.WRITE, argument=value)
+        self._ts_replies = {}
+        self._collecting_ts = True
+        self.broadcast(self.servers, GetTs())
+        yield Wait(
+            lambda: len(self._ts_replies) >= self._majority, label="abd write: ts"
+        )
+        self._collecting_ts = False
+        ts = self.scheme.next_for(self._ts_replies.values(), self.pid)
+        yield from self._store(value, ts)
+        self.recorder.responded(op, OpStatus.OK, timestamp=ts)
+        return ts
+
+    def _read_op(self) -> Generator[Wait, None, Any]:
+        op = self.recorder.invoked(self.pid, OpKind.READ)
+        self._read_nonce += 1
+        self._read_label = self._read_nonce
+        self._replies = {}
+        self.broadcast(
+            self.servers, ReadRequest(label=self._read_label, reader=self.pid)
+        )
+        yield Wait(
+            lambda: len(self._replies) >= self._majority, label="abd read"
+        )
+        self._read_label = None
+        # Pick the lexicographically largest valid pair; garbage (from
+        # Byzantine replies) wins if its counter is big enough — that
+        # fragility is the point of the E8 comparison.
+        best_value, best_ts = None, self.scheme.initial_label()
+        for value, ts in self._replies.values():
+            if self.scheme.is_label(ts) and self.scheme.precedes(best_ts, ts):
+                best_value, best_ts = value, ts
+        yield from self._store(best_value, best_ts)
+        self.recorder.responded(op, OpStatus.OK, result=best_value)
+        return best_value
+
+
+class AbdSystem(BaselineSystem):
+    """A deployed ABD register (crash model, majority quorums)."""
+
+    protocol_name = "abd"
+    server_cls = AbdServer
+    client_cls = AbdClient
+
+    def __init__(self, n: int, f: int, **kwargs: Any) -> None:
+        self.scheme = LexPairScheme()
+        super().__init__(n, f, **kwargs)
+
+    def checker(self, **overrides: Any):
+        kwargs: dict[str, Any] = dict(scheme=self.scheme)
+        kwargs.update(overrides)
+        return super().checker(**kwargs)

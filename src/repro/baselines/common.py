@@ -1,0 +1,224 @@
+"""Shared scaffolding for baseline protocol implementations.
+
+Every baseline exposes the same run-time surface as
+:class:`~repro.core.register.RegisterSystem` (``write_sync`` /
+``read_sync`` / ``history`` / ``checker``), so the comparative experiment
+(E8) can sweep protocols uniformly. This module factors the system
+assembly and the sequential-client bookkeeping out of the individual
+protocols.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.labels.base import LabelingScheme
+from repro.sim.adversary import Adversary
+from repro.sim.channels import Channel, FifoChannel
+from repro.sim.environment import SimEnvironment
+from repro.sim.process import OperationHandle, Process
+from repro.spec.history import History, HistoryRecorder
+from repro.spec.regularity import RegularityChecker, RegularityVerdict
+
+
+class LexPairScheme(LabelingScheme):
+    """Unbounded ``(counter, writer_id)`` timestamps, ordered
+    lexicographically — the classical scheme of ABD/Kanjani-style
+    protocols. Total order; ``next`` increments the max counter."""
+
+    k = None
+
+    def precedes(self, a: Any, b: Any) -> bool:
+        if not (self.is_label(a) and self.is_label(b)):
+            return False
+        return a < b
+
+    def next_label(self, labels) -> Any:
+        valid = self.valid_labels(labels)
+        top = max((c for c, _ in valid), default=0)
+        return (top + 1, "?")
+
+    def next_for(self, labels, writer_id: str) -> tuple[int, str]:
+        valid = self.valid_labels(labels)
+        top = max((c for c, _ in valid), default=0)
+        return (top + 1, writer_id)
+
+    def initial_label(self) -> Any:
+        return (0, "")
+
+    def is_label(self, x: Any) -> bool:
+        return (
+            isinstance(x, tuple)
+            and len(x) == 2
+            and isinstance(x[0], int)
+            and not isinstance(x[0], bool)
+            and x[0] >= 0
+            and isinstance(x[1], str)
+        )
+
+    def random_label(self, rng: random.Random) -> Any:
+        return (rng.randrange(0, 1 << rng.randrange(1, 40)), f"w{rng.randrange(8)}")
+
+    def sort_key(self, label: Any):
+        return label
+
+
+class BaselineClient(Process):
+    """Common client machinery: sequential ops + history recording."""
+
+    def __init__(
+        self,
+        pid: str,
+        env: SimEnvironment,
+        servers: Sequence[str],
+        recorder: HistoryRecorder,
+    ) -> None:
+        super().__init__(pid, env)
+        self.servers = list(servers)
+        self.recorder = recorder
+        self._active_op: Optional[OperationHandle] = None
+
+    def _begin(self, gen, name: str) -> OperationHandle:
+        if self._active_op is not None and not self._active_op.done:
+            raise ConfigurationError(
+                f"{self.pid}: {name} while {self._active_op.name} is running"
+            )
+        handle = self.start_operation(gen, name=name)
+        self._active_op = handle
+        handle.on_done(lambda h: setattr(self, "_active_op", None))
+        return handle
+
+    @property
+    def idle(self) -> bool:
+        return self._active_op is None or self._active_op.done
+
+    def crash(self) -> None:
+        super().crash()
+        self.recorder.crashed(self.pid)
+
+
+class BaselineSystem:
+    """Assembles servers + clients + history for one baseline protocol.
+
+    Subclasses set ``server_cls`` / ``client_cls`` and may override
+    :meth:`make_server` / :meth:`make_client` for extra constructor
+    arguments. Byzantine substitution mirrors
+    :class:`~repro.core.register.RegisterSystem`.
+    """
+
+    #: Human-readable protocol name for experiment tables.
+    protocol_name = "baseline"
+    server_cls: type = Process
+    client_cls: type = BaselineClient
+
+    def __init__(
+        self,
+        n: int,
+        f: int,
+        seed: int = 0,
+        n_clients: int = 2,
+        adversary: Optional[Adversary] = None,
+        channel_factory: Callable[[], Channel] = FifoChannel,
+        byzantine: Optional[dict[str, Callable[..., Process]]] = None,
+        max_events: int = 50_000_000,
+    ) -> None:
+        self.n = n
+        self.f = f
+        byzantine = dict(byzantine or {})
+        self.env = SimEnvironment(
+            seed=seed,
+            adversary=adversary,
+            channel_factory=channel_factory,
+            max_events=max_events,
+        )
+        self.history = History()
+        self.recorder = HistoryRecorder(self.history, lambda: self.env.now)
+        self.server_ids = [f"s{i}" for i in range(n)]
+        self.byzantine_ids = set(byzantine)
+        self.servers: dict[str, Process] = {}
+        for sid in self.server_ids:
+            factory = byzantine.get(sid)
+            if factory is not None:
+                self.servers[sid] = factory(sid, self.env, self)
+            else:
+                self.servers[sid] = self.make_server(sid)
+        self.clients: dict[str, BaselineClient] = {}
+        for i in range(n_clients):
+            cid = f"c{i}"
+            self.clients[cid] = self.make_client(cid)
+
+    # ------------------------------------------------------------------
+    # assembly hooks
+    # ------------------------------------------------------------------
+    def make_server(self, sid: str) -> Process:
+        return self.server_cls(sid, self.env, self)
+
+    def make_client(self, cid: str) -> BaselineClient:
+        return self.client_cls(cid, self.env, self)
+
+    # ------------------------------------------------------------------
+    # uniform surface
+    # ------------------------------------------------------------------
+    def write(self, cid: str, value: Any) -> OperationHandle:
+        return self.clients[cid].write(value)
+
+    def read(self, cid: str) -> OperationHandle:
+        return self.clients[cid].read()
+
+    def write_sync(self, cid: str, value: Any) -> Any:
+        handle = self.write(cid, value)
+        self.env.run_to_completion(lambda: handle.done)
+        self.env.tick()
+        return handle.result
+
+    def read_sync(self, cid: str) -> Any:
+        handle = self.read(cid)
+        self.env.run_to_completion(lambda: handle.done)
+        self.env.tick()
+        return handle.result
+
+    def settle(self) -> int:
+        return self.env.run()
+
+    def correct_servers(self) -> list[Process]:
+        return [
+            proc
+            for sid, proc in self.servers.items()
+            if sid not in self.byzantine_ids
+        ]
+
+    def corrupt_servers(self, sids: Optional[Sequence[str]] = None) -> list[str]:
+        rng = self.env.spawn_rng("corrupt-servers")
+        targets = (
+            [self.servers[s] for s in sids]
+            if sids is not None
+            else list(self.correct_servers())
+        )
+        for proc in targets:
+            proc.corrupt_state(rng)
+        return [p.pid for p in targets]
+
+    def corrupt_clients(self, cids: Optional[Sequence[str]] = None) -> list[str]:
+        rng = self.env.spawn_rng("corrupt-clients")
+        targets = (
+            [self.clients[c] for c in cids]
+            if cids is not None
+            else list(self.clients.values())
+        )
+        for proc in targets:
+            proc.corrupt_state(rng)
+        return [p.pid for p in targets]
+
+    def checker(self, **overrides: Any) -> RegularityChecker:
+        kwargs: dict[str, Any] = dict(initial_value=None)
+        kwargs.update(overrides)
+        return RegularityChecker(**kwargs)
+
+    def check_regularity(self, **overrides: Any) -> RegularityVerdict:
+        return self.checker(**overrides).check(self.history)
+
+    @property
+    def message_stats(self):
+        return self.env.network.stats

@@ -1,0 +1,197 @@
+"""Kanjani-Lee-Maguffee-Welch-style BFT MWMR regular register.
+
+Reference [14] of the paper: a simple Byzantine-fault-tolerant multi-writer
+regular register with ``n >= 3f + 1`` servers and *unbounded*
+``(counter, writer_id)`` timestamps:
+
+* **write** — query all servers, wait for ``n - f`` timestamps, pick
+  ``(max + 1, id)``, store at all, wait for ``n - f`` acks;
+* **read** — query all servers; servers keep the reader registered and
+  forward every subsequently applied write; the reader waits until some
+  (value, ts) pair is vouched for by at least ``f + 1`` distinct servers
+  (so at least one correct), then returns the ≺-largest such pair. The
+  wait is justified because a completed write eventually reaches every
+  correct server — *if the servers started in a clean state*.
+
+Role in the reproduction (E8): the strongest non-stabilizing baseline —
+genuinely regular under ``f`` Byzantine servers from clean starts, but
+transient corruption defeats it two ways:
+
+* a read invoked before any post-corruption write can block forever
+  (no pair ever reaches ``f + 1`` matching vouchers), and
+* ``f + 1`` coincidentally equal corrupted pairs with a huge counter are
+  indistinguishable from a real recent write and win reads *forever*
+  (unbounded timestamps never wrap, so no legitimate write can pass a
+  corrupted counter the write quorum never observed).
+
+The paper's protocol needs more servers (``5f + 1``) and a richer read
+(``2f + 1`` witnesses + history graphs + abort) exactly to close those
+holes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Generator
+
+from repro.baselines.common import BaselineClient, BaselineSystem, LexPairScheme
+from repro.core.messages import (
+    CompleteRead,
+    GetTs,
+    ReadReply,
+    ReadRequest,
+    TsReply,
+    WriteAck,
+    WriteRequest,
+)
+from repro.sim.environment import SimEnvironment
+from repro.sim.process import Process, Wait
+from repro.spec.history import OpKind, OpStatus
+
+
+class KanjaniServer(Process):
+    """3f+1 replica: adopt-if-newer, forward writes to running readers."""
+
+    def __init__(self, pid: str, env: SimEnvironment, system: "KanjaniSystem") -> None:
+        super().__init__(pid, env)
+        self.system = system
+        self.scheme = system.scheme
+        self.value: Any = None
+        self.ts: tuple[int, str] = self.scheme.initial_label()
+        self.running_read: dict[str, int] = {}
+
+    def on_message(self, src: str, payload: Any) -> None:
+        if isinstance(payload, GetTs):
+            self.send(src, TsReply(ts=self.ts))
+        elif isinstance(payload, WriteRequest):
+            if self.scheme.is_label(payload.ts) and self.scheme.precedes(
+                self.ts, payload.ts
+            ):
+                self.value = payload.value
+                self.ts = payload.ts
+            self.send(src, WriteAck(ts=payload.ts))
+            for reader, label in list(self.running_read.items()):
+                self.send(reader, self._reply(label))
+        elif isinstance(payload, ReadRequest):
+            if isinstance(payload.label, int):
+                self.running_read[src] = payload.label
+                self.send(src, self._reply(payload.label))
+        elif isinstance(payload, CompleteRead):
+            if self.running_read.get(src) == payload.label:
+                del self.running_read[src]
+
+    def _reply(self, label: int) -> ReadReply:
+        return ReadReply(
+            server=self.pid,
+            value=self.value,
+            ts=self.ts,
+            old_vals=(),
+            label=label,
+        )
+
+    def corrupt_state(self, rng: random.Random) -> None:
+        self.value = f"corrupt-{rng.getrandbits(24):06x}"
+        self.ts = self.scheme.random_label(rng)
+        self.running_read = {}
+
+
+class KanjaniClient(BaselineClient):
+    """Client of the 3f+1 regular register."""
+
+    def __init__(self, pid: str, env: SimEnvironment, system: "KanjaniSystem") -> None:
+        super().__init__(pid, env, system.server_ids, system.recorder)
+        self.system = system
+        self.scheme = system.scheme
+        self._read_nonce = 0
+        self._ts_replies: dict[str, Any] = {}
+        self._collecting_ts = False
+        self._acks: set[str] = set()
+        self._pending_ts: Any = None
+        # Latest (value, ts) vouched per server for the current read.
+        self._vouch: dict[str, tuple[Any, Any]] = {}
+        self._read_label: Any = None
+
+    def on_message(self, src: str, payload: Any) -> None:
+        if isinstance(payload, TsReply):
+            if self._collecting_ts and src not in self._ts_replies:
+                self._ts_replies[src] = payload.ts
+        elif isinstance(payload, WriteAck):
+            if payload.ts == self._pending_ts:
+                self._acks.add(src)
+        elif isinstance(payload, ReadReply):
+            if payload.label == self._read_label:
+                self._vouch[src] = (payload.value, payload.ts)
+
+    def write(self, value: Any):
+        return self._begin(self._write_op(value), f"{self.pid}:write({value!r})")
+
+    def read(self):
+        return self._begin(self._read_op(), f"{self.pid}:read()")
+
+    def _write_op(self, value: Any) -> Generator[Wait, None, Any]:
+        op = self.recorder.invoked(self.pid, OpKind.WRITE, argument=value)
+        quorum = self.system.n - self.system.f
+        self._ts_replies = {}
+        self._collecting_ts = True
+        self.broadcast(self.servers, GetTs())
+        yield Wait(lambda: len(self._ts_replies) >= quorum, label="kanjani write: ts")
+        self._collecting_ts = False
+        ts = self.scheme.next_for(self._ts_replies.values(), self.pid)
+        self._pending_ts = ts
+        self._acks = set()
+        self.broadcast(self.servers, WriteRequest(value=value, ts=ts))
+        yield Wait(lambda: len(self._acks) >= quorum, label="kanjani write: store")
+        self._pending_ts = None
+        self.recorder.responded(op, OpStatus.OK, timestamp=ts)
+        return ts
+
+    def _qualified(self) -> Any:
+        """≺-largest pair vouched by >= f+1 servers, or None."""
+        witnesses: dict[tuple[Any, Any], set[str]] = {}
+        for server, (value, ts) in self._vouch.items():
+            if self.scheme.is_label(ts):
+                witnesses.setdefault((value, ts), set()).add(server)
+        best = None
+        for (value, ts), who in witnesses.items():
+            if len(who) >= self.system.f + 1:
+                if best is None or self.scheme.precedes(best[1], ts):
+                    best = (value, ts)
+        return best
+
+    def _read_op(self) -> Generator[Wait, None, Any]:
+        op = self.recorder.invoked(self.pid, OpKind.READ)
+        self._read_nonce += 1
+        self._read_label = self._read_nonce
+        self._vouch = {}
+        self.broadcast(
+            self.servers, ReadRequest(label=self._read_label, reader=self.pid)
+        )
+        # Block until some pair reaches f+1 vouchers; forwarded replies
+        # keep arriving while writes progress. From a corrupted start with
+        # no fresh write this wait never ends — the non-stabilizing hole.
+        yield Wait(lambda: self._qualified() is not None, label="kanjani read")
+        value, ts = self._qualified()
+        label = self._read_label
+        self._read_label = None
+        self.broadcast(self.servers, CompleteRead(label=label, reader=self.pid))
+        self.recorder.responded(op, OpStatus.OK, result=value)
+        return value
+
+
+class KanjaniSystem(BaselineSystem):
+    """A deployed 3f+1 BFT MWMR regular register (unbounded timestamps)."""
+
+    protocol_name = "kanjani"
+    server_cls = KanjaniServer
+    client_cls = KanjaniClient
+
+    def __init__(self, n: int, f: int, **kwargs: Any) -> None:
+        if n < 3 * f + 1:
+            raise ValueError(f"BFT quorums need n >= 3f + 1, got n={n}, f={f}")
+        self.scheme = LexPairScheme()
+        super().__init__(n, f, **kwargs)
+
+    def checker(self, **overrides: Any):
+        kwargs: dict[str, Any] = dict(scheme=self.scheme)
+        kwargs.update(overrides)
+        return super().checker(**kwargs)

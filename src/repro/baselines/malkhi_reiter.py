@@ -1,0 +1,182 @@
+"""Malkhi-Reiter masking-quorum *safe* register.
+
+The first Byzantine quorum system construction (reference [10] of the
+paper): with ``n >= 4f + 1`` servers and quorums of size
+``ceil((n + 2f + 1) / 2)`` any two quorums intersect in at least
+``2f + 1`` servers, of which at least ``f + 1`` are correct — enough to
+*mask* Byzantine answers:
+
+* **write** — query a quorum for timestamps, pick the next one, store at a
+  quorum;
+* **read** — query a quorum; discard every (value, ts) pair vouched for by
+  at most ``f`` servers; return the value of the largest surviving
+  timestamp. With no survivor (possible only under concurrency or
+  corruption) return the initial value — the *safe* semantics permit an
+  arbitrary result for concurrent reads.
+
+Role in the reproduction (E8): Byzantine-tolerant but only **safe** —
+reads concurrent with writes may return anything, which the regularity
+checker flags — and non-stabilizing: after transient corruption with no
+fresh write, reads return corrupted survivors forever.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any, Generator
+
+from repro.baselines.common import BaselineClient, BaselineSystem, LexPairScheme
+from repro.core.messages import (
+    GetTs,
+    ReadReply,
+    ReadRequest,
+    TsReply,
+    WriteAck,
+    WriteRequest,
+)
+from repro.sim.environment import SimEnvironment
+from repro.sim.process import Process, Wait
+from repro.spec.history import OpKind, OpStatus
+
+
+class MrSafeServer(Process):
+    """Masking-quorum replica (same store rule as ABD)."""
+
+    def __init__(self, pid: str, env: SimEnvironment, system: "MrSafeSystem") -> None:
+        super().__init__(pid, env)
+        self.system = system
+        self.scheme = system.scheme
+        self.value: Any = None
+        self.ts: tuple[int, str] = self.scheme.initial_label()
+
+    def on_message(self, src: str, payload: Any) -> None:
+        if isinstance(payload, GetTs):
+            self.send(src, TsReply(ts=self.ts))
+        elif isinstance(payload, WriteRequest):
+            if self.scheme.is_label(payload.ts) and self.scheme.precedes(
+                self.ts, payload.ts
+            ):
+                self.value = payload.value
+                self.ts = payload.ts
+            self.send(src, WriteAck(ts=payload.ts))
+        elif isinstance(payload, ReadRequest):
+            if isinstance(payload.label, int):
+                self.send(
+                    src,
+                    ReadReply(
+                        server=self.pid,
+                        value=self.value,
+                        ts=self.ts,
+                        old_vals=(),
+                        label=payload.label,
+                    ),
+                )
+
+    def corrupt_state(self, rng: random.Random) -> None:
+        self.value = f"corrupt-{rng.getrandbits(24):06x}"
+        self.ts = self.scheme.random_label(rng)
+
+
+class MrSafeClient(BaselineClient):
+    """Masking-quorum client: mask (<= f)-vouched pairs on read."""
+
+    def __init__(self, pid: str, env: SimEnvironment, system: "MrSafeSystem") -> None:
+        super().__init__(pid, env, system.server_ids, system.recorder)
+        self.system = system
+        self.scheme = system.scheme
+        self._read_nonce = 0
+        self._ts_replies: dict[str, Any] = {}
+        self._collecting_ts = False
+        self._acks: set[str] = set()
+        self._pending_ts: Any = None
+        self._replies: dict[str, tuple[Any, Any]] = {}
+        self._read_label: Any = None
+
+    def on_message(self, src: str, payload: Any) -> None:
+        if isinstance(payload, TsReply):
+            if self._collecting_ts and src not in self._ts_replies:
+                self._ts_replies[src] = payload.ts
+        elif isinstance(payload, WriteAck):
+            if payload.ts == self._pending_ts:
+                self._acks.add(src)
+        elif isinstance(payload, ReadReply):
+            if payload.label == self._read_label and src not in self._replies:
+                self._replies[src] = (payload.value, payload.ts)
+
+    def write(self, value: Any):
+        return self._begin(self._write_op(value), f"{self.pid}:write({value!r})")
+
+    def read(self):
+        return self._begin(self._read_op(), f"{self.pid}:read()")
+
+    def _write_op(self, value: Any) -> Generator[Wait, None, Any]:
+        op = self.recorder.invoked(self.pid, OpKind.WRITE, argument=value)
+        q = self.system.quorum
+        self._ts_replies = {}
+        self._collecting_ts = True
+        self.broadcast(self.servers, GetTs())
+        yield Wait(lambda: len(self._ts_replies) >= q, label="mr write: ts")
+        self._collecting_ts = False
+        ts = self.scheme.next_for(self._ts_replies.values(), self.pid)
+        self._pending_ts = ts
+        self._acks = set()
+        self.broadcast(self.servers, WriteRequest(value=value, ts=ts))
+        yield Wait(lambda: len(self._acks) >= q, label="mr write: store")
+        self._pending_ts = None
+        self.recorder.responded(op, OpStatus.OK, timestamp=ts)
+        return ts
+
+    def _read_op(self) -> Generator[Wait, None, Any]:
+        op = self.recorder.invoked(self.pid, OpKind.READ)
+        q = self.system.quorum
+        self._read_nonce += 1
+        self._read_label = self._read_nonce
+        self._replies = {}
+        self.broadcast(
+            self.servers, ReadRequest(label=self._read_label, reader=self.pid)
+        )
+        yield Wait(lambda: len(self._replies) >= q, label="mr read")
+        self._read_label = None
+        witnesses: dict[tuple[Any, Any], set[str]] = {}
+        for server, (value, ts) in self._replies.items():
+            if self.scheme.is_label(ts):
+                witnesses.setdefault((value, ts), set()).add(server)
+        masked = [
+            pair
+            for pair, who in witnesses.items()
+            if len(who) >= self.system.f + 1
+        ]
+        best_value = None
+        best_ts = self.scheme.initial_label()
+        for value, ts in masked:
+            if self.scheme.precedes(best_ts, ts):
+                best_value, best_ts = value, ts
+        self.recorder.responded(op, OpStatus.OK, result=best_value)
+        return best_value
+
+
+class MrSafeSystem(BaselineSystem):
+    """A deployed Malkhi-Reiter masking-quorum safe register."""
+
+    protocol_name = "malkhi-reiter-safe"
+    server_cls = MrSafeServer
+    client_cls = MrSafeClient
+
+    def __init__(self, n: int, f: int, **kwargs: Any) -> None:
+        if n < 4 * f + 1:
+            raise ValueError(
+                f"masking quorums need n >= 4f + 1, got n={n}, f={f}"
+            )
+        self.scheme = LexPairScheme()
+        super().__init__(n, f, **kwargs)
+
+    @property
+    def quorum(self) -> int:
+        """Masking quorum size: ``ceil((n + 2f + 1) / 2)``."""
+        return math.ceil((self.n + 2 * self.f + 1) / 2)
+
+    def checker(self, **overrides: Any):
+        kwargs: dict[str, Any] = dict(scheme=self.scheme)
+        kwargs.update(overrides)
+        return super().checker(**kwargs)

@@ -1,0 +1,236 @@
+"""The protocol class ``TM_1R`` of Theorem 1, made concrete.
+
+Theorem 1 quantifies over "asynchronous stabilizing protocols implementing
+regular registers timestamping operations, with one-phase reads (no write
+back) and decision based on majority of correct processes". To *execute*
+the impossibility argument we need a concrete member of that class:
+
+* bounded wraparound timestamps
+  (:class:`~repro.labels.modular.ModularLabelingScheme` — any bounded
+  scheme works; the proof's corrupted configuration places a label the
+  writer will re-generate later);
+* two-phase writes: gather ``n - f`` current timestamps, ``next()``, write
+  to all, wait ``n - f`` responses;
+* **one-phase reads**: ask everyone, take the first ``n - f`` replies,
+  decide from that multiset alone — no flush handshake, no history
+  windows, no abort;
+* conditional adoption (a server only adopts a pair whose timestamp
+  follows its own).
+
+The read decision is a parameter, because the theorem defeats *every*
+deterministic rule: the scripted execution of experiment E1 hands two
+reads the *same multiset* of (value, timestamp) pairs while regularity
+demands different answers. ``newest-qualified`` (return the ≺-maximal pair
+vouched by at least ``f+1`` servers) fails the first read; the
+``oldest-qualified`` rule fails the second.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Generator, Optional
+
+from repro.baselines.common import BaselineClient, BaselineSystem
+from repro.core.messages import (
+    GetTs,
+    ReadReply,
+    ReadRequest,
+    TsReply,
+    WriteAck,
+    WriteNack,
+    WriteRequest,
+)
+from repro.labels.base import LabelingScheme
+from repro.labels.modular import ModularLabelingScheme
+from repro.sim.environment import SimEnvironment
+from repro.sim.process import Process, Wait
+from repro.spec.history import OpKind, OpStatus
+
+#: A decision rule maps (scheme, f, replies) -> returned value, where
+#: replies is a list of (server, value, ts) triples.
+DecisionRule = Callable[[LabelingScheme, int, list[tuple[str, Any, Any]]], Any]
+
+
+def newest_qualified(
+    scheme: LabelingScheme, f: int, replies: list[tuple[str, Any, Any]]
+) -> Any:
+    """Return the ≺-maximal pair vouched by at least ``f + 1`` servers."""
+    return _qualified_extreme(scheme, f, replies, newest=True)
+
+
+def oldest_qualified(
+    scheme: LabelingScheme, f: int, replies: list[tuple[str, Any, Any]]
+) -> Any:
+    """Return the ≺-minimal pair vouched by at least ``f + 1`` servers."""
+    return _qualified_extreme(scheme, f, replies, newest=False)
+
+
+def _qualified_extreme(
+    scheme: LabelingScheme,
+    f: int,
+    replies: list[tuple[str, Any, Any]],
+    newest: bool,
+) -> Any:
+    witnesses: dict[tuple[Any, Any], set[str]] = {}
+    for server, value, ts in replies:
+        if scheme.is_label(ts):
+            witnesses.setdefault((value, ts), set()).add(server)
+    qualified = [pair for pair, who in witnesses.items() if len(who) >= f + 1]
+    pool = qualified or list(witnesses)
+    if not pool:
+        return None
+    extreme = pool[0]
+    for pair in pool[1:]:
+        ahead = scheme.precedes(extreme[1], pair[1])
+        if (newest and ahead) or (not newest and scheme.precedes(pair[1], extreme[1])):
+            extreme = pair
+    return extreme[0]
+
+
+class Tm1rServer(Process):
+    """TM_1R server: conditional adoption, one-phase read replies."""
+
+    def __init__(self, pid: str, env: SimEnvironment, system: "Tm1rSystem") -> None:
+        super().__init__(pid, env)
+        self.system = system
+        self.scheme = system.scheme
+        self.value: Any = None
+        self.ts: Any = self.scheme.initial_label()
+
+    def on_message(self, src: str, payload: Any) -> None:
+        if isinstance(payload, GetTs):
+            self.send(src, TsReply(ts=self.ts))
+        elif isinstance(payload, WriteRequest):
+            if self.scheme.is_label(payload.ts) and self.scheme.precedes(
+                self.ts, payload.ts
+            ):
+                self.value = payload.value
+                self.ts = payload.ts
+                self.send(src, WriteAck(ts=payload.ts))
+            else:
+                self.send(src, WriteNack(ts=payload.ts))
+        elif isinstance(payload, ReadRequest):
+            if isinstance(payload.label, int):
+                self.send(
+                    src,
+                    ReadReply(
+                        server=self.pid,
+                        value=self.value,
+                        ts=self.ts,
+                        old_vals=(),
+                        label=payload.label,
+                    ),
+                )
+
+    def corrupt_state(self, rng: random.Random) -> None:
+        self.value = f"corrupt-{rng.getrandbits(24):06x}"
+        self.ts = self.scheme.random_label(rng)
+
+    def set_state(self, value: Any, ts: Any) -> None:
+        """Scripted state injection for the Theorem 1 execution."""
+        self.value = value
+        self.ts = ts
+
+
+class Tm1rClient(BaselineClient):
+    """TM_1R client: two-phase writes, single-phase majority-decision reads."""
+
+    def __init__(self, pid: str, env: SimEnvironment, system: "Tm1rSystem") -> None:
+        super().__init__(pid, env, system.server_ids, system.recorder)
+        self.system = system
+        self.scheme = system.scheme
+        self.write_ts: Any = self.scheme.initial_label()
+        self._read_nonce = 0
+        self._wts_by_server: dict[str, Any] = {}
+        self._collecting = False
+        self._responded: set[str] = set()
+        self._pending_ts: Any = None
+        self._replies: list[tuple[str, Any, Any]] = []
+        self._reply_servers: set[str] = set()
+        self._read_label: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def on_message(self, src: str, payload: Any) -> None:
+        if isinstance(payload, TsReply):
+            if self._collecting and src not in self._wts_by_server:
+                self._wts_by_server[src] = payload.ts
+        elif isinstance(payload, (WriteAck, WriteNack)):
+            if payload.ts == self._pending_ts:
+                self._responded.add(src)
+        elif isinstance(payload, ReadReply):
+            if payload.label == self._read_label and src not in self._reply_servers:
+                self._replies.append((src, payload.value, payload.ts))
+                self._reply_servers.add(src)
+
+    # ------------------------------------------------------------------
+    def write(self, value: Any):
+        return self._begin(self._write_op(value), f"{self.pid}:write({value!r})")
+
+    def read(self):
+        return self._begin(self._read_op(), f"{self.pid}:read()")
+
+    def _write_op(self, value: Any) -> Generator[Wait, None, Any]:
+        op = self.recorder.invoked(self.pid, OpKind.WRITE, argument=value)
+        quorum = self.system.n - self.system.f
+        self._wts_by_server = {}
+        self._collecting = True
+        self.broadcast(self.servers, GetTs())
+        yield Wait(
+            lambda: len(self._wts_by_server) >= quorum, label="tm1r write: ts"
+        )
+        self._collecting = False
+        gathered = list(self._wts_by_server.values()) + [self.write_ts]
+        ts = self.scheme.next_label(gathered)
+        self.write_ts = ts
+        self._pending_ts = ts
+        self._responded = set()
+        self.broadcast(self.servers, WriteRequest(value=value, ts=ts))
+        yield Wait(
+            lambda: len(self._responded) >= quorum, label="tm1r write: resp"
+        )
+        self._pending_ts = None
+        self.recorder.responded(op, OpStatus.OK, timestamp=ts)
+        return ts
+
+    def _read_op(self) -> Generator[Wait, None, Any]:
+        op = self.recorder.invoked(self.pid, OpKind.READ)
+        quorum = self.system.n - self.system.f
+        self._read_nonce += 1
+        self._read_label = self._read_nonce
+        self._replies = []
+        self._reply_servers = set()
+        self.broadcast(
+            self.servers, ReadRequest(label=self._read_label, reader=self.pid)
+        )
+        yield Wait(
+            lambda: len(self._reply_servers) >= quorum, label="tm1r read"
+        )
+        self._read_label = None
+        value = self.system.decision(self.scheme, self.system.f, self._replies)
+        self.recorder.responded(op, OpStatus.OK, result=value)
+        return value
+
+
+class Tm1rSystem(BaselineSystem):
+    """A deployed TM_1R register (the Theorem 1 protocol class)."""
+
+    protocol_name = "tm1r"
+    server_cls = Tm1rServer
+    client_cls = Tm1rClient
+
+    def __init__(
+        self,
+        n: int,
+        f: int,
+        decision: DecisionRule = newest_qualified,
+        scheme: Optional[LabelingScheme] = None,
+        **kwargs: Any,
+    ) -> None:
+        self.scheme = scheme or ModularLabelingScheme(modulus=64)
+        self.decision = decision
+        super().__init__(n, f, **kwargs)
+
+    def checker(self, **overrides: Any):
+        kwargs: dict[str, Any] = dict(scheme=self.scheme)
+        kwargs.update(overrides)
+        return super().checker(**kwargs)

@@ -1,0 +1,41 @@
+"""Byzantine server strategies.
+
+The correctness proofs (Lemmas 1-2 in particular) enumerate Byzantine
+behaviours phase by phase: answer both phases, answer only one, simulate a
+crash, vote NACK while adopting nothing, forge values or timestamps,
+equivocate between clients. Each enumerated behaviour — plus randomized
+arbitrary deviation — exists here as a pluggable server replacement, so
+experiments sweep the whole zoo against every claim.
+
+All strategies expose a ``factory()`` classmethod matching the
+``ServerFactory`` signature expected by
+:class:`~repro.core.register.RegisterSystem`.
+"""
+
+from repro.byzantine.base import ByzantineServer
+from repro.byzantine.strategies import (
+    SilentByzantine,
+    PhaseSilentByzantine,
+    StaleReplayByzantine,
+    ForgingByzantine,
+    InflatingByzantine,
+    EquivocatingByzantine,
+    NackSpammerByzantine,
+    AckWithoutStoringByzantine,
+    RandomNoiseByzantine,
+    STRATEGY_ZOO,
+)
+
+__all__ = [
+    "ByzantineServer",
+    "SilentByzantine",
+    "PhaseSilentByzantine",
+    "StaleReplayByzantine",
+    "ForgingByzantine",
+    "InflatingByzantine",
+    "EquivocatingByzantine",
+    "NackSpammerByzantine",
+    "AckWithoutStoringByzantine",
+    "RandomNoiseByzantine",
+    "STRATEGY_ZOO",
+]

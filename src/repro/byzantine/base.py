@@ -1,0 +1,50 @@
+"""Base class for Byzantine server strategies.
+
+A Byzantine server inherits the full correct automaton
+(:class:`~repro.core.server.RegisterServer`) so strategies can deviate
+*selectively* — the most dangerous adversaries follow the protocol almost
+everywhere. Subclasses override individual handlers.
+
+The base also provides the ``factory()`` hook
+:class:`~repro.core.register.RegisterSystem` consumes, with keyword
+arguments captured per strategy::
+
+    RegisterSystem(config, byzantine={"s5": StaleReplayByzantine.factory()})
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.core.config import SystemConfig
+from repro.core.server import RegisterServer
+from repro.labels.base import LabelingScheme
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.environment import SimEnvironment
+
+
+class ByzantineServer(RegisterServer):
+    """A server that may deviate arbitrarily (base: behaves correctly).
+
+    Behaving correctly is itself a valid Byzantine strategy — and a useful
+    control in experiments: every claim must hold whether the f "Byzantine"
+    servers misbehave or not.
+    """
+
+    #: Human-readable strategy name for experiment tables.
+    strategy_name = "correct-acting"
+
+    @classmethod
+    def factory(cls, **kwargs: Any) -> Callable[..., "ByzantineServer"]:
+        """A ``ServerFactory`` building this strategy with ``kwargs``."""
+
+        def build(
+            pid: str,
+            env: "SimEnvironment",
+            config: SystemConfig,
+            scheme: LabelingScheme,
+        ) -> "ByzantineServer":
+            return cls(pid, env, config, scheme, **kwargs)
+
+        return build

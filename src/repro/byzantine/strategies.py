@@ -1,0 +1,315 @@
+"""The Byzantine strategy zoo.
+
+Each class realizes one adversarial behaviour the proofs reason about.
+``STRATEGY_ZOO`` maps strategy names to classes for sweep experiments.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.byzantine.base import ByzantineServer
+from repro.core.config import SystemConfig
+from repro.core.messages import (
+    Flush,
+    FlushAck,
+    GetTs,
+    ReadReply,
+    ReadRequest,
+    TsReply,
+    WriteAck,
+    WriteNack,
+    WriteRequest,
+)
+from repro.labels.base import LabelingScheme
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.environment import SimEnvironment
+
+
+class SilentByzantine(ByzantineServer):
+    """Simulates a full crash: never answers anything.
+
+    Proof case 4 of Lemma 2 ("Byzantine nodes simulate crash in both
+    phases") and the canonical liveness adversary: quorums of ``n - f``
+    must suffice without it.
+    """
+
+    strategy_name = "silent"
+
+    def on_message(self, src: str, payload: Any) -> None:
+        return
+
+
+class PhaseSilentByzantine(ByzantineServer):
+    """Answers only selected message kinds (Lemma 2's phase cases 2-3).
+
+    Args:
+        silent_on: message-type names ignored, e.g. ``{"GetTs"}`` for a
+            server silent in the write's first phase only.
+    """
+
+    strategy_name = "phase-silent"
+
+    def __init__(
+        self,
+        pid: str,
+        env: "SimEnvironment",
+        config: SystemConfig,
+        scheme: LabelingScheme,
+        silent_on: frozenset[str] = frozenset({"GetTs"}),
+    ) -> None:
+        super().__init__(pid, env, config, scheme)
+        self.silent_on = frozenset(silent_on)
+
+    def on_message(self, src: str, payload: Any) -> None:
+        if type(payload).__name__ in self.silent_on:
+            return
+        super().on_message(src, payload)
+
+
+class StaleReplayByzantine(ByzantineServer):
+    """Processes writes internally but always *reports* a frozen stale pair.
+
+    This is the adversary of the Theorem 1 construction: it keeps
+    presenting an old timestamp as current, trying to drag reads back in
+    time. The stale pair defaults to a corrupted label from the server's
+    own RNG; experiments can pin it.
+    """
+
+    strategy_name = "stale-replay"
+
+    def __init__(
+        self,
+        pid: str,
+        env: "SimEnvironment",
+        config: SystemConfig,
+        scheme: LabelingScheme,
+        stale_value: Any = "stale",
+        stale_ts: Any = None,
+    ) -> None:
+        super().__init__(pid, env, config, scheme)
+        self.stale_value = stale_value
+        self.stale_ts = (
+            stale_ts if stale_ts is not None else scheme.random_label(self.rng)
+        )
+
+    def on_get_ts(self, src: str) -> None:
+        self.send(src, TsReply(ts=self.stale_ts))
+
+    def _reply(self, label: int) -> ReadReply:
+        return ReadReply(
+            server=self.pid,
+            value=self.stale_value,
+            ts=self.stale_ts,
+            old_vals=((self.stale_value, self.stale_ts),) * 2,
+            label=label,
+        )
+
+
+class ForgingByzantine(ByzantineServer):
+    """Invents a fresh random value and timestamp for every reply.
+
+    Random forgeries test that ``2f + 1`` witnessing defeats fabrication:
+    a forged pair can gather at most ``f`` witnesses.
+    """
+
+    strategy_name = "forging"
+
+    def _forged(self) -> tuple[Any, Any]:
+        return (
+            f"forged-{self.rng.getrandbits(24):06x}",
+            self.scheme.random_label(self.rng),
+        )
+
+    def on_get_ts(self, src: str) -> None:
+        _, ts = self._forged()
+        self.send(src, TsReply(ts=ts))
+
+    def _reply(self, label: int) -> ReadReply:
+        value, ts = self._forged()
+        return ReadReply(
+            server=self.pid,
+            value=value,
+            ts=ts,
+            old_vals=tuple(self._forged() for _ in range(2)),
+            label=label,
+        )
+
+
+class InflatingByzantine(ByzantineServer):
+    """Reports timestamps engineered to dominate everything it has seen.
+
+    It feeds writers artificially "high" labels in phase 1 hoping to steer
+    or exhaust the bounded label space, and presents the same inflated
+    label as current to readers. The k-SBLS ``next`` must keep dominating
+    regardless (Definition 2 holds for arbitrary input sets of size
+    <= k).
+    """
+
+    strategy_name = "inflating"
+
+    def __init__(
+        self,
+        pid: str,
+        env: "SimEnvironment",
+        config: SystemConfig,
+        scheme: LabelingScheme,
+    ) -> None:
+        super().__init__(pid, env, config, scheme)
+        self._seen: list[Any] = []
+
+    def _inflated(self) -> Any:
+        recent = self._seen[-8:]
+        return self.scheme.next_label(recent + [self.ts])
+
+    def on_get_ts(self, src: str) -> None:
+        self.send(src, TsReply(ts=self._inflated()))
+
+    def on_write(self, src: str, msg: WriteRequest) -> None:
+        if self.scheme.is_label(msg.ts):
+            self._seen.append(msg.ts)
+            del self._seen[:-32]
+        super().on_write(src, msg)
+
+    def _reply(self, label: int) -> ReadReply:
+        return ReadReply(
+            server=self.pid,
+            value="inflated",
+            ts=self._inflated(),
+            old_vals=tuple(self.old_vals),
+            label=label,
+        )
+
+
+class EquivocatingByzantine(ByzantineServer):
+    """Tells different clients different stories.
+
+    Clients whose pid hashes even get the true state; the others get a
+    frozen stale pair. Split-brain attempts must be defeated by quorum
+    intersection, not by any assumption of consistent lying.
+    """
+
+    strategy_name = "equivocating"
+
+    def __init__(
+        self,
+        pid: str,
+        env: "SimEnvironment",
+        config: SystemConfig,
+        scheme: LabelingScheme,
+    ) -> None:
+        super().__init__(pid, env, config, scheme)
+        self.stale_ts = scheme.random_label(self.rng)
+
+    def _lies_to(self, client: str) -> bool:
+        return (hash(client) & 1) == 1
+
+    def on_get_ts(self, src: str) -> None:
+        if self._lies_to(src):
+            self.send(src, TsReply(ts=self.stale_ts))
+        else:
+            super().on_get_ts(src)
+
+    def on_read(self, src: str, msg: ReadRequest) -> None:
+        if not isinstance(msg.label, int):
+            return
+        self.running_read[src] = msg.label
+        if self._lies_to(src):
+            self.send(
+                src,
+                ReadReply(
+                    server=self.pid,
+                    value="equivocation",
+                    ts=self.stale_ts,
+                    old_vals=(),
+                    label=msg.label,
+                ),
+            )
+        else:
+            self.send(src, self._reply(msg.label))
+
+
+class NackSpammerByzantine(ByzantineServer):
+    """NACKs every write and refuses to adopt anything.
+
+    Attacks write liveness: Lemma 1's counting must still find ``2f + 1``
+    ACKs among the correct servers.
+    """
+
+    strategy_name = "nack-spammer"
+
+    def on_write(self, src: str, msg: WriteRequest) -> None:
+        self.send(src, WriteNack(ts=msg.ts))
+
+
+class AckWithoutStoringByzantine(ByzantineServer):
+    """ACKs every write but never stores anything (replies stay stale).
+
+    Attacks the write-propagation count (Lemma 2): the writer's ACK quorum
+    may contain up to ``f`` of these, so ``2f + 1`` ACKs still leave
+    ``f + 1`` correct adopters... the lemma's full argument needs
+    ``3f + 1`` correct adopters, obtained from unconditional adoption.
+    """
+
+    strategy_name = "ack-no-store"
+
+    def on_write(self, src: str, msg: WriteRequest) -> None:
+        self.send(src, WriteAck(ts=msg.ts))
+
+
+class RandomNoiseByzantine(ByzantineServer):
+    """Replies to everything with uniformly random protocol messages.
+
+    The fuzzing adversary: correct processes must parse-or-drop anything.
+    """
+
+    strategy_name = "random-noise"
+
+    def on_message(self, src: str, payload: Any) -> None:
+        roll = self.rng.randrange(8)
+        label = self.rng.randrange(self.config.read_label_count)
+        ts = self.scheme.random_label(self.rng)
+        value = f"noise-{self.rng.getrandbits(16):04x}"
+        if roll == 0:
+            self.send(src, TsReply(ts=ts))
+        elif roll == 1:
+            self.send(src, WriteAck(ts=ts))
+        elif roll == 2:
+            self.send(src, WriteNack(ts=ts))
+        elif roll == 3:
+            self.send(
+                src,
+                ReadReply(
+                    server=self.pid,
+                    value=value,
+                    ts=ts,
+                    old_vals=((value, ts),),
+                    label=label,
+                ),
+            )
+        elif roll == 4:
+            self.send(src, FlushAck(label=label, server=self.pid))
+        elif roll == 5:
+            # Reflect garbage of the same kind it received, twice.
+            self.send(src, TsReply(ts=self.rng.getrandbits(32)))
+            self.send(src, FlushAck(label=self.rng.getrandbits(8), server=self.pid))
+        # rolls 6-7: stay silent this time
+
+
+#: name -> class, for sweep experiments (E2/E4/E8).
+STRATEGY_ZOO: dict[str, type[ByzantineServer]] = {
+    cls.strategy_name: cls
+    for cls in (
+        ByzantineServer,
+        SilentByzantine,
+        PhaseSilentByzantine,
+        StaleReplayByzantine,
+        ForgingByzantine,
+        InflatingByzantine,
+        EquivocatingByzantine,
+        NackSpammerByzantine,
+        AckWithoutStoringByzantine,
+        RandomNoiseByzantine,
+    )
+}

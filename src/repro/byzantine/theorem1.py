@@ -1,0 +1,91 @@
+"""The scripted adversary of the Theorem 1 lower-bound construction.
+
+The proof of Theorem 1 builds one specific execution against any protocol
+of class ``TM_1R`` on ``n = 5f`` servers. The Byzantine server in that
+execution follows a fixed script:
+
+* it answers the writer's timestamp queries with values chosen to steer
+  each ``next()`` computation (low stale labels for w0/w1, then exactly
+  the value that makes w2 regenerate the corrupted label ``ts2``);
+* it acknowledges every write without storing anything;
+* it answers the two reads with *opposite* lies — presenting the
+  corrupted pair ``(v2, ts2)`` as current to the first read and the stale
+  pair ``(v1, ts1)`` to the second — handing both reads the *same
+  multiset* of (value, timestamp) pairs while regularity demands
+  different answers.
+
+The script is supplied as plain lists so the experiment module
+(:mod:`repro.harness.experiments.e1_lower_bound`) stays the single place
+describing the whole execution.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.core.messages import (
+    GetTs,
+    ReadReply,
+    ReadRequest,
+    TsReply,
+    WriteAck,
+    WriteRequest,
+)
+from repro.sim.process import Process
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.environment import SimEnvironment
+
+
+class ScriptedByzantine(Process):
+    """Plays back fixed answers for timestamp queries and reads.
+
+    Args:
+        ts_script: timestamps returned to successive ``GET_TS`` queries
+            (the last entry repeats once the script is exhausted).
+        read_script: ``(value, ts)`` pairs returned to successive ``READ``
+            requests (the last entry repeats likewise).
+    """
+
+    def __init__(
+        self,
+        pid: str,
+        env: "SimEnvironment",
+        ts_script: list[Any],
+        read_script: list[tuple[Any, Any]],
+    ) -> None:
+        super().__init__(pid, env)
+        self.ts_script = list(ts_script)
+        self.read_script = list(read_script)
+        self._ts_cursor = 0
+        self._read_cursor = 0
+
+    def _next_ts(self) -> Any:
+        idx = min(self._ts_cursor, len(self.ts_script) - 1)
+        self._ts_cursor += 1
+        return self.ts_script[idx]
+
+    def _next_read(self) -> tuple[Any, Any]:
+        idx = min(self._read_cursor, len(self.read_script) - 1)
+        self._read_cursor += 1
+        return self.read_script[idx]
+
+    def on_message(self, src: str, payload: Any) -> None:
+        if isinstance(payload, GetTs):
+            self.send(src, TsReply(ts=self._next_ts()))
+        elif isinstance(payload, WriteRequest):
+            self.send(src, WriteAck(ts=payload.ts))
+        elif isinstance(payload, ReadRequest):
+            value, ts = self._next_read()
+            self.send(
+                src,
+                ReadReply(
+                    server=self.pid,
+                    value=value,
+                    ts=ts,
+                    old_vals=((value, ts),),
+                    label=payload.label,
+                ),
+            )
+        # FLUSH and COMPLETE_READ are ignored: silence there only delays
+        # clients, and the TM_1R protocol has no flush phase anyway.

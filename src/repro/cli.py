@@ -1,0 +1,220 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``experiments``                 — list the experiment catalogue;
+* ``run E3 [E7 ...]``             — regenerate chosen experiment tables;
+* ``reproduce-all``               — regenerate every table (E1-E12);
+* ``demo``                        — the quickstart scenario, narrated;
+* ``check --seed N --ops K``      — run a random concurrent workload under
+  full corruption and print the pseudo-stabilization verdict (a one-shot
+  confidence check on any machine).
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+from typing import Optional, Sequence
+
+
+def _cmd_experiments(_: argparse.Namespace) -> int:
+    from repro.harness.experiments import ALL_EXPERIMENTS
+
+    for name in sorted(ALL_EXPERIMENTS, key=lambda s: int(s[1:])):
+        mod = ALL_EXPERIMENTS[name]
+        doc = (mod.__doc__ or "").strip().splitlines()[0]
+        print(f"{name:4s} {doc}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.harness.experiments import ALL_EXPERIMENTS
+
+    status = 0
+    for name in args.experiment:
+        key = name.upper()
+        mod = ALL_EXPERIMENTS.get(key)
+        if mod is None:
+            print(f"unknown experiment {name!r}; try `experiments`", file=sys.stderr)
+            status = 2
+            continue
+        start = time.time()
+        report = mod.run()
+        if args.csv:
+            print(report.to_csv(), end="")
+        else:
+            print(report.table())
+            print(f"  [{key} regenerated in {time.time() - start:.1f}s]\n")
+    return status
+
+
+def _cmd_reproduce_all(_: argparse.Namespace) -> int:
+    from repro.harness.experiments import ALL_EXPERIMENTS
+
+    total = time.time()
+    for name in sorted(ALL_EXPERIMENTS, key=lambda s: int(s[1:])):
+        start = time.time()
+        report = ALL_EXPERIMENTS[name].run()
+        print(report.table())
+        print(f"  [{name} regenerated in {time.time() - start:.1f}s]\n")
+    print(f"all experiments regenerated in {time.time() - total:.1f}s")
+    return 0
+
+
+def _cmd_demo(_: argparse.Namespace) -> int:
+    from repro.core import RegisterSystem, SystemConfig
+    from repro.spec import evaluate_stabilization
+
+    config = SystemConfig(n=6, f=1)
+    system = RegisterSystem(config, seed=2026, n_clients=3)
+    print(f"deployed: {config.describe()}")
+    system.write_sync("c0", "hello world")
+    print("c1 reads:", system.read_sync("c1"))
+    print("corrupting every replica and client...")
+    system.corrupt_servers()
+    system.corrupt_clients()
+    fault_time = system.env.now
+    print("post-fault read:", system.read_sync("c2"))
+    system.write_sync("c0", "recovered!")
+    print("c1 reads:", system.read_sync("c1"))
+    report = evaluate_stabilization(
+        system.history, system.checker(), last_fault_time=fault_time
+    )
+    print(report.summary())
+    return 0 if report.stabilized else 1
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.harness.experiments import ALL_EXPERIMENTS
+    from repro.harness.profiling import profile_callable
+
+    mod = ALL_EXPERIMENTS.get(args.experiment.upper())
+    if mod is None:
+        print(
+            f"unknown experiment {args.experiment!r}; try `experiments`",
+            file=sys.stderr,
+        )
+        return 2
+    result = profile_callable(mod.run)
+    print(result.table(limit=args.top))
+    return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.harness.fuzz import fuzz
+
+    report = fuzz(
+        trials=args.trials,
+        n=args.n,
+        f=args.f,
+        master_seed=args.seed,
+        stop_at_first=args.stop_at_first,
+    )
+    print(report.summary())
+    for witness in report.witnesses[: args.show]:
+        print(f"\n{witness.kind}: {witness.detail}")
+        print(f"  recipe: {witness.recipe}")
+    at_bound = args.n >= 5 * args.f + 1
+    if at_bound and not report.clean:
+        print(
+            "\nWITNESS AT n >= 5f+1: this is a bug — the recipe above "
+            "replays it deterministically.",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.core import RegisterSystem, SystemConfig
+    from repro.spec import evaluate_stabilization
+    from repro.workloads import mixed_scripts, run_scripts
+
+    system = RegisterSystem(
+        SystemConfig(n=5 * args.f + 1, f=args.f),
+        seed=args.seed,
+        n_clients=args.clients,
+    )
+    system.corrupt_servers()
+    system.corrupt_clients()
+    scripts = mixed_scripts(
+        list(system.clients),
+        random.Random(args.seed),
+        ops_per_client=args.ops,
+    )
+    run_scripts(system, scripts)
+    report = evaluate_stabilization(
+        system.history, system.checker(), last_fault_time=0.0
+    )
+    print(
+        f"seed={args.seed} f={args.f} clients={args.clients} "
+        f"ops/client={args.ops}: {report.summary()}"
+    )
+    return 0 if report.stabilized else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Stabilizing BFT storage — reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("experiments", help="list the experiment catalogue")
+
+    run = sub.add_parser("run", help="regenerate chosen experiment tables")
+    run.add_argument("experiment", nargs="+", help="e.g. E1 E3 E8")
+    run.add_argument(
+        "--csv", action="store_true", help="emit CSV instead of a table"
+    )
+
+    sub.add_parser("reproduce-all", help="regenerate every table")
+    sub.add_parser("demo", help="narrated quickstart scenario")
+
+    profile = sub.add_parser(
+        "profile", help="profile one experiment (cProfile, top hot spots)"
+    )
+    profile.add_argument("experiment", help="e.g. E2")
+    profile.add_argument("--top", type=int, default=15)
+
+    check = sub.add_parser(
+        "check", help="random corrupted workload + stabilization verdict"
+    )
+    check.add_argument("--seed", type=int, default=0)
+    check.add_argument("--f", type=int, default=1)
+    check.add_argument("--clients", type=int, default=3)
+    check.add_argument("--ops", type=int, default=6)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="hunt for violations with random hostile schedules (Jepsen-style)",
+    )
+    fuzz.add_argument("--trials", type=int, default=100)
+    fuzz.add_argument("--n", type=int, default=6)
+    fuzz.add_argument("--f", type=int, default=1)
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument("--show", type=int, default=3, help="witnesses to print")
+    fuzz.add_argument("--stop-at-first", action="store_true")
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "experiments": _cmd_experiments,
+        "run": _cmd_run,
+        "reproduce-all": _cmd_reproduce_all,
+        "demo": _cmd_demo,
+        "profile": _cmd_profile,
+        "check": _cmd_check,
+        "fuzz": _cmd_fuzz,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI entry
+    raise SystemExit(main())

@@ -1,0 +1,59 @@
+"""The paper's contribution: the stabilizing BFT regular register.
+
+This package implements the protocol of Section IV:
+
+* :mod:`repro.core.server` — the server automaton (Figures 1b/2b/3b):
+  GET_TS / WRITE(ack-nack, unconditional adoption, old-value window,
+  forwarding to running readers) / READ / COMPLETE_READ / FLUSH;
+* :mod:`repro.core.writer` — the two-phase write protocol (Figure 1a):
+  gather ``n - f`` current timestamps, compute ``next()``, write to all,
+  await ``n - f`` responses of which ``2f + 1`` acknowledgements;
+* :mod:`repro.core.reader` — the read protocol (Figure 2a) and the
+  bounded-label ``find_read_label`` procedure with its FLUSH handshake
+  (Figure 3a), local and union weighted timestamp graphs and the ``2f+1``
+  witness rule;
+* :mod:`repro.core.client` — the client process combining both roles
+  (every client may read and write: the register is MWMR);
+* :mod:`repro.core.register` — :class:`RegisterSystem`, the high-level
+  facade that assembles servers, clients, history recording and fault
+  hooks into one runnable system.
+
+The required resilience is ``n >= 5f + 1`` (Theorem 2/3); the
+configuration enforces it unless a lower-bound experiment explicitly opts
+out.
+"""
+
+from repro.core.config import SystemConfig
+from repro.core.messages import (
+    GetTs,
+    TsReply,
+    WriteRequest,
+    WriteAck,
+    WriteNack,
+    ReadRequest,
+    ReadReply,
+    CompleteRead,
+    Flush,
+    FlushAck,
+)
+from repro.core.server import RegisterServer
+from repro.core.client import RegisterClient, ABORT
+from repro.core.register import RegisterSystem
+
+__all__ = [
+    "SystemConfig",
+    "GetTs",
+    "TsReply",
+    "WriteRequest",
+    "WriteAck",
+    "WriteNack",
+    "ReadRequest",
+    "ReadReply",
+    "CompleteRead",
+    "Flush",
+    "FlushAck",
+    "RegisterServer",
+    "RegisterClient",
+    "ABORT",
+    "RegisterSystem",
+]

@@ -1,0 +1,115 @@
+"""Write-back reads: an atomic extension of the paper's register.
+
+The paper's reads are deliberately one-phase — that is why Byzantine
+*readers* are harmless (Concluding Remarks) — and E11 shows the price:
+two sequential reads concurrent with one write can observe new-then-old,
+so the register is regular but not atomic.
+
+This module implements the classical remedy as an opt-in client variant:
+after selecting its return node, the reader *writes the pair back* and
+waits for ``n - f`` responses before returning. Every response certifies
+the responding server now stores a pair at least as recent (an ACK means
+it adopted the pair; post-stabilization a NACK means its current pair
+already dominates), so a subsequent read's quorum must intersect the
+written-back pair in at least ``2f + 1 - f`` correct servers — the
+new/old inversion dies (E11's extension row demonstrates it on the same
+adversarial schedule).
+
+Cost and caveats, measured in E11:
+
+* one extra broadcast round + reply round per read (latency 4 → 6, and
+  Θ(n) more messages);
+* the Byzantine-reader immunity is narrowed: a Byzantine reader can now
+  push *replays of legitimate pairs* at servers. Conditional adoption
+  caps the damage (stale pairs are refused; replaying the current pair is
+  a no-op), but the one-phase design's "readers cannot modify server
+  state, period" guarantee is gone — exactly the trade-off the paper's
+  design avoids.
+* Aborted reads skip the write-back (there is nothing to install).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.core.client import RegisterClient
+from repro.core.messages import CompleteRead, ReadRequest, WriteRequest
+from repro.core.reader import ABORT
+from repro.sim.process import Wait
+from repro.spec.history import OpKind, OpStatus
+from repro.wtsg.analysis import build_local_graph, build_union_graph
+
+
+class AtomicRegisterClient(RegisterClient):
+    """A register client whose reads write back (atomic variant)."""
+
+    def _init_reader(self) -> None:
+        super()._init_reader()
+        # Write-back phase bookkeeping: responders keyed by server.
+        self._wb_responders: set[str] = set()
+        self._wb_ts: Any = None
+
+    def _on_write_ack(self, src: str, msg) -> None:
+        super()._on_write_ack(src, msg)
+        if msg.ts == self._wb_ts and src in self.servers:
+            self._wb_responders.add(src)
+
+    def _on_write_nack(self, src: str, msg) -> None:
+        super()._on_write_nack(src, msg)
+        if msg.ts == self._wb_ts and src in self.servers:
+            self._wb_responders.add(src)
+
+    def read_operation(self) -> Generator[Wait, None, Any]:
+        """Figure 2a plus a write-back phase before returning."""
+        op = self.recorder.invoked(self.pid, OpKind.READ)
+        cfg = self.config
+
+        self._replies = []
+        self._reply_servers = set()
+        label = yield from self.find_read_label()
+        self.reading = True
+        for s in sorted(self.safe):
+            self.send(s, ReadRequest(label=label, reader=self.pid))
+            self.recent_labels[s][label] = 1
+        yield Wait(
+            lambda: len(self._reply_servers) >= cfg.reply_quorum,
+            label=f"atomic-read[{label}]: reply quorum",
+        )
+
+        graph = build_local_graph(self.scheme, self._replies)
+        node = graph.select_maximal_qualified(cfg.witness_threshold)
+        path = "local"
+        if node is None and cfg.enable_union_graph:
+            union = build_union_graph(
+                self.scheme, self._replies, self.recent_vals
+            )
+            node = union.select_maximal_qualified(cfg.witness_threshold)
+            path = "union"
+        if node is None:
+            path = "abort"
+        self.read_path_stats[path] += 1
+
+        self.reading = False
+        for s in sorted(self.safe):
+            self.send(s, CompleteRead(label=label, reader=self.pid))
+
+        if node is None:
+            self.recorder.responded(op, OpStatus.ABORT)
+            return ABORT
+
+        # --- write-back: install the chosen pair before answering -------
+        self._wb_ts = node.timestamp
+        self._wb_responders = set()
+        self.broadcast(
+            self.servers, WriteRequest(value=node.value, ts=node.timestamp)
+        )
+        yield Wait(
+            lambda: len(self._wb_responders) >= cfg.reply_quorum,
+            label=f"atomic-read[{label}]: write-back quorum",
+        )
+        self._wb_ts = None
+
+        self.recorder.responded(
+            op, OpStatus.OK, result=node.value, timestamp=node.timestamp
+        )
+        return node.value

@@ -1,0 +1,126 @@
+"""The register client: writer + reader roles in one process.
+
+The register is multi-writer multi-reader, so every client carries both
+protocol sides. The class wires message dispatch to the two mixins and
+exposes ``write(value)`` / ``read()`` as coroutine starters returning
+:class:`~repro.sim.process.OperationHandle` objects.
+
+Clients are sequential (one operation at a time, as the paper's
+pseudo-code assumes); attempting to start an operation while another is in
+flight raises :class:`ProtocolViolationError`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Any, Optional, Sequence
+
+from repro.core.config import SystemConfig
+from repro.core.messages import FlushAck, ReadReply, TsReply, WriteAck, WriteNack
+from repro.core.reader import ABORT, ReaderMixin
+from repro.core.writer import WriterMixin
+from repro.errors import ProtocolViolationError
+from repro.labels.base import LabelingScheme
+from repro.sim.process import OperationHandle, Process
+from repro.spec.history import HistoryRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.environment import SimEnvironment
+
+__all__ = ["RegisterClient", "ABORT"]
+
+
+class RegisterClient(WriterMixin, ReaderMixin, Process):
+    """A correct client of the stabilizing register."""
+
+    def __init__(
+        self,
+        pid: str,
+        env: "SimEnvironment",
+        config: SystemConfig,
+        scheme: LabelingScheme,
+        servers: Sequence[str],
+        recorder: HistoryRecorder,
+    ) -> None:
+        super().__init__(pid, env)
+        self.config = config
+        self.scheme = scheme
+        self.servers = list(servers)
+        self.recorder = recorder
+        self._init_writer()
+        self._init_reader()
+        self._active_op: Optional[OperationHandle] = None
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def on_message(self, src: str, payload: Any) -> None:
+        if isinstance(payload, TsReply):
+            self._on_ts_reply(src, payload)
+        elif isinstance(payload, WriteAck):
+            self._on_write_ack(src, payload)
+        elif isinstance(payload, WriteNack):
+            self._on_write_nack(src, payload)
+        elif isinstance(payload, ReadReply):
+            self._on_read_reply(src, payload)
+        elif isinstance(payload, FlushAck):
+            self._on_flush_ack(src, payload)
+        # anything else (garbage, stale foreign types) is silently dropped
+
+    # ------------------------------------------------------------------
+    # public operations
+    # ------------------------------------------------------------------
+    def write(self, value: Any) -> OperationHandle:
+        """Start ``write(value)``; completion via the returned handle."""
+        self._claim(f"write({value!r})")
+        handle = self.start_operation(
+            self.write_operation(value), name=f"{self.pid}:write({value!r})"
+        )
+        self._release_on_done(handle)
+        return handle
+
+    def read(self) -> OperationHandle:
+        """Start ``read()``; the handle's result is the value or ABORT."""
+        self._claim("read()")
+        handle = self.start_operation(
+            self.read_operation(), name=f"{self.pid}:read()"
+        )
+        self._release_on_done(handle)
+        return handle
+
+    # ------------------------------------------------------------------
+    # sequential-client bookkeeping
+    # ------------------------------------------------------------------
+    def _claim(self, what: str) -> None:
+        if self._active_op is not None and not self._active_op.done:
+            raise ProtocolViolationError(
+                f"{self.pid}: {what} invoked while "
+                f"{self._active_op.name} is still running — clients are "
+                f"sequential"
+            )
+
+    def _release_on_done(self, handle: OperationHandle) -> None:
+        self._active_op = handle
+        handle.on_done(lambda h: setattr(self, "_active_op", None))
+
+    @property
+    def idle(self) -> bool:
+        return self._active_op is None or self._active_op.done
+
+    # ------------------------------------------------------------------
+    # faults
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        super().crash()
+        self.recorder.crashed(self.pid)
+
+    def corrupt_state(self, rng: random.Random) -> None:
+        """Scramble every cross-operation protocol variable.
+
+        In-operation temporaries are reset at the top of each operation
+        (Figures 1-3, lines 01-03), so corrupting the persistent state
+        between operations covers the paper's client-corruption model;
+        corruption *during* an operation is modelled by crashing instead.
+        """
+        self._corrupt_writer_state(rng)
+        self._corrupt_reader_state(rng)

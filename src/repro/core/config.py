@@ -1,0 +1,111 @@
+"""System configuration and derived quorum arithmetic.
+
+All protocol thresholds live here so every module quotes the same numbers:
+
+* ``reply_quorum = n - f`` — both operations proceed on ``n - f`` answers;
+* ``ack_quorum = 2f + 1`` — acknowledgements a write needs (Figure 1);
+* ``witness_threshold = 2f + 1`` — WTsG node weight a read needs;
+* the resilience requirement ``n >= 5f + 1`` (Theorem 2), with an explicit
+  opt-out used only by the Theorem 1 lower-bound experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.labels.base import LabelingScheme
+
+
+@dataclass
+class SystemConfig:
+    """Static parameters of one register deployment.
+
+    Attributes:
+        n: number of servers.
+        f: upper bound on Byzantine servers.
+        scheme: the labeling scheme timestamping writes. ``None`` lets
+            :class:`~repro.core.register.RegisterSystem` build the default
+            Alon et al. scheme with ``k = n + 1`` (the writer computes
+            ``next`` over at most ``n`` gathered timestamps plus its own
+            last one).
+        read_label_count: size of each reader's bounded read-label set
+            (the ``k`` columns of ``recent_labels``); 3 suffices (current,
+            previous, spare) and larger values only speed up label search.
+        old_vals_window: length of each server's sliding ``old_vals``
+            history. The paper stores the last ``n`` writes; Assumption 2
+            (write quiescence) requires bursts no longer than this window.
+        enforce_resilience: when True (default), reject ``n <= 5f``.
+            Lower-bound and sweep experiments set False deliberately.
+        enable_union_graph: ablation toggle (E9). When False the reader
+            skips the union-WTsG fallback and aborts whenever the local
+            graph has no qualified node — isolating how much the
+            ``old_vals`` histories rescue reads concurrent with writes.
+        enable_flush: ablation toggle (E9). When False ``find_read_label``
+            returns immediately without the FLUSH handshake (every server
+            is optimistically safe) — exposing the stale-reply confusions
+            the handshake exists to prevent.
+    """
+
+    n: int
+    f: int
+    scheme: Optional[LabelingScheme] = None
+    read_label_count: int = 3
+    old_vals_window: Optional[int] = None
+    enforce_resilience: bool = True
+    enable_union_graph: bool = True
+    enable_flush: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ConfigurationError(f"need at least one server, got n={self.n}")
+        if self.f < 0:
+            raise ConfigurationError(f"f must be non-negative, got {self.f}")
+        if self.enforce_resilience and self.n < 5 * self.f + 1:
+            raise ConfigurationError(
+                f"stabilizing BFT regular register requires n >= 5f + 1 "
+                f"(Theorem 2); got n={self.n}, f={self.f}. Pass "
+                f"enforce_resilience=False only for lower-bound experiments."
+            )
+        if self.read_label_count < 2:
+            raise ConfigurationError(
+                f"readers need at least two labels to alternate, got "
+                f"{self.read_label_count}"
+            )
+        if self.old_vals_window is None:
+            self.old_vals_window = self.n
+        if self.old_vals_window < 1:
+            raise ConfigurationError(
+                f"old_vals window must be >= 1, got {self.old_vals_window}"
+            )
+
+    # ------------------------------------------------------------------
+    # derived quorums
+    # ------------------------------------------------------------------
+    @property
+    def reply_quorum(self) -> int:
+        """Answers awaited by both phases of both operations: ``n - f``."""
+        return self.n - self.f
+
+    @property
+    def ack_quorum(self) -> int:
+        """Acknowledgements a write needs: ``2f + 1``."""
+        return 2 * self.f + 1
+
+    @property
+    def witness_threshold(self) -> int:
+        """WTsG node weight a read needs: ``2f + 1``."""
+        return 2 * self.f + 1
+
+    @property
+    def server_ids(self) -> list[str]:
+        """Canonical server pids: ``s0 .. s{n-1}``."""
+        return [f"s{i}" for i in range(self.n)]
+
+    def describe(self) -> str:
+        return (
+            f"n={self.n}, f={self.f}, reply_quorum={self.reply_quorum}, "
+            f"ack_quorum={self.ack_quorum}, witnesses={self.witness_threshold}, "
+            f"window={self.old_vals_window}, read_labels={self.read_label_count}"
+        )

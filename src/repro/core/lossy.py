@@ -1,0 +1,31 @@
+"""Register processes over the stabilizing data-link (fair-lossy links).
+
+The paper assumes reliable FIFO channels and points at its reference [8]
+for building them from fair-lossy non-FIFO links. These classes compose
+the two reproductions: the register protocol runs unchanged, every message
+travelling through :class:`~repro.sim.datalink.StabilizingDataLink`.
+
+Used by experiment E10 (substrate overhead) and the data-link integration
+tests::
+
+    system = RegisterSystem(
+        config,
+        channel_factory=lambda: FairLossyChannel(loss=0.2),
+        server_cls=LossyRegisterServer,
+        client_cls=LossyRegisterClient,
+    )
+"""
+
+from __future__ import annotations
+
+from repro.core.client import RegisterClient
+from repro.core.server import RegisterServer
+from repro.sim.datalink import DataLinkMixin
+
+
+class LossyRegisterServer(DataLinkMixin, RegisterServer):
+    """A correct server whose traffic rides the stabilizing data-link."""
+
+
+class LossyRegisterClient(DataLinkMixin, RegisterClient):
+    """A client whose traffic rides the stabilizing data-link."""

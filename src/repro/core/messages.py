@@ -1,0 +1,120 @@
+"""Protocol messages (the wire format of Figures 1-3).
+
+All messages are frozen dataclasses: hashable, comparable, and safely
+shareable between the network's in-flight registry and the fault injector
+(corruption *replaces* payloads rather than mutating them).
+
+Field conventions:
+
+* ``ts`` — a write timestamp: a raw label (SWMR) or an
+  :class:`~repro.labels.ordering.MwmrTimestamp` (MWMR);
+* ``label`` — a *read* label from the reader's small bounded set (an int
+  index into its ``recent_labels`` matrix), unrelated to write timestamps;
+* ``old_vals`` — a tuple of ``(value, ts)`` pairs, most recent first.
+
+Receivers validate every field before use (transient corruption and
+Byzantine senders can put anything here); malformed messages are dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+# ----------------------------------------------------------------------
+# write protocol (Figure 1)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GetTs:
+    """Writer -> servers: first phase, request current timestamps."""
+
+
+@dataclass(frozen=True)
+class TsReply:
+    """Server -> writer: its current timestamp."""
+
+    ts: Any
+
+
+@dataclass(frozen=True)
+class WriteRequest:
+    """Writer -> servers: second phase, the effective write."""
+
+    value: Any
+    ts: Any
+
+
+@dataclass(frozen=True)
+class WriteAck:
+    """Server -> writer: the write's timestamp followed the local one."""
+
+    ts: Any
+
+
+@dataclass(frozen=True)
+class WriteNack:
+    """Server -> writer: the write's timestamp did not follow the local one.
+
+    The server adopts the written pair regardless (Lemma 2 relies on
+    unconditional adoption); the NACK only informs the writer's counting.
+    """
+
+    ts: Any
+
+
+# ----------------------------------------------------------------------
+# read protocol (Figure 2)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ReadRequest:
+    """Reader -> servers: request current value, tagged by a read label."""
+
+    label: int
+    reader: str
+
+
+@dataclass(frozen=True)
+class ReadReply:
+    """Server -> reader: current pair plus the recent-write history.
+
+    Sent on receipt of a :class:`ReadRequest` and *re-sent* on every write
+    applied while the reader appears in the server's ``running_read`` set,
+    so readers concurrent with writes observe fresh values.
+    """
+
+    server: str
+    value: Any
+    ts: Any
+    old_vals: tuple
+    label: int
+
+
+@dataclass(frozen=True)
+class CompleteRead:
+    """Reader -> servers: stop forwarding, the read finished."""
+
+    label: int
+    reader: str
+
+
+# ----------------------------------------------------------------------
+# find_read_label / FLUSH handshake (Figure 3)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Flush:
+    """Reader -> servers: FIFO flush marker for a read label."""
+
+    label: int
+
+
+@dataclass(frozen=True)
+class FlushAck:
+    """Server -> reader: the flush marker reflected back.
+
+    By channel FIFO-ness, once the reflected marker arrives every earlier
+    reply carrying the same label has arrived too, so the label is free.
+    """
+
+    label: int
+    server: str

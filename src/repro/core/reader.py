@@ -1,0 +1,221 @@
+"""The read protocol, client side (Figures 2a and 3a).
+
+A read proceeds as follows:
+
+1. ``find_read_label`` (Figure 3a) — pick the next label of the bounded
+   per-client read-label set (cyclically, never the one just used), send a
+   ``FLUSH`` marker to every server, and wait until at most ``f`` servers
+   still have a pending reply for that label (the ``recent_labels`` column).
+   By channel FIFO-ness, a server's ``FLUSH_ACK`` arriving implies every
+   older reply with that label arrived before it (Lemma 5), so servers
+   acknowledging the flush are *safe*: no stale reply from them can be
+   mistaken for a fresh one. Stuck column entries can only belong to the
+   at most ``f`` Byzantine servers, hence the ``<= f`` exit condition
+   (the paper's "less than f" would deadlock against exactly ``f``
+   silent Byzantine servers; we read it as "at most f").
+2. Send ``READ(label)`` to every safe server; servers becoming safe later
+   (their flush ack was slow) are folded in on arrival and also get a
+   ``READ`` (Figure 3a lines 13-16).
+3. Wait for replies from at least ``n - f`` distinct safe servers. Replies
+   are accepted only from safe servers and only for the current label.
+4. Build the *local* weighted timestamp graph from the replies; if a node
+   carries at least ``2f + 1`` witnesses, return its value. Otherwise
+   build the *union* graph folding in every server's reported history
+   (``recent_vals``, which persists across this client's reads); if a node
+   qualifies there, return it; otherwise the servers are in a transitory
+   phase and the read *aborts*.
+5. Either way, send ``COMPLETE_READ`` so servers stop forwarding writes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.core.messages import (
+    CompleteRead,
+    Flush,
+    FlushAck,
+    ReadReply,
+    ReadRequest,
+)
+from repro.sim.process import Wait
+from repro.spec.history import OpKind, OpStatus
+from repro.wtsg.analysis import build_local_graph, build_union_graph
+
+#: Sentinel returned by aborted reads (servers in a transitory phase).
+ABORT = object()
+
+
+class ReaderMixin:
+    """Read-side state and handlers, mixed into the register client.
+
+    Expects the host class to provide: ``pid``, ``config``, ``scheme``,
+    ``servers``, ``recorder``, ``send``/``broadcast`` and the coroutine
+    machinery of :class:`~repro.sim.process.Process`.
+    """
+
+    def _init_reader(self) -> None:
+        cfg = self.config
+        # recent_labels[server][label] == 1 while a reply tagged `label` may
+        # still arrive from `server` (an n x k matrix in the paper).
+        self.recent_labels: dict[str, list[int]] = {
+            s: [0] * cfg.read_label_count for s in self.servers
+        }
+        # Per-server last reported history window (persists across reads).
+        self.recent_vals: dict[str, tuple] = {}
+        self.last_label: int = cfg.read_label_count - 1
+        self.r_label: int = 0
+        self.reading: bool = False
+        self.safe: set[str] = set()
+        self.slow: set[str] = set()
+        self._replies: list[tuple[str, Any, Any]] = []
+        self._reply_servers: set[str] = set()
+        # Which mechanism answered each read (observability for E7/E9):
+        # the local graph, the union-graph fallback, or an abort.
+        self.read_path_stats = {"local": 0, "union": 0, "abort": 0}
+
+    # ------------------------------------------------------------------
+    # handlers (called from the client's on_message dispatch)
+    # ------------------------------------------------------------------
+    def _valid_read_label(self, label: Any) -> bool:
+        return (
+            isinstance(label, int)
+            and not isinstance(label, bool)
+            and 0 <= label < self.config.read_label_count
+        )
+
+    def _on_read_reply(self, src: str, msg: ReadReply) -> None:
+        if src not in self.servers or not self._valid_read_label(msg.label):
+            return
+        if self.reading and msg.label == self.r_label and src in self.safe:
+            self._replies.append((src, msg.value, msg.ts))
+            self._reply_servers.add(src)
+            self._store_recent_vals(src, msg.old_vals)
+        # Line 27 (Figure 2a): whatever the label, the pending flag clears.
+        self.recent_labels[src][msg.label] = 0
+
+    def _store_recent_vals(self, src: str, old_vals: Any) -> None:
+        """Validate and bound the reported history before keeping it."""
+        if not isinstance(old_vals, tuple):
+            return
+        bounded = tuple(
+            entry
+            for entry in old_vals[: self.config.old_vals_window]
+            if isinstance(entry, tuple) and len(entry) == 2
+        )
+        self.recent_vals[src] = bounded
+
+    def _on_flush_ack(self, src: str, msg: FlushAck) -> None:
+        if src not in self.servers or not self._valid_read_label(msg.label):
+            return
+        # Line 12 (Figure 3a): the label is no longer pending at src.
+        self.recent_labels[src][msg.label] = 0
+        if msg.label != self.r_label:
+            return  # an ack for some older flush
+        # Lines 13-16: src becomes safe for the current operation; if the
+        # read already started, fold it in with its own READ request.
+        self.safe.add(src)
+        self.slow.discard(src)
+        if self.reading:
+            self.send(src, ReadRequest(label=self.r_label, reader=self.pid))
+            self.recent_labels[src][self.r_label] = 1
+
+    # ------------------------------------------------------------------
+    # find_read_label (Figure 3a)
+    # ------------------------------------------------------------------
+    def find_read_label(self) -> Generator[Wait, None, int]:
+        cfg = self.config
+        label = (self.last_label + 1) % cfg.read_label_count  # never the last
+        self.last_label = label
+        self.r_label = label
+        if not cfg.enable_flush:
+            # Ablation E9: skip the handshake; optimistically trust everyone.
+            self.safe = set(self.servers)
+            self.slow = set()
+            return label
+        self.safe = set()
+        self.slow = {
+            s for s in self.servers if self.recent_labels[s][label] == 1
+        }
+        self.broadcast(self.servers, Flush(label=label))
+        yield Wait(
+            lambda: sum(
+                self.recent_labels[s][label] for s in self.servers
+            )
+            <= cfg.f,
+            label=f"find_read_label({label}): column flush",
+        )
+        return label
+
+    # ------------------------------------------------------------------
+    # the operation (Figure 2a)
+    # ------------------------------------------------------------------
+    def read_operation(self) -> Generator[Wait, None, Any]:
+        """Generator implementing ``read()``.
+
+        Returns the read value, or :data:`ABORT` when the servers are in a
+        transitory phase (pre-stabilization only, per Lemma 7).
+        """
+        op = self.recorder.invoked(self.pid, OpKind.READ)
+        cfg = self.config
+
+        self._replies = []
+        self._reply_servers = set()
+        label = yield from self.find_read_label()
+        self.reading = True
+        for s in sorted(self.safe):
+            self.send(s, ReadRequest(label=label, reader=self.pid))
+            self.recent_labels[s][label] = 1
+        yield Wait(
+            lambda: len(self._reply_servers) >= cfg.reply_quorum,
+            label=f"read[{label}]: reply quorum",
+        )
+
+        # Local graph first (line 09); union graph as the fallback (15).
+        graph = build_local_graph(self.scheme, self._replies)
+        node = graph.select_maximal_qualified(cfg.witness_threshold)
+        path = "local"
+        if node is None and cfg.enable_union_graph:
+            union = build_union_graph(
+                self.scheme, self._replies, self.recent_vals
+            )
+            node = union.select_maximal_qualified(cfg.witness_threshold)
+            path = "union"
+        if node is None:
+            path = "abort"
+        self.read_path_stats[path] += 1
+
+        self.reading = False
+        for s in sorted(self.safe):
+            self.send(s, CompleteRead(label=label, reader=self.pid))
+
+        if node is None:
+            self.recorder.responded(op, OpStatus.ABORT)
+            return ABORT
+        self.recorder.responded(
+            op, OpStatus.OK, result=node.value, timestamp=node.timestamp
+        )
+        return node.value
+
+    # ------------------------------------------------------------------
+    # transient faults
+    # ------------------------------------------------------------------
+    def _corrupt_reader_state(self, rng) -> None:
+        cfg = self.config
+        for s in self.servers:
+            self.recent_labels[s] = [
+                rng.randrange(2) for _ in range(cfg.read_label_count)
+            ]
+        self.last_label = rng.randrange(cfg.read_label_count)
+        self.recent_vals = {
+            s: tuple(
+                (
+                    f"corrupt-{rng.getrandbits(24):06x}",
+                    self.scheme.random_label(rng),
+                )
+                for _ in range(rng.randrange(cfg.old_vals_window + 1))
+            )
+            for s in rng.sample(self.servers, rng.randrange(len(self.servers) + 1))
+        }
+        self.safe = set()
+        self.slow = set()

@@ -1,0 +1,262 @@
+"""High-level facade: a runnable stabilizing-register deployment.
+
+:class:`RegisterSystem` assembles the simulation environment, the server
+replicas (substituting Byzantine strategies where requested), the clients,
+and a shared operation history. It offers both asynchronous operation
+starts (returning handles) and synchronous conveniences that drive the
+scheduler until completion — which is what examples, tests and experiment
+harnesses mostly use.
+
+Typical use::
+
+    config = SystemConfig(n=6, f=1)
+    system = RegisterSystem(config, seed=42, n_clients=2)
+    system.write_sync("c0", "hello")
+    assert system.read_sync("c1") == "hello"
+    verdict = system.check_regularity()
+    assert verdict.ok
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+from repro.core.client import ABORT, RegisterClient
+from repro.core.config import SystemConfig
+from repro.core.server import INITIAL_VALUE, RegisterServer
+from repro.errors import ConfigurationError
+from repro.labels.alon import AlonLabelingScheme
+from repro.labels.base import LabelingScheme
+from repro.labels.ordering import MwmrOrdering
+from repro.sim.adversary import Adversary
+from repro.sim.channels import Channel, FifoChannel
+from repro.sim.environment import SimEnvironment
+from repro.sim.process import OperationHandle, Process
+from repro.spec.history import History, HistoryRecorder
+from repro.spec.regularity import RegularityChecker, RegularityVerdict
+
+# A Byzantine server factory: (pid, env, config, scheme) -> Process.
+ServerFactory = Callable[
+    [str, SimEnvironment, SystemConfig, LabelingScheme], Process
+]
+
+
+class RegisterSystem:
+    """One deployed register: servers + clients + history + environment.
+
+    Args:
+        config: quorum configuration (validated for ``n >= 5f + 1`` unless
+            the config opts out).
+        seed: master seed for the run (determinism).
+        n_clients: number of register clients (``c0 .. c{m-1}``); every
+            client can both read and write.
+        adversary: message-delay policy; defaults to unit delays.
+        channel_factory: per-pair channel policy; defaults to reliable
+            FIFO. Use a fair-lossy factory together with data-link-wrapped
+            process classes for the E10 substrate experiments.
+        byzantine: maps a server pid to a factory producing its (Byzantine)
+            replacement process. At most ``config.f`` entries.
+        mwmr: when True (default) timestamps carry writer identities
+            (Section IV-D); False gives the plain SWMR protocol — callers
+            are then responsible for using a single writer.
+        server_cls / client_cls: override the correct-process classes
+            (used to wrap them with the data-link mixin).
+        max_events: scheduler safety cap.
+        env: share an existing simulation environment instead of creating
+            one — several register deployments can then coexist on one
+            scheduler/network (the key-value store shards this way). The
+            ``adversary``/``channel_factory``/``max_events`` arguments are
+            ignored when an environment is supplied.
+        namespace: prefix for every process id of this deployment, so
+            deployments sharing an environment do not collide (e.g.
+            ``namespace="cart:"`` gives servers ``cart:s0`` ...).
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        seed: int = 0,
+        n_clients: int = 2,
+        adversary: Optional[Adversary] = None,
+        channel_factory: Callable[[], Channel] = FifoChannel,
+        byzantine: Optional[dict[str, ServerFactory]] = None,
+        mwmr: bool = True,
+        server_cls: type = RegisterServer,
+        client_cls: type = RegisterClient,
+        max_events: int = 50_000_000,
+        env: Optional[SimEnvironment] = None,
+        namespace: str = "",
+    ) -> None:
+        if n_clients < 1:
+            raise ConfigurationError("need at least one client")
+        byzantine = dict(byzantine or {})
+        if len(byzantine) > config.f:
+            raise ConfigurationError(
+                f"{len(byzantine)} Byzantine servers configured but f={config.f}"
+            )
+        unknown = set(byzantine) - set(config.server_ids)
+        if unknown:
+            raise ConfigurationError(f"unknown Byzantine server ids: {unknown}")
+
+        self.config = config
+        self.seed = seed
+        self.namespace = namespace
+        base_scheme = config.scheme or AlonLabelingScheme(k=config.n + 1)
+        self.scheme: LabelingScheme = (
+            MwmrOrdering(base_scheme) if mwmr else base_scheme
+        )
+        self.env = env if env is not None else SimEnvironment(
+            seed=seed,
+            adversary=adversary,
+            channel_factory=channel_factory,
+            max_events=max_events,
+        )
+        self.history = History()
+        self.recorder = HistoryRecorder(self.history, lambda: self.env.now)
+
+        self.server_ids = [namespace + sid for sid in config.server_ids]
+        self.servers: dict[str, Process] = {}
+        self.byzantine_ids: set[str] = {namespace + sid for sid in byzantine}
+        for sid in config.server_ids:
+            pid = namespace + sid
+            factory = byzantine.get(sid)
+            if factory is not None:
+                self.servers[pid] = factory(pid, self.env, config, self.scheme)
+            else:
+                self.servers[pid] = server_cls(pid, self.env, config, self.scheme)
+
+        self.clients: dict[str, RegisterClient] = {}
+        for i in range(n_clients):
+            cid = f"{namespace}c{i}"
+            self.clients[cid] = client_cls(
+                cid,
+                self.env,
+                config,
+                self.scheme,
+                self.server_ids,
+                self.recorder,
+            )
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def client(self, cid: str) -> RegisterClient:
+        return self.clients[cid]
+
+    def server(self, sid: str) -> Process:
+        return self.servers[sid]
+
+    def correct_servers(self) -> list[RegisterServer]:
+        """The non-Byzantine replicas (for state censuses in experiments)."""
+        return [
+            proc
+            for sid, proc in self.servers.items()
+            if sid not in self.byzantine_ids and isinstance(proc, RegisterServer)
+        ]
+
+    # ------------------------------------------------------------------
+    # asynchronous operations
+    # ------------------------------------------------------------------
+    def write(self, cid: str, value: Any) -> OperationHandle:
+        return self.clients[cid].write(value)
+
+    def read(self, cid: str) -> OperationHandle:
+        return self.clients[cid].read()
+
+    # ------------------------------------------------------------------
+    # synchronous conveniences
+    # ------------------------------------------------------------------
+    def write_sync(self, cid: str, value: Any) -> Any:
+        """Run the scheduler until ``write(value)`` by ``cid`` completes.
+
+        Advances the clock a hair afterwards so the next synchronous
+        operation is strictly later on the fictional global clock.
+        """
+        handle = self.write(cid, value)
+        self.env.run_to_completion(lambda: handle.done)
+        self.env.tick()
+        return handle.result
+
+    def read_sync(self, cid: str) -> Any:
+        """Run the scheduler until ``read()`` by ``cid`` completes.
+
+        Returns the read value, or :data:`ABORT`. Ticks the clock like
+        :meth:`write_sync`.
+        """
+        handle = self.read(cid)
+        self.env.run_to_completion(lambda: handle.done)
+        self.env.tick()
+        return handle.result
+
+    def settle(self) -> int:
+        """Drain all in-flight events (between workload phases)."""
+        return self.env.run()
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def corrupt_servers(self, sids: Optional[Sequence[str]] = None) -> list[str]:
+        """Scramble the state of the given (default: all correct) servers."""
+        rng = self.env.spawn_rng("corrupt-servers")
+        targets = (
+            [self.servers[s] for s in sids]
+            if sids is not None
+            else list(self.correct_servers())
+        )
+        for proc in targets:
+            proc.corrupt_state(rng)
+        return [p.pid for p in targets]
+
+    def corrupt_clients(self, cids: Optional[Sequence[str]] = None) -> list[str]:
+        """Scramble the persistent state of the given (default: all) clients."""
+        rng = self.env.spawn_rng("corrupt-clients")
+        targets = (
+            [self.clients[c] for c in cids]
+            if cids is not None
+            else list(self.clients.values())
+        )
+        for proc in targets:
+            proc.corrupt_state(rng)
+        return [p.pid for p in targets]
+
+    # ------------------------------------------------------------------
+    # verification
+    # ------------------------------------------------------------------
+    def checker(self, **overrides: Any) -> RegularityChecker:
+        """A regularity checker wired to this system's scheme and initial
+        value; keyword overrides pass through to the checker constructor."""
+        kwargs: dict[str, Any] = dict(
+            scheme=self.scheme, initial_value=INITIAL_VALUE
+        )
+        kwargs.update(overrides)
+        return RegularityChecker(**kwargs)
+
+    def check_regularity(self, **overrides: Any) -> RegularityVerdict:
+        """Check the recorded history against the MWMR regular spec."""
+        return self.checker(**overrides).check(self.history)
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def census(self, value: Any, ts: Any) -> int:
+        """How many *correct* servers currently store exactly ``(value, ts)``.
+
+        Lemma 2 predicts at least ``3f + 1`` right after a write completes.
+        """
+        return sum(
+            1
+            for server in self.correct_servers()
+            if server.snapshot() == (value, ts)
+        )
+
+    def read_path_stats(self) -> dict[str, int]:
+        """Aggregate read-path counters across clients (local/union/abort)."""
+        total = {"local": 0, "union": 0, "abort": 0}
+        for client in self.clients.values():
+            for key, count in client.read_path_stats.items():
+                total[key] += count
+        return total
+
+    @property
+    def message_stats(self):
+        return self.env.network.stats

@@ -1,0 +1,149 @@
+"""The write protocol, client side (Figure 1a).
+
+Two phases:
+
+1. **Timestamp gathering** — broadcast ``GET_TS``, collect the current
+   timestamp of at least ``n - f`` servers (one per server: with FIFO
+   channels and a sequential client, at most ``f`` of the collected values
+   can be stale — exactly the slow-server budget Lemma 8's accounting
+   allows), then compute ``next()`` over the gathered set plus the
+   client's own last write timestamp.
+2. **Propagation** — broadcast ``WRITE(value, ts)``; wait for at least
+   ``n - f`` responses of which at least ``2f + 1`` are ACKs. Lemma 1
+   proves the ACK quorum always fills for a *solo* writer; when a
+   concurrent writer's race starves it, both phases retry with a fresh
+   dominating timestamp (see :meth:`WriterMixin.write_operation` and
+   DESIGN.md interpretation #6).
+
+ACK/NACK messages are matched to the operation by their timestamp content
+(a fresh timestamp is never in flight for an older operation — bounded
+labels may recycle, which Assumption 2's quiescence makes safe).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.core.messages import GetTs, TsReply, WriteAck, WriteNack, WriteRequest
+from repro.labels.ordering import MwmrOrdering
+from repro.sim.process import Wait
+from repro.spec.history import OpKind, OpStatus
+
+
+class WriterMixin:
+    """Write-side state and handlers, mixed into the register client.
+
+    Expects the host class to provide: ``pid``, ``config``, ``scheme``,
+    ``servers``, ``recorder``, ``send``/``broadcast`` and the coroutine
+    machinery of :class:`~repro.sim.process.Process`.
+    """
+
+    def _init_writer(self) -> None:
+        # Last timestamp this client used for a write (survives between
+        # operations; transient corruption may scramble it).
+        self.write_ts: Any = self.scheme.initial_label()
+        # Phase-1 state: current timestamps keyed by server.
+        self._wts_by_server: dict[str, Any] = {}
+        self._collecting_ts: bool = False
+        # Phase-2 state: responders keyed by server, matched on timestamp.
+        self._ack_from: set[str] = set()
+        self._nack_from: set[str] = set()
+        self._pending_write_ts: Any = None
+
+    # ------------------------------------------------------------------
+    # handlers (called from the client's on_message dispatch)
+    # ------------------------------------------------------------------
+    def _on_ts_reply(self, src: str, msg: TsReply) -> None:
+        if not self._collecting_ts or src not in self.servers:
+            return
+        if src in self._wts_by_server:
+            return  # keep the first answer of this operation (see module doc)
+        self._wts_by_server[src] = msg.ts
+
+    def _on_write_ack(self, src: str, msg: WriteAck) -> None:
+        if src in self.servers and msg.ts == self._pending_write_ts:
+            self._ack_from.add(src)
+
+    def _on_write_nack(self, src: str, msg: WriteNack) -> None:
+        if src in self.servers and msg.ts == self._pending_write_ts:
+            self._nack_from.add(src)
+
+    # ------------------------------------------------------------------
+    # the operation
+    # ------------------------------------------------------------------
+    def write_operation(
+        self, value: Any
+    ) -> Generator[Wait, None, Any]:
+        """Generator implementing ``write(value)``; returns the timestamp.
+
+        The two phases of Figure 1, wrapped in a retry loop: when the
+        second phase gathers ``n - f`` responses but fewer than ``2f + 1``
+        ACKs, a concurrent write with a timestamp not dominated by ours
+        beat us to the replicas (conditional adoption refused ours). The
+        paper's Lemma 1 proves the ACK quorum always fills for a *solo*
+        writer; Section IV-D's multi-writer modification does not revisit
+        it, and racing writers genuinely starve it (reproduced in the
+        tests). Retrying both phases computes a fresh timestamp that
+        dominates whatever the race installed, so under Assumption-2-style
+        quiescence (finite bursts) some attempt wins every correct
+        replica's ACK. The operation's history record spans all attempts.
+        """
+        op = self.recorder.invoked(self.pid, OpKind.WRITE, argument=value)
+        cfg = self.config
+
+        while True:
+            # -- phase 1: gather current timestamps ----------------------
+            self._wts_by_server = {}
+            self._collecting_ts = True
+            self.broadcast(self.servers, GetTs())
+            yield Wait(
+                lambda: len(self._wts_by_server) >= cfg.reply_quorum,
+                label=f"write({value!r}): ts quorum",
+            )
+            self._collecting_ts = False
+
+            gathered = list(self._wts_by_server.values())
+            if self.scheme.is_label(self.write_ts):
+                gathered.append(self.write_ts)
+            ts = self._make_timestamp(gathered)
+            self.write_ts = ts
+            self._pending_write_ts = ts
+
+            # -- phase 2: propagate --------------------------------------
+            self._ack_from = set()
+            self._nack_from = set()
+            self.broadcast(self.servers, WriteRequest(value=value, ts=ts))
+            yield Wait(
+                lambda: (
+                    len(self._ack_from) + len(self._nack_from)
+                    >= cfg.reply_quorum
+                ),
+                label=f"write({value!r}): response quorum",
+            )
+            if len(self._ack_from) >= cfg.ack_quorum:
+                break
+            # Lost a race against a concurrent write — go again with a
+            # timestamp that dominates the winner.
+
+        self._pending_write_ts = None
+        self.recorder.responded(op, OpStatus.OK, timestamp=ts)
+        return ts
+
+    # ------------------------------------------------------------------
+    def _make_timestamp(self, gathered: list[Any]) -> Any:
+        """``next()`` over the gathered set, carrying the writer identity
+        when the scheme is the MWMR lift (Section IV-D)."""
+        if isinstance(self.scheme, MwmrOrdering):
+            return self.scheme.next_timestamp(
+                self.scheme.valid_labels(gathered), self.pid
+            )
+        return self.scheme.next_label(gathered)
+
+    # ------------------------------------------------------------------
+    # transient faults
+    # ------------------------------------------------------------------
+    def _corrupt_writer_state(self, rng) -> None:
+        self.write_ts = self.scheme.random_label(rng)
+        self._wts_by_server = {}
+        self._ack_from = set()
+        self._nack_from = set()

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of the simulator / protocols with one handler
+while still being able to discriminate precise failure classes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all exceptions raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A system configuration violates a structural requirement.
+
+    Raised, e.g., when a protocol demanding ``n >= 5f + 1`` servers is
+    instantiated with fewer, or when a labeling scheme is built with an
+    inconsistent domain size.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulation kernel reached an inconsistent internal state."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while operations were still pending.
+
+    In an asynchronous-system simulation there are no timeouts; if the queue
+    empties while a client operation is still blocked in a ``wait until``,
+    the run cannot make further progress and this error is raised (unless the
+    caller opted into partial runs).
+    """
+
+
+class LabelSpaceExhaustedError(ReproError):
+    """A bounded labeling scheme could not produce a fresh label.
+
+    For a correctly-sized k-stabilizing bounded labeling system this is
+    impossible for input sets of size at most ``k``; seeing it signals either
+    a misconfiguration (``k`` too small for the quorum sizes in play) or a
+    deliberately corrupted input set larger than ``k``.
+    """
+
+
+class ProtocolViolationError(ReproError):
+    """A *correct* process observed something that must never happen.
+
+    Correct processes are defensive against garbage produced by Byzantine
+    peers or transient corruption, so this error is reserved for genuine
+    local invariant violations (i.e. bugs), not for remote misbehaviour.
+    """
+
+
+class HistoryError(ReproError):
+    """An operation history is malformed (e.g. response without invocation)."""

@@ -1,0 +1,26 @@
+"""Experiment harness.
+
+Machinery shared by all experiments — per-run result bundles
+(:mod:`repro.harness.runner`), latency/abort/message metrics
+(:mod:`repro.harness.metrics`) and ASCII table rendering
+(:mod:`repro.harness.tables`) — plus one module per experiment under
+:mod:`repro.harness.experiments` (see DESIGN.md §4 for the index E1-E10).
+
+Each experiment module exposes ``run(...)`` returning an
+:class:`~repro.harness.runner.ExperimentReport` whose ``table()`` prints
+the rows recorded in EXPERIMENTS.md; the benchmark suite regenerates every
+one of them.
+"""
+
+from repro.harness.runner import RunResult, ExperimentReport, run_register_workload
+from repro.harness.metrics import LatencyStats, history_metrics
+from repro.harness.tables import render_table
+
+__all__ = [
+    "RunResult",
+    "ExperimentReport",
+    "run_register_workload",
+    "LatencyStats",
+    "history_metrics",
+    "render_table",
+]

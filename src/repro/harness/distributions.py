@@ -1,0 +1,111 @@
+"""Latency-distribution analysis: numpy aggregation + text rendering.
+
+Cross-seed sweeps produce thousands of operation latencies; this module
+turns them into distribution summaries and terminal-friendly histograms /
+sparklines, so an experiment can show a *shape* (bimodality from retries,
+partition-stall tails) rather than just a mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.spec.history import History, OpKind, OpStatus
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+@dataclass
+class Distribution:
+    """A latency sample set with summary statistics."""
+
+    samples: np.ndarray
+
+    @classmethod
+    def from_histories(
+        cls, histories: Iterable[History], kind: OpKind | None = None
+    ) -> "Distribution":
+        """Pool completed-operation latencies from many runs."""
+        values: list[float] = []
+        for history in histories:
+            for op in history:
+                if op.status is not OpStatus.OK or op.responded_at is None:
+                    continue
+                if kind is not None and op.kind is not kind:
+                    continue
+                values.append(op.responded_at - op.invoked_at)
+        return cls(samples=np.asarray(values, dtype=float))
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return int(self.samples.size)
+
+    def percentile(self, q: float) -> float:
+        if self.count == 0:
+            return 0.0
+        return float(np.percentile(self.samples, q))
+
+    def summary_row(self) -> tuple:
+        """(count, mean, p50, p90, p99, max) — the standard table row."""
+        if self.count == 0:
+            return (0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        return (
+            self.count,
+            round(float(self.samples.mean()), 2),
+            round(self.percentile(50), 2),
+            round(self.percentile(90), 2),
+            round(self.percentile(99), 2),
+            round(float(self.samples.max()), 2),
+        )
+
+    # ------------------------------------------------------------------
+    def _safe_histogram(self, bins: int) -> tuple[np.ndarray, np.ndarray]:
+        """np.histogram that tolerates constant samples (zero range)."""
+        lo, hi = float(self.samples.min()), float(self.samples.max())
+        # Effectively-constant samples (including float-epsilon spreads from
+        # accumulated clock arithmetic) cannot support `bins` finite-width
+        # bins; pad the range so one bin holds everything.
+        spread = hi - lo
+        min_spread = max(abs(hi), 1.0) * 1e-9 * bins
+        if spread <= min_spread:
+            pad = max(0.5, abs(hi) * 1e-6)
+            return np.histogram(self.samples, bins=bins, range=(lo - pad, hi + pad))
+        return np.histogram(self.samples, bins=bins)
+
+    def histogram(self, bins: int = 12, width: int = 40) -> str:
+        """A horizontal ASCII histogram."""
+        if self.count == 0:
+            return "(no samples)"
+        counts, edges = self._safe_histogram(bins)
+        peak = counts.max() or 1
+        lines = []
+        for count, lo, hi in zip(counts, edges, edges[1:]):
+            bar = "#" * max(1 if count else 0, int(width * count / peak))
+            lines.append(f"{lo:8.2f}–{hi:8.2f} | {bar} {count}")
+        return "\n".join(lines)
+
+    def sparkline(self, bins: int = 24) -> str:
+        """A one-line density sketch (unicode blocks)."""
+        if self.count == 0:
+            return "(no samples)"
+        counts, _ = self._safe_histogram(bins)
+        peak = counts.max() or 1
+        levels = (counts * (len(_BLOCKS) - 1) // peak).astype(int)
+        return "".join(_BLOCKS[level] for level in levels)
+
+
+def compare(
+    labeled: Sequence[tuple[str, Distribution]],
+    headers: tuple[str, ...] = ("count", "mean", "p50", "p90", "p99", "max"),
+) -> str:
+    """A comparison table of several distributions with sparklines."""
+    from repro.harness.tables import render_table
+
+    rows = []
+    for name, dist in labeled:
+        rows.append((name, *dist.summary_row(), dist.sparkline()))
+    return render_table(("series", *headers, "shape"), rows)

@@ -1,0 +1,40 @@
+"""Experiment modules E1-E10 (see DESIGN.md §4 and EXPERIMENTS.md).
+
+Each module exposes ``run(...)`` returning an
+:class:`~repro.harness.runner.ExperimentReport`. Default parameters are
+the "paper-scale" settings used in EXPERIMENTS.md; benchmarks call the
+same functions (sometimes with reduced sizes) so every recorded table is
+regenerable with one call.
+"""
+
+from repro.harness.experiments import (  # noqa: F401
+    e1_lower_bound,
+    e2_correctness,
+    e3_n_sweep,
+    e4_termination,
+    e5_write_propagation,
+    e6_stabilization,
+    e7_labels,
+    e8_comparison,
+    e9_ablations,
+    e10_scalability,
+    e11_atomicity_gap,
+    e12_partitions,
+    e13_label_recycling,
+)
+
+ALL_EXPERIMENTS = {
+    "E1": e1_lower_bound,
+    "E2": e2_correctness,
+    "E3": e3_n_sweep,
+    "E4": e4_termination,
+    "E5": e5_write_propagation,
+    "E6": e6_stabilization,
+    "E7": e7_labels,
+    "E8": e8_comparison,
+    "E9": e9_ablations,
+    "E10": e10_scalability,
+    "E11": e11_atomicity_gap,
+    "E12": e12_partitions,
+    "E13": e13_label_recycling,
+}

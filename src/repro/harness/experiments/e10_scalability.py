@@ -1,0 +1,130 @@
+"""E10 — cost and scalability: messages, latency, and the data-link tax.
+
+Two sweeps:
+
+* **Resilience scaling** — deploy at ``f = 1..3`` (``n = 5f + 1``) and a
+  few super-minimal sizes, run a fixed workload, report messages per
+  operation and operation latency (in message delays). Message complexity
+  is Θ(n) per phase — the table shows the linear growth and the constant
+  round-trip latency (asynchronous quorums don't slow down as n grows,
+  they just cost more messages).
+* **Substrate tax** — the same small workload over (a) reliable FIFO
+  channels (the paper's assumption) and (b) fair-lossy non-FIFO channels
+  with the stabilizing data-link of reference [8] rebuilding FIFO
+  reliability. The data-link multiplies message counts (retransmissions,
+  ack-counting) and stretches latency — quantified here.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.config import SystemConfig
+from repro.core.lossy import LossyRegisterClient, LossyRegisterServer
+from repro.core.register import RegisterSystem
+from repro.harness.metrics import history_metrics, messages_per_operation
+from repro.harness.runner import ExperimentReport, run_register_workload
+from repro.sim.channels import FairLossyChannel
+from repro.workloads.generators import read_heavy_scripts
+
+
+def run(seeds: int = 3, max_f: int = 3) -> ExperimentReport:
+    report = ExperimentReport(
+        experiment="E10",
+        claim="message complexity grows linearly in n; latency stays flat; "
+        "the fair-lossy data-link substrate costs a constant factor",
+        headers=[
+            "configuration",
+            "n",
+            "f",
+            "msgs/op",
+            "write mean latency",
+            "read mean latency",
+            "ops",
+        ],
+    )
+
+    for f in range(1, max_f + 1):
+        n = 5 * f + 1
+        msgs: list[float] = []
+        wl: list[float] = []
+        rl: list[float] = []
+        ops = 0
+        for seed in range(seeds):
+            config = SystemConfig(n=n, f=f)
+            rng = random.Random(seed + 77)
+            scripts = read_heavy_scripts(
+                [f"c{i}" for i in range(3)], rng, ops_per_client=6,
+                write_fraction=0.4,
+            )
+            result = run_register_workload(config, scripts, seed=seed)
+            msgs.append(result.messages_per_op)
+            wl.append(result.metrics.write_latency.mean)
+            rl.append(result.metrics.read_latency.mean)
+            ops += result.metrics.completed_writes + result.metrics.completed_reads
+        report.rows.append(
+            (
+                "fifo channels",
+                n,
+                f,
+                round(sum(msgs) / len(msgs), 1),
+                round(sum(wl) / len(wl), 2),
+                round(sum(rl) / len(rl), 2),
+                ops,
+            )
+        )
+
+    # Substrate comparison at f=1.
+    for substrate in ("fifo", "fair-lossy + data-link"):
+        out = run_substrate(substrate, seeds=seeds)
+        report.rows.append(
+            (
+                substrate,
+                6,
+                1,
+                round(out["msgs_per_op"], 1),
+                round(out["write_mean"], 2),
+                round(out["read_mean"], 2),
+                out["ops"],
+            )
+        )
+    return report
+
+
+def run_substrate(substrate: str, seeds: int = 3, ops_per_client: int = 4) -> dict:
+    """One workload over a chosen channel substrate; aggregated metrics."""
+    msgs: list[float] = []
+    wl: list[float] = []
+    rl: list[float] = []
+    ops = 0
+    aborts = 0
+    for seed in range(seeds):
+        config = SystemConfig(n=6, f=1)
+        kwargs: dict = {}
+        if substrate != "fifo":
+            kwargs = dict(
+                channel_factory=lambda: FairLossyChannel(
+                    loss=0.15, duplication=0.05, fairness_bound=6, jitter=1.5
+                ),
+                server_cls=LossyRegisterServer,
+                client_cls=LossyRegisterClient,
+            )
+        system = RegisterSystem(config, seed=seed, n_clients=2, **kwargs)
+        for i in range(ops_per_client):
+            system.write_sync("c0", f"s{seed}.{i}")
+            system.read_sync("c1")
+        metrics = history_metrics(system.history)
+        msgs.append(
+            messages_per_operation(system.message_stats, system.history)
+        )
+        wl.append(metrics.write_latency.mean)
+        rl.append(metrics.read_latency.mean)
+        ops += metrics.completed_writes + metrics.completed_reads
+        aborts += metrics.aborted_reads
+    return {
+        "msgs_per_op": sum(msgs) / len(msgs),
+        "write_mean": sum(wl) / len(wl),
+        "read_mean": sum(rl) / len(rl),
+        "ops": ops,
+        "aborts": aborts,
+    }

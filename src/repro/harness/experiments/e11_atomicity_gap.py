@@ -1,0 +1,218 @@
+"""E11 (extension) — the register is regular but NOT atomic, mechanized.
+
+The paper implements a *regular* register and leaves atomicity open (its
+reads are one-phase; classical atomicity needs read write-back or a
+second phase). This experiment pins the separation down with a concrete
+execution of the paper's protocol that is **MWMR regular but not
+linearizable** — the canonical new/old inversion:
+
+1. ``w0('old')`` completes everywhere; the Byzantine replica then freezes
+   (keeps ACKing writes but never stores again, presenting ``old``).
+2. ``w1('new')`` starts; its store messages to two correct replicas are
+   parked in the network, so exactly three correct replicas adopt ``new``
+   and the write cannot finish (it waits for its ``n - f``-th response).
+3. ``r1`` samples the three adopters + two stragglers: ``new`` has
+   ``2f+1 = 3`` witnesses and dominates — r1 returns **new**.
+4. ``r2`` (strictly after r1) loses one adopter's reply to the race and
+   samples two adopters + two stragglers + the frozen Byzantine replica:
+   now ``old`` has the three witnesses and ``new`` only two — r2 returns
+   **old**.
+5. The parked messages arrive; ``w1`` completes; later reads see ``new``.
+
+Both reads are concurrent with ``w1``, so regularity permits either value
+— but no linearization can order r1 before r2 with these return values.
+The history passes the :class:`RegularityChecker` and fails
+:func:`check_linearizable`, separating the two specifications on a real
+protocol run rather than a hand-written history.
+
+The same scenario against the ABD baseline (whose reads write back)
+returns consistent values — write-back is exactly the atomicity price the
+paper's one-phase reads avoid (and why its Byzantine readers stay
+harmless; see Concluding Remarks).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.baselines.abd import AbdSystem
+from repro.byzantine.base import ByzantineServer
+from repro.core.config import SystemConfig
+from repro.core.messages import WriteAck
+from repro.core.register import RegisterSystem
+from repro.harness.runner import ExperimentReport
+from repro.sim.adversary import ScriptedAdversary
+from repro.spec.atomicity import check_linearizable
+
+
+class _FreezeControl:
+    """Shared switch for the lazily-freezing Byzantine replica."""
+
+    def __init__(self) -> None:
+        self.frozen = False
+
+    def factory(self):
+        control = self
+
+        class Lazy(ByzantineServer):
+            strategy_name = "lazy-freeze"
+
+            def on_write(self, src, msg):
+                if control.frozen:
+                    self.send(src, WriteAck(ts=msg.ts))
+                    return
+                super().on_write(src, msg)
+
+        return Lazy.factory()
+
+
+def run_inversion_scenario(
+    f: int = 1, seed: int = 0, write_back: bool = False
+) -> dict[str, Any]:
+    """Drive the new/old inversion against the paper's protocol.
+
+    With ``write_back=True`` the clients use the
+    :class:`~repro.core.atomic.AtomicRegisterClient` variant — same
+    adversarial schedule, but r1's write-back installs ``new`` at the
+    straggler replicas before r2 samples them, so the inversion dies.
+    """
+    n = 5 * f + 1
+    phase = {"attack": False, "drop_s0_reply": False}
+
+    def policy(env, rng):
+        kind = type(env.payload).__name__
+        if phase["attack"] and kind == "WriteRequest" and env.dst in ("s3", "s4"):
+            return 200.0  # park w1's store to two correct replicas
+        if (
+            phase["drop_s0_reply"]
+            and kind == "ReadReply"
+            and env.src == "s0"
+            and env.dst == "c1"
+        ):
+            return 200.0  # r2 loses one adopter's reply to the race
+        return 1.0
+
+    freeze = _FreezeControl()
+    client_kwargs: dict[str, Any] = {}
+    if write_back:
+        from repro.core.atomic import AtomicRegisterClient
+
+        client_kwargs["client_cls"] = AtomicRegisterClient
+    system = RegisterSystem(
+        SystemConfig(n=n, f=f),
+        seed=seed,
+        n_clients=2,
+        adversary=ScriptedAdversary(policy),
+        byzantine={f"s{n - 1}": freeze.factory()},
+        **client_kwargs,
+    )
+
+    system.write_sync("c0", "old")
+    freeze.frozen = True
+    phase["attack"] = True
+    w1 = system.write("c0", "new")  # cannot finish while stores are parked
+    system.env.run(until=system.env.now + 10.0)
+    r1 = system.read_sync("c1")
+
+    phase["drop_s0_reply"] = True
+    r2 = system.read_sync("c1")
+    phase["drop_s0_reply"] = False
+
+    # Release the parked messages; w1 completes; the register settles.
+    system.env.run_to_completion(lambda: w1.done)
+    system.env.tick()
+    r3 = system.read_sync("c1")
+
+    regular = system.check_regularity()
+    linearizable = check_linearizable(system.history, initial_value=None)
+    return {
+        "r1": r1,
+        "r2": r2,
+        "r3": r3,
+        "regular": regular.ok,
+        "linearizable": linearizable,
+        "violations": regular.violations,
+    }
+
+
+def run_abd_counterpart(seed: int = 0) -> dict[str, Any]:
+    """The same read pattern against ABD (reads write back): no inversion.
+
+    ABD's second read phase re-installs what the first read chose, so two
+    sequential reads concurrent with one write can never observe
+    new-then-old — the write-back is what buys atomicity.
+    """
+    phase = {"attack": False}
+
+    def policy(env, rng):
+        kind = type(env.payload).__name__
+        if phase["attack"] and kind == "WriteRequest" and env.src == "c0" and env.dst == "s2":
+            return 200.0  # park the write's store to one replica
+        return 1.0
+
+    system = AbdSystem(
+        n=3, f=1, seed=seed, n_clients=2, adversary=ScriptedAdversary(policy)
+    )
+    system.write_sync("c0", "old")
+    phase["attack"] = True
+    w1 = system.write("c0", "new")
+    system.env.run(until=system.env.now + 8.0)
+    r1 = system.read_sync("c1")
+    r2 = system.read_sync("c1")
+    system.env.run_to_completion(lambda: w1.done)
+    system.env.tick()
+    return {
+        "r1": r1,
+        "r2": r2,
+        "no_inversion": not (r1 == "new" and r2 == "old"),
+        "linearizable": check_linearizable(system.history, initial_value=None),
+    }
+
+
+def run() -> ExperimentReport:
+    report = ExperimentReport(
+        experiment="E11",
+        claim=(
+            "the paper's register is regular but not atomic: a real run "
+            "exhibits the new/old inversion; ABD's write-back reads do not"
+        ),
+        headers=["protocol", "r1", "r2", "final read", "regular", "linearizable"],
+    )
+    ours = run_inversion_scenario()
+    report.rows.append(
+        (
+            "stabilizing (paper)",
+            ours["r1"],
+            ours["r2"],
+            ours["r3"],
+            ours["regular"],
+            ours["linearizable"],
+        )
+    )
+    atomic = run_inversion_scenario(write_back=True)
+    report.rows.append(
+        (
+            "stabilizing + write-back reads",
+            atomic["r1"],
+            atomic["r2"],
+            atomic["r3"],
+            atomic["regular"],
+            atomic["linearizable"],
+        )
+    )
+    abd = run_abd_counterpart()
+    report.rows.append(
+        (
+            "abd (write-back reads)",
+            abd["r1"],
+            abd["r2"],
+            "-",
+            True,
+            abd["linearizable"],
+        )
+    )
+    report.notes.append(
+        "both reads run concurrently with the in-flight write, so "
+        "new-then-old is regular-legal; no linearization admits it"
+    )
+    return report

@@ -1,0 +1,85 @@
+"""E5 — Lemma 2: a completed write is stored by at least 3f + 1 correct servers.
+
+The lemma's proof enumerates four Byzantine phase behaviours:
+
+1. answer both write phases;
+2. silent in phase 1 (GET_TS), answering phase 2;
+3. answering phase 1, silent in phase 2 (WRITE);
+4. silent in both (simulated crash);
+
+plus the nastier ack-without-storing strategy. For each case a solo
+writer performs a series of writes; immediately after each completion a
+census counts the correct servers whose *current* ``(value, ts)`` pair is
+exactly the written one. The lemma predicts a minimum of ``3f + 1``
+everywhere.
+"""
+
+from __future__ import annotations
+
+from repro.byzantine.base import ByzantineServer
+from repro.byzantine.strategies import (
+    AckWithoutStoringByzantine,
+    PhaseSilentByzantine,
+    SilentByzantine,
+)
+from repro.core.config import SystemConfig
+from repro.core.register import RegisterSystem
+from repro.harness.runner import ExperimentReport
+
+CASES = [
+    ("1: replies in both phases", ByzantineServer.factory()),
+    (
+        "2: silent in phase 1",
+        PhaseSilentByzantine.factory(silent_on=frozenset({"GetTs"})),
+    ),
+    (
+        "3: silent in phase 2",
+        PhaseSilentByzantine.factory(silent_on=frozenset({"WriteRequest"})),
+    ),
+    ("4: simulates crash", SilentByzantine.factory()),
+    ("5: ACKs without storing", AckWithoutStoringByzantine.factory()),
+]
+
+
+def run(f: int = 1, writes: int = 8, seeds: int = 3) -> ExperimentReport:
+    report = ExperimentReport(
+        experiment="E5",
+        claim="Lemma 2: every completed write is current at >= 3f + 1 correct servers",
+        headers=[
+            "byzantine phase case",
+            "writes",
+            "min census",
+            "mean census",
+            "required (3f+1)",
+            "holds",
+        ],
+    )
+    n = 5 * f + 1
+    required = 3 * f + 1
+    for label, factory in CASES:
+        censuses: list[int] = []
+        for seed in range(seeds):
+            config = SystemConfig(n=n, f=f)
+            system = RegisterSystem(
+                config,
+                seed=seed,
+                n_clients=1,
+                byzantine={f"s{n - i - 1}": factory for i in range(f)},
+            )
+            for i in range(writes):
+                value = f"v{seed}.{i}"
+                ts = system.write_sync("c0", value)
+                censuses.append(system.census(value, ts))
+        min_census = min(censuses)
+        mean_census = sum(censuses) / len(censuses)
+        report.rows.append(
+            (
+                label,
+                len(censuses),
+                min_census,
+                round(mean_census, 2),
+                required,
+                min_census >= required,
+            )
+        )
+    return report

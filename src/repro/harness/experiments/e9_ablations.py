@@ -1,0 +1,296 @@
+"""E9 — ablations of the protocol's design choices.
+
+Three knobs the paper's design motivates, each toggled in isolation:
+
+* **union WTsG** (``enable_union_graph``) — the Section IV-A machinery
+  that lets reads concurrent with writes return instead of aborting.
+  Measured: read abort rate under a concurrent read/write mix. Without
+  the union graph every read that catches the replicas mid-write aborts.
+* **FLUSH handshake** (``enable_flush``) — the Figure 3 label hygiene.
+  Without it the reader trusts every server immediately and stale replies
+  from previous reads (same recycled label) are indistinguishable from
+  fresh ones; under jittery latencies and a stale-replaying Byzantine
+  server this produces stale or inconsistent reads.
+* **old_vals window length** — Assumption 2's memory/burst trade-off
+  (see also E7): longer windows rescue reads concurrent with longer
+  bursts.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.byzantine.strategies import StaleReplayByzantine
+from repro.core.config import SystemConfig
+from repro.harness.runner import ExperimentReport, run_register_workload
+from repro.sim.adversary import UniformLatencyAdversary
+from repro.spec.history import OpKind
+from repro.workloads.generators import ScriptedOp, mixed_scripts, unique_value
+
+
+def _union_ablation(enable: bool, seeds: int, f: int) -> dict:
+    """Reads racing writes under jitter, with a Byzantine reply occupying
+    one quorum slot: a read completing inside a write's propagation window
+    sees the replicas split between old and new value and *needs* the
+    union graph to answer instead of aborting."""
+    n = 5 * f + 1
+    aborts = reads = violations = union_hits = 0
+    for seed in range(seeds):
+        config = SystemConfig(n=n, f=f, enable_union_graph=enable)
+        rng = random.Random(seed * 5 + 2)
+        scripts = mixed_scripts(
+            [f"c{i}" for i in range(4)], rng, ops_per_client=8,
+            write_fraction=0.5, max_gap=0.5,
+        )
+        result = run_register_workload(
+            config,
+            scripts,
+            seed=seed,
+            byzantine={f"s{n - 1}": StaleReplayByzantine.factory()},
+            adversary=UniformLatencyAdversary(0.3, 4.0),
+        )
+        m = result.metrics
+        aborts += m.aborted_reads
+        reads += m.completed_reads + m.aborted_reads
+        union_hits += result.system.read_path_stats()["union"]
+        if result.verdict is not None:
+            violations += len(result.verdict.violations)
+    return {
+        "aborts": aborts,
+        "reads": reads,
+        "violations": violations,
+        "union_hits": union_hits,
+    }
+
+
+class _LazyReplica:
+    """Byzantine replica for the flush attack: behaves correctly until
+    frozen, then keeps ACKing writes without storing them — presenting the
+    frozen (stale) state to every subsequent read while still letting
+    write response-quorums fill."""
+
+    def __init__(self) -> None:
+        self.frozen = False
+
+    def factory(self):
+        from repro.byzantine.base import ByzantineServer
+        from repro.core.messages import WriteAck, WriteRequest
+
+        outer = self
+
+        class Lazy(ByzantineServer):
+            strategy_name = "lazy-freeze"
+
+            def on_write(self, src, msg):
+                if outer.frozen:
+                    self.send(src, WriteAck(ts=msg.ts))
+                    return
+                super().on_write(src, msg)
+
+        return Lazy.factory()
+
+
+def run_flush_attack(enable_flush: bool, park_delay: float, f: int = 1) -> dict:
+    """The Lemma 5 scenario, scripted: a recycled read label meets its own
+    stale reply.
+
+    Timeline (single reader c1, single writer c0, ``k = 2`` read labels):
+
+    1. ``w0`` writes ``old`` — every replica, including the (for now
+       well-behaved) Byzantine one, stores it.
+    2. ``r0`` reads with label 0; server s0's reply is *parked* in the
+       network for ``park_delay``. r0 completes on the other replicas.
+    3. ``r1`` reads with label 1 (the label set wraps: the next read
+       reuses label 0).
+    4. The Byzantine replica freezes (ACKs future writes, stores nothing).
+    5. ``w1`` writes ``new``; its store to s1 is parked too, so s1 still
+       holds ``old``. The write completes — response quorum n-f via
+       s0, s2, s3, s4 + the frozen replica's fake ACK.
+    6. ``r2`` reads, reusing label 0. Without the FLUSH handshake, s0's
+       parked *stale* label-0 reply (value ``old``) is indistinguishable
+       from a fresh one: stale-s0 + straggler-s1 + frozen-Byzantine make
+       ``old`` reach 2f+1 witnesses and the completed ``w1`` is unread —
+       a validity violation. With the handshake, FIFO-ness forces the
+       stale reply to drain *before* s0 becomes safe, so r2 counts only
+       s0's fresh reply and returns ``new`` (Lemma 5).
+
+    The caller sweeps ``park_delay`` so the attack's race lands inside
+    r2's window under either configuration's timing.
+    """
+    from repro.core.register import RegisterSystem
+    from repro.sim.adversary import ScriptedAdversary
+
+    n = 5 * f + 1
+    parked = {"done": False}
+
+    def policy(env, rng):
+        kind = type(env.payload).__name__
+        if (
+            not parked["done"]
+            and env.src == "s0"
+            and env.dst == "c1"
+            and kind == "ReadReply"
+        ):
+            parked["done"] = True
+            return park_delay
+        if policy.attack_phase and env.dst == "s1" and kind == "WriteRequest":
+            return 500.0  # s1 stays a straggler holding "old"
+        if (
+            policy.attack_phase
+            and env.src == "s4"
+            and env.dst == "c1"
+            and kind == "ReadReply"
+        ):
+            # Park s4's reply so r2's n-f quorum must wait for a fifth
+            # distinct replier — which is exactly s0's parked stale reply.
+            return 500.0
+        return 1.0
+
+    policy.attack_phase = False
+    lazy = _LazyReplica()
+    config = SystemConfig(
+        n=n, f=f, enable_flush=enable_flush, read_label_count=2
+    )
+    system = RegisterSystem(
+        config,
+        seed=0,
+        n_clients=2,
+        adversary=ScriptedAdversary(policy),
+        byzantine={f"s{n - 1}": lazy.factory()},
+    )
+    system.write_sync("c0", "old")
+    r0 = system.read_sync("c1")
+    r1 = system.read_sync("c1")
+    lazy.frozen = True
+    policy.attack_phase = True
+    system.write_sync("c0", "new")
+    r2 = system.read_sync("c1")
+    verdict = system.check_regularity(check_termination=False)
+    return {"r0": r0, "r1": r1, "r2": r2, "ok": verdict.ok}
+
+
+def _flush_ablation(enable: bool, seeds: int, f: int) -> dict:
+    n = 5 * f + 1
+    aborts = reads = violations = 0
+    for seed in range(seeds):
+        config = SystemConfig(
+            n=n, f=f, enable_flush=enable, read_label_count=2
+        )
+        rng = random.Random(seed * 3 + 9)
+        scripts = {
+            "c0": [
+                ScriptedOp(OpKind.WRITE, unique_value("c0", i), 0.5)
+                for i in range(6)
+            ],
+            "c1": [ScriptedOp(OpKind.READ, delay=0.0) for _ in range(12)],
+            "c2": [ScriptedOp(OpKind.READ, delay=0.2) for _ in range(12)],
+        }
+        result = run_register_workload(
+            config,
+            scripts,
+            seed=seed,
+            byzantine={f"s{n - 1}": StaleReplayByzantine.factory()},
+            adversary=UniformLatencyAdversary(0.2, 10.0),
+        )
+        m = result.metrics
+        aborts += m.aborted_reads
+        reads += m.completed_reads + m.aborted_reads
+        if result.verdict is not None:
+            violations += len(result.verdict.violations)
+    return {"aborts": aborts, "reads": reads, "violations": violations}
+
+
+def _window_ablation(window: int, burst: int, seeds: int, f: int) -> dict:
+    """Slow readers straddling a fast write burst: a union-path read needs
+    a value common to every sampled replica's history window, so windows
+    shorter than the number of writes a read straddles abort it."""
+    n = 5 * f + 1
+    aborts = reads = union_hits = 0
+    for seed in range(seeds):
+        config = SystemConfig(n=n, f=f, old_vals_window=window)
+        scripts = {
+            "c0": [
+                ScriptedOp(OpKind.WRITE, unique_value("c0", i), 0.0)
+                for i in range(burst)
+            ],
+            "c1": [ScriptedOp(OpKind.READ, delay=0.3) for _ in range(burst)],
+            "c2": [ScriptedOp(OpKind.READ, delay=0.9) for _ in range(burst)],
+        }
+        result = run_register_workload(
+            config,
+            scripts,
+            seed=seed,
+            byzantine={f"s{n - 1}": StaleReplayByzantine.factory()},
+            adversary=UniformLatencyAdversary(0.3, 8.0),
+        )
+        m = result.metrics
+        aborts += m.aborted_reads
+        reads += m.completed_reads + m.aborted_reads
+        union_hits += result.system.read_path_stats()["union"]
+    return {"aborts": aborts, "reads": reads, "union_hits": union_hits}
+
+
+def run(f: int = 1, seeds: int = 4) -> ExperimentReport:
+    report = ExperimentReport(
+        experiment="E9",
+        claim="each design ingredient earns its place",
+        headers=["ablation", "setting", "reads", "aborts", "violations", "union-path reads"],
+    )
+    for enable in (True, False):
+        out = _union_ablation(enable, seeds, f)
+        report.rows.append(
+            (
+                "union WTsG",
+                "on" if enable else "OFF",
+                out["reads"],
+                out["aborts"],
+                out["violations"],
+                out["union_hits"] if enable else "-",
+            )
+        )
+    for enable in (True, False):
+        out = _flush_ablation(enable, seeds, f)
+        report.rows.append(
+            (
+                "FLUSH handshake (random)",
+                "on" if enable else "OFF",
+                out["reads"],
+                out["aborts"],
+                out["violations"],
+                "-",
+            )
+        )
+    # The adversarial schedule (Lemma 5 mechanized): sweep the park delay
+    # so the stale reply lands inside the label-reusing read's window.
+    for enable in (True, False):
+        attacks = 0
+        stale_reads = 0
+        for step in range(16):
+            park = 5.0 + 0.5 * step
+            out = run_flush_attack(enable, park, f=f)
+            attacks += 1
+            if out["r2"] == "old" or not out["ok"]:
+                stale_reads += 1
+        report.rows.append(
+            (
+                "FLUSH handshake (Lemma 5 attack)",
+                "on" if enable else "OFF",
+                attacks,
+                "-",
+                stale_reads,
+                "-",
+            )
+        )
+    for window, burst in ((12, 10), (6, 10), (3, 10), (1, 10)):
+        out = _window_ablation(window, burst, seeds, f)
+        report.rows.append(
+            (
+                "old_vals window",
+                f"window={window}, burst={burst}",
+                out["reads"],
+                out["aborts"],
+                "-",
+                out["union_hits"],
+            )
+        )
+    return report

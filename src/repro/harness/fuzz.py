@@ -1,0 +1,223 @@
+"""Schedule fuzzing: hunt for specification violations, Jepsen-style.
+
+Every trial samples a random hostile configuration — latency regime,
+Byzantine strategy, corruption instants and severities, client crashes,
+workload shape — runs it, and judges the history. A violation is a
+*witness*: the trial's full recipe is returned so the failure replays
+deterministically.
+
+Expected outcomes (and what the fuzzer is for):
+
+* at ``n >= 5f + 1`` the fuzzer should come back empty however long it
+  runs — every witness is a bug in the protocol, the simulator or the
+  checker and gets a reproducer for free;
+* at ``n <= 5f`` it should find witnesses (the E3 boundary, explored
+  adversarially rather than by a fixed sweep).
+
+Used by ``python -m repro fuzz`` and the validation tests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.byzantine.strategies import STRATEGY_ZOO
+from repro.core.config import SystemConfig
+from repro.core.register import RegisterSystem
+from repro.sim.adversary import FixedLatencyAdversary, UniformLatencyAdversary
+from repro.spec.stabilization import evaluate_stabilization
+from repro.workloads.generators import mixed_scripts, read_heavy_scripts, run_scripts
+from repro.workloads.schedules import corruption_schedule, crash_schedule
+
+
+@dataclass(frozen=True)
+class TrialRecipe:
+    """Everything needed to replay one fuzz trial deterministically."""
+
+    seed: int
+    n: int
+    f: int
+    n_clients: int
+    ops_per_client: int
+    workload: str  # "mixed" | "read-heavy"
+    strategy: str  # STRATEGY_ZOO key
+    latency: tuple[float, float]  # (lo, hi); lo == hi means fixed
+    corrupt_at_start: bool
+    strike_times: tuple[float, ...]
+    strike_severity: float
+    crash: Optional[tuple[float, str]]  # (time, client) or None
+
+
+@dataclass
+class Witness:
+    """A violating trial with its forensic summary."""
+
+    recipe: TrialRecipe
+    kind: str  # "violation" | "stuck" | "not-stabilized"
+    detail: str
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate outcome of a fuzz campaign."""
+
+    trials: int
+    witnesses: list[Witness] = field(default_factory=list)
+    reads_checked: int = 0
+    aborts: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.witnesses
+
+    def summary(self) -> str:
+        status = "CLEAN" if self.clean else f"{len(self.witnesses)} WITNESSES"
+        return (
+            f"{status} over {self.trials} trials "
+            f"({self.reads_checked} reads judged, {self.aborts} aborts)"
+        )
+
+
+def sample_recipe(
+    rng: random.Random, n: int, f: int, trial_seed: int
+) -> TrialRecipe:
+    """Draw one hostile configuration."""
+    if rng.random() < 0.5:
+        lo = round(rng.uniform(0.2, 1.0), 2)
+        latency = (lo, round(lo + rng.uniform(0.5, 4.0), 2))
+    else:
+        latency = (1.0, 1.0)
+    strikes: tuple[float, ...] = ()
+    if rng.random() < 0.6:
+        strikes = tuple(
+            sorted(round(rng.uniform(5.0, 40.0), 1) for _ in range(rng.randint(1, 2)))
+        )
+    n_clients = rng.randint(2, 4)
+    crash = None
+    if rng.random() < 0.3:
+        crash = (
+            round(rng.uniform(3.0, 30.0), 1),
+            f"c{rng.randrange(n_clients)}",
+        )
+    return TrialRecipe(
+        seed=trial_seed,
+        n=n,
+        f=f,
+        n_clients=n_clients,
+        ops_per_client=rng.randint(4, 8),
+        workload=rng.choice(["mixed", "read-heavy"]),
+        strategy=rng.choice(sorted(STRATEGY_ZOO)),
+        latency=latency,
+        corrupt_at_start=rng.random() < 0.7,
+        strike_times=strikes,
+        strike_severity=round(rng.uniform(0.3, 1.0), 2),
+        crash=crash,
+    )
+
+
+def run_trial(recipe: TrialRecipe) -> Optional[Witness]:
+    """Execute one recipe; return a witness iff it misbehaved."""
+    config = SystemConfig(
+        n=recipe.n, f=recipe.f, enforce_resilience=False
+    )
+    lo, hi = recipe.latency
+    adversary = (
+        FixedLatencyAdversary(lo)
+        if lo == hi
+        else UniformLatencyAdversary(lo, hi)
+    )
+    byz = {
+        f"s{recipe.n - i - 1}": STRATEGY_ZOO[recipe.strategy].factory()
+        for i in range(recipe.f)
+    }
+    system = RegisterSystem(
+        config,
+        seed=recipe.seed,
+        n_clients=recipe.n_clients,
+        adversary=adversary,
+        byzantine=byz,
+    )
+
+    last_fault = 0.0
+    if recipe.corrupt_at_start:
+        system.corrupt_servers()
+        system.corrupt_clients()
+    if recipe.strike_times:
+        corruption_schedule(
+            system,
+            recipe.strike_times,
+            server_fraction=recipe.strike_severity,
+            client_fraction=recipe.strike_severity,
+        ).arm(system.env)
+        last_fault = max(recipe.strike_times)
+    if recipe.crash is not None:
+        crash_schedule(system, [recipe.crash]).arm(system.env)
+
+    maker = mixed_scripts if recipe.workload == "mixed" else read_heavy_scripts
+    scripts = maker(
+        [f"c{i}" for i in range(recipe.n_clients)],
+        random.Random(recipe.seed ^ 0x5EED),
+        ops_per_client=recipe.ops_per_client,
+    )
+    run_scripts(system, scripts)
+
+    # Post-fault probe: guarantee a convergence anchor and suffix reads,
+    # issued by a client that did not crash.
+    crashed = recipe.crash[1] if recipe.crash else None
+    probers = [c for c in system.clients if c != crashed]
+    system.write_sync(probers[0], f"probe-{recipe.seed}")
+    for _ in range(2):
+        system.read_sync(probers[-1])
+
+    faulted = recipe.corrupt_at_start or bool(recipe.strike_times)
+    if faulted:
+        report = evaluate_stabilization(
+            system.history, system.checker(), last_fault_time=last_fault
+        )
+        run_trial.last_stats = (
+            report.suffix_verdict.checked_reads if report.suffix_verdict else 0,
+            report.suffix_verdict.aborted_reads if report.suffix_verdict else 0,
+        )
+        if not report.stabilized:
+            return Witness(
+                recipe=recipe,
+                kind="not-stabilized",
+                detail=report.summary(),
+            )
+        return None
+    verdict = system.check_regularity()
+    run_trial.last_stats = (verdict.checked_reads, verdict.aborted_reads)
+    if not verdict.ok:
+        return Witness(
+            recipe=recipe, kind="violation", detail=verdict.summary()
+        )
+    return None
+
+
+run_trial.last_stats = (0, 0)
+
+
+def fuzz(
+    trials: int = 50,
+    n: int = 6,
+    f: int = 1,
+    master_seed: int = 0,
+    stop_at_first: bool = False,
+) -> FuzzReport:
+    """Run a fuzz campaign; see module docstring for the contract."""
+    rng = random.Random(master_seed)
+    report = FuzzReport(trials=0)
+    for trial in range(trials):
+        recipe = sample_recipe(rng, n=n, f=f, trial_seed=rng.getrandbits(30))
+        witness = run_trial(recipe)
+        reads, aborts = run_trial.last_stats
+        report.trials += 1
+        report.reads_checked += reads
+        report.aborts += aborts
+        if witness is not None:
+            report.witnesses.append(witness)
+            if stop_at_first:
+                break
+    return report

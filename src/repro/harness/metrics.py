@@ -1,0 +1,102 @@
+"""Run metrics: operation latency, abort rates, message complexity.
+
+Latency is measured in simulation time units; under the default
+:class:`~repro.sim.adversary.FixedLatencyAdversary` one unit is one
+message delay, so a two-round-trip operation reads as latency 4.0.
+NumPy does the aggregation — sweeps produce thousands of samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.spec.history import History, OpKind, OpStatus
+
+
+@dataclass
+class LatencyStats:
+    """Summary statistics over a latency sample set."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    maximum: float
+
+    @classmethod
+    def from_samples(cls, samples: list[float]) -> "LatencyStats":
+        if not samples:
+            return cls(count=0, mean=0.0, p50=0.0, p95=0.0, maximum=0.0)
+        arr = np.asarray(samples, dtype=float)
+        return cls(
+            count=int(arr.size),
+            mean=float(arr.mean()),
+            p50=float(np.percentile(arr, 50)),
+            p95=float(np.percentile(arr, 95)),
+            maximum=float(arr.max()),
+        )
+
+    def row(self) -> tuple:
+        return (
+            self.count,
+            round(self.mean, 2),
+            round(self.p50, 2),
+            round(self.p95, 2),
+            round(self.maximum, 2),
+        )
+
+
+@dataclass
+class HistoryMetrics:
+    """Per-run operation metrics derived from the history."""
+
+    write_latency: LatencyStats
+    read_latency: LatencyStats
+    completed_writes: int
+    completed_reads: int
+    aborted_reads: int
+    pending_ops: int
+
+    @property
+    def abort_rate(self) -> float:
+        total = self.completed_reads + self.aborted_reads
+        return self.aborted_reads / total if total else 0.0
+
+
+def history_metrics(history: History) -> HistoryMetrics:
+    """Aggregate operation metrics for one history."""
+    write_samples: list[float] = []
+    read_samples: list[float] = []
+    completed_writes = completed_reads = aborted = pending = 0
+    for op in history:
+        if op.status is OpStatus.PENDING:
+            pending += 1
+            continue
+        if op.responded_at is None:
+            continue
+        latency = op.responded_at - op.invoked_at
+        if op.kind is OpKind.WRITE and op.status is OpStatus.OK:
+            completed_writes += 1
+            write_samples.append(latency)
+        elif op.kind is OpKind.READ and op.status is OpStatus.OK:
+            completed_reads += 1
+            read_samples.append(latency)
+        elif op.kind is OpKind.READ and op.status is OpStatus.ABORT:
+            aborted += 1
+    return HistoryMetrics(
+        write_latency=LatencyStats.from_samples(write_samples),
+        read_latency=LatencyStats.from_samples(read_samples),
+        completed_writes=completed_writes,
+        completed_reads=completed_reads,
+        aborted_reads=aborted,
+        pending_ops=pending,
+    )
+
+
+def messages_per_operation(stats: Any, history: History) -> float:
+    """Average messages sent per completed operation."""
+    done = sum(1 for op in history if op.complete)
+    return stats.total_sent / done if done else float(stats.total_sent)

@@ -1,0 +1,80 @@
+"""Profiling helpers (the optimization-guide workflow: measure first).
+
+``profile_callable`` wraps :mod:`cProfile` and returns the top cumulative
+entries as structured rows; the CLI exposes it as
+``python -m repro profile E2`` so a contributor can see where an
+experiment's time goes before touching anything.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from dataclasses import dataclass
+from typing import Any, Callable
+
+
+@dataclass
+class ProfileRow:
+    """One pstats line, structured."""
+
+    ncalls: str
+    tottime: float
+    cumtime: float
+    location: str
+
+
+@dataclass
+class ProfileResult:
+    """Outcome of a profiled call."""
+
+    value: Any
+    total_time: float
+    rows: list[ProfileRow]
+
+    def table(self, limit: int = 15) -> str:
+        lines = [
+            f"total {self.total_time:.3f}s — top {min(limit, len(self.rows))} "
+            f"by cumulative time",
+            f"{'ncalls':>10s} {'tottime':>9s} {'cumtime':>9s}  location",
+        ]
+        for row in self.rows[:limit]:
+            lines.append(
+                f"{row.ncalls:>10s} {row.tottime:9.3f} {row.cumtime:9.3f}  "
+                f"{row.location}"
+            )
+        return "\n".join(lines)
+
+
+def profile_callable(
+    fn: Callable[[], Any], top: int = 30
+) -> ProfileResult:
+    """Run ``fn`` under cProfile; return its result plus the hot spots."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        value = fn()
+    finally:
+        profiler.disable()
+
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats(pstats.SortKey.CUMULATIVE)
+
+    rows: list[ProfileRow] = []
+    for func, (cc, nc, tottime, cumtime, _callers) in stats.stats.items():
+        filename, lineno, name = func
+        location = f"{filename.rsplit('/', 1)[-1]}:{lineno}({name})"
+        ncalls = str(nc) if cc == nc else f"{nc}/{cc}"
+        rows.append(
+            ProfileRow(
+                ncalls=ncalls,
+                tottime=tottime,
+                cumtime=cumtime,
+                location=location,
+            )
+        )
+    rows.sort(key=lambda r: r.cumtime, reverse=True)
+    total = stats.total_tt
+    return ProfileResult(value=value, total_time=total, rows=rows[:top])

@@ -1,0 +1,153 @@
+"""Run bundles and the generic register-workload runner.
+
+``run_register_workload`` is the workhorse most experiments call: build a
+system, optionally corrupt it, drive a workload, evaluate regularity and
+pseudo-stabilization, and bundle every metric an experiment might tabulate
+into one :class:`RunResult`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.core.config import SystemConfig
+from repro.core.register import RegisterSystem, ServerFactory
+from repro.harness.metrics import (
+    HistoryMetrics,
+    history_metrics,
+    messages_per_operation,
+)
+from repro.harness.tables import render_table
+from repro.sim.adversary import Adversary
+from repro.spec.history import History
+from repro.spec.regularity import RegularityVerdict
+from repro.spec.stabilization import StabilizationReport, evaluate_stabilization
+from repro.workloads.generators import ScriptedOp, run_scripts
+
+
+@dataclass
+class RunResult:
+    """Everything one run produced."""
+
+    system: Any
+    history: History
+    verdict: Optional[RegularityVerdict]
+    stabilization: Optional[StabilizationReport]
+    metrics: HistoryMetrics
+    messages_per_op: float
+
+    @property
+    def ok(self) -> bool:
+        if self.stabilization is not None:
+            return self.stabilization.stabilized
+        return bool(self.verdict and self.verdict.ok)
+
+
+@dataclass
+class ExperimentReport:
+    """A titled set of table rows, printable and machine-checkable."""
+
+    experiment: str
+    claim: str
+    headers: list[str]
+    rows: list[Sequence[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def table(self) -> str:
+        body = render_table(
+            self.headers, self.rows, title=f"{self.experiment}: {self.claim}"
+        )
+        if self.notes:
+            body += "\n" + "\n".join(f"  note: {n}" for n in self.notes)
+        return body
+
+    def row_dicts(self) -> list[dict[str, Any]]:
+        return [dict(zip(self.headers, row)) for row in self.rows]
+
+    def to_csv(self) -> str:
+        """The rows as CSV (for plotting pipelines outside this repo)."""
+        import csv
+        import io
+
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(self.headers)
+        for row in self.rows:
+            writer.writerow(list(row))
+        return buf.getvalue()
+
+
+def run_register_workload(
+    config: SystemConfig,
+    scripts: dict[str, list[ScriptedOp]],
+    seed: int = 0,
+    n_clients: Optional[int] = None,
+    byzantine: Optional[dict[str, ServerFactory]] = None,
+    adversary: Optional[Adversary] = None,
+    corrupt_at_start: bool = False,
+    corruption_times: Sequence[float] = (),
+    corrupt_channels: bool = False,
+    corruption_severity: float = 1.0,
+    evaluate_suffix: bool = True,
+    mwmr: bool = True,
+    system_kwargs: Optional[dict[str, Any]] = None,
+) -> RunResult:
+    """Build, fault, drive and judge one register run.
+
+    ``corrupt_at_start`` scrambles all correct servers and clients before
+    any event fires (the paper's arbitrary-initial-configuration model);
+    ``corruption_times`` adds mid-run transient strikes. The suffix
+    evaluation anchors on the last fault instant.
+    """
+    n_clients = n_clients if n_clients is not None else len(scripts)
+    system = RegisterSystem(
+        config,
+        seed=seed,
+        n_clients=n_clients,
+        byzantine=byzantine,
+        adversary=adversary,
+        mwmr=mwmr,
+        **(system_kwargs or {}),
+    )
+
+    last_fault = 0.0
+    if corrupt_at_start:
+        system.corrupt_servers()
+        system.corrupt_clients()
+    if corruption_times:
+        from repro.workloads.schedules import corruption_schedule
+
+        corruption_schedule(
+            system,
+            corruption_times,
+            server_fraction=corruption_severity,
+            client_fraction=corruption_severity,
+            corrupt_channels=corrupt_channels,
+        ).arm(system.env)
+        last_fault = max(corruption_times)
+
+    run_scripts(system, scripts)
+
+    faulted = corrupt_at_start or bool(corruption_times)
+    verdict = None
+    stabilization = None
+    if evaluate_suffix and faulted:
+        stabilization = evaluate_stabilization(
+            system.history, system.checker(), last_fault_time=last_fault
+        )
+        verdict = stabilization.suffix_verdict
+    else:
+        verdict = system.check_regularity()
+
+    return RunResult(
+        system=system,
+        history=system.history,
+        verdict=verdict,
+        stabilization=stabilization,
+        metrics=history_metrics(system.history),
+        messages_per_op=messages_per_operation(
+            system.message_stats, system.history
+        ),
+    )

@@ -1,0 +1,45 @@
+"""Plain-text table rendering for experiment reports.
+
+Every experiment prints its rows through :func:`render_table`, so the
+benchmark output is uniform and diffable against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}".rstrip("0").rstrip(".")
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    return str(cell)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        padded = [
+            (row[i] if i < len(row) else "").ljust(widths[i])
+            for i in range(len(widths))
+        ]
+        lines.append(" | ".join(padded))
+    return "\n".join(lines)

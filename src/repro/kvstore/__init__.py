@@ -1,0 +1,17 @@
+"""A stabilizing BFT key-value store, sharded over register deployments.
+
+The paper builds one register; a storage *service* needs many named
+objects. :class:`~repro.kvstore.store.StabilizingKVStore` composes them:
+each key gets its own register deployment (servers + clients under a
+per-key namespace), all sharing one simulation environment — faults,
+adversaries and the clock are global, exactly like one cloud provider
+hosting many customers' objects.
+
+Every per-key register inherits the paper's guarantees independently:
+``n >= 5f + 1`` replicas per shard, pseudo-stabilization after transient
+corruption, tolerance of ``f`` Byzantine replicas per shard.
+"""
+
+from repro.kvstore.store import StabilizingKVStore
+
+__all__ = ["StabilizingKVStore"]

@@ -1,0 +1,165 @@
+"""The key-value store facade.
+
+Design: one register deployment per key, created lazily, all on one
+shared :class:`~repro.sim.environment.SimEnvironment`. Shards are
+independent failure domains (per-shard Byzantine budget and state), but
+share the global clock and network adversary — a fault schedule striking
+"the datacenter" can scramble every shard at once, and each shard then
+re-stabilizes on its own next write.
+
+This is deliberately a *composition*, not a new protocol: the correctness
+story is exactly the paper's, applied per key. The store adds the service
+plumbing a downstream user expects — ``put``/``get``/``keys``, store-wide
+fault injection, and a store-wide audit that checks every shard's history.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.core.client import ABORT
+from repro.core.config import SystemConfig
+from repro.core.register import RegisterSystem, ServerFactory
+from repro.sim.adversary import Adversary
+from repro.sim.environment import SimEnvironment
+from repro.spec.regularity import RegularityVerdict
+from repro.spec.stabilization import StabilizationReport, evaluate_stabilization
+
+
+class StabilizingKVStore:
+    """A keyspace of stabilizing BFT registers.
+
+    Args:
+        n / f: per-shard replication (validated per the paper's bound).
+        seed: master seed for the shared environment.
+        clients_per_key: clients provisioned per shard (``put``/``get``
+            take a client index below this).
+        adversary: shared network-delay policy.
+        byzantine_factory: optional — when given, every shard gets ``f``
+            Byzantine replicas built by this factory (the "compromised
+            provider" scenario).
+    """
+
+    def __init__(
+        self,
+        n: int = 6,
+        f: int = 1,
+        seed: int = 0,
+        clients_per_key: int = 2,
+        adversary: Optional[Adversary] = None,
+        byzantine_factory: Optional[ServerFactory] = None,
+    ) -> None:
+        self.n = n
+        self.f = f
+        self.seed = seed
+        self.clients_per_key = clients_per_key
+        self.byzantine_factory = byzantine_factory
+        self.env = SimEnvironment(seed=seed, adversary=adversary)
+        self.shards: dict[str, RegisterSystem] = {}
+        self._fault_times: list[float] = []
+
+    # ------------------------------------------------------------------
+    # sharding
+    # ------------------------------------------------------------------
+    def shard(self, key: str) -> RegisterSystem:
+        """The register deployment backing ``key`` (created on first use)."""
+        system = self.shards.get(key)
+        if system is None:
+            if ":" in key:
+                raise ValueError(f"keys must not contain ':': {key!r}")
+            byz = None
+            if self.byzantine_factory is not None:
+                byz = {
+                    f"s{self.n - i - 1}": self.byzantine_factory
+                    for i in range(self.f)
+                }
+            system = RegisterSystem(
+                SystemConfig(n=self.n, f=self.f),
+                seed=self.seed,
+                n_clients=self.clients_per_key,
+                byzantine=byz,
+                env=self.env,
+                namespace=f"{key}:",
+            )
+            self.shards[key] = system
+        return system
+
+    def keys(self) -> list[str]:
+        return sorted(self.shards)
+
+    def _client(self, key: str, client: int) -> str:
+        if not 0 <= client < self.clients_per_key:
+            raise ValueError(
+                f"client index {client} out of range "
+                f"(clients_per_key={self.clients_per_key})"
+            )
+        return f"{key}:c{client}"
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def put(self, key: str, value: Any, client: int = 0) -> Any:
+        """Write ``value`` under ``key``; returns the write timestamp."""
+        system = self.shard(key)
+        return system.write_sync(self._client(key, client), value)
+
+    def get(self, key: str, client: int = 0) -> Any:
+        """Read ``key``; returns the value, :data:`ABORT`, or the initial
+        ``None`` when nothing was ever written."""
+        system = self.shard(key)
+        return system.read_sync(self._client(key, client))
+
+    # ------------------------------------------------------------------
+    # faults
+    # ------------------------------------------------------------------
+    def strike(self, corrupt_clients: bool = True) -> float:
+        """Datacenter-wide transient fault: scramble every shard now.
+
+        Returns the strike time (pass it to :meth:`audit`).
+        """
+        when = self.env.now
+        for system in self.shards.values():
+            system.corrupt_servers()
+            if corrupt_clients:
+                system.corrupt_clients()
+        self._fault_times.append(when)
+        return when
+
+    # ------------------------------------------------------------------
+    # auditing
+    # ------------------------------------------------------------------
+    def audit(
+        self, last_fault_time: Optional[float] = None
+    ) -> dict[str, StabilizationReport | RegularityVerdict]:
+        """Judge every shard's history.
+
+        With a fault time (default: the last strike, if any) shards are
+        held to the pseudo-stabilization standard; otherwise to plain
+        regularity.
+        """
+        if last_fault_time is None and self._fault_times:
+            last_fault_time = self._fault_times[-1]
+        verdicts: dict[str, Any] = {}
+        for key, system in self.shards.items():
+            if last_fault_time is not None:
+                verdicts[key] = evaluate_stabilization(
+                    system.history,
+                    system.checker(),
+                    last_fault_time=last_fault_time,
+                )
+            else:
+                verdicts[key] = system.check_regularity()
+        return verdicts
+
+    def all_ok(self, last_fault_time: Optional[float] = None) -> bool:
+        """True when every shard passes its audit."""
+        return all(
+            getattr(v, "stabilized", None)
+            if hasattr(v, "stabilized")
+            else v.ok
+            for v in self.audit(last_fault_time).values()
+        )
+
+    @property
+    def message_stats(self):
+        return self.env.network.stats

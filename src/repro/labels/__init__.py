@@ -1,0 +1,41 @@
+"""Timestamping / labeling systems.
+
+The protocol timestamps write operations with labels from a *k-stabilizing
+bounded labeling system* (Definition 2 of the paper, construction from Alon
+et al. [18]): a finite label set ``L`` with an antisymmetric relation ``≺``
+and a function ``next(L')`` producing, for any subset ``L'`` of at most
+``k`` labels, a label dominating every element of ``L'``.
+
+Provided schemes:
+
+* :class:`~repro.labels.alon.AlonLabelingScheme` — the paper's scheme:
+  labels are (sting, antistings) pairs over a finite domain; *stabilizing*
+  (``next`` works from any, even corrupted, label set).
+* :class:`~repro.labels.unbounded.UnboundedLabelingScheme` — plain integers;
+  the classical unbounded baseline (used by the non-stabilizing comparison
+  protocols).
+* :class:`~repro.labels.modular.ModularLabelingScheme` — a bounded but
+  NON-stabilizing wraparound scheme in the spirit of pre-stabilizing bounded
+  timestamp systems (Israeli-Li lineage): from certain corrupted
+  configurations no dominating label exists. Experiment E7 demonstrates
+  exactly this failure, motivating the Alon et al. construction.
+
+:mod:`repro.labels.ordering` lifts any scheme to the MWMR timestamp domain
+``(label, writer_id)`` used by the multi-writer extension (Section IV-D).
+"""
+
+from repro.labels.base import LabelingScheme
+from repro.labels.unbounded import UnboundedLabelingScheme
+from repro.labels.alon import AlonLabel, AlonLabelingScheme
+from repro.labels.modular import ModularLabelingScheme
+from repro.labels.ordering import MwmrTimestamp, MwmrOrdering
+
+__all__ = [
+    "LabelingScheme",
+    "UnboundedLabelingScheme",
+    "AlonLabel",
+    "AlonLabelingScheme",
+    "ModularLabelingScheme",
+    "MwmrTimestamp",
+    "MwmrOrdering",
+]

@@ -1,0 +1,101 @@
+"""Abstract interface of a labeling (timestamping) system.
+
+Following Israeli & Li, a labeling system is a set of labels with a total
+antisymmetric comparison relation and a function computing a fresh label
+from existing ones. The k-stabilizing bounded variant (Definition 2 of the
+paper) guarantees domination of any input set of size at most ``k``.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Any, Hashable, Iterable, Sequence
+
+Label = Hashable
+
+
+class LabelingScheme(ABC):
+    """A labeling system ``(L, ≺, next())``.
+
+    Concrete schemes must be *defensive*: ``is_label`` recognizes
+    well-formed labels, and ``next_label`` must return a valid label even
+    when fed garbage (malformed inputs are ignored) — a requirement imposed
+    by transient corruption of server state, which can place arbitrary
+    bytes where a label is expected.
+    """
+
+    #: Maximum input-set size for which ``next_label`` guarantees domination
+    #: (the ``k`` of a k-SBLS). ``None`` means unlimited (unbounded schemes).
+    k: int | None = None
+
+    # ------------------------------------------------------------------
+    # relation
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def precedes(self, a: Label, b: Label) -> bool:
+        """The ``a ≺ b`` relation. Must be antisymmetric and irreflexive.
+
+        Malformed operands must compare ``False`` rather than raise.
+        """
+
+    def comparable(self, a: Label, b: Label) -> bool:
+        """True when ``a ≺ b`` or ``b ≺ a`` (the relation may be partial)."""
+        return self.precedes(a, b) or self.precedes(b, a)
+
+    # ------------------------------------------------------------------
+    # generation
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def next_label(self, labels: Iterable[Label]) -> Label:
+        """A label dominating every *valid* label in ``labels``.
+
+        For bounded stabilizing schemes the guarantee holds whenever the
+        number of valid input labels is at most ``k``; invalid entries are
+        skipped. Unbounded schemes dominate any finite input.
+        """
+
+    @abstractmethod
+    def initial_label(self) -> Label:
+        """The canonical label a freshly-initialized process holds."""
+
+    # ------------------------------------------------------------------
+    # validation / utilities
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def is_label(self, x: Any) -> bool:
+        """Structural validity check (used for defensive parsing)."""
+
+    @abstractmethod
+    def random_label(self, rng: random.Random) -> Label:
+        """A uniformly random well-formed label (for transient corruption)."""
+
+    @abstractmethod
+    def sort_key(self, label: Label) -> Sequence[Any]:
+        """A deterministic total tiebreak key (NOT the semantic order).
+
+        Used only to make "pick one of several maximal candidates"
+        deterministic across runs; never consulted for temporal precedence.
+        """
+
+    # ------------------------------------------------------------------
+    # derived helpers
+    # ------------------------------------------------------------------
+    def valid_labels(self, labels: Iterable[Any]) -> list[Label]:
+        """Filter ``labels`` down to structurally valid ones."""
+        return [x for x in labels if self.is_label(x)]
+
+    def dominates_all(self, candidate: Label, labels: Iterable[Label]) -> bool:
+        """True when every valid label in ``labels`` precedes ``candidate``."""
+        return all(
+            self.precedes(x, candidate) for x in self.valid_labels(labels)
+        )
+
+    def maximal(self, labels: Iterable[Label]) -> list[Label]:
+        """Labels not preceded by any other label of the (valid) input set."""
+        valid = self.valid_labels(labels)
+        out = []
+        for a in valid:
+            if not any(self.precedes(a, b) for b in valid if b != a):
+                out.append(a)
+        return out

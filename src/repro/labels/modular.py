@@ -1,0 +1,100 @@
+"""A bounded but NON-stabilizing labeling baseline (wraparound counters).
+
+This scheme represents the pre-Alon bounded timestamp lineage (Israeli-Li
+style sequential bounded timestamps realized as a wraparound counter with a
+half-window comparison):
+
+* labels are integers modulo ``modulus``;
+* ``a ≺ b`` iff ``(b - a) mod modulus`` lies in ``[1, modulus // 2]`` — the
+  standard "serial number arithmetic" window order;
+* ``next(L')`` returns ``(max element of the dominated chain) + 1``.
+
+Under *correct* operation (labels only ever produced by ``next`` and at
+most ``modulus // 2`` of them live simultaneously) this behaves like
+unbounded integers. But it is **not** a k-stabilizing bounded labeling
+system: from corrupted configurations where live labels are spread around
+the circle (e.g. ``{0, m/2}`` with ``m`` the modulus), *no* label dominates
+all of them — ``next`` cannot satisfy Definition 2 and the register built
+on it can stall or order writes inconsistently forever. Experiment E7
+constructs such configurations mechanically and contrasts them with the
+Alon scheme, which recovers by construction.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.labels.base import Label, LabelingScheme
+
+
+class ModularLabelingScheme(LabelingScheme):
+    """Wraparound (serial-number-arithmetic) bounded labels.
+
+    Args:
+        modulus: size of the label circle. The half-window comparison means
+            at most ``modulus // 2`` consecutive labels can coexist before
+            the order becomes ambiguous.
+    """
+
+    def __init__(self, modulus: int = 64) -> None:
+        if modulus < 4:
+            raise ConfigurationError(f"modulus must be >= 4, got {modulus}")
+        self.modulus = modulus
+        # A "k" exists only in the benign-operation sense; advertise the
+        # largest window for which domination *can* hold from good configs.
+        self.k = modulus // 2 - 1
+
+    def precedes(self, a: Label, b: Label) -> bool:
+        if not (self.is_label(a) and self.is_label(b)):
+            return False
+        delta = (b - a) % self.modulus  # type: ignore[operator]
+        return 1 <= delta <= self.modulus // 2
+
+    def next_label(self, labels: Iterable[Label]) -> Label:
+        valid = self.valid_labels(labels)
+        if not valid:
+            return 1
+        # Pick the maximal element of the input under the window order (if
+        # the input is a coherent recent window there is exactly one chain),
+        # then step past it. From incoherent (corrupted) inputs there may be
+        # several maximal elements; stepping past an arbitrary one CANNOT
+        # dominate the others — that is precisely the non-stabilizing flaw.
+        maximal = self.maximal(valid)
+        if not maximal:
+            # Corrupted label sets can be cyclic under the window order
+            # (e.g. {0, m/4+1, m/2+2}); no maximum exists — another face of
+            # the same non-stabilizing flaw. Step past an arbitrary element
+            # so the protocol at least keeps producing labels.
+            maximal = valid
+        top = max(maximal)  # deterministic pick
+        return (top + 1) % self.modulus  # type: ignore[operator]
+
+    def initial_label(self) -> Label:
+        return 0
+
+    def is_label(self, x: Any) -> bool:
+        return (
+            isinstance(x, int)
+            and not isinstance(x, bool)
+            and 0 <= x < self.modulus
+        )
+
+    def random_label(self, rng: random.Random) -> Label:
+        return rng.randrange(self.modulus)
+
+    def sort_key(self, label: Label) -> Sequence[Any]:
+        return (label,)
+
+    # ------------------------------------------------------------------
+    # diagnostics used by experiment E7
+    # ------------------------------------------------------------------
+    def antipodal_pair(self) -> tuple[int, int]:
+        """A corrupted configuration no label can dominate.
+
+        ``(0, modulus // 2)``: any candidate ``c`` has ``0 ≺ c`` only when
+        ``c ∈ [1, m/2]`` and ``m/2 ≺ c`` only when ``c ∈ [m/2+1, 0]`` — the
+        windows are disjoint, so no ``c`` dominates both.
+        """
+        return (0, self.modulus // 2)

@@ -1,0 +1,44 @@
+"""Unbounded integer timestamps.
+
+The classical scheme: labels are natural numbers, ``a ≺ b`` iff ``a < b``,
+``next`` is ``max + 1``. Totally ordered, trivially dominating — but the
+label space grows without bound, which is exactly the drawback the paper's
+bounded construction removes. Used by the baseline protocols
+(:mod:`repro.baselines`) and as a reference implementation in tests.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterable, Sequence
+
+from repro.labels.base import Label, LabelingScheme
+
+
+class UnboundedLabelingScheme(LabelingScheme):
+    """Natural-number labels with the usual order."""
+
+    k = None  # dominates any finite input set
+
+    def precedes(self, a: Label, b: Label) -> bool:
+        if not (self.is_label(a) and self.is_label(b)):
+            return False
+        return a < b  # type: ignore[operator]
+
+    def next_label(self, labels: Iterable[Label]) -> Label:
+        valid = self.valid_labels(labels)
+        return (max(valid) + 1) if valid else 1
+
+    def initial_label(self) -> Label:
+        return 0
+
+    def is_label(self, x: Any) -> bool:
+        return isinstance(x, int) and not isinstance(x, bool) and x >= 0
+
+    def random_label(self, rng: random.Random) -> Label:
+        # A "corrupted" integer timestamp can be arbitrarily large; sample a
+        # heavy-ish tail so corruption experiments exercise huge stale values.
+        return rng.randrange(0, 1 << rng.randrange(1, 48))
+
+    def sort_key(self, label: Label) -> Sequence[Any]:
+        return (label,)

@@ -1,0 +1,54 @@
+"""Discrete-event simulation substrate for asynchronous message passing.
+
+This package provides everything the paper assumes about the execution
+environment:
+
+* a deterministic, seeded discrete-event :class:`~repro.sim.scheduler.Scheduler`;
+* :class:`~repro.sim.process.Process` actors with reactive message handlers
+  and coroutine-style blocking operations (``wait until`` semantics);
+* reliable FIFO point-to-point channels
+  (:class:`~repro.sim.channels.FifoChannel`) as well as fair-lossy,
+  reordering channels (:class:`~repro.sim.channels.FairLossyChannel`) with a
+  stabilization-preserving data-link protocol
+  (:mod:`repro.sim.datalink`) layered on top — mirroring the paper's
+  reference [8];
+* latency/scheduling adversaries (:mod:`repro.sim.adversary`) which realize
+  arbitrary admissible asynchronous interleavings, including the targeted
+  "slow server" schedules used in the Theorem 1 lower-bound proof;
+* transient-fault and crash injection (:mod:`repro.sim.faults`).
+
+Protocol code never reads the simulation clock; only the specification
+checkers and metrics do, mirroring the paper's *fictional global clock*.
+"""
+
+from repro.sim.clock import Clock
+from repro.sim.events import Event, EventQueue
+from repro.sim.scheduler import Scheduler
+from repro.sim.process import Process, Wait
+from repro.sim.channels import Channel, FifoChannel, FairLossyChannel
+from repro.sim.network import Network
+from repro.sim.environment import SimEnvironment
+from repro.sim.adversary import (
+    Adversary,
+    FixedLatencyAdversary,
+    UniformLatencyAdversary,
+    TargetedSlowAdversary,
+)
+
+__all__ = [
+    "Clock",
+    "Event",
+    "EventQueue",
+    "Scheduler",
+    "Process",
+    "Wait",
+    "Channel",
+    "FifoChannel",
+    "FairLossyChannel",
+    "Network",
+    "SimEnvironment",
+    "Adversary",
+    "FixedLatencyAdversary",
+    "UniformLatencyAdversary",
+    "TargetedSlowAdversary",
+]

@@ -1,0 +1,112 @@
+"""Asynchrony adversaries: who decides message delays.
+
+In an asynchronous system, message delays are finite but arbitrary; proofs
+quantify over *all* admissible schedules. The simulator delegates each
+message's delay to an :class:`Adversary`, so an experiment can plug in
+
+* benign randomized delays (:class:`UniformLatencyAdversary`),
+* deterministic unit delays (:class:`FixedLatencyAdversary`) for
+  message-delay-counting metrics, or
+* targeted schedules (:class:`TargetedSlowAdversary`,
+  :class:`ScriptedAdversary`) that realize the exact interleavings used by
+  the paper's Theorem 1 lower-bound construction (e.g. "server s4 is slow
+  during writes w0 and w1").
+
+Delays only shape *performance and interleaving*; FIFO per-channel order is
+enforced by the channel, not the adversary.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Callable, Optional
+
+from repro.sim.messages import Envelope
+
+
+class Adversary(ABC):
+    """Strategy object choosing the network delay of each envelope."""
+
+    @abstractmethod
+    def latency(self, env: Envelope, rng: random.Random) -> float:
+        """Return the delay (>= 0) the network applies to ``env``."""
+
+    def describe(self) -> str:
+        """Human-readable description used in experiment tables."""
+        return type(self).__name__
+
+
+class FixedLatencyAdversary(Adversary):
+    """Every message takes exactly ``delay`` time units.
+
+    With ``delay = 1.0`` the simulation clock counts message delays, which
+    is the latency unit used throughout EXPERIMENTS.md.
+    """
+
+    def __init__(self, delay: float = 1.0) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        self.delay = delay
+
+    def latency(self, env: Envelope, rng: random.Random) -> float:
+        return self.delay
+
+
+class UniformLatencyAdversary(Adversary):
+    """Delays drawn i.i.d. from ``Uniform[lo, hi]``."""
+
+    def __init__(self, lo: float = 0.5, hi: float = 1.5) -> None:
+        if not (0 <= lo <= hi):
+            raise ValueError(f"invalid latency bounds: [{lo}, {hi}]")
+        self.lo = lo
+        self.hi = hi
+
+    def latency(self, env: Envelope, rng: random.Random) -> float:
+        return rng.uniform(self.lo, self.hi)
+
+
+class TargetedSlowAdversary(Adversary):
+    """Slow down traffic touching selected processes.
+
+    Messages to or from a process in ``slow`` get ``slow_delay``; everything
+    else uses the wrapped ``base`` adversary. The membership test consults a
+    mutable set, so a scripted experiment can change who is slow between
+    operations — exactly what the Theorem 1 execution needs (s4 slow for
+    w0/w1, s3 slow for w2).
+    """
+
+    def __init__(
+        self,
+        slow: set[str],
+        slow_delay: float = 50.0,
+        base: Optional[Adversary] = None,
+    ) -> None:
+        self.slow = slow
+        self.slow_delay = slow_delay
+        self.base = base or FixedLatencyAdversary(1.0)
+
+    def latency(self, env: Envelope, rng: random.Random) -> float:
+        if env.src in self.slow or env.dst in self.slow:
+            return self.slow_delay
+        return self.base.latency(env, rng)
+
+    def describe(self) -> str:
+        return f"TargetedSlow(slow={sorted(self.slow)}, delay={self.slow_delay})"
+
+
+class ScriptedAdversary(Adversary):
+    """Fully programmable delays via a callback.
+
+    ``fn(env, rng)`` returns the delay; used by lower-bound executions that
+    need per-message control beyond "this process is slow".
+    """
+
+    def __init__(self, fn: Callable[[Envelope, random.Random], float]) -> None:
+        self.fn = fn
+
+    def latency(self, env: Envelope, rng: random.Random) -> float:
+        d = self.fn(env, rng)
+        if d < 0:
+            raise ValueError(f"scripted adversary returned negative delay {d}")
+        return d

@@ -1,0 +1,128 @@
+"""Point-to-point channel models.
+
+Two channel families are provided, mirroring Section II of the paper:
+
+* :class:`FifoChannel` — the reliable FIFO channel the protocol assumes:
+  no creation, modification or loss, deliveries in send order.
+* :class:`FairLossyChannel` — bounded, non-reliable but *fair*, non-FIFO
+  channel: messages may be dropped, duplicated and reordered, but a message
+  retransmitted forever is eventually delivered (fairness is modelled as a
+  hard bound on consecutive drops per channel). The stabilizing data-link
+  (:mod:`repro.sim.datalink`) rebuilds FIFO-reliable semantics on top of
+  this, reproducing the paper's reference [8].
+
+A channel is a *policy* object: given an envelope, the current time and an
+adversary-chosen latency, it returns the delivery times (possibly none, for
+a drop; possibly several, for duplication) and enforces ordering
+constraints. The network does the actual scheduling.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+from repro.sim.messages import Envelope
+
+
+class Channel(ABC):
+    """Delivery policy for one directed (src, dst) pair."""
+
+    @abstractmethod
+    def plan(
+        self, env: Envelope, now: float, latency: float, rng: random.Random
+    ) -> list[float]:
+        """Return the absolute delivery time(s) for ``env``.
+
+        An empty list means the message is lost. The list may contain more
+        than one time when the channel duplicates.
+        """
+
+    def reset(self) -> None:
+        """Forget ordering state (used when a run is restarted)."""
+
+
+class FifoChannel(Channel):
+    """Reliable FIFO channel.
+
+    Delivery time is ``max(now + latency, last_delivery + epsilon)`` so that
+    per-channel order always matches send order regardless of the latencies
+    the adversary picks. ``epsilon`` keeps same-instant deliveries strictly
+    ordered in time (the event queue would also tie-break by insertion, but
+    a strict gap keeps traces unambiguous).
+    """
+
+    __slots__ = ("epsilon", "_last")
+
+    def __init__(self, epsilon: float = 1e-9) -> None:
+        self.epsilon = epsilon
+        self._last = -1.0
+
+    def plan(
+        self, env: Envelope, now: float, latency: float, rng: random.Random
+    ) -> list[float]:
+        t = now + latency
+        if t <= self._last:
+            t = self._last + self.epsilon
+        self._last = t
+        return [t]
+
+    def reset(self) -> None:
+        self._last = -1.0
+
+
+class FairLossyChannel(Channel):
+    """Bounded, fair, non-FIFO, lossy and duplicating channel.
+
+    Args:
+        loss: probability that a given transmission is dropped.
+        duplication: probability that a delivered transmission is delivered
+            twice (at independent times).
+        fairness_bound: maximum number of *consecutive* drops; after that
+            many losses in a row the next transmission is forcibly
+            delivered. This realizes the "fair" requirement — infinitely
+            many sends of a message imply its eventual delivery — in a form
+            that terminates within finite simulations.
+        jitter: extra uniform delay spread applied per delivery, which is
+            what makes the channel non-FIFO (later sends can overtake
+            earlier ones).
+    """
+
+    __slots__ = ("loss", "duplication", "fairness_bound", "jitter", "_consecutive_drops")
+
+    def __init__(
+        self,
+        loss: float = 0.2,
+        duplication: float = 0.05,
+        fairness_bound: int = 10,
+        jitter: float = 2.0,
+    ) -> None:
+        if not 0.0 <= loss < 1.0:
+            raise ValueError(f"loss probability out of range: {loss}")
+        if not 0.0 <= duplication <= 1.0:
+            raise ValueError(f"duplication probability out of range: {duplication}")
+        if fairness_bound < 1:
+            raise ValueError(f"fairness bound must be >= 1: {fairness_bound}")
+        self.loss = loss
+        self.duplication = duplication
+        self.fairness_bound = fairness_bound
+        self.jitter = jitter
+        self._consecutive_drops = 0
+
+    def plan(
+        self, env: Envelope, now: float, latency: float, rng: random.Random
+    ) -> list[float]:
+        if (
+            self._consecutive_drops < self.fairness_bound
+            and rng.random() < self.loss
+        ):
+            self._consecutive_drops += 1
+            return []
+        self._consecutive_drops = 0
+        times = [now + latency + rng.uniform(0.0, self.jitter)]
+        if rng.random() < self.duplication:
+            times.append(now + latency + rng.uniform(0.0, self.jitter))
+        return times
+
+    def reset(self) -> None:
+        self._consecutive_drops = 0

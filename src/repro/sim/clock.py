@@ -1,0 +1,45 @@
+"""Simulation clock.
+
+The clock is owned by the scheduler and advances only when events fire.
+Protocol code must never consult it — the paper's algorithms are
+asynchronous and clock-free; only specification checkers and metrics
+(the "fictional global clock" of Section II) may read it.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class Clock:
+    """Monotonic simulation clock measured in abstract time units.
+
+    One time unit is roughly "one typical message delay" under the default
+    adversaries, which makes latency metrics directly interpretable as
+    message-delay counts.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock forward to ``t``.
+
+        Raises :class:`SimulationError` on attempts to move backwards, which
+        would indicate a scheduler bug (events must pop in time order).
+        """
+        if t < self._now:
+            raise SimulationError(
+                f"clock moving backwards: {self._now} -> {t}"
+            )
+        self._now = t
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Clock(now={self._now:.6f})"

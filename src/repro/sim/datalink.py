@@ -1,0 +1,310 @@
+"""Stabilizing data-link over fair-lossy, non-FIFO channels.
+
+The paper assumes reliable FIFO channels and notes (Section II) that this
+"can be ensured by using a stabilization preserving data-link protocol
+built on top of bounded, non-reliable but fair, non-FIFO communication
+channels" — its reference [8] (Dolev, Dubois, Potop-Butucaru, Tixeuil,
+IPL 2011). This module reproduces that substrate so the FIFO assumption is
+itself implemented rather than assumed.
+
+Protocol sketch (token-counting stop-and-wait):
+
+* the sender transmits the current message as ``DlData(token, seq_hint, m)``
+  repeatedly (retransmission timer) until it has collected ``capacity + 1``
+  acknowledgements ``DlAck(token)``; it then advances to the next queued
+  message under the next token (mod ``token_space``);
+* the receiver counts copies of ``DlData`` carrying a token different from
+  the last delivered one; after ``capacity + 1`` copies of the same
+  ``(token, m)`` it delivers ``m`` exactly once and remembers the token.
+  It acknowledges only tokens it has *delivered* (the delivering copy and
+  any later copy of that token) — an acknowledgement certifies delivery,
+  so duplicated acks can never advance the sender past an undelivered
+  frame.
+
+With at most ``capacity`` stale messages per channel (the bounded-capacity
+assumption of [8]), stale data or acks can never muster ``capacity + 1``
+copies, so after an initial convergence prefix the link delivers the
+sender's stream reliably, in FIFO order, without duplication — i.e. it is
+*pseudo-stabilizing* for the reliable-FIFO specification. The token space
+only needs to exceed the stale diversity; it is configurable.
+
+The :class:`DataLinkMixin` retrofits the link under any
+:class:`~repro.sim.process.Process` subclass without touching its protocol
+logic: ``class MyServerOverLossy(DataLinkMixin, MyServer)``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.sim.messages import Garbage
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.process import Process
+
+
+@dataclass(frozen=True)
+class DlData:
+    """Data-link frame carrying one application payload."""
+
+    token: int
+    payload: Any
+
+
+@dataclass(frozen=True)
+class DlAck:
+    """Acknowledgement for every received :class:`DlData` copy."""
+
+    token: int
+
+
+@dataclass
+class DataLinkConfig:
+    """Tuning knobs for the stabilizing data-link.
+
+    Attributes:
+        capacity: assumed bound on stale messages per channel direction;
+            delivery and progress both require ``capacity + 1`` concordant
+            copies.
+        token_space: size of the cyclic token domain. Must be at least
+            ``2 * capacity + 2``: a token is only safe to *reuse* once the
+            stale copies of its previous frame cannot muster
+            ``capacity + 1`` concordant receipts, and with fewer tokens
+            the reuse distance undercuts the bounded-capacity assumption
+            of [8] (a stale frame can then be re-delivered and its
+            successor silently swallowed — reproduced in the property
+            tests before this floor existed). Larger values also speed up
+            convergence from corrupted states.
+        retransmit_every: simulation-time period between retransmissions of
+            the current unacknowledged frame.
+        burst: copies sent per (re)transmission; higher bursts trade
+            messages for latency on very lossy links.
+    """
+
+    capacity: int = 3
+    token_space: int = 16
+    retransmit_every: float = 1.0
+    burst: int = 1
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError(f"capacity must be >= 1: {self.capacity}")
+        if self.token_space < 2 * self.capacity + 2:
+            raise ValueError(
+                f"token_space must be >= 2*capacity + 2 "
+                f"(got {self.token_space} with capacity {self.capacity}); "
+                f"smaller domains reuse tokens while stale copies of the "
+                f"previous frame can still muster capacity+1 receipts"
+            )
+        if self.retransmit_every <= 0:
+            raise ValueError(
+                f"retransmit_every must be positive: {self.retransmit_every}"
+            )
+        if self.burst < 1:
+            raise ValueError(f"burst must be >= 1: {self.burst}")
+
+
+@dataclass
+class _SenderState:
+    """Per-destination sender bookkeeping."""
+
+    token: int = 0
+    current: Optional[Any] = None
+    acks: int = 0
+    queue: list[Any] = field(default_factory=list)
+    timer_armed: bool = False
+
+
+@dataclass
+class _ReceiverState:
+    """Per-source receiver bookkeeping."""
+
+    last_token: int = -1
+    last_payload: Any = None
+    counting_token: int = -1
+    copies: int = 0
+    sample: Any = None
+
+
+class StabilizingDataLink:
+    """Reliable-FIFO transport for one process over lossy channels.
+
+    One instance serves all peers of its owner process, holding independent
+    sender/receiver state per peer.
+    """
+
+    def __init__(self, owner: "Process", config: Optional[DataLinkConfig] = None) -> None:
+        self.owner = owner
+        self.config = config or DataLinkConfig()
+        self._senders: dict[str, _SenderState] = {}
+        self._receivers: dict[str, _ReceiverState] = {}
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+    def send_app(self, dst: str, payload: Any) -> None:
+        """Enqueue ``payload`` for FIFO-reliable delivery to ``dst``."""
+        st = self._senders.setdefault(dst, _SenderState())
+        st.queue.append(payload)
+        self._pump(dst, st)
+
+    def _pump(self, dst: str, st: _SenderState) -> None:
+        if st.current is None and st.queue:
+            st.current = st.queue.pop(0)
+            st.token = (st.token + 1) % self.config.token_space
+            st.acks = 0
+        if st.current is not None:
+            self._transmit(dst, st)
+            self._arm_timer(dst, st)
+
+    def _transmit(self, dst: str, st: _SenderState) -> None:
+        frame = DlData(token=st.token, payload=st.current)
+        for _ in range(self.config.burst):
+            self.owner.env.network.send(self.owner.pid, dst, frame)
+
+    def _arm_timer(self, dst: str, st: _SenderState) -> None:
+        if st.timer_armed:
+            return
+        st.timer_armed = True
+        self.owner.env.scheduler.call_in(
+            self.config.retransmit_every,
+            lambda: self._on_timer(dst),
+            tag=f"dl-retx:{self.owner.pid}->{dst}",
+        )
+
+    def _on_timer(self, dst: str) -> None:
+        st = self._senders.get(dst)
+        if st is None:
+            return
+        st.timer_armed = False
+        if self.owner.crashed or st.current is None:
+            return
+        self._transmit(dst, st)
+        self._arm_timer(dst, st)
+
+    # ------------------------------------------------------------------
+    # receiving
+    # ------------------------------------------------------------------
+    def handle(self, src: str, payload: Any) -> list[Any]:
+        """Process one raw network delivery.
+
+        Returns the application payloads (0 or 1 of them) released to the
+        owner in FIFO order. Non-data-link payloads (e.g. channel garbage)
+        yield no deliveries.
+        """
+        if isinstance(payload, DlAck):
+            self._on_ack(src, payload)
+            return []
+        if isinstance(payload, DlData):
+            return self._on_data(src, payload)
+        return []
+
+    def _on_ack(self, src: str, ack: DlAck) -> None:
+        st = self._senders.get(src)
+        if st is None or st.current is None:
+            return
+        if not isinstance(ack.token, int) or ack.token != st.token:
+            return
+        st.acks += 1
+        if st.acks >= self.config.capacity + 1:
+            st.current = None
+            st.acks = 0
+            self._pump(src, st)
+
+    def _on_data(self, src: str, frame: DlData) -> list[Any]:
+        token = frame.token
+        if not isinstance(token, int):
+            return []
+        rx = self._receivers.setdefault(src, _ReceiverState())
+        if token == rx.last_token and frame.payload == rx.last_payload:
+            # A copy of the already-delivered frame: acknowledge it so the
+            # sender (whose earlier acks may have been lost) can advance.
+            # The payload check matters after transient corruption: a
+            # scrambled ``last_token`` that collides with the sender's
+            # current token must not swallow a *new* frame — silently
+            # acking it would wedge the application protocol above, whose
+            # quorum waits never re-send (found by the composed
+            # register-over-lossy-links kitchen-sink test).
+            self.owner.env.network.send(
+                self.owner.pid, src, DlAck(token=token)
+            )
+            return []
+        if token != rx.counting_token or rx.sample != frame.payload:
+            rx.counting_token = token
+            rx.copies = 0
+            rx.sample = frame.payload
+        rx.copies += 1
+        if rx.copies >= self.config.capacity + 1:
+            rx.last_token = token
+            rx.last_payload = frame.payload
+            rx.counting_token = -1
+            rx.copies = 0
+            delivered = rx.sample
+            rx.sample = None
+            # Acknowledge only NOW: an ack must certify delivery. Acking
+            # every copy would let channel-duplicated acks outnumber the
+            # receiver's actual receipts and advance the sender while the
+            # receiver is still short of its threshold — losing the frame
+            # forever (found by the hypothesis suite).
+            self.owner.env.network.send(
+                self.owner.pid, src, DlAck(token=token)
+            )
+            return [delivered]
+        return []
+
+    # ------------------------------------------------------------------
+    # transient faults
+    # ------------------------------------------------------------------
+    def corrupt_state(self, rng: random.Random) -> None:
+        """Scramble all link state (tokens, counters, queues survive or not).
+
+        Queued *application* payloads are dropped with probability 1/2 each
+        — a transient fault may destroy buffered data; the register protocol
+        above must stabilize regardless.
+        """
+        for st in self._senders.values():
+            st.token = rng.randrange(self.config.token_space)
+            st.acks = rng.randrange(self.config.capacity + 1)
+            st.queue = [m for m in st.queue if rng.random() < 0.5]
+        for rx in self._receivers.values():
+            rx.last_token = rng.randrange(-1, self.config.token_space)
+            # Scrambled to fresh noise: a corrupted dedup record must not
+            # coincidentally equal a future application payload (the model
+            # allows it, but this injector's corruption distribution keeps
+            # the convergence prefix finite in every seeded run).
+            rx.last_payload = Garbage(noise=rng.getrandbits(32))
+            rx.counting_token = rng.randrange(-1, self.config.token_space)
+            rx.copies = rng.randrange(self.config.capacity + 1)
+
+
+class DataLinkMixin:
+    """Run any process over the stabilizing data-link.
+
+    Place the mixin *before* the protocol class in the MRO::
+
+        class LossyRegisterServer(DataLinkMixin, RegisterServer): ...
+
+    All ``send`` calls are routed through the link and all deliveries are
+    unwrapped before reaching the protocol's ``on_message``.
+    """
+
+    def __init__(self, *args: Any, datalink_config: Optional[DataLinkConfig] = None, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self.datalink = StabilizingDataLink(self, datalink_config)  # type: ignore[arg-type]
+
+    def send(self, dst: str, payload: Any) -> None:  # type: ignore[override]
+        if self.crashed:  # type: ignore[attr-defined]
+            return
+        self.datalink.send_app(dst, payload)
+
+    def receive(self, src: str, payload: Any) -> None:  # type: ignore[override]
+        if self.crashed:  # type: ignore[attr-defined]
+            return
+        for app_payload in self.datalink.handle(src, payload):
+            super().receive(src, app_payload)  # type: ignore[misc]
+
+    def corrupt_state(self, rng: random.Random) -> None:  # type: ignore[override]
+        super().corrupt_state(rng)  # type: ignore[misc]
+        self.datalink.corrupt_state(rng)

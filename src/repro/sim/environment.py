@@ -1,0 +1,107 @@
+"""The simulation environment: one object tying a run together.
+
+A :class:`SimEnvironment` owns the scheduler, the network and the master
+seed. Every run is a pure function of ``(configuration, seed)`` — the
+environment derives all per-process and per-channel randomness from the
+master seed with stable hashing, so adding a process never perturbs the
+random streams of existing ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Callable, Optional
+
+from repro.errors import DeadlockError
+from repro.sim.adversary import Adversary, FixedLatencyAdversary
+from repro.sim.channels import Channel, FifoChannel
+from repro.sim.network import Network
+from repro.sim.scheduler import Scheduler
+
+
+def derive_seed(master: int, name: str) -> int:
+    """Stable 64-bit sub-seed for ``name`` under master seed ``master``."""
+    digest = hashlib.blake2b(
+        f"{master}:{name}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+class SimEnvironment:
+    """Container for one simulated execution.
+
+    Args:
+        seed: master seed; all randomness in the run derives from it.
+        adversary: message-delay policy (default: unit delays, so latency
+            metrics count message delays).
+        channel_factory: per-pair channel policy constructor (default:
+            reliable FIFO, the paper's baseline assumption).
+        max_events: scheduler safety cap.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        adversary: Optional[Adversary] = None,
+        channel_factory: Callable[[], Channel] = FifoChannel,
+        max_events: int = 50_000_000,
+    ) -> None:
+        self.seed = seed
+        self.scheduler = Scheduler(max_events=max_events)
+        self.network = Network(
+            self.scheduler,
+            adversary=adversary or FixedLatencyAdversary(1.0),
+            rng=random.Random(derive_seed(seed, "network")),
+            channel_factory=channel_factory,
+        )
+
+    # ------------------------------------------------------------------
+    # randomness
+    # ------------------------------------------------------------------
+    def spawn_rng(self, name: str) -> random.Random:
+        """Private deterministic RNG stream for component ``name``."""
+        return random.Random(derive_seed(self.seed, name))
+
+    # ------------------------------------------------------------------
+    # execution helpers
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.scheduler.now
+
+    def run(self, until: Optional[float] = None) -> int:
+        """Drain the event queue (optionally up to time ``until``)."""
+        return self.scheduler.run(until=until)
+
+    def run_until(self, predicate: Callable[[], bool], max_steps: Optional[int] = None) -> bool:
+        return self.scheduler.run_until(predicate, max_steps=max_steps)
+
+    def tick(self, dt: float = 1e-3) -> None:
+        """Advance the clock by ``dt`` via a no-op event.
+
+        Synchronous drivers call this between operations so that an
+        operation invoked right after another completes is *strictly*
+        after it on the fictional global clock (the paper's model assumes
+        distinct event instants).
+        """
+        fired = {"done": False}
+        self.scheduler.call_in(dt, lambda: fired.__setitem__("done", True), tag="tick")
+        self.scheduler.run_until(lambda: fired["done"])
+
+    def run_to_completion(self, predicate: Callable[[], bool]) -> None:
+        """Run until ``predicate`` holds; raise :class:`DeadlockError` if the
+        queue drains first, with a report of who is blocked on what.
+        """
+        if self.scheduler.run_until(predicate):
+            return
+        blocked = []
+        for proc in self.network.processes.values():
+            for handle in proc.blocked_operations():
+                blocked.append(
+                    f"{proc.pid}: {handle.name} waiting on {handle.waiting_on!r}"
+                )
+        detail = "; ".join(blocked) if blocked else "no blocked operations recorded"
+        raise DeadlockError(
+            f"event queue drained before condition was met ({detail})"
+        )

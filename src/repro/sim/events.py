@@ -1,0 +1,107 @@
+"""Event objects and the scheduler's priority queue.
+
+Events are totally ordered by ``(time, seq)`` where ``seq`` is a global
+insertion counter: two events scheduled for the same instant fire in
+insertion order. This makes every run a pure function of ``(config, seed)``
+— the property all reproduction experiments rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time: simulation time at which the callback fires.
+        seq: global tie-breaking sequence number (assigned by the queue).
+        fn: zero-argument callable executed when the event fires.
+        tag: free-form label for tracing/diagnostics (not compared).
+        cancelled: events may be cancelled in place; the queue skips them.
+    """
+
+    time: float
+    seq: int
+    fn: Callable[[], None] = field(compare=False)
+    tag: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the queue drops it instead of firing it."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Binary-heap event queue with stable same-time ordering.
+
+    The queue never shrinks its heap on cancellation (cancelled events are
+    lazily skipped on pop), which keeps cancellation O(1).
+    """
+
+    __slots__ = ("_heap", "_counter", "_live")
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of live (non-cancelled) events."""
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, time: float, fn: Callable[[], None], tag: str = "") -> Event:
+        """Schedule ``fn`` at ``time`` and return the (cancellable) event."""
+        ev = Event(time=time, seq=next(self._counter), fn=fn, tag=tag)
+        heapq.heappush(self._heap, ev)
+        self._live += 1
+        return ev
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event, or ``None`` if empty."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self._live -= 1
+            return ev
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest live event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def note_cancelled(self) -> None:
+        """Account for an event cancelled externally via :meth:`Event.cancel`.
+
+        Callers that cancel events directly must inform the queue so that
+        ``len`` stays accurate. :meth:`cancel_event` does both steps.
+        """
+        self._live -= 1
+
+    def cancel_event(self, ev: Event) -> None:
+        """Cancel ``ev`` if still live and update the live count."""
+        if not ev.cancelled:
+            ev.cancel()
+            self._live -= 1
+
+    def snapshot(self) -> list[Event]:
+        """Return live events sorted by firing order (for fault injection).
+
+        Transient channel corruption rewrites in-flight delivery events; the
+        injector uses this view to find them. The returned list is a copy —
+        mutating it does not affect the queue, but mutating the *events*
+        (e.g. replacing a message payload captured in ``fn`` via its
+        ``payload`` attribute) does.
+        """
+        return sorted(e for e in self._heap if not e.cancelled)

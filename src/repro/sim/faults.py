@@ -1,0 +1,203 @@
+"""Transient-fault and crash injection.
+
+The paper's failure model (Section II) lets *every* process start in an
+arbitrarily corrupted state and lets channel contents be corrupted too.
+This module provides:
+
+* :func:`scramble_processes` — invoke each process's
+  :meth:`~repro.sim.process.Process.corrupt_state` (protocol classes
+  override it to randomize every local variable within its type domain);
+* :class:`ChannelCorruptor` — mutate or replace in-flight payloads and
+  inject stale/forged messages into channels;
+* :class:`FaultSchedule` — a declarative timeline of fault actions applied
+  at chosen simulation times, so experiments can hit the system mid-run
+  (transient faults "of finite duration ... not too often").
+
+Corruption of protocol payloads is delegated to a pluggable *forger*
+callable because only the protocol package knows what a well-typed-but-
+wrong message looks like; a :class:`~repro.sim.messages.Garbage` payload is
+always available as the fully-unparseable case.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from repro.sim.environment import SimEnvironment
+from repro.sim.messages import Envelope, Garbage
+from repro.sim.network import Network
+from repro.sim.process import Process
+
+# A forger receives (envelope, rng) and returns a replacement payload.
+Forger = Callable[[Envelope, random.Random], Any]
+
+
+def garbage_forger(env: Envelope, rng: random.Random) -> Any:
+    """Default forger: replace the payload with unparseable garbage."""
+    return Garbage(noise=rng.getrandbits(32))
+
+
+def field_scrambler(env: Envelope, rng: random.Random) -> Any:
+    """Type-respecting forger: corrupt one field of a protocol message.
+
+    Keeps the message *parseable* (same dataclass, one field replaced with
+    junk of a random shape), which exercises receivers' per-field
+    validation rather than their top-level type dispatch. Falls back to
+    :func:`garbage_forger` for non-dataclass payloads or frozen rejects.
+    """
+    import dataclasses
+
+    from repro.sim.messages import is_message_dataclass, payload_fields
+
+    payload = env.payload if env is not None else None
+    if not is_message_dataclass(payload):
+        return garbage_forger(env, rng)
+    fields = payload_fields(payload)
+    if not fields:
+        return garbage_forger(env, rng)
+    victim = rng.choice(sorted(fields))
+    junk_pool: list[Any] = [
+        None,
+        rng.getrandbits(16),
+        -rng.getrandbits(8),
+        f"junk-{rng.getrandbits(12):03x}",
+        (),
+        True,
+    ]
+    fields[victim] = rng.choice(junk_pool)
+    try:
+        return dataclasses.replace(payload, **{victim: fields[victim]})
+    except (TypeError, ValueError):  # pragma: no cover - exotic payloads
+        return garbage_forger(env, rng)
+
+
+def scramble_processes(
+    processes: Iterable[Process], rng: random.Random
+) -> list[str]:
+    """Corrupt the volatile state of every given process.
+
+    Returns the pids touched (for experiment logs).
+    """
+    touched = []
+    for proc in processes:
+        proc.corrupt_state(rng)
+        touched.append(proc.pid)
+    return touched
+
+
+class ChannelCorruptor:
+    """Corrupts channel contents.
+
+    Args:
+        network: the network whose in-flight messages are attacked.
+        rng: randomness source (derive from the environment for
+            reproducibility).
+        forger: produces well-typed-but-wrong payloads; defaults to
+            :func:`garbage_forger`.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        rng: random.Random,
+        forger: Optional[Forger] = None,
+    ) -> None:
+        self.network = network
+        self.rng = rng
+        self.forger = forger or garbage_forger
+
+    def corrupt_in_flight(self, fraction: float = 1.0) -> int:
+        """Replace the payload of a random ``fraction`` of in-flight messages.
+
+        Returns the number of messages corrupted. Mutation happens on the
+        shared envelope, so scheduled deliveries observe the forged payload.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction out of range: {fraction}")
+        count = 0
+        for env in self.network.in_flight_envelopes():
+            if self.rng.random() < fraction:
+                env.payload = self.forger(env, self.rng)
+                self.network.stats.corrupted += 1
+                count += 1
+        return count
+
+    def inject_stale(
+        self,
+        src: str,
+        dst: str,
+        payload_factory: Callable[[random.Random], Any],
+        count: int = 1,
+        max_delay: float = 1.0,
+    ) -> None:
+        """Plant ``count`` spurious messages on the (src, dst) channel.
+
+        Models stale messages present in channels at start-up, one of the
+        corruptions the stabilization proof must survive.
+        """
+        for _ in range(count):
+            self.network.inject(
+                src, dst, payload_factory(self.rng), delay=self.rng.uniform(0.0, max_delay)
+            )
+
+
+@dataclass
+class FaultAction:
+    """One scheduled fault: fires ``apply(env)`` at simulation ``time``."""
+
+    time: float
+    apply: Callable[[SimEnvironment], None]
+    label: str = ""
+
+
+@dataclass
+class FaultSchedule:
+    """A declarative fault timeline.
+
+    Example::
+
+        schedule = FaultSchedule()
+        schedule.at(0.0, lambda env: scramble_processes(servers, rng),
+                    label="initial corruption")
+        schedule.at(42.0, lambda env: clients[0].crash(), label="crash c0")
+        schedule.arm(env)
+    """
+
+    actions: list[FaultAction] = field(default_factory=list)
+
+    def at(
+        self,
+        time: float,
+        apply: Callable[[SimEnvironment], None],
+        label: str = "",
+    ) -> "FaultSchedule":
+        self.actions.append(FaultAction(time=time, apply=apply, label=label))
+        return self
+
+    def arm(self, env: SimEnvironment) -> None:
+        """Schedule every action on the environment's scheduler."""
+        for action in self.actions:
+            env.scheduler.call_at(
+                action.time,
+                lambda a=action: a.apply(env),
+                tag=f"fault:{action.label}",
+            )
+
+
+def crash_at(env: SimEnvironment, process: Process, time: float) -> None:
+    """Convenience: schedule a crash-stop of ``process`` at ``time``."""
+    env.scheduler.call_at(time, process.crash, tag=f"crash:{process.pid}")
+
+
+def random_subset(
+    items: Sequence[Any], rng: random.Random, fraction: float
+) -> list[Any]:
+    """Sample each item independently with probability ``fraction``.
+
+    Used by corruption-severity sweeps (experiment E6).
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction out of range: {fraction}")
+    return [x for x in items if rng.random() < fraction]

@@ -1,0 +1,55 @@
+"""Message envelopes and the corruption surface.
+
+The network transports opaque *payloads* (protocol-defined dataclasses)
+inside :class:`Envelope` records. Transient channel corruption operates on
+envelopes: it can mutate payload fields in a type-respecting way or replace
+the payload wholesale with :class:`Garbage`, which correct processes must
+tolerate (drop) without crashing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass
+class Envelope:
+    """A message in flight.
+
+    Attributes:
+        src: sender process id.
+        dst: destination process id.
+        payload: protocol message (arbitrary object).
+        send_time: simulation time at which :meth:`Network.send` was called
+            (metrics only — invisible to protocol code).
+    """
+
+    src: str
+    dst: str
+    payload: Any
+    send_time: float = 0.0
+
+
+@dataclass(frozen=True)
+class Garbage:
+    """An unparseable blob produced by transient channel corruption.
+
+    Correct processes receiving :class:`Garbage` must silently drop it;
+    the defensive-parsing tests assert exactly that.
+    """
+
+    noise: int = 0
+
+
+def is_message_dataclass(payload: Any) -> bool:
+    """True when ``payload`` is a dataclass instance (the normal case)."""
+    return dataclasses.is_dataclass(payload) and not isinstance(payload, type)
+
+
+def payload_fields(payload: Any) -> dict[str, Any]:
+    """Shallow field map of a dataclass payload (for corruption/tracing)."""
+    if not is_message_dataclass(payload):
+        return {}
+    return {f.name: getattr(payload, f.name) for f in dataclasses.fields(payload)}

@@ -1,0 +1,154 @@
+"""The network: routing, channel management, in-flight bookkeeping.
+
+The network connects registered processes with one directed channel per
+(src, dst) pair, asks the adversary for a latency, asks the channel policy
+for delivery times, and schedules deliveries. It keeps a registry of
+in-flight envelopes so the transient-fault injector can corrupt channel
+contents — a failure mode the paper explicitly includes ("the content of
+the communication channels [may be] initially corrupted in an arbitrary
+manner").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.adversary import Adversary, FixedLatencyAdversary
+from repro.sim.channels import Channel, FifoChannel
+from repro.sim.messages import Envelope
+from repro.sim.scheduler import Scheduler
+from repro.sim.tracing import MessageStats, Trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.process import Process
+
+
+class Network:
+    """Message router over per-pair channels.
+
+    Args:
+        scheduler: the simulation scheduler.
+        adversary: latency policy (defaults to unit delays).
+        rng: source of randomness for channels/adversary (deterministic per
+            run; owned by the environment).
+        channel_factory: constructs the policy object for each new (src,
+            dst) pair; swap in :class:`FairLossyChannel` to run protocols
+            over lossy links.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        adversary: Optional[Adversary] = None,
+        rng: Optional[random.Random] = None,
+        channel_factory: Callable[[], Channel] = FifoChannel,
+    ) -> None:
+        self.scheduler = scheduler
+        self.adversary = adversary or FixedLatencyAdversary(1.0)
+        self.rng = rng or random.Random(0)
+        self.channel_factory = channel_factory
+        self.processes: dict[str, "Process"] = {}
+        self.channels: dict[tuple[str, str], Channel] = {}
+        self.in_flight: dict[int, Envelope] = {}
+        self._flight_seq = 0
+        self.stats = MessageStats()
+        self.trace = Trace()
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+    def register(self, process: "Process") -> None:
+        """Attach a process; its pid must be unique."""
+        if process.pid in self.processes:
+            raise SimulationError(f"duplicate process id {process.pid!r}")
+        self.processes[process.pid] = process
+
+    def channel(self, src: str, dst: str) -> Channel:
+        """The (lazily created) channel policy for the directed pair."""
+        key = (src, dst)
+        ch = self.channels.get(key)
+        if ch is None:
+            ch = self.channel_factory()
+            self.channels[key] = ch
+        return ch
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def send(self, src: str, dst: str, payload: Any) -> None:
+        """Transmit ``payload`` from ``src`` to ``dst``.
+
+        Messages to unknown destinations are dropped (and counted): after
+        transient corruption a server's bookkeeping may name readers that do
+        not exist, and a correct server acting on that state must not crash
+        the run. Crashed destinations silently absorb messages.
+        """
+        if dst not in self.processes:
+            self.stats.dropped += 1
+            self.trace.emit(
+                self.scheduler.now, "drop", src, str(dst), payload, "unknown dst"
+            )
+            return
+        env = Envelope(src=src, dst=dst, payload=payload, send_time=self.scheduler.now)
+        self.stats.note_send(src, payload)
+        self.trace.emit(self.scheduler.now, "send", src, dst, payload)
+        latency = self.adversary.latency(env, self.rng)
+        times = self.channel(src, dst).plan(env, self.scheduler.now, latency, self.rng)
+        if not times:
+            self.stats.dropped += 1
+            self.trace.emit(self.scheduler.now, "drop", src, dst, payload)
+            return
+        for t in times:
+            self._flight_seq += 1
+            token = self._flight_seq
+            self.in_flight[token] = env
+            self.scheduler.call_at(
+                t, lambda tok=token: self._deliver(tok), tag=f"deliver:{src}->{dst}"
+            )
+
+    def _deliver(self, token: int) -> None:
+        env = self.in_flight.pop(token, None)
+        if env is None:  # pragma: no cover - defensive; tokens are unique
+            return
+        proc = self.processes.get(env.dst)
+        if proc is None or proc.crashed:
+            return
+        self.stats.note_delivery(env.payload)
+        self.trace.emit(self.scheduler.now, "deliver", env.src, env.dst, env.payload)
+        proc.receive(env.src, env.payload)
+
+    # ------------------------------------------------------------------
+    # fault-injection surface
+    # ------------------------------------------------------------------
+    def in_flight_envelopes(self) -> list[Envelope]:
+        """Mutable view of messages currently in flight.
+
+        The injector mutates ``payload`` in place (or swaps it) to model
+        corrupted channel contents; deliveries pick up the mutated payload.
+        """
+        return list(self.in_flight.values())
+
+    def inject(self, src: str, dst: str, payload: Any, delay: float = 0.0) -> None:
+        """Place a spurious message on the (src, dst) channel.
+
+        Models stale/forged messages present in channels at start-up: the
+        receiver will observe it exactly as if ``src`` had sent it.
+        """
+        if dst not in self.processes:
+            self.stats.dropped += 1
+            return
+        env = Envelope(src=src, dst=dst, payload=payload, send_time=self.scheduler.now)
+        self.stats.corrupted += 1
+        self.trace.emit(self.scheduler.now, "corrupt", src, dst, payload, "injected")
+        times = self.channel(src, dst).plan(
+            env, self.scheduler.now, delay, self.rng
+        )
+        for t in times:
+            self._flight_seq += 1
+            token = self._flight_seq
+            self.in_flight[token] = env
+            self.scheduler.call_at(
+                t, lambda tok=token: self._deliver(tok), tag=f"inject:{src}->{dst}"
+            )

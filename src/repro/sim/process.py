@@ -1,0 +1,187 @@
+"""Process actors and the ``wait until`` coroutine runtime.
+
+The paper's pseudo-code mixes reactive handlers ("when REPLY(...) is
+delivered") with blocking operations ("wait until |replies| >= n - f").
+Processes here mirror that structure exactly:
+
+* :meth:`Process.on_message` is the reactive handler, invoked by the
+  network for every delivery;
+* client operations are Python *generators* that ``yield Wait(predicate)``
+  objects; the runtime re-evaluates pending predicates after every delivery
+  and resumes the generator once its condition holds.
+
+This keeps the implementation line-for-line comparable with Figures 1-3 of
+the paper while remaining single-threaded and deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.environment import SimEnvironment
+
+
+@dataclass
+class Wait:
+    """A blocking condition yielded by an operation generator.
+
+    Attributes:
+        predicate: zero-argument callable; the operation resumes when it
+            returns truthy. Predicates must be cheap and side-effect free —
+            they are re-evaluated after every message delivery.
+        label: diagnostic name shown when a run deadlocks while blocked here.
+    """
+
+    predicate: Callable[[], bool]
+    label: str = ""
+
+
+@dataclass
+class OperationHandle:
+    """Tracks one in-flight client operation (coroutine)."""
+
+    name: str
+    done: bool = False
+    result: Any = None
+    failed: bool = False  # True when the owning process crashed mid-operation
+    waiting_on: str = ""
+    _gen: Optional[Generator[Wait, None, Any]] = field(default=None, repr=False)
+    _callbacks: list[Callable[["OperationHandle"], None]] = field(
+        default_factory=list, repr=False
+    )
+
+    def on_done(self, fn: Callable[["OperationHandle"], None]) -> None:
+        """Register a completion callback (fires immediately if already done)."""
+        if self.done:
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+
+class Process:
+    """Base class for every simulated process (servers and clients).
+
+    Subclasses implement :meth:`on_message`; client subclasses also define
+    operation generators and start them via :meth:`start_operation`.
+
+    Each process owns a private :class:`random.Random` stream derived
+    deterministically from the environment seed and the pid, so adding or
+    reordering processes does not perturb other processes' randomness.
+    """
+
+    def __init__(self, pid: str, env: "SimEnvironment") -> None:
+        self.pid = pid
+        self.env = env
+        self.crashed = False
+        self.rng: random.Random = env.spawn_rng(pid)
+        self._pending_ops: list[OperationHandle] = []
+        env.network.register(self)
+
+    # ------------------------------------------------------------------
+    # messaging
+    # ------------------------------------------------------------------
+    def send(self, dst: str, payload: Any) -> None:
+        """Send ``payload`` to process ``dst`` (no-op once crashed)."""
+        if self.crashed:
+            return
+        self.env.network.send(self.pid, dst, payload)
+
+    def broadcast(self, dsts: Iterable[str], payload: Any) -> None:
+        """Send ``payload`` to every process in ``dsts``."""
+        for dst in dsts:
+            self.send(dst, payload)
+
+    def receive(self, src: str, payload: Any) -> None:
+        """Network entry point: dispatch to the handler, then poll waits."""
+        if self.crashed:
+            return
+        self.on_message(src, payload)
+        self._poll_waits()
+
+    def on_message(self, src: str, payload: Any) -> None:
+        """Reactive handler; override in subclasses. Default: ignore."""
+
+    # ------------------------------------------------------------------
+    # coroutine operations
+    # ------------------------------------------------------------------
+    def start_operation(
+        self, gen: Generator[Wait, None, Any], name: str = "op"
+    ) -> OperationHandle:
+        """Begin driving an operation generator.
+
+        The generator runs synchronously until its first unsatisfied
+        :class:`Wait` (or completion). Afterwards it is resumed from
+        :meth:`receive` whenever a delivery makes its predicate true.
+        """
+        handle = OperationHandle(name=name, _gen=gen)
+        self._pending_ops.append(handle)
+        self._advance(handle)
+        return handle
+
+    def _advance(self, handle: OperationHandle) -> None:
+        gen = handle._gen
+        if gen is None or handle.done:
+            return
+        try:
+            while True:
+                wait = next(gen)
+                if not isinstance(wait, Wait):
+                    raise SimulationError(
+                        f"{self.pid}: operation {handle.name!r} yielded "
+                        f"{type(wait).__name__}, expected Wait"
+                    )
+                if not wait.predicate():
+                    handle.waiting_on = wait.label
+                    handle._blocked = wait  # type: ignore[attr-defined]
+                    return
+        except StopIteration as stop:
+            handle.done = True
+            handle.result = stop.value
+            handle.waiting_on = ""
+            if handle in self._pending_ops:
+                self._pending_ops.remove(handle)
+            for fn in handle._callbacks:
+                fn(handle)
+            handle._callbacks.clear()
+
+    def _poll_waits(self) -> None:
+        # Iterate over a copy: resuming an operation may complete it (and
+        # remove it) or, in principle, start new ones.
+        for handle in list(self._pending_ops):
+            if handle.done:
+                continue
+            wait: Optional[Wait] = getattr(handle, "_blocked", None)
+            if wait is None or wait.predicate():
+                self._advance(handle)
+
+    # ------------------------------------------------------------------
+    # faults
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Crash-stop the process: all pending operations fail silently."""
+        self.crashed = True
+        for handle in self._pending_ops:
+            handle.failed = True
+        self._pending_ops.clear()
+
+    def corrupt_state(self, rng: random.Random) -> None:
+        """Scramble local volatile state (transient fault).
+
+        Subclasses override this to corrupt every protocol variable within
+        its type domain; the base class has no protocol state.
+        """
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def blocked_operations(self) -> list[OperationHandle]:
+        """Operations currently stuck in a Wait (for deadlock reports)."""
+        return [h for h in self._pending_ops if not h.done]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(pid={self.pid!r})"

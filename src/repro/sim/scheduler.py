@@ -1,0 +1,126 @@
+"""The discrete-event scheduler.
+
+A :class:`Scheduler` owns the clock and the event queue and exposes the
+usual ``call_at`` / ``call_in`` / ``run`` interface. It is deliberately
+minimal: processes, channels and fault injectors are all just event
+producers; the scheduler knows nothing about them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.clock import Clock
+from repro.sim.events import Event, EventQueue
+
+
+class Scheduler:
+    """Deterministic discrete-event scheduler.
+
+    Args:
+        max_events: hard cap on the number of events executed over the
+            scheduler's lifetime; exceeding it raises
+            :class:`SimulationError`. This is a safety net against protocol
+            bugs that generate unbounded message storms, sized far above any
+            legitimate experiment.
+    """
+
+    def __init__(self, max_events: int = 50_000_000) -> None:
+        self.clock = Clock()
+        self.queue = EventQueue()
+        self.max_events = max_events
+        self.executed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time (checker/metric use only)."""
+        return self.clock.now
+
+    def call_at(self, time: float, fn: Callable[[], None], tag: str = "") -> Event:
+        """Schedule ``fn`` at absolute time ``time`` (>= now)."""
+        if time < self.clock.now:
+            raise SimulationError(
+                f"cannot schedule event in the past: {time} < {self.clock.now}"
+            )
+        return self.queue.push(time, fn, tag=tag)
+
+    def call_in(self, delay: float, fn: Callable[[], None], tag: str = "") -> Event:
+        """Schedule ``fn`` after ``delay`` time units (>= 0)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.queue.push(self.clock.now + delay, fn, tag=tag)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the single earliest event.
+
+        Returns ``True`` if an event fired, ``False`` if the queue was empty.
+        """
+        ev = self.queue.pop()
+        if ev is None:
+            return False
+        self.clock.advance_to(ev.time)
+        self.executed += 1
+        if self.executed > self.max_events:
+            raise SimulationError(
+                f"event budget exhausted ({self.max_events} events) — "
+                "likely a message storm or livelock"
+            )
+        ev.fn()
+        return True
+
+    def run(self, until: Optional[float] = None) -> int:
+        """Drain the queue, optionally stopping at simulation time ``until``.
+
+        Returns the number of events executed by this call. With ``until``
+        set, events scheduled strictly after it remain queued and the clock
+        is left at the last executed event's time (or unchanged if none ran).
+        """
+        if self._running:
+            raise SimulationError("re-entrant Scheduler.run")
+        self._running = True
+        count = 0
+        try:
+            while True:
+                t = self.queue.peek_time()
+                if t is None:
+                    break
+                if until is not None and t > until:
+                    break
+                self.step()
+                count += 1
+        finally:
+            self._running = False
+        return count
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        max_steps: Optional[int] = None,
+    ) -> bool:
+        """Run until ``predicate()`` holds (checked after every event).
+
+        Returns ``True`` when the predicate became true, ``False`` if the
+        queue drained (or ``max_steps`` elapsed) first.
+        """
+        if predicate():
+            return True
+        steps = 0
+        while self.step():
+            if predicate():
+                return True
+            steps += 1
+            if max_steps is not None and steps >= max_steps:
+                return False
+        return False
+
+    def idle(self) -> bool:
+        """True when no live events remain."""
+        return len(self.queue) == 0

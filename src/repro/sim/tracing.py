@@ -1,0 +1,106 @@
+"""Structured run tracing and message statistics.
+
+The tracer is optional and cheap when disabled. Experiments use
+:class:`MessageStats` for the message-complexity tables; debugging uses the
+full :class:`Trace` record stream.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced network event."""
+
+    time: float
+    kind: str  # "send" | "deliver" | "drop" | "corrupt" | "crash" | "note"
+    src: str
+    dst: str
+    payload_type: str
+    detail: str = ""
+
+
+class MessageStats:
+    """Counts of sends/deliveries per payload type and per process.
+
+    All counters are plain :class:`collections.Counter` so experiment code
+    can aggregate them across runs with ``+``.
+    """
+
+    def __init__(self) -> None:
+        self.sent_by_type: Counter[str] = Counter()
+        self.delivered_by_type: Counter[str] = Counter()
+        self.sent_by_process: Counter[str] = Counter()
+        self.dropped = 0
+        self.corrupted = 0
+
+    @property
+    def total_sent(self) -> int:
+        return sum(self.sent_by_type.values())
+
+    @property
+    def total_delivered(self) -> int:
+        return sum(self.delivered_by_type.values())
+
+    def note_send(self, src: str, payload: Any) -> None:
+        self.sent_by_type[type(payload).__name__] += 1
+        self.sent_by_process[src] += 1
+
+    def note_delivery(self, payload: Any) -> None:
+        self.delivered_by_type[type(payload).__name__] += 1
+
+    def merged_with(self, other: "MessageStats") -> "MessageStats":
+        out = MessageStats()
+        out.sent_by_type = self.sent_by_type + other.sent_by_type
+        out.delivered_by_type = self.delivered_by_type + other.delivered_by_type
+        out.sent_by_process = self.sent_by_process + other.sent_by_process
+        out.dropped = self.dropped + other.dropped
+        out.corrupted = self.corrupted + other.corrupted
+        return out
+
+
+@dataclass
+class Trace:
+    """Append-only trace of network-level events.
+
+    Disabled by default; enabling it has a per-message cost, so large sweeps
+    keep it off and rely on :class:`MessageStats`.
+    """
+
+    enabled: bool = False
+    records: list[TraceRecord] = field(default_factory=list)
+    limit: Optional[int] = None
+
+    def emit(
+        self,
+        time: float,
+        kind: str,
+        src: str,
+        dst: str,
+        payload: Any,
+        detail: str = "",
+    ) -> None:
+        if not self.enabled:
+            return
+        if self.limit is not None and len(self.records) >= self.limit:
+            return
+        self.records.append(
+            TraceRecord(
+                time=time,
+                kind=kind,
+                src=src,
+                dst=dst,
+                payload_type=type(payload).__name__,
+                detail=detail,
+            )
+        )
+
+    def of_kind(self, kind: str) -> Iterator[TraceRecord]:
+        return (r for r in self.records if r.kind == kind)
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,90 @@
+"""ASCII rendering of network traces.
+
+Turns a recorded :class:`~repro.sim.tracing.Trace` into a message-sequence
+chart — one column per process, one line per event — which makes the
+proof schedules (Theorem 1's races, the Lemma 5 flush attack) readable:
+
+    time   c0           s0           s1
+    0.00   GetTs ------------------> .
+    1.00   .  <------- TsReply       .
+
+Only trace *rendering* lives here; recording is the network's job (enable
+with ``system.env.network.trace.enabled = True`` before the run).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.sim.tracing import Trace, TraceRecord
+
+
+def render_sequence_chart(
+    trace: Trace,
+    processes: Optional[Sequence[str]] = None,
+    kinds: Iterable[str] = ("send", "deliver", "drop"),
+    limit: Optional[int] = None,
+    col_width: int = 14,
+) -> str:
+    """Render the trace as a message-sequence chart.
+
+    Args:
+        trace: the recorded trace.
+        processes: column order; defaults to first-seen order.
+        kinds: which record kinds to show.
+        limit: cap on rendered records.
+        col_width: column width per process.
+    """
+    records = [r for r in trace.records if r.kind in set(kinds)]
+    if limit is not None:
+        records = records[:limit]
+
+    if processes is None:
+        seen: list[str] = []
+        for rec in records:
+            for pid in (rec.src, rec.dst):
+                if pid and pid not in seen:
+                    seen.append(pid)
+        processes = seen
+    index = {pid: i for i, pid in enumerate(processes)}
+
+    lines = []
+    header = "time".ljust(9) + "".join(p.ljust(col_width) for p in processes)
+    lines.append(header)
+    lines.append("-" * len(header))
+
+    for rec in records:
+        cells = ["." .ljust(col_width) for _ in processes]
+        label = rec.payload_type
+        src_i = index.get(rec.src)
+        dst_i = index.get(rec.dst)
+        if src_i is None and dst_i is None:
+            continue
+        if rec.kind == "send" and src_i is not None:
+            cells[src_i] = f"{label} >".ljust(col_width)
+        elif rec.kind == "deliver" and dst_i is not None:
+            cells[dst_i] = f"> {label}".ljust(col_width)
+        elif rec.kind == "drop":
+            where = dst_i if dst_i is not None else src_i
+            cells[where] = f"x {label}".ljust(col_width)
+        arrow = ""
+        if rec.src and rec.dst:
+            arrow = f"  [{rec.src}->{rec.dst}]"
+        lines.append(f"{rec.time:<9.2f}" + "".join(cells) + arrow)
+    return "\n".join(lines)
+
+
+def summarize_trace(trace: Trace) -> str:
+    """Aggregate view: counts per (kind, payload type)."""
+    from collections import Counter
+
+    counts: Counter[tuple[str, str]] = Counter()
+    for rec in trace.records:
+        counts[(rec.kind, rec.payload_type)] += 1
+    lines = ["kind       payload                count"]
+    lines.append("-" * 40)
+    for (kind, payload), count in sorted(
+        counts.items(), key=lambda kv: (-kv[1], kv[0])
+    ):
+        lines.append(f"{kind:<10s} {payload:<22s} {count}")
+    return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Register specifications and history checkers.
+
+Protocol runs record an :class:`~repro.spec.history.History` of operation
+invocation/response events stamped with the *fictional global clock*
+(simulation time, invisible to protocol code). This package then decides,
+after the fact, whether the history satisfies:
+
+* **Termination** — every operation by a correct client completes;
+* **Validity** — each read returns the last value written before its
+  invocation or a concurrently-written value;
+* **Consistency** — two reads perceive the writes that do not strictly
+  follow either of them in the same order (no new/old inversion between
+  sequential reads);
+* **MWMR regularity** — the conjunction of the above w.r.t. a total write
+  order consistent with real time (Shao-Pierce-Welch style);
+* **pseudo-stabilization** — a suffix of the run satisfies the register
+  specification, the suffix starting no later than the first write that
+  completes after the last transient fault (Definition 1, f-BTPS);
+* **atomicity/linearizability** — a strictly stronger condition used to
+  separate regular from atomic behaviour in the experiments.
+
+Tests assert on checker verdicts, so the checkers themselves are heavily
+unit- and property-tested on hand-crafted histories with known verdicts.
+"""
+
+from repro.spec.history import Operation, OpKind, OpStatus, History, HistoryRecorder
+from repro.spec.relations import precedes, concurrent
+from repro.spec.regularity import (
+    RegularityVerdict,
+    RegularityChecker,
+    infer_write_order,
+)
+from repro.spec.atomicity import check_linearizable
+from repro.spec.quiescence import (
+    Assumption2Report,
+    check_assumption2,
+    quiescent_windows,
+    write_bursts,
+)
+from repro.spec.safety import SafetyChecker, SafetyVerdict
+from repro.spec.stabilization import StabilizationReport, evaluate_stabilization
+
+__all__ = [
+    "Operation",
+    "OpKind",
+    "OpStatus",
+    "History",
+    "HistoryRecorder",
+    "precedes",
+    "concurrent",
+    "RegularityVerdict",
+    "RegularityChecker",
+    "infer_write_order",
+    "check_linearizable",
+    "Assumption2Report",
+    "check_assumption2",
+    "quiescent_windows",
+    "write_bursts",
+    "SafetyChecker",
+    "SafetyVerdict",
+    "StabilizationReport",
+    "evaluate_stabilization",
+]

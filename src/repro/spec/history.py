@@ -1,0 +1,215 @@
+"""Operation histories.
+
+A history is the ground truth of a run: every ``read``/``write`` invocation
+and response with its global-clock instants. Checkers consume histories;
+protocol code only ever *produces* them through a
+:class:`HistoryRecorder` handed to the clients.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Optional
+
+from repro.errors import HistoryError
+
+
+class OpKind(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+
+
+class OpStatus(enum.Enum):
+    PENDING = "pending"  # invoked, no response yet
+    OK = "ok"  # completed normally
+    ABORT = "abort"  # read aborted (transitory phase detected)
+    CRASHED = "crashed"  # client crashed mid-operation (a *failed* op)
+
+
+@dataclass
+class Operation:
+    """One register operation as the global observer sees it.
+
+    Attributes:
+        op_id: unique id within the history.
+        client: invoking client pid.
+        kind: read or write.
+        argument: the value a write writes (``None`` for reads).
+        result: the value a read returned (``None`` until response; also
+            ``None`` for writes and aborted reads).
+        invoked_at / responded_at: fictional-global-clock instants.
+        status: lifecycle state.
+        timestamp: protocol-internal timestamp attached to the operation
+            (diagnostics and write-order inference; checkers can run
+            without it).
+    """
+
+    op_id: int
+    client: str
+    kind: OpKind
+    argument: Any = None
+    result: Any = None
+    invoked_at: float = 0.0
+    responded_at: Optional[float] = None
+    status: OpStatus = OpStatus.PENDING
+    timestamp: Any = None
+
+    @property
+    def complete(self) -> bool:
+        return self.status in (OpStatus.OK, OpStatus.ABORT)
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind is OpKind.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind is OpKind.WRITE
+
+    def __repr__(self) -> str:
+        body = (
+            f"write({self.argument!r})"
+            if self.is_write
+            else f"read()->{self.result!r}"
+        )
+        end = "…" if self.responded_at is None else f"{self.responded_at:.2f}"
+        return (
+            f"Op#{self.op_id}[{self.client} {body} "
+            f"{self.status.value} {self.invoked_at:.2f}-{end}]"
+        )
+
+
+class History:
+    """An append-only collection of operations with query helpers."""
+
+    def __init__(self) -> None:
+        self.operations: list[Operation] = []
+        self._ids = itertools.count()
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def invoke(
+        self,
+        client: str,
+        kind: OpKind,
+        at: float,
+        argument: Any = None,
+    ) -> Operation:
+        op = Operation(
+            op_id=next(self._ids),
+            client=client,
+            kind=kind,
+            argument=argument,
+            invoked_at=at,
+        )
+        self.operations.append(op)
+        return op
+
+    def respond(
+        self,
+        op: Operation,
+        at: float,
+        status: OpStatus = OpStatus.OK,
+        result: Any = None,
+        timestamp: Any = None,
+    ) -> None:
+        if op.status is not OpStatus.PENDING:
+            raise HistoryError(f"double response for {op!r}")
+        if at < op.invoked_at:
+            raise HistoryError(
+                f"response before invocation for {op!r}: {at} < {op.invoked_at}"
+            )
+        op.responded_at = at
+        op.status = status
+        op.result = result
+        if timestamp is not None:
+            op.timestamp = timestamp
+
+    def mark_crashed(self, client: str, at: float) -> None:
+        """Fail every pending operation of ``client`` (crash semantics)."""
+        for op in self.operations:
+            if op.client == client and op.status is OpStatus.PENDING:
+                op.responded_at = at
+                op.status = OpStatus.CRASHED
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.operations)
+
+    def reads(self, complete_only: bool = False) -> list[Operation]:
+        return [
+            op
+            for op in self.operations
+            if op.is_read and (op.complete or not complete_only)
+        ]
+
+    def writes(self, complete_only: bool = False) -> list[Operation]:
+        return [
+            op
+            for op in self.operations
+            if op.is_write and (op.complete or not complete_only)
+        ]
+
+    def completed_reads(self) -> list[Operation]:
+        return [op for op in self.operations if op.is_read and op.status is OpStatus.OK]
+
+    def aborted_reads(self) -> list[Operation]:
+        return [
+            op for op in self.operations if op.is_read and op.status is OpStatus.ABORT
+        ]
+
+    def pending(self) -> list[Operation]:
+        return [op for op in self.operations if op.status is OpStatus.PENDING]
+
+    def after(self, t: float) -> "History":
+        """Sub-history of operations invoked at or after time ``t``.
+
+        Operations straddling ``t`` (invoked before, responding after) are
+        *excluded*; pseudo-stabilization evaluates specification suffixes
+        over operations that begin inside the suffix.
+        """
+        sub = History()
+        sub.operations = [op for op in self.operations if op.invoked_at >= t]
+        return sub
+
+    def filtered(self, pred: Callable[[Operation], bool]) -> "History":
+        sub = History()
+        sub.operations = [op for op in self.operations if pred(op)]
+        return sub
+
+
+class HistoryRecorder:
+    """The write-side facade clients receive.
+
+    It binds a :class:`History` to a clock source so protocol code never
+    handles raw times; clients call ``invoked`` / ``responded``.
+    """
+
+    def __init__(self, history: History, clock: Callable[[], float]) -> None:
+        self.history = history
+        self._clock = clock
+
+    def invoked(self, client: str, kind: OpKind, argument: Any = None) -> Operation:
+        return self.history.invoke(client, kind, self._clock(), argument=argument)
+
+    def responded(
+        self,
+        op: Operation,
+        status: OpStatus = OpStatus.OK,
+        result: Any = None,
+        timestamp: Any = None,
+    ) -> None:
+        self.history.respond(
+            op, self._clock(), status=status, result=result, timestamp=timestamp
+        )
+
+    def crashed(self, client: str) -> None:
+        self.history.mark_crashed(client, self._clock())

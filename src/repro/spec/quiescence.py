@@ -1,0 +1,151 @@
+"""Write-quiescence analysis (Assumption 2 made measurable).
+
+Assumption 2 requires that "after a burst of write() operations ... there
+exist a sufficiently long period where the writer does not take any
+operation", and ties the servers' memory (the ``old_vals`` window) to the
+burst length. This module analyses recorded histories in those terms:
+
+* :func:`write_bursts` — maximal groups of writes separated by gaps below
+  a threshold;
+* :func:`quiescent_windows` — the write-free intervals between bursts;
+* :func:`check_assumption2` — does the history respect a given window
+  length (no burst longer than the servers' ``old_vals`` capacity) and
+  minimum quiescence?
+
+Experiments and users can thus *verify* that a workload lies inside the
+regime the correctness proof covers, instead of hoping it does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.spec.history import History, Operation, OpStatus
+
+
+@dataclass(frozen=True)
+class Burst:
+    """A maximal run of writes with inter-write gaps below the threshold."""
+
+    writes: tuple[Operation, ...]
+    start: float
+    end: float
+
+    def __len__(self) -> int:
+        return len(self.writes)
+
+
+@dataclass(frozen=True)
+class QuiescentWindow:
+    """A write-free interval between bursts (or after the last one)."""
+
+    start: float
+    end: Optional[float]  # None = open-ended (history tail)
+
+    @property
+    def duration(self) -> float:
+        return float("inf") if self.end is None else self.end - self.start
+
+
+@dataclass
+class Assumption2Report:
+    """Verdict of :func:`check_assumption2`."""
+
+    ok: bool
+    longest_burst: int
+    shortest_quiescence: float
+    bursts: list[Burst] = field(default_factory=list)
+    windows: list[QuiescentWindow] = field(default_factory=list)
+
+    def summary(self) -> str:
+        status = "WITHIN" if self.ok else "OUTSIDE"
+        return (
+            f"{status} Assumption 2: longest burst {self.longest_burst}, "
+            f"shortest quiescence {self.shortest_quiescence:.2f}"
+        )
+
+
+def write_bursts(history: History, max_gap: float = 1.0) -> list[Burst]:
+    """Group completed writes into bursts.
+
+    Two consecutive writes belong to one burst when the second is invoked
+    within ``max_gap`` of the first's response (back-to-back traffic).
+    Writes overlapping in time (concurrent writers) always share a burst.
+    """
+    writes = sorted(
+        (
+            w
+            for w in history.writes()
+            if w.status is OpStatus.OK and w.responded_at is not None
+        ),
+        key=lambda w: (w.invoked_at, w.op_id),
+    )
+    bursts: list[Burst] = []
+    current: list[Operation] = []
+    burst_end = 0.0
+    for w in writes:
+        if current and w.invoked_at - burst_end > max_gap:
+            bursts.append(
+                Burst(
+                    writes=tuple(current),
+                    start=current[0].invoked_at,
+                    end=burst_end,
+                )
+            )
+            current = []
+        current.append(w)
+        burst_end = max(burst_end, w.responded_at)
+    if current:
+        bursts.append(
+            Burst(
+                writes=tuple(current),
+                start=current[0].invoked_at,
+                end=burst_end,
+            )
+        )
+    return bursts
+
+
+def quiescent_windows(
+    history: History, max_gap: float = 1.0
+) -> list[QuiescentWindow]:
+    """The write-free intervals between (and after) the bursts."""
+    bursts = write_bursts(history, max_gap=max_gap)
+    windows: list[QuiescentWindow] = []
+    for earlier, later in zip(bursts, bursts[1:]):
+        windows.append(QuiescentWindow(start=earlier.end, end=later.start))
+    if bursts:
+        windows.append(QuiescentWindow(start=bursts[-1].end, end=None))
+    return windows
+
+
+def check_assumption2(
+    history: History,
+    window_capacity: int,
+    min_quiescence: float,
+    max_gap: float = 1.0,
+) -> Assumption2Report:
+    """Decide whether the workload stays inside the proof's regime.
+
+    Args:
+        window_capacity: the servers' ``old_vals`` length — no burst may
+            exceed it.
+        min_quiescence: minimum write-free time demanded between bursts.
+        max_gap: burst-grouping threshold.
+    """
+    bursts = write_bursts(history, max_gap=max_gap)
+    windows = quiescent_windows(history, max_gap=max_gap)
+    longest = max((len(b) for b in bursts), default=0)
+    inner = [w.duration for w in windows if w.end is not None]
+    shortest = min(inner, default=float("inf"))
+    ok = longest <= window_capacity and (
+        not inner or shortest >= min_quiescence
+    )
+    return Assumption2Report(
+        ok=ok,
+        longest_burst=longest,
+        shortest_quiescence=shortest,
+        bursts=bursts,
+        windows=windows,
+    )

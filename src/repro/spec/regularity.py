@@ -1,0 +1,369 @@
+"""MWMR regular-register checking.
+
+The specification (Section II-A of the paper) is *existential*: a history
+is regular iff **some** total order of the writes, consistent with
+real-time precedence, validates every read. Fixing one candidate order up
+front (e.g. by protocol timestamps) is unsound as a checker — the bounded
+labeling relation is not transitive, so pairwise timestamp comparisons of
+three mutually-concurrent writes can cycle even in perfectly regular
+histories.
+
+Fortunately the existential check reduces exactly to graph acyclicity.
+Collect constraint edges over the writes:
+
+* **real-time**: complete write ``a`` responds before write ``b`` is
+  invoked ⇒ ``a`` before ``b``;
+* **validity**: a completed read ``r`` returning the value of a write
+  ``w`` that *precedes* ``r`` asserts that ``w`` is the **last** preceding
+  write ⇒ every other write ``x`` preceding ``r`` orders before ``w``.
+  (A read returning a write *concurrent* with it constrains nothing.)
+
+A total order validating all reads exists iff this digraph is acyclic
+(any topological order works). Cross-read consistency for settled returns
+is subsumed: if ``r1 ≺ r2`` both return settled writes in inverted order,
+the validity edges of the two reads already form a cycle. Inversions
+involving *concurrent* writes are permitted — exactly the new/old
+inversion a regular (non-atomic) register allows; the atomicity checker
+(:mod:`repro.spec.atomicity`) is the stricter tool.
+
+Per-read violations that need no order reasoning are reported directly:
+returning a value nobody wrote, returning a write invoked only after the
+read responded, returning the initial value although some write completed
+before the read, or returning a preceding write that is not real-time
+maximal among the preceding writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.labels.base import LabelingScheme
+from repro.spec.history import History, Operation, OpStatus
+from repro.spec.relations import concurrent, precedes
+
+#: Sentinel distinguishing "register's initial value" from any written value.
+INITIAL = object()
+
+
+@dataclass
+class Violation:
+    """One specification violation with forensic context."""
+
+    clause: str  # "validity" | "consistency" | "termination" | "write-order"
+    detail: str
+    read: Optional[Operation] = None
+    other: Optional[Operation] = None
+
+    def __repr__(self) -> str:
+        return f"Violation({self.clause}: {self.detail})"
+
+
+@dataclass
+class RegularityVerdict:
+    """Outcome of a regularity check."""
+
+    ok: bool
+    violations: list[Violation] = field(default_factory=list)
+    checked_reads: int = 0
+    aborted_reads: int = 0
+    write_order: list[Operation] = field(default_factory=list)
+    ambiguous_values: bool = False
+
+    def summary(self) -> str:
+        status = "REGULAR" if self.ok else "VIOLATED"
+        return (
+            f"{status}: {self.checked_reads} reads checked, "
+            f"{self.aborted_reads} aborted, {len(self.violations)} violations"
+        )
+
+
+class WriteOrderCycleError(Exception):
+    """The combined constraint relation over writes is cyclic."""
+
+
+def _safe_get(mapping: dict[Any, Any], key: Any, default: Any = None) -> Any:
+    """Dict lookup that treats unhashable garbage keys as missing."""
+    try:
+        return mapping.get(key, default)
+    except TypeError:
+        return default
+
+
+def infer_write_order(
+    history: History, scheme: Optional[LabelingScheme] = None
+) -> list[Operation]:
+    """A diagnostic total order on writes (real-time + timestamp hints).
+
+    Used by experiment reports, *not* by the regularity decision (which is
+    existential; see module docstring). Timestamp edges are added only
+    where they do not contradict real time; cycles raise
+    :class:`WriteOrderCycleError`.
+    """
+    writes = history.writes()
+    edges: dict[int, set[int]] = {op.op_id: set() for op in writes}
+    for a in writes:
+        for b in writes:
+            if a is b:
+                continue
+            if precedes(a, b):
+                edges[a.op_id].add(b.op_id)
+            elif (
+                scheme is not None
+                and not precedes(b, a)
+                and a.timestamp is not None
+                and b.timestamp is not None
+                and scheme.precedes(a.timestamp, b.timestamp)
+            ):
+                edges[a.op_id].add(b.op_id)
+    order = _topological(writes, edges)
+    if order is None:
+        raise WriteOrderCycleError(
+            "real-time and timestamp edges over writes form a cycle"
+        )
+    return order
+
+
+def _topological(
+    writes: Sequence[Operation], edges: dict[int, set[int]]
+) -> Optional[list[Operation]]:
+    """Deterministic Kahn sort; ``None`` when the edges are cyclic."""
+    index = {op.op_id: op for op in writes}
+    indeg = {op.op_id: 0 for op in writes}
+    for src, dsts in edges.items():
+        for dst in dsts:
+            indeg[dst] += 1
+    ready = sorted(
+        (op for op in writes if indeg[op.op_id] == 0),
+        key=lambda op: (op.invoked_at, op.op_id),
+    )
+    order: list[Operation] = []
+    while ready:
+        op = ready.pop(0)
+        order.append(op)
+        fresh = []
+        for dst in edges[op.op_id]:
+            indeg[dst] -= 1
+            if indeg[dst] == 0:
+                fresh.append(index[dst])
+        if fresh:
+            ready.extend(fresh)
+            ready.sort(key=lambda op: (op.invoked_at, op.op_id))
+    if len(order) != len(writes):
+        return None
+    return order
+
+
+class RegularityChecker:
+    """Decides MWMR regularity of histories (existential write order).
+
+    Args:
+        scheme: labeling scheme, used only for the diagnostic write order
+            attached to verdicts (never for the regularity decision).
+        initial_value: the register's conceptual initial value; reads
+            preceding every write may return it.
+        check_consistency: additionally report *explicit* new/old
+            inversions between sequential reads whose returned writes both
+            precede them — redundant with the cycle test but yields much
+            clearer diagnostics, so it is on by default.
+        check_termination: flag pending operations of non-crashed clients.
+    """
+
+    def __init__(
+        self,
+        scheme: Optional[LabelingScheme] = None,
+        initial_value: Any = INITIAL,
+        check_consistency: bool = True,
+        check_termination: bool = True,
+    ) -> None:
+        self.scheme = scheme
+        self.initial_value = initial_value
+        self.check_consistency = check_consistency
+        self.check_termination = check_termination
+
+    # ------------------------------------------------------------------
+    def check(self, history: History) -> RegularityVerdict:
+        verdict = RegularityVerdict(ok=True)
+        writes = history.writes()
+        ok_reads = history.completed_reads()
+        verdict.checked_reads = len(ok_reads)
+        verdict.aborted_reads = len(history.aborted_reads())
+
+        # -- value -> write mapping ---------------------------------------
+        by_value: dict[Any, list[Operation]] = {}
+        for w in writes:
+            try:
+                by_value.setdefault(w.argument, []).append(w)
+            except TypeError:
+                verdict.ambiguous_values = True
+        verdict.ambiguous_values |= any(len(v) > 1 for v in by_value.values())
+
+        # -- termination ---------------------------------------------------
+        if self.check_termination:
+            for op in history.pending():
+                verdict.ok = False
+                verdict.violations.append(
+                    Violation(
+                        clause="termination",
+                        detail=f"{op!r} never completed",
+                        read=op if op.is_read else None,
+                    )
+                )
+
+        # -- constraint edges over writes ----------------------------------
+        edges: dict[int, set[int]] = {w.op_id: set() for w in writes}
+        for a in writes:
+            for b in writes:
+                if a is not b and precedes(a, b):
+                    edges[a.op_id].add(b.op_id)
+
+        resolved: dict[int, Optional[Operation]] = {}
+        for r in ok_reads:
+            self._check_read(r, writes, by_value, edges, resolved, verdict)
+
+        # -- a consistent total order must exist ---------------------------
+        order = _topological(writes, edges)
+        if order is None:
+            verdict.ok = False
+            verdict.violations.append(
+                Violation(
+                    clause="write-order",
+                    detail=(
+                        "no total write order satisfies real-time precedence "
+                        "and all read validity constraints (constraint cycle)"
+                    ),
+                )
+            )
+            verdict.write_order = []
+        else:
+            verdict.write_order = order
+
+        # -- explicit inversion diagnostics (subsumed by the cycle test) ----
+        if self.check_consistency and order is not None:
+            self._report_inversions(ok_reads, resolved, order, verdict)
+
+        return verdict
+
+    # ------------------------------------------------------------------
+    def _check_read(
+        self,
+        r: Operation,
+        writes: list[Operation],
+        by_value: dict[Any, list[Operation]],
+        edges: dict[int, set[int]],
+        resolved: dict[int, Optional[Operation]],
+        verdict: RegularityVerdict,
+    ) -> None:
+        preceding = [w for w in writes if precedes(w, r)]
+
+        # Initial value?
+        if r.result == self.initial_value and not _safe_get(by_value, r.result):
+            resolved[r.op_id] = None
+            if preceding:
+                verdict.ok = False
+                verdict.violations.append(
+                    Violation(
+                        clause="validity",
+                        detail=(
+                            f"{r!r} returned the initial value although "
+                            f"{len(preceding)} writes completed before it"
+                        ),
+                        read=r,
+                    )
+                )
+            return
+
+        candidates = _safe_get(by_value, r.result, [])
+        if not candidates:
+            verdict.ok = False
+            verdict.violations.append(
+                Violation(
+                    clause="validity",
+                    detail=f"{r!r} returned {r.result!r}, which no write wrote",
+                    read=r,
+                )
+            )
+            return
+        if len(candidates) > 1:
+            # Ambiguous duplicate values: pick the interpretation most
+            # favourable to the protocol (a concurrent write if any, else a
+            # real-time-maximal preceding one) — reported via the flag.
+            for w in candidates:
+                if concurrent(w, r):
+                    resolved[r.op_id] = w
+                    return
+            candidates = [w for w in candidates if precedes(w, r)] or candidates
+        w = candidates[-1]
+        resolved[r.op_id] = w
+
+        if concurrent(w, r):
+            return  # concurrently-written values are always acceptable
+        if not precedes(w, r):
+            verdict.ok = False
+            verdict.violations.append(
+                Violation(
+                    clause="validity",
+                    detail=f"{r!r} returned {w!r}, which started only after the read ended",
+                    read=r,
+                    other=w,
+                )
+            )
+            return
+        # w precedes r: it must be *the last* preceding write. Direct check
+        # against real time for a clear message...
+        for x in preceding:
+            if x is not w and precedes(w, x):
+                verdict.ok = False
+                verdict.violations.append(
+                    Violation(
+                        clause="validity",
+                        detail=(
+                            f"{r!r} returned {w!r}, but {x!r} completed "
+                            f"entirely after it and before the read"
+                        ),
+                        read=r,
+                        other=x,
+                    )
+                )
+                return
+        # ...and as ordering constraints for everything concurrent with w.
+        for x in preceding:
+            if x is not w:
+                edges[x.op_id].add(w.op_id)
+
+    # ------------------------------------------------------------------
+    def _report_inversions(
+        self,
+        reads: list[Operation],
+        resolved: dict[int, Optional[Operation]],
+        order: list[Operation],
+        verdict: RegularityVerdict,
+    ) -> None:
+        """Explicit new/old inversion diagnostics among settled returns."""
+        rank = {w.op_id: i for i, w in enumerate(order)}
+        settled = [
+            r
+            for r in reads
+            if resolved.get(r.op_id) is not None
+            and precedes(resolved[r.op_id], r)
+        ]
+        settled.sort(key=lambda r: (r.invoked_at, r.op_id))
+        for i, r1 in enumerate(settled):
+            w1 = resolved[r1.op_id]
+            for r2 in settled[i + 1:]:
+                if not precedes(r1, r2):
+                    continue
+                w2 = resolved[r2.op_id]
+                if precedes(w2, w1):
+                    verdict.ok = False
+                    verdict.violations.append(
+                        Violation(
+                            clause="consistency",
+                            detail=(
+                                f"new/old inversion on settled writes: "
+                                f"{r1!r} then {r2!r}"
+                            ),
+                            read=r2,
+                            other=r1,
+                        )
+                    )

@@ -1,0 +1,30 @@
+"""Real-time precedence between operations (Section II-A).
+
+``op ≺ op'`` iff the response of ``op`` occurs before the invocation of
+``op'`` on the fictional global clock; otherwise the operations are
+concurrent. Incomplete operations (pending or crashed mid-flight) never
+precede anything — they have no response event.
+"""
+
+from __future__ import annotations
+
+from repro.spec.history import Operation
+
+
+def precedes(a: Operation, b: Operation) -> bool:
+    """True iff ``a`` responds strictly before ``b`` is invoked."""
+    if a.responded_at is None or not a.complete:
+        return False
+    return a.responded_at < b.invoked_at
+
+
+def concurrent(a: Operation, b: Operation) -> bool:
+    """Neither operation precedes the other (and they are distinct)."""
+    if a is b:
+        return False
+    return not precedes(a, b) and not precedes(b, a)
+
+
+def strictly_follows(a: Operation, b: Operation) -> bool:
+    """``a`` strictly follows ``b``: ``b ≺ a``."""
+    return precedes(b, a)

@@ -1,0 +1,146 @@
+"""Safe-register checking (the weakest of Lamport's three semantics).
+
+A *safe* register only constrains reads that are **not** concurrent with
+any write: they must return the last written value. Reads overlapping a
+write may return anything at all.
+
+Used to judge the Malkhi-Reiter baseline on its own terms (it promises
+safety, not regularity) and to demonstrate the semantics lattice
+
+    safe  <  regular  <  atomic
+
+mechanically: every regular history is safe, every atomic history is
+regular, and the separations are witnessed by concrete protocol runs
+(E11 separates regular from atomic; the masking-quorum register under
+concurrency separates safe from regular).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.spec.history import History, Operation
+from repro.spec.regularity import INITIAL, Violation, _topological
+from repro.spec.relations import concurrent, precedes
+
+
+@dataclass
+class SafetyVerdict:
+    """Outcome of a safe-register check."""
+
+    ok: bool
+    violations: list[Violation] = field(default_factory=list)
+    checked_reads: int = 0  # non-concurrent reads actually constrained
+    unconstrained_reads: int = 0  # reads concurrent with some write
+
+    def summary(self) -> str:
+        status = "SAFE" if self.ok else "VIOLATED"
+        return (
+            f"{status}: {self.checked_reads} constrained reads, "
+            f"{self.unconstrained_reads} unconstrained, "
+            f"{len(self.violations)} violations"
+        )
+
+
+class SafetyChecker:
+    """Decides the safe-register specification.
+
+    The write order follows the same existential principle as the
+    regularity checker: a constrained read returning write ``w`` demands
+    every other write preceding it be ordered before ``w``; safety holds
+    iff the constraint graph (real-time + these) is acyclic and no
+    constrained read returns an unwritten/initial-when-overwritten value.
+    """
+
+    def __init__(self, initial_value: Any = INITIAL) -> None:
+        self.initial_value = initial_value
+
+    def check(self, history: History) -> SafetyVerdict:
+        verdict = SafetyVerdict(ok=True)
+        writes = history.writes()
+        edges: dict[int, set[int]] = {w.op_id: set() for w in writes}
+        for a in writes:
+            for b in writes:
+                if a is not b and precedes(a, b):
+                    edges[a.op_id].add(b.op_id)
+
+        by_value: dict[Any, list[Operation]] = {}
+        for w in writes:
+            try:
+                by_value.setdefault(w.argument, []).append(w)
+            except TypeError:
+                pass
+
+        for r in history.completed_reads():
+            if any(concurrent(w, r) for w in writes) or any(
+                not w.complete and w.invoked_at <= (r.responded_at or 0)
+                for w in writes
+            ):
+                verdict.unconstrained_reads += 1
+                continue  # concurrent with a write: anything goes
+            verdict.checked_reads += 1
+            self._check_constrained_read(r, writes, by_value, edges, verdict)
+
+        if _topological(writes, edges) is None:
+            verdict.ok = False
+            verdict.violations.append(
+                Violation(
+                    clause="write-order",
+                    detail="no write order satisfies the safe-read constraints",
+                )
+            )
+        return verdict
+
+    def _check_constrained_read(
+        self,
+        r: Operation,
+        writes: list[Operation],
+        by_value: dict[Any, list[Operation]],
+        edges: dict[int, set[int]],
+        verdict: SafetyVerdict,
+    ) -> None:
+        preceding = [w for w in writes if precedes(w, r)]
+        if r.result == self.initial_value and not by_value.get(r.result):
+            if preceding:
+                verdict.ok = False
+                verdict.violations.append(
+                    Violation(
+                        clause="safety",
+                        detail=f"{r!r} returned the initial value after writes",
+                        read=r,
+                    )
+                )
+            return
+        try:
+            candidates = by_value.get(r.result, [])
+        except TypeError:
+            candidates = []
+        w = next((c for c in candidates if precedes(c, r)), None)
+        if w is None:
+            verdict.ok = False
+            verdict.violations.append(
+                Violation(
+                    clause="safety",
+                    detail=(
+                        f"{r!r} returned {r.result!r}, not the value of any "
+                        f"preceding write"
+                    ),
+                    read=r,
+                )
+            )
+            return
+        for x in preceding:
+            if x is not w:
+                if precedes(w, x):
+                    verdict.ok = False
+                    verdict.violations.append(
+                        Violation(
+                            clause="safety",
+                            detail=f"{r!r} returned {w!r} but {x!r} came later",
+                            read=r,
+                            other=x,
+                        )
+                    )
+                    return
+                edges[x.op_id].add(w.op_id)

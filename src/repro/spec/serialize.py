@@ -1,0 +1,86 @@
+"""History serialization (JSON-friendly dicts).
+
+Lets a run's operation history be exported for offline analysis or
+archived next to EXPERIMENTS.md, and re-imported for checking — the
+checkers are pure functions of the history, so a serialized history is a
+complete, re-judgeable artifact.
+
+Only JSON-representable views of values are stored: arguments/results are
+kept verbatim when they are JSON scalars and stringified otherwise
+(protocol timestamps are always stringified — bounded labels are rich
+objects whose identity the checkers do not need).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.spec.history import History, Operation, OpKind, OpStatus
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def _jsonable(value: Any) -> Any:
+    return value if isinstance(value, _SCALARS) else repr(value)
+
+
+def operation_to_dict(op: Operation) -> dict[str, Any]:
+    """One operation as a plain dict."""
+    return {
+        "op_id": op.op_id,
+        "client": op.client,
+        "kind": op.kind.value,
+        "argument": _jsonable(op.argument),
+        "result": _jsonable(op.result),
+        "invoked_at": op.invoked_at,
+        "responded_at": op.responded_at,
+        "status": op.status.value,
+        "timestamp": None if op.timestamp is None else repr(op.timestamp),
+    }
+
+
+def history_to_dict(history: History) -> dict[str, Any]:
+    """The whole history as a plain dict."""
+    return {
+        "format": "repro-history/1",
+        "operations": [operation_to_dict(op) for op in history],
+    }
+
+
+def history_to_json(history: History, indent: int | None = 2) -> str:
+    return json.dumps(history_to_dict(history), indent=indent)
+
+
+def history_from_dict(data: dict[str, Any]) -> History:
+    """Rebuild a history from :func:`history_to_dict` output.
+
+    The rebuilt operations carry the serialized (possibly stringified)
+    values; checker verdicts are preserved as long as write arguments were
+    JSON scalars (the workload generators only emit strings).
+    """
+    if data.get("format") != "repro-history/1":
+        raise ValueError(f"unknown history format: {data.get('format')!r}")
+    history = History()
+    for entry in data["operations"]:
+        op = Operation(
+            op_id=int(entry["op_id"]),
+            client=str(entry["client"]),
+            kind=OpKind(entry["kind"]),
+            argument=entry["argument"],
+            result=entry["result"],
+            invoked_at=float(entry["invoked_at"]),
+            responded_at=(
+                None
+                if entry["responded_at"] is None
+                else float(entry["responded_at"])
+            ),
+            status=OpStatus(entry["status"]),
+            timestamp=entry["timestamp"],
+        )
+        history.operations.append(op)
+    return history
+
+
+def history_from_json(text: str) -> History:
+    return history_from_dict(json.loads(text))

@@ -1,0 +1,141 @@
+"""Pseudo-stabilization evaluation (Definition 1, f-BTPS).
+
+A protocol is f-Byzantine-tolerant pseudo-stabilizing when every execution
+from an arbitrary configuration has a *suffix* satisfying the register
+specification. The paper's convergence argument pins the suffix start to
+the completion of the first write() that succeeds the last transient fault
+(Assumption 1 + the Pseudo-stabilization paragraph of Section IV-C).
+
+:func:`evaluate_stabilization` takes the full history, the time of the last
+transient fault, and a regularity checker; it
+
+* locates the first write completing after the fault (the *convergence
+  point*),
+* checks the specification on the suffix of operations invoked after it,
+* and reports convergence metrics: how long (global-clock time) and how
+  many operations the system needed, plus how many pre-convergence reads
+  misbehaved (allowed by pseudo-stabilization, interesting to measure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.spec.history import History, Operation, OpStatus
+from repro.spec.regularity import RegularityChecker, RegularityVerdict
+
+
+@dataclass
+class StabilizationReport:
+    """Outcome of a pseudo-stabilization evaluation."""
+
+    stabilized: bool
+    convergence_point: Optional[float]  # completion time of the anchor write
+    anchor_write: Optional[Operation]
+    suffix_verdict: Optional[RegularityVerdict]
+    prefix_read_anomalies: int = 0  # reads before convergence violating spec
+    suffix_reads: int = 0
+    convergence_latency: Optional[float] = None  # fault time -> convergence
+
+    def summary(self) -> str:
+        if not self.stabilized:
+            return "NOT STABILIZED: " + (
+                self.suffix_verdict.summary()
+                if self.suffix_verdict
+                else "no write completed after the fault"
+            )
+        return (
+            f"STABILIZED at t={self.convergence_point:.2f} "
+            f"(latency {self.convergence_latency:.2f}); suffix: "
+            f"{self.suffix_verdict.summary()}; prefix anomalies: "
+            f"{self.prefix_read_anomalies}"
+        )
+
+
+def first_write_completing_after(
+    history: History, t: float
+) -> Optional[Operation]:
+    """The earliest-completing write executed *entirely* after ``t``.
+
+    A write merely straddling the fault is no convergence anchor: its
+    stores may predate the strike and be corrupted away right after —
+    Assumption 1 speaks of the first write that *succeeds* the transient
+    fault, i.e. starts after it.
+    """
+    candidates = [
+        w
+        for w in history.writes()
+        if w.status is OpStatus.OK
+        and w.responded_at is not None
+        and w.invoked_at >= t
+    ]
+    if not candidates:
+        return None
+    return min(candidates, key=lambda w: (w.responded_at, w.op_id))
+
+
+def evaluate_stabilization(
+    history: History,
+    checker: RegularityChecker,
+    last_fault_time: float = 0.0,
+    allow_aborts: bool = False,
+) -> StabilizationReport:
+    """Decide pseudo-stabilization of a faulted run.
+
+    The specification is evaluated on the sub-history of operations invoked
+    after the anchor write completes (reads straddling the convergence
+    point belong to the pre-convergence regime and are only *counted*, not
+    judged against the suffix specification).
+
+    Post-convergence read *aborts* count as failures by default: Lemma 7
+    proves that once the anchor write completed, reads return real values
+    — an aborting suffix means the deployment is too small or too faulty
+    (``allow_aborts=True`` relaxes this for diagnostic sweeps).
+    """
+    anchor = first_write_completing_after(history, last_fault_time)
+    if anchor is None or anchor.responded_at is None:
+        return StabilizationReport(
+            stabilized=False,
+            convergence_point=None,
+            anchor_write=None,
+            suffix_verdict=None,
+        )
+    point = anchor.responded_at
+    # The suffix keeps every write (the anchor may have been invoked
+    # before the fault and straddled it; pre-fault writes whose values
+    # legitimately survive corruption are also fair returns for reads
+    # concurrent with them — the validity constraints order everything)
+    # but only the reads invoked after the convergence point: earlier
+    # reads belong to the pre-convergence regime that pseudo-stabilization
+    # explicitly tolerates.
+    suffix = history.filtered(
+        lambda op: op.is_write or (op.is_read and op.invoked_at >= point)
+    )
+    verdict = checker.check(suffix)
+
+    # Count pre-convergence read anomalies for the record: reads invoked
+    # before the convergence point, judged against the *whole* history.
+    prefix_reads = history.filtered(
+        lambda op: op.is_read and op.invoked_at < point
+    )
+    prefix_anomalies = 0
+    if len(prefix_reads) > 0:
+        whole = checker.check(history)
+        prefix_ids = {op.op_id for op in prefix_reads}
+        prefix_anomalies = sum(
+            1
+            for v in whole.violations
+            if v.read is not None and v.read.op_id in prefix_ids
+        )
+
+    stabilized = verdict.ok and (allow_aborts or verdict.aborted_reads == 0)
+    return StabilizationReport(
+        stabilized=stabilized,
+        convergence_point=point,
+        anchor_write=anchor,
+        suffix_verdict=verdict,
+        prefix_read_anomalies=prefix_anomalies,
+        suffix_reads=verdict.checked_reads,
+        convergence_latency=point - last_fault_time,
+    )

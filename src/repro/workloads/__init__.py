@@ -1,0 +1,34 @@
+"""Workload generation and execution.
+
+Workloads are per-client *scripts* of operations with inter-operation
+delays; the driver chains each client's script (respecting the protocol's
+sequential-client rule) while different clients run concurrently, which is
+how the experiments produce genuine read/write concurrency under the
+deterministic scheduler.
+
+Generators cover the paper's motivating patterns: read-heavy cloud
+workloads, write bursts followed by quiescence (Assumption 2), and mixed
+concurrent access. Fault schedules (transient corruption instants, client
+crashes) compose with any workload.
+"""
+
+from repro.workloads.generators import (
+    ScriptedOp,
+    run_scripts,
+    read_heavy_scripts,
+    write_burst_scripts,
+    mixed_scripts,
+    unique_value,
+)
+from repro.workloads.schedules import corruption_schedule, crash_schedule
+
+__all__ = [
+    "ScriptedOp",
+    "run_scripts",
+    "read_heavy_scripts",
+    "write_burst_scripts",
+    "mixed_scripts",
+    "unique_value",
+    "corruption_schedule",
+    "crash_schedule",
+]

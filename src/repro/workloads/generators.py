@@ -1,0 +1,191 @@
+"""Workload scripts and the concurrent script driver.
+
+A script is a list of :class:`ScriptedOp` per client. The driver starts
+each client's first operation after its delay, then chains the next
+operation once the previous completes (plus its delay) — clients stay
+sequential, the fleet runs concurrently.
+
+Write values are globally unique (``unique_value``) so the regularity
+checker can map read results back to writes unambiguously.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import SimulationError
+from repro.sim.process import OperationHandle
+from repro.spec.history import OpKind
+
+
+@dataclass
+class ScriptedOp:
+    """One scripted operation.
+
+    Attributes:
+        kind: read or write.
+        value: the written value (ignored for reads).
+        delay: simulation-time gap between the previous operation's
+            completion (or the run start) and this invocation.
+    """
+
+    kind: OpKind
+    value: Any = None
+    delay: float = 0.0
+
+
+def unique_value(client: str, index: int) -> str:
+    """Globally unique write value, e.g. ``"c2.w7"``."""
+    return f"{client}.w{index}"
+
+
+def run_scripts(
+    system: Any,
+    scripts: dict[str, list[ScriptedOp]],
+    drain: bool = True,
+) -> list[OperationHandle]:
+    """Execute per-client scripts concurrently; return all handles.
+
+    ``system`` is any register system exposing ``clients``/``env`` and
+    per-client ``write``/``read`` starters (the core system and every
+    baseline do). With ``drain`` the scheduler runs until the event queue
+    empties; a script whose operation never completes (a baseline wedged
+    by corruption) leaves its handle pending — callers inspect handles or
+    the history rather than crashing.
+    """
+    handles: list[OperationHandle] = []
+
+    def start_next(cid: str, remaining: list[ScriptedOp]) -> None:
+        if not remaining:
+            return
+        op, rest = remaining[0], remaining[1:]
+
+        def begin() -> None:
+            client = system.clients[cid]
+            if client.crashed:
+                return
+            if op.kind is OpKind.WRITE:
+                handle = client.write(op.value)
+            else:
+                handle = client.read()
+            handles.append(handle)
+            handle.on_done(lambda h: schedule_next(cid, rest))
+
+        system.env.scheduler.call_in(op.delay, begin, tag=f"wl:{cid}")
+
+    def schedule_next(cid: str, rest: list[ScriptedOp]) -> None:
+        start_next(cid, rest)
+
+    for cid, ops in scripts.items():
+        if cid not in system.clients:
+            raise SimulationError(f"script for unknown client {cid!r}")
+        start_next(cid, list(ops))
+
+    if drain:
+        system.env.run()
+    return handles
+
+
+# ----------------------------------------------------------------------
+# generators
+# ----------------------------------------------------------------------
+def read_heavy_scripts(
+    clients: list[str],
+    rng: random.Random,
+    ops_per_client: int = 10,
+    write_fraction: float = 0.2,
+    writer_clients: Optional[list[str]] = None,
+    max_gap: float = 3.0,
+) -> dict[str, list[ScriptedOp]]:
+    """A read-dominated mix (the motivating cloud-storage pattern).
+
+    Only ``writer_clients`` (default: the first client) issue writes, each
+    with a unique value; everyone reads. Each writer's first operation is
+    always a write, so every run contains the anchor write that
+    pseudo-stabilization converges on (Assumption 1).
+    """
+    writers = set(writer_clients if writer_clients is not None else clients[:1])
+    scripts: dict[str, list[ScriptedOp]] = {}
+    for cid in clients:
+        ops: list[ScriptedOp] = []
+        for i in range(ops_per_client):
+            delay = rng.uniform(0.0, max_gap)
+            first_writer_op = cid in writers and i == 0
+            if cid in writers and (
+                first_writer_op or rng.random() < write_fraction
+            ):
+                ops.append(
+                    ScriptedOp(OpKind.WRITE, unique_value(cid, i), delay)
+                )
+            else:
+                ops.append(ScriptedOp(OpKind.READ, delay=delay))
+        scripts[cid] = ops
+    return scripts
+
+
+def write_burst_scripts(
+    writer: str,
+    readers: list[str],
+    burst_len: int = 5,
+    quiescence: float = 30.0,
+    bursts: int = 2,
+    reads_per_reader: int = 6,
+    rng: Optional[random.Random] = None,
+) -> dict[str, list[ScriptedOp]]:
+    """Write bursts separated by quiescence (Assumption 2's regime).
+
+    The writer fires ``bursts`` back-to-back bursts of ``burst_len`` writes
+    with a long quiet gap after each; readers read throughout. Bursts no
+    longer than the servers' ``old_vals`` window are the regime the
+    correctness proof covers; E7 pushes past the window deliberately.
+    """
+    rng = rng or random.Random(0)
+    scripts: dict[str, list[ScriptedOp]] = {}
+    wops: list[ScriptedOp] = []
+    index = 0
+    for _ in range(bursts):
+        for b in range(burst_len):
+            wops.append(
+                ScriptedOp(OpKind.WRITE, unique_value(writer, index), 0.0)
+            )
+            index += 1
+        if wops:
+            wops[-1] = ScriptedOp(
+                OpKind.WRITE, wops[-1].value, wops[-1].delay
+            )
+        wops.append(ScriptedOp(OpKind.READ, delay=quiescence))
+    scripts[writer] = wops
+    for cid in readers:
+        scripts[cid] = [
+            ScriptedOp(OpKind.READ, delay=rng.uniform(1.0, 8.0))
+            for _ in range(reads_per_reader)
+        ]
+    return scripts
+
+
+def mixed_scripts(
+    clients: list[str],
+    rng: random.Random,
+    ops_per_client: int = 8,
+    write_fraction: float = 0.5,
+    max_gap: float = 2.0,
+) -> dict[str, list[ScriptedOp]]:
+    """Aggressive concurrent read/write mix — every client does both.
+
+    Small delays maximize overlap between clients, stressing concurrent
+    MWMR ordering (Lemma 8) and the union-graph read path. The first
+    client's first operation is always a write (the Assumption 1 anchor).
+    """
+    scripts: dict[str, list[ScriptedOp]] = {}
+    for ci, cid in enumerate(clients):
+        ops: list[ScriptedOp] = []
+        for i in range(ops_per_client):
+            delay = rng.uniform(0.0, max_gap)
+            if (ci == 0 and i == 0) or rng.random() < write_fraction:
+                ops.append(ScriptedOp(OpKind.WRITE, unique_value(cid, i), delay))
+            else:
+                ops.append(ScriptedOp(OpKind.READ, delay=delay))
+        scripts[cid] = ops
+    return scripts

@@ -1,0 +1,32 @@
+"""Weighted Timestamp Graphs (Definition 3 of the paper).
+
+A WTsG is a node-weighted directed graph whose vertices are the write
+timestamps reported by servers, whose node weight counts how many servers
+witness that timestamp, and whose edges follow the labeling scheme's
+precedence relation ``≺``. Readers build
+
+* a *local* WTsG from the current ``(value, timestamp)`` replies, and
+* a *union* WTsG that also folds in each server's reported history of
+  recent writes (``old_vals``),
+
+and return a value only when some node gathers at least ``2f + 1``
+witnesses — enough to contain ``f + 1`` correct servers, so the value is
+authentic. When several nodes qualify, the reader picks a *maximal*
+qualified node (one not preceded by another qualified node), realizing
+"return the last written value".
+"""
+
+from repro.wtsg.graph import WtsgNode, WeightedTimestampGraph
+from repro.wtsg.analysis import (
+    build_local_graph,
+    build_union_graph,
+    select_return_node,
+)
+
+__all__ = [
+    "WtsgNode",
+    "WeightedTimestampGraph",
+    "build_local_graph",
+    "build_union_graph",
+    "select_return_node",
+]

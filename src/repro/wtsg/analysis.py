@@ -1,0 +1,70 @@
+"""Builders and selection helpers for weighted timestamp graphs.
+
+These free functions are the reader protocol's lines 09/15 (Figure 2a):
+``compute_ts_graph`` and ``compute_ts_union_graph``, plus the
+return-value selection rule shared by both phases.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Mapping, Optional, Sequence
+
+from repro.labels.base import LabelingScheme
+from repro.wtsg.graph import WeightedTimestampGraph, WtsgNode
+
+# One reply as the reader stores it: (server_id, value, timestamp).
+Reply = tuple[str, Any, Hashable]
+# One history entry as servers report them: (value, timestamp).
+HistoryEntry = tuple[Any, Hashable]
+
+
+def build_local_graph(
+    scheme: LabelingScheme, replies: Iterable[Reply]
+) -> WeightedTimestampGraph:
+    """The local WTsG: current (value, timestamp) pairs only.
+
+    Mirrors ``compute_ts_graph(replies_i)`` — each server witnesses exactly
+    the single pair it reported as its current register copy.
+    """
+    graph = WeightedTimestampGraph(scheme)
+    for server_id, value, timestamp in replies:
+        graph.add_witness(server_id, timestamp, value)
+    return graph
+
+
+def build_union_graph(
+    scheme: LabelingScheme,
+    replies: Iterable[Reply],
+    recent_vals: Mapping[str, Sequence[HistoryEntry]],
+) -> WeightedTimestampGraph:
+    """The union WTsG: current pairs plus each server's reported history.
+
+    Mirrors ``compute_ts_union_graph(replies_i ∪ recent_vals_i[])`` — a
+    server witnesses its current pair *and* every pair in the ``old_vals``
+    window it sent. A server still counts once per node even when a pair
+    appears both as its current value and in its history.
+    """
+    graph = WeightedTimestampGraph(scheme)
+    for server_id, value, timestamp in replies:
+        graph.add_witness(server_id, timestamp, value, current=True)
+    for server_id, history in recent_vals.items():
+        if not isinstance(history, (list, tuple)):
+            continue  # corrupted history blob — ignore defensively
+        for entry in history:
+            if not isinstance(entry, (list, tuple)) or len(entry) != 2:
+                continue
+            value, timestamp = entry
+            graph.add_witness(server_id, timestamp, value, current=False)
+    return graph
+
+
+def select_return_node(
+    graph: WeightedTimestampGraph, threshold: int
+) -> Optional[WtsgNode]:
+    """The value-bearing node a read returns, or ``None`` to abort.
+
+    Thin alias of :meth:`WeightedTimestampGraph.select_maximal_qualified`
+    kept as a free function so experiment code reads like the paper
+    ("if ∃ node ∈ TSG: node.weight >= 2f+1 then return node.value").
+    """
+    return graph.select_maximal_qualified(threshold)

@@ -1,0 +1,243 @@
+"""The weighted timestamp graph data structure.
+
+Nodes are ``(timestamp, value)`` pairs rather than bare timestamps: a
+Byzantine server may report a genuine timestamp with a forged value, and
+demanding ``2f + 1`` witnesses *per pair* guarantees at least ``f + 1``
+correct witnesses for the value actually returned. Weights count distinct
+witnessing servers (a server contributes at most once per node however many
+times it repeats itself).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterable, Iterator, Optional
+
+from repro.labels.base import LabelingScheme
+
+
+@dataclass(frozen=True)
+class WtsgNode:
+    """A vertex: one (timestamp, value) pair seen in replies."""
+
+    timestamp: Hashable
+    value: Hashable
+
+    def __repr__(self) -> str:
+        return f"Node(ts={self.timestamp!r}, v={self.value!r})"
+
+
+class WeightedTimestampGraph:
+    """Weighted directed graph over reported write timestamps.
+
+    Construction is incremental (``add_witness``); edges follow the
+    labeling scheme's ``≺`` and are materialized on demand since the reader
+    only ever needs precedence among *qualified* nodes.
+
+    Malformed timestamps (failing ``scheme.is_label``) are rejected at
+    insertion — a corrupted or Byzantine reply can never crash the reader
+    or pollute the graph with un-comparable vertices.
+    """
+
+    def __init__(self, scheme: LabelingScheme) -> None:
+        self.scheme = scheme
+        self._witnesses: dict[WtsgNode, set[str]] = {}
+        self._current_witnesses: dict[WtsgNode, set[str]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_witness(
+        self, server_id: str, timestamp: Any, value: Any, current: bool = True
+    ) -> bool:
+        """Record that ``server_id`` vouches for ``(timestamp, value)``.
+
+        ``current`` marks a witness reporting the pair as its *current*
+        register copy (a reply) as opposed to a pair from its ``old_vals``
+        history; the distinction feeds the return-node tie-break.
+
+        Returns ``True`` when accepted, ``False`` when the timestamp is
+        structurally invalid (defensively dropped) or the value unhashable.
+        """
+        if not self.scheme.is_label(timestamp):
+            return False
+        try:
+            node = WtsgNode(timestamp=timestamp, value=value)
+            bucket = self._witnesses.setdefault(node, set())
+        except TypeError:
+            return False  # unhashable garbage value
+        bucket.add(server_id)
+        if current:
+            self._current_witnesses.setdefault(node, set()).add(server_id)
+        return True
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._witnesses)
+
+    def nodes(self) -> Iterator[WtsgNode]:
+        return iter(self._witnesses)
+
+    def weight(self, node: WtsgNode) -> int:
+        """Number of distinct servers witnessing ``node``."""
+        return len(self._witnesses.get(node, ()))
+
+    def witnesses(self, node: WtsgNode) -> frozenset[str]:
+        return frozenset(self._witnesses.get(node, ()))
+
+    def qualified(self, threshold: int) -> list[WtsgNode]:
+        """Nodes with at least ``threshold`` witnesses."""
+        return [
+            node
+            for node, servers in self._witnesses.items()
+            if len(servers) >= threshold
+        ]
+
+    def edges(self) -> list[tuple[WtsgNode, WtsgNode]]:
+        """All ≺-edges among current nodes (diagnostics / tests).
+
+        O(V²) — the reader's hot path never calls this; it only compares
+        qualified nodes, of which there are at most a handful.
+        """
+        nodes = list(self._witnesses)
+        out = []
+        for a in nodes:
+            for b in nodes:
+                if a is not b and self.scheme.precedes(a.timestamp, b.timestamp):
+                    out.append((a, b))
+        return out
+
+    def maximal_among(self, nodes: Iterable[WtsgNode]) -> list[WtsgNode]:
+        """Nodes of ``nodes`` not preceded by another node of ``nodes``."""
+        pool = list(nodes)
+        out = []
+        for a in pool:
+            if not any(
+                b is not a and self.scheme.precedes(a.timestamp, b.timestamp)
+                for b in pool
+            ):
+                out.append(a)
+        return out
+
+    def current_weight(self, node: WtsgNode) -> int:
+        """Witnesses reporting ``node`` as their *current* register copy."""
+        return len(self._current_witnesses.get(node, ()))
+
+    def _terminal_scc_members(self, nodes: list[WtsgNode]) -> list[WtsgNode]:
+        """Nodes in terminal SCCs of the ≺-subgraph induced by ``nodes``.
+
+        The bounded labeling relation is *not transitive*, so stale
+        qualified nodes can form precedence cycles with recent ones (an old
+        label may accidentally dominate a much newer one whose ``next``
+        computation never saw it). Plain maximality can then be empty or
+        point at a stale node. Condensing the qualified subgraph into
+        strongly connected components and keeping the *terminal* components
+        (no outgoing edges) generalizes maximality soundly: with coherent
+        labels every SCC is a singleton and this reduces to the usual
+        maxima; under accidental cycles the most recent write is always
+        inside a terminal component.
+        """
+        index = {node: i for i, node in enumerate(nodes)}
+        succ: list[list[int]] = [[] for _ in nodes]
+        for a in nodes:
+            for b in nodes:
+                if a is not b and self.scheme.precedes(a.timestamp, b.timestamp):
+                    succ[index[a]].append(index[b])
+
+        # Tarjan SCC (iterative; qualified sets are tiny, but recursion-free
+        # keeps the checker safe under pathological corrupted inputs).
+        n = len(nodes)
+        ids = [-1] * n
+        low = [0] * n
+        on_stack = [False] * n
+        stack: list[int] = []
+        comp = [-1] * n
+        counter = 0
+        comp_count = 0
+        for root in range(n):
+            if ids[root] != -1:
+                continue
+            work: list[tuple[int, int]] = [(root, 0)]
+            while work:
+                v, pi = work[-1]
+                if pi == 0:
+                    ids[v] = low[v] = counter
+                    counter += 1
+                    stack.append(v)
+                    on_stack[v] = True
+                advanced = False
+                while pi < len(succ[v]):
+                    w = succ[v][pi]
+                    pi += 1
+                    if ids[w] == -1:
+                        work[-1] = (v, pi)
+                        work.append((w, 0))
+                        advanced = True
+                        break
+                    if on_stack[w]:
+                        low[v] = min(low[v], ids[w])
+                if advanced:
+                    continue
+                work[-1] = (v, pi)
+                if pi >= len(succ[v]):
+                    if low[v] == ids[v]:
+                        while True:
+                            w = stack.pop()
+                            on_stack[w] = False
+                            comp[w] = comp_count
+                            if w == v:
+                                break
+                        comp_count += 1
+                    work.pop()
+                    if work:
+                        parent = work[-1][0]
+                        low[parent] = min(low[parent], low[v])
+
+        terminal = [True] * comp_count
+        for v in range(n):
+            for w in succ[v]:
+                if comp[v] != comp[w]:
+                    terminal[comp[v]] = False
+        return [node for node in nodes if terminal[comp[index[node]]]]
+
+    def select_maximal_qualified(self, threshold: int) -> Optional[WtsgNode]:
+        """The node a read returns, or ``None`` (transitory phase).
+
+        Among nodes with ``>= threshold`` witnesses, keep those in terminal
+        strongly connected components of the precedence subgraph (see
+        :meth:`_terminal_scc_members`), then pick the candidate most
+        witnessed as *current*, breaking remaining ties deterministically
+        by the scheme's structural sort key and the value representation —
+        every correct reader facing the same evidence picks the same node,
+        which the Consistency clause of the specification needs.
+        """
+        qualified = self.qualified(threshold)
+        if not qualified:
+            return None
+        candidates = self._terminal_scc_members(qualified)
+        if not candidates:  # pragma: no cover - SCC condensation is acyclic
+            candidates = qualified
+        return max(
+            candidates,
+            key=lambda n: (
+                self.current_weight(n),
+                tuple(self.scheme.sort_key(n.timestamp)),
+                repr(n.value),
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def to_networkx(self):  # pragma: no cover - optional dependency path
+        """Export to a ``networkx.DiGraph`` (node attr ``weight``)."""
+        import networkx as nx
+
+        g = nx.DiGraph()
+        for node, servers in self._witnesses.items():
+            g.add_node(node, weight=len(servers))
+        for a, b in self.edges():
+            g.add_edge(a, b)
+        return g

@@ -1,0 +1,179 @@
+"""Baseline protocol tests: each works in its own fault model and breaks
+exactly where the paper's related-work narrative says it does."""
+
+import pytest
+
+from repro.baselines.abd import AbdSystem
+from repro.baselines.kanjani import KanjaniSystem
+from repro.baselines.malkhi_reiter import MrSafeSystem
+from repro.baselines.tm1r import (
+    Tm1rSystem,
+    newest_qualified,
+    oldest_qualified,
+)
+from repro.spec.atomicity import check_linearizable
+
+
+class TestAbd:
+    def test_sequential_reads_writes(self):
+        system = AbdSystem(n=3, f=1, seed=0, n_clients=2)
+        system.write_sync("c0", "a")
+        assert system.read_sync("c1") == "a"
+        system.write_sync("c1", "b")
+        assert system.read_sync("c0") == "b"
+        assert system.check_regularity().ok
+
+    def test_linearizable_on_clean_runs(self):
+        system = AbdSystem(n=3, f=1, seed=1, n_clients=2)
+        system.write_sync("c0", "a")
+        system.read_sync("c1")
+        system.write_sync("c1", "b")
+        system.read_sync("c0")
+        assert check_linearizable(system.history, initial_value=None)
+
+    def test_survives_one_crashed_server(self):
+        system = AbdSystem(n=3, f=1, seed=2, n_clients=2)
+        system.servers["s2"].crash()
+        system.write_sync("c0", "a")
+        assert system.read_sync("c1") == "a"
+
+    def test_multi_writer(self):
+        system = AbdSystem(n=5, f=2, seed=3, n_clients=3)
+        system.write_sync("c0", "x")
+        system.write_sync("c1", "y")
+        system.write_sync("c2", "z")
+        assert system.read_sync("c0") == "z"
+
+    def test_corruption_without_byzantine_self_heals(self):
+        """Unbounded timestamps ride over corruption once writes resume —
+        the property the paper contrasts with bounded labels."""
+        system = AbdSystem(n=3, f=1, seed=4, n_clients=2)
+        system.corrupt_servers()
+        system.write_sync("c0", "heal")
+        assert system.read_sync("c1") == "heal"
+
+
+class TestMrSafe:
+    def test_needs_4f_plus_1(self):
+        with pytest.raises(ValueError):
+            MrSafeSystem(n=4, f=1)
+
+    def test_sequential_operation(self):
+        system = MrSafeSystem(n=5, f=1, seed=0, n_clients=2)
+        system.write_sync("c0", "a")
+        assert system.read_sync("c1") == "a"
+
+    def test_quorum_size(self):
+        assert MrSafeSystem(n=5, f=1).quorum == 4
+        assert MrSafeSystem(n=9, f=2).quorum == 7
+
+    def test_masks_forged_single_voucher(self):
+        """A pair vouched by <= f servers is discarded (f-masking)."""
+        system = MrSafeSystem(n=5, f=1, seed=1, n_clients=2)
+        system.write_sync("c0", "real")
+        # Corrupt one server to a lone forged high-ts pair.
+        server = system.servers["s0"]
+        server.value = "forged"
+        server.ts = (1 << 30, "zz")
+        assert system.read_sync("c1") == "real"
+
+    def test_masking_defeated_by_f_plus_1_twins(self):
+        system = MrSafeSystem(n=5, f=1, seed=2, n_clients=2)
+        system.write_sync("c0", "real")
+        for sid in ("s0", "s1"):
+            system.servers[sid].value = "evil"
+            system.servers[sid].ts = (1 << 30, "zz")
+        assert system.read_sync("c1") == "evil"  # the safe-register limit
+
+
+class TestKanjani:
+    def test_needs_3f_plus_1(self):
+        with pytest.raises(ValueError):
+            KanjaniSystem(n=3, f=1)
+
+    def test_sequential_operation(self):
+        system = KanjaniSystem(n=4, f=1, seed=0, n_clients=2)
+        system.write_sync("c0", "a")
+        assert system.read_sync("c1") == "a"
+        system.write_sync("c1", "b")
+        assert system.read_sync("c0") == "b"
+        assert system.check_regularity().ok
+
+    def test_blocked_read_released_by_forwarded_write(self):
+        """A read with no f+1-vouched pair blocks until a write's
+        forwarding gives it one."""
+        system = KanjaniSystem(n=4, f=1, seed=1, n_clients=2)
+        system.corrupt_servers()  # diverse corruption: nothing vouched
+        handle = system.read("c1")
+        system.env.run()
+        assert not handle.done  # wedged
+        system.write("c0", "rescue")
+        system.env.run()
+        assert handle.done
+        assert handle.result == "rescue"
+
+    def test_read_only_corrupted_run_wedges_forever(self):
+        """The non-stabilizing liveness hole the paper fixes (E8)."""
+        system = KanjaniSystem(n=4, f=1, seed=2, n_clients=2)
+        system.corrupt_servers()
+        handle = system.read("c1")
+        system.env.run()
+        assert not handle.done
+
+
+class TestTm1r:
+    def test_clean_run_regular(self):
+        system = Tm1rSystem(n=5, f=1, seed=0, n_clients=2)
+        system.write_sync("c0", "a")
+        assert system.read_sync("c1") == "a"
+        assert system.check_regularity().ok
+
+    @pytest.mark.parametrize("rule", [newest_qualified, oldest_qualified])
+    def test_decision_rules_work_on_clean_runs(self, rule):
+        system = Tm1rSystem(n=5, f=1, decision=rule, seed=1, n_clients=2)
+        system.write_sync("c0", "a")
+        system.write_sync("c0", "b")
+        assert system.read_sync("c1") == "b"
+
+    def test_scripted_state_injection(self):
+        system = Tm1rSystem(n=5, f=1, seed=2, n_clients=1)
+        system.servers["s0"].set_state("x", 7)
+        assert system.servers["s0"].value == "x"
+        assert system.servers["s0"].ts == 7
+
+    def test_defeated_by_theorem1_execution(self):
+        """Both canonical decision rules fail the proof's execution —
+        the full E1 experiment, asserted."""
+        from repro.harness.experiments.e1_lower_bound import run_tm1r_execution
+
+        newest = run_tm1r_execution(newest_qualified)
+        assert not newest["verdict"].ok
+        assert newest["r1"] == "v2"  # returned a not-yet-written value
+        oldest = run_tm1r_execution(oldest_qualified)
+        assert not oldest["verdict"].ok
+        assert oldest["r2"] == "v1"  # missed the completed write
+
+    def test_reads_receive_identical_multisets(self):
+        """The crux of Theorem 1: same evidence, different required answers."""
+        from repro.baselines import tm1r as tm
+        from repro.harness.experiments.e1_lower_bound import run_tm1r_execution
+
+        seen = []
+
+        def spy(scheme, f, replies):
+            seen.append(sorted((v, t) for _, v, t in replies))
+            return oldest_qualified(scheme, f, replies)
+
+        run_tm1r_execution(spy)
+        assert len(seen) == 2
+        assert seen[0] == seen[1]
+
+    def test_stabilizing_counterpart_survives(self):
+        from repro.harness.experiments.e1_lower_bound import (
+            run_stabilizing_counterpart,
+        )
+
+        out = run_stabilizing_counterpart()
+        assert out["verdict"].ok
+        assert out["r1"] == "v1"
+        assert out["r2"] == "v2"

@@ -1,0 +1,79 @@
+"""Baseline scaffolding tests: LexPairScheme and BaselineSystem plumbing."""
+
+import random
+
+import pytest
+
+from repro.baselines.common import BaselineSystem, LexPairScheme
+from repro.errors import ConfigurationError
+
+
+class TestLexPairScheme:
+    scheme = LexPairScheme()
+
+    def test_order_is_lexicographic(self):
+        assert self.scheme.precedes((1, "a"), (2, "a"))
+        assert self.scheme.precedes((1, "b"), (2, "a"))
+        assert self.scheme.precedes((1, "a"), (1, "b"))
+        assert not self.scheme.precedes((2, "a"), (1, "z"))
+
+    def test_irreflexive(self):
+        assert not self.scheme.precedes((3, "x"), (3, "x"))
+
+    def test_next_for_tags_writer(self):
+        ts = self.scheme.next_for([(4, "a"), (9, "b")], "me")
+        assert ts == (10, "me")
+
+    def test_next_of_empty(self):
+        assert self.scheme.next_for([], "w") == (1, "w")
+
+    def test_garbage_filtered(self):
+        ts = self.scheme.next_for(
+            ["junk", None, (3, "ok"), (-1, "neg"), ("x", "y")], "w"
+        )
+        assert ts == (4, "w")
+
+    def test_is_label(self):
+        assert self.scheme.is_label((0, ""))
+        assert not self.scheme.is_label((0,))
+        assert not self.scheme.is_label((True, "x"))
+        assert not self.scheme.is_label((-1, "x"))
+        assert not self.scheme.is_label("nope")
+
+    def test_random_label_valid(self):
+        rng = random.Random(0)
+        for _ in range(50):
+            assert self.scheme.is_label(self.scheme.random_label(rng))
+
+    def test_domination_property(self):
+        rng = random.Random(1)
+        labels = [self.scheme.random_label(rng) for _ in range(10)]
+        nxt = self.scheme.next_for(labels, "w")
+        assert all(self.scheme.precedes(x, nxt) for x in labels)
+
+
+class TestBaselineSystemPlumbing:
+    def test_tick_between_sync_ops_orders_history(self):
+        from repro.baselines.abd import AbdSystem
+        from repro.spec.relations import precedes
+
+        system = AbdSystem(n=3, f=1, seed=0, n_clients=2)
+        system.write_sync("c0", "a")
+        system.read_sync("c1")
+        ops = system.history.operations
+        assert precedes(ops[0], ops[1])
+
+    def test_corrupt_clients_noop_safe(self):
+        from repro.baselines.abd import AbdSystem
+
+        system = AbdSystem(n=3, f=1, seed=1, n_clients=2)
+        touched = system.corrupt_clients()
+        assert sorted(touched) == ["c0", "c1"]
+
+    def test_sequential_discipline_enforced(self):
+        from repro.baselines.abd import AbdSystem
+
+        system = AbdSystem(n=3, f=1, seed=2, n_clients=1)
+        system.write("c0", "x")
+        with pytest.raises(ConfigurationError, match="running"):
+            system.write("c0", "y")

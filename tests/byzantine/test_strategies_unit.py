@@ -1,0 +1,180 @@
+"""Handler-level unit tests for each Byzantine strategy.
+
+The end-to-end suites prove the register survives the zoo; these verify
+each strategy actually *performs its attack* — a silent adversary that
+accidentally behaved correctly would make those suites vacuous.
+"""
+
+import pytest
+
+from repro.byzantine.strategies import (
+    AckWithoutStoringByzantine,
+    EquivocatingByzantine,
+    ForgingByzantine,
+    InflatingByzantine,
+    NackSpammerByzantine,
+    PhaseSilentByzantine,
+    RandomNoiseByzantine,
+    SilentByzantine,
+    StaleReplayByzantine,
+)
+from repro.core.config import SystemConfig
+from repro.core.messages import (
+    GetTs,
+    ReadReply,
+    ReadRequest,
+    TsReply,
+    WriteAck,
+    WriteNack,
+    WriteRequest,
+)
+from repro.labels.alon import AlonLabelingScheme
+from repro.sim.environment import SimEnvironment
+from repro.sim.process import Process
+
+
+class Probe(Process):
+    def __init__(self, pid, env):
+        super().__init__(pid, env)
+        self.received = []
+
+    def on_message(self, src, payload):
+        self.received.append(payload)
+
+    def of(self, cls):
+        return [m for m in self.received if isinstance(m, cls)]
+
+
+@pytest.fixture
+def ctx():
+    env = SimEnvironment(seed=0)
+    cfg = SystemConfig(n=6, f=1)
+    scheme = AlonLabelingScheme(k=7)
+    probe = Probe("c0", env)
+    return env, cfg, scheme, probe
+
+
+def make(cls, ctx, **kw):
+    env, cfg, scheme, probe = ctx
+    server = cls("byz", env, cfg, scheme, **kw)
+    return server, env, scheme, probe
+
+
+class TestSilent:
+    def test_answers_nothing(self, ctx):
+        server, env, scheme, probe = make(SilentByzantine, ctx)
+        probe.send("byz", GetTs())
+        probe.send("byz", WriteRequest(value="v", ts=scheme.initial_label()))
+        probe.send("byz", ReadRequest(label=0, reader="c0"))
+        env.run()
+        assert probe.received == []
+
+
+class TestPhaseSilent:
+    def test_silent_only_on_selected_kinds(self, ctx):
+        server, env, scheme, probe = make(
+            PhaseSilentByzantine, ctx, silent_on=frozenset({"GetTs"})
+        )
+        probe.send("byz", GetTs())
+        ts = scheme.next_label([server.ts])
+        probe.send("byz", WriteRequest(value="v", ts=ts))
+        env.run()
+        assert probe.of(TsReply) == []
+        assert probe.of(WriteAck)  # other phases answered correctly
+
+
+class TestStaleReplay:
+    def test_reports_frozen_pair_despite_internal_updates(self, ctx):
+        server, env, scheme, probe = make(
+            StaleReplayByzantine, ctx, stale_value="ancient"
+        )
+        ts = scheme.next_label([server.ts])
+        probe.send("byz", WriteRequest(value="fresh", ts=ts))
+        probe.send("byz", GetTs())
+        probe.send("byz", ReadRequest(label=0, reader="c0"))
+        env.run()
+        assert probe.of(TsReply)[0].ts == server.stale_ts
+        reply = probe.of(ReadReply)[0]
+        assert reply.value == "ancient"
+        # but internally it did apply the write (dangerous hybrid)
+        assert server.value == "fresh"
+
+
+class TestForging:
+    def test_every_reply_fresh_forgery(self, ctx):
+        server, env, scheme, probe = make(ForgingByzantine, ctx)
+        probe.send("byz", ReadRequest(label=0, reader="c0"))
+        probe.send("byz", ReadRequest(label=0, reader="c0"))
+        env.run()
+        replies = probe.of(ReadReply)
+        assert len(replies) == 2
+        assert replies[0].value != replies[1].value
+        assert all(r.value.startswith("forged-") for r in replies)
+        assert all(scheme.is_label(r.ts) for r in replies)
+
+
+class TestInflating:
+    def test_reports_dominating_timestamps(self, ctx):
+        server, env, scheme, probe = make(InflatingByzantine, ctx)
+        ts = scheme.next_label([server.ts])
+        probe.send("byz", WriteRequest(value="v", ts=ts))
+        probe.send("byz", GetTs())
+        env.run()
+        inflated = probe.of(TsReply)[0].ts
+        assert scheme.precedes(ts, inflated)
+
+
+class TestEquivocating:
+    def test_different_clients_different_answers(self, ctx):
+        server, env, scheme, _ = make(EquivocatingByzantine, ctx)
+        # find two client pids on opposite sides of the parity split
+        liars, honest = [], []
+        for i in range(16):
+            (liars if (hash(f"p{i}") & 1) else honest).append(f"p{i}")
+            if liars and honest:
+                break
+        a = Probe(honest[0], env)
+        b = Probe(liars[0], env)
+        ts = scheme.next_label([server.ts])
+        env.run()
+        server.on_write("w", WriteRequest(value="truth", ts=ts))
+        a.send("byz", ReadRequest(label=0, reader=a.pid))
+        b.send("byz", ReadRequest(label=0, reader=b.pid))
+        env.run()
+        assert a.of(ReadReply)[0].value == "truth"
+        assert b.of(ReadReply)[0].value == "equivocation"
+
+
+class TestNackSpammer:
+    def test_nacks_and_never_stores(self, ctx):
+        server, env, scheme, probe = make(NackSpammerByzantine, ctx)
+        ts = scheme.next_label([server.ts])
+        probe.send("byz", WriteRequest(value="v", ts=ts))
+        env.run()
+        assert probe.of(WriteNack)
+        assert server.value is None
+
+
+class TestAckWithoutStoring:
+    def test_acks_and_never_stores(self, ctx):
+        server, env, scheme, probe = make(AckWithoutStoringByzantine, ctx)
+        ts = scheme.next_label([server.ts])
+        probe.send("byz", WriteRequest(value="v", ts=ts))
+        env.run()
+        assert probe.of(WriteAck)
+        assert server.value is None
+
+
+class TestRandomNoise:
+    def test_emits_wellformed_protocol_messages(self, ctx):
+        server, env, scheme, probe = make(RandomNoiseByzantine, ctx)
+        for _ in range(40):
+            probe.send("byz", GetTs())
+        env.run()
+        assert probe.received  # it does talk
+        from repro.core.messages import FlushAck
+
+        for msg in probe.received:
+            assert isinstance(
+                msg, (TsReply, WriteAck, WriteNack, ReadReply, FlushAck)
+            )

@@ -1,0 +1,82 @@
+"""Scripted-adversary (Theorem 1) unit tests."""
+
+from repro.byzantine.theorem1 import ScriptedByzantine
+from repro.core.messages import (
+    Flush,
+    GetTs,
+    ReadReply,
+    ReadRequest,
+    TsReply,
+    WriteAck,
+    WriteRequest,
+)
+from repro.sim.environment import SimEnvironment
+from repro.sim.process import Process
+
+
+class Probe(Process):
+    def __init__(self, pid, env):
+        super().__init__(pid, env)
+        self.received = []
+
+    def on_message(self, src, payload):
+        self.received.append(payload)
+
+
+def make(env, ts_script=None, read_script=None):
+    return ScriptedByzantine(
+        "byz",
+        env,
+        ts_script=ts_script or [5],
+        read_script=read_script or [("v", 1)],
+    )
+
+
+class TestScripts:
+    def test_ts_script_plays_in_order_then_repeats(self):
+        env = SimEnvironment(seed=0)
+        make(env, ts_script=[1, 2, 3])
+        probe = Probe("p", env)
+        for _ in range(5):
+            probe.send("byz", GetTs())
+        env.run()
+        replies = [m.ts for m in probe.received if isinstance(m, TsReply)]
+        assert replies == [1, 2, 3, 3, 3]
+
+    def test_read_script_plays_in_order(self):
+        env = SimEnvironment(seed=0)
+        make(env, read_script=[("a", 1), ("b", 2)])
+        probe = Probe("p", env)
+        for i in range(3):
+            probe.send("byz", ReadRequest(label=i, reader="p"))
+        env.run()
+        replies = [
+            (m.value, m.ts) for m in probe.received if isinstance(m, ReadReply)
+        ]
+        assert replies == [("a", 1), ("b", 2), ("b", 2)]
+
+    def test_reply_echoes_read_label(self):
+        env = SimEnvironment(seed=0)
+        make(env)
+        probe = Probe("p", env)
+        probe.send("byz", ReadRequest(label=7, reader="p"))
+        env.run()
+        (reply,) = [m for m in probe.received if isinstance(m, ReadReply)]
+        assert reply.label == 7
+
+    def test_acks_every_write(self):
+        env = SimEnvironment(seed=0)
+        make(env)
+        probe = Probe("p", env)
+        probe.send("byz", WriteRequest(value="x", ts=42))
+        env.run()
+        (ack,) = [m for m in probe.received if isinstance(m, WriteAck)]
+        assert ack.ts == 42
+
+    def test_ignores_flush(self):
+        env = SimEnvironment(seed=0)
+        make(env)
+        probe = Probe("p", env)
+        probe.send("byz", Flush(label=0))
+        env.run()
+        assert probe.received == []

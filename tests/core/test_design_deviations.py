@@ -1,0 +1,175 @@
+"""Mechanized counterexamples behind the DESIGN.md §2 deviations.
+
+Each deviation from the paper's literal pseudo-code is justified by an
+executable failure of the naive reading. These tests ARE those
+counterexamples — if one stops failing-the-naive-way, the deviation (and
+DESIGN.md) must be revisited.
+"""
+
+import pytest
+
+from repro.byzantine.strategies import PhaseSilentByzantine, SilentByzantine
+from repro.core.config import SystemConfig
+from repro.core.messages import WriteAck, WriteNack, WriteRequest
+from repro.core.register import RegisterSystem
+from repro.core.server import RegisterServer
+
+
+class UnconditionalAdoptionServer(RegisterServer):
+    """The paper's literal Lemma 2 narration: NACKers adopt anyway."""
+
+    def on_write(self, src, msg):
+        if not self.scheme.is_label(msg.ts):
+            self.send(src, WriteNack(ts=msg.ts))
+            return
+        if self.scheme.precedes(self.ts, msg.ts):
+            self.send(src, WriteAck(ts=msg.ts))
+        else:
+            self.send(src, WriteNack(ts=msg.ts))
+        self._shift_in(self.value, self.ts)
+        self.value = msg.value
+        self.ts = msg.ts
+        for reader, label in list(self.running_read.items()):
+            self.send(reader, self._reply(label))
+
+
+def _relic_replay(server_cls):
+    """Write old, write new, then replay WRITE(old) at three replicas —
+    a stale channel relic (squarely inside the paper's corrupted-channel
+    model) or, equivalently, a Byzantine reader replaying a legitimate
+    pair (servers do not authenticate writers)."""
+    kwargs = {"server_cls": server_cls} if server_cls else {}
+    system = RegisterSystem(
+        SystemConfig(n=6, f=1), seed=0, n_clients=2, **kwargs
+    )
+    ts_old = system.write_sync("c0", "old")
+    system.write_sync("c0", "new")
+    for sid in ("s0", "s1", "s2"):
+        system.env.network.inject(
+            "c0", sid, WriteRequest(value="old", ts=ts_old)
+        )
+    system.settle()
+    system.env.tick()
+    read = system.read_sync("c1")
+    verdict = system.check_regularity()
+    currents = [s.snapshot()[0] for s in system.correct_servers()]
+    return read, verdict, currents
+
+
+class TestDeviation2ConditionalAdoption:
+    """DESIGN.md #2: unconditional adoption lets stale WRITE relics roll
+    replicas *backwards* — a single replayed message un-stabilizes the
+    register; conditional adoption makes relics inert."""
+
+    def test_unconditional_adoption_regresses_on_relic_replay(self):
+        read, verdict, currents = _relic_replay(UnconditionalAdoptionServer)
+        assert currents.count("old") == 3  # three replicas rolled back
+        assert read == "old"  # the stale value wins a quorum read
+        assert not verdict.ok  # regularity violated
+
+    def test_conditional_adoption_ignores_relics(self):
+        read, verdict, currents = _relic_replay(None)
+        assert currents.count("old") == 0
+        assert read == "new"
+        assert verdict.ok
+
+
+class TestDeviation4FlushExitCondition:
+    """DESIGN.md #4: the literal '< f pending' deadlocks against f
+    Byzantine servers that acknowledge flushes but never answer reads
+    (their recent_labels entries are set when the READ is sent and never
+    cleared); our '<= f' terminates (Lemmas 3/6)."""
+
+    @staticmethod
+    def _system(seed=0):
+        return RegisterSystem(
+            SystemConfig(n=6, f=1, read_label_count=2),
+            seed=seed,
+            n_clients=2,
+            byzantine={
+                "s5": PhaseSilentByzantine.factory(
+                    silent_on=frozenset({"ReadRequest"})
+                )
+            },
+        )
+
+    def test_reads_terminate_despite_stuck_entries(self):
+        system = self._system()
+        system.write_sync("c0", "x")
+        for _ in range(8):  # cycles every label repeatedly
+            assert system.read_sync("c1") == "x"
+        assert not system.history.pending()
+
+    def test_stuck_entries_sit_exactly_on_the_byzantine(self):
+        system = self._system(seed=1)
+        system.write_sync("c0", "x")
+        for _ in range(6):
+            system.read_sync("c1")
+        system.settle()
+        client = system.clients["c1"]
+        for sid in system.config.server_ids:
+            stuck = sum(client.recent_labels[sid])
+            if sid == "s5":
+                # it flush-acks (entering safe, receiving READs) but never
+                # replies — with '< f' any label it taints would deadlock
+                assert stuck >= 1
+            else:
+                assert stuck == 0
+
+    def test_silent_byzantine_never_enters_safe_so_never_taints(self):
+        """The fully-silent adversary is harmless to labels: it never
+        flush-acks, never becomes safe, never receives a READ."""
+        system = RegisterSystem(
+            SystemConfig(n=6, f=1),
+            seed=2,
+            n_clients=2,
+            byzantine={"s5": SilentByzantine.factory()},
+        )
+        system.write_sync("c0", "x")
+        for _ in range(4):
+            system.read_sync("c1")
+        system.settle()
+        client = system.clients["c1"]
+        assert sum(sum(col) for col in client.recent_labels.values()) == 0
+
+
+class TestDeviation6WriteRetries:
+    """DESIGN.md #6: a writer whose stores lose the race to a concurrent,
+    higher-ordered write collects fewer than 2f+1 ACKs on its first
+    attempt — the paper's single-attempt wait would hang forever; the
+    retry loop terminates."""
+
+    def test_first_attempt_falls_short_then_retry_completes(self):
+        from repro.sim.adversary import ScriptedAdversary
+
+        def policy(env, rng):
+            if env.src == "c0" and type(env.payload).__name__ == "WriteRequest":
+                return 2.0
+            return 1.0
+
+        system = RegisterSystem(
+            SystemConfig(n=6, f=1),
+            seed=9,
+            n_clients=2,
+            adversary=ScriptedAdversary(policy),
+        )
+        client = system.clients["c0"]
+        first_attempt = {}
+
+        h_lo = system.write("c0", "loser")
+        h_hi = system.write("c1", "winner")
+
+        def tick():
+            if (
+                not first_attempt
+                and len(client._ack_from) + len(client._nack_from)
+                >= system.config.reply_quorum
+            ):
+                first_attempt["acks"] = len(client._ack_from)
+            if not h_lo.done:
+                system.env.scheduler.call_in(0.25, tick)
+
+        system.env.scheduler.call_in(0.25, tick)
+        system.settle()
+        assert h_lo.done and h_hi.done  # the retry loop rescued the loser
+        assert first_attempt["acks"] < system.config.ack_quorum

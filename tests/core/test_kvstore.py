@@ -1,0 +1,102 @@
+"""Key-value store (sharded registers) tests."""
+
+import pytest
+
+from repro.byzantine.strategies import ForgingByzantine
+from repro.core.client import ABORT
+from repro.kvstore import StabilizingKVStore
+
+
+class TestBasics:
+    def test_put_get(self):
+        store = StabilizingKVStore(seed=1)
+        store.put("alpha", "one")
+        assert store.get("alpha") == "one"
+
+    def test_keys_isolated(self):
+        store = StabilizingKVStore(seed=2)
+        store.put("a", "va")
+        store.put("b", "vb")
+        assert store.get("a") == "va"
+        assert store.get("b") == "vb"
+        assert store.keys() == ["a", "b"]
+
+    def test_overwrite(self):
+        store = StabilizingKVStore(seed=3)
+        store.put("k", "old")
+        store.put("k", "new", client=1)
+        assert store.get("k") == "new"
+
+    def test_get_before_put(self):
+        store = StabilizingKVStore(seed=4)
+        value = store.get("never-written")
+        assert value is None or value is ABORT
+
+    def test_invalid_key_rejected(self):
+        store = StabilizingKVStore(seed=5)
+        with pytest.raises(ValueError, match="':'"):
+            store.put("bad:key", "x")
+
+    def test_invalid_client_index(self):
+        store = StabilizingKVStore(seed=6, clients_per_key=2)
+        with pytest.raises(ValueError, match="out of range"):
+            store.put("k", "x", client=5)
+
+    def test_shards_share_one_environment(self):
+        store = StabilizingKVStore(seed=7)
+        store.put("a", "1")
+        store.put("b", "2")
+        assert store.shard("a").env is store.shard("b").env
+
+    def test_audit_clean_run(self):
+        store = StabilizingKVStore(seed=8)
+        store.put("x", "1")
+        store.get("x")
+        store.put("y", "2")
+        store.get("y", client=1)
+        assert store.all_ok()
+
+
+class TestFaults:
+    def test_datacenter_strike_recovers_per_shard(self):
+        store = StabilizingKVStore(seed=9)
+        store.put("users", "v1")
+        store.put("orders", "o1")
+        when = store.strike()
+        store.put("users", "v2")
+        store.put("orders", "o2")
+        assert store.get("users") == "v2"
+        assert store.get("orders") == "o2"
+        assert store.all_ok(when)
+
+    def test_unwritten_shard_after_strike_fails_audit(self):
+        """A shard with no post-fault write cannot certify recovery —
+        the audit reports it honestly."""
+        store = StabilizingKVStore(seed=10)
+        store.put("touched", "v1")
+        store.put("stale", "s1")
+        when = store.strike()
+        store.put("touched", "v2")
+        verdicts = store.audit(when)
+        assert verdicts["touched"].stabilized
+        assert not verdicts["stale"].stabilized
+
+    def test_byzantine_provider_everywhere(self):
+        store = StabilizingKVStore(
+            seed=11, byzantine_factory=ForgingByzantine.factory()
+        )
+        for key in ("a", "b", "c"):
+            store.put(key, f"genuine-{key}")
+            assert store.get(key) == f"genuine-{key}"
+        assert store.all_ok()
+
+    def test_strike_then_byzantine_then_recover(self):
+        store = StabilizingKVStore(
+            seed=12, byzantine_factory=ForgingByzantine.factory()
+        )
+        store.put("k", "before")
+        when = store.strike()
+        store.put("k", "after")
+        for _ in range(3):
+            assert store.get("k", client=1) == "after"
+        assert store.all_ok(when)

@@ -1,0 +1,116 @@
+"""Message dataclass properties and the paper's bounded-memory claims."""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.messages import (
+    CompleteRead,
+    Flush,
+    FlushAck,
+    GetTs,
+    ReadReply,
+    ReadRequest,
+    TsReply,
+    WriteAck,
+    WriteNack,
+    WriteRequest,
+)
+from repro.core.register import RegisterSystem
+
+ALL_MESSAGE_TYPES = [
+    GetTs(),
+    TsReply(ts=1),
+    WriteRequest(value="v", ts=1),
+    WriteAck(ts=1),
+    WriteNack(ts=1),
+    ReadRequest(label=0, reader="c0"),
+    ReadReply(server="s0", value="v", ts=1, old_vals=(), label=0),
+    CompleteRead(label=0, reader="c0"),
+    Flush(label=0),
+    FlushAck(label=0, server="s0"),
+]
+
+
+class TestMessageDataclasses:
+    @pytest.mark.parametrize("msg", ALL_MESSAGE_TYPES, ids=lambda m: type(m).__name__)
+    def test_frozen(self, msg):
+        field = next(iter(msg.__dataclass_fields__), None)
+        if field is None:
+            return  # GetTs has no fields
+        with pytest.raises(Exception):
+            setattr(msg, field, "mutated")
+
+    @pytest.mark.parametrize("msg", ALL_MESSAGE_TYPES, ids=lambda m: type(m).__name__)
+    def test_hashable_and_equatable(self, msg):
+        assert msg in {msg}
+        assert msg == type(msg)(**{
+            f: getattr(msg, f) for f in msg.__dataclass_fields__
+        })
+
+
+class TestBoundedMemory:
+    """Section IV-B: 'the size of [old_vals and running_read] is bounded'."""
+
+    def test_old_vals_bounded_over_long_sessions(self):
+        system = RegisterSystem(SystemConfig(n=6, f=1), seed=0, n_clients=1)
+        for i in range(30):
+            system.write_sync("c0", f"v{i}")
+        window = system.config.old_vals_window
+        for server in system.correct_servers():
+            assert len(server.old_vals) <= window
+
+    def test_running_read_bounded_by_client_count(self):
+        system = RegisterSystem(SystemConfig(n=6, f=1), seed=1, n_clients=3)
+        system.write_sync("c0", "x")
+        for _ in range(10):
+            for cid in system.clients:
+                system.read_sync(cid)
+        for server in system.correct_servers():
+            assert len(server.running_read) <= len(system.clients)
+
+    def test_running_read_empty_after_quiescence(self):
+        system = RegisterSystem(SystemConfig(n=6, f=1), seed=2, n_clients=2)
+        system.write_sync("c0", "x")
+        system.read_sync("c1")
+        system.settle()
+        for server in system.correct_servers():
+            assert server.running_read == {}
+
+    def test_reader_recent_vals_bounded(self):
+        system = RegisterSystem(SystemConfig(n=6, f=1), seed=3, n_clients=2)
+        for i in range(15):
+            system.write_sync("c0", f"v{i}")
+            system.read_sync("c1")
+        client = system.clients["c1"]
+        window = system.config.old_vals_window
+        for hist in client.recent_vals.values():
+            assert len(hist) <= window
+
+    def test_recent_labels_matrix_fixed_size(self):
+        system = RegisterSystem(SystemConfig(n=6, f=1), seed=4, n_clients=2)
+        system.write_sync("c0", "x")
+        for _ in range(10):
+            system.read_sync("c1")
+        client = system.clients["c1"]
+        assert set(client.recent_labels) == set(system.config.server_ids)
+        for column in client.recent_labels.values():
+            assert len(column) == system.config.read_label_count
+
+
+class TestEnvironmentTick:
+    def test_tick_advances_clock(self):
+        from repro.sim.environment import SimEnvironment
+
+        env = SimEnvironment(seed=0)
+        before = env.now
+        env.tick(0.5)
+        assert env.now == pytest.approx(before + 0.5)
+
+    def test_tick_processes_intervening_events(self):
+        from repro.sim.environment import SimEnvironment
+
+        env = SimEnvironment(seed=0)
+        fired = []
+        env.scheduler.call_in(0.1, lambda: fired.append(True))
+        env.tick(0.5)
+        assert fired == [True]

@@ -1,0 +1,193 @@
+"""Fine-grained reader/writer machinery tests.
+
+These reach into the mixins' bookkeeping — recent_labels hygiene, safe-set
+growth, TS-reply staleness capping, retry bookkeeping — the parts the
+end-to-end tests only exercise implicitly.
+"""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.messages import (
+    FlushAck,
+    ReadReply,
+    TsReply,
+    WriteAck,
+    WriteNack,
+)
+from repro.core.register import RegisterSystem
+from repro.sim.adversary import ScriptedAdversary
+
+
+@pytest.fixture
+def quiet_system(config_f1):
+    return RegisterSystem(config_f1, seed=0, n_clients=2)
+
+
+class TestReaderBookkeeping:
+    def test_read_labels_cycle_and_skip_last(self, quiet_system):
+        c = quiet_system.clients["c0"]
+        k = quiet_system.config.read_label_count
+        quiet_system.write_sync("c1", "x")
+        labels = []
+        for _ in range(2 * k):
+            quiet_system.read_sync("c0")
+            labels.append(c.last_label)
+        # consecutive reads never reuse the same label
+        for a, b in zip(labels, labels[1:]):
+            assert a != b
+        assert set(labels) <= set(range(k))
+
+    def test_safe_set_covers_all_servers_after_clean_read(self, quiet_system):
+        quiet_system.write_sync("c0", "x")
+        quiet_system.read_sync("c1")
+        c = quiet_system.clients["c1"]
+        assert c.safe == set(quiet_system.config.server_ids)
+
+    def test_recent_labels_cleared_after_read(self, quiet_system):
+        quiet_system.write_sync("c0", "x")
+        quiet_system.read_sync("c1")
+        quiet_system.settle()
+        c = quiet_system.clients["c1"]
+        for sid in quiet_system.config.server_ids:
+            assert all(v == 0 for v in c.recent_labels[sid])
+
+    def test_reply_from_unsafe_server_rejected(self, quiet_system):
+        c = quiet_system.clients["c0"]
+        c.reading = True
+        c.r_label = 0
+        c.safe = set()  # nobody safe
+        c._on_read_reply(
+            "s0",
+            ReadReply(server="s0", value="v", ts=None, old_vals=(), label=0),
+        )
+        assert c._replies == []
+        # but the recent_labels column entry is still cleared (line 27)
+        assert c.recent_labels["s0"][0] == 0
+
+    def test_reply_with_foreign_label_only_clears_column(self, quiet_system):
+        c = quiet_system.clients["c0"]
+        c.reading = True
+        c.r_label = 1
+        c.safe = {"s0"}
+        c.recent_labels["s0"][0] = 1
+        c._on_read_reply(
+            "s0",
+            ReadReply(server="s0", value="v", ts=None, old_vals=(), label=0),
+        )
+        assert c._replies == []
+        assert c.recent_labels["s0"][0] == 0
+
+    def test_reply_from_unknown_server_ignored(self, quiet_system):
+        c = quiet_system.clients["c0"]
+        c.reading = True
+        c.r_label = 0
+        c.safe = {"sX"}
+        c._on_read_reply(
+            "sX",
+            ReadReply(server="sX", value="v", ts=None, old_vals=(), label=0),
+        )
+        assert c._replies == []
+
+    def test_oversized_history_capped(self, quiet_system):
+        c = quiet_system.clients["c0"]
+        window = quiet_system.config.old_vals_window
+        huge = tuple(("v", None) for _ in range(window * 5))
+        c._store_recent_vals("s0", huge)
+        assert len(c.recent_vals["s0"]) <= window
+
+    def test_malformed_history_dropped(self, quiet_system):
+        c = quiet_system.clients["c0"]
+        c._store_recent_vals("s0", "not a tuple")
+        assert "s0" not in c.recent_vals
+        c._store_recent_vals("s0", (("ok", 1), "junk", ("too", "many", "x")))
+        assert c.recent_vals["s0"] == (("ok", 1),)
+
+    def test_flush_ack_garbage_label_ignored(self, quiet_system):
+        c = quiet_system.clients["c0"]
+        c._on_flush_ack("s0", FlushAck(label="junk", server="s0"))
+        c._on_flush_ack("s0", FlushAck(label=999, server="s0"))
+        c._on_flush_ack("s0", FlushAck(label=True, server="s0"))
+        assert c.safe == set()
+
+    def test_flush_ack_for_stale_label_clears_but_not_safe(self, quiet_system):
+        c = quiet_system.clients["c0"]
+        c.r_label = 1
+        c.recent_labels["s0"][0] = 1
+        c._on_flush_ack("s0", FlushAck(label=0, server="s0"))
+        assert c.recent_labels["s0"][0] == 0
+        assert "s0" not in c.safe
+
+
+class TestWriterBookkeeping:
+    def test_first_ts_reply_per_server_wins(self, quiet_system):
+        c = quiet_system.clients["c0"]
+        c._collecting_ts = True
+        c._on_ts_reply("s0", TsReply(ts="first"))
+        c._on_ts_reply("s0", TsReply(ts="second"))
+        assert c._wts_by_server["s0"] == "first"
+
+    def test_ts_reply_outside_collection_ignored(self, quiet_system):
+        c = quiet_system.clients["c0"]
+        c._collecting_ts = False
+        c._on_ts_reply("s0", TsReply(ts="stale"))
+        assert c._wts_by_server == {}
+
+    def test_ts_reply_from_non_server_ignored(self, quiet_system):
+        c = quiet_system.clients["c0"]
+        c._collecting_ts = True
+        c._on_ts_reply("c1", TsReply(ts="spoof"))
+        assert c._wts_by_server == {}
+
+    def test_ack_matching_by_timestamp(self, quiet_system):
+        c = quiet_system.clients["c0"]
+        c._pending_write_ts = "ts-current"
+        c._on_write_ack("s0", WriteAck(ts="ts-current"))
+        c._on_write_ack("s1", WriteAck(ts="ts-stale"))
+        c._on_write_nack("s2", WriteNack(ts="ts-current"))
+        c._on_write_nack("s3", WriteNack(ts="other"))
+        assert c._ack_from == {"s0"}
+        assert c._nack_from == {"s2"}
+
+    def test_write_ts_survives_between_ops_and_feeds_next(self, quiet_system):
+        c = quiet_system.clients["c0"]
+        ts1 = quiet_system.write_sync("c0", "a")
+        assert c.write_ts == ts1
+        ts2 = quiet_system.write_sync("c0", "b")
+        assert quiet_system.scheme.precedes(ts1, ts2)
+
+    def test_corrupted_write_ts_not_fed_to_next_if_invalid(self, quiet_system):
+        c = quiet_system.clients["c0"]
+        c.write_ts = "total garbage"
+        ts = quiet_system.write_sync("c0", "v")  # must not raise
+        assert quiet_system.scheme.is_label(ts)
+
+
+class TestStalenessCap:
+    def test_at_most_f_stale_ts_entries_per_gather(self, config_f1):
+        """DESIGN.md interpretation #7: with FIFO channels and a sequential
+        client, at most f of the n-f collected timestamps are stale.
+
+        Construct: one slow server whose TS replies are one operation
+        behind; its stale value may enter the gather, but never more than
+        f of them."""
+
+        def policy(env, rng):
+            if env.src == "s0" and type(env.payload).__name__ == "TsReply":
+                return 3.5  # s0's TS replies always arrive late
+            return 1.0
+
+        system = RegisterSystem(
+            config_f1,
+            seed=0,
+            n_clients=1,
+            adversary=ScriptedAdversary(policy),
+        )
+        for i in range(5):
+            ts = system.write_sync("c0", f"v{i}")
+            # Lemma 8's consequence: each write's ts dominates its
+            # predecessor's despite the stale entries.
+            if i:
+                assert system.scheme.precedes(prev, ts)
+            prev = ts
+        assert system.check_regularity().ok

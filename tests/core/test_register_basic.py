@@ -1,0 +1,141 @@
+"""End-to-end register behaviour in the absence of faults."""
+
+import pytest
+
+from repro.core.client import ABORT
+from repro.core.config import SystemConfig
+from repro.core.register import RegisterSystem
+from repro.errors import ConfigurationError, ProtocolViolationError
+from repro.labels.ordering import MwmrTimestamp
+
+
+class TestBasicOperation:
+    def test_write_then_read(self, system_f1):
+        system_f1.write_sync("c0", "hello")
+        assert system_f1.read_sync("c1") == "hello"
+
+    def test_read_before_any_write_aborts(self, system_f1):
+        # All servers agree on the initial pair, so the read returns the
+        # initial value rather than aborting — it only aborts when the
+        # servers disagree (transitory phase).
+        result = system_f1.read_sync("c1")
+        assert result is None or result is ABORT
+
+    def test_sequence_of_writes_reads_latest(self, system_f1):
+        for i in range(5):
+            system_f1.write_sync("c0", f"v{i}")
+        assert system_f1.read_sync("c1") == "v4"
+
+    def test_all_clients_can_write(self, system_f1):
+        system_f1.write_sync("c0", "a")
+        system_f1.write_sync("c1", "b")
+        system_f1.write_sync("c2", "c")
+        assert system_f1.read_sync("c0") == "c"
+
+    def test_write_returns_mwmr_timestamp(self, system_f1):
+        ts = system_f1.write_sync("c0", "x")
+        assert isinstance(ts, MwmrTimestamp)
+        assert ts.writer_id == "c0"
+
+    def test_swmr_mode_uses_raw_labels(self, config_f1):
+        system = RegisterSystem(config_f1, seed=1, n_clients=2, mwmr=False)
+        ts = system.write_sync("c0", "x")
+        assert not isinstance(ts, MwmrTimestamp)
+        assert system.read_sync("c1") == "x"
+
+    def test_whole_history_regular(self, system_f1):
+        system_f1.write_sync("c0", "a")
+        system_f1.read_sync("c1")
+        system_f1.write_sync("c2", "b")
+        system_f1.read_sync("c0")
+        system_f1.read_sync("c1")
+        verdict = system_f1.check_regularity()
+        assert verdict.ok, verdict.violations
+
+    def test_repeat_reads_stable(self, system_f1):
+        system_f1.write_sync("c0", "stable")
+        for _ in range(5):
+            assert system_f1.read_sync("c1") == "stable"
+
+    def test_census_after_write(self, system_f1):
+        """Lemma 2: the written pair is current at >= 3f+1 correct servers."""
+        ts = system_f1.write_sync("c0", "v")
+        assert system_f1.census("v", ts) >= 3 * system_f1.config.f + 1
+
+    def test_larger_deployment_f2(self):
+        system = RegisterSystem(SystemConfig(n=11, f=2), seed=5, n_clients=2)
+        system.write_sync("c0", "big")
+        assert system.read_sync("c1") == "big"
+        assert system.check_regularity().ok
+
+    def test_f_zero_single_server(self):
+        system = RegisterSystem(SystemConfig(n=1, f=0), seed=0, n_clients=2)
+        system.write_sync("c0", "solo")
+        assert system.read_sync("c1") == "solo"
+
+
+class TestOperationLatency:
+    def test_write_takes_two_round_trips(self, system_f1):
+        system_f1.write_sync("c0", "x")
+        op = system_f1.history.writes()[0]
+        assert op.responded_at - op.invoked_at == pytest.approx(4.0)
+
+    def test_read_latency_includes_flush(self, system_f1):
+        system_f1.write_sync("c0", "x")
+        system_f1.read_sync("c1")
+        op = system_f1.history.completed_reads()[0]
+        assert op.responded_at - op.invoked_at == pytest.approx(4.0)
+
+
+class TestClientDiscipline:
+    def test_sequential_clients_enforced(self, system_f1):
+        system_f1.write("c0", "x")  # async, still running
+        with pytest.raises(ProtocolViolationError, match="sequential"):
+            system_f1.write("c0", "y")
+
+    def test_client_free_after_completion(self, system_f1):
+        system_f1.write_sync("c0", "x")
+        system_f1.write_sync("c0", "y")  # no error
+
+    def test_crash_mid_operation_marks_history(self, system_f1):
+        from repro.spec.history import OpStatus
+
+        system_f1.write("c0", "doomed")
+        system_f1.clients["c0"].crash()
+        system_f1.settle()
+        op = system_f1.history.writes()[0]
+        assert op.status is OpStatus.CRASHED
+
+    def test_system_validation(self, config_f1):
+        with pytest.raises(ConfigurationError):
+            RegisterSystem(config_f1, n_clients=0)
+        with pytest.raises(ConfigurationError):
+            RegisterSystem(
+                config_f1,
+                byzantine={
+                    "s0": lambda *a: None,
+                    "s1": lambda *a: None,
+                },
+            )  # 2 > f = 1
+        with pytest.raises(ConfigurationError):
+            RegisterSystem(config_f1, byzantine={"s99": lambda *a: None})
+
+
+class TestMessageComplexity:
+    def test_write_message_count_linear_in_n(self):
+        counts = {}
+        for f in (1, 2):
+            n = 5 * f + 1
+            system = RegisterSystem(SystemConfig(n=n, f=f), seed=0, n_clients=1)
+            system.write_sync("c0", "x")
+            counts[n] = system.message_stats.total_sent
+        # 2 broadcast rounds + 2 reply rounds ~ 4n per write
+        assert counts[11] > counts[6] * 1.5
+
+    def test_read_path_stats_aggregation(self, system_f1):
+        system_f1.write_sync("c0", "x")
+        system_f1.read_sync("c1")
+        stats = system_f1.read_path_stats()
+        assert stats["local"] == 1
+        assert stats["union"] == 0
+        assert stats["abort"] == 0

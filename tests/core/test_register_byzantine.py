@@ -1,0 +1,131 @@
+"""Register behaviour under every Byzantine strategy (Theorems 2-3)."""
+
+import random
+
+import pytest
+
+from repro.byzantine.strategies import (
+    STRATEGY_ZOO,
+    EquivocatingByzantine,
+    ForgingByzantine,
+    NackSpammerByzantine,
+    SilentByzantine,
+)
+from repro.core.config import SystemConfig
+from repro.core.register import RegisterSystem
+from repro.sim.adversary import UniformLatencyAdversary
+from repro.workloads.generators import mixed_scripts, run_scripts
+
+
+def make_system(strategy_cls, seed=0, n_clients=3, f=1, **system_kw):
+    n = 5 * f + 1
+    byz = {f"s{n - i - 1}": strategy_cls.factory() for i in range(f)}
+    return RegisterSystem(
+        SystemConfig(n=n, f=f),
+        seed=seed,
+        n_clients=n_clients,
+        byzantine=byz,
+        **system_kw,
+    )
+
+
+class TestEveryStrategy:
+    @pytest.mark.parametrize("name", sorted(STRATEGY_ZOO))
+    def test_clean_start_stays_regular(self, name):
+        system = make_system(STRATEGY_ZOO[name], seed=1)
+        system.write_sync("c0", "a")
+        assert system.read_sync("c1") == "a"
+        system.write_sync("c2", "b")
+        assert system.read_sync("c0") == "b"
+        assert system.check_regularity().ok
+
+    @pytest.mark.parametrize("name", sorted(STRATEGY_ZOO))
+    def test_concurrent_workload_regular(self, name):
+        system = make_system(STRATEGY_ZOO[name], seed=2, n_clients=4)
+        rng = random.Random(7)
+        scripts = mixed_scripts(list(system.clients), rng, ops_per_client=5)
+        run_scripts(system, scripts)
+        verdict = system.check_regularity()
+        assert verdict.ok, (name, verdict.violations)
+        assert not system.history.pending()
+
+    @pytest.mark.parametrize("name", sorted(STRATEGY_ZOO))
+    def test_with_jitter_regular(self, name):
+        system = make_system(
+            STRATEGY_ZOO[name],
+            seed=3,
+            n_clients=3,
+            adversary=UniformLatencyAdversary(0.5, 2.5),
+        )
+        rng = random.Random(8)
+        scripts = mixed_scripts(list(system.clients), rng, ops_per_client=5)
+        run_scripts(system, scripts)
+        verdict = system.check_regularity()
+        assert verdict.ok, (name, verdict.violations)
+
+
+class TestSpecificAttacks:
+    def test_silent_byzantine_costs_no_liveness(self):
+        system = make_system(SilentByzantine, seed=4)
+        for i in range(4):
+            system.write_sync("c0", f"v{i}")
+            assert system.read_sync("c1") == f"v{i}"
+
+    def test_nack_spammer_cannot_block_writes(self):
+        system = make_system(NackSpammerByzantine, seed=5)
+        ts = system.write_sync("c0", "v")
+        assert ts is not None
+        assert system.census("v", ts) >= 4  # 3f+1 correct adopters
+
+    def test_forger_never_wins_a_read(self):
+        system = make_system(ForgingByzantine, seed=6)
+        system.write_sync("c0", "genuine")
+        for _ in range(5):
+            value = system.read_sync("c1")
+            assert value == "genuine"
+            assert not str(value).startswith("forged")
+
+    def test_equivocator_cannot_split_readers(self):
+        system = make_system(EquivocatingByzantine, seed=7, n_clients=4)
+        system.write_sync("c0", "truth")
+        values = {system.read_sync(c) for c in ("c1", "c2", "c3")}
+        assert values == {"truth"}
+
+    def test_f2_with_two_different_strategies(self):
+        config = SystemConfig(n=11, f=2)
+        system = RegisterSystem(
+            config,
+            seed=8,
+            n_clients=3,
+            byzantine={
+                "s10": ForgingByzantine.factory(),
+                "s9": SilentByzantine.factory(),
+            },
+        )
+        system.write_sync("c0", "a")
+        assert system.read_sync("c1") == "a"
+        system.write_sync("c1", "b")
+        assert system.read_sync("c2") == "b"
+        assert system.check_regularity().ok
+
+
+class TestByzantineReaders:
+    def test_byzantine_reader_cannot_corrupt_servers(self, config_f1):
+        """Concluding remarks: reads are one-phase, so Byzantine readers
+        cannot modify server state. Model: a client spamming bogus
+        READ/COMPLETE_READ/FLUSH traffic; correct clients unaffected."""
+        from repro.core.messages import CompleteRead, Flush, ReadRequest
+
+        system = RegisterSystem(config_f1, seed=9, n_clients=3)
+        system.write_sync("c0", "safe")
+        evil = system.clients["c2"]  # use its pid to inject junk
+        for sid in system.config.server_ids:
+            evil.send(sid, ReadRequest(label=1, reader="c2"))
+            evil.send(sid, CompleteRead(label=0, reader="c2"))
+            evil.send(sid, Flush(label=9999))
+            evil.send(sid, ReadRequest(label="junk", reader="c2"))
+        system.settle()
+        system.env.tick()
+        assert system.read_sync("c1") == "safe"
+        for server in system.correct_servers():
+            assert server.value == "safe"

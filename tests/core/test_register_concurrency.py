@@ -1,0 +1,167 @@
+"""Concurrent multi-writer behaviour: Lemma 8, retries, union-graph reads."""
+
+import random
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.register import RegisterSystem
+from repro.sim.adversary import UniformLatencyAdversary
+from repro.spec.history import OpKind
+from repro.workloads.generators import (
+    ScriptedOp,
+    mixed_scripts,
+    run_scripts,
+    unique_value,
+)
+
+
+class TestConcurrentWrites:
+    def test_two_racing_writers_both_terminate(self, config_f1):
+        system = RegisterSystem(config_f1, seed=3, n_clients=2)
+        h1 = system.write("c0", "a")
+        h2 = system.write("c1", "b")
+        system.settle()
+        assert h1.done and h2.done
+
+    def test_racing_writers_history_regular(self, config_f1):
+        system = RegisterSystem(config_f1, seed=3, n_clients=3)
+        system.write("c0", "a")
+        system.write("c1", "b")
+        system.settle()
+        system.env.tick()
+        r = system.read_sync("c2")
+        assert r in ("a", "b")
+        assert system.check_regularity().ok
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_concurrent_mix_regular_across_seeds(self, seed, config_f1):
+        system = RegisterSystem(config_f1, seed=seed, n_clients=4)
+        rng = random.Random(seed)
+        scripts = mixed_scripts(
+            list(system.clients), rng, ops_per_client=6, max_gap=1.0
+        )
+        run_scripts(system, scripts)
+        verdict = system.check_regularity()
+        assert verdict.ok, verdict.violations
+        assert not system.history.pending()
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_concurrent_mix_with_jitter(self, seed, config_f1):
+        system = RegisterSystem(
+            config_f1,
+            seed=seed,
+            n_clients=4,
+            adversary=UniformLatencyAdversary(0.3, 3.0),
+        )
+        rng = random.Random(seed + 50)
+        scripts = mixed_scripts(
+            list(system.clients), rng, ops_per_client=6, max_gap=0.5
+        )
+        run_scripts(system, scripts)
+        verdict = system.check_regularity()
+        assert verdict.ok, verdict.violations
+        assert not system.history.pending()
+
+    def test_ack_starvation_triggers_retry_not_deadlock(self, config_f1):
+        """A writer whose store phase is beaten to every replica by a
+        concurrent, higher-ordered write collects only NACKs; it must
+        retry with a dominating timestamp and terminate (the MWMR
+        liveness gap documented in DESIGN.md #6)."""
+        from repro.sim.adversary import ScriptedAdversary
+
+        def policy(env, rng):
+            # c0's stores arrive after everyone else's.
+            if env.src == "c0" and type(env.payload).__name__ == "WriteRequest":
+                return 2.0
+            return 1.0
+
+        system = RegisterSystem(
+            config_f1,
+            seed=9,
+            n_clients=2,
+            adversary=ScriptedAdversary(policy),
+        )
+        h_lo = system.write("c0", "loser-first-attempt")
+        h_hi = system.write("c1", "winner")
+        system.settle()
+        assert h_lo.done and h_hi.done
+        # c0 needed at least two attempts: the two writers together issue
+        # more GET_TS broadcasts than two single-attempt writes would.
+        assert system.message_stats.sent_by_type["GetTs"] > 2 * system.config.n
+        # Reads settle on the ultimately-dominating value and stay regular.
+        final = system.read_sync("c1")
+        assert final in ("loser-first-attempt", "winner")
+        assert system.check_regularity().ok
+
+    def test_reader_concurrent_with_write_sees_old_or_new(self, config_f1):
+        system = RegisterSystem(config_f1, seed=11, n_clients=2)
+        system.write_sync("c0", "old")
+        system.write("c0", "new")  # async
+        value = system.read_sync("c1")
+        system.settle()
+        assert value in ("old", "new")
+        assert system.check_regularity().ok
+
+
+class TestWriterBursts:
+    def test_burst_then_quiescent_reads(self, config_f1):
+        system = RegisterSystem(config_f1, seed=13, n_clients=2)
+        scripts = {
+            "c0": [
+                ScriptedOp(OpKind.WRITE, unique_value("c0", i), 0.0)
+                for i in range(8)
+            ],
+            "c1": [ScriptedOp(OpKind.READ, delay=1.0) for _ in range(8)],
+        }
+        run_scripts(system, scripts)
+        assert system.check_regularity().ok
+        assert system.read_sync("c1") == "c0.w7"
+
+    def test_interleaved_writers_burst(self, config_f1):
+        system = RegisterSystem(config_f1, seed=17, n_clients=3)
+        scripts = {
+            "c0": [
+                ScriptedOp(OpKind.WRITE, unique_value("c0", i), 0.2)
+                for i in range(5)
+            ],
+            "c1": [
+                ScriptedOp(OpKind.WRITE, unique_value("c1", i), 0.3)
+                for i in range(5)
+            ],
+            "c2": [ScriptedOp(OpKind.READ, delay=0.8) for _ in range(6)],
+        }
+        run_scripts(system, scripts)
+        verdict = system.check_regularity()
+        assert verdict.ok, verdict.violations
+
+
+class TestForwarding:
+    def test_servers_forward_new_writes_to_running_readers(self, config_f1):
+        """A read started before a write but completing after it must still
+        terminate (the forwarding path keeps its replies fresh)."""
+        from repro.sim.adversary import ScriptedAdversary
+
+        # Slow down one server's read replies so the read spans the write.
+        def policy(env, rng):
+            if (
+                env.src == "s4"
+                and env.dst == "c1"
+                and type(env.payload).__name__ == "ReadReply"
+            ):
+                return 12.0
+            return 1.0
+
+        system = RegisterSystem(
+            SystemConfig(n=6, f=1),
+            seed=19,
+            n_clients=2,
+            adversary=ScriptedAdversary(policy),
+        )
+        system.write_sync("c0", "first")
+        handle = system.read("c1")
+        system.write_sync("c0", "second")
+        system.env.run_to_completion(lambda: handle.done)
+        assert handle.result in ("first", "second")
+        system.settle()
+        assert system.check_regularity().ok

@@ -1,0 +1,194 @@
+"""Pseudo-stabilization integration tests: arbitrary corruption everywhere."""
+
+import random
+
+import pytest
+
+from repro.byzantine.strategies import STRATEGY_ZOO
+from repro.core.client import ABORT
+from repro.core.config import SystemConfig
+from repro.core.register import RegisterSystem
+from repro.sim.adversary import UniformLatencyAdversary
+from repro.spec.stabilization import evaluate_stabilization
+from repro.workloads.generators import mixed_scripts, run_scripts
+
+
+def corrupted_system(seed, n_clients=3, byz_cls=None, **kw):
+    config = SystemConfig(n=6, f=1)
+    byz = {"s5": byz_cls.factory()} if byz_cls else None
+    system = RegisterSystem(
+        config, seed=seed, n_clients=n_clients, byzantine=byz, **kw
+    )
+    system.corrupt_servers()
+    system.corrupt_clients()
+    return system
+
+
+class TestStabilization:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_first_write_re_establishes_regularity(self, seed):
+        system = corrupted_system(seed)
+        system.read_sync("c2")  # pre-convergence, anything goes
+        system.write_sync("c0", "anchor")
+        for i in range(3):
+            assert system.read_sync("c1") == "anchor"
+        rep = evaluate_stabilization(
+            system.history, system.checker(), last_fault_time=0.0
+        )
+        assert rep.stabilized, rep.summary()
+
+    @pytest.mark.parametrize("name", sorted(STRATEGY_ZOO))
+    def test_stabilizes_under_every_byzantine_strategy(self, name):
+        system = corrupted_system(21, byz_cls=STRATEGY_ZOO[name])
+        system.write_sync("c0", "v1")
+        system.read_sync("c1")
+        system.write_sync("c1", "v2")
+        system.read_sync("c2")
+        rep = evaluate_stabilization(
+            system.history, system.checker(), last_fault_time=0.0
+        )
+        assert rep.stabilized, (name, rep.summary())
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_concurrent_workload_stabilizes(self, seed):
+        system = corrupted_system(seed, n_clients=4)
+        rng = random.Random(seed * 3 + 1)
+        scripts = mixed_scripts(list(system.clients), rng, ops_per_client=6)
+        run_scripts(system, scripts)
+        rep = evaluate_stabilization(
+            system.history, system.checker(), last_fault_time=0.0
+        )
+        assert rep.stabilized, rep.summary()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_stabilizes_with_jitter_too(self, seed):
+        system = corrupted_system(
+            seed + 100,
+            n_clients=3,
+            adversary=UniformLatencyAdversary(0.4, 2.5),
+        )
+        rng = random.Random(seed)
+        scripts = mixed_scripts(list(system.clients), rng, ops_per_client=5)
+        run_scripts(system, scripts)
+        rep = evaluate_stabilization(
+            system.history, system.checker(), last_fault_time=0.0
+        )
+        assert rep.stabilized, rep.summary()
+
+    def test_pre_convergence_reads_terminate(self):
+        """Lemma 6 holds even in the transitory phase: reads return
+        (possibly ABORT) rather than block."""
+        system = corrupted_system(7)
+        for c in ("c0", "c1", "c2"):
+            result = system.read_sync(c)  # must not deadlock
+            assert result is ABORT or result is not None or result is None
+
+    def test_corrupted_channels_at_start(self):
+        """Stale garbage planted in channels before the run starts."""
+        from repro.sim.faults import ChannelCorruptor, garbage_forger
+
+        system = corrupted_system(8)
+        corruptor = ChannelCorruptor(
+            system.env.network, system.env.spawn_rng("junk")
+        )
+        for sid in system.config.server_ids:
+            for cid in system.clients:
+                corruptor.inject_stale(
+                    sid, cid, lambda r: garbage_forger(None, r), count=2
+                )
+                corruptor.inject_stale(
+                    cid, sid, lambda r: garbage_forger(None, r), count=2
+                )
+        system.write_sync("c0", "anchor")
+        assert system.read_sync("c1") == "anchor"
+        rep = evaluate_stabilization(
+            system.history, system.checker(), last_fault_time=0.0
+        )
+        assert rep.stabilized
+
+    def test_stale_protocol_messages_in_channels(self):
+        """Channels pre-loaded with well-formed but stale protocol
+        messages (forged replies, acks, write requests)."""
+        from repro.core.messages import ReadReply, TsReply, WriteAck, WriteRequest
+
+        system = corrupted_system(9)
+        rng = system.env.spawn_rng("stale-protocol")
+        scheme = system.scheme
+        for cid in system.clients:
+            for sid in system.config.server_ids[:3]:
+                system.env.network.inject(
+                    sid,
+                    cid,
+                    ReadReply(
+                        server=sid,
+                        value="phantom",
+                        ts=scheme.random_label(rng),
+                        old_vals=(),
+                        label=rng.randrange(3),
+                    ),
+                )
+                system.env.network.inject(
+                    sid, cid, TsReply(ts=scheme.random_label(rng))
+                )
+                system.env.network.inject(
+                    sid, cid, WriteAck(ts=scheme.random_label(rng))
+                )
+        for sid in system.config.server_ids:
+            system.env.network.inject(
+                "c0",
+                sid,
+                WriteRequest(value="phantom", ts=scheme.random_label(rng)),
+            )
+        system.write_sync("c0", "anchor")
+        for _ in range(2):
+            assert system.read_sync("c1") == "anchor"
+        rep = evaluate_stabilization(
+            system.history, system.checker(), last_fault_time=0.0
+        )
+        assert rep.stabilized
+
+    def test_mid_run_strike_recovers(self):
+        system = RegisterSystem(SystemConfig(n=6, f=1), seed=10, n_clients=3)
+        system.write_sync("c0", "before")
+        assert system.read_sync("c1") == "before"
+        strike_time = system.env.now
+        system.corrupt_servers()
+        system.write_sync("c0", "after")
+        assert system.read_sync("c1") == "after"
+        rep = evaluate_stabilization(
+            system.history, system.checker(), last_fault_time=strike_time
+        )
+        assert rep.stabilized
+
+    def test_repeated_strikes_each_recovered(self):
+        system = RegisterSystem(SystemConfig(n=6, f=1), seed=11, n_clients=2)
+        last = 0.0
+        for round_ in range(3):
+            system.corrupt_servers()
+            last = system.env.now
+            system.write_sync("c0", f"round{round_}")
+            assert system.read_sync("c1") == f"round{round_}"
+        rep = evaluate_stabilization(
+            system.history, system.checker(), last_fault_time=last
+        )
+        assert rep.stabilized
+
+    def test_client_corruption_between_ops_recovered(self):
+        system = RegisterSystem(SystemConfig(n=6, f=1), seed=12, n_clients=2)
+        system.write_sync("c0", "v0")
+        system.corrupt_clients()
+        system.write_sync("c0", "v1")
+        assert system.read_sync("c1") == "v1"
+        assert system.history.pending() == []
+
+
+class TestWriterCrashBoundary:
+    def test_crashed_first_writer_does_not_block_convergence(self):
+        from repro.harness.experiments.e6_stabilization import (
+            run_writer_crash_boundary,
+        )
+
+        out = run_writer_crash_boundary(f=1, seed=0)
+        assert out["stabilized"]
+        assert out["anchor"] == "recovery"
+        assert all(v == "recovery" for v in out["reads"])

@@ -1,0 +1,60 @@
+"""The register over fair-lossy channels via the stabilizing data-link."""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.lossy import LossyRegisterClient, LossyRegisterServer
+from repro.core.register import RegisterSystem
+from repro.sim.channels import FairLossyChannel
+
+
+def lossy_system(seed=0, loss=0.15, n_clients=2):
+    return RegisterSystem(
+        SystemConfig(n=6, f=1),
+        seed=seed,
+        n_clients=n_clients,
+        channel_factory=lambda: FairLossyChannel(
+            loss=loss, duplication=0.05, fairness_bound=6, jitter=1.5
+        ),
+        server_cls=LossyRegisterServer,
+        client_cls=LossyRegisterClient,
+    )
+
+
+class TestRegisterOverDataLink:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_write_read_over_lossy_links(self, seed):
+        system = lossy_system(seed=seed)
+        system.write_sync("c0", "hello")
+        assert system.read_sync("c1") == "hello"
+
+    def test_sequence_stays_regular(self):
+        system = lossy_system(seed=5)
+        for i in range(3):
+            system.write_sync("c0", f"v{i}")
+            assert system.read_sync("c1") == f"v{i}"
+        verdict = system.check_regularity()
+        assert verdict.ok, verdict.violations
+
+    def test_higher_loss_still_works(self):
+        system = lossy_system(seed=6, loss=0.35)
+        system.write_sync("c0", "tough")
+        assert system.read_sync("c1") == "tough"
+
+    def test_datalink_overhead_is_real(self):
+        plain = RegisterSystem(SystemConfig(n=6, f=1), seed=7, n_clients=2)
+        plain.write_sync("c0", "x")
+        plain.read_sync("c1")
+        lossy = lossy_system(seed=7)
+        lossy.write_sync("c0", "x")
+        lossy.read_sync("c1")
+        assert (
+            lossy.message_stats.total_sent > plain.message_stats.total_sent * 3
+        )
+
+    def test_corruption_recovery_over_lossy_links(self):
+        system = lossy_system(seed=8)
+        system.write_sync("c0", "pre")
+        system.corrupt_servers()
+        system.write_sync("c0", "post")
+        assert system.read_sync("c1") == "post"

@@ -1,0 +1,203 @@
+"""Register-server automaton unit tests (handlers in isolation)."""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.messages import (
+    CompleteRead,
+    Flush,
+    FlushAck,
+    GetTs,
+    ReadReply,
+    ReadRequest,
+    TsReply,
+    WriteAck,
+    WriteNack,
+    WriteRequest,
+)
+from repro.core.server import INITIAL_VALUE, RegisterServer
+from repro.labels.alon import AlonLabelingScheme
+from repro.sim.environment import SimEnvironment
+from repro.sim.messages import Garbage
+from repro.sim.process import Process
+
+
+class Probe(Process):
+    def __init__(self, pid, env):
+        super().__init__(pid, env)
+        self.received = []
+
+    def on_message(self, src, payload):
+        self.received.append(payload)
+
+    def of(self, cls):
+        return [m for m in self.received if isinstance(m, cls)]
+
+
+@pytest.fixture
+def setup():
+    env = SimEnvironment(seed=0)
+    cfg = SystemConfig(n=6, f=1)
+    scheme = AlonLabelingScheme(k=7)
+    server = RegisterServer("s0", env, cfg, scheme)
+    probe = Probe("c0", env)
+    return env, cfg, scheme, server, probe
+
+
+class TestGetTs:
+    def test_replies_current_timestamp(self, setup):
+        env, _, scheme, server, probe = setup
+        probe.send("s0", GetTs())
+        env.run()
+        (reply,) = probe.of(TsReply)
+        assert reply.ts == scheme.initial_label()
+
+
+class TestWrite:
+    def test_dominating_write_acked_and_adopted(self, setup):
+        env, _, scheme, server, probe = setup
+        ts = scheme.next_label([server.ts])
+        probe.send("s0", WriteRequest(value="v", ts=ts))
+        env.run()
+        assert probe.of(WriteAck)
+        assert server.value == "v"
+        assert server.ts == ts
+
+    def test_non_following_write_nacked_and_refused(self, setup):
+        env, _, scheme, server, probe = setup
+        high = scheme.next_label([server.ts])
+        server.ts = high
+        server.value = "current"
+        stale = scheme.initial_label()
+        probe.send("s0", WriteRequest(value="old", ts=stale))
+        env.run()
+        assert probe.of(WriteNack)
+        assert server.value == "current"  # conditional adoption
+
+    def test_invalid_timestamp_nacked_not_adopted(self, setup):
+        env, _, _, server, probe = setup
+        probe.send("s0", WriteRequest(value="v", ts="garbage"))
+        env.run()
+        assert probe.of(WriteNack)
+        assert server.value is INITIAL_VALUE
+
+    def test_window_shift(self, setup):
+        env, cfg, scheme, server, probe = setup
+        ts = server.ts
+        for i in range(cfg.old_vals_window + 3):
+            ts = scheme.next_label([ts])
+            probe.send("s0", WriteRequest(value=f"v{i}", ts=ts))
+        env.run()
+        assert len(server.old_vals) == cfg.old_vals_window
+        # most recent first: the pair shifted in last is v_{n+1}
+        assert server.old_vals[0][0] == f"v{cfg.old_vals_window + 1}"
+
+    def test_forwards_to_running_readers(self, setup):
+        env, _, scheme, server, probe = setup
+        reader = Probe("c1", env)
+        reader.send("s0", ReadRequest(label=1, reader="c1"))
+        env.run()
+        assert len(reader.of(ReadReply)) == 1
+        ts = scheme.next_label([server.ts])
+        probe.send("s0", WriteRequest(value="fresh", ts=ts))
+        env.run()
+        forwarded = reader.of(ReadReply)
+        assert len(forwarded) == 2
+        assert forwarded[-1].value == "fresh"
+        assert forwarded[-1].label == 1
+
+
+class TestRead:
+    def test_reply_carries_state_and_history(self, setup):
+        env, _, scheme, server, probe = setup
+        ts = scheme.next_label([server.ts])
+        probe.send("s0", WriteRequest(value="v", ts=ts))
+        probe.send("s0", ReadRequest(label=0, reader="c0"))
+        env.run()
+        (reply,) = probe.of(ReadReply)
+        assert reply.value == "v"
+        assert reply.ts == ts
+        assert reply.old_vals[0] == (INITIAL_VALUE, scheme.initial_label())
+        assert reply.server == "s0"
+
+    def test_complete_read_deregisters(self, setup):
+        env, _, scheme, server, probe = setup
+        probe.send("s0", ReadRequest(label=2, reader="c0"))
+        env.run()
+        assert server.running_read == {"c0": 2}
+        probe.send("s0", CompleteRead(label=2, reader="c0"))
+        env.run()
+        assert server.running_read == {}
+
+    def test_complete_read_with_wrong_label_ignored(self, setup):
+        env, _, _, server, probe = setup
+        probe.send("s0", ReadRequest(label=2, reader="c0"))
+        probe.send("s0", CompleteRead(label=1, reader="c0"))
+        env.run()
+        assert server.running_read == {"c0": 2}
+
+    def test_new_read_supersedes_old_registration(self, setup):
+        env, _, _, server, probe = setup
+        probe.send("s0", ReadRequest(label=0, reader="c0"))
+        probe.send("s0", ReadRequest(label=1, reader="c0"))
+        env.run()
+        assert server.running_read == {"c0": 1}
+
+    def test_garbage_label_ignored(self, setup):
+        env, _, _, server, probe = setup
+        probe.send("s0", ReadRequest(label="junk", reader="c0"))
+        env.run()
+        assert server.running_read == {}
+        assert probe.received == []
+
+
+class TestFlush:
+    def test_flush_reflected(self, setup):
+        env, _, _, _, probe = setup
+        probe.send("s0", Flush(label=1))
+        env.run()
+        (ack,) = probe.of(FlushAck)
+        assert ack.label == 1
+        assert ack.server == "s0"
+
+    def test_garbage_flush_ignored(self, setup):
+        env, _, _, _, probe = setup
+        probe.send("s0", Flush(label=None))
+        env.run()
+        assert probe.received == []
+
+
+class TestDefensiveness:
+    def test_garbage_payloads_never_crash(self, setup):
+        env, _, _, server, probe = setup
+        probe.send("s0", Garbage(noise=1))
+        probe.send("s0", "random string")
+        probe.send("s0", 12345)
+        probe.send("s0", TsReply(ts="confused echo"))
+        env.run()  # must not raise
+        assert server.value is INITIAL_VALUE
+
+    def test_forward_to_ghost_reader_is_safe(self, setup):
+        env, _, scheme, server, probe = setup
+        server.running_read["ghost"] = 0  # corrupted bookkeeping
+        ts = scheme.next_label([server.ts])
+        probe.send("s0", WriteRequest(value="v", ts=ts))
+        env.run()  # ghost delivery silently dropped
+        assert env.network.stats.dropped >= 1
+
+
+class TestCorruption:
+    def test_corrupt_state_randomizes_within_domains(self, setup, rng):
+        env, cfg, scheme, server, _ = setup
+        server.corrupt_state(rng)
+        assert scheme.is_label(server.ts)
+        assert len(server.old_vals) <= cfg.old_vals_window
+        for _, ts in server.old_vals:
+            assert scheme.is_label(ts)
+
+    def test_corrupted_server_still_answers(self, setup, rng):
+        env, _, _, server, probe = setup
+        server.corrupt_state(rng)
+        probe.send("s0", GetTs())
+        env.run()
+        assert probe.of(TsReply)

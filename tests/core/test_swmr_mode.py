@@ -1,0 +1,100 @@
+"""SWMR mode (Section IV-B, the paper's base protocol) under faults.
+
+The MWMR tests dominate the suite; these pin the single-writer mode —
+plain labels, no writer-id lift — to the same guarantees.
+"""
+
+import pytest
+
+from repro.byzantine.strategies import STRATEGY_ZOO
+from repro.core.config import SystemConfig
+from repro.core.register import RegisterSystem
+from repro.spec.stabilization import evaluate_stabilization
+
+
+def swmr_system(seed=0, byz_cls=None, n_clients=3):
+    byz = {"s5": byz_cls.factory()} if byz_cls else None
+    return RegisterSystem(
+        SystemConfig(n=6, f=1),
+        seed=seed,
+        n_clients=n_clients,
+        byzantine=byz,
+        mwmr=False,
+    )
+
+
+class TestSwmr:
+    def test_single_writer_sequence(self):
+        system = swmr_system(seed=1)
+        for i in range(6):
+            system.write_sync("c0", f"v{i}")
+            assert system.read_sync("c1") == f"v{i}"
+        assert system.check_regularity().ok
+
+    def test_raw_labels_chain(self):
+        system = swmr_system(seed=2)
+        scheme = system.scheme
+        prev = system.write_sync("c0", "a")
+        for i in range(5):
+            ts = system.write_sync("c0", f"b{i}")
+            assert scheme.precedes(prev, ts)
+            prev = ts
+
+    @pytest.mark.parametrize(
+        "name", ["silent", "stale-replay", "forging", "random-noise"]
+    )
+    def test_byzantine_strategies(self, name):
+        system = swmr_system(seed=3, byz_cls=STRATEGY_ZOO[name])
+        system.write_sync("c0", "x")
+        assert system.read_sync("c1") == "x"
+        assert system.read_sync("c2") == "x"
+        assert system.check_regularity().ok
+
+    def test_corrupted_start_stabilizes(self):
+        system = swmr_system(seed=4)
+        system.corrupt_servers()
+        system.corrupt_clients()
+        system.read_sync("c1")  # transitory
+        system.write_sync("c0", "anchor")
+        for c in ("c1", "c2"):
+            assert system.read_sync(c) == "anchor"
+        rep = evaluate_stabilization(
+            system.history, system.checker(), last_fault_time=0.0
+        )
+        assert rep.stabilized
+
+    def test_lemma2_census(self):
+        system = swmr_system(seed=5, n_clients=1)
+        ts = system.write_sync("c0", "v")
+        assert system.census("v", ts) >= 4  # 3f + 1
+
+
+class TestErrorsModule:
+    def test_hierarchy(self):
+        from repro import errors
+
+        for cls in (
+            errors.ConfigurationError,
+            errors.SimulationError,
+            errors.LabelSpaceExhaustedError,
+            errors.ProtocolViolationError,
+            errors.HistoryError,
+        ):
+            assert issubclass(cls, errors.ReproError)
+        assert issubclass(errors.DeadlockError, errors.SimulationError)
+
+    def test_deadlock_error_reports_blocked_ops(self):
+        from repro.errors import DeadlockError
+        from repro.sim.environment import SimEnvironment
+        from repro.sim.process import Process, Wait
+
+        env = SimEnvironment(seed=0)
+
+        class Stuck(Process):
+            def op(self):
+                yield Wait(lambda: False, label="the-impossible")
+
+        p = Stuck("p", env)
+        p.start_operation(p.op(), name="stuck-op")
+        with pytest.raises(DeadlockError, match="the-impossible"):
+            env.run_to_completion(lambda: False)

@@ -1,0 +1,73 @@
+"""Latency-distribution analysis tests."""
+
+import numpy as np
+import pytest
+
+from repro.harness.distributions import Distribution, compare
+from repro.spec.history import History, OpKind, OpStatus
+
+
+def make_history(latencies, kind=OpKind.READ):
+    h = History()
+    t = 0.0
+    for lat in latencies:
+        op = h.invoke("c0", kind, t, argument="x")
+        h.respond(op, t + lat, result="x")
+        t += lat + 1.0
+    return h
+
+
+class TestDistribution:
+    def test_empty(self):
+        d = Distribution(samples=np.asarray([]))
+        assert d.count == 0
+        assert d.summary_row() == (0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        assert d.histogram() == "(no samples)"
+        assert d.sparkline() == "(no samples)"
+
+    def test_from_histories_pools_and_filters(self):
+        h1 = make_history([1.0, 2.0], kind=OpKind.READ)
+        h2 = make_history([10.0], kind=OpKind.WRITE)
+        reads = Distribution.from_histories([h1, h2], kind=OpKind.READ)
+        assert reads.count == 2
+        everything = Distribution.from_histories([h1, h2])
+        assert everything.count == 3
+
+    def test_incomplete_and_aborted_excluded(self):
+        h = History()
+        h.invoke("c0", OpKind.READ, 0.0)  # pending
+        op = h.invoke("c0", OpKind.READ, 1.0)
+        h.respond(op, 2.0, status=OpStatus.ABORT)
+        assert Distribution.from_histories([h]).count == 0
+
+    def test_summary_row(self):
+        d = Distribution(samples=np.asarray([1.0, 2.0, 3.0, 4.0]))
+        count, mean, p50, p90, p99, mx = d.summary_row()
+        assert count == 4
+        assert mean == 2.5
+        assert mx == 4.0
+
+    def test_constant_samples_histogram_does_not_crash(self):
+        d = Distribution(samples=np.asarray([4.0] * 30))
+        assert "30" in d.histogram()
+        assert "█" in d.sparkline()
+
+    def test_epsilon_spread_samples(self):
+        """Accumulated float-clock noise must not break binning."""
+        d = Distribution(samples=np.asarray([4.0, 4.0 + 1e-12, 4.0 - 1e-12]))
+        d.histogram()
+        d.sparkline()
+
+    def test_histogram_shape(self):
+        d = Distribution(samples=np.asarray([1.0] * 10 + [9.0]))
+        text = d.histogram(bins=4)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "10" in lines[0]
+
+    def test_compare_table(self):
+        a = Distribution(samples=np.asarray([1.0, 2.0]))
+        b = Distribution(samples=np.asarray([5.0]))
+        text = compare([("fast", a), ("slow", b)])
+        assert "fast" in text and "slow" in text
+        assert "shape" in text

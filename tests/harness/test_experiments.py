@@ -1,0 +1,196 @@
+"""Every experiment's headline claim, asserted (small parameters).
+
+These are the "does the reproduction reproduce" tests: each experiment
+module must regenerate the shape recorded in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.harness.experiments import (
+    ALL_EXPERIMENTS,
+    e1_lower_bound,
+    e2_correctness,
+    e3_n_sweep,
+    e4_termination,
+    e5_write_propagation,
+    e6_stabilization,
+    e7_labels,
+    e8_comparison,
+    e9_ablations,
+    e10_scalability,
+)
+
+
+class TestE1LowerBound:
+    def test_table_shape(self):
+        rep = e1_lower_bound.run()
+        rows = rep.row_dicts()
+        tm1r_rows = [r for r in rows if r["protocol"] == "tm1r"]
+        ours = [r for r in rows if r["protocol"].startswith("stabilizing")]
+        assert len(tm1r_rows) == 2
+        assert all(r["regular"] is False for r in tm1r_rows)
+        assert {r["defeated at"] for r in tm1r_rows} == {"r1", "r2"}
+        assert ours[0]["regular"] is True
+        assert ours[0]["r1"] == "v1" and ours[0]["r2"] == "v2"
+
+
+class TestE2Correctness:
+    def test_all_strategies_stabilize(self):
+        rep = e2_correctness.run(seeds=2, strategies=["silent", "forging"])
+        for row in rep.row_dicts():
+            assert row["stabilized"] == row["runs"]
+            assert row["violations"] == 0
+            assert row["suffix aborts"] == 0
+
+
+class TestE3Sweep:
+    def test_boundary_shape(self):
+        rep = e3_n_sweep.run(seeds=8)
+        by_n = {r["n"]: r for r in rep.row_dicts()}
+        f = 1
+        # At and above the bound: everything stabilizes cleanly.
+        for n in (5 * f + 1, 5 * f + 2):
+            assert by_n[n]["stabilized"] == by_n[n]["runs"]
+            assert by_n[n]["suffix aborts"] == 0
+            assert by_n[n]["violations"] == 0
+        # Below the bound: failures appear (aborts, violations or
+        # non-stabilized runs).
+        below = by_n[3 * f + 1]
+        assert (
+            below["stabilized"] < below["runs"]
+            or below["suffix aborts"] > 0
+            or below["violations"] > 0
+        )
+
+
+class TestE4Termination:
+    def test_no_pending_anywhere(self):
+        rep = e4_termination.run(seeds=2)
+        for row in rep.row_dicts():
+            assert row["pending"] == 0
+            assert row["ops done"] > 0
+            assert row["aborts"] == 0
+
+
+class TestE5Lemma2:
+    def test_census_bound_holds_in_every_case(self):
+        rep = e5_write_propagation.run(writes=4, seeds=2)
+        for row in rep.row_dicts():
+            assert row["holds"] is True
+            assert row["min census"] >= row["required (3f+1)"]
+
+
+class TestE6Stabilization:
+    def test_every_severity_recovers(self):
+        rep = e6_stabilization.run(seeds=2)
+        for row in rep.row_dicts():
+            assert row["stabilized"] == row["runs"], row
+
+
+class TestE7Labels:
+    def test_alon_never_fails_wraparound_does(self):
+        rep = e7_labels.run(seeds=1, trials=400)
+        rows = rep.row_dicts()
+        alon = [
+            r
+            for r in rows
+            if r["sub-experiment"] == "domination" and "alon" in r["scheme"]
+        ]
+        wrap = [
+            r
+            for r in rows
+            if r["sub-experiment"] == "domination" and r["scheme"] == "wraparound"
+        ]
+        assert all(r["result"].startswith("0/") for r in alon)
+        assert all(not r["result"].startswith("0/") for r in wrap)
+
+    def test_certificate_rows_present(self):
+        rep = e7_labels.run(seeds=1, trials=100)
+        certs = [
+            r
+            for r in rep.row_dicts()
+            if r["sub-experiment"] == "domination (certificate)"
+        ]
+        assert certs
+        assert all("False" in r["result"] for r in certs)
+
+
+class TestE8Comparison:
+    def test_matrix_shape(self):
+        rep = e8_comparison.run(seeds=2)
+        rows = {r["protocol"]: r for r in rep.row_dicts()}
+        ours = rows["stabilizing (paper, n=6)"]
+        assert all(
+            ours[col] == "OK"
+            for col in rep.headers[1:]
+        )
+        assert rows["abd atomic (n=3)"]["byzantine"] == "violated"
+        assert rows["kanjani regular (n=4)"]["transient, reads only"] == "stuck"
+        # every protocol is fine in the clean column
+        assert all(r["clean"] == "OK" for r in rows.values())
+
+
+class TestE9Ablations:
+    def test_flush_attack_differentiates(self):
+        from repro.harness.experiments.e9_ablations import run_flush_attack
+
+        off_hits = sum(
+            1
+            for step in range(16)
+            if run_flush_attack(False, 5.0 + 0.5 * step)["r2"] == "old"
+        )
+        on_hits = sum(
+            1
+            for step in range(16)
+            if run_flush_attack(True, 5.0 + 0.5 * step)["r2"] == "old"
+        )
+        assert off_hits > 0
+        assert on_hits == 0
+
+    def test_union_graph_rescues_reads(self):
+        rep = e9_ablations.run(seeds=6)
+        rows = {
+            (r["ablation"], r["setting"]): r for r in rep.row_dicts()
+        }
+        on = rows[("union WTsG", "on")]
+        off = rows[("union WTsG", "OFF")]
+        assert on["aborts"] == 0
+        assert off["aborts"] >= on["aborts"]
+
+
+class TestE10Scalability:
+    def test_linear_messages_flat_latency(self):
+        rep = e10_scalability.run(seeds=2, max_f=2)
+        fifo_rows = [
+            r for r in rep.row_dicts() if r["configuration"] == "fifo channels"
+        ]
+        assert fifo_rows[1]["msgs/op"] > fifo_rows[0]["msgs/op"] * 1.5
+        assert fifo_rows[1]["write mean latency"] == pytest.approx(
+            fifo_rows[0]["write mean latency"], abs=1.0
+        )
+
+    def test_datalink_tax(self):
+        rep = e10_scalability.run(seeds=1, max_f=1)
+        rows = {r["configuration"]: r for r in rep.row_dicts()}
+        assert (
+            rows["fair-lossy + data-link"]["msgs/op"]
+            > rows["fifo"]["msgs/op"] * 3
+        )
+
+
+class TestAllRuns:
+    @pytest.mark.parametrize("name", sorted(ALL_EXPERIMENTS))
+    def test_every_experiment_produces_a_table(self, name):
+        mod = ALL_EXPERIMENTS[name]
+        # Smallest possible parameters for a smoke run.
+        kwargs = {}
+        import inspect
+
+        sig = inspect.signature(mod.run)
+        if "seeds" in sig.parameters:
+            kwargs["seeds"] = 1
+        if "trials" in sig.parameters:
+            kwargs["trials"] = 50
+        rep = mod.run(**kwargs)
+        assert rep.rows
+        assert rep.table()

@@ -1,0 +1,82 @@
+"""Tests for the extension experiments E11 (atomicity gap) and E12."""
+
+from repro.harness.experiments import e11_atomicity_gap, e12_partitions
+
+
+class TestE11:
+    def test_inversion_is_regular_but_not_linearizable(self):
+        out = e11_atomicity_gap.run_inversion_scenario()
+        assert out["r1"] == "new"
+        assert out["r2"] == "old"
+        assert out["r3"] == "new"
+        assert out["regular"], out["violations"]
+        assert not out["linearizable"]
+
+    def test_abd_counterpart_has_no_inversion(self):
+        out = e11_atomicity_gap.run_abd_counterpart()
+        assert out["no_inversion"]
+        assert out["linearizable"]
+
+    def test_report_shape(self):
+        rep = e11_atomicity_gap.run()
+        rows = {r["protocol"]: r for r in rep.row_dicts()}
+        assert rows["stabilizing (paper)"]["linearizable"] is False
+        assert rows["abd (write-back reads)"]["linearizable"] is True
+
+
+class TestE13:
+    def test_labels_recycle(self):
+        from repro.harness.experiments.e13_label_recycling import (
+            run_label_economy,
+        )
+
+        out = run_label_economy(writes=80)
+        assert out["regular"]
+        assert out["distinct_labels"] < 80
+        assert out["first_reuse_distance"] is not None
+
+    def test_corrupted_start_still_bounded(self):
+        from repro.harness.experiments.e13_label_recycling import (
+            run_label_economy,
+        )
+
+        out = run_label_economy(writes=60, corrupted_start=True)
+        assert out["regular"]
+        assert out["distinct_labels"] <= out["domain"]
+
+    def test_two_writers(self):
+        from repro.harness.experiments.e13_label_recycling import (
+            run_label_economy,
+        )
+
+        out = run_label_economy(writes=60, writers=2)
+        assert out["regular"]
+
+
+class TestReportCsv:
+    def test_to_csv(self):
+        from repro.harness.experiments import e5_write_propagation
+
+        rep = e5_write_propagation.run(writes=2, seeds=1)
+        csv_text = rep.to_csv()
+        lines = csv_text.strip().splitlines()
+        assert lines[0].startswith("byzantine phase case,")
+        assert len(lines) == len(rep.rows) + 1
+
+
+class TestE12:
+    def test_quorum_predicted_availability(self):
+        rep = e12_partitions.run()
+        rows = {r["island size"]: r for r in rep.row_dicts()}
+        for island, row in rows.items():
+            if island <= 1:  # f = 1
+                assert row["ops stalled to heal"] == 0
+                assert row["worst op latency"] < 10
+            else:
+                assert row["ops stalled to heal"] > 0
+                assert row["worst op latency"] > 20
+            assert row["regular"] is True
+
+    def test_no_island_means_no_deferred_messages(self):
+        out = e12_partitions.run_partition_scenario(island_size=0)
+        assert out["deferred_messages"] == 0

@@ -1,0 +1,134 @@
+"""Harness utility tests: metrics, tables, runner."""
+
+import random
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.harness.metrics import (
+    LatencyStats,
+    history_metrics,
+    messages_per_operation,
+)
+from repro.harness.runner import ExperimentReport, run_register_workload
+from repro.harness.tables import render_table
+from repro.spec.history import History, OpKind, OpStatus
+from repro.workloads.generators import ScriptedOp, read_heavy_scripts
+
+
+class TestLatencyStats:
+    def test_empty(self):
+        s = LatencyStats.from_samples([])
+        assert s.count == 0
+        assert s.mean == 0.0
+
+    def test_basic_statistics(self):
+        s = LatencyStats.from_samples([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == 2.5
+        assert s.maximum == 4.0
+        assert s.p50 == 2.5
+
+    def test_row_rounding(self):
+        s = LatencyStats.from_samples([1.23456])
+        assert s.row() == (1, 1.23, 1.23, 1.23, 1.23)
+
+
+class TestHistoryMetrics:
+    def test_aggregates_by_kind_and_status(self):
+        h = History()
+        w = h.invoke("c0", OpKind.WRITE, 0.0, argument="x")
+        h.respond(w, 4.0)
+        r1 = h.invoke("c1", OpKind.READ, 5.0)
+        h.respond(r1, 7.0, result="x")
+        r2 = h.invoke("c1", OpKind.READ, 8.0)
+        h.respond(r2, 9.0, status=OpStatus.ABORT)
+        h.invoke("c2", OpKind.READ, 10.0)  # pending
+        m = history_metrics(h)
+        assert m.completed_writes == 1
+        assert m.completed_reads == 1
+        assert m.aborted_reads == 1
+        assert m.pending_ops == 1
+        assert m.write_latency.mean == 4.0
+        assert m.read_latency.mean == 2.0
+        assert m.abort_rate == 0.5
+
+    def test_messages_per_operation(self):
+        class Stats:
+            total_sent = 30
+
+        h = History()
+        for i in range(3):
+            op = h.invoke("c0", OpKind.WRITE, 0.0, argument=i)
+            h.respond(op, 1.0)
+        assert messages_per_operation(Stats(), h) == 10.0
+
+
+class TestTables:
+    def test_alignment_and_title(self):
+        text = render_table(
+            ["name", "value"],
+            [("a", 1), ("long-name", 2.5)],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "long-name" in text
+        assert "2.5" in text
+
+    def test_bool_formatting(self):
+        text = render_table(["x"], [(True,), (False,)])
+        assert "yes" in text and "no" in text
+
+    def test_float_trimming(self):
+        text = render_table(["x"], [(1.5000,), (2.000,)])
+        assert "1.5" in text
+        assert "2.0" not in text  # trailing zeros trimmed
+
+
+class TestExperimentReport:
+    def test_table_and_dicts(self):
+        rep = ExperimentReport(
+            experiment="EX",
+            claim="demo",
+            headers=["a", "b"],
+            rows=[(1, 2), (3, 4)],
+            notes=["a note"],
+        )
+        assert "EX: demo" in rep.table()
+        assert "note: a note" in rep.table()
+        assert rep.row_dicts() == [{"a": 1, "b": 2}, {"a": 3, "b": 4}]
+
+
+class TestRunner:
+    def test_clean_run_result(self):
+        config = SystemConfig(n=6, f=1)
+        rng = random.Random(0)
+        scripts = read_heavy_scripts(["c0", "c1"], rng, ops_per_client=4)
+        result = run_register_workload(config, scripts, seed=0)
+        assert result.ok
+        assert result.stabilization is None
+        assert result.verdict is not None and result.verdict.ok
+        assert result.messages_per_op > 0
+        assert result.metrics.pending_ops == 0
+
+    def test_corrupted_run_evaluates_suffix(self):
+        config = SystemConfig(n=6, f=1)
+        rng = random.Random(1)
+        scripts = read_heavy_scripts(["c0", "c1"], rng, ops_per_client=5)
+        result = run_register_workload(
+            config, scripts, seed=1, corrupt_at_start=True
+        )
+        assert result.stabilization is not None
+        assert result.ok
+
+    def test_mid_run_corruption_times(self):
+        config = SystemConfig(n=6, f=1)
+        scripts = {
+            "c0": [ScriptedOp(OpKind.WRITE, f"v{i}", 2.0) for i in range(5)],
+            "c1": [ScriptedOp(OpKind.READ, delay=2.0) for _ in range(5)],
+        }
+        result = run_register_workload(
+            config, scripts, seed=2, corruption_times=[5.0]
+        )
+        assert result.stabilization is not None

@@ -1,0 +1,42 @@
+"""Profiling helper tests."""
+
+from repro.harness.profiling import profile_callable
+
+
+class TestProfileCallable:
+    def test_returns_value_and_rows(self):
+        def work():
+            return sum(i * i for i in range(10000))
+
+        result = profile_callable(work)
+        assert result.value == sum(i * i for i in range(10000))
+        assert result.rows
+        assert result.total_time >= 0
+
+    def test_table_renders(self):
+        result = profile_callable(lambda: 42)
+        text = result.table(limit=5)
+        assert "cumtime" in text
+
+    def test_exception_propagates(self):
+        import pytest
+
+        def boom():
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError):
+            profile_callable(boom)
+
+
+class TestCliProfile:
+    def test_profile_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["profile", "E5", "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "cumulative time" in out
+
+    def test_profile_unknown(self, capsys):
+        from repro.cli import main
+
+        assert main(["profile", "E99"]) == 2

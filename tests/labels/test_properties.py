@@ -1,0 +1,145 @@
+"""Property-based tests (hypothesis) for the labeling systems.
+
+These are the machine-checked versions of Definition 2 (k-SBLS): for any
+set of at most k labels — arbitrary, not just reachable ones — ``next``
+dominates every element; plus the structural properties (antisymmetry,
+irreflexivity, defensiveness) every scheme must provide.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.labels.alon import AlonLabel, AlonLabelingScheme
+from repro.labels.modular import ModularLabelingScheme
+from repro.labels.ordering import MwmrOrdering, MwmrTimestamp
+from repro.labels.unbounded import UnboundedLabelingScheme
+
+K = 6
+SCHEME = AlonLabelingScheme(k=K)
+
+
+def alon_labels(scheme=SCHEME):
+    """Strategy producing arbitrary *valid* labels of the scheme."""
+    domain = st.integers(min_value=0, max_value=scheme.domain_size - 1)
+    def build(sting, extra):
+        pool = list(dict.fromkeys(list(extra) + list(range(scheme.domain_size))))
+        return AlonLabel(sting=sting, antistings=frozenset(pool[: scheme.k]))
+
+    return st.builds(
+        build,
+        domain,
+        st.lists(domain, min_size=scheme.k, max_size=scheme.k * 2),
+    )
+
+
+class TestAlonKSBLS:
+    @given(st.lists(alon_labels(), min_size=0, max_size=K))
+    @settings(max_examples=300)
+    def test_definition_2_domination(self, labels):
+        """∀ L' ⊆ L, |L'| <= k ⇒ ∀ ℓ ∈ L', ℓ ≺ next(L')."""
+        nxt = SCHEME.next_label(labels)
+        assert SCHEME.is_label(nxt)
+        for lab in labels:
+            assert SCHEME.precedes(lab, nxt)
+
+    @given(alon_labels(), alon_labels())
+    @settings(max_examples=300)
+    def test_antisymmetry(self, a, b):
+        assert not (SCHEME.precedes(a, b) and SCHEME.precedes(b, a))
+
+    @given(alon_labels())
+    def test_irreflexive(self, a):
+        assert not SCHEME.precedes(a, a)
+
+    @given(st.lists(alon_labels(), min_size=1, max_size=K))
+    @settings(max_examples=200)
+    def test_next_is_fresh(self, labels):
+        """next never *equals* an input label (it must strictly dominate)."""
+        nxt = SCHEME.next_label(labels)
+        assert nxt not in labels
+
+    @given(
+        st.lists(
+            st.one_of(
+                alon_labels(),
+                st.integers(),
+                st.text(max_size=4),
+                st.none(),
+            ),
+            max_size=K,
+        )
+    )
+    @settings(max_examples=200)
+    def test_defensive_against_garbage(self, mixed):
+        """next() over garbage-polluted input still emits a valid label
+        dominating every *valid* input label."""
+        nxt = SCHEME.next_label(mixed)
+        assert SCHEME.is_label(nxt)
+        for lab in mixed:
+            if SCHEME.is_label(lab):
+                assert SCHEME.precedes(lab, nxt)
+
+
+class TestUnboundedProperties:
+    scheme = UnboundedLabelingScheme()
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**12), max_size=10))
+    def test_domination(self, labels):
+        nxt = self.scheme.next_label(labels)
+        for lab in labels:
+            assert self.scheme.precedes(lab, nxt)
+
+
+class TestModularProperties:
+    scheme = ModularLabelingScheme(modulus=32)
+
+    @given(
+        st.integers(min_value=0, max_value=31),
+        st.integers(min_value=0, max_value=31),
+    )
+    def test_mostly_antisymmetric_except_antipodal(self, a, b):
+        """The window order is antisymmetric except at distance m/2 —
+        a structural defect of wraparound comparison."""
+        both = self.scheme.precedes(a, b) and self.scheme.precedes(b, a)
+        if both:
+            assert (b - a) % 32 == 16
+
+    @given(st.lists(st.integers(min_value=0, max_value=31), min_size=1, max_size=8))
+    def test_next_always_emits_valid_label(self, labels):
+        assert self.scheme.is_label(self.scheme.next_label(labels))
+
+    def test_domination_fails_on_some_inputs(self):
+        """The scheme is NOT a k-SBLS: exhibit the certificate."""
+        a, b = self.scheme.antipodal_pair()
+        nxt = self.scheme.next_label([a, b])
+        assert not self.scheme.dominates_all(nxt, [a, b])
+
+
+class TestMwmrProperties:
+    base = AlonLabelingScheme(k=4)
+    scheme = MwmrOrdering(base)
+
+    @st.composite
+    def timestamps(draw, self=None):
+        base = AlonLabelingScheme(k=4)
+        seed = draw(st.integers(min_value=0, max_value=10**6))
+        writer = draw(st.sampled_from(["c0", "c1", "c2", "c3"]))
+        return MwmrTimestamp(
+            label=base.random_label(random.Random(seed)), writer_id=writer
+        )
+
+    @given(timestamps(), timestamps())
+    @settings(max_examples=300)
+    def test_totality_on_distinct(self, a, b):
+        if a != b:
+            assert self.scheme.precedes(a, b) != self.scheme.precedes(b, a)
+        else:
+            assert not self.scheme.precedes(a, b)
+
+    @given(st.lists(timestamps(), min_size=0, max_size=4))
+    @settings(max_examples=200)
+    def test_next_timestamp_domination(self, tss):
+        nxt = self.scheme.next_timestamp(tss, "w")
+        for ts in tss:
+            assert self.scheme.precedes(ts, nxt)

@@ -1,0 +1,240 @@
+"""Unit tests for every labeling scheme."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.labels.alon import AlonLabel, AlonLabelingScheme
+from repro.labels.modular import ModularLabelingScheme
+from repro.labels.ordering import MwmrOrdering, MwmrTimestamp
+from repro.labels.unbounded import UnboundedLabelingScheme
+
+
+class TestUnbounded:
+    scheme = UnboundedLabelingScheme()
+
+    def test_initial(self):
+        assert self.scheme.initial_label() == 0
+
+    def test_order(self):
+        assert self.scheme.precedes(1, 2)
+        assert not self.scheme.precedes(2, 1)
+        assert not self.scheme.precedes(2, 2)
+
+    def test_next_dominates(self):
+        labels = [3, 17, 5]
+        nxt = self.scheme.next_label(labels)
+        assert self.scheme.dominates_all(nxt, labels)
+
+    def test_next_of_empty(self):
+        assert self.scheme.next_label([]) == 1
+
+    def test_garbage_filtered(self):
+        assert self.scheme.next_label(["x", None, 4, -2, True]) == 5
+
+    def test_is_label(self):
+        assert self.scheme.is_label(0)
+        assert not self.scheme.is_label(-1)
+        assert not self.scheme.is_label(True)  # bools are not labels
+        assert not self.scheme.is_label("3")
+
+    def test_maximal(self):
+        assert self.scheme.maximal([1, 5, 3]) == [5]
+
+
+class TestAlonConstruction:
+    def test_k_must_be_at_least_two(self):
+        with pytest.raises(ConfigurationError):
+            AlonLabelingScheme(k=1)
+
+    def test_domain_size(self):
+        s = AlonLabelingScheme(k=5)
+        assert s.domain_size == 5 * 5 + 5 + 1
+
+    def test_initial_label_valid(self):
+        s = AlonLabelingScheme(k=4)
+        assert s.is_label(s.initial_label())
+
+    def test_next_produces_valid_labels(self):
+        s = AlonLabelingScheme(k=4)
+        lab = s.initial_label()
+        for _ in range(50):
+            lab = s.next_label([lab])
+            assert s.is_label(lab)
+
+    def test_next_dominates_chain(self):
+        s = AlonLabelingScheme(k=4)
+        l0 = s.initial_label()
+        l1 = s.next_label([l0])
+        l2 = s.next_label([l0, l1])
+        assert s.precedes(l0, l1)
+        assert s.precedes(l0, l2)
+        assert s.precedes(l1, l2)
+
+    def test_antisymmetric(self):
+        s = AlonLabelingScheme(k=4)
+        rng = random.Random(0)
+        for _ in range(200):
+            a, b = s.random_label(rng), s.random_label(rng)
+            assert not (s.precedes(a, b) and s.precedes(b, a))
+
+    def test_irreflexive(self):
+        s = AlonLabelingScheme(k=4)
+        rng = random.Random(1)
+        for _ in range(100):
+            a = s.random_label(rng)
+            assert not s.precedes(a, a)
+
+    def test_relation_not_transitive_in_general(self):
+        # The relation is a partial non-transitive order; find a witness.
+        s = AlonLabelingScheme(k=2)
+        rng = random.Random(0)
+        found = False
+        for _ in range(20000):
+            a, b, c = (s.random_label(rng) for _ in range(3))
+            if (
+                s.precedes(a, b)
+                and s.precedes(b, c)
+                and not s.precedes(a, c)
+            ):
+                found = True
+                break
+        assert found
+
+    def test_garbage_labels_rejected(self):
+        s = AlonLabelingScheme(k=3)
+        assert not s.is_label("junk")
+        assert not s.is_label(AlonLabel(sting=-1, antistings=frozenset({0, 1, 2})))
+        assert not s.is_label(AlonLabel(sting=0, antistings=frozenset({0})))
+        assert not s.is_label(
+            AlonLabel(sting=0, antistings=frozenset({0, 1, 99999}))
+        )
+
+    def test_next_with_garbage_input_still_valid(self):
+        s = AlonLabelingScheme(k=3)
+        nxt = s.next_label(["x", None, 42, s.initial_label()])
+        assert s.is_label(nxt)
+        assert s.precedes(s.initial_label(), nxt)
+
+    def test_next_with_oversized_input_salvages(self):
+        s = AlonLabelingScheme(k=3)
+        rng = random.Random(2)
+        labels = [s.random_label(rng) for _ in range(10)]  # > k inputs
+        nxt = s.next_label(labels)
+        assert s.is_label(nxt)
+
+    def test_labels_hashable_and_repr(self):
+        s = AlonLabelingScheme(k=3)
+        lab = s.initial_label()
+        assert lab in {lab}
+        assert "⟨" in repr(lab)
+
+    def test_sort_key_total(self):
+        s = AlonLabelingScheme(k=3)
+        rng = random.Random(3)
+        labels = [s.random_label(rng) for _ in range(20)]
+        keys = [s.sort_key(x) for x in labels]
+        assert sorted(keys) is not None  # comparable without error
+
+
+class TestModular:
+    def test_modulus_minimum(self):
+        with pytest.raises(ConfigurationError):
+            ModularLabelingScheme(modulus=2)
+
+    def test_window_order(self):
+        s = ModularLabelingScheme(modulus=16)
+        assert s.precedes(0, 1)
+        assert s.precedes(0, 8)
+        assert not s.precedes(0, 9)
+        assert s.precedes(15, 0)  # wraparound
+
+    def test_benign_chain_behaves(self):
+        s = ModularLabelingScheme(modulus=16)
+        lab = s.initial_label()
+        for _ in range(5):
+            nxt = s.next_label([lab])
+            assert s.precedes(lab, nxt)
+            lab = nxt
+
+    def test_antipodal_pair_undominated(self):
+        s = ModularLabelingScheme(modulus=16)
+        a, b = s.antipodal_pair()
+        nxt = s.next_label([a, b])
+        assert not s.dominates_all(nxt, [a, b])
+
+    def test_antipodal_pair_has_no_dominator_at_all(self):
+        s = ModularLabelingScheme(modulus=16)
+        a, b = s.antipodal_pair()
+        for candidate in range(s.modulus):
+            assert not (
+                s.precedes(a, candidate) and s.precedes(b, candidate)
+            )
+
+    def test_cyclic_input_salvage_path(self):
+        s = ModularLabelingScheme(modulus=16)
+        # {0, 5, 10} is cyclic under the window order: no maximal element.
+        nxt = s.next_label([0, 5, 10])
+        assert s.is_label(nxt)
+
+
+class TestMwmrOrdering:
+    base = AlonLabelingScheme(k=4)
+
+    def make(self):
+        return MwmrOrdering(self.base)
+
+    def test_label_order_dominates_id(self):
+        s = self.make()
+        l0 = self.base.initial_label()
+        l1 = self.base.next_label([l0])
+        a = MwmrTimestamp(label=l0, writer_id="z")
+        b = MwmrTimestamp(label=l1, writer_id="a")
+        assert s.precedes(a, b)
+        assert not s.precedes(b, a)
+
+    def test_incomparable_labels_fall_back_to_writer_id(self):
+        s = self.make()
+        rng = random.Random(0)
+        # Find incomparable labels.
+        while True:
+            la, lb = self.base.random_label(rng), self.base.random_label(rng)
+            if la != lb and not self.base.comparable(la, lb):
+                break
+        a = MwmrTimestamp(label=la, writer_id="c1")
+        b = MwmrTimestamp(label=lb, writer_id="c2")
+        assert s.precedes(a, b)
+        assert not s.precedes(b, a)
+
+    def test_total_on_distinct_timestamps(self):
+        s = self.make()
+        rng = random.Random(1)
+        for _ in range(300):
+            a = s.random_label(rng)
+            b = s.random_label(rng)
+            if a == b:
+                continue
+            assert s.precedes(a, b) != s.precedes(b, a)
+
+    def test_irreflexive(self):
+        s = self.make()
+        rng = random.Random(2)
+        a = s.random_label(rng)
+        assert not s.precedes(a, a)
+
+    def test_next_timestamp_dominates(self):
+        s = self.make()
+        rng = random.Random(3)
+        tss = [s.random_label(rng) for _ in range(3)]
+        nxt = s.next_timestamp(tss, "me")
+        assert nxt.writer_id == "me"
+        assert all(s.precedes(t, nxt) for t in tss)
+
+    def test_is_label_validates_structure(self):
+        s = self.make()
+        assert not s.is_label("x")
+        assert not s.is_label(MwmrTimestamp(label="junk", writer_id="a"))
+        assert s.is_label(
+            MwmrTimestamp(label=self.base.initial_label(), writer_id="a")
+        )

@@ -1,0 +1,223 @@
+"""Channel policies, network routing, and determinism tests."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.adversary import (
+    FixedLatencyAdversary,
+    ScriptedAdversary,
+    TargetedSlowAdversary,
+    UniformLatencyAdversary,
+)
+from repro.sim.channels import FairLossyChannel, FifoChannel
+from repro.sim.environment import SimEnvironment
+from repro.sim.messages import Envelope, Garbage
+from repro.sim.process import Process
+
+
+class Sink(Process):
+    """Records everything it receives."""
+
+    def __init__(self, pid, env):
+        super().__init__(pid, env)
+        self.received = []
+
+    def on_message(self, src, payload):
+        self.received.append((self.env.now, src, payload))
+
+
+class TestFifoChannel:
+    def test_single_delivery(self):
+        ch = FifoChannel()
+        times = ch.plan(None, now=0.0, latency=1.0, rng=random.Random(0))
+        assert times == [1.0]
+
+    def test_order_preserved_despite_shorter_latency(self):
+        ch = FifoChannel()
+        t1 = ch.plan(None, 0.0, 10.0, random.Random(0))[0]
+        t2 = ch.plan(None, 1.0, 0.5, random.Random(0))[0]
+        assert t2 > t1  # the later send may not overtake
+
+    def test_reset(self):
+        ch = FifoChannel()
+        ch.plan(None, 0.0, 10.0, random.Random(0))
+        ch.reset()
+        assert ch.plan(None, 0.0, 1.0, random.Random(0)) == [1.0]
+
+
+class TestFairLossyChannel:
+    def test_loss_happens(self):
+        ch = FairLossyChannel(loss=0.9, fairness_bound=3)
+        rng = random.Random(0)
+        outcomes = [len(ch.plan(None, 0.0, 1.0, rng)) for _ in range(100)]
+        assert outcomes.count(0) > 0
+
+    def test_fairness_bound_caps_consecutive_drops(self):
+        ch = FairLossyChannel(loss=0.999, fairness_bound=5)
+        rng = random.Random(1)
+        consecutive = worst = 0
+        for _ in range(200):
+            if ch.plan(None, 0.0, 1.0, rng):
+                consecutive = 0
+            else:
+                consecutive += 1
+                worst = max(worst, consecutive)
+        assert worst <= 5
+
+    def test_duplication(self):
+        ch = FairLossyChannel(loss=0.0, duplication=1.0)
+        times = ch.plan(None, 0.0, 1.0, random.Random(0))
+        assert len(times) == 2
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            FairLossyChannel(loss=1.0)
+        with pytest.raises(ValueError):
+            FairLossyChannel(duplication=-0.1)
+        with pytest.raises(ValueError):
+            FairLossyChannel(fairness_bound=0)
+
+
+class TestNetwork:
+    def test_basic_delivery(self, env):
+        a, b = Sink("a", env), Sink("b", env)
+        a.send("b", "hello")
+        env.run()
+        assert b.received == [(1.0, "a", "hello")]
+
+    def test_fifo_per_channel(self, env):
+        a, b = Sink("a", env), Sink("b", env)
+        for i in range(10):
+            a.send("b", i)
+        env.run()
+        assert [p for _, _, p in b.received] == list(range(10))
+
+    def test_unknown_destination_dropped_and_counted(self, env):
+        a = Sink("a", env)
+        a.send("ghost", "boo")
+        env.run()
+        assert env.network.stats.dropped == 1
+
+    def test_duplicate_pid_rejected(self, env):
+        Sink("a", env)
+        with pytest.raises(SimulationError):
+            Sink("a", env)
+
+    def test_crashed_destination_absorbs(self, env):
+        a, b = Sink("a", env), Sink("b", env)
+        b.crash()
+        a.send("b", "x")
+        env.run()
+        assert b.received == []
+
+    def test_crashed_sender_sends_nothing(self, env):
+        a, b = Sink("a", env), Sink("b", env)
+        a.crash()
+        a.send("b", "x")
+        env.run()
+        assert b.received == []
+
+    def test_stats_count_sends_and_deliveries(self, env):
+        a, b = Sink("a", env), Sink("b", env)
+        a.send("b", "x")
+        a.send("b", "y")
+        env.run()
+        assert env.network.stats.total_sent == 2
+        assert env.network.stats.total_delivered == 2
+        assert env.network.stats.sent_by_process["a"] == 2
+
+    def test_inject_spurious_message(self, env):
+        a, b = Sink("a", env), Sink("b", env)
+        env.network.inject("a", "b", Garbage(noise=7))
+        env.run()
+        assert len(b.received) == 1
+        assert isinstance(b.received[0][2], Garbage)
+
+    def test_in_flight_registry_visible(self, env):
+        a, b = Sink("a", env), Sink("b", env)
+        a.send("b", "x")
+        flights = env.network.in_flight_envelopes()
+        assert len(flights) == 1
+        assert flights[0].payload == "x"
+        env.run()
+        assert env.network.in_flight_envelopes() == []
+
+    def test_in_flight_payload_mutation_observed(self, env):
+        a, b = Sink("a", env), Sink("b", env)
+        a.send("b", "x")
+        env.network.in_flight_envelopes()[0].payload = Garbage()
+        env.run()
+        assert isinstance(b.received[0][2], Garbage)
+
+
+class TestAdversaries:
+    def test_fixed(self):
+        adv = FixedLatencyAdversary(2.5)
+        assert adv.latency(None, random.Random(0)) == 2.5
+
+    def test_fixed_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FixedLatencyAdversary(-1.0)
+
+    def test_uniform_within_bounds(self):
+        adv = UniformLatencyAdversary(0.5, 1.5)
+        rng = random.Random(0)
+        for _ in range(100):
+            assert 0.5 <= adv.latency(None, rng) <= 1.5
+
+    def test_uniform_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            UniformLatencyAdversary(2.0, 1.0)
+
+    def test_targeted_slow(self):
+        adv = TargetedSlowAdversary(slow={"s1"}, slow_delay=50.0)
+        rng = random.Random(0)
+        slow_env = Envelope(src="c0", dst="s1", payload=None)
+        fast_env = Envelope(src="c0", dst="s2", payload=None)
+        assert adv.latency(slow_env, rng) == 50.0
+        assert adv.latency(fast_env, rng) == 1.0
+
+    def test_targeted_slow_mutable_membership(self):
+        slow = {"s1"}
+        adv = TargetedSlowAdversary(slow=slow, slow_delay=9.0)
+        rng = random.Random(0)
+        env1 = Envelope(src="x", dst="s1", payload=None)
+        assert adv.latency(env1, rng) == 9.0
+        slow.clear()
+        assert adv.latency(env1, rng) == 1.0
+
+    def test_scripted(self):
+        adv = ScriptedAdversary(lambda env, rng: 7.0)
+        assert adv.latency(Envelope("a", "b", None), random.Random(0)) == 7.0
+
+    def test_scripted_rejects_negative(self):
+        adv = ScriptedAdversary(lambda env, rng: -1.0)
+        with pytest.raises(ValueError):
+            adv.latency(Envelope("a", "b", None), random.Random(0))
+
+
+class TestDeterminism:
+    def _run(self, seed):
+        env = SimEnvironment(
+            seed=seed, adversary=UniformLatencyAdversary(0.5, 2.0)
+        )
+        a, b = Sink("a", env), Sink("b", env)
+        for i in range(20):
+            a.send("b", i)
+            b.send("a", -i)
+        env.run()
+        return [(t, p) for t, _, p in a.received + b.received]
+
+    def test_same_seed_same_trace(self):
+        assert self._run(7) == self._run(7)
+
+    def test_different_seed_different_trace(self):
+        assert self._run(7) != self._run(8)
+
+    def test_spawn_rng_stable_per_name(self):
+        env1 = SimEnvironment(seed=3)
+        env2 = SimEnvironment(seed=3)
+        assert env1.spawn_rng("x").random() == env2.spawn_rng("x").random()
+        assert env1.spawn_rng("x").random() != env1.spawn_rng("y").random()

@@ -1,0 +1,151 @@
+"""Stabilizing data-link tests: FIFO-reliable delivery over fair-lossy links."""
+
+import pytest
+
+from repro.sim.channels import FairLossyChannel, FifoChannel
+from repro.sim.datalink import (
+    DataLinkConfig,
+    DataLinkMixin,
+    DlAck,
+    DlData,
+    StabilizingDataLink,
+)
+from repro.sim.environment import SimEnvironment
+from repro.sim.messages import Garbage
+from repro.sim.process import Process
+
+
+class AppSink(DataLinkMixin, Process):
+    """Data-link-wrapped process recording application deliveries."""
+
+    def __init__(self, pid, env, **kw):
+        super().__init__(pid, env, **kw)
+        self.received = []
+
+    def on_message(self, src, payload):
+        self.received.append((src, payload))
+
+
+def lossy_env(seed=0, loss=0.3):
+    return SimEnvironment(
+        seed=seed,
+        channel_factory=lambda: FairLossyChannel(
+            loss=loss, duplication=0.1, fairness_bound=5, jitter=2.0
+        ),
+    )
+
+
+class TestDataLinkConfig:
+    def test_defaults_valid(self):
+        DataLinkConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"capacity": 0},
+            {"token_space": 2},
+            {"retransmit_every": 0.0},
+            {"burst": 0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            DataLinkConfig(**kwargs)
+
+
+class TestDataLinkOverLossy:
+    def test_single_message_delivered_once(self):
+        env = lossy_env(seed=1)
+        a, b = AppSink("a", env), AppSink("b", env)
+        a.send("b", "m0")
+        env.run()
+        assert b.received == [("a", "m0")]
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_stream_fifo_no_duplicates(self, seed):
+        env = lossy_env(seed=seed)
+        a, b = AppSink("a", env), AppSink("b", env)
+        msgs = [f"m{i}" for i in range(15)]
+        for m in msgs:
+            a.send("b", m)
+        env.run()
+        assert [p for _, p in b.received] == msgs
+
+    def test_bidirectional_streams(self):
+        env = lossy_env(seed=3)
+        a, b = AppSink("a", env), AppSink("b", env)
+        for i in range(8):
+            a.send("b", f"ab{i}")
+            b.send("a", f"ba{i}")
+        env.run()
+        assert [p for _, p in b.received] == [f"ab{i}" for i in range(8)]
+        assert [p for _, p in a.received] == [f"ba{i}" for i in range(8)]
+
+    def test_high_loss_still_delivers(self):
+        env = lossy_env(seed=4, loss=0.6)
+        a, b = AppSink("a", env), AppSink("b", env)
+        for i in range(5):
+            a.send("b", i)
+        env.run()
+        assert [p for _, p in b.received] == list(range(5))
+
+    def test_garbage_frames_ignored(self):
+        env = lossy_env(seed=5, loss=0.0)
+        a, b = AppSink("a", env), AppSink("b", env)
+        env.network.inject("a", "b", Garbage(noise=1))
+        env.network.inject("a", "b", DlAck(token="junk"))
+        env.network.inject("a", "b", DlData(token="junk", payload="evil"))
+        a.send("b", "real")
+        env.run()
+        assert b.received == [("a", "real")]
+
+    def test_stale_frames_below_capacity_threshold_not_delivered(self):
+        env = lossy_env(seed=6, loss=0.0)
+        a, b = AppSink("a", env), AppSink("b", env)
+        cap = b.datalink.config.capacity
+        # Inject fewer stale copies than capacity+1: never delivered.
+        for _ in range(cap):
+            env.network.inject("a", "b", DlData(token=9, payload="stale"))
+        env.run()
+        assert b.received == []
+
+    def test_recovers_after_state_corruption(self):
+        env = lossy_env(seed=7)
+        a, b = AppSink("a", env), AppSink("b", env)
+        for i in range(5):
+            a.send("b", f"pre{i}")
+        env.run()
+        rng = env.spawn_rng("chaos")
+        a.corrupt_state(rng)
+        b.corrupt_state(rng)
+        for i in range(10):
+            a.send("b", f"post{i}")
+        env.run()
+        got = [p for _, p in b.received]
+        # Pseudo-stabilization: a suffix of the post-corruption stream is
+        # delivered in order without duplicates.
+        tail = [p for p in got if isinstance(p, str) and p.startswith("post")]
+        dedup = []
+        for p in tail:
+            if not dedup or p != dedup[-1]:
+                dedup.append(p)
+        # the delivered post-corruption messages appear in sending order
+        indices = [int(p[4:]) for p in dedup]
+        assert indices == sorted(indices)
+        assert indices, "some post-corruption message must get through"
+
+    def test_over_fifo_channels_trivially_works(self):
+        env = SimEnvironment(seed=8, channel_factory=FifoChannel)
+        a, b = AppSink("a", env), AppSink("b", env)
+        for i in range(5):
+            a.send("b", i)
+        env.run()
+        assert [p for _, p in b.received] == list(range(5))
+
+    def test_crashed_receiver_gets_nothing(self):
+        env = lossy_env(seed=9)
+        a, b = AppSink("a", env), AppSink("b", env)
+        b.crash()
+        a.send("b", "x")
+        env.run(until=200.0)
+        assert b.received == []

@@ -1,0 +1,77 @@
+"""Property-based data-link tests: FIFO-reliable delivery as a law."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.sim.channels import FairLossyChannel
+from repro.sim.datalink import DataLinkConfig
+from repro.sim.environment import SimEnvironment
+from repro.sim.process import Process
+from repro.sim.datalink import DataLinkMixin
+
+COMMON = dict(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+class AppSink(DataLinkMixin, Process):
+    def __init__(self, pid, env, **kw):
+        super().__init__(pid, env, **kw)
+        self.received = []
+
+    def on_message(self, src, payload):
+        self.received.append(payload)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    n_msgs=st.integers(min_value=1, max_value=12),
+    loss=st.floats(min_value=0.0, max_value=0.5),
+    duplication=st.floats(min_value=0.0, max_value=0.3),
+)
+@settings(max_examples=30, **COMMON)
+def test_stream_delivered_exactly_once_in_order(seed, n_msgs, loss, duplication):
+    env = SimEnvironment(
+        seed=seed,
+        channel_factory=lambda: FairLossyChannel(
+            loss=loss,
+            duplication=duplication,
+            fairness_bound=5,
+            jitter=2.0,
+        ),
+    )
+    a = AppSink("a", env)
+    b = AppSink("b", env)
+    msgs = [f"m{i}" for i in range(n_msgs)]
+    for m in msgs:
+        a.send("b", m)
+    env.run()
+    assert b.received == msgs
+
+
+@st.composite
+def link_configs(draw):
+    capacity = draw(st.integers(min_value=1, max_value=4))
+    token_space = draw(
+        st.integers(min_value=2 * capacity + 2, max_value=20)
+    )
+    return capacity, token_space
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    config=link_configs(),
+)
+@settings(max_examples=20, **COMMON)
+def test_delivery_under_any_link_configuration(seed, config):
+    capacity, token_space = config
+    env = SimEnvironment(
+        seed=seed,
+        channel_factory=lambda: FairLossyChannel(
+            loss=0.25, duplication=0.1, fairness_bound=4, jitter=1.0
+        ),
+    )
+    cfg = DataLinkConfig(capacity=capacity, token_space=token_space)
+    a = AppSink("a", env, datalink_config=cfg)
+    b = AppSink("b", env, datalink_config=cfg)
+    for i in range(6):
+        a.send("b", i)
+    env.run()
+    assert b.received == list(range(6))

@@ -1,0 +1,120 @@
+"""Fault-injection machinery tests."""
+
+import random
+
+import pytest
+
+from repro.sim.environment import SimEnvironment
+from repro.sim.faults import (
+    ChannelCorruptor,
+    FaultSchedule,
+    crash_at,
+    garbage_forger,
+    random_subset,
+    scramble_processes,
+)
+from repro.sim.messages import Garbage
+from repro.sim.process import Process
+
+
+class Corruptible(Process):
+    def __init__(self, pid, env):
+        super().__init__(pid, env)
+        self.state = "clean"
+        self.received = []
+
+    def on_message(self, src, payload):
+        self.received.append(payload)
+
+    def corrupt_state(self, rng):
+        self.state = f"corrupt-{rng.getrandbits(8)}"
+
+
+class TestScramble:
+    def test_scramble_touches_all(self, env, rng):
+        procs = [Corruptible(f"p{i}", env) for i in range(3)]
+        touched = scramble_processes(procs, rng)
+        assert touched == ["p0", "p1", "p2"]
+        assert all(p.state.startswith("corrupt-") for p in procs)
+
+
+class TestChannelCorruptor:
+    def test_corrupt_in_flight_replaces_payloads(self, env, rng):
+        a, b = Corruptible("a", env), Corruptible("b", env)
+        a.send("b", "legit")
+        corruptor = ChannelCorruptor(env.network, rng)
+        assert corruptor.corrupt_in_flight(1.0) == 1
+        env.run()
+        assert isinstance(b.received[0], Garbage)
+        assert env.network.stats.corrupted == 1
+
+    def test_fraction_zero_corrupts_nothing(self, env, rng):
+        a, b = Corruptible("a", env), Corruptible("b", env)
+        a.send("b", "legit")
+        corruptor = ChannelCorruptor(env.network, rng)
+        assert corruptor.corrupt_in_flight(0.0) == 0
+        env.run()
+        assert b.received == ["legit"]
+
+    def test_invalid_fraction_rejected(self, env, rng):
+        corruptor = ChannelCorruptor(env.network, rng)
+        with pytest.raises(ValueError):
+            corruptor.corrupt_in_flight(1.5)
+
+    def test_inject_stale(self, env, rng):
+        Corruptible("a", env)
+        b = Corruptible("b", env)
+        corruptor = ChannelCorruptor(env.network, rng)
+        corruptor.inject_stale(
+            "a", "b", lambda r: garbage_forger(None, r), count=3
+        )
+        env.run()
+        assert len(b.received) == 3
+        assert all(isinstance(p, Garbage) for p in b.received)
+
+    def test_custom_forger(self, env, rng):
+        a, b = Corruptible("a", env), Corruptible("b", env)
+        a.send("b", "x")
+        corruptor = ChannelCorruptor(
+            env.network, rng, forger=lambda e, r: "forged"
+        )
+        corruptor.corrupt_in_flight(1.0)
+        env.run()
+        assert b.received == ["forged"]
+
+
+class TestFaultSchedule:
+    def test_actions_fire_at_times(self, env):
+        log = []
+        schedule = FaultSchedule()
+        schedule.at(2.0, lambda e: log.append(("a", e.now)), label="a")
+        schedule.at(1.0, lambda e: log.append(("b", e.now)), label="b")
+        schedule.arm(env)
+        env.run()
+        assert log == [("b", 1.0), ("a", 2.0)]
+
+    def test_crash_at(self, env):
+        p = Corruptible("p", env)
+        crash_at(env, p, 3.0)
+        env.run()
+        assert p.crashed
+        assert env.now == 3.0
+
+
+class TestRandomSubset:
+    def test_full_fraction_takes_all(self, rng):
+        assert random_subset([1, 2, 3], rng, 1.0) == [1, 2, 3]
+
+    def test_zero_fraction_takes_none(self, rng):
+        assert random_subset([1, 2, 3], rng, 0.0) == []
+
+    def test_invalid_fraction(self, rng):
+        with pytest.raises(ValueError):
+            random_subset([1], rng, 2.0)
+
+    def test_partial_fraction_statistics(self):
+        rng = random.Random(0)
+        total = sum(
+            len(random_subset(list(range(10)), rng, 0.5)) for _ in range(200)
+        )
+        assert 800 < total < 1200  # ~1000 expected

@@ -1,0 +1,102 @@
+"""Partition adversary tests."""
+
+import pytest
+
+from repro.sim.environment import SimEnvironment
+from repro.sim.messages import Envelope
+from repro.sim.partitions import PartitioningAdversary, PartitionWindow
+from repro.sim.process import Process
+
+
+class Sink(Process):
+    def __init__(self, pid, env):
+        super().__init__(pid, env)
+        self.received = []
+
+    def on_message(self, src, payload):
+        self.received.append((self.env.now, payload))
+
+
+def make_env(windows):
+    holder = {}
+    adversary = PartitioningAdversary(
+        windows, clock=lambda: holder["env"].now
+    )
+    env = SimEnvironment(seed=0, adversary=adversary)
+    holder["env"] = env
+    return env, adversary
+
+
+class TestPartitionWindow:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PartitionWindow(start=5.0, end=5.0, island=frozenset({"a"}))
+
+    def test_crosses(self):
+        w = PartitionWindow(0.0, 1.0, frozenset({"a"}))
+        assert w.crosses(Envelope("a", "b", None))
+        assert w.crosses(Envelope("b", "a", None))
+        assert not w.crosses(Envelope("b", "c", None))
+        assert not w.crosses(Envelope("a", "a", None))
+
+
+class TestPartitioningAdversary:
+    def test_messages_outside_window_flow_normally(self):
+        env, adv = make_env([PartitionWindow(10.0, 20.0, frozenset({"b"}))])
+        a, b = Sink("a", env), Sink("b", env)
+        a.send("b", "early")
+        env.run()
+        assert b.received[0][0] == 1.0
+        assert adv.deferred == 0
+
+    def test_cross_cut_messages_held_until_heal(self):
+        env, adv = make_env([PartitionWindow(0.0, 20.0, frozenset({"b"}))])
+        a, b = Sink("a", env), Sink("b", env)
+        a.send("b", "cut")
+        env.run()
+        t, payload = b.received[0]
+        assert payload == "cut"
+        assert t >= 20.0
+        assert adv.deferred == 1
+
+    def test_same_side_messages_unaffected_during_cut(self):
+        env, adv = make_env([PartitionWindow(0.0, 20.0, frozenset({"c"}))])
+        a, b = Sink("a", env), Sink("b", env)
+        Sink("c", env)
+        a.send("b", "fine")
+        env.run()
+        assert b.received[0][0] == 1.0
+
+    def test_fifo_preserved_across_heal(self):
+        env, _ = make_env([PartitionWindow(0.0, 10.0, frozenset({"b"}))])
+        a, b = Sink("a", env), Sink("b", env)
+        a.send("b", "held")  # crosses the cut -> after 10
+        env.scheduler.call_at(11.0, lambda: a.send("b", "later"))
+        env.run()
+        payloads = [p for _, p in b.received]
+        assert payloads == ["held", "later"]
+
+    def test_describe(self):
+        _, adv = make_env([PartitionWindow(1.0, 2.0, frozenset({"x", "y"}))])
+        assert "1.0..2.0" in adv.describe() or "[1.0..2.0]x2" in adv.describe()
+
+
+class TestRegisterUnderPartition:
+    def test_minority_island_is_free(self):
+        from repro.harness.experiments.e12_partitions import (
+            run_partition_scenario,
+        )
+
+        out = run_partition_scenario(island_size=1)
+        assert out["stalled"] == 0
+        assert out["regular"]
+
+    def test_majority_blocking_island_stalls_to_heal(self):
+        from repro.harness.experiments.e12_partitions import (
+            run_partition_scenario,
+        )
+
+        out = run_partition_scenario(island_size=2)
+        assert out["stalled"] == 2
+        assert out["worst_latency"] > 20
+        assert out["regular"]

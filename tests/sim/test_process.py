@@ -1,0 +1,133 @@
+"""Process coroutine-runtime tests (Wait / OperationHandle semantics)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.process import Process, Wait
+
+
+class Echoer(Process):
+    """Replies 'pong' to every 'ping'."""
+
+    def on_message(self, src, payload):
+        if payload == "ping":
+            self.send(src, "pong")
+
+
+class Counter(Process):
+    def __init__(self, pid, env):
+        super().__init__(pid, env)
+        self.pongs = 0
+
+    def on_message(self, src, payload):
+        if payload == "pong":
+            self.pongs += 1
+
+    def ping_n(self, peer, n):
+        self.send(peer, "ping")
+        yield Wait(lambda: self.pongs >= n, label="pongs")
+        return self.pongs
+
+
+class TestOperations:
+    def test_operation_completes_on_predicate(self, env):
+        Echoer("e", env)
+        c = Counter("c", env)
+        handle = c.start_operation(c.ping_n("e", 1), name="ping")
+        assert not handle.done
+        env.run()
+        assert handle.done
+        assert handle.result == 1
+
+    def test_completion_callback_fires(self, env):
+        Echoer("e", env)
+        c = Counter("c", env)
+        seen = []
+        handle = c.start_operation(c.ping_n("e", 1))
+        handle.on_done(lambda h: seen.append(h.result))
+        env.run()
+        assert seen == [1]
+
+    def test_callback_on_already_done(self, env):
+        Echoer("e", env)
+        c = Counter("c", env)
+        handle = c.start_operation(c.ping_n("e", 1))
+        env.run()
+        seen = []
+        handle.on_done(lambda h: seen.append(h.result))
+        assert seen == [1]
+
+    def test_immediate_completion_without_wait(self, env):
+        c = Counter("c", env)
+
+        def instant():
+            return 42
+            yield  # pragma: no cover - makes it a generator
+
+        handle = c.start_operation(instant())
+        assert handle.done
+        assert handle.result == 42
+
+    def test_blocked_operation_reports_label(self, env):
+        c = Counter("c", env)
+        handle = c.start_operation(c.ping_n("nobody", 1))
+        env.run()
+        assert not handle.done
+        assert handle.waiting_on == "pongs"
+        assert handle in c.blocked_operations()
+
+    def test_crash_fails_pending_operations(self, env):
+        Echoer("e", env)
+        c = Counter("c", env)
+        handle = c.start_operation(c.ping_n("e", 5))
+        c.crash()
+        env.run()
+        assert handle.failed
+        assert not handle.done
+        assert c.blocked_operations() == []
+
+    def test_crashed_process_ignores_deliveries(self, env):
+        Echoer("e", env)
+        c = Counter("c", env)
+        c.send("e", "ping")
+        c.crash()
+        env.run()
+        assert c.pongs == 0
+
+    def test_yielding_non_wait_is_an_error(self, env):
+        c = Counter("c", env)
+
+        def bad():
+            yield "not-a-wait"
+
+        with pytest.raises(SimulationError, match="expected Wait"):
+            c.start_operation(bad())
+
+    def test_multiple_concurrent_operations_on_one_process(self, env):
+        Echoer("e", env)
+        c = Counter("c", env)
+        h1 = c.start_operation(c.ping_n("e", 1))
+        h2 = c.start_operation(c.ping_n("e", 2))
+        env.run()
+        assert h1.done and h2.done
+        assert h2.result == 2
+
+    def test_wait_chain_advances_through_multiple_waits(self, env):
+        Echoer("e", env)
+        c = Counter("c", env)
+
+        def two_rounds():
+            self_pongs = c.pongs
+            c.send("e", "ping")
+            yield Wait(lambda: c.pongs >= self_pongs + 1)
+            c.send("e", "ping")
+            yield Wait(lambda: c.pongs >= self_pongs + 2)
+            return "done"
+
+        handle = c.start_operation(two_rounds())
+        env.run()
+        assert handle.result == "done"
+
+    def test_base_corrupt_state_is_noop(self, env, rng):
+        c = Counter("c", env)
+        c.corrupt_state(rng)  # must not raise

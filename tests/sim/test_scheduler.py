@@ -1,0 +1,198 @@
+"""Scheduler, clock and event-queue unit tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import Clock
+from repro.sim.events import EventQueue
+from repro.sim.scheduler import Scheduler
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0.0
+
+    def test_custom_start(self):
+        assert Clock(5.5).now == 5.5
+
+    def test_advance_forward(self):
+        c = Clock()
+        c.advance_to(3.0)
+        assert c.now == 3.0
+
+    def test_advance_to_same_instant_allowed(self):
+        c = Clock(2.0)
+        c.advance_to(2.0)
+        assert c.now == 2.0
+
+    def test_advance_backwards_rejected(self):
+        c = Clock(2.0)
+        with pytest.raises(SimulationError):
+            c.advance_to(1.0)
+
+
+class TestEventQueue:
+    def test_empty_queue(self):
+        q = EventQueue()
+        assert len(q) == 0
+        assert not q
+        assert q.pop() is None
+        assert q.peek_time() is None
+
+    def test_pop_in_time_order(self):
+        q = EventQueue()
+        fired = []
+        q.push(2.0, lambda: fired.append("b"))
+        q.push(1.0, lambda: fired.append("a"))
+        q.push(3.0, lambda: fired.append("c"))
+        while (ev := q.pop()) is not None:
+            ev.fn()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_fires_in_insertion_order(self):
+        q = EventQueue()
+        fired = []
+        for name in "abcde":
+            q.push(1.0, lambda n=name: fired.append(n))
+        while (ev := q.pop()) is not None:
+            ev.fn()
+        assert fired == list("abcde")
+
+    def test_cancellation_skipped(self):
+        q = EventQueue()
+        fired = []
+        ev = q.push(1.0, lambda: fired.append("x"))
+        q.push(2.0, lambda: fired.append("y"))
+        q.cancel_event(ev)
+        assert len(q) == 1
+        while (e := q.pop()) is not None:
+            e.fn()
+        assert fired == ["y"]
+
+    def test_double_cancel_counts_once(self):
+        q = EventQueue()
+        ev = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        q.cancel_event(ev)
+        q.cancel_event(ev)
+        assert len(q) == 1
+
+    def test_peek_skips_cancelled(self):
+        q = EventQueue()
+        ev = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        q.cancel_event(ev)
+        assert q.peek_time() == 2.0
+
+    def test_snapshot_sorted_and_live_only(self):
+        q = EventQueue()
+        e3 = q.push(3.0, lambda: None)
+        e1 = q.push(1.0, lambda: None)
+        e2 = q.push(2.0, lambda: None)
+        q.cancel_event(e2)
+        snap = q.snapshot()
+        assert snap == [e1, e3]
+
+
+class TestScheduler:
+    def test_call_in_advances_clock(self):
+        s = Scheduler()
+        fired = []
+        s.call_in(1.5, lambda: fired.append(s.now))
+        s.run()
+        assert fired == [1.5]
+        assert s.now == 1.5
+
+    def test_call_at_absolute(self):
+        s = Scheduler()
+        fired = []
+        s.call_at(4.0, lambda: fired.append(True))
+        s.run()
+        assert fired == [True]
+        assert s.now == 4.0
+
+    def test_schedule_in_past_rejected(self):
+        s = Scheduler()
+        s.call_in(1.0, lambda: None)
+        s.run()
+        with pytest.raises(SimulationError):
+            s.call_at(0.5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        s = Scheduler()
+        with pytest.raises(SimulationError):
+            s.call_in(-0.1, lambda: None)
+
+    def test_run_until_time_bound(self):
+        s = Scheduler()
+        fired = []
+        for t in (1.0, 2.0, 3.0):
+            s.call_at(t, lambda t=t: fired.append(t))
+        s.run(until=2.0)
+        assert fired == [1.0, 2.0]
+        s.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_events_scheduling_events(self):
+        s = Scheduler()
+        fired = []
+
+        def outer():
+            fired.append("outer")
+            s.call_in(1.0, lambda: fired.append("inner"))
+
+        s.call_in(1.0, outer)
+        s.run()
+        assert fired == ["outer", "inner"]
+        assert s.now == 2.0
+
+    def test_run_until_predicate(self):
+        s = Scheduler()
+        state = {"n": 0}
+
+        def tick():
+            state["n"] += 1
+            if state["n"] < 10:
+                s.call_in(1.0, tick)
+
+        s.call_in(1.0, tick)
+        assert s.run_until(lambda: state["n"] >= 3)
+        assert state["n"] == 3
+
+    def test_run_until_queue_drain_returns_false(self):
+        s = Scheduler()
+        s.call_in(1.0, lambda: None)
+        assert not s.run_until(lambda: False)
+
+    def test_run_until_trivially_true(self):
+        s = Scheduler()
+        assert s.run_until(lambda: True)
+        assert s.executed == 0
+
+    def test_event_budget_enforced(self):
+        s = Scheduler(max_events=10)
+
+        def forever():
+            s.call_in(1.0, forever)
+
+        s.call_in(1.0, forever)
+        with pytest.raises(SimulationError, match="budget"):
+            s.run()
+
+    def test_idle(self):
+        s = Scheduler()
+        assert s.idle()
+        s.call_in(1.0, lambda: None)
+        assert not s.idle()
+        s.run()
+        assert s.idle()
+
+    def test_reentrant_run_rejected(self):
+        s = Scheduler()
+
+        def nested():
+            s.run()
+
+        s.call_in(1.0, nested)
+        with pytest.raises(SimulationError, match="re-entrant"):
+            s.run()

@@ -1,0 +1,76 @@
+"""Tracing and visualization tests."""
+
+from repro.core import RegisterSystem, SystemConfig
+from repro.sim.tracing import MessageStats, Trace
+from repro.sim.visualize import render_sequence_chart, summarize_trace
+
+
+class TestTrace:
+    def test_disabled_by_default_records_nothing(self):
+        t = Trace()
+        t.emit(0.0, "send", "a", "b", "payload")
+        assert len(t) == 0
+
+    def test_enabled_records(self):
+        t = Trace(enabled=True)
+        t.emit(1.0, "send", "a", "b", "hello")
+        t.emit(2.0, "deliver", "a", "b", "hello")
+        assert len(t) == 2
+        assert [r.kind for r in t.of_kind("send")] == ["send"]
+
+    def test_limit_respected(self):
+        t = Trace(enabled=True, limit=2)
+        for i in range(5):
+            t.emit(float(i), "send", "a", "b", i)
+        assert len(t) == 2
+
+    def test_payload_type_captured(self):
+        t = Trace(enabled=True)
+        t.emit(0.0, "send", "a", "b", {"k": 1})
+        assert t.records[0].payload_type == "dict"
+
+
+class TestMessageStats:
+    def test_merge(self):
+        a, b = MessageStats(), MessageStats()
+        a.note_send("p", "x")
+        b.note_send("q", 1)
+        b.note_delivery(1)
+        b.dropped = 2
+        merged = a.merged_with(b)
+        assert merged.total_sent == 2
+        assert merged.total_delivered == 1
+        assert merged.dropped == 2
+        assert merged.sent_by_process["p"] == 1
+
+
+class TestVisualization:
+    def _traced_system(self):
+        system = RegisterSystem(SystemConfig(n=6, f=1), seed=0, n_clients=1)
+        system.env.network.trace.enabled = True
+        system.write_sync("c0", "x")
+        return system
+
+    def test_sequence_chart_renders(self):
+        system = self._traced_system()
+        chart = render_sequence_chart(system.env.network.trace, limit=20)
+        assert "time" in chart
+        assert "GetTs" in chart
+        assert "c0" in chart and "s0" in chart
+        assert "[c0->s0]" in chart
+
+    def test_sequence_chart_with_explicit_columns(self):
+        system = self._traced_system()
+        chart = render_sequence_chart(
+            system.env.network.trace, processes=["c0", "s0"], limit=10
+        )
+        header = chart.splitlines()[0]
+        assert "c0" in header and "s0" in header
+        assert "s3" not in header
+
+    def test_summary(self):
+        system = self._traced_system()
+        summary = summarize_trace(system.env.network.trace)
+        assert "GetTs" in summary
+        assert "WriteRequest" in summary
+        assert "send" in summary

@@ -1,0 +1,92 @@
+"""Linearizability checker tests — including the regular-vs-atomic gap."""
+
+import pytest
+
+from repro.spec.atomicity import check_linearizable
+from repro.spec.history import History, OpKind, OpStatus
+from repro.spec.regularity import RegularityChecker
+
+
+def H():
+    return History()
+
+
+def w(h, client, t0, t1, value):
+    op = h.invoke(client, OpKind.WRITE, t0, argument=value)
+    if t1 is not None:
+        h.respond(op, t1)
+    return op
+
+
+def r(h, client, t0, t1, result):
+    op = h.invoke(client, OpKind.READ, t0)
+    h.respond(op, t1, result=result)
+    return op
+
+
+class TestLinearizable:
+    def test_empty(self):
+        assert check_linearizable(H())
+
+    def test_sequential_happy_path(self):
+        h = H()
+        w(h, "c0", 0, 1, "a")
+        r(h, "c1", 2, 3, "a")
+        w(h, "c0", 4, 5, "b")
+        r(h, "c1", 6, 7, "b")
+        assert check_linearizable(h, initial_value=None)
+
+    def test_initial_value_read(self):
+        h = H()
+        r(h, "c1", 0, 1, None)
+        assert check_linearizable(h, initial_value=None)
+
+    def test_stale_read_not_linearizable(self):
+        h = H()
+        w(h, "c0", 0, 1, "a")
+        w(h, "c0", 2, 3, "b")
+        r(h, "c1", 4, 5, "a")
+        assert not check_linearizable(h, initial_value=None)
+
+    def test_concurrent_read_may_see_either_side(self):
+        h = H()
+        w(h, "c0", 0, 1, "a")
+        w(h, "c0", 2, 10, "b")
+        assert check_linearizable(_with_read(h, 3, 5, "a"), initial_value=None)
+        h2 = H()
+        w(h2, "c0", 0, 1, "a")
+        w(h2, "c0", 2, 10, "b")
+        assert check_linearizable(_with_read(h2, 3, 5, "b"), initial_value=None)
+
+    def test_new_old_inversion_regular_but_not_atomic(self):
+        """The canonical separation: two sequential reads concurrent with
+        one write observe new-then-old. Regular: YES; atomic: NO."""
+        h = H()
+        w(h, "c0", 0, 1, "a")
+        w(h, "c0", 2, 20, "b")
+        r(h, "c1", 3, 5, "b")
+        r(h, "c1", 6, 8, "a")
+        assert RegularityChecker(initial_value=None).check(h).ok
+        assert not check_linearizable(h, initial_value=None)
+
+    def test_incomplete_write_may_or_may_not_take_effect(self):
+        h = H()
+        w(h, "c0", 0, None, "a")  # crashed mid-write
+        r(h, "c1", 5, 6, "a")  # it took effect
+        assert check_linearizable(h, initial_value=None)
+        h2 = H()
+        w(h2, "c0", 0, None, "a")
+        r(h2, "c1", 5, 6, None)  # it did not
+        assert check_linearizable(h2, initial_value=None)
+
+    def test_budget_guard(self):
+        h = H()
+        for i in range(3):
+            w(h, f"c{i}", 0, 100, f"v{i}")
+        with pytest.raises(RuntimeError):
+            check_linearizable(h, initial_value=None, max_nodes=1)
+
+
+def _with_read(h, t0, t1, result):
+    r(h, "c9", t0, t1, result)
+    return h

@@ -1,0 +1,136 @@
+"""History recording and relation tests."""
+
+import pytest
+
+from repro.errors import HistoryError
+from repro.spec.history import History, HistoryRecorder, OpKind, OpStatus
+from repro.spec.relations import concurrent, precedes, strictly_follows
+
+
+class TestHistory:
+    def test_invoke_assigns_ids(self):
+        h = History()
+        a = h.invoke("c0", OpKind.WRITE, 0.0, argument="x")
+        b = h.invoke("c1", OpKind.READ, 1.0)
+        assert a.op_id != b.op_id
+        assert len(h) == 2
+
+    def test_respond_completes(self):
+        h = History()
+        op = h.invoke("c0", OpKind.READ, 0.0)
+        h.respond(op, 1.0, result="v")
+        assert op.complete
+        assert op.status is OpStatus.OK
+        assert op.result == "v"
+
+    def test_double_response_rejected(self):
+        h = History()
+        op = h.invoke("c0", OpKind.READ, 0.0)
+        h.respond(op, 1.0)
+        with pytest.raises(HistoryError):
+            h.respond(op, 2.0)
+
+    def test_response_before_invocation_rejected(self):
+        h = History()
+        op = h.invoke("c0", OpKind.READ, 5.0)
+        with pytest.raises(HistoryError):
+            h.respond(op, 4.0)
+
+    def test_crash_marks_pending_only(self):
+        h = History()
+        done = h.invoke("c0", OpKind.WRITE, 0.0, argument="x")
+        h.respond(done, 1.0)
+        pending = h.invoke("c0", OpKind.WRITE, 2.0, argument="y")
+        other = h.invoke("c1", OpKind.READ, 2.0)
+        h.mark_crashed("c0", 3.0)
+        assert done.status is OpStatus.OK
+        assert pending.status is OpStatus.CRASHED
+        assert other.status is OpStatus.PENDING
+
+    def test_queries(self):
+        h = History()
+        w = h.invoke("c0", OpKind.WRITE, 0.0, argument="x")
+        h.respond(w, 1.0)
+        r_ok = h.invoke("c1", OpKind.READ, 2.0)
+        h.respond(r_ok, 3.0, result="x")
+        r_abort = h.invoke("c1", OpKind.READ, 4.0)
+        h.respond(r_abort, 5.0, status=OpStatus.ABORT)
+        h.invoke("c2", OpKind.READ, 6.0)  # pending
+        assert len(h.writes()) == 1
+        assert len(h.reads()) == 3
+        assert len(h.completed_reads()) == 1
+        assert len(h.aborted_reads()) == 1
+        assert len(h.pending()) == 1
+
+    def test_after_excludes_straddlers(self):
+        h = History()
+        early = h.invoke("c0", OpKind.WRITE, 0.0, argument="a")
+        h.respond(early, 5.0)
+        late = h.invoke("c0", OpKind.WRITE, 6.0, argument="b")
+        h.respond(late, 7.0)
+        sub = h.after(6.0)
+        assert [op.op_id for op in sub] == [late.op_id]
+
+    def test_filtered(self):
+        h = History()
+        h.invoke("c0", OpKind.WRITE, 0.0)
+        h.invoke("c1", OpKind.READ, 0.0)
+        sub = h.filtered(lambda op: op.client == "c1")
+        assert len(sub) == 1
+
+    def test_recorder_uses_clock(self):
+        h = History()
+        clock = {"t": 1.5}
+        rec = HistoryRecorder(h, lambda: clock["t"])
+        op = rec.invoked("c0", OpKind.READ)
+        clock["t"] = 2.5
+        rec.responded(op, result="v", timestamp=9)
+        assert op.invoked_at == 1.5
+        assert op.responded_at == 2.5
+        assert op.timestamp == 9
+
+
+class TestRelations:
+    def _ops(self):
+        h = History()
+        a = h.invoke("c0", OpKind.WRITE, 0.0)
+        h.respond(a, 1.0)
+        b = h.invoke("c1", OpKind.READ, 2.0)
+        h.respond(b, 3.0)
+        return a, b, h
+
+    def test_precedes_strict(self):
+        a, b, _ = self._ops()
+        assert precedes(a, b)
+        assert not precedes(b, a)
+        assert strictly_follows(b, a)
+
+    def test_overlap_is_concurrent(self):
+        h = History()
+        a = h.invoke("c0", OpKind.WRITE, 0.0)
+        h.respond(a, 5.0)
+        b = h.invoke("c1", OpKind.READ, 3.0)
+        h.respond(b, 8.0)
+        assert concurrent(a, b)
+        assert concurrent(b, a)
+
+    def test_touching_endpoints_are_concurrent(self):
+        h = History()
+        a = h.invoke("c0", OpKind.WRITE, 0.0)
+        h.respond(a, 2.0)
+        b = h.invoke("c1", OpKind.READ, 2.0)
+        h.respond(b, 3.0)
+        assert not precedes(a, b)  # strict inequality required
+        assert concurrent(a, b)
+
+    def test_incomplete_never_precedes(self):
+        h = History()
+        a = h.invoke("c0", OpKind.WRITE, 0.0)  # pending forever
+        b = h.invoke("c1", OpKind.READ, 10.0)
+        h.respond(b, 11.0)
+        assert not precedes(a, b)
+        assert concurrent(a, b)
+
+    def test_not_concurrent_with_itself(self):
+        a, _, _ = self._ops()
+        assert not concurrent(a, a)

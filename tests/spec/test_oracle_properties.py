@@ -1,0 +1,109 @@
+"""Checker soundness via an oracle: histories generated from a perfect
+sequential register must always pass; targeted mutations must fail.
+
+The oracle simulates an ideal atomic register: operations take effect at a
+chosen linearization point inside their interval. Histories it emits are
+linearizable by construction — hence regular and safe — so all three
+checkers must accept them. Mutating a read to return an out-of-window
+value must be caught by the regularity checker. This is the metamorphic
+test that keeps the judges honest.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.spec.atomicity import check_linearizable
+from repro.spec.history import History, OpKind
+from repro.spec.regularity import RegularityChecker
+from repro.spec.safety import SafetyChecker
+
+COMMON = dict(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+def oracle_history(seed: int, n_ops: int, n_clients: int) -> History:
+    """Random overlapping operations with true linearization points."""
+    rng = random.Random(seed)
+    h = History()
+    # Build intervals: per client sequential, across clients overlapping.
+    client_time = {f"c{i}": rng.uniform(0, 2) for i in range(n_clients)}
+    events = []  # (linearization point, op, effect)
+    value_counter = 0
+    ops = []
+    for _ in range(n_ops):
+        cid = rng.choice(list(client_time))
+        start = client_time[cid] + rng.uniform(0.1, 1.0)
+        duration = rng.uniform(0.5, 3.0)
+        end = start + duration
+        client_time[cid] = end
+        point = rng.uniform(start, end)
+        if rng.random() < 0.5:
+            value_counter += 1
+            op = h.invoke(cid, OpKind.WRITE, start, argument=f"v{value_counter}")
+            ops.append((op, end, point, "write"))
+        else:
+            op = h.invoke(cid, OpKind.READ, start)
+            ops.append((op, end, point, "read"))
+    # Apply effects in linearization order.
+    state = None
+    for op, end, point, kind in sorted(ops, key=lambda x: x[2]):
+        if kind == "write":
+            state = op.argument
+            h.respond(op, end)
+        else:
+            h.respond(op, end, result=state)
+    return h
+
+
+class TestOracleAcceptance:
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        n_ops=st.integers(min_value=1, max_value=9),
+        n_clients=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=60, **COMMON)
+    def test_oracle_histories_pass_all_checkers(self, seed, n_ops, n_clients):
+        h = oracle_history(seed, n_ops, n_clients)
+        assert check_linearizable(h, initial_value=None)
+        reg = RegularityChecker(initial_value=None).check(h)
+        assert reg.ok, reg.violations
+        assert SafetyChecker(initial_value=None).check(h).ok
+
+
+class TestMutationDetection:
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=40, **COMMON)
+    def test_future_value_mutation_caught(self, seed):
+        """Make some read return a value written only later: the
+        regularity checker must flag it."""
+        h = oracle_history(seed, n_ops=8, n_clients=2)
+        reads = h.completed_reads()
+        writes = h.writes()
+        victim = None
+        future_write = None
+        for rd in reads:
+            for wr in writes:
+                if (
+                    wr.invoked_at > (rd.responded_at or 0)
+                    and wr.argument != rd.result
+                ):
+                    victim, future_write = rd, wr
+                    break
+            if victim:
+                break
+        if victim is None:
+            return  # no mutable pair in this sample; vacuous
+        victim.result = future_write.argument
+        reg = RegularityChecker(initial_value=None).check(h)
+        assert not reg.ok
+
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=40, **COMMON)
+    def test_phantom_value_mutation_caught(self, seed):
+        h = oracle_history(seed, n_ops=6, n_clients=2)
+        reads = h.completed_reads()
+        if not reads:
+            return
+        reads[0].result = "phantom-value-nobody-wrote"
+        reg = RegularityChecker(initial_value=None).check(h)
+        assert not reg.ok

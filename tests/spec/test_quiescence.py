@@ -1,0 +1,119 @@
+"""Quiescence analysis tests."""
+
+import pytest
+
+from repro.spec.history import History, OpKind
+from repro.spec.quiescence import (
+    check_assumption2,
+    quiescent_windows,
+    write_bursts,
+)
+
+
+def H():
+    return History()
+
+
+def w(h, t0, t1, value):
+    op = h.invoke("c0", OpKind.WRITE, t0, argument=value)
+    h.respond(op, t1)
+    return op
+
+
+class TestBurstDetection:
+    def test_no_writes(self):
+        assert write_bursts(H()) == []
+        assert quiescent_windows(H()) == []
+
+    def test_single_burst(self):
+        h = H()
+        w(h, 0, 1, "a")
+        w(h, 1.2, 2.2, "b")
+        w(h, 2.5, 3.5, "c")
+        bursts = write_bursts(h, max_gap=1.0)
+        assert len(bursts) == 1
+        assert len(bursts[0]) == 3
+        assert bursts[0].start == 0
+        assert bursts[0].end == 3.5
+
+    def test_two_bursts_with_gap(self):
+        h = H()
+        w(h, 0, 1, "a")
+        w(h, 1.5, 2.5, "b")
+        w(h, 30, 31, "c")
+        bursts = write_bursts(h, max_gap=1.0)
+        assert [len(b) for b in bursts] == [2, 1]
+
+    def test_quiescent_windows(self):
+        h = H()
+        w(h, 0, 1, "a")
+        w(h, 30, 31, "b")
+        windows = quiescent_windows(h, max_gap=1.0)
+        assert len(windows) == 2
+        assert windows[0].start == 1
+        assert windows[0].end == 30
+        assert windows[0].duration == 29
+        assert windows[1].end is None
+        assert windows[1].duration == float("inf")
+
+    def test_incomplete_writes_ignored(self):
+        h = H()
+        h.invoke("c0", OpKind.WRITE, 0.0, argument="pending")
+        assert write_bursts(h) == []
+
+
+class TestAssumption2:
+    def _history(self, burst_len, gap):
+        h = H()
+        t = 0.0
+        for i in range(burst_len):
+            w(h, t, t + 1, f"a{i}")
+            t += 1.1
+        t += gap
+        for i in range(2):
+            w(h, t, t + 1, f"b{i}")
+            t += 1.1
+        return h
+
+    def test_within_regime(self):
+        h = self._history(burst_len=3, gap=50)
+        rep = check_assumption2(h, window_capacity=6, min_quiescence=20)
+        assert rep.ok
+        assert rep.longest_burst == 3
+        assert rep.shortest_quiescence >= 49
+
+    def test_burst_too_long(self):
+        h = self._history(burst_len=8, gap=50)
+        rep = check_assumption2(h, window_capacity=6, min_quiescence=20)
+        assert not rep.ok
+        assert rep.longest_burst == 8
+
+    def test_quiescence_too_short(self):
+        h = self._history(burst_len=2, gap=50)
+        rep = check_assumption2(h, window_capacity=6, min_quiescence=100)
+        assert not rep.ok
+
+    def test_summary(self):
+        h = self._history(2, 50)
+        rep = check_assumption2(h, window_capacity=6, min_quiescence=10)
+        assert "Assumption 2" in rep.summary()
+
+
+class TestOnRealRuns:
+    def test_burst_workload_detected(self):
+        from repro.core import RegisterSystem, SystemConfig
+        from repro.workloads.generators import run_scripts, write_burst_scripts
+
+        system = RegisterSystem(SystemConfig(n=6, f=1), seed=1, n_clients=2)
+        scripts = write_burst_scripts(
+            "c0", ["c1"], burst_len=4, quiescence=40.0, bursts=2
+        )
+        run_scripts(system, scripts)
+        rep = check_assumption2(
+            system.history,
+            window_capacity=system.config.old_vals_window,
+            min_quiescence=20.0,
+            max_gap=2.0,
+        )
+        assert rep.ok, rep.summary()
+        assert rep.longest_burst <= system.config.old_vals_window

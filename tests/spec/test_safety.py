@@ -1,0 +1,146 @@
+"""Safe-register checker tests + the semantics lattice."""
+
+from repro.spec.atomicity import check_linearizable
+from repro.spec.history import History, OpKind, OpStatus
+from repro.spec.regularity import RegularityChecker
+from repro.spec.safety import SafetyChecker
+
+
+def H():
+    return History()
+
+
+def w(h, client, t0, t1, value):
+    op = h.invoke(client, OpKind.WRITE, t0, argument=value)
+    if t1 is not None:
+        h.respond(op, t1)
+    return op
+
+
+def r(h, client, t0, t1, result):
+    op = h.invoke(client, OpKind.READ, t0)
+    h.respond(op, t1, result=result)
+    return op
+
+
+def safe(h):
+    return SafetyChecker(initial_value=None).check(h)
+
+
+def regular(h):
+    return RegularityChecker(initial_value=None).check(h)
+
+
+class TestSafety:
+    def test_empty(self):
+        assert safe(H()).ok
+
+    def test_sequential_read_of_last_write(self):
+        h = H()
+        w(h, "c0", 0, 1, "a")
+        r(h, "c1", 2, 3, "a")
+        v = safe(h)
+        assert v.ok
+        assert v.checked_reads == 1
+
+    def test_sequential_stale_read_violates(self):
+        h = H()
+        w(h, "c0", 0, 1, "a")
+        w(h, "c0", 2, 3, "b")
+        r(h, "c1", 4, 5, "a")
+        assert not safe(h).ok
+
+    def test_concurrent_read_returns_anything(self):
+        h = H()
+        w(h, "c0", 0, 10, "a")
+        r(h, "c1", 2, 4, "complete garbage")
+        v = safe(h)
+        assert v.ok
+        assert v.unconstrained_reads == 1
+
+    def test_read_overlapping_incomplete_write_unconstrained(self):
+        h = H()
+        w(h, "c0", 0, None, "a")  # pending forever
+        r(h, "c1", 5, 6, "junk")
+        assert safe(h).ok
+
+    def test_initial_value_before_writes_ok(self):
+        h = H()
+        r(h, "c1", 0, 1, None)
+        w(h, "c0", 2, 3, "a")
+        assert safe(h).ok
+
+    def test_initial_value_after_write_violates(self):
+        h = H()
+        w(h, "c0", 0, 1, "a")
+        r(h, "c1", 2, 3, None)
+        assert not safe(h).ok
+
+    def test_unwritten_value_on_constrained_read_violates(self):
+        h = H()
+        w(h, "c0", 0, 1, "a")
+        r(h, "c1", 2, 3, "phantom")
+        assert not safe(h).ok
+
+    def test_conflicting_constrained_reads_of_concurrent_writes(self):
+        h = H()
+        w(h, "cA", 0, 5, "a")
+        w(h, "cB", 1, 6, "b")
+        r(h, "c1", 7, 8, "a")
+        r(h, "c1", 9, 10, "b")  # demands the opposite "last" — cycle
+        assert not safe(h).ok
+
+
+class TestSemanticsLattice:
+    def test_regular_implies_safe_on_examples(self):
+        """Every regular history in this set is also safe."""
+        histories = []
+        h1 = H()
+        w(h1, "c0", 0, 1, "a")
+        r(h1, "c1", 2, 3, "a")
+        histories.append(h1)
+        h2 = H()
+        w(h2, "c0", 0, 10, "a")
+        r(h2, "c1", 2, 4, "a")
+        histories.append(h2)
+        for h in histories:
+            assert regular(h).ok
+            assert safe(h).ok
+
+    def test_safe_but_not_regular(self):
+        """A concurrent read returning garbage: safe allows, regular not."""
+        h = H()
+        w(h, "c0", 0, 1, "a")
+        w(h, "c0", 2, 10, "b")
+        r(h, "c1", 3, 5, "garbage")  # concurrent with b
+        assert safe(h).ok
+        assert not regular(h).ok
+
+    def test_regular_but_not_atomic(self):
+        """The new/old inversion (E11's hand-history twin)."""
+        h = H()
+        w(h, "c0", 0, 1, "a")
+        w(h, "c0", 2, 20, "b")
+        r(h, "c1", 3, 5, "b")
+        r(h, "c1", 6, 8, "a")
+        assert safe(h).ok
+        assert regular(h).ok
+        assert not check_linearizable(h, initial_value=None)
+
+
+class TestProtocolLevelSafety:
+    def test_mr_baseline_is_safe_even_when_twins_break_it_regularly(self):
+        """The masking-quorum register judged on its own terms: reads
+        concurrent with a write may return anything (safe), and the run
+        where f+1 twins defeat it involves corruption outside its model;
+        on clean concurrent runs it stays safe."""
+        from repro.baselines.malkhi_reiter import MrSafeSystem
+
+        system = MrSafeSystem(n=5, f=1, seed=3, n_clients=2)
+        system.write_sync("c0", "a")
+        handle = system.read("c1")
+        system.write("c0", "b")
+        system.env.run()
+        system.env.tick()
+        verdict = SafetyChecker(initial_value=None).check(system.history)
+        assert verdict.ok, verdict.violations

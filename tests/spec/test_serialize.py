@@ -1,0 +1,87 @@
+"""History serialization round-trip tests."""
+
+import json
+
+import pytest
+
+from repro.core import RegisterSystem, SystemConfig
+from repro.spec.history import OpStatus
+from repro.spec.regularity import RegularityChecker
+from repro.spec.serialize import (
+    history_from_json,
+    history_to_dict,
+    history_to_json,
+)
+
+
+@pytest.fixture
+def run_history():
+    system = RegisterSystem(SystemConfig(n=6, f=1), seed=5, n_clients=2)
+    system.write_sync("c0", "a")
+    system.read_sync("c1")
+    system.write_sync("c1", "b")
+    system.read_sync("c0")
+    return system.history
+
+
+class TestRoundTrip:
+    def test_json_is_valid(self, run_history):
+        text = history_to_json(run_history)
+        data = json.loads(text)
+        assert data["format"] == "repro-history/1"
+        assert len(data["operations"]) == len(run_history)
+
+    def test_round_trip_preserves_fields(self, run_history):
+        rebuilt = history_from_json(history_to_json(run_history))
+        assert len(rebuilt) == len(run_history)
+        for original, copy in zip(run_history, rebuilt):
+            assert copy.op_id == original.op_id
+            assert copy.client == original.client
+            assert copy.kind == original.kind
+            assert copy.status == original.status
+            assert copy.invoked_at == original.invoked_at
+            assert copy.responded_at == original.responded_at
+
+    def test_rebuilt_history_re_judgeable(self, run_history):
+        rebuilt = history_from_json(history_to_json(run_history))
+        verdict = RegularityChecker(initial_value=None).check(rebuilt)
+        assert verdict.ok, verdict.violations
+
+    def test_verdict_preserved_for_violating_history(self):
+        from repro.spec.history import History, OpKind
+
+        h = History()
+        w1 = h.invoke("c0", OpKind.WRITE, 0.0, argument="a")
+        h.respond(w1, 1.0)
+        w2 = h.invoke("c0", OpKind.WRITE, 2.0, argument="b")
+        h.respond(w2, 3.0)
+        r = h.invoke("c1", OpKind.READ, 4.0)
+        h.respond(r, 5.0, result="a")  # stale
+        rebuilt = history_from_json(history_to_json(h))
+        assert not RegularityChecker(initial_value=None).check(rebuilt).ok
+
+    def test_pending_and_crashed_survive(self):
+        from repro.spec.history import History, OpKind
+
+        h = History()
+        h.invoke("c0", OpKind.WRITE, 0.0, argument="x")  # pending
+        doomed = h.invoke("c1", OpKind.WRITE, 1.0, argument="y")
+        h.mark_crashed("c1", 2.0)
+        rebuilt = history_from_json(history_to_json(h))
+        statuses = {op.status for op in rebuilt}
+        assert OpStatus.PENDING in statuses
+        assert OpStatus.CRASHED in statuses
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="unknown history format"):
+            history_from_json('{"format": "bogus", "operations": []}')
+
+    def test_non_scalar_values_stringified(self, run_history):
+        data = history_to_dict(run_history)
+        for entry in data["operations"]:
+            assert isinstance(
+                entry["argument"], (str, int, float, bool, type(None))
+            )
+            assert entry["timestamp"] is None or isinstance(
+                entry["timestamp"], str
+            )

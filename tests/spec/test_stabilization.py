@@ -1,0 +1,120 @@
+"""Pseudo-stabilization evaluation tests."""
+
+from repro.spec.history import History, OpKind, OpStatus
+from repro.spec.regularity import RegularityChecker
+from repro.spec.stabilization import (
+    evaluate_stabilization,
+    first_write_completing_after,
+)
+
+
+def H():
+    return History()
+
+
+def w(h, client, t0, t1, value):
+    op = h.invoke(client, OpKind.WRITE, t0, argument=value)
+    if t1 is not None:
+        h.respond(op, t1)
+    return op
+
+
+def r(h, client, t0, t1, result, status=OpStatus.OK):
+    op = h.invoke(client, OpKind.READ, t0)
+    h.respond(op, t1, status=status, result=result)
+    return op
+
+
+def checker():
+    return RegularityChecker(initial_value=None)
+
+
+class TestAnchor:
+    def test_anchor_is_first_write_entirely_after_t(self):
+        h = H()
+        w(h, "c0", 0, 5, "straddler")  # invoked before t=2
+        good = w(h, "c0", 6, 7, "anchor")
+        w(h, "c0", 8, 9, "later")
+        assert first_write_completing_after(h, 2.0) is good
+
+    def test_no_anchor_when_no_post_fault_write(self):
+        h = H()
+        w(h, "c0", 0, 1, "early")
+        assert first_write_completing_after(h, 5.0) is None
+
+    def test_pending_writes_never_anchor(self):
+        h = H()
+        w(h, "c0", 3, None, "pending")
+        assert first_write_completing_after(h, 2.0) is None
+
+
+class TestEvaluate:
+    def test_clean_recovery(self):
+        h = H()
+        r(h, "c1", 1, 2, "garbage-pre")  # pre-convergence junk: allowed
+        anchor = w(h, "c0", 3, 4, "v")
+        r(h, "c1", 5, 6, "v")
+        rep = evaluate_stabilization(h, checker(), last_fault_time=0.0)
+        assert rep.stabilized
+        assert rep.anchor_write is anchor
+        assert rep.convergence_point == 4
+        assert rep.convergence_latency == 4
+        assert rep.suffix_reads == 1
+
+    def test_not_stabilized_without_any_write(self):
+        h = H()
+        r(h, "c1", 1, 2, "junk")
+        rep = evaluate_stabilization(h, checker(), last_fault_time=0.0)
+        assert not rep.stabilized
+        assert rep.anchor_write is None
+        assert "no write completed" in rep.summary()
+
+    def test_suffix_violation_fails(self):
+        h = H()
+        w(h, "c0", 1, 2, "v1")
+        w(h, "c0", 3, 4, "v2")
+        r(h, "c1", 5, 6, "v1")  # stale post-convergence read
+        rep = evaluate_stabilization(h, checker(), last_fault_time=0.0)
+        assert not rep.stabilized
+
+    def test_suffix_aborts_fail_by_default(self):
+        h = H()
+        w(h, "c0", 1, 2, "v")
+        r(h, "c1", 3, 4, None, status=OpStatus.ABORT)
+        rep = evaluate_stabilization(h, checker(), last_fault_time=0.0)
+        assert not rep.stabilized
+        rep2 = evaluate_stabilization(
+            h, checker(), last_fault_time=0.0, allow_aborts=True
+        )
+        assert rep2.stabilized
+
+    def test_prefix_anomalies_counted_not_fatal(self):
+        h = H()
+        w(h, "c0", 0, 1, "old")  # pre-fault write
+        r(h, "c1", 2, 3, "junk")  # pre-convergence anomaly (post-fault t=1.5)
+        w(h, "c0", 4, 5, "new")
+        r(h, "c1", 6, 7, "new")
+        rep = evaluate_stabilization(h, checker(), last_fault_time=1.5)
+        assert rep.stabilized
+        assert rep.prefix_read_anomalies >= 1
+
+    def test_straddling_write_included_in_suffix_order(self):
+        """A write invoked pre-fault but returned by post-convergence
+        reads must not be treated as 'a value nobody wrote'."""
+        h = H()
+        w(h, "c0", 0, 6, "straddler")  # spans the fault at t=2
+        w(h, "c0", 7, 8, "anchor")
+        # read concurrent with nothing returns the anchor — fine;
+        # and another read overlapping the straddler's completion window
+        # may legitimately have returned it *before* convergence (not in
+        # suffix). Post-convergence reads must see anchor-or-later:
+        r(h, "c1", 9, 10, "anchor")
+        rep = evaluate_stabilization(h, checker(), last_fault_time=2.0)
+        assert rep.stabilized
+
+    def test_summary_strings(self):
+        h = H()
+        w(h, "c0", 1, 2, "v")
+        r(h, "c1", 3, 4, "v")
+        rep = evaluate_stabilization(h, checker(), last_fault_time=0.0)
+        assert "STABILIZED" in rep.summary()

@@ -1,0 +1,52 @@
+"""CLI tests (``python -m repro``)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+
+class TestCommands:
+    def test_experiments_lists_catalogue(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        for name in ("E1", "E5", "E12"):
+            assert name in out
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["run", "E5"]) == 0
+        out = capsys.readouterr().out
+        assert "Lemma 2" in out
+        assert "regenerated" in out
+
+    def test_run_lowercase_accepted(self, capsys):
+        assert main(["run", "e5"]) == 0
+
+    def test_run_csv_output(self, capsys):
+        assert main(["run", "E5", "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("byzantine phase case,")
+        assert "|" not in out
+
+    def test_run_unknown_experiment_fails(self, capsys):
+        assert main(["run", "E99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_check_stabilizes(self, capsys):
+        assert main(["check", "--seed", "4", "--ops", "4"]) == 0
+        assert "STABILIZED" in capsys.readouterr().out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "recovered!" in out
+        assert "STABILIZED" in out

@@ -1,0 +1,82 @@
+"""The kitchen sink: every fault class and substrate at once.
+
+One register deployment facing, simultaneously: fair-lossy channels under
+the stabilizing data-link, a Byzantine replica, jittered delays via the
+link, a network partition, transient corruption strikes, a client crash
+and concurrent traffic — the union of everything the paper's model allows
+(and E12's partitions on top). The contract stands: the post-fault suffix
+is regular.
+"""
+
+import pytest
+
+from repro.byzantine.strategies import StaleReplayByzantine
+from repro.core.config import SystemConfig
+from repro.core.lossy import LossyRegisterClient, LossyRegisterServer
+from repro.core.register import RegisterSystem
+from repro.sim.channels import FairLossyChannel
+from repro.sim.partitions import PartitioningAdversary, PartitionWindow
+from repro.spec.stabilization import evaluate_stabilization
+
+
+class TestKitchenSink:
+    def test_everything_at_once_over_lossy_links(self):
+        system = RegisterSystem(
+            SystemConfig(n=6, f=1),
+            seed=99,
+            n_clients=3,
+            channel_factory=lambda: FairLossyChannel(
+                loss=0.15, duplication=0.05, fairness_bound=6, jitter=1.0
+            ),
+            server_cls=LossyRegisterServer,
+            client_cls=LossyRegisterClient,
+            byzantine={"s5": StaleReplayByzantine.factory()},
+        )
+        system.write_sync("c0", "pre-fault")
+        assert system.read_sync("c1") == "pre-fault"
+
+        # Transient strike + client crash mid-run.
+        system.corrupt_servers()
+        strike = system.env.now
+        system.clients["c2"].crash()
+
+        system.write_sync("c0", "post-fault")
+        for _ in range(2):
+            assert system.read_sync("c1") == "post-fault"
+
+        report = evaluate_stabilization(
+            system.history, system.checker(), last_fault_time=strike
+        )
+        assert report.stabilized, report.summary()
+
+    def test_partition_plus_byzantine_plus_corruption(self):
+        window = PartitionWindow(start=12.0, end=30.0, island=frozenset({"s0"}))
+        holder = {}
+        adversary = PartitioningAdversary(
+            [window], clock=lambda: holder["system"].env.now
+        )
+        system = RegisterSystem(
+            SystemConfig(n=6, f=1),
+            seed=100,
+            n_clients=2,
+            adversary=adversary,
+            byzantine={"s5": StaleReplayByzantine.factory()},
+        )
+        holder["system"] = system
+
+        system.write_sync("c0", "a")
+        system.corrupt_servers()
+        strike = system.env.now
+        # Enter the partition window, then operate through it: with only
+        # one (<= f) server islanded, quorums of n - f keep working.
+        system.env.scheduler.call_at(13.0, lambda: None)
+        system.env.run(until=13.0)
+        system.write_sync("c0", "b")
+        assert system.read_sync("c1") == "b"
+        system.env.run()  # heal
+        system.env.tick()
+        assert system.read_sync("c1") == "b"
+        report = evaluate_stabilization(
+            system.history, system.checker(), last_fault_time=strike
+        )
+        assert report.stabilized, report.summary()

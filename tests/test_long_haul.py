@@ -1,0 +1,99 @@
+"""Long-haul integration sweeps: many seeds, long runs, repeated strikes.
+
+Broader (if shallower) coverage than the focused suites — the tests that
+catch rare-interleaving bugs. Kept under a few seconds total by sizing.
+"""
+
+import random
+
+import pytest
+
+from repro.byzantine.strategies import STRATEGY_ZOO
+from repro.core.config import SystemConfig
+from repro.core.register import RegisterSystem
+from repro.sim.adversary import UniformLatencyAdversary
+from repro.spec.stabilization import evaluate_stabilization
+from repro.workloads.generators import mixed_scripts, run_scripts
+
+
+class TestSeedSweeps:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_corrupted_concurrent_runs(self, seed):
+        system = RegisterSystem(
+            SystemConfig(n=6, f=1),
+            seed=seed,
+            n_clients=4,
+            adversary=UniformLatencyAdversary(0.4, 2.2),
+            byzantine={
+                "s5": STRATEGY_ZOO[
+                    sorted(STRATEGY_ZOO)[seed % len(STRATEGY_ZOO)]
+                ].factory()
+            },
+        )
+        system.corrupt_servers()
+        system.corrupt_clients()
+        scripts = mixed_scripts(
+            list(system.clients), random.Random(seed * 11), ops_per_client=5
+        )
+        run_scripts(system, scripts)
+        rep = evaluate_stabilization(
+            system.history, system.checker(), last_fault_time=0.0
+        )
+        assert rep.stabilized, rep.summary()
+
+
+class TestLongRuns:
+    def test_hundred_operation_session(self):
+        system = RegisterSystem(SystemConfig(n=6, f=1), seed=77, n_clients=3)
+        last = None
+        for i in range(50):
+            system.write_sync(f"c{i % 2}", f"v{i}")
+            got = system.read_sync("c2")
+            assert got == f"v{i}"
+            last = got
+        assert last == "v49"
+        assert system.check_regularity().ok
+        assert not system.history.pending()
+
+    def test_alternating_strikes_and_recoveries(self):
+        system = RegisterSystem(SystemConfig(n=6, f=1), seed=78, n_clients=2)
+        for round_ in range(6):
+            system.corrupt_servers()
+            if round_ % 2:
+                system.corrupt_clients()
+            last_fault = system.env.now
+            system.write_sync("c0", f"epoch-{round_}")
+            assert system.read_sync("c1") == f"epoch-{round_}"
+        rep = evaluate_stabilization(
+            system.history, system.checker(), last_fault_time=last_fault
+        )
+        assert rep.stabilized
+
+    def test_f2_long_concurrent_session(self):
+        system = RegisterSystem(
+            SystemConfig(n=11, f=2),
+            seed=79,
+            n_clients=4,
+            byzantine={
+                "s10": STRATEGY_ZOO["forging"].factory(),
+                "s9": STRATEGY_ZOO["stale-replay"].factory(),
+            },
+        )
+        system.corrupt_servers()
+        scripts = mixed_scripts(
+            list(system.clients), random.Random(5), ops_per_client=6
+        )
+        run_scripts(system, scripts)
+        rep = evaluate_stabilization(
+            system.history, system.checker(), last_fault_time=0.0
+        )
+        assert rep.stabilized, rep.summary()
+
+    def test_event_counts_stay_bounded(self):
+        """No message storms: a session's event count is linear in ops."""
+        system = RegisterSystem(SystemConfig(n=6, f=1), seed=80, n_clients=2)
+        for i in range(20):
+            system.write_sync("c0", f"v{i}")
+            system.read_sync("c1")
+        # 40 ops x ~5n messages each, with slack for ticks and flushes.
+        assert system.env.scheduler.executed < 40 * 6 * 10

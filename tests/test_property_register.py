@@ -1,0 +1,103 @@
+"""Property-based end-to-end tests: the headline theorems as hypotheses.
+
+Each test samples random seeds / workload shapes / fault configurations
+and asserts the paper's guarantees hold on the resulting execution. These
+are the heaviest tests in the suite; example counts are kept moderate.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.byzantine.strategies import STRATEGY_ZOO
+from repro.core.config import SystemConfig
+from repro.core.register import RegisterSystem
+from repro.sim.adversary import UniformLatencyAdversary
+from repro.spec.stabilization import evaluate_stabilization
+from repro.workloads.generators import mixed_scripts, run_scripts
+
+COMMON = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_clients=st.integers(min_value=2, max_value=4),
+    ops=st.integers(min_value=3, max_value=7),
+    jitter_hi=st.floats(min_value=1.0, max_value=4.0),
+)
+@settings(max_examples=25, **COMMON)
+def test_theorem2_random_executions_are_regular(seed, n_clients, ops, jitter_hi):
+    """Clean starts: every random concurrent execution is MWMR regular."""
+    system = RegisterSystem(
+        SystemConfig(n=6, f=1),
+        seed=seed,
+        n_clients=n_clients,
+        adversary=UniformLatencyAdversary(0.5, jitter_hi),
+    )
+    scripts = mixed_scripts(
+        list(system.clients), random.Random(seed), ops_per_client=ops
+    )
+    run_scripts(system, scripts)
+    verdict = system.check_regularity()
+    assert verdict.ok, verdict.violations
+    assert not system.history.pending()
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    strategy=st.sampled_from(sorted(STRATEGY_ZOO)),
+)
+@settings(max_examples=25, **COMMON)
+def test_theorem3_corrupted_executions_pseudo_stabilize(seed, strategy):
+    """Arbitrary initial corruption + any zoo Byzantine strategy: the
+    suffix after the first completed write is regular."""
+    system = RegisterSystem(
+        SystemConfig(n=6, f=1),
+        seed=seed,
+        n_clients=3,
+        byzantine={"s5": STRATEGY_ZOO[strategy].factory()},
+    )
+    system.corrupt_servers()
+    system.corrupt_clients()
+    scripts = mixed_scripts(
+        list(system.clients), random.Random(seed + 1), ops_per_client=5
+    )
+    run_scripts(system, scripts)
+    rep = evaluate_stabilization(
+        system.history, system.checker(), last_fault_time=0.0
+    )
+    assert rep.stabilized, (strategy, rep.summary())
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=15, **COMMON)
+def test_lemma2_census_after_every_solo_write(seed):
+    system = RegisterSystem(SystemConfig(n=6, f=1), seed=seed, n_clients=1)
+    rng = random.Random(seed)
+    for i in range(rng.randrange(2, 5)):
+        value = f"v{i}"
+        ts = system.write_sync("c0", value)
+        assert system.census(value, ts) >= 4  # 3f + 1
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    severity=st.floats(min_value=0.1, max_value=1.0),
+)
+@settings(max_examples=15, **COMMON)
+def test_stabilization_at_any_severity(seed, severity):
+    system = RegisterSystem(SystemConfig(n=6, f=1), seed=seed, n_clients=2)
+    rng = system.env.spawn_rng("hyp-corrupt")
+    for server in system.correct_servers():
+        if rng.random() < severity:
+            server.corrupt_state(rng)
+    system.write_sync("c0", "anchor")
+    for _ in range(2):
+        assert system.read_sync("c1") == "anchor"
+    rep = evaluate_stabilization(
+        system.history, system.checker(), last_fault_time=0.0
+    )
+    assert rep.stabilized

@@ -1,0 +1,96 @@
+"""The tutorial's code (docs/TUTORIAL.md), executed.
+
+Documentation that stops compiling is worse than none: every snippet in
+the tutorial has a test twin here, kept in the same order.
+"""
+
+import random
+
+from repro import RegisterSystem, SystemConfig
+from repro.byzantine.base import ByzantineServer
+from repro.core.messages import TsReply
+from repro.sim.adversary import ScriptedAdversary
+from repro.spec import evaluate_stabilization
+from repro.workloads import corruption_schedule, mixed_scripts, run_scripts
+
+
+class TimeWarp(ByzantineServer):
+    strategy_name = "time-warp"
+
+    def on_get_ts(self, src):
+        self.send(src, TsReply(ts=self.scheme.initial_label()))
+
+
+class TestTutorial:
+    def test_section_1_deploy(self):
+        config = SystemConfig(n=6, f=1)
+        system = RegisterSystem(config, seed=0, n_clients=3)
+        system.write_sync("c0", "v1")
+        assert system.read_sync("c1") == "v1"
+        handle = system.write("c2", "v2")
+        system.env.run_to_completion(lambda: handle.done)
+        assert handle.done
+
+    def test_section_2_custom_byzantine(self):
+        system = RegisterSystem(
+            SystemConfig(n=6, f=1),
+            seed=1,
+            n_clients=2,
+            byzantine={"s5": TimeWarp.factory()},
+        )
+        system.write_sync("c0", "x")
+        assert system.read_sync("c1") == "x"
+        assert system.check_regularity().ok
+
+    def test_section_3_scripted_adversary(self):
+        def policy(env, rng):
+            if env.src == "s0" and type(env.payload).__name__ == "ReadReply":
+                return 25.0
+            return 1.0
+
+        system = RegisterSystem(
+            SystemConfig(n=6, f=1),
+            seed=2,
+            n_clients=2,
+            adversary=ScriptedAdversary(policy),
+        )
+        system.write_sync("c0", "y")
+        assert system.read_sync("c1") == "y"  # quorum works without s0
+
+    def test_sections_4_and_5_workload_faults_judgement(self):
+        system = RegisterSystem(SystemConfig(n=6, f=1), seed=3, n_clients=3)
+        scripts = mixed_scripts(
+            list(system.clients), random.Random(3),
+            ops_per_client=8, write_fraction=0.4,
+        )
+        corruption_schedule(
+            system, times=[15.0], server_fraction=0.75
+        ).arm(system.env)
+        run_scripts(system, scripts)
+        system.write_sync("c0", "post-fault-probe")
+        system.read_sync("c1")
+        report = evaluate_stabilization(
+            system.history, system.checker(), last_fault_time=15.0
+        )
+        assert report.stabilized, report.summary()
+
+    def test_section_7_fuzzer(self):
+        from repro.harness.fuzz import fuzz
+
+        assert fuzz(trials=8, n=6, f=1, master_seed=4).clean
+
+    def test_section_8_observability(self, tmp_path):
+        from repro.sim.visualize import render_sequence_chart
+        from repro.spec.serialize import history_to_json
+
+        system = RegisterSystem(SystemConfig(n=6, f=1), seed=5, n_clients=2)
+        system.env.network.trace.enabled = True
+        system.write_sync("c0", "traced")
+        system.read_sync("c1")
+        chart = render_sequence_chart(system.env.network.trace, limit=40)
+        assert "GetTs" in chart
+        stats = system.read_path_stats()
+        assert stats["local"] + stats["union"] + stats["abort"] == 1
+        out = tmp_path / "run.json"
+        out.write_text(history_to_json(system.history))
+        assert out.stat().st_size > 0

@@ -1,0 +1,159 @@
+"""Workload generator and script driver tests."""
+
+import random
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.register import RegisterSystem
+from repro.errors import SimulationError
+from repro.spec.history import OpKind
+from repro.workloads.generators import (
+    ScriptedOp,
+    mixed_scripts,
+    read_heavy_scripts,
+    run_scripts,
+    unique_value,
+    write_burst_scripts,
+)
+from repro.workloads.schedules import corruption_schedule, crash_schedule
+
+
+class TestGenerators:
+    def test_unique_values_are_unique(self):
+        values = {
+            unique_value(c, i) for c in ("c0", "c1") for i in range(100)
+        }
+        assert len(values) == 200
+
+    def test_read_heavy_shape(self):
+        rng = random.Random(0)
+        scripts = read_heavy_scripts(
+            ["c0", "c1", "c2"], rng, ops_per_client=20, write_fraction=0.3
+        )
+        assert set(scripts) == {"c0", "c1", "c2"}
+        writes = [
+            op
+            for ops in scripts.values()
+            for op in ops
+            if op.kind is OpKind.WRITE
+        ]
+        reads = [
+            op
+            for ops in scripts.values()
+            for op in ops
+            if op.kind is OpKind.READ
+        ]
+        assert len(reads) > len(writes)
+        # only c0 (default writer) writes
+        assert all(op.kind is OpKind.READ for op in scripts["c1"])
+
+    def test_read_heavy_guarantees_anchor_write(self):
+        for seed in range(20):
+            rng = random.Random(seed)
+            scripts = read_heavy_scripts(
+                ["c0", "c1"], rng, ops_per_client=5, write_fraction=0.0
+            )
+            assert scripts["c0"][0].kind is OpKind.WRITE
+
+    def test_mixed_guarantees_anchor_write(self):
+        for seed in range(20):
+            rng = random.Random(seed)
+            scripts = mixed_scripts(
+                ["c0", "c1"], rng, ops_per_client=5, write_fraction=0.0
+            )
+            assert scripts["c0"][0].kind is OpKind.WRITE
+
+    def test_write_burst_structure(self):
+        scripts = write_burst_scripts(
+            "c0", ["c1"], burst_len=4, quiescence=25.0, bursts=2
+        )
+        writer_ops = scripts["c0"]
+        writes = [op for op in writer_ops if op.kind is OpKind.WRITE]
+        assert len(writes) == 8
+        gaps = [op.delay for op in writer_ops if op.delay >= 25.0]
+        assert len(gaps) == 2  # one quiescence gap per burst
+
+
+class TestDriver:
+    def test_runs_scripts_to_completion(self, config_f1):
+        system = RegisterSystem(config_f1, seed=0, n_clients=2)
+        scripts = {
+            "c0": [
+                ScriptedOp(OpKind.WRITE, "a", 0.0),
+                ScriptedOp(OpKind.WRITE, "b", 1.0),
+            ],
+            "c1": [ScriptedOp(OpKind.READ, delay=0.5)],
+        }
+        handles = run_scripts(system, scripts)
+        assert len(handles) == 3
+        assert all(h.done for h in handles)
+
+    def test_unknown_client_rejected(self, config_f1):
+        system = RegisterSystem(config_f1, seed=0, n_clients=1)
+        with pytest.raises(SimulationError):
+            run_scripts(system, {"c9": [ScriptedOp(OpKind.READ)]})
+
+    def test_crashed_client_stops_its_script(self, config_f1):
+        system = RegisterSystem(config_f1, seed=0, n_clients=2)
+        scripts = {
+            "c0": [
+                ScriptedOp(OpKind.WRITE, "a", 0.0),
+                ScriptedOp(OpKind.WRITE, "b", 50.0),
+            ],
+        }
+        system.env.scheduler.call_at(10.0, system.clients["c0"].crash)
+        run_scripts(system, scripts)
+        assert len(system.history.writes()) == 1  # second op never issued
+
+    def test_per_client_sequentiality_maintained(self, config_f1):
+        system = RegisterSystem(config_f1, seed=0, n_clients=1)
+        scripts = {
+            "c0": [ScriptedOp(OpKind.WRITE, f"v{i}", 0.0) for i in range(5)]
+        }
+        run_scripts(system, scripts)  # would raise on overlap
+        ops = system.history.writes()
+        for earlier, later in zip(ops, ops[1:]):
+            assert earlier.responded_at <= later.invoked_at
+
+
+class TestSchedules:
+    def test_corruption_schedule_fires(self, config_f1):
+        system = RegisterSystem(config_f1, seed=0, n_clients=2)
+        sched = corruption_schedule(system, times=[2.0], server_fraction=1.0)
+        sched.arm(system.env)
+        before = [s.snapshot() for s in system.correct_servers()]
+        system.env.run()
+        after = [s.snapshot() for s in system.correct_servers()]
+        assert before != after
+
+    def test_corruption_skips_busy_clients(self, config_f1):
+        system = RegisterSystem(config_f1, seed=0, n_clients=2)
+        handle = system.write("c0", "x")  # c0 busy
+        sched = corruption_schedule(
+            system, times=[0.5], client_fraction=1.0, server_fraction=0.0
+        )
+        sched.arm(system.env)
+        system.env.run()
+        assert handle.done  # the in-flight op was not wedged
+
+    def test_crash_schedule(self, config_f1):
+        system = RegisterSystem(config_f1, seed=0, n_clients=2)
+        crash_schedule(system, [(1.0, "c1")]).arm(system.env)
+        system.env.run()
+        assert system.clients["c1"].crashed
+        assert not system.clients["c0"].crashed
+
+    def test_channel_injection_is_harmless_noise(self, config_f1):
+        system = RegisterSystem(config_f1, seed=0, n_clients=2)
+        sched = corruption_schedule(
+            system,
+            times=[0.5],
+            server_fraction=0.0,
+            client_fraction=0.0,
+            corrupt_channels=True,
+        )
+        sched.arm(system.env)
+        system.write_sync("c0", "x")
+        assert system.read_sync("c1") == "x"
+        assert system.check_regularity().ok

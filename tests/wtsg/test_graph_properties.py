@@ -1,0 +1,88 @@
+"""Property-based tests for the weighted timestamp graph."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.labels.alon import AlonLabelingScheme
+from repro.labels.unbounded import UnboundedLabelingScheme
+from repro.wtsg.graph import WeightedTimestampGraph
+
+COMMON = dict(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+SCHEME = AlonLabelingScheme(k=4)
+
+
+def witness_lists():
+    """Random witness insertions: (server, label-seed, value, current)."""
+    return st.lists(
+        st.tuples(
+            st.sampled_from([f"s{i}" for i in range(6)]),
+            st.integers(min_value=0, max_value=30),
+            st.sampled_from(["a", "b", "c"]),
+            st.booleans(),
+        ),
+        max_size=40,
+    )
+
+
+def build(entries, scheme=SCHEME):
+    g = WeightedTimestampGraph(scheme)
+    for server, seed, value, current in entries:
+        label = scheme.random_label(random.Random(seed))
+        g.add_witness(server, label, value, current=current)
+    return g
+
+
+class TestGraphProperties:
+    @given(witness_lists())
+    @settings(max_examples=150, **COMMON)
+    def test_weights_bounded_by_server_count(self, entries):
+        g = build(entries)
+        for node in g.nodes():
+            assert 1 <= g.weight(node) <= 6
+            assert g.current_weight(node) <= g.weight(node)
+
+    @given(witness_lists())
+    @settings(max_examples=150, **COMMON)
+    def test_selection_is_qualified(self, entries):
+        g = build(entries)
+        for threshold in (1, 2, 3):
+            node = g.select_maximal_qualified(threshold)
+            if node is not None:
+                assert g.weight(node) >= threshold
+            else:
+                assert g.qualified(threshold) == []
+
+    @given(witness_lists(), st.integers(min_value=1, max_value=3))
+    @settings(max_examples=100, **COMMON)
+    def test_selection_insertion_order_invariant(self, entries, threshold):
+        """Different insertion orders must select the same node — readers
+        with the same evidence must agree (the Consistency clause)."""
+        g1 = build(entries)
+        g2 = build(list(reversed(entries)))
+        assert g1.select_maximal_qualified(threshold) == g2.select_maximal_qualified(
+            threshold
+        )
+
+    @given(witness_lists())
+    @settings(max_examples=100, **COMMON)
+    def test_monotone_in_witnesses(self, entries):
+        """Adding witnesses never makes a qualified node unqualified."""
+        g = build(entries)
+        before = set(g.qualified(2))
+        g.add_witness("s0", SCHEME.initial_label(), "z", current=True)
+        after = set(g.qualified(2))
+        assert before <= after
+
+    @given(st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=15))
+    @settings(max_examples=100, **COMMON)
+    def test_total_order_selects_global_max(self, counters):
+        """With totally ordered (unbounded) timestamps and one witness per
+        node, the selected node is the maximum timestamp."""
+        ints = UnboundedLabelingScheme()
+        g = WeightedTimestampGraph(ints)
+        for i, c in enumerate(counters):
+            g.add_witness(f"s{i % 6}", c, f"v{c}")
+        node = g.select_maximal_qualified(1)
+        assert node.timestamp == max(counters)
