@@ -1,0 +1,122 @@
+"""Record the hot-kernel benchmark trajectory for perf-diffing PRs.
+
+Runs ``benchmarks/bench_kernel.py`` under pytest-benchmark, condenses the
+raw output into ``BENCH_kernel.json`` (median seconds per kernel, plus
+derived throughputs such as fuzz trials/sec), and prints a comparison
+against the previous snapshot when one exists. CI and future PRs diff
+this file to catch kernel regressions the unit suite cannot see.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/trajectory.py            # writes BENCH_kernel.json
+    PYTHONPATH=src python benchmarks/trajectory.py --out X.json
+
+The snapshot schema::
+
+    {
+      "kernels": {"<benchmark name>": {"median_s": ..., "ops_per_s": ...}},
+      "derived": {"fuzz_trials_per_s": ...},
+      "meta": {"python": ..., "cpus": ...}
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_FILE = Path(__file__).resolve().parent / "bench_kernel.py"
+DEFAULT_OUT = REPO_ROOT / "BENCH_kernel.json"
+FUZZ_KERNEL = "test_fuzz_trial_throughput"
+
+
+def run_benchmarks(raw_path: Path) -> None:
+    """Execute the kernel suite, dumping pytest-benchmark JSON to ``raw_path``."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    cmd = [
+        sys.executable,
+        "-m",
+        "pytest",
+        str(BENCH_FILE),
+        "--benchmark-only",
+        "-q",
+        f"--benchmark-json={raw_path}",
+    ]
+    subprocess.run(cmd, check=True, cwd=REPO_ROOT, env=env)
+
+
+def condense(raw: dict) -> dict:
+    """Reduce pytest-benchmark's verbose JSON to the trajectory snapshot."""
+    kernels: dict[str, dict[str, float]] = {}
+    for bench in raw["benchmarks"]:
+        median = bench["stats"]["median"]
+        kernels[bench["name"]] = {
+            "median_s": median,
+            "ops_per_s": (1.0 / median) if median else 0.0,
+        }
+    derived = {}
+    if FUZZ_KERNEL in kernels:
+        derived["fuzz_trials_per_s"] = kernels[FUZZ_KERNEL]["ops_per_s"]
+    return {
+        "kernels": kernels,
+        "derived": derived,
+        "meta": {
+            "python": platform.python_version(),
+            "cpus": os.cpu_count(),
+        },
+    }
+
+
+def compare(old: dict, new: dict) -> list[str]:
+    """Human-readable per-kernel speedup lines (new vs. old snapshot)."""
+    lines = []
+    for name, stats in sorted(new["kernels"].items()):
+        prev = old.get("kernels", {}).get(name)
+        if not prev or not stats["median_s"]:
+            continue
+        ratio = prev["median_s"] / stats["median_s"]
+        lines.append(
+            f"{name}: {prev['median_s'] * 1e3:.2f}ms -> "
+            f"{stats['median_s'] * 1e3:.2f}ms ({ratio:.2f}x)"
+        )
+    return lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUT, help="snapshot destination"
+    )
+    args = parser.parse_args(argv)
+
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        raw_path = Path(tmp.name)
+    try:
+        run_benchmarks(raw_path)
+        raw = json.loads(raw_path.read_text())
+    finally:
+        raw_path.unlink(missing_ok=True)
+
+    snapshot = condense(raw)
+    if args.out.exists():
+        previous = json.loads(args.out.read_text())
+        for line in compare(previous, snapshot):
+            print(line)
+    args.out.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

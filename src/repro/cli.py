@@ -3,12 +3,19 @@
 Commands:
 
 * ``experiments``                 — list the experiment catalogue;
-* ``run E3 [E7 ...]``             — regenerate chosen experiment tables;
-* ``reproduce-all``               — regenerate every table (E1-E12);
+* ``run E3 [E7 ...] [--jobs N]``  — regenerate chosen experiment tables;
+* ``reproduce-all [--jobs N]``    — regenerate every table (E1-E13);
 * ``demo``                        — the quickstart scenario, narrated;
+* ``profile E2 [--out p.pstats]`` — cProfile an experiment, optionally
+  dumping raw pstats for flamegraph tooling;
+* ``fuzz [--jobs N]``             — random hostile schedules, Jepsen-style;
 * ``check --seed N --ops K``      — run a random concurrent workload under
   full corruption and print the pseudo-stabilization verdict (a one-shot
   confidence check on any machine).
+
+``--jobs`` fans independent trials over a process pool; every sweep's
+output is byte-identical to the serial run (see
+:mod:`repro.harness.parallel`).
 """
 
 from __future__ import annotations
@@ -30,6 +37,19 @@ def _cmd_experiments(_: argparse.Namespace) -> int:
     return 0
 
 
+def _run_experiment(mod, jobs: int):
+    """Invoke ``mod.run``, forwarding ``jobs`` when the sweep supports it.
+
+    Sweeps that fan trials out (E3, E9, E10) accept a ``jobs`` kwarg;
+    the rest run serially regardless, so ``--jobs`` is always safe.
+    """
+    import inspect
+
+    if jobs > 1 and "jobs" in inspect.signature(mod.run).parameters:
+        return mod.run(jobs=jobs)
+    return mod.run()
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.harness.experiments import ALL_EXPERIMENTS
 
@@ -42,7 +62,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             status = 2
             continue
         start = time.time()
-        report = mod.run()
+        report = _run_experiment(mod, args.jobs)
         if args.csv:
             print(report.to_csv(), end="")
         else:
@@ -51,13 +71,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return status
 
 
-def _cmd_reproduce_all(_: argparse.Namespace) -> int:
+def _cmd_reproduce_all(args: argparse.Namespace) -> int:
     from repro.harness.experiments import ALL_EXPERIMENTS
 
     total = time.time()
     for name in sorted(ALL_EXPERIMENTS, key=lambda s: int(s[1:])):
         start = time.time()
-        report = ALL_EXPERIMENTS[name].run()
+        report = _run_experiment(ALL_EXPERIMENTS[name], args.jobs)
         print(report.table())
         print(f"  [{name} regenerated in {time.time() - start:.1f}s]\n")
     print(f"all experiments regenerated in {time.time() - total:.1f}s")
@@ -89,7 +109,7 @@ def _cmd_demo(_: argparse.Namespace) -> int:
 
 def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.harness.experiments import ALL_EXPERIMENTS
-    from repro.harness.profiling import profile_callable
+    from repro.harness.profiling import profile_callable, profile_to_file
 
     mod = ALL_EXPERIMENTS.get(args.experiment.upper())
     if mod is None:
@@ -98,8 +118,13 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    result = profile_callable(mod.run)
-    print(result.table(limit=args.top))
+    if args.out:
+        result = profile_to_file(mod.run, args.out, top=args.top)
+        print(result.table(limit=args.top))
+        print(f"raw pstats written to {args.out}")
+    else:
+        result = profile_callable(mod.run)
+        print(result.table(limit=args.top))
     return 0
 
 
@@ -112,6 +137,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         f=args.f,
         master_seed=args.seed,
         stop_at_first=args.stop_at_first,
+        jobs=args.jobs,
     )
     print(report.summary())
     for witness in report.witnesses[: args.show]:
@@ -165,13 +191,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("experiments", help="list the experiment catalogue")
 
+    jobs_help = (
+        "worker processes for trial fan-out (default 1 = serial; "
+        "0 = all CPUs). Results are identical for every value."
+    )
+
     run = sub.add_parser("run", help="regenerate chosen experiment tables")
     run.add_argument("experiment", nargs="+", help="e.g. E1 E3 E8")
     run.add_argument(
         "--csv", action="store_true", help="emit CSV instead of a table"
     )
+    run.add_argument("--jobs", type=int, default=1, help=jobs_help)
 
-    sub.add_parser("reproduce-all", help="regenerate every table")
+    rall = sub.add_parser("reproduce-all", help="regenerate every table")
+    rall.add_argument("--jobs", type=int, default=1, help=jobs_help)
     sub.add_parser("demo", help="narrated quickstart scenario")
 
     profile = sub.add_parser(
@@ -179,6 +212,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     profile.add_argument("experiment", help="e.g. E2")
     profile.add_argument("--top", type=int, default=15)
+    profile.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="also dump raw pstats for flamegraph tools (snakeviz, flameprof)",
+    )
 
     check = sub.add_parser(
         "check", help="random corrupted workload + stabilization verdict"
@@ -198,6 +237,7 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--seed", type=int, default=0)
     fuzz.add_argument("--show", type=int, default=3, help="witnesses to print")
     fuzz.add_argument("--stop-at-first", action="store_true")
+    fuzz.add_argument("--jobs", type=int, default=1, help=jobs_help)
 
     return parser
 

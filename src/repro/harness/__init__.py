@@ -14,6 +14,7 @@ one of them.
 
 from repro.harness.runner import RunResult, ExperimentReport, run_register_workload
 from repro.harness.metrics import LatencyStats, history_metrics
+from repro.harness.parallel import parallel_imap, parallel_map, resolve_jobs
 from repro.harness.tables import render_table
 
 __all__ = [
@@ -22,5 +23,8 @@ __all__ = [
     "run_register_workload",
     "LatencyStats",
     "history_metrics",
+    "parallel_imap",
+    "parallel_map",
+    "resolve_jobs",
     "render_table",
 ]

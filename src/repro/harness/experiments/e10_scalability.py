@@ -23,12 +23,32 @@ from repro.core.config import SystemConfig
 from repro.core.lossy import LossyRegisterClient, LossyRegisterServer
 from repro.core.register import RegisterSystem
 from repro.harness.metrics import history_metrics, messages_per_operation
+from repro.harness.parallel import parallel_map
 from repro.harness.runner import ExperimentReport, run_register_workload
 from repro.sim.channels import FairLossyChannel
 from repro.workloads.generators import read_heavy_scripts
 
 
-def run(seeds: int = 3, max_f: int = 3) -> ExperimentReport:
+def _fifo_trial(task: tuple[int, int, int]) -> tuple[float, float, float, int]:
+    """One (f, seed) resilience-scaling run (picklable for the pool)."""
+    f, seed, n_clients = task
+    n = 5 * f + 1
+    config = SystemConfig(n=n, f=f)
+    rng = random.Random(seed + 77)
+    scripts = read_heavy_scripts(
+        [f"c{i}" for i in range(n_clients)], rng, ops_per_client=6,
+        write_fraction=0.4,
+    )
+    result = run_register_workload(config, scripts, seed=seed)
+    return (
+        result.messages_per_op,
+        result.metrics.write_latency.mean,
+        result.metrics.read_latency.mean,
+        result.metrics.completed_writes + result.metrics.completed_reads,
+    )
+
+
+def run(seeds: int = 3, max_f: int = 3, jobs: int = 1) -> ExperimentReport:
     report = ExperimentReport(
         experiment="E10",
         claim="message complexity grows linearly in n; latency stays flat; "
@@ -44,28 +64,19 @@ def run(seeds: int = 3, max_f: int = 3) -> ExperimentReport:
         ],
     )
 
-    for f in range(1, max_f + 1):
-        n = 5 * f + 1
-        msgs: list[float] = []
-        wl: list[float] = []
-        rl: list[float] = []
-        ops = 0
-        for seed in range(seeds):
-            config = SystemConfig(n=n, f=f)
-            rng = random.Random(seed + 77)
-            scripts = read_heavy_scripts(
-                [f"c{i}" for i in range(3)], rng, ops_per_client=6,
-                write_fraction=0.4,
-            )
-            result = run_register_workload(config, scripts, seed=seed)
-            msgs.append(result.messages_per_op)
-            wl.append(result.metrics.write_latency.mean)
-            rl.append(result.metrics.read_latency.mean)
-            ops += result.metrics.completed_writes + result.metrics.completed_reads
+    fs = list(range(1, max_f + 1))
+    tasks = [(f, seed, 3) for f in fs for seed in range(seeds)]
+    outcomes = parallel_map(_fifo_trial, tasks, jobs=jobs)
+    for i, f in enumerate(fs):
+        cell = outcomes[i * seeds : (i + 1) * seeds]
+        msgs = [c[0] for c in cell]
+        wl = [c[1] for c in cell]
+        rl = [c[2] for c in cell]
+        ops = sum(c[3] for c in cell)
         report.rows.append(
             (
                 "fifo channels",
-                n,
+                5 * f + 1,
                 f,
                 round(sum(msgs) / len(msgs), 1),
                 round(sum(wl) / len(wl), 2),
@@ -76,7 +87,7 @@ def run(seeds: int = 3, max_f: int = 3) -> ExperimentReport:
 
     # Substrate comparison at f=1.
     for substrate in ("fifo", "fair-lossy + data-link"):
-        out = run_substrate(substrate, seeds=seeds)
+        out = run_substrate(substrate, seeds=seeds, jobs=jobs)
         report.rows.append(
             (
                 substrate,
@@ -91,40 +102,51 @@ def run(seeds: int = 3, max_f: int = 3) -> ExperimentReport:
     return report
 
 
-def run_substrate(substrate: str, seeds: int = 3, ops_per_client: int = 4) -> dict:
-    """One workload over a chosen channel substrate; aggregated metrics."""
-    msgs: list[float] = []
-    wl: list[float] = []
-    rl: list[float] = []
-    ops = 0
-    aborts = 0
-    for seed in range(seeds):
-        config = SystemConfig(n=6, f=1)
-        kwargs: dict = {}
-        if substrate != "fifo":
-            kwargs = dict(
-                channel_factory=lambda: FairLossyChannel(
-                    loss=0.15, duplication=0.05, fairness_bound=6, jitter=1.5
-                ),
-                server_cls=LossyRegisterServer,
-                client_cls=LossyRegisterClient,
-            )
-        system = RegisterSystem(config, seed=seed, n_clients=2, **kwargs)
-        for i in range(ops_per_client):
-            system.write_sync("c0", f"s{seed}.{i}")
-            system.read_sync("c1")
-        metrics = history_metrics(system.history)
-        msgs.append(
-            messages_per_operation(system.message_stats, system.history)
+def _substrate_trial(
+    task: tuple[str, int, int]
+) -> tuple[float, float, float, int, int]:
+    """One seed of the substrate-tax comparison (picklable for the pool)."""
+    substrate, seed, ops_per_client = task
+    config = SystemConfig(n=6, f=1)
+    kwargs: dict = {}
+    if substrate != "fifo":
+        kwargs = dict(
+            channel_factory=lambda: FairLossyChannel(
+                loss=0.15, duplication=0.05, fairness_bound=6, jitter=1.5
+            ),
+            server_cls=LossyRegisterServer,
+            client_cls=LossyRegisterClient,
         )
-        wl.append(metrics.write_latency.mean)
-        rl.append(metrics.read_latency.mean)
-        ops += metrics.completed_writes + metrics.completed_reads
-        aborts += metrics.aborted_reads
+    system = RegisterSystem(config, seed=seed, n_clients=2, **kwargs)
+    for i in range(ops_per_client):
+        system.write_sync("c0", f"s{seed}.{i}")
+        system.read_sync("c1")
+    metrics = history_metrics(system.history)
+    return (
+        messages_per_operation(system.message_stats, system.history),
+        metrics.write_latency.mean,
+        metrics.read_latency.mean,
+        metrics.completed_writes + metrics.completed_reads,
+        metrics.aborted_reads,
+    )
+
+
+def run_substrate(
+    substrate: str, seeds: int = 3, ops_per_client: int = 4, jobs: int = 1
+) -> dict:
+    """One workload over a chosen channel substrate; aggregated metrics."""
+    outcomes = parallel_map(
+        _substrate_trial,
+        [(substrate, seed, ops_per_client) for seed in range(seeds)],
+        jobs=jobs,
+    )
+    msgs = [o[0] for o in outcomes]
+    wl = [o[1] for o in outcomes]
+    rl = [o[2] for o in outcomes]
     return {
         "msgs_per_op": sum(msgs) / len(msgs),
         "write_mean": sum(wl) / len(wl),
         "read_mean": sum(rl) / len(rl),
-        "ops": ops,
-        "aborts": aborts,
+        "ops": sum(o[3] for o in outcomes),
+        "aborts": sum(o[4] for o in outcomes),
     }

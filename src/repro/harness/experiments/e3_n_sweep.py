@@ -22,12 +22,57 @@ import random
 
 from repro.byzantine.strategies import StaleReplayByzantine
 from repro.core.config import SystemConfig
+from repro.harness.parallel import parallel_map
 from repro.harness.runner import ExperimentReport, run_register_workload
 from repro.sim.adversary import UniformLatencyAdversary
 from repro.workloads.generators import read_heavy_scripts
 
 
-def run(f: int = 1, seeds: int = 8, n_clients: int = 3) -> ExperimentReport:
+def _one_trial(task: tuple[int, int, int, int]) -> tuple[int, int, int, int, int]:
+    """One (n, seed) cell: picklable counters for the parallel sweep.
+
+    Returns ``(stabilized, aborts, reads, violations, stuck)`` as 0/1 or
+    totals for this single run.
+    """
+    n, f, seed, n_clients = task
+    config = SystemConfig(n=n, f=f, enforce_resilience=False)
+    rng = random.Random(seed * 37 + n)
+    clients = [f"c{i}" for i in range(n_clients)]
+    scripts = read_heavy_scripts(
+        clients, rng, ops_per_client=5, write_fraction=0.4
+    )
+    byz = {f"s{n - i - 1}": StaleReplayByzantine.factory() for i in range(f)}
+    result = run_register_workload(
+        config,
+        scripts,
+        seed=seed,
+        byzantine=byz,
+        corrupt_at_start=True,
+        # Jittered delays randomize reply arrival order, so the
+        # Byzantine/corrupt coalition lands inside read quorums —
+        # under deterministic unit delays broadcast order would
+        # always push the adversary's replies past the quorum cut.
+        adversary=UniformLatencyAdversary(0.5, 2.0),
+    )
+    rep = result.stabilization
+    assert rep is not None
+    stabilized = int(rep.stabilized)
+    aborts = reads = violations = 0
+    if rep.suffix_verdict is not None:
+        reads = rep.suffix_verdict.checked_reads
+        aborts = rep.suffix_verdict.aborted_reads
+        violations = sum(
+            1
+            for v in rep.suffix_verdict.violations
+            if v.clause != "termination"
+        )
+    stuck = int(bool(result.metrics.pending_ops))
+    return stabilized, aborts, reads, violations, stuck
+
+
+def run(
+    f: int = 1, seeds: int = 8, n_clients: int = 3, jobs: int = 1
+) -> ExperimentReport:
     report = ExperimentReport(
         experiment="E3",
         claim="tightness of n = 5f + 1 under corruption + Byzantine pressure",
@@ -42,42 +87,14 @@ def run(f: int = 1, seeds: int = 8, n_clients: int = 3) -> ExperimentReport:
             "stuck runs",
         ],
     )
-    for n in range(3 * f + 1, 6 * f + 2):
-        stabilized = aborts = reads = violations = stuck = 0
-        for seed in range(seeds):
-            config = SystemConfig(n=n, f=f, enforce_resilience=False)
-            rng = random.Random(seed * 37 + n)
-            clients = [f"c{i}" for i in range(n_clients)]
-            scripts = read_heavy_scripts(
-                clients, rng, ops_per_client=5, write_fraction=0.4
-            )
-            byz = {f"s{n - i - 1}": StaleReplayByzantine.factory() for i in range(f)}
-            result = run_register_workload(
-                config,
-                scripts,
-                seed=seed,
-                byzantine=byz,
-                corrupt_at_start=True,
-                # Jittered delays randomize reply arrival order, so the
-                # Byzantine/corrupt coalition lands inside read quorums —
-                # under deterministic unit delays broadcast order would
-                # always push the adversary's replies past the quorum cut.
-                adversary=UniformLatencyAdversary(0.5, 2.0),
-            )
-            rep = result.stabilization
-            assert rep is not None
-            if rep.stabilized:
-                stabilized += 1
-            if rep.suffix_verdict is not None:
-                reads += rep.suffix_verdict.checked_reads
-                aborts += rep.suffix_verdict.aborted_reads
-                violations += sum(
-                    1
-                    for v in rep.suffix_verdict.violations
-                    if v.clause != "termination"
-                )
-            if result.metrics.pending_ops:
-                stuck += 1
+    ns = list(range(3 * f + 1, 6 * f + 2))
+    tasks = [(n, f, seed, n_clients) for n in ns for seed in range(seeds)]
+    outcomes = parallel_map(_one_trial, tasks, jobs=jobs)
+    for i, n in enumerate(ns):
+        cell = outcomes[i * seeds : (i + 1) * seeds]
+        stabilized, aborts, reads, violations, stuck = (
+            sum(col) for col in zip(*cell)
+        )
         rel = "=" if n == 5 * f + 1 else ("<" if n < 5 * f + 1 else ">")
         report.rows.append(
             (n, rel, seeds, stabilized, aborts, reads, violations, stuck)

@@ -22,39 +22,54 @@ import random
 
 from repro.byzantine.strategies import StaleReplayByzantine
 from repro.core.config import SystemConfig
+from repro.harness.parallel import parallel_map
 from repro.harness.runner import ExperimentReport, run_register_workload
 from repro.sim.adversary import UniformLatencyAdversary
 from repro.spec.history import OpKind
 from repro.workloads.generators import ScriptedOp, mixed_scripts, unique_value
 
 
-def _union_ablation(enable: bool, seeds: int, f: int) -> dict:
-    """Reads racing writes under jitter, with a Byzantine reply occupying
+def _union_trial(task: tuple[bool, int, int]) -> tuple[int, int, int, int]:
+    """One seed of the union-graph ablation (picklable for the pool).
+
+    Reads racing writes under jitter, with a Byzantine reply occupying
     one quorum slot: a read completing inside a write's propagation window
     sees the replicas split between old and new value and *needs* the
     union graph to answer instead of aborting."""
+    enable, seed, f = task
     n = 5 * f + 1
-    aborts = reads = violations = union_hits = 0
-    for seed in range(seeds):
-        config = SystemConfig(n=n, f=f, enable_union_graph=enable)
-        rng = random.Random(seed * 5 + 2)
-        scripts = mixed_scripts(
-            [f"c{i}" for i in range(4)], rng, ops_per_client=8,
-            write_fraction=0.5, max_gap=0.5,
-        )
-        result = run_register_workload(
-            config,
-            scripts,
-            seed=seed,
-            byzantine={f"s{n - 1}": StaleReplayByzantine.factory()},
-            adversary=UniformLatencyAdversary(0.3, 4.0),
-        )
-        m = result.metrics
-        aborts += m.aborted_reads
-        reads += m.completed_reads + m.aborted_reads
-        union_hits += result.system.read_path_stats()["union"]
-        if result.verdict is not None:
-            violations += len(result.verdict.violations)
+    config = SystemConfig(n=n, f=f, enable_union_graph=enable)
+    rng = random.Random(seed * 5 + 2)
+    scripts = mixed_scripts(
+        [f"c{i}" for i in range(4)], rng, ops_per_client=8,
+        write_fraction=0.5, max_gap=0.5,
+    )
+    result = run_register_workload(
+        config,
+        scripts,
+        seed=seed,
+        byzantine={f"s{n - 1}": StaleReplayByzantine.factory()},
+        adversary=UniformLatencyAdversary(0.3, 4.0),
+    )
+    m = result.metrics
+    violations = (
+        len(result.verdict.violations) if result.verdict is not None else 0
+    )
+    return (
+        m.aborted_reads,
+        m.completed_reads + m.aborted_reads,
+        violations,
+        result.system.read_path_stats()["union"],
+    )
+
+
+def _union_ablation(enable: bool, seeds: int, f: int, jobs: int = 1) -> dict:
+    outcomes = parallel_map(
+        _union_trial, [(enable, seed, f) for seed in range(seeds)], jobs=jobs
+    )
+    aborts, reads, violations, union_hits = (
+        sum(col) for col in zip(*outcomes)
+    )
     return {
         "aborts": aborts,
         "reads": reads,
@@ -169,75 +184,102 @@ def run_flush_attack(enable_flush: bool, park_delay: float, f: int = 1) -> dict:
     return {"r0": r0, "r1": r1, "r2": r2, "ok": verdict.ok}
 
 
-def _flush_ablation(enable: bool, seeds: int, f: int) -> dict:
+def _flush_trial(task: tuple[bool, int, int]) -> tuple[int, int, int]:
+    """One seed of the randomized FLUSH ablation (picklable)."""
+    enable, seed, f = task
     n = 5 * f + 1
-    aborts = reads = violations = 0
-    for seed in range(seeds):
-        config = SystemConfig(
-            n=n, f=f, enable_flush=enable, read_label_count=2
-        )
-        rng = random.Random(seed * 3 + 9)
-        scripts = {
-            "c0": [
-                ScriptedOp(OpKind.WRITE, unique_value("c0", i), 0.5)
-                for i in range(6)
-            ],
-            "c1": [ScriptedOp(OpKind.READ, delay=0.0) for _ in range(12)],
-            "c2": [ScriptedOp(OpKind.READ, delay=0.2) for _ in range(12)],
-        }
-        result = run_register_workload(
-            config,
-            scripts,
-            seed=seed,
-            byzantine={f"s{n - 1}": StaleReplayByzantine.factory()},
-            adversary=UniformLatencyAdversary(0.2, 10.0),
-        )
-        m = result.metrics
-        aborts += m.aborted_reads
-        reads += m.completed_reads + m.aborted_reads
-        if result.verdict is not None:
-            violations += len(result.verdict.violations)
+    config = SystemConfig(
+        n=n, f=f, enable_flush=enable, read_label_count=2
+    )
+    scripts = {
+        "c0": [
+            ScriptedOp(OpKind.WRITE, unique_value("c0", i), 0.5)
+            for i in range(6)
+        ],
+        "c1": [ScriptedOp(OpKind.READ, delay=0.0) for _ in range(12)],
+        "c2": [ScriptedOp(OpKind.READ, delay=0.2) for _ in range(12)],
+    }
+    result = run_register_workload(
+        config,
+        scripts,
+        seed=seed,
+        byzantine={f"s{n - 1}": StaleReplayByzantine.factory()},
+        adversary=UniformLatencyAdversary(0.2, 10.0),
+    )
+    m = result.metrics
+    violations = (
+        len(result.verdict.violations) if result.verdict is not None else 0
+    )
+    return (m.aborted_reads, m.completed_reads + m.aborted_reads, violations)
+
+
+def _flush_ablation(enable: bool, seeds: int, f: int, jobs: int = 1) -> dict:
+    outcomes = parallel_map(
+        _flush_trial, [(enable, seed, f) for seed in range(seeds)], jobs=jobs
+    )
+    aborts, reads, violations = (sum(col) for col in zip(*outcomes))
     return {"aborts": aborts, "reads": reads, "violations": violations}
 
 
-def _window_ablation(window: int, burst: int, seeds: int, f: int) -> dict:
-    """Slow readers straddling a fast write burst: a union-path read needs
+def _window_trial(task: tuple[int, int, int, int]) -> tuple[int, int, int]:
+    """One seed of the old_vals-window ablation (picklable).
+
+    Slow readers straddling a fast write burst: a union-path read needs
     a value common to every sampled replica's history window, so windows
     shorter than the number of writes a read straddles abort it."""
+    window, burst, seed, f = task
     n = 5 * f + 1
-    aborts = reads = union_hits = 0
-    for seed in range(seeds):
-        config = SystemConfig(n=n, f=f, old_vals_window=window)
-        scripts = {
-            "c0": [
-                ScriptedOp(OpKind.WRITE, unique_value("c0", i), 0.0)
-                for i in range(burst)
-            ],
-            "c1": [ScriptedOp(OpKind.READ, delay=0.3) for _ in range(burst)],
-            "c2": [ScriptedOp(OpKind.READ, delay=0.9) for _ in range(burst)],
-        }
-        result = run_register_workload(
-            config,
-            scripts,
-            seed=seed,
-            byzantine={f"s{n - 1}": StaleReplayByzantine.factory()},
-            adversary=UniformLatencyAdversary(0.3, 8.0),
-        )
-        m = result.metrics
-        aborts += m.aborted_reads
-        reads += m.completed_reads + m.aborted_reads
-        union_hits += result.system.read_path_stats()["union"]
+    config = SystemConfig(n=n, f=f, old_vals_window=window)
+    scripts = {
+        "c0": [
+            ScriptedOp(OpKind.WRITE, unique_value("c0", i), 0.0)
+            for i in range(burst)
+        ],
+        "c1": [ScriptedOp(OpKind.READ, delay=0.3) for _ in range(burst)],
+        "c2": [ScriptedOp(OpKind.READ, delay=0.9) for _ in range(burst)],
+    }
+    result = run_register_workload(
+        config,
+        scripts,
+        seed=seed,
+        byzantine={f"s{n - 1}": StaleReplayByzantine.factory()},
+        adversary=UniformLatencyAdversary(0.3, 8.0),
+    )
+    m = result.metrics
+    return (
+        m.aborted_reads,
+        m.completed_reads + m.aborted_reads,
+        result.system.read_path_stats()["union"],
+    )
+
+
+def _window_ablation(
+    window: int, burst: int, seeds: int, f: int, jobs: int = 1
+) -> dict:
+    outcomes = parallel_map(
+        _window_trial,
+        [(window, burst, seed, f) for seed in range(seeds)],
+        jobs=jobs,
+    )
+    aborts, reads, union_hits = (sum(col) for col in zip(*outcomes))
     return {"aborts": aborts, "reads": reads, "union_hits": union_hits}
 
 
-def run(f: int = 1, seeds: int = 4) -> ExperimentReport:
+def _attack_trial(task: tuple[bool, float, int]) -> int:
+    """One Lemma-5 park-delay step: 1 iff the read went stale (picklable)."""
+    enable, park, f = task
+    out = run_flush_attack(enable, park, f=f)
+    return int(out["r2"] == "old" or not out["ok"])
+
+
+def run(f: int = 1, seeds: int = 4, jobs: int = 1) -> ExperimentReport:
     report = ExperimentReport(
         experiment="E9",
         claim="each design ingredient earns its place",
         headers=["ablation", "setting", "reads", "aborts", "violations", "union-path reads"],
     )
     for enable in (True, False):
-        out = _union_ablation(enable, seeds, f)
+        out = _union_ablation(enable, seeds, f, jobs=jobs)
         report.rows.append(
             (
                 "union WTsG",
@@ -249,7 +291,7 @@ def run(f: int = 1, seeds: int = 4) -> ExperimentReport:
             )
         )
     for enable in (True, False):
-        out = _flush_ablation(enable, seeds, f)
+        out = _flush_ablation(enable, seeds, f, jobs=jobs)
         report.rows.append(
             (
                 "FLUSH handshake (random)",
@@ -263,14 +305,12 @@ def run(f: int = 1, seeds: int = 4) -> ExperimentReport:
     # The adversarial schedule (Lemma 5 mechanized): sweep the park delay
     # so the stale reply lands inside the label-reusing read's window.
     for enable in (True, False):
-        attacks = 0
-        stale_reads = 0
-        for step in range(16):
-            park = 5.0 + 0.5 * step
-            out = run_flush_attack(enable, park, f=f)
-            attacks += 1
-            if out["r2"] == "old" or not out["ok"]:
-                stale_reads += 1
+        parks = [5.0 + 0.5 * step for step in range(16)]
+        stale = parallel_map(
+            _attack_trial, [(enable, park, f) for park in parks], jobs=jobs
+        )
+        attacks = len(parks)
+        stale_reads = sum(stale)
         report.rows.append(
             (
                 "FLUSH handshake (Lemma 5 attack)",
@@ -282,7 +322,7 @@ def run(f: int = 1, seeds: int = 4) -> ExperimentReport:
             )
         )
     for window, burst in ((12, 10), (6, 10), (3, 10), (1, 10)):
-        out = _window_ablation(window, burst, seeds, f)
+        out = _window_ablation(window, burst, seeds, f, jobs=jobs)
         report.rows.append(
             (
                 "old_vals window",

@@ -199,20 +199,48 @@ def run_trial(recipe: TrialRecipe) -> Optional[Witness]:
 run_trial.last_stats = (0, 0)
 
 
+def _trial_outcome(
+    recipe: TrialRecipe,
+) -> tuple[Optional[Witness], int, int]:
+    """One trial's picklable summary: (witness-or-None, reads, aborts).
+
+    Module-level so a multiprocessing pool can ship it to workers; each
+    trial is a pure function of its recipe, which is what makes the
+    parallel campaign's output identical to the serial one.
+    """
+    witness = run_trial(recipe)
+    reads, aborts = run_trial.last_stats
+    return witness, reads, aborts
+
+
 def fuzz(
     trials: int = 50,
     n: int = 6,
     f: int = 1,
     master_seed: int = 0,
     stop_at_first: bool = False,
+    jobs: int = 1,
 ) -> FuzzReport:
-    """Run a fuzz campaign; see module docstring for the contract."""
+    """Run a fuzz campaign; see module docstring for the contract.
+
+    ``jobs > 1`` fans the trials out over a process pool
+    (:mod:`repro.harness.parallel`). Recipes are always drawn serially
+    from the master RNG before any trial runs, and outcomes are consumed
+    in recipe order, so the report — trial counts, witness list, read and
+    abort totals, and the point ``stop_at_first`` stops at — is identical
+    for every ``jobs`` value.
+    """
+    from repro.harness.parallel import parallel_imap
+
     rng = random.Random(master_seed)
+    recipes = [
+        sample_recipe(rng, n=n, f=f, trial_seed=rng.getrandbits(30))
+        for _ in range(trials)
+    ]
     report = FuzzReport(trials=0)
-    for trial in range(trials):
-        recipe = sample_recipe(rng, n=n, f=f, trial_seed=rng.getrandbits(30))
-        witness = run_trial(recipe)
-        reads, aborts = run_trial.last_stats
+    for witness, reads, aborts in parallel_imap(
+        _trial_outcome, recipes, jobs=jobs
+    ):
         report.trials += 1
         report.reads_checked += reads
         report.aborts += aborts

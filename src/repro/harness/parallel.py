@@ -1,0 +1,92 @@
+"""Deterministic parallel execution of independent trials.
+
+Every experiment sweep and fuzz campaign in this repo decomposes into
+independent ``(config, seed)`` trials, each a pure function of its recipe:
+a trial builds its own :class:`~repro.core.register.RegisterSystem`, drives
+it, and returns a picklable summary. That purity is what makes fanning
+trials out over a :mod:`multiprocessing` pool *safe*: workers share
+nothing, and the pool's order-preserving map means the merged result
+sequence is byte-identical to a serial run — parallelism can change
+wall-clock time and nothing else. The jobs-invariance regression test
+(``tests/harness/test_parallel.py``) enforces exactly that.
+
+``jobs <= 1`` never spawns processes (the default everywhere), so existing
+serial behaviour, tracebacks and determinism guarantees are untouched.
+
+Worker functions must be module-level callables (or ``functools.partial``
+over one) so they pickle; closures and lambdas will not.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Iterable, Iterator, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``--jobs`` value: ``None``/``0`` → all visible CPUs."""
+    if jobs is None or jobs == 0:
+        try:
+            return max(1, len(os.sched_getaffinity(0)))
+        except AttributeError:  # pragma: no cover - non-Linux fallback
+            return max(1, os.cpu_count() or 1)
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    jobs: int = 1,
+    chunksize: int | None = None,
+) -> list[R]:
+    """Map ``fn`` over ``items``, preserving input order in the result.
+
+    With ``jobs <= 1`` this is a plain in-process list comprehension; with
+    ``jobs > 1`` the items are fanned out over a worker pool. Either way
+    ``result[i] == fn(items[i])`` — the merge is deterministic by
+    construction, so a sweep's report rows cannot depend on ``jobs``.
+    """
+    work = list(items)
+    jobs = min(resolve_jobs(jobs), len(work))
+    if jobs <= 1:
+        return [fn(x) for x in work]
+    import multiprocessing
+
+    if chunksize is None:
+        # Small chunks keep the pool busy when trial costs are uneven
+        # (hostile configs vary by >10x); 1 task of overhead per trial is
+        # noise next to a simulator run.
+        chunksize = max(1, len(work) // (jobs * 4))
+    with multiprocessing.Pool(processes=jobs) as pool:
+        return pool.map(fn, work, chunksize=chunksize)
+
+
+def parallel_imap(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    jobs: int = 1,
+    chunksize: int = 1,
+) -> Iterator[R]:
+    """Ordered streaming variant of :func:`parallel_map`.
+
+    Yields ``fn(items[0]), fn(items[1]), ...`` in input order. The caller
+    may stop consuming early (e.g. a fuzz campaign's ``stop_at_first``);
+    with ``jobs > 1`` some later items may already have executed in
+    workers, but because consumption order equals input order, everything
+    the caller *observes* matches the serial run exactly.
+    """
+    work = list(items)
+    jobs = min(resolve_jobs(jobs), len(work))
+    if jobs <= 1:
+        for x in work:
+            yield fn(x)
+        return
+    import multiprocessing
+
+    with multiprocessing.Pool(processes=jobs) as pool:
+        yield from pool.imap(fn, work, chunksize=chunksize)

@@ -47,17 +47,20 @@ class ProfileResult:
         return "\n".join(lines)
 
 
-def profile_callable(
-    fn: Callable[[], Any], top: int = 30
-) -> ProfileResult:
-    """Run ``fn`` under cProfile; return its result plus the hot spots."""
+def _run_profiled(fn: Callable[[], Any]) -> tuple[cProfile.Profile, Any]:
+    """Execute ``fn`` under a fresh profiler; return (profiler, value)."""
     profiler = cProfile.Profile()
     profiler.enable()
     try:
         value = fn()
     finally:
         profiler.disable()
+    return profiler, value
 
+
+def _build_result(
+    profiler: cProfile.Profile, value: Any, top: int
+) -> ProfileResult:
     stream = io.StringIO()
     stats = pstats.Stats(profiler, stream=stream)
     stats.sort_stats(pstats.SortKey.CUMULATIVE)
@@ -78,3 +81,27 @@ def profile_callable(
     rows.sort(key=lambda r: r.cumtime, reverse=True)
     total = stats.total_tt
     return ProfileResult(value=value, total_time=total, rows=rows[:top])
+
+
+def profile_callable(
+    fn: Callable[[], Any], top: int = 30
+) -> ProfileResult:
+    """Run ``fn`` under cProfile; return its result plus the hot spots."""
+    profiler, value = _run_profiled(fn)
+    return _build_result(profiler, value, top)
+
+
+def profile_to_file(
+    fn: Callable[[], Any], path: str, top: int = 30
+) -> ProfileResult:
+    """Profile ``fn`` and dump the raw :mod:`pstats` data to ``path``.
+
+    The dump is the binary format ``pstats.Stats(path)`` reloads, which is
+    what flamegraph tooling (``snakeviz``, ``flameprof``, ``gprof2dot``)
+    consumes. Also returns the same structured :class:`ProfileResult` as
+    :func:`profile_callable`, so the CLI can both save and print.
+    Exposed as ``python -m repro profile <EXP> --out prof.pstats``.
+    """
+    profiler, value = _run_profiled(fn)
+    profiler.dump_stats(path)
+    return _build_result(profiler, value, top)

@@ -67,11 +67,24 @@ class AlonLabelingScheme(LabelingScheme):
             up to ``n`` gathered timestamps plus its own previous one).
     """
 
+    #: Cap on the per-scheme memo structures. Labels are tiny, so even the
+    #: cap is generous; it only matters for adversarial fuzz campaigns that
+    #: mint millions of random labels through one scheme instance.
+    _CACHE_LIMIT = 65536
+
     def __init__(self, k: int) -> None:
         if k < 2:
             raise ConfigurationError(f"k-SBLS requires k >= 2, got {k}")
         self.k = k
         self.domain_size = k * k + k + 1
+        # Memo of labels this scheme has already validated. AlonLabel is
+        # frozen/hashable, so a label that validated once validates forever
+        # *for this scheme's (k, domain)* — the set is per-instance, never
+        # shared across schemes with different k. Only positive verdicts
+        # are cached: corrupted lookalikes (wrong-size antistings, floats,
+        # out-of-domain stings) always take the full structural check.
+        self._validated: set[AlonLabel] = set()
+        self._sort_keys: dict[AlonLabel, tuple] = {}
 
     # ------------------------------------------------------------------
     # relation
@@ -138,6 +151,24 @@ class AlonLabelingScheme(LabelingScheme):
     # validation / utilities
     # ------------------------------------------------------------------
     def is_label(self, x: Any) -> bool:
+        try:
+            if x in self._validated:
+                return True
+        except TypeError:
+            # Corrupted lookalike with an unhashable field — a frozen
+            # dataclass hash dies on e.g. a list where the frozenset
+            # belongs. Fall through to the structural check (which
+            # rejects it) without caching anything.
+            pass
+        ok = self._is_label_uncached(x)
+        if ok:
+            if len(self._validated) >= self._CACHE_LIMIT:
+                self._validated.clear()
+            self._validated.add(x)
+        return ok
+
+    def _is_label_uncached(self, x: Any) -> bool:
+        """The full structural check (no memo); ground truth for the cache."""
         return (
             isinstance(x, AlonLabel)
             and isinstance(x.sting, int)
@@ -157,4 +188,10 @@ class AlonLabelingScheme(LabelingScheme):
 
     def sort_key(self, label: Label) -> Sequence[Any]:
         assert isinstance(label, AlonLabel)
-        return (label.sting, tuple(sorted(label.antistings)))
+        key = self._sort_keys.get(label)
+        if key is None:
+            key = (label.sting, tuple(sorted(label.antistings)))
+            if len(self._sort_keys) >= self._CACHE_LIMIT:
+                self._sort_keys.clear()
+            self._sort_keys[label] = key
+        return key

@@ -4,19 +4,23 @@ Events are totally ordered by ``(time, seq)`` where ``seq`` is a global
 insertion counter: two events scheduled for the same instant fire in
 insertion order. This makes every run a pure function of ``(config, seed)``
 — the property all reproduction experiments rely on.
+
+The heap stores plain ``(time, seq, event)`` tuples rather than the
+:class:`Event` handles themselves: tuple comparison runs entirely in C
+(``seq`` is unique, so the comparison never reaches the event object),
+while ordered dataclasses pay a Python-level ``__lt__`` call per sift
+step. The cancellable :class:`Event` handle API is unchanged.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Callable, Optional
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled callback.
+    """A scheduled callback (the cancellable handle returned by ``push``).
 
     Attributes:
         time: simulation time at which the callback fires.
@@ -26,15 +30,29 @@ class Event:
         cancelled: events may be cancelled in place; the queue skips them.
     """
 
-    time: float
-    seq: int
-    fn: Callable[[], None] = field(compare=False)
-    tag: str = field(default="", compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "seq", "fn", "tag", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[[], None],
+        tag: str = "",
+        cancelled: bool = False,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.tag = tag
+        self.cancelled = cancelled
 
     def cancel(self) -> None:
         """Mark the event so the queue drops it instead of firing it."""
         self.cancelled = True
+
+    def __repr__(self) -> str:
+        state = " cancelled" if self.cancelled else ""
+        return f"Event(t={self.time!r}, seq={self.seq}, tag={self.tag!r}{state})"
 
 
 class EventQueue:
@@ -47,7 +65,7 @@ class EventQueue:
     __slots__ = ("_heap", "_counter", "_live")
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list[tuple[float, int, Event]] = []
         self._counter = itertools.count()
         self._live = 0
 
@@ -60,15 +78,17 @@ class EventQueue:
 
     def push(self, time: float, fn: Callable[[], None], tag: str = "") -> Event:
         """Schedule ``fn`` at ``time`` and return the (cancellable) event."""
-        ev = Event(time=time, seq=next(self._counter), fn=fn, tag=tag)
-        heapq.heappush(self._heap, ev)
+        seq = next(self._counter)
+        ev = Event(time, seq, fn, tag)
+        heapq.heappush(self._heap, (time, seq, ev))
         self._live += 1
         return ev
 
     def pop(self) -> Optional[Event]:
         """Remove and return the earliest live event, or ``None`` if empty."""
-        while self._heap:
-            ev = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            ev = heapq.heappop(heap)[2]
             if ev.cancelled:
                 continue
             self._live -= 1
@@ -77,9 +97,10 @@ class EventQueue:
 
     def peek_time(self) -> Optional[float]:
         """Time of the earliest live event without removing it."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None
 
     def note_cancelled(self) -> None:
         """Account for an event cancelled externally via :meth:`Event.cancel`.
@@ -102,6 +123,11 @@ class EventQueue:
         injector uses this view to find them. The returned list is a copy —
         mutating it does not affect the queue, but mutating the *events*
         (e.g. replacing a message payload captured in ``fn`` via its
-        ``payload`` attribute) does.
+        ``payload`` attribute) does. Sorting happens on the heap's
+        ``(time, seq)`` keys, never on the event objects.
         """
-        return sorted(e for e in self._heap if not e.cancelled)
+        return [
+            entry[2]
+            for entry in sorted(self._heap)
+            if not entry[2].cancelled
+        ]

@@ -87,15 +87,34 @@ class Scheduler:
             raise SimulationError("re-entrant Scheduler.run")
         self._running = True
         count = 0
+        # The unbounded drain is the simulator's hottest loop (hundreds of
+        # thousands of events per experiment): inline `step` to skip one
+        # peek and one function call per event. Semantics are identical —
+        # pop, advance, budget-check, fire.
+        queue = self.queue
+        clock = self.clock
         try:
-            while True:
-                t = self.queue.peek_time()
-                if t is None:
-                    break
-                if until is not None and t > until:
-                    break
-                self.step()
-                count += 1
+            if until is None:
+                while True:
+                    ev = queue.pop()
+                    if ev is None:
+                        break
+                    clock.advance_to(ev.time)
+                    self.executed += 1
+                    if self.executed > self.max_events:
+                        raise SimulationError(
+                            f"event budget exhausted ({self.max_events} "
+                            "events) — likely a message storm or livelock"
+                        )
+                    ev.fn()
+                    count += 1
+            else:
+                while True:
+                    t = queue.peek_time()
+                    if t is None or t > until:
+                        break
+                    self.step()
+                    count += 1
         finally:
             self._running = False
         return count

@@ -43,6 +43,21 @@ class WeightedTimestampGraph:
         self.scheme = scheme
         self._witnesses: dict[WtsgNode, set[str]] = {}
         self._current_witnesses: dict[WtsgNode, set[str]] = {}
+        # Pairwise ≺ memo keyed by (timestamp, timestamp). Labels are
+        # frozen and the scheme is immutable, so a verdict never changes;
+        # the cache lets the O(V²) passes in `edges`/`maximal_among`/
+        # `_terminal_scc_members` evaluate each ordered pair at most once
+        # per graph however many of them a read executes.
+        self._precedes_cache: dict[tuple[Hashable, Hashable], bool] = {}
+
+    def _precedes(self, a: WtsgNode, b: WtsgNode) -> bool:
+        """Memoized ``scheme.precedes`` on the nodes' timestamps."""
+        key = (a.timestamp, b.timestamp)
+        cached = self._precedes_cache.get(key)
+        if cached is None:
+            cached = self.scheme.precedes(a.timestamp, b.timestamp)
+            self._precedes_cache[key] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # construction
@@ -96,7 +111,7 @@ class WeightedTimestampGraph:
         ]
 
     def edges(self) -> list[tuple[WtsgNode, WtsgNode]]:
-        """All ≺-edges among current nodes (diagnostics / tests).
+        """All ≺-edges among *all witnessed* nodes (diagnostics / tests).
 
         O(V²) — the reader's hot path never calls this; it only compares
         qualified nodes, of which there are at most a handful.
@@ -105,7 +120,7 @@ class WeightedTimestampGraph:
         out = []
         for a in nodes:
             for b in nodes:
-                if a is not b and self.scheme.precedes(a.timestamp, b.timestamp):
+                if a is not b and self._precedes(a, b):
                     out.append((a, b))
         return out
 
@@ -115,8 +130,7 @@ class WeightedTimestampGraph:
         out = []
         for a in pool:
             if not any(
-                b is not a and self.scheme.precedes(a.timestamp, b.timestamp)
-                for b in pool
+                b is not a and self._precedes(a, b) for b in pool
             ):
                 out.append(a)
         return out
@@ -143,7 +157,7 @@ class WeightedTimestampGraph:
         succ: list[list[int]] = [[] for _ in nodes]
         for a in nodes:
             for b in nodes:
-                if a is not b and self.scheme.precedes(a.timestamp, b.timestamp):
+                if a is not b and self._precedes(a, b):
                     succ[index[a]].append(index[b])
 
         # Tarjan SCC (iterative; qualified sets are tiny, but recursion-free

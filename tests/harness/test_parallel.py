@@ -1,0 +1,134 @@
+"""Parallel sweep executor: unit behaviour and jobs-invariance.
+
+The load-bearing guarantee is that ``--jobs`` is an *observationally
+inert* knob: the same sweep or campaign run serially and with a worker
+pool must produce byte-identical report rows, witness lists and counters.
+"""
+
+import pytest
+
+from repro.harness.parallel import parallel_imap, parallel_map, resolve_jobs
+
+
+def _square(x):
+    return x * x
+
+
+def _maybe_fail(x):
+    if x == 3:
+        raise ValueError("boom")
+    return x
+
+
+class TestResolveJobs:
+    def test_explicit_passthrough(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(7) == 7
+
+    def test_zero_and_none_mean_all_cpus(self):
+        assert resolve_jobs(0) >= 1
+        assert resolve_jobs(None) >= 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-2)
+
+
+class TestParallelMap:
+    def test_serial_path(self):
+        assert parallel_map(_square, [1, 2, 3], jobs=1) == [1, 4, 9]
+
+    def test_pool_path_preserves_order(self):
+        items = list(range(20))
+        assert parallel_map(_square, items, jobs=4) == [x * x for x in items]
+
+    def test_empty_input(self):
+        assert parallel_map(_square, [], jobs=4) == []
+
+    def test_single_item_never_spawns(self):
+        # jobs is clamped to len(items); one item runs in-process even
+        # with a large jobs value (no pool start-up cost per call site).
+        assert parallel_map(_square, [5], jobs=64) == [25]
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(ValueError, match="boom"):
+            parallel_map(_maybe_fail, [1, 2, 3, 4], jobs=2)
+
+    def test_serial_exception_propagates(self):
+        with pytest.raises(ValueError, match="boom"):
+            parallel_map(_maybe_fail, [1, 2, 3, 4], jobs=1)
+
+
+class TestParallelImap:
+    def test_ordered_streaming(self):
+        assert list(parallel_imap(_square, [3, 1, 2], jobs=2)) == [9, 1, 4]
+
+    def test_early_stop(self):
+        seen = []
+        for value in parallel_imap(_square, list(range(10)), jobs=2):
+            seen.append(value)
+            if value >= 9:
+                break
+        assert seen == [0, 1, 4, 9]
+
+
+class TestJobsInvariance:
+    """The regression guard demanded by the determinism contract."""
+
+    def test_fuzz_campaign_identical_across_jobs(self):
+        from repro.harness.fuzz import fuzz
+
+        serial = fuzz(trials=10, n=4, f=1, master_seed=3, jobs=1)
+        pooled = fuzz(trials=10, n=4, f=1, master_seed=3, jobs=4)
+        assert serial.trials == pooled.trials
+        assert serial.reads_checked == pooled.reads_checked
+        assert serial.aborts == pooled.aborts
+        assert [(w.kind, w.recipe) for w in serial.witnesses] == [
+            (w.kind, w.recipe) for w in pooled.witnesses
+        ]
+        assert serial.summary() == pooled.summary()
+
+    def test_fuzz_stop_at_first_identical_across_jobs(self):
+        from repro.harness.fuzz import fuzz
+
+        serial = fuzz(
+            trials=20, n=4, f=1, master_seed=0, stop_at_first=True, jobs=1
+        )
+        pooled = fuzz(
+            trials=20, n=4, f=1, master_seed=0, stop_at_first=True, jobs=4
+        )
+        assert serial.trials == pooled.trials
+        assert [w.recipe for w in serial.witnesses] == [
+            w.recipe for w in pooled.witnesses
+        ]
+
+    def test_e3_sweep_rows_identical_across_jobs(self):
+        from repro.harness.experiments import e3_n_sweep
+
+        serial = e3_n_sweep.run(f=1, seeds=2, jobs=1)
+        pooled = e3_n_sweep.run(f=1, seeds=2, jobs=4)
+        assert serial.headers == pooled.headers
+        assert serial.rows == pooled.rows
+        assert serial.to_csv() == pooled.to_csv()
+
+    def test_e10_substrate_identical_across_jobs(self):
+        from repro.harness.experiments.e10_scalability import run_substrate
+
+        serial = run_substrate("fifo", seeds=2, ops_per_client=2, jobs=1)
+        pooled = run_substrate("fifo", seeds=2, ops_per_client=2, jobs=2)
+        assert serial == pooled
+
+
+class TestCliJobs:
+    def test_fuzz_jobs_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["fuzz", "--trials", "6", "--jobs", "2"]) == 0
+        assert "CLEAN" in capsys.readouterr().out
+
+    def test_run_jobs_flag_on_serial_experiment(self, capsys):
+        # E1 takes no jobs kwarg; --jobs must be silently ignored for it.
+        from repro.cli import main
+
+        assert main(["run", "E1", "--jobs", "2"]) == 0
+        assert "E1" in capsys.readouterr().out

@@ -1,6 +1,6 @@
 """Profiling helper tests."""
 
-from repro.harness.profiling import profile_callable
+from repro.harness.profiling import profile_callable, profile_to_file
 
 
 class TestProfileCallable:
@@ -28,6 +28,33 @@ class TestProfileCallable:
             profile_callable(boom)
 
 
+class TestProfileToFile:
+    def test_dumps_loadable_pstats(self, tmp_path):
+        import pstats
+
+        path = tmp_path / "work.pstats"
+
+        def work():
+            return sum(i * i for i in range(5000))
+
+        result = profile_to_file(work, str(path))
+        assert result.value == sum(i * i for i in range(5000))
+        assert result.rows
+        stats = pstats.Stats(str(path))
+        assert stats.total_tt >= 0
+
+    def test_exception_still_no_partial_dump_needed(self, tmp_path):
+        import pytest
+
+        path = tmp_path / "boom.pstats"
+
+        def boom():
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            profile_to_file(boom, str(path))
+
+
 class TestCliProfile:
     def test_profile_command(self, capsys):
         from repro.cli import main
@@ -35,6 +62,17 @@ class TestCliProfile:
         assert main(["profile", "E5", "--top", "5"]) == 0
         out = capsys.readouterr().out
         assert "cumulative time" in out
+
+    def test_profile_out_flag_writes_pstats(self, tmp_path, capsys):
+        import pstats
+
+        from repro.cli import main
+
+        path = tmp_path / "e5.pstats"
+        assert main(["profile", "E5", "--top", "5", "--out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "raw pstats written" in out
+        assert pstats.Stats(str(path)).total_tt >= 0
 
     def test_profile_unknown(self, capsys):
         from repro.cli import main

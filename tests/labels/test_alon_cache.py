@@ -1,0 +1,128 @@
+"""Memoized label validation must agree with the uncached ground truth.
+
+The cache in :class:`AlonLabelingScheme` exists purely for speed; these
+tests pin the safety property: a cached verdict must never accept a label
+the uncached structural check rejects — including corrupted lookalikes
+built to collide with, or sit near, genuinely valid labels.
+"""
+
+import random
+
+from repro.labels.alon import AlonLabel, AlonLabelingScheme
+
+
+def make_scheme(k=3):
+    return AlonLabelingScheme(k=k)
+
+
+class TestCacheAgreesWithGroundTruth:
+    def test_valid_label_cached_and_stable(self):
+        s = make_scheme()
+        lab = s.initial_label()
+        assert s.is_label(lab)
+        # Second call hits the memo; verdict must not change.
+        assert s.is_label(lab)
+        assert s._is_label_uncached(lab)
+
+    def test_random_labels_verdicts_match_uncached(self):
+        s = make_scheme(k=4)
+        rng = random.Random(0)
+        labels = [s.random_label(rng) for _ in range(50)]
+        for lab in labels:
+            assert s.is_label(lab) == s._is_label_uncached(lab)
+        # And again from the warmed cache.
+        for lab in labels:
+            assert s.is_label(lab) == s._is_label_uncached(lab)
+
+    def test_corrupted_variants_always_rejected(self):
+        s = make_scheme()
+        good = s.initial_label()
+        assert s.is_label(good)  # warm the cache with the valid one
+        corrupted = [
+            AlonLabel(sting=-1, antistings=good.antistings),
+            AlonLabel(sting=s.domain_size, antistings=good.antistings),
+            AlonLabel(sting="0", antistings=good.antistings),
+            AlonLabel(sting=good.sting, antistings=frozenset()),
+            AlonLabel(
+                sting=good.sting,
+                antistings=frozenset(range(s.k + 1)),  # oversized
+            ),
+            AlonLabel(
+                sting=good.sting,
+                antistings=frozenset({0, 1, s.domain_size}),  # out of domain
+            ),
+            AlonLabel(
+                sting=good.sting,
+                antistings=frozenset({0.5, 1, 2}),  # non-int member
+            ),
+            "not a label",
+            None,
+            (good.sting, good.antistings),
+        ]
+        for bad in corrupted:
+            assert not s.is_label(bad), bad
+            # Repeat: a negative verdict is never cached into a positive.
+            assert not s.is_label(bad), bad
+
+    def test_unhashable_corruption_rejected_without_crash(self):
+        s = make_scheme()
+        # A frozen dataclass instance can still be minted with a mutable
+        # field; hashing it raises TypeError. The cache lookup must fall
+        # through to the structural check and reject.
+        mutant = AlonLabel(sting=0, antistings=[0, 1, 2])  # type: ignore[arg-type]
+        assert not s.is_label(mutant)
+        assert not s.is_label(mutant)
+
+    def test_cache_is_per_scheme_instance(self):
+        # A label valid for k=3 is invalid for k=4 (antistings size); one
+        # scheme's warm cache must never leak into another's verdict.
+        s3 = make_scheme(k=3)
+        s4 = make_scheme(k=4)
+        lab3 = s3.initial_label()
+        assert s3.is_label(lab3)
+        assert not s4.is_label(lab3)
+        assert s3.is_label(lab3)  # still valid where it belongs
+
+    def test_cache_bound_resets_not_grows(self):
+        s = make_scheme()
+        s._CACHE_LIMIT = 8  # shrink the cap for the test
+        rng = random.Random(1)
+        for _ in range(50):
+            s.is_label(s.random_label(rng))
+        assert len(s._validated) <= 8
+
+    def test_precedes_on_corrupted_operands_is_false(self):
+        s = make_scheme()
+        good = s.initial_label()
+        bad = AlonLabel(sting=s.domain_size + 3, antistings=good.antistings)
+        assert not s.precedes(good, bad)
+        assert not s.precedes(bad, good)
+        # Warmed cache for `good` must not change the verdicts.
+        assert not s.precedes(good, bad)
+        assert not s.precedes(bad, good)
+
+
+class TestSortKeyMemo:
+    def test_sort_key_stable_and_correct(self):
+        s = make_scheme(k=4)
+        rng = random.Random(2)
+        labels = [s.random_label(rng) for _ in range(20)]
+        first = [s.sort_key(lab) for lab in labels]
+        second = [s.sort_key(lab) for lab in labels]
+        assert first == second
+        for lab, key in zip(labels, first):
+            assert key == (lab.sting, tuple(sorted(lab.antistings)))
+
+    def test_sort_key_orders_deterministically(self):
+        s = make_scheme()
+        rng = random.Random(3)
+        labels = [s.random_label(rng) for _ in range(30)]
+        assert sorted(labels, key=s.sort_key) == sorted(labels, key=s.sort_key)
+
+    def test_sort_key_memo_bounded(self):
+        s = make_scheme()
+        s._CACHE_LIMIT = 8
+        rng = random.Random(4)
+        for _ in range(50):
+            s.sort_key(s.random_label(rng))
+        assert len(s._sort_keys) <= 8

@@ -93,6 +93,100 @@ class TestEventQueue:
         snap = q.snapshot()
         assert snap == [e1, e3]
 
+    def test_snapshot_same_time_insertion_order(self):
+        q = EventQueue()
+        evs = [q.push(1.0, lambda: None, tag=f"e{i}") for i in range(5)]
+        assert q.snapshot() == evs
+
+
+class TestCancellationAccounting:
+    """len/peek bookkeeping across the two cancellation paths."""
+
+    def test_event_cancel_alone_leaves_len_stale(self):
+        # Event.cancel marks the event but cannot reach the queue; the
+        # documented contract is that the caller must note_cancelled().
+        q = EventQueue()
+        ev = q.push(1.0, lambda: None)
+        ev.cancel()
+        assert len(q) == 1  # stale until note_cancelled
+        q.note_cancelled()
+        assert len(q) == 0
+        assert not q
+
+    def test_cancel_event_equals_cancel_plus_note(self):
+        a = EventQueue()
+        ev_a = a.push(1.0, lambda: None)
+        a.push(2.0, lambda: None)
+        a.cancel_event(ev_a)
+
+        b = EventQueue()
+        ev_b = b.push(1.0, lambda: None)
+        b.push(2.0, lambda: None)
+        ev_b.cancel()
+        b.note_cancelled()
+
+        assert len(a) == len(b) == 1
+        assert a.peek_time() == b.peek_time() == 2.0
+
+    def test_cancel_event_after_external_cancel_does_not_double_count(self):
+        q = EventQueue()
+        ev = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        ev.cancel()
+        q.note_cancelled()
+        q.cancel_event(ev)  # already cancelled: must be a no-op
+        assert len(q) == 1
+
+    def test_peek_time_lazily_drops_cancelled_head(self):
+        q = EventQueue()
+        e1 = q.push(1.0, lambda: None)
+        e2 = q.push(2.0, lambda: None)
+        q.push(3.0, lambda: None)
+        q.cancel_event(e1)
+        q.cancel_event(e2)
+        assert q.peek_time() == 3.0
+        assert len(q) == 1
+        # peek's lazy cleanup physically removed the cancelled heads;
+        # the next pop is the live event directly.
+        assert q.pop().time == 3.0
+        assert q.pop() is None
+
+    def test_pop_skips_cancelled_and_len_tracks(self):
+        q = EventQueue()
+        evs = [q.push(float(i), lambda: None) for i in range(6)]
+        for ev in evs[::2]:
+            q.cancel_event(ev)
+        assert len(q) == 3
+        popped = []
+        while (ev := q.pop()) is not None:
+            popped.append(ev.time)
+        assert popped == [1.0, 3.0, 5.0]
+        assert len(q) == 0
+
+    def test_cancel_popped_event_still_pops_remainder(self):
+        # Cancelling an event that already fired is caller misuse (the
+        # queue cannot distinguish it from a live event by flag alone),
+        # but it must never lose events still in the heap.
+        q = EventQueue()
+        ev = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        assert q.pop() is ev
+        q.cancel_event(ev)  # late cancel of a fired event
+        assert ev.cancelled
+        assert q.pop() is not None
+        assert q.pop() is None
+
+    def test_interleaved_push_cancel_pop_len(self):
+        q = EventQueue()
+        a = q.push(1.0, lambda: None)
+        b = q.push(2.0, lambda: None)
+        q.cancel_event(a)
+        c = q.push(0.5, lambda: None)
+        assert len(q) == 2
+        assert q.pop() is c
+        assert q.pop() is b
+        assert len(q) == 0
+
 
 class TestScheduler:
     def test_call_in_advances_clock(self):

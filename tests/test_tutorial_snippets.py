@@ -21,6 +21,14 @@ class TimeWarp(ByzantineServer):
         self.send(src, TsReply(ts=self.scheme.initial_label()))
 
 
+def _my_trial(task):
+    """Section 9's `my_trial`: a picklable module-level trial function."""
+    n, seed = task
+    system = RegisterSystem(SystemConfig(n=n, f=1), seed=seed, n_clients=2)
+    system.write_sync("c0", f"t{seed}")
+    return system.read_sync("c1")
+
+
 class TestTutorial:
     def test_section_1_deploy(self):
         config = SystemConfig(n=6, f=1)
@@ -94,3 +102,25 @@ class TestTutorial:
         out = tmp_path / "run.json"
         out.write_text(history_to_json(system.history))
         assert out.stat().st_size > 0
+
+    def test_section_9_parallel_and_profile(self, tmp_path):
+        from repro.harness.fuzz import fuzz
+        from repro.harness.parallel import parallel_map
+        from repro.harness.profiling import profile_to_file
+
+        serial = fuzz(trials=4, n=6, f=1, master_seed=6, jobs=1)
+        pooled = fuzz(trials=4, n=6, f=1, master_seed=6, jobs=2)
+        assert serial.summary() == pooled.summary()
+
+        outcomes = parallel_map(
+            _my_trial, [(6, seed) for seed in range(4)], jobs=2
+        )
+        assert outcomes == [f"t{seed}" for seed in range(4)]
+
+        prof = tmp_path / "prof.pstats"
+        result = profile_to_file(lambda: sum(range(1000)), str(prof))
+        assert result.value == sum(range(1000))
+        assert prof.stat().st_size > 0
+        import pstats
+
+        assert pstats.Stats(str(prof)).total_tt >= 0
