@@ -6,12 +6,39 @@ selections; regressions here multiply across every table.
 """
 
 import random
+import time
 
 from repro.core.config import SystemConfig
 from repro.core.register import RegisterSystem
 from repro.labels.alon import AlonLabelingScheme
 from repro.sim.scheduler import Scheduler
+from repro.spec.history import History, OpKind
+from repro.spec.regularity import RegularityChecker
+from repro.spec.stabilization import StabilizationAnalyzer
 from repro.wtsg.graph import WeightedTimestampGraph
+
+
+def checker_workout_history(n_pairs: int = 110) -> History:
+    """A regular history stressing the checker's edge collection.
+
+    Each round issues two *concurrent* writes then a read returning the
+    later one, so every read's set of preceding writes spans the whole
+    prefix — the worst case for the naive O(W²) pairwise scan and the
+    case the sweep-line frontier collapses to O(log W) per read.
+    ``n_pairs=110`` gives 220 writes, past the 200-write mark the
+    acceptance criteria measure.
+    """
+    h = History()
+    t = 0.0
+    for i in range(n_pairs):
+        a = h.invoke("w0", OpKind.WRITE, t, argument=2 * i)
+        b = h.invoke("w1", OpKind.WRITE, t + 1.0, argument=2 * i + 1)
+        h.respond(a, t + 2.0)
+        h.respond(b, t + 3.0)
+        rd = h.invoke("r0", OpKind.READ, t + 4.0)
+        h.respond(rd, t + 5.0, result=2 * i + 1)
+        t += 6.0
+    return h
 
 
 def test_scheduler_event_throughput(benchmark):
@@ -109,6 +136,63 @@ def test_corrupted_recovery_cycle(benchmark):
 
     result = benchmark(cycle)
     assert str(result).startswith("r")
+
+
+def test_regularity_check_throughput(benchmark):
+    """Full regularity check of a 220-write / 110-read history (sweep path)."""
+    history = checker_workout_history()
+    checker = RegularityChecker()
+
+    verdict = benchmark(checker.check, history)
+    assert verdict.ok and len(verdict.write_order) == 220
+
+    # Acceptance guard: the sweep construction must beat the retained
+    # naive oracle by >= 2x on this history (measured here coarsely; the
+    # trajectory snapshot records the absolute medians).
+    naive = RegularityChecker(algorithm="naive")
+    reps = 3
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        checker.check(history)
+    sweep_s = (time.perf_counter() - t0) / reps
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        naive.check(history)
+    naive_s = (time.perf_counter() - t0) / reps
+    assert naive_s >= 2.0 * sweep_s, (
+        f"sweep {sweep_s * 1e3:.2f}ms vs naive {naive_s * 1e3:.2f}ms"
+    )
+
+
+def test_broadcast_fanout_throughput(benchmark):
+    """Cost of 200 batched 15-destination broadcasts plus their deliveries."""
+    from repro.sim.environment import SimEnvironment
+    from repro.sim.process import Process
+
+    env = SimEnvironment(seed=0)
+    procs = [Process(f"p{i}", env) for i in range(16)]
+    dsts = [p.pid for p in procs[1:]]
+
+    def fanout():
+        for _ in range(200):
+            env.network.broadcast("p0", dsts, "payload")
+        env.run()
+        return env.network.stats.total_delivered
+
+    assert benchmark(fanout) > 0
+
+
+def test_stabilization_suffix_search(benchmark):
+    """Index once, then binary-search the earliest stable suffix point."""
+    history = checker_workout_history()
+    checker = RegularityChecker()
+    candidates = sorted({op.invoked_at for op in history})
+
+    def search():
+        analyzer = StabilizationAnalyzer(history, checker)
+        return analyzer.earliest_stable_point(candidates)
+
+    assert benchmark(search) == candidates[0]  # regular: stable from the start
 
 
 def test_fuzz_trial_throughput(benchmark):

@@ -16,6 +16,12 @@ Commands:
 ``--jobs`` fans independent trials over a process pool; every sweep's
 output is byte-identical to the serial run (see
 :mod:`repro.harness.parallel`).
+
+``--trace {off,stats,full}`` (demo, check, fuzz) sets the observability
+level: ``off`` drops all message accounting for maximum throughput,
+``stats`` (default) keeps the per-type/per-process counters, ``full``
+additionally records every network event (``demo --trace full`` prints a
+sequence chart). Verdicts are identical at every level.
 """
 
 from __future__ import annotations
@@ -84,12 +90,12 @@ def _cmd_reproduce_all(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_demo(_: argparse.Namespace) -> int:
+def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.core import RegisterSystem, SystemConfig
     from repro.spec import evaluate_stabilization
 
     config = SystemConfig(n=6, f=1)
-    system = RegisterSystem(config, seed=2026, n_clients=3)
+    system = RegisterSystem(config, seed=2026, n_clients=3, trace=args.trace)
     print(f"deployed: {config.describe()}")
     system.write_sync("c0", "hello world")
     print("c1 reads:", system.read_sync("c1"))
@@ -104,6 +110,11 @@ def _cmd_demo(_: argparse.Namespace) -> int:
         system.history, system.checker(), last_fault_time=fault_time
     )
     print(report.summary())
+    if args.trace == "full":
+        from repro.sim.visualize import render_sequence_chart
+
+        print()
+        print(render_sequence_chart(system.env.network.trace, limit=30))
     return 0 if report.stabilized else 1
 
 
@@ -138,6 +149,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         master_seed=args.seed,
         stop_at_first=args.stop_at_first,
         jobs=args.jobs,
+        trace=args.trace,
     )
     print(report.summary())
     for witness in report.witnesses[: args.show]:
@@ -163,6 +175,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         SystemConfig(n=5 * args.f + 1, f=args.f),
         seed=args.seed,
         n_clients=args.clients,
+        trace=args.trace,
     )
     system.corrupt_servers()
     system.corrupt_clients()
@@ -203,9 +216,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--jobs", type=int, default=1, help=jobs_help)
 
+    trace_help = (
+        "observability level: off (fastest), stats (message counters; "
+        "default), full (counters + per-event trace records)"
+    )
+
     rall = sub.add_parser("reproduce-all", help="regenerate every table")
     rall.add_argument("--jobs", type=int, default=1, help=jobs_help)
-    sub.add_parser("demo", help="narrated quickstart scenario")
+    demo = sub.add_parser("demo", help="narrated quickstart scenario")
+    demo.add_argument(
+        "--trace", choices=("off", "stats", "full"), default="stats",
+        help=trace_help,
+    )
 
     profile = sub.add_parser(
         "profile", help="profile one experiment (cProfile, top hot spots)"
@@ -226,6 +248,10 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--f", type=int, default=1)
     check.add_argument("--clients", type=int, default=3)
     check.add_argument("--ops", type=int, default=6)
+    check.add_argument(
+        "--trace", choices=("off", "stats", "full"), default="stats",
+        help=trace_help,
+    )
 
     fuzz = sub.add_parser(
         "fuzz",
@@ -238,6 +264,10 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--show", type=int, default=3, help="witnesses to print")
     fuzz.add_argument("--stop-at-first", action="store_true")
     fuzz.add_argument("--jobs", type=int, default=1, help=jobs_help)
+    fuzz.add_argument(
+        "--trace", choices=("off", "stats", "full"), default="stats",
+        help=trace_help,
+    )
 
     return parser
 

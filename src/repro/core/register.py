@@ -70,6 +70,9 @@ class RegisterSystem:
         namespace: prefix for every process id of this deployment, so
             deployments sharing an environment do not collide (e.g.
             ``namespace="cart:"`` gives servers ``cart:s0`` ...).
+        trace: observability level forwarded to the environment
+            (``off`` | ``stats`` | ``full``); ignored when ``env`` is
+            supplied.
     """
 
     def __init__(
@@ -86,6 +89,7 @@ class RegisterSystem:
         max_events: int = 50_000_000,
         env: Optional[SimEnvironment] = None,
         namespace: str = "",
+        trace: str = "stats",
     ) -> None:
         if n_clients < 1:
             raise ConfigurationError("need at least one client")
@@ -110,6 +114,7 @@ class RegisterSystem:
             adversary=adversary,
             channel_factory=channel_factory,
             max_events=max_events,
+            trace=trace,
         )
         self.history = History()
         self.recorder = HistoryRecorder(self.history, lambda: self.env.now)

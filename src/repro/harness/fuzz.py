@@ -19,6 +19,7 @@ Used by ``python -m repro fuzz`` and the validation tests.
 
 from __future__ import annotations
 
+import functools
 import random
 from dataclasses import dataclass, field
 from typing import Any, Optional
@@ -117,8 +118,13 @@ def sample_recipe(
     )
 
 
-def run_trial(recipe: TrialRecipe) -> Optional[Witness]:
-    """Execute one recipe; return a witness iff it misbehaved."""
+def run_trial(recipe: TrialRecipe, trace: str = "stats") -> Optional[Witness]:
+    """Execute one recipe; return a witness iff it misbehaved.
+
+    ``trace`` sets the simulation's observability level
+    (``off`` | ``stats`` | ``full``); verdicts are identical at every
+    level, ``off`` being the fastest for large campaigns.
+    """
     config = SystemConfig(
         n=recipe.n, f=recipe.f, enforce_resilience=False
     )
@@ -138,6 +144,7 @@ def run_trial(recipe: TrialRecipe) -> Optional[Witness]:
         n_clients=recipe.n_clients,
         adversary=adversary,
         byzantine=byz,
+        trace=trace,
     )
 
     last_fault = 0.0
@@ -200,7 +207,7 @@ run_trial.last_stats = (0, 0)
 
 
 def _trial_outcome(
-    recipe: TrialRecipe,
+    recipe: TrialRecipe, trace: str = "stats"
 ) -> tuple[Optional[Witness], int, int]:
     """One trial's picklable summary: (witness-or-None, reads, aborts).
 
@@ -208,7 +215,7 @@ def _trial_outcome(
     trial is a pure function of its recipe, which is what makes the
     parallel campaign's output identical to the serial one.
     """
-    witness = run_trial(recipe)
+    witness = run_trial(recipe, trace=trace)
     reads, aborts = run_trial.last_stats
     return witness, reads, aborts
 
@@ -220,6 +227,7 @@ def fuzz(
     master_seed: int = 0,
     stop_at_first: bool = False,
     jobs: int = 1,
+    trace: str = "stats",
 ) -> FuzzReport:
     """Run a fuzz campaign; see module docstring for the contract.
 
@@ -237,9 +245,14 @@ def fuzz(
         sample_recipe(rng, n=n, f=f, trial_seed=rng.getrandbits(30))
         for _ in range(trials)
     ]
+    trial_fn = (
+        _trial_outcome
+        if trace == "stats"
+        else functools.partial(_trial_outcome, trace=trace)
+    )
     report = FuzzReport(trials=0)
     for witness, reads, aborts in parallel_imap(
-        _trial_outcome, recipes, jobs=jobs
+        trial_fn, recipes, jobs=jobs
     ):
         report.trials += 1
         report.reads_checked += reads

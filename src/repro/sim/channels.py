@@ -88,7 +88,14 @@ class FairLossyChannel(Channel):
             earlier ones).
     """
 
-    __slots__ = ("loss", "duplication", "fairness_bound", "jitter", "_consecutive_drops")
+    __slots__ = (
+        "loss",
+        "duplication",
+        "fairness_bound",
+        "jitter",
+        "_consecutive_drops",
+        "_last_jittered",
+    )
 
     def __init__(
         self,
@@ -108,6 +115,7 @@ class FairLossyChannel(Channel):
         self.fairness_bound = fairness_bound
         self.jitter = jitter
         self._consecutive_drops = 0
+        self._last_jittered = -1.0  # latest planned delivery (diagnostics)
 
     def plan(
         self, env: Envelope, now: float, latency: float, rng: random.Random
@@ -122,7 +130,11 @@ class FairLossyChannel(Channel):
         times = [now + latency + rng.uniform(0.0, self.jitter)]
         if rng.random() < self.duplication:
             times.append(now + latency + rng.uniform(0.0, self.jitter))
+        last = max(times)
+        if last > self._last_jittered:
+            self._last_jittered = last
         return times
 
     def reset(self) -> None:
         self._consecutive_drops = 0
+        self._last_jittered = -1.0

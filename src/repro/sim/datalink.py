@@ -299,6 +299,16 @@ class DataLinkMixin:
             return
         self.datalink.send_app(dst, payload)
 
+    def broadcast(self, dsts: Any, payload: Any) -> None:  # type: ignore[override]
+        """Per-destination sends through the link.
+
+        The base class hands broadcasts to the network's batched fast path,
+        which would bypass the data-link entirely; every fan-out destination
+        must instead enter its own per-pair link instance.
+        """
+        for dst in dsts:
+            self.send(dst, payload)
+
     def receive(self, src: str, payload: Any) -> None:  # type: ignore[override]
         if self.crashed:  # type: ignore[attr-defined]
             return

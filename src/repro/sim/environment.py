@@ -38,6 +38,9 @@ class SimEnvironment:
         channel_factory: per-pair channel policy constructor (default:
             reliable FIFO, the paper's baseline assumption).
         max_events: scheduler safety cap.
+        trace: observability level — ``"off"`` (no stats, no records, the
+            fastest), ``"stats"`` (message counters only; the default) or
+            ``"full"`` (counters plus a per-event trace record stream).
     """
 
     def __init__(
@@ -46,6 +49,7 @@ class SimEnvironment:
         adversary: Optional[Adversary] = None,
         channel_factory: Callable[[], Channel] = FifoChannel,
         max_events: int = 50_000_000,
+        trace: str = "stats",
     ) -> None:
         self.seed = seed
         self.scheduler = Scheduler(max_events=max_events)
@@ -55,6 +59,7 @@ class SimEnvironment:
             rng=random.Random(derive_seed(seed, "network")),
             channel_factory=channel_factory,
         )
+        self.network.set_trace_level(trace)
 
     # ------------------------------------------------------------------
     # randomness

@@ -84,6 +84,27 @@ class EventQueue:
         self._live += 1
         return ev
 
+    def push_many(
+        self, entries: list[tuple[float, Callable[[], None], str]]
+    ) -> list[Event]:
+        """Schedule ``(time, fn, tag)`` entries in order; one heap pass each.
+
+        Sequence numbers are assigned in list order, so the result is
+        indistinguishable from calling :meth:`push` in a loop — the batched
+        form exists for hot callers (broadcast fan-out) that want to skip
+        per-call attribute lookups and bounds checks.
+        """
+        heap = self._heap
+        counter = self._counter
+        events = []
+        for time, fn, tag in entries:
+            seq = next(counter)
+            ev = Event(time, seq, fn, tag)
+            heapq.heappush(heap, (time, seq, ev))
+            events.append(ev)
+        self._live += len(events)
+        return events
+
     def pop(self) -> Optional[Event]:
         """Remove and return the earliest live event, or ``None`` if empty."""
         heap = self._heap

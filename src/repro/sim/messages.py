@@ -14,9 +14,14 @@ from dataclasses import dataclass
 from typing import Any
 
 
-@dataclass
+@dataclass(slots=True)
 class Envelope:
     """A message in flight.
+
+    Slotted: simulations allocate one envelope per transmission (millions
+    per sweep), and the fault injector only ever touches the declared
+    fields, so dropping the per-instance ``__dict__`` is free memory and
+    faster attribute access.
 
     Attributes:
         src: sender process id.

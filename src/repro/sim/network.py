@@ -12,7 +12,8 @@ manner").
 from __future__ import annotations
 
 import random
-from typing import TYPE_CHECKING, Any, Callable, Optional
+from functools import partial
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
 
 from repro.errors import SimulationError
 from repro.sim.adversary import Adversary, FixedLatencyAdversary
@@ -54,7 +55,25 @@ class Network:
         self.in_flight: dict[int, Envelope] = {}
         self._flight_seq = 0
         self.stats = MessageStats()
+        self.stats_enabled = True
         self.trace = Trace()
+
+    # ------------------------------------------------------------------
+    # observability knobs
+    # ------------------------------------------------------------------
+    def set_trace_level(self, level: str) -> None:
+        """Set the observability level: ``off`` | ``stats`` | ``full``.
+
+        ``stats`` (the default) keeps the per-type/per-process counters but
+        no event records; ``full`` additionally records every network event
+        in :attr:`trace`; ``off`` silences both for maximum-throughput
+        sweeps (drop/corruption counts are always kept — they are verdict
+        inputs, not observability).
+        """
+        if level not in ("off", "stats", "full"):
+            raise SimulationError(f"unknown trace level: {level!r}")
+        self.stats_enabled = level != "off"
+        self.trace.enabled = level == "full"
 
     # ------------------------------------------------------------------
     # topology
@@ -85,20 +104,24 @@ class Network:
         not exist, and a correct server acting on that state must not crash
         the run. Crashed destinations silently absorb messages.
         """
+        now = self.scheduler.now
+        trace = self.trace
         if dst not in self.processes:
             self.stats.dropped += 1
-            self.trace.emit(
-                self.scheduler.now, "drop", src, str(dst), payload, "unknown dst"
-            )
+            if trace.enabled:
+                trace.emit(now, "drop", src, str(dst), payload, "unknown dst")
             return
-        env = Envelope(src=src, dst=dst, payload=payload, send_time=self.scheduler.now)
-        self.stats.note_send(src, payload)
-        self.trace.emit(self.scheduler.now, "send", src, dst, payload)
+        env = Envelope(src=src, dst=dst, payload=payload, send_time=now)
+        if self.stats_enabled:
+            self.stats.note_send(src, payload)
+        if trace.enabled:
+            trace.emit(now, "send", src, dst, payload)
         latency = self.adversary.latency(env, self.rng)
-        times = self.channel(src, dst).plan(env, self.scheduler.now, latency, self.rng)
+        times = self.channel(src, dst).plan(env, now, latency, self.rng)
         if not times:
             self.stats.dropped += 1
-            self.trace.emit(self.scheduler.now, "drop", src, dst, payload)
+            if trace.enabled:
+                trace.emit(now, "drop", src, dst, payload)
             return
         for t in times:
             self._flight_seq += 1
@@ -108,6 +131,57 @@ class Network:
                 t, lambda tok=token: self._deliver(tok), tag=f"deliver:{src}->{dst}"
             )
 
+    def broadcast(self, src: str, dsts: Iterable[str], payload: Any) -> None:
+        """Transmit ``payload`` from ``src`` to every process in ``dsts``.
+
+        Byte-identical to calling :meth:`send` per destination — same drop
+        handling, same RNG consumption order (adversary latency then
+        channel plan, in ``dsts`` order), same event tie-breaking — but the
+        fan-out is planned first and handed to the scheduler as **one
+        batched insertion** (:meth:`Scheduler.call_at_many`), and the stats
+        counters are bumped once per broadcast instead of once per
+        destination. This is the hot path: every protocol phase opens with
+        a broadcast to all n servers.
+        """
+        now = self.scheduler.now
+        trace = self.trace
+        traced = trace.enabled
+        processes = self.processes
+        adversary_latency = self.adversary.latency
+        rng = self.rng
+        stats = self.stats
+        in_flight = self.in_flight
+        token = self._flight_seq
+        entries: list[tuple[float, Callable[[], None], str]] = []
+        sent = 0
+        for dst in dsts:
+            if dst not in processes:
+                stats.dropped += 1
+                if traced:
+                    trace.emit(now, "drop", src, str(dst), payload, "unknown dst")
+                continue
+            env = Envelope(src=src, dst=dst, payload=payload, send_time=now)
+            sent += 1
+            if traced:
+                trace.emit(now, "send", src, dst, payload)
+            latency = adversary_latency(env, rng)
+            times = self.channel(src, dst).plan(env, now, latency, rng)
+            if not times:
+                stats.dropped += 1
+                if traced:
+                    trace.emit(now, "drop", src, dst, payload)
+                continue
+            tag = f"deliver:{src}->{dst}"
+            for t in times:
+                token += 1
+                in_flight[token] = env
+                entries.append((t, partial(self._deliver, token), tag))
+        self._flight_seq = token
+        if self.stats_enabled and sent:
+            stats.note_sends(src, payload, sent)
+        if entries:
+            self.scheduler.call_at_many(entries)
+
     def _deliver(self, token: int) -> None:
         env = self.in_flight.pop(token, None)
         if env is None:  # pragma: no cover - defensive; tokens are unique
@@ -115,9 +189,22 @@ class Network:
         proc = self.processes.get(env.dst)
         if proc is None or proc.crashed:
             return
-        self.stats.note_delivery(env.payload)
-        self.trace.emit(self.scheduler.now, "deliver", env.src, env.dst, env.payload)
+        if self.stats_enabled:
+            self.stats.note_delivery(env.payload)
+        if self.trace.enabled:
+            self.trace.emit(self.scheduler.now, "deliver", env.src, env.dst, env.payload)
         proc.receive(env.src, env.payload)
+
+    def reset_channels(self) -> None:
+        """Reset every channel policy's ordering/fairness state.
+
+        Restarted runs (same network, fresh workload) must see channels as
+        if freshly created — FIFO high-water marks and consecutive-drop
+        counters carried across restarts would make the second run depend
+        on the first.
+        """
+        for ch in self.channels.values():
+            ch.reset()
 
     # ------------------------------------------------------------------
     # fault-injection surface

@@ -92,9 +92,14 @@ class Process:
         self.env.network.send(self.pid, dst, payload)
 
     def broadcast(self, dsts: Iterable[str], payload: Any) -> None:
-        """Send ``payload`` to every process in ``dsts``."""
-        for dst in dsts:
-            self.send(dst, payload)
+        """Send ``payload`` to every process in ``dsts`` (batched fan-out).
+
+        Semantically identical to calling :meth:`send` per destination;
+        the network plans the whole fan-out in one scheduler insertion.
+        """
+        if self.crashed:
+            return
+        self.env.network.broadcast(self.pid, dsts, payload)
 
     def receive(self, src: str, payload: Any) -> None:
         """Network entry point: dispatch to the handler, then poll waits."""

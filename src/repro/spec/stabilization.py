@@ -15,15 +15,33 @@ transient fault, and a regularity checker; it
 * and reports convergence metrics: how long (global-clock time) and how
   many operations the system needed, plus how many pre-convergence reads
   misbehaved (allowed by pseudo-stabilization, interesting to measure).
+
+Because every candidate suffix keeps the *same write set* (only the reads
+are filtered), the sweep checker's per-read judgements and write index are
+suffix-invariant. :class:`StabilizationAnalyzer` exploits this: it builds
+the sorted index and judges each read exactly once, then assembles the
+verdict for any suffix start in O(W + E) — instead of re-running the full
+checker per candidate — and binary-searches the earliest stable point
+(suffix verdicts are monotone in the start time: a later start can only
+drop reads, hence constraints, hence violations).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.spec.history import History, Operation, OpStatus
-from repro.spec.regularity import RegularityChecker, RegularityVerdict
+from repro.spec.regularity import (
+    RegularityChecker,
+    RegularityVerdict,
+    ReadJudgement,
+    WriteSweepIndex,
+    inversion_pairs,
+    precedes,
+)
+
+_NEG_INF = float("-inf")
 
 
 @dataclass
@@ -75,6 +93,161 @@ def first_write_completing_after(
     return min(candidates, key=lambda w: (w.responded_at, w.op_id))
 
 
+class StabilizationAnalyzer:
+    """Incremental suffix checking over one history.
+
+    Construction performs the expensive, suffix-invariant work once: the
+    response-sorted :class:`WriteSweepIndex`, the value→writes map, and
+    one :class:`ReadJudgement` per completed read. After that,
+    :meth:`suffix_verdict` assembles a full :class:`RegularityVerdict` for
+    any suffix start in O(W + E_suffix) — one topological sort over the
+    prebuilt graph with the surviving reads' cached edges — producing
+    *exactly* the verdict ``checker.check(history.filtered(...))`` would,
+    violation strings and write order included.
+
+    Args:
+        history: the complete run history (never mutated).
+        checker: supplies configuration (initial value, clause toggles);
+            must use the sweep algorithm.
+    """
+
+    def __init__(self, history: History, checker: RegularityChecker) -> None:
+        if checker.algorithm != "sweep":
+            raise ValueError(
+                "StabilizationAnalyzer requires a sweep-algorithm checker"
+            )
+        self.history = history
+        self.checker = checker
+        writes = history.writes()
+        self.index = WriteSweepIndex(writes)
+        self._node_of = {w.op_id: n for n, w in enumerate(writes)}
+        self._by_value, self._ambiguous = checker.values_written(writes)
+        self._ok_reads = history.completed_reads()
+        self._aborted_read_invocations = [
+            r.invoked_at for r in history.aborted_reads()
+        ]
+        self._pending = history.pending()
+        self.judgements: list[ReadJudgement] = [
+            checker.judge_read(r, self.index, self._node_of, self._by_value)
+            for r in self._ok_reads
+        ]
+        # Settled reads and their inversion pairs over the *full* history;
+        # the pairwise inversion condition does not depend on which other
+        # reads survive a suffix, so suffix pairs are a filtered subset.
+        resolved = {
+            j.read.op_id: j.resolved
+            for j in self.judgements
+            if j.resolved_known
+        }
+        self._settled = sorted(
+            (
+                r
+                for r in self._ok_reads
+                if resolved.get(r.op_id) is not None
+                and precedes(resolved[r.op_id], r)
+            ),
+            key=lambda r: (r.invoked_at, r.op_id),
+        )
+        self._all_pairs = (
+            inversion_pairs(self._settled, resolved)
+            if checker.check_consistency and self._settled
+            else []
+        )
+        self._full_verdict: Optional[RegularityVerdict] = None
+
+    # ------------------------------------------------------------------
+    def suffix_verdict(self, point: float = _NEG_INF) -> RegularityVerdict:
+        """Verdict for the suffix keeping all writes and reads invoked >= point."""
+        checker = self.checker
+        verdict = RegularityVerdict(ok=True)
+        live = [j for j in self.judgements if j.read.invoked_at >= point]
+        verdict.checked_reads = len(live)
+        verdict.aborted_reads = sum(
+            1 for t in self._aborted_read_invocations if t >= point
+        )
+        verdict.ambiguous_values = self._ambiguous
+
+        if checker.check_termination:
+            for op in self._pending:
+                if op.is_write or op.invoked_at >= point:
+                    verdict.ok = False
+                    verdict.violations.append(
+                        checker.termination_violation(op)
+                    )
+
+        extra_edges: list[tuple[int, int]] = []
+        for j in live:
+            if j.violations:
+                verdict.ok = False
+                verdict.violations.extend(j.violations)
+            extra_edges.extend(j.edges)
+
+        order = self.index.order_with(extra_edges)
+        if order is None:
+            verdict.ok = False
+            verdict.violations.append(checker.write_order_violation())
+            verdict.write_order = []
+        else:
+            verdict.write_order = order
+
+        if checker.check_consistency and order is not None:
+            settled = self._settled
+            for i, j in self._all_pairs:
+                if settled[i].invoked_at >= point and settled[j].invoked_at >= point:
+                    verdict.ok = False
+                    verdict.violations.append(
+                        checker.inversion_violation(settled[i], settled[j])
+                    )
+        return verdict
+
+    def full_verdict(self) -> RegularityVerdict:
+        """The whole-history verdict (cached)."""
+        if self._full_verdict is None:
+            self._full_verdict = self.suffix_verdict(_NEG_INF)
+        return self._full_verdict
+
+    def prefix_read_anomalies(self, point: float) -> int:
+        """Reads invoked before ``point`` that violate the whole-history spec."""
+        if not any(
+            op.is_read and op.invoked_at < point for op in self.history
+        ):
+            return 0
+        return sum(
+            1
+            for v in self.full_verdict().violations
+            if v.read is not None and v.read.invoked_at < point
+        )
+
+    def earliest_stable_point(
+        self,
+        candidates: Sequence[float],
+        allow_aborts: bool = False,
+    ) -> Optional[float]:
+        """Smallest candidate start whose suffix satisfies the spec.
+
+        ``candidates`` must be sorted ascending. Suffix acceptability is
+        monotone in the start time (later start ⇒ subset of reads ⇒ subset
+        of violations, and abort counts only shrink), so a binary search
+        over the candidates needs O(log n) verdict assemblies instead of n
+        full checks. Returns ``None`` when even the last candidate fails.
+        """
+
+        def stable(point: float) -> bool:
+            v = self.suffix_verdict(point)
+            return v.ok and (allow_aborts or v.aborted_reads == 0)
+
+        lo, hi = 0, len(candidates) - 1
+        if hi < 0 or not stable(candidates[hi]):
+            return None
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if stable(candidates[mid]):
+                hi = mid
+            else:
+                lo = mid + 1
+        return candidates[lo]
+
+
 def evaluate_stabilization(
     history: History,
     checker: RegularityChecker,
@@ -92,6 +265,11 @@ def evaluate_stabilization(
     proves that once the anchor write completed, reads return real values
     — an aborting suffix means the deployment is too small or too faulty
     (``allow_aborts=True`` relaxes this for diagnostic sweeps).
+
+    With a sweep-algorithm checker (the default) the suffix and the
+    whole-history verdicts come from one shared
+    :class:`StabilizationAnalyzer` index instead of two independent full
+    checks; a naive-algorithm checker falls back to the direct evaluation.
     """
     anchor = first_write_completing_after(history, last_fault_time)
     if anchor is None or anchor.responded_at is None:
@@ -109,25 +287,31 @@ def evaluate_stabilization(
     # but only the reads invoked after the convergence point: earlier
     # reads belong to the pre-convergence regime that pseudo-stabilization
     # explicitly tolerates.
-    suffix = history.filtered(
-        lambda op: op.is_write or (op.is_read and op.invoked_at >= point)
-    )
-    verdict = checker.check(suffix)
-
-    # Count pre-convergence read anomalies for the record: reads invoked
-    # before the convergence point, judged against the *whole* history.
-    prefix_reads = history.filtered(
-        lambda op: op.is_read and op.invoked_at < point
-    )
-    prefix_anomalies = 0
-    if len(prefix_reads) > 0:
-        whole = checker.check(history)
-        prefix_ids = {op.op_id for op in prefix_reads}
-        prefix_anomalies = sum(
-            1
-            for v in whole.violations
-            if v.read is not None and v.read.op_id in prefix_ids
+    if checker.algorithm == "sweep":
+        analyzer = StabilizationAnalyzer(history, checker)
+        verdict = analyzer.suffix_verdict(point)
+        prefix_anomalies = analyzer.prefix_read_anomalies(point)
+    else:
+        suffix = history.filtered(
+            lambda op: op.is_write or (op.is_read and op.invoked_at >= point)
         )
+        verdict = checker.check(suffix)
+
+        # Count pre-convergence read anomalies for the record: reads
+        # invoked before the convergence point, judged against the *whole*
+        # history.
+        prefix_reads = history.filtered(
+            lambda op: op.is_read and op.invoked_at < point
+        )
+        prefix_anomalies = 0
+        if len(prefix_reads) > 0:
+            whole = checker.check(history)
+            prefix_ids = {op.op_id for op in prefix_reads}
+            prefix_anomalies = sum(
+                1
+                for v in whole.violations
+                if v.read is not None and v.read.op_id in prefix_ids
+            )
 
     stabilized = verdict.ok and (allow_aborts or verdict.aborted_reads == 0)
     return StabilizationReport(

@@ -1,0 +1,278 @@
+"""Message fast-lane tests: batched broadcast, trace levels, channel resets.
+
+The batched :meth:`Network.broadcast` must be observationally identical to
+the per-destination ``send`` loop it replaces — delivery times and order,
+RNG consumption, statistics, trace records — under both channel families.
+The trace-level knob trades observability for throughput without ever
+changing verdict-relevant behavior.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.adversary import UniformLatencyAdversary
+from repro.sim.channels import FairLossyChannel, FifoChannel
+from repro.sim.datalink import DataLinkMixin
+from repro.sim.environment import SimEnvironment
+from repro.sim.messages import Envelope
+from repro.sim.process import Process
+from repro.sim.scheduler import Scheduler
+from repro.sim.tracing import MessageStats
+
+
+class Recorder(Process):
+    """Process recording every delivery with its instant."""
+
+    def __init__(self, pid, env):
+        super().__init__(pid, env)
+        self.log = []
+
+    def on_message(self, src, payload):
+        self.log.append((self.env.now, src, payload))
+
+
+def build(seed, channel_factory, n=4, trace="full"):
+    env = SimEnvironment(
+        seed=seed,
+        adversary=UniformLatencyAdversary(0.5, 3.0),
+        channel_factory=channel_factory,
+        trace=trace,
+    )
+    procs = [Recorder(f"p{i}", env) for i in range(n)]
+    return env, procs
+
+
+def run_fanouts(env, procs, batched):
+    """Issue a few fan-outs (batched or loop) and drain the scheduler."""
+    dsts = [p.pid for p in procs[1:]]
+    src = procs[0]
+    for round_no in range(5):
+        payload = f"m{round_no}"
+        if batched:
+            env.network.broadcast(src.pid, dsts, payload)
+        else:
+            for dst in dsts:
+                env.network.send(src.pid, dst, payload)
+        env.run()
+    return [
+        (p.pid, entry) for p in procs for entry in p.log
+    ]
+
+
+@pytest.mark.parametrize(
+    "channel_factory",
+    [
+        FifoChannel,
+        lambda: FairLossyChannel(
+            loss=0.25, duplication=0.15, fairness_bound=4, jitter=2.0
+        ),
+    ],
+    ids=["fifo", "fair-lossy"],
+)
+def test_broadcast_identical_to_send_loop(channel_factory):
+    env_a, procs_a = build(7, channel_factory)
+    env_b, procs_b = build(7, channel_factory)
+    log_loop = run_fanouts(env_a, procs_a, batched=False)
+    log_batch = run_fanouts(env_b, procs_b, batched=True)
+    assert log_batch == log_loop
+    assert env_b.network.stats.sent_by_type == env_a.network.stats.sent_by_type
+    assert (
+        env_b.network.stats.sent_by_process == env_a.network.stats.sent_by_process
+    )
+    assert (
+        env_b.network.stats.delivered_by_type
+        == env_a.network.stats.delivered_by_type
+    )
+    assert env_b.network.stats.dropped == env_a.network.stats.dropped
+    assert [
+        (r.time, r.kind, r.src, r.dst, r.payload_type)
+        for r in env_b.network.trace.records
+    ] == [
+        (r.time, r.kind, r.src, r.dst, r.payload_type)
+        for r in env_a.network.trace.records
+    ]
+    assert not env_a.network.in_flight and not env_b.network.in_flight
+
+
+def test_broadcast_counts_unknown_destinations_as_drops():
+    env, procs = build(0, FifoChannel, trace="stats")
+    env.network.broadcast("p0", ["p1", "ghost", "p2"], "x")
+    env.run()
+    assert env.network.stats.dropped == 1
+    assert env.network.stats.total_sent == 2
+    assert env.network.stats.total_delivered == 2
+
+
+def test_crashed_process_broadcast_is_noop():
+    env, procs = build(1, FifoChannel, trace="stats")
+    procs[0].crashed = True
+    procs[0].broadcast([p.pid for p in procs[1:]], "x")
+    env.run()
+    assert env.network.stats.total_sent == 0
+    assert all(not p.log for p in procs)
+
+
+class TestTraceLevels:
+    def test_off_disables_stats_but_keeps_drop_counts(self):
+        env, procs = build(2, FifoChannel, trace="off")
+        env.network.broadcast("p0", ["p1", "ghost"], "x")
+        env.run()
+        assert env.network.stats.total_sent == 0
+        assert env.network.stats.total_delivered == 0
+        assert env.network.stats.dropped == 1  # verdict input, never gated
+        assert len(env.network.trace) == 0
+
+    def test_stats_keeps_counters_without_records(self):
+        env, procs = build(3, FifoChannel, trace="stats")
+        procs[0].broadcast(["p1", "p2"], "x")
+        env.run()
+        assert env.network.stats.total_sent == 2
+        assert len(env.network.trace) == 0
+
+    def test_full_records_sends_and_deliveries(self):
+        env, procs = build(4, FifoChannel, trace="full")
+        procs[0].broadcast(["p1", "p2"], "x")
+        env.run()
+        assert env.network.stats.total_sent == 2
+        kinds = [r.kind for r in env.network.trace.records]
+        assert kinds.count("send") == 2 and kinds.count("deliver") == 2
+
+    def test_unknown_level_rejected(self):
+        env, _ = build(5, FifoChannel)
+        with pytest.raises(SimulationError):
+            env.network.set_trace_level("verbose")
+
+    def test_enabling_trace_directly_still_works(self):
+        # Observability docs tell users to flip trace.enabled by hand;
+        # the guard reads it dynamically, not a cached config value.
+        env, procs = build(6, FifoChannel, trace="stats")
+        env.network.trace.enabled = True
+        procs[0].send("p1", "x")
+        env.run()
+        assert len(env.network.trace) > 0
+
+
+class TestStatsMemoization:
+    def test_type_names_memoized(self):
+        stats = MessageStats()
+        for _ in range(3):
+            stats.note_send("a", "payload")
+            stats.note_delivery("payload")
+        stats.note_sends("a", 42, 5)
+        assert stats.sent_by_type == {"str": 3, "int": 5}
+        assert stats.delivered_by_type == {"str": 3}
+        assert set(stats._type_names.values()) == {"str", "int"}
+
+    def test_merged_with_unaffected(self):
+        a, b = MessageStats(), MessageStats()
+        a.note_sends("p", "x", 2)
+        b.note_send("q", "y")
+        merged = a.merged_with(b)
+        assert merged.sent_by_type == {"str": 3}
+        assert merged.sent_by_process == {"p": 2, "q": 1}
+
+
+class LinkedRecorder(DataLinkMixin, Recorder):
+    pass
+
+
+def test_datalink_broadcast_routes_through_link():
+    env = SimEnvironment(
+        seed=11,
+        channel_factory=lambda: FairLossyChannel(
+            loss=0.3, duplication=0.1, fairness_bound=5, jitter=2.0
+        ),
+    )
+    procs = [LinkedRecorder(f"p{i}", env) for i in range(3)]
+    procs[0].broadcast(["p1", "p2"], "hello")
+    env.run()
+    # Exactly-once app delivery per destination (the link's contract)...
+    assert [(src, p) for _, src, p in procs[1].log] == [("p0", "hello")]
+    assert [(src, p) for _, src, p in procs[2].log] == [("p0", "hello")]
+    # ...and the wire only ever carried link frames, proving the fan-out
+    # did not bypass the data-link via the network fast path.
+    assert "str" not in env.network.stats.sent_by_type
+    assert env.network.stats.sent_by_type.get("DlData", 0) > 0
+
+
+class TestChannelRestartDeterminism:
+    def plan_sequence(self, ch, seed, count=30):
+        import random
+
+        rng = random.Random(seed)
+        return [
+            ch.plan(Envelope("a", "b", i, float(i)), float(i), 1.0, rng)
+            for i in range(count)
+        ]
+
+    def test_fifo_reset_restores_initial_behavior(self):
+        ch = FifoChannel()
+        first = self.plan_sequence(ch, seed=0)
+        assert ch._last > 0
+        ch.reset()
+        assert ch._last == -1.0
+        assert self.plan_sequence(ch, seed=0) == first
+
+    def test_fair_lossy_reset_restores_initial_behavior(self):
+        ch = FairLossyChannel(loss=0.4, duplication=0.2, fairness_bound=3)
+        first = self.plan_sequence(ch, seed=1)
+        assert ch._last_jittered > 0
+        ch.reset()
+        assert ch._consecutive_drops == 0
+        assert ch._last_jittered == -1.0
+        assert self.plan_sequence(ch, seed=1) == first
+
+    def test_network_reset_channels_resets_every_pair(self):
+        env, procs = build(8, FifoChannel, trace="stats")
+        procs[0].broadcast(["p1", "p2"], "x")
+        env.run()
+        assert any(ch._last > 0 for ch in env.network.channels.values())
+        env.network.reset_channels()
+        assert all(ch._last == -1.0 for ch in env.network.channels.values())
+
+
+class TestBatchedScheduling:
+    def test_push_many_interleaves_with_push_in_insertion_order(self):
+        sched = Scheduler()
+        fired = []
+        sched.call_at(1.0, lambda: fired.append("a"))
+        sched.call_at_many(
+            [
+                (1.0, lambda: fired.append("b"), ""),
+                (0.5, lambda: fired.append("c"), ""),
+                (1.0, lambda: fired.append("d"), ""),
+            ]
+        )
+        sched.call_at(1.0, lambda: fired.append("e"))
+        sched.run()
+        assert fired == ["c", "a", "b", "d", "e"]
+
+    def test_call_at_many_rejects_past_times_atomically(self):
+        sched = Scheduler()
+        sched.call_at(2.0, lambda: None)
+        sched.run()  # clock now at 2.0
+        with pytest.raises(SimulationError):
+            sched.call_at_many(
+                [(5.0, lambda: None, ""), (1.0, lambda: None, "")]
+            )
+        assert sched.idle()  # nothing from the failed batch was scheduled
+
+    def test_push_many_returns_cancellable_events(self):
+        sched = Scheduler()
+        fired = []
+        events = sched.call_at_many(
+            [(1.0, lambda: fired.append(1), ""), (2.0, lambda: fired.append(2), "")]
+        )
+        sched.queue.cancel_event(events[0])
+        sched.run()
+        assert fired == [2]
+        assert len(sched.queue) == 0
+
+
+def test_envelope_is_slotted():
+    env = Envelope("a", "b", "payload", 1.0)
+    assert not hasattr(env, "__dict__")
+    with pytest.raises(AttributeError):
+        env.extra = 1
+    env.payload = "mutated"  # the fault injector's surface still works
+    assert env.payload == "mutated"

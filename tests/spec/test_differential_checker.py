@@ -1,0 +1,210 @@
+"""Differential testing: sweep-line checker vs the retained naive oracle.
+
+The sweep-line edge construction (``RegularityChecker(algorithm="sweep")``,
+the default) must be observationally indistinguishable from the original
+O(W²) pairwise scan (``algorithm="naive"``) — same verdict flag, same
+violation clauses *and detail strings* in the same order, same diagnostic
+write order, same counters. Randomized histories cover the awkward
+combinations hand-written cases miss: pending and crashed operations,
+aborted reads, concurrent writes, duplicate written values, initial-value
+reads, reads of never-written junk.
+
+The incremental :class:`StabilizationAnalyzer` rides the same oracle: its
+assembled suffix verdict must equal a from-scratch check of the filtered
+sub-history for every suffix start.
+"""
+
+import random
+
+import pytest
+
+from repro.spec.history import History, OpKind, OpStatus
+from repro.spec.regularity import (
+    INITIAL,
+    RegularityChecker,
+    WriteSweepIndex,
+)
+from repro.spec.stabilization import (
+    StabilizationAnalyzer,
+    evaluate_stabilization,
+    first_write_completing_after,
+)
+
+N_HISTORIES = 200
+
+
+def random_history(rng: random.Random) -> History:
+    """One randomized mixed history (see module docstring for coverage)."""
+    h = History()
+    values = list(range(rng.randint(1, 5)))
+    for c in range(rng.randint(1, 4)):
+        t = rng.uniform(0, 5)
+        for _ in range(rng.randint(0, 9)):
+            kind = rng.choice([OpKind.WRITE, OpKind.READ])
+            inv = t + rng.uniform(0, 3)
+            dur = rng.uniform(0, 4)
+            op = h.invoke(
+                f"c{c}",
+                kind,
+                at=inv,
+                argument=rng.choice(values) if kind is OpKind.WRITE else None,
+            )
+            roll = rng.random()
+            if roll < 0.72:
+                result = None
+                if kind is OpKind.READ:
+                    result = rng.choice(values + [INITIAL, "junk"])
+                h.respond(op, at=inv + dur, result=result)
+            elif roll < 0.82 and kind is OpKind.READ:
+                h.respond(op, at=inv + dur, status=OpStatus.ABORT)
+            elif roll < 0.90:
+                h.mark_crashed(op.client, at=inv + dur)
+            # else: left pending (termination violation material)
+            t = inv + rng.uniform(0, 2)
+    return h
+
+
+def verdict_key(v):
+    """Everything observable about a verdict, as a comparable value."""
+    return (
+        v.ok,
+        [(x.clause, x.detail) for x in v.violations],
+        v.checked_reads,
+        v.aborted_reads,
+        [op.op_id for op in v.write_order],
+        v.ambiguous_values,
+    )
+
+
+def histories():
+    rng = random.Random(1729)
+    return [random_history(rng) for _ in range(N_HISTORIES)]
+
+
+class TestSweepVsNaive:
+    @pytest.mark.parametrize("initial_value", [INITIAL, 0])
+    def test_identical_verdicts_on_randomized_histories(self, initial_value):
+        for i, h in enumerate(histories()):
+            sweep = RegularityChecker(
+                initial_value=initial_value, algorithm="sweep"
+            ).check(h)
+            naive = RegularityChecker(
+                initial_value=initial_value, algorithm="naive"
+            ).check(h)
+            assert verdict_key(sweep) == verdict_key(naive), f"history #{i}"
+
+    def test_identical_with_clauses_disabled(self):
+        for h in histories()[:40]:
+            for kw in (
+                {"check_consistency": False},
+                {"check_termination": False},
+                {"check_consistency": False, "check_termination": False},
+            ):
+                sweep = RegularityChecker(algorithm="sweep", **kw).check(h)
+                naive = RegularityChecker(algorithm="naive", **kw).check(h)
+                assert verdict_key(sweep) == verdict_key(naive)
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            RegularityChecker(algorithm="quantum")
+
+
+class TestSweepIndex:
+    def test_preceding_count_matches_definition(self):
+        rng = random.Random(5)
+        h = random_history(rng)
+        writes = h.writes()
+        index = WriteSweepIndex(writes)
+        for t in [0.0, 1.5, 3.0, 7.0, 100.0]:
+            expected = sum(
+                1
+                for w in writes
+                if w.complete and w.responded_at is not None and w.responded_at < t
+            )
+            assert index.preceding_count(t) == expected
+
+    def test_empty_write_set(self):
+        index = WriteSweepIndex([])
+        assert index.order_with([]) == []
+        assert index.preceding_count(10.0) == 0
+
+
+class TestAnalyzerVsDirectCheck:
+    POINTS = [float("-inf"), 0.0, 1.0, 2.5, 4.0, 6.0, 9.0, 1e9]
+
+    def test_suffix_verdict_equals_filtered_check(self):
+        rng = random.Random(99)
+        checker = RegularityChecker()
+        for _ in range(60):
+            h = random_history(rng)
+            analyzer = StabilizationAnalyzer(h, checker)
+            for point in self.POINTS:
+                suffix = h.filtered(
+                    lambda op: op.is_write
+                    or (op.is_read and op.invoked_at >= point)
+                )
+                assert verdict_key(analyzer.suffix_verdict(point)) == verdict_key(
+                    checker.check(suffix)
+                )
+
+    def test_full_verdict_equals_whole_history_check(self):
+        rng = random.Random(7)
+        checker = RegularityChecker()
+        for _ in range(30):
+            h = random_history(rng)
+            analyzer = StabilizationAnalyzer(h, checker)
+            assert verdict_key(analyzer.full_verdict()) == verdict_key(
+                checker.check(h)
+            )
+
+    def test_requires_sweep_checker(self):
+        with pytest.raises(ValueError):
+            StabilizationAnalyzer(History(), RegularityChecker(algorithm="naive"))
+
+    def test_earliest_stable_point_matches_linear_scan(self):
+        rng = random.Random(314)
+        checker = RegularityChecker()
+        for _ in range(40):
+            h = random_history(rng)
+            analyzer = StabilizationAnalyzer(h, checker)
+            candidates = sorted({op.invoked_at for op in h})[:12]
+            if not candidates:
+                continue
+            expected = None
+            for point in candidates:  # the oracle: check every candidate
+                v = checker.check(
+                    h.filtered(
+                        lambda op: op.is_write
+                        or (op.is_read and op.invoked_at >= point)
+                    )
+                )
+                if v.ok and v.aborted_reads == 0:
+                    expected = point
+                    break
+            assert analyzer.earliest_stable_point(candidates) == expected
+
+
+class TestEvaluateStabilizationPaths:
+    def test_sweep_and_naive_paths_agree(self):
+        rng = random.Random(2718)
+        for _ in range(40):
+            h = random_history(rng)
+            for fault_time in (0.0, 3.0, 6.0):
+                sweep = evaluate_stabilization(
+                    h, RegularityChecker(), last_fault_time=fault_time
+                )
+                naive = evaluate_stabilization(
+                    h,
+                    RegularityChecker(algorithm="naive"),
+                    last_fault_time=fault_time,
+                )
+                assert sweep.stabilized == naive.stabilized
+                assert sweep.convergence_point == naive.convergence_point
+                assert sweep.prefix_read_anomalies == naive.prefix_read_anomalies
+                assert sweep.suffix_reads == naive.suffix_reads
+                if sweep.suffix_verdict is None:
+                    assert naive.suffix_verdict is None
+                else:
+                    assert verdict_key(sweep.suffix_verdict) == verdict_key(
+                        naive.suffix_verdict
+                    )
