@@ -1,0 +1,47 @@
+"""Determinism & stabilization-soundness static analysis (``repro lint``).
+
+Three rule families guard the properties every experimental claim in this
+reproduction rests on:
+
+* **DET** — no hidden nondeterminism: no wall clocks outside profiling,
+  no module-level RNG or OS entropy, no hash-ordered iteration on the
+  message path, no ``id()``/``hash()`` in program logic;
+* **STAB** — corruption-surface completeness: every process-local state
+  variable is declared in :data:`repro.sim.faults.CORRUPTION_REGISTRY`
+  and every corruptible one is provably reached by the fault injector;
+* **PAR** — pool safety: workers handed to :mod:`repro.harness.parallel`
+  pickle and share no mutable module state.
+
+See ``docs/ANALYSIS.md`` for the rule-by-rule rationale and its tie to
+the paper's theorems.
+"""
+
+from repro.analysis.baseline import apply_baseline, load_baseline, write_baseline
+from repro.analysis.core import (
+    Finding,
+    ModuleInfo,
+    Rule,
+    RULE_REGISTRY,
+    all_rules,
+    register_rule,
+)
+from repro.analysis.engine import analyze_module, analyze_paths, default_target
+from repro.analysis.report import render_json, render_rule_list, render_text
+
+__all__ = [
+    "Finding",
+    "ModuleInfo",
+    "Rule",
+    "RULE_REGISTRY",
+    "all_rules",
+    "analyze_module",
+    "analyze_paths",
+    "apply_baseline",
+    "default_target",
+    "load_baseline",
+    "register_rule",
+    "render_json",
+    "render_rule_list",
+    "render_text",
+    "write_baseline",
+]

@@ -1,0 +1,147 @@
+"""Shared AST helpers for the lint rules.
+
+Everything here is deliberately *syntactic*: the rules run on source that
+may not be importable (fixtures, broken branches), so resolution never
+executes or imports the analyzed module.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map local alias -> dotted origin for every import in the module.
+
+    ``import time as t`` → ``{"t": "time"}``;
+    ``from datetime import datetime`` → ``{"datetime": "datetime.datetime"}``.
+    Covers nested (function-local) imports too — they are just as capable
+    of smuggling a wall clock in.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def resolve_call_target(call: ast.Call, aliases: dict[str, str]) -> Optional[str]:
+    """The dotted origin of a call's callee, following import aliases.
+
+    ``t.monotonic()`` with ``import time as t`` resolves to
+    ``time.monotonic``; an unaliased head is returned as written.
+    """
+    dotted = dotted_name(call.func)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    origin = aliases.get(head)
+    if origin is None:
+        return dotted
+    return f"{origin}.{rest}" if rest else origin
+
+
+def self_attr_target(node: ast.AST) -> Optional[str]:
+    """``X`` when ``node`` is an assignment target rooted at ``self.X``.
+
+    Handles plain attributes (``self.x``) and subscripted ones
+    (``self.x[k]``, ``self.x[k][j]``) — both count as touching ``self.x``.
+    """
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def assigned_self_attrs(fn: ast.FunctionDef) -> Iterator[tuple[str, ast.AST]]:
+    """Yield (attr, node) for every ``self.X``-rooted assignment in ``fn``."""
+    for node in ast.walk(fn):
+        targets: list[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        elif isinstance(node, ast.For):
+            targets = [node.target]
+        for target in targets:
+            for leaf in _unpack_targets(target):
+                attr = self_attr_target(leaf)
+                if attr is not None:
+                    yield attr, node
+
+
+def _unpack_targets(target: ast.AST) -> Iterator[ast.AST]:
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _unpack_targets(elt)
+    elif isinstance(target, ast.Starred):
+        yield from _unpack_targets(target.value)
+    else:
+        yield target
+
+
+def is_set_expr(node: ast.AST) -> bool:
+    """True when ``node`` syntactically builds a set/frozenset."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in {"set", "frozenset"}
+    return False
+
+
+def is_set_annotation(node: Optional[ast.AST]) -> bool:
+    """True when an annotation names ``set``/``frozenset`` (plain or subscripted)."""
+    if node is None:
+        return False
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    name = dotted_name(node)
+    return name in {"set", "frozenset", "Set", "FrozenSet", "typing.Set"}
+
+
+def class_methods(cls: ast.ClassDef) -> Iterator[ast.FunctionDef]:
+    for stmt in cls.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield stmt
+
+
+def slots_entries(cls: ast.ClassDef) -> Iterator[tuple[str, ast.AST]]:
+    """Yield (name, node) for literal ``__slots__`` entries of ``cls``."""
+    for stmt in cls.body:
+        if not isinstance(stmt, ast.Assign):
+            continue
+        for target in stmt.targets:
+            if isinstance(target, ast.Name) and target.id == "__slots__":
+                value = stmt.value
+                elts = (
+                    value.elts
+                    if isinstance(value, (ast.Tuple, ast.List, ast.Set))
+                    else []
+                )
+                for elt in elts:
+                    if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                        yield elt.value, elt

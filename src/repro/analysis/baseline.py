@@ -1,0 +1,65 @@
+"""Baseline files: grandfathering *justified* findings, nothing else.
+
+A baseline entry matches on ``(rule, path, context)`` — the stripped
+source line — so entries survive unrelated edits shifting line numbers,
+but die the moment the offending line itself changes (forcing a fresh
+decision). Matching is multiset-style: two identical offending lines need
+two entries.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.core import Finding
+
+BASELINE_VERSION = 1
+
+
+def write_baseline(findings: Sequence[Finding], path: Path) -> None:
+    """Serialize ``findings`` as the new baseline at ``path``."""
+    entries = [
+        {
+            "rule": f.rule_id,
+            "path": f.path,
+            "context": f.context,
+            "line": f.line,  # informational only; matching ignores it
+        }
+        for f in sorted(findings)
+    ]
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def load_baseline(path: Path) -> Counter:
+    """Fingerprint multiset from a baseline file (empty if absent)."""
+    if not path.exists():
+        return Counter()
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline version {payload.get('version')!r}"
+        )
+    return Counter(
+        (entry["rule"], entry["path"], entry["context"])
+        for entry in payload.get("entries", [])
+    )
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Counter
+) -> tuple[list[Finding], list[Finding]]:
+    """Split findings into (new, baselined) against the fingerprint multiset."""
+    budget = Counter(baseline)
+    new: list[Finding] = []
+    matched: list[Finding] = []
+    for finding in findings:
+        if budget[finding.fingerprint] > 0:
+            budget[finding.fingerprint] -= 1
+            matched.append(finding)
+        else:
+            new.append(finding)
+    return new, matched

@@ -1,0 +1,185 @@
+"""Lint-framework core: findings, modules, rules, and the rule registry.
+
+The reproduction's headline claims — deterministic adversary replay,
+byte-identical serial-vs-pooled campaigns, restart determinism, and
+non-vacuous stabilization experiments — are *global* properties of the
+codebase, not of any one function. This package enforces them statically:
+every rule is an AST pass over one module, reporting :class:`Finding`
+records that the engine aggregates, the baseline filters, and the CLI
+renders (``repro lint``).
+
+Suppression: a finding on a line carrying ``# lint-ok: RULE1[, RULE2]``
+is dropped for exactly those rules; a bare ``# lint-ok`` drops every rule
+on that line. Suppressions are for *justified* exceptions — the comment
+sits in the diff where a reviewer sees it.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Optional
+
+#: Marks a line whose suppression applies to every rule.
+SUPPRESS_ALL = "*"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*lint-ok\b(?:\s*:\s*(?P<rules>[A-Z]{2,8}\d{3}(?:\s*,\s*[A-Z]{2,8}\d{3})*))?"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``context`` is the stripped source line: baseline matching keys on
+    ``(rule_id, path, context)`` so entries survive line-number drift.
+    """
+
+    path: str
+    line: int
+    rule_id: str
+    message: str
+    context: str = ""
+    col: int = 0
+
+    @property
+    def fingerprint(self) -> tuple[str, str, str]:
+        return (self.rule_id, self.path, self.context)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+
+@dataclass
+class ModuleInfo:
+    """A parsed module plus the metadata rules need.
+
+    ``relpath`` is the package-relative posix path (``repro/core/server.py``)
+    — rules scope themselves by it, so tests can exercise path-scoped rules
+    on fixture sources by supplying a crafted relpath.
+    """
+
+    relpath: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def from_source(cls, source: str, relpath: str) -> "ModuleInfo":
+        tree = ast.parse(source)
+        lines = source.splitlines()
+        suppressions: dict[int, set[str]] = {}
+        for lineno, text in enumerate(lines, start=1):
+            if "lint-ok" not in text:
+                continue
+            match = _SUPPRESS_RE.search(text)
+            if match is None:
+                continue
+            spec = match.group("rules")
+            if spec is None:
+                suppressions[lineno] = {SUPPRESS_ALL}
+            else:
+                suppressions.setdefault(lineno, set()).update(
+                    rule.strip() for rule in spec.split(",")
+                )
+        return cls(
+            relpath=relpath,
+            tree=tree,
+            lines=lines,
+            suppressions=suppressions,
+        )
+
+    @classmethod
+    def from_file(cls, path: Path, relpath: Optional[str] = None) -> "ModuleInfo":
+        source = path.read_text(encoding="utf-8")
+        return cls.from_source(source, relpath or package_relpath(path))
+
+    # ------------------------------------------------------------------
+    def source_line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def suppressed(self, lineno: int, rule_id: str) -> bool:
+        rules = self.suppressions.get(lineno)
+        return rules is not None and (rule_id in rules or SUPPRESS_ALL in rules)
+
+    def finding(self, node: ast.AST, rule_id: str, message: str) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``."""
+        line = getattr(node, "lineno", 1)
+        return Finding(
+            path=self.relpath,
+            line=line,
+            col=getattr(node, "col_offset", 0),
+            rule_id=rule_id,
+            message=message,
+            context=self.source_line(line),
+        )
+
+
+def package_relpath(path: Path) -> str:
+    """Posix path from the last ``repro`` package component, else the name.
+
+    ``/x/src/repro/core/server.py`` → ``repro/core/server.py``; paths not
+    under a ``repro`` directory collapse to their filename, keeping
+    path-scoped rules inert on foreign files.
+    """
+    parts = path.as_posix().split("/")
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            return "/".join(parts[i:])
+    return parts[-1]
+
+
+class Rule:
+    """One static check. Subclasses set the class attrs and ``check``.
+
+    ``check`` yields raw findings; the engine applies suppressions and the
+    baseline afterwards, so rules stay oblivious to both mechanisms.
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    rationale: str = ""
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+    def run(self, module: ModuleInfo) -> Iterator[Finding]:
+        """``check`` minus suppressed lines."""
+        for finding in self.check(module):
+            if not module.suppressed(finding.line, self.rule_id):
+                yield finding
+
+
+#: rule_id -> rule class, populated by :func:`register_rule`.
+RULE_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding ``cls`` to :data:`RULE_REGISTRY`."""
+    if not cls.rule_id:
+        raise ValueError(f"{cls.__name__} has no rule_id")
+    if cls.rule_id in RULE_REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    RULE_REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_rules(only: Optional[Iterable[str]] = None) -> list[Rule]:
+    """Instantiate the registered rules (optionally a subset), id-sorted."""
+    import repro.analysis.rules  # noqa: F401  (registers on import)
+
+    wanted = None if only is None else set(only)
+    rules = []
+    for rule_id in sorted(RULE_REGISTRY):
+        if wanted is None or rule_id in wanted:
+            rules.append(RULE_REGISTRY[rule_id]())
+    if wanted is not None:
+        unknown = wanted - set(RULE_REGISTRY)
+        if unknown:
+            raise KeyError(f"unknown rule ids: {sorted(unknown)}")
+    return rules

@@ -1,0 +1,54 @@
+"""File discovery and rule execution for ``repro lint``."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from repro.analysis.core import Finding, ModuleInfo, Rule, all_rules
+
+#: Directories never descended into.
+_SKIP_DIRS = {"__pycache__", ".git", ".pytest_cache", "build", "dist"}
+
+
+def iter_python_files(root: Path) -> Iterable[Path]:
+    """Every ``.py`` file under ``root`` (or ``root`` itself), sorted."""
+    if root.is_file():
+        yield root
+        return
+    for path in sorted(root.rglob("*.py")):
+        if not _SKIP_DIRS.intersection(path.parts):
+            yield path
+
+
+def default_target() -> Path:
+    """The installed ``repro`` package directory — what ``repro lint`` scans."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def analyze_paths(
+    paths: Sequence[Path],
+    rules: Optional[Sequence[Rule]] = None,
+    only: Optional[Iterable[str]] = None,
+) -> list[Finding]:
+    """Run the rules over every module under ``paths``; sorted findings."""
+    active = list(rules) if rules is not None else all_rules(only)
+    findings: list[Finding] = []
+    for root in paths:
+        for path in iter_python_files(Path(root)):
+            module = ModuleInfo.from_file(path)
+            findings.extend(analyze_module(module, active))
+    return sorted(findings)
+
+
+def analyze_module(
+    module: ModuleInfo, rules: Optional[Sequence[Rule]] = None
+) -> list[Finding]:
+    """Run the rules over one parsed module (suppressions applied)."""
+    active = list(rules) if rules is not None else all_rules()
+    findings: list[Finding] = []
+    for rule in active:
+        findings.extend(rule.run(module))
+    return sorted(findings)

@@ -1,0 +1,57 @@
+"""Text and JSON renderers for lint findings."""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.analysis.core import RULE_REGISTRY, Finding, all_rules
+
+
+def render_text(findings: Sequence[Finding], baselined: int = 0) -> str:
+    """Human-readable report: one line per finding plus a per-rule tally."""
+    lines = [f.render() for f in findings]
+    if findings:
+        tally: dict[str, int] = {}
+        for f in findings:
+            tally[f.rule_id] = tally.get(f.rule_id, 0) + 1
+        lines.append("")
+        for rule_id in sorted(tally):
+            rule_cls = RULE_REGISTRY.get(rule_id)
+            title = f" ({rule_cls.title})" if rule_cls else ""
+            lines.append(f"{rule_id}{title}: {tally[rule_id]}")
+        lines.append(f"{len(findings)} finding(s)")
+    else:
+        lines.append("clean: no findings")
+    if baselined:
+        lines.append(f"{baselined} baselined finding(s) suppressed")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], baselined: int = 0) -> str:
+    """Machine-readable report (stable key order, sorted findings)."""
+    payload = {
+        "findings": [
+            {
+                "rule": f.rule_id,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+                "context": f.context,
+            }
+            for f in sorted(findings)
+        ],
+        "count": len(findings),
+        "baselined": baselined,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_rule_list() -> str:
+    """The rule catalogue (``repro lint --list-rules``)."""
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.rule_id}  {rule.title}")
+        lines.append(f"        {rule.rationale}")
+    return "\n".join(lines)

@@ -1,0 +1,230 @@
+"""DET-series rules: no hidden nondeterminism.
+
+Every adversarial schedule in this repo is replayed from a recipe, every
+fuzz campaign must be byte-identical serial vs pooled, and every restart
+must reproduce the original run. Those guarantees die the moment any code
+on the simulation path consults a wall clock, OS entropy, the module-level
+``random`` state, or CPython run artifacts (``id``/``hash`` of strings are
+randomized per interpreter launch). The DET rules forbid each leak.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astutil import (
+    dotted_name,
+    import_aliases,
+    is_set_annotation,
+    is_set_expr,
+    resolve_call_target,
+)
+from repro.analysis.core import Finding, ModuleInfo, Rule, register_rule
+
+#: The one module allowed to read wall clocks: profiling/observability.
+WALL_CLOCK_ALLOWED = ("harness/profiling.py",)
+
+_WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "time.localtime",
+    "time.gmtime",
+    "time.sleep",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+
+@register_rule
+class WallClockRule(Rule):
+    rule_id = "DET001"
+    title = "wall-clock read outside harness/profiling.py"
+    rationale = (
+        "Simulated time is the only clock; a wall-clock read on the "
+        "simulation path makes schedules irreproducible."
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.relpath.endswith(WALL_CLOCK_ALLOWED):
+            return
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call_target(node, aliases)
+            if target in _WALL_CLOCK_CALLS:
+                yield module.finding(
+                    node,
+                    self.rule_id,
+                    f"wall-clock call {target}() — route timing through "
+                    f"repro.harness.profiling",
+                )
+
+
+_RNG_MODULES = {"random", "numpy.random"}
+_SEEDED_FACTORIES = {"random.Random", "numpy.random.default_rng"}
+_ENTROPY_CALLS = {"os.urandom", "os.getrandom", "uuid.uuid4", "random.SystemRandom"}
+
+
+@register_rule
+class UnseededRandomnessRule(Rule):
+    rule_id = "DET002"
+    title = "module-level random state or OS entropy"
+    rationale = (
+        "All randomness must flow from an injected seeded Random so a "
+        "(seed, config) recipe replays the run exactly."
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                imported = {a.name for a in node.names} - {"Random"}
+                if imported:
+                    yield module.finding(
+                        node,
+                        self.rule_id,
+                        f"from random import {', '.join(sorted(imported))} "
+                        f"binds the shared module RNG — inject a seeded "
+                        f"random.Random instead",
+                    )
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call_target(node, aliases)
+            if target is None:
+                continue
+            if target in _ENTROPY_CALLS:
+                yield module.finding(
+                    node, self.rule_id, f"OS entropy source {target}()"
+                )
+            elif target in _SEEDED_FACTORIES:
+                if not node.args:
+                    yield module.finding(
+                        node,
+                        self.rule_id,
+                        f"{target}() without a seed falls back to OS entropy",
+                    )
+            elif any(
+                target.startswith(f"{mod}.") and target.count(".") == mod.count(".") + 1
+                for mod in _RNG_MODULES
+            ):
+                yield module.finding(
+                    node,
+                    self.rule_id,
+                    f"{target}() draws from the shared module RNG — use the "
+                    f"injected seeded Random",
+                )
+
+
+#: Layers where iteration order can reach the scheduler or message layer.
+ORDER_SENSITIVE_PREFIXES = (
+    "repro/sim/",
+    "repro/core/",
+    "repro/byzantine/",
+    "repro/labels/",
+    "repro/wtsg/",
+)
+
+
+@register_rule
+class UnorderedIterationRule(Rule):
+    rule_id = "DET003"
+    title = "iteration over an unordered set on an order-sensitive layer"
+    rationale = (
+        "Set iteration order depends on PYTHONHASHSEED for str elements; "
+        "if it reaches a send or scheduler insertion, two runs of the same "
+        "recipe diverge. Iterate sorted(...) instead."
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not module.relpath.startswith(ORDER_SENSITIVE_PREFIXES):
+            return
+        set_symbols = _collect_set_symbols(module.tree)
+        for node in ast.walk(module.tree):
+            iters: list[ast.AST] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                if self._is_unordered(it, set_symbols):
+                    yield module.finding(
+                        it,
+                        self.rule_id,
+                        f"iterating {ast.unparse(it)!s} (a set) — order is "
+                        f"hash-dependent; wrap in sorted(...)",
+                    )
+
+    @staticmethod
+    def _is_unordered(node: ast.AST, set_symbols: frozenset[str]) -> bool:
+        if is_set_expr(node):
+            return True
+        name = dotted_name(node)
+        return name is not None and name in set_symbols
+
+
+def _collect_set_symbols(tree: ast.Module) -> frozenset[str]:
+    """Names statically known to hold sets (``x`` or ``self.x``).
+
+    A symbol qualifies only when *every* assignment to it builds a set (or
+    its annotation says so) — mixed assignments drop it, keeping the rule
+    quiet on genuinely ambiguous code.
+    """
+    set_votes: dict[str, bool] = {}
+
+    def vote(key: str, is_set: bool) -> None:
+        set_votes[key] = set_votes.get(key, True) and is_set
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                key = dotted_name(target)
+                if key is not None:
+                    vote(key, is_set_expr(node.value))
+        elif isinstance(node, ast.AnnAssign):
+            key = dotted_name(node.target)
+            if key is not None:
+                if is_set_annotation(node.annotation):
+                    vote(key, True)
+                elif node.value is not None:
+                    vote(key, is_set_expr(node.value))
+    return frozenset(name for name, is_set in set_votes.items() if is_set)
+
+
+@register_rule
+class IdentityHashRule(Rule):
+    rule_id = "DET004"
+    title = "builtin id()/hash() feeding program logic"
+    rationale = (
+        "id() is an allocation address and str hash() is salted per "
+        "interpreter launch — branching or sorting on either varies "
+        "between identical runs. Use a stable digest (zlib.crc32) or an "
+        "explicit key."
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                if node.func.id in {"id", "hash"}:
+                    yield module.finding(
+                        node,
+                        self.rule_id,
+                        f"builtin {node.func.id}() is run-dependent",
+                    )
+            elif isinstance(node, ast.keyword) and node.arg == "key":
+                if isinstance(node.value, ast.Name) and node.value.id in {"id", "hash"}:
+                    yield module.finding(
+                        node.value,
+                        self.rule_id,
+                        f"sort key {node.value.id} is run-dependent",
+                    )

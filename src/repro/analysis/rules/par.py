@@ -1,0 +1,268 @@
+"""PAR-series rules: pool workers must be picklable and race-free.
+
+``repro.harness.parallel`` promises byte-identical serial-vs-pooled
+results. That only holds when the functions handed to the pool (a) pickle
+— i.e. are importable top-level callables, not lambdas or closures — and
+(b) share no mutable module state with the parent or with each other, so
+fork-vs-spawn start methods and worker scheduling cannot change results.
+
+* **PAR001** — the function argument of ``parallel_map``/``parallel_imap``
+  must resolve to a module-level def (directly, through a local variable,
+  a conditional expression, or ``functools.partial`` over one).
+* **PAR002** — worker functions must not read module globals bound to
+  mutable containers (or write any module global). ALL_CAPS names are
+  treated as frozen constants by convention and exempted from reads.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.core import Finding, ModuleInfo, Rule, register_rule
+
+_POOL_ENTRYPOINTS = {"parallel_map", "parallel_imap"}
+
+
+def _pool_calls(tree: ast.Module) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute) else None
+        )
+        if name in _POOL_ENTRYPOINTS and node.args:
+            yield node
+
+
+def _module_level_callables(tree: ast.Module) -> set[str]:
+    """Names importable from the module: top-level defs, classes, imports."""
+    names: set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(stmt.name)
+        elif isinstance(stmt, ast.Import):
+            names.update(a.asname or a.name.split(".")[0] for a in stmt.names)
+        elif isinstance(stmt, ast.ImportFrom):
+            names.update(a.asname or a.name for a in stmt.names)
+    return names
+
+
+def _is_partial(call: ast.Call) -> bool:
+    func = call.func
+    return (isinstance(func, ast.Name) and func.id == "partial") or (
+        isinstance(func, ast.Attribute) and func.attr == "partial"
+    )
+
+
+class _WorkerResolution:
+    """Classifies the worker expression of one pool call.
+
+    ``verdict`` is "ok", "bad", or "unknown" (unresolvable expressions are
+    never flagged); ``workers`` collects the module-level def names the
+    expression can resolve to, for PAR002's body inspection.
+    """
+
+    def __init__(self, tree: ast.Module, enclosing: Optional[ast.FunctionDef]):
+        self.top_level = _module_level_callables(tree)
+        self.nested_defs = {
+            n.name
+            for fn in ast.walk(tree)
+            if isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+            for n in ast.walk(fn)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef)) and n is not fn
+        }
+        self.enclosing = enclosing
+        self.workers: set[str] = set()
+        self.reason = ""
+
+    def classify(self, expr: ast.AST, depth: int = 0) -> str:
+        if depth > 4:
+            return "unknown"
+        if isinstance(expr, ast.Lambda):
+            self.reason = "lambda does not pickle"
+            return "bad"
+        if isinstance(expr, ast.IfExp):
+            branches = {
+                self.classify(expr.body, depth + 1),
+                self.classify(expr.orelse, depth + 1),
+            }
+            if "bad" in branches:
+                return "bad"
+            return "ok" if branches == {"ok"} else "unknown"
+        if isinstance(expr, ast.Call) and _is_partial(expr):
+            if not expr.args:
+                return "unknown"
+            return self.classify(expr.args[0], depth + 1)
+        if isinstance(expr, ast.Name):
+            if expr.id in self.nested_defs:
+                self.reason = f"{expr.id} is a nested def (closure)"
+                return "bad"
+            if expr.id in self.top_level:
+                self.workers.add(expr.id)
+                return "ok"
+            return self._classify_local(expr.id, depth)
+        if isinstance(expr, ast.Attribute):
+            if isinstance(expr.value, ast.Name) and expr.value.id == "self":
+                self.reason = f"self.{expr.attr} is a bound method"
+                return "bad"
+            # Module attribute (mod.fn): importable, accept.
+            self.workers.add(expr.attr)
+            return "ok"
+        return "unknown"
+
+    def _classify_local(self, name: str, depth: int) -> str:
+        """Follow assignments to ``name`` inside the enclosing function."""
+        if self.enclosing is None:
+            return "unknown"
+        verdicts = set()
+        for node in ast.walk(self.enclosing):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and target.id == name:
+                        verdicts.add(self.classify(node.value, depth + 1))
+        if not verdicts:
+            return "unknown"
+        if "bad" in verdicts:
+            return "bad"
+        return "ok" if verdicts == {"ok"} else "unknown"
+
+
+def _enclosing_function_map(tree: ast.Module) -> dict[ast.AST, ast.FunctionDef]:
+    """Map every node to its innermost enclosing function def."""
+    owner: dict[ast.AST, ast.FunctionDef] = {}
+
+    def visit(node: ast.AST, current: Optional[ast.FunctionDef]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            current = node
+        for child in ast.iter_child_nodes(node):
+            if current is not None:
+                owner[child] = current
+            visit(child, current)
+
+    visit(tree, None)
+    return owner
+
+
+@register_rule
+class NonPicklableWorkerRule(Rule):
+    rule_id = "PAR001"
+    title = "pool worker is not an importable top-level callable"
+    rationale = (
+        "multiprocessing pickles the worker by qualified name; lambdas, "
+        "closures and bound methods fail (or silently diverge under "
+        "fork). Hand the pool a module-level def, optionally wrapped in "
+        "functools.partial."
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        owner = _enclosing_function_map(module.tree)
+        for call in _pool_calls(module.tree):
+            resolution = _WorkerResolution(module.tree, owner.get(call))
+            verdict = resolution.classify(call.args[0])
+            if verdict == "bad":
+                yield module.finding(
+                    call.args[0],
+                    self.rule_id,
+                    f"worker passed to {ast.unparse(call.func)} does not "
+                    f"pickle: {resolution.reason}",
+                )
+
+
+@register_rule
+class WorkerMutableGlobalRule(Rule):
+    rule_id = "PAR002"
+    title = "pool worker touches mutable module globals"
+    rationale = (
+        "A worker reading a mutable module global sees fork-time vs "
+        "import-time state depending on the start method, and writes are "
+        "silently lost per-process — both break jobs-invariance."
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        workers = self._worker_defs(module.tree)
+        if not workers:
+            return
+        mutable_globals = self._mutable_globals(module.tree)
+        module_names = _module_level_callables(module.tree) | set(
+            mutable_globals
+        )
+        for fn in workers:
+            local_names = self._local_bindings(fn)
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Global):
+                    yield module.finding(
+                        node,
+                        self.rule_id,
+                        f"worker {fn.name} declares global "
+                        f"{', '.join(node.names)} — per-process writes are "
+                        f"lost and order-dependent",
+                    )
+                elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                    if (
+                        node.id in mutable_globals
+                        and node.id not in local_names
+                        and not node.id.isupper()
+                    ):
+                        yield module.finding(
+                            node,
+                            self.rule_id,
+                            f"worker {fn.name} reads mutable module global "
+                            f"{node.id!r} — pass it through the work item "
+                            f"instead",
+                        )
+
+    @staticmethod
+    def _worker_defs(tree: ast.Module) -> list[ast.FunctionDef]:
+        owner = _enclosing_function_map(tree)
+        names: set[str] = set()
+        for call in _pool_calls(tree):
+            resolution = _WorkerResolution(tree, owner.get(call))
+            resolution.classify(call.args[0])
+            names.update(resolution.workers)
+        return [
+            stmt
+            for stmt in tree.body
+            if isinstance(stmt, ast.FunctionDef) and stmt.name in names
+        ]
+
+    @staticmethod
+    def _mutable_globals(tree: ast.Module) -> set[str]:
+        mutable: set[str] = set()
+        for stmt in tree.body:
+            targets: list[ast.AST] = []
+            value: Optional[ast.AST] = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = list(stmt.targets), stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            if value is None:
+                continue
+            if _is_mutable_container(value):
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        mutable.add(target.id)
+        return mutable
+
+    @staticmethod
+    def _local_bindings(fn: ast.FunctionDef) -> set[str]:
+        bound = {a.arg for a in fn.args.args + fn.args.kwonlyargs}
+        if fn.args.vararg:
+            bound.add(fn.args.vararg.arg)
+        if fn.args.kwarg:
+            bound.add(fn.args.kwarg.arg)
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                bound.add(node.id)
+        return bound
+
+
+def _is_mutable_container(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in {"list", "dict", "set", "defaultdict", "deque", "Counter"}
+    return False

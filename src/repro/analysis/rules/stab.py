@@ -1,0 +1,154 @@
+"""STAB-series rules: the corruption surface must be complete.
+
+The stabilization experiments (E6, E13) claim the protocol recovers from
+*arbitrary* initial state. That claim is vacuous for any state variable
+the fault injector cannot reach: a run that "recovers" may simply never
+have been corrupted where it hurts — the soundness concern behind the
+bounded-label design of Bonomi et al. (IPPS 2015). These rules cross-check
+every attribute a process class initializes against the declarative
+corruption registry in :mod:`repro.sim.faults`:
+
+* **STAB001** — every ``self.X`` assigned in ``__init__``/``_init_*`` (or
+  named in ``__slots__``) of a class under ``core/``, ``byzantine/``, or
+  ``sim/process.py`` must be declared in ``CORRUPTION_REGISTRY`` with a
+  state kind; stale registry entries (declared but never initialized) are
+  reported too, so registry and code cannot drift apart.
+* **STAB002** — every attribute declared *corruptible* must be assigned
+  somewhere in a corruption method (``corrupt_state`` / ``_corrupt*``)
+  defined by the same class, so the injector provably reaches it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Union
+
+from repro.analysis.astutil import assigned_self_attrs, class_methods, slots_entries
+from repro.analysis.core import Finding, ModuleInfo, Rule, register_rule
+
+#: Files whose classes hold process-local protocol state.
+STATE_SCOPE_PREFIXES = ("repro/core/", "repro/byzantine/")
+STATE_SCOPE_FILES = ("repro/sim/process.py",)
+
+
+def _in_scope(relpath: str) -> bool:
+    return relpath.startswith(STATE_SCOPE_PREFIXES) or relpath in STATE_SCOPE_FILES
+
+
+def _load_registry() -> dict[str, Union[dict[str, str], str]]:
+    from repro.sim.faults import CORRUPTION_REGISTRY
+
+    return CORRUPTION_REGISTRY
+
+
+def _init_attrs(cls: ast.ClassDef) -> dict[str, ast.AST]:
+    """attr -> first initializing node, from ``__init__``/``_init_*``/slots."""
+    attrs: dict[str, ast.AST] = {}
+    for name, node in slots_entries(cls):
+        attrs.setdefault(name, node)
+    for method in class_methods(cls):
+        if method.name == "__init__" or method.name.startswith("_init"):
+            for attr, node in assigned_self_attrs(method):
+                attrs.setdefault(attr, node)
+    return attrs
+
+
+def _corrupted_attrs(cls: ast.ClassDef) -> set[str]:
+    """Attrs assigned in this class's corruption methods."""
+    touched: set[str] = set()
+    for method in class_methods(cls):
+        if method.name == "corrupt_state" or method.name.startswith("_corrupt"):
+            touched.update(attr for attr, _ in assigned_self_attrs(method))
+    return touched
+
+
+@register_rule
+class UnregisteredStateRule(Rule):
+    rule_id = "STAB001"
+    title = "process state missing from the corruption registry"
+    rationale = (
+        "State the adversary cannot corrupt makes the stabilization "
+        "experiments vacuous; every attribute must be declared (and "
+        "justified) in repro.sim.faults.CORRUPTION_REGISTRY."
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not _in_scope(module.relpath):
+            return
+        registry = _load_registry()
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            attrs = _init_attrs(node)
+            if not attrs:
+                continue
+            entry = registry.get(node.name)
+            if isinstance(entry, str):
+                continue  # class-level exemption with inline justification
+            if entry is None:
+                for attr, site in sorted(attrs.items()):
+                    yield module.finding(
+                        site,
+                        self.rule_id,
+                        f"{node.name}.{attr} initialized but class "
+                        f"{node.name!r} has no CORRUPTION_REGISTRY entry",
+                    )
+                continue
+            for attr, site in sorted(attrs.items()):
+                if attr not in entry:
+                    yield module.finding(
+                        site,
+                        self.rule_id,
+                        f"{node.name}.{attr} is not declared in the "
+                        f"corruption registry — the fault injector cannot "
+                        f"prove it reaches this state",
+                    )
+            for declared in sorted(entry):
+                if declared not in attrs:
+                    yield module.finding(
+                        node,
+                        self.rule_id,
+                        f"stale registry entry: {node.name}.{declared} is "
+                        f"declared but never initialized by the class",
+                    )
+
+
+@register_rule
+class UncorruptedRegisteredStateRule(Rule):
+    rule_id = "STAB002"
+    title = "corruptible state the corruption method never scrambles"
+    rationale = (
+        "An attribute declared corruptible must actually be assigned by "
+        "the class's corrupt_state/_corrupt* method — otherwise the "
+        "registry over-promises and E6/E13 under-test."
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not _in_scope(module.relpath):
+            return
+        from repro.sim.faults import CORRUPTIBLE
+
+        registry = _load_registry()
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            entry = registry.get(node.name)
+            if not isinstance(entry, dict):
+                continue
+            attrs = _init_attrs(node)
+            corruptible_here = {
+                attr
+                for attr, kind in entry.items()
+                if kind == CORRUPTIBLE and attr in attrs
+            }
+            if not corruptible_here:
+                continue
+            touched = _corrupted_attrs(node)
+            for attr in sorted(corruptible_here - touched):
+                yield module.finding(
+                    attrs[attr],
+                    self.rule_id,
+                    f"{node.name}.{attr} is registered corruptible but no "
+                    f"corrupt_state/_corrupt* method of {node.name} "
+                    f"assigns it",
+                )

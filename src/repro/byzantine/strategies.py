@@ -6,6 +6,7 @@ Each class realizes one adversarial behaviour the proofs reason about.
 
 from __future__ import annotations
 
+import zlib
 from typing import TYPE_CHECKING, Any
 
 from repro.byzantine.base import ByzantineServer
@@ -25,6 +26,17 @@ from repro.labels.base import LabelingScheme
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.environment import SimEnvironment
+
+
+def stable_parity(pid: str) -> int:
+    """Run-independent parity of a pid string.
+
+    Builtin ``hash()`` on str is salted per interpreter launch (lint rule
+    DET004), so an equivocator splitting clients by ``hash(pid) & 1``
+    would lie to *different* clients on every run of the same recipe.
+    CRC32 is stable across runs, platforms and Python versions.
+    """
+    return zlib.crc32(pid.encode("utf-8")) & 1
 
 
 class SilentByzantine(ByzantineServer):
@@ -203,7 +215,7 @@ class EquivocatingByzantine(ByzantineServer):
         self.stale_ts = scheme.random_label(self.rng)
 
     def _lies_to(self, client: str) -> bool:
-        return (hash(client) & 1) == 1
+        return stable_parity(client) == 1
 
     def on_get_ts(self, src: str) -> None:
         if self._lies_to(src):

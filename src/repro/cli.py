@@ -11,7 +11,10 @@ Commands:
 * ``fuzz [--jobs N]``             — random hostile schedules, Jepsen-style;
 * ``check --seed N --ops K``      — run a random concurrent workload under
   full corruption and print the pseudo-stabilization verdict (a one-shot
-  confidence check on any machine).
+  confidence check on any machine);
+* ``lint [--format json]``        — the determinism & stabilization-
+  soundness static analysis (see :mod:`repro.analysis` and
+  ``docs/ANALYSIS.md``); exits 1 on any non-baselined finding.
 
 ``--jobs`` fans independent trials over a process pool; every sweep's
 output is byte-identical to the serial run (see
@@ -29,7 +32,6 @@ from __future__ import annotations
 import argparse
 import random
 import sys
-import time
 from typing import Optional, Sequence
 
 
@@ -59,6 +61,8 @@ def _run_experiment(mod, jobs: int):
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.harness.experiments import ALL_EXPERIMENTS
 
+    from repro.harness.profiling import wall_clock
+
     status = 0
     for name in args.experiment:
         key = name.upper()
@@ -67,26 +71,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"unknown experiment {name!r}; try `experiments`", file=sys.stderr)
             status = 2
             continue
-        start = time.time()
+        start = wall_clock()
         report = _run_experiment(mod, args.jobs)
         if args.csv:
             print(report.to_csv(), end="")
         else:
             print(report.table())
-            print(f"  [{key} regenerated in {time.time() - start:.1f}s]\n")
+            print(f"  [{key} regenerated in {wall_clock() - start:.1f}s]\n")
     return status
 
 
 def _cmd_reproduce_all(args: argparse.Namespace) -> int:
     from repro.harness.experiments import ALL_EXPERIMENTS
 
-    total = time.time()
+    from repro.harness.profiling import wall_clock
+
+    total = wall_clock()
     for name in sorted(ALL_EXPERIMENTS, key=lambda s: int(s[1:])):
-        start = time.time()
+        start = wall_clock()
         report = _run_experiment(ALL_EXPERIMENTS[name], args.jobs)
         print(report.table())
-        print(f"  [{name} regenerated in {time.time() - start:.1f}s]\n")
-    print(f"all experiments regenerated in {time.time() - total:.1f}s")
+        print(f"  [{name} regenerated in {wall_clock() - start:.1f}s]\n")
+    print(f"all experiments regenerated in {wall_clock() - total:.1f}s")
     return 0
 
 
@@ -195,6 +201,45 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0 if report.stabilized else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import (
+        analyze_paths,
+        apply_baseline,
+        default_target,
+        load_baseline,
+        render_json,
+        render_rule_list,
+        render_text,
+        write_baseline,
+    )
+
+    if args.list_rules:
+        print(render_rule_list())
+        return 0
+    targets = [Path(p) for p in args.paths] or [default_target()]
+    findings = analyze_paths(targets)
+
+    baseline_path = Path(args.baseline) if args.baseline else None
+    if args.write_baseline:
+        if baseline_path is None:
+            print("--write-baseline requires --baseline PATH", file=sys.stderr)
+            return 2
+        write_baseline(findings, baseline_path)
+        print(f"baseline of {len(findings)} finding(s) written to {baseline_path}")
+        return 0
+
+    baselined = 0
+    if baseline_path is not None:
+        findings, matched = apply_baseline(findings, load_baseline(baseline_path))
+        baselined = len(matched)
+
+    render = render_json if args.format == "json" else render_text
+    print(render(findings, baselined=baselined))
+    return 1 if findings else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -269,6 +314,31 @@ def build_parser() -> argparse.ArgumentParser:
         help=trace_help,
     )
 
+    lint = sub.add_parser(
+        "lint",
+        help="determinism & stabilization-soundness static analysis",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyze (default: the repro package)",
+    )
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="JSON baseline of grandfathered findings to subtract",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to --baseline and exit 0",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+
     return parser
 
 
@@ -282,6 +352,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "profile": _cmd_profile,
         "check": _cmd_check,
         "fuzz": _cmd_fuzz,
+        "lint": _cmd_lint,
     }[args.command]
     return handler(args)
 

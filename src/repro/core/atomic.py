@@ -49,6 +49,11 @@ class AtomicRegisterClient(RegisterClient):
         self._wb_responders: set[str] = set()
         self._wb_ts: Any = None
 
+    def _corrupt_reader_state(self, rng) -> None:
+        super()._corrupt_reader_state(rng)
+        self._wb_responders = set()
+        self._wb_ts = self.scheme.random_label(rng) if rng.random() < 0.5 else None
+
     def _on_write_ack(self, src: str, msg) -> None:
         super()._on_write_ack(src, msg)
         if msg.ts == self._wb_ts and src in self.servers:

@@ -202,11 +202,19 @@ class ReaderMixin:
     # ------------------------------------------------------------------
     def _corrupt_reader_state(self, rng) -> None:
         cfg = self.config
-        for s in self.servers:
-            self.recent_labels[s] = [
-                rng.randrange(2) for _ in range(cfg.read_label_count)
-            ]
+        self.recent_labels = {
+            s: [rng.randrange(2) for _ in range(cfg.read_label_count)]
+            for s in self.servers
+        }
         self.last_label = rng.randrange(cfg.read_label_count)
+        self.r_label = rng.randrange(cfg.read_label_count)
+        self.reading = rng.random() < 0.5
+        # Reply buffers: emptied rather than filled with forgeries — every
+        # operation rebuilds them from scratch at invocation (lines 01-03),
+        # so junk here could only be observed by an operation the fault
+        # interrupted, which the model treats as a crash.
+        self._replies = []
+        self._reply_servers = set()
         self.recent_vals = {
             s: tuple(
                 (

@@ -145,5 +145,9 @@ class WriterMixin:
     def _corrupt_writer_state(self, rng) -> None:
         self.write_ts = self.scheme.random_label(rng)
         self._wts_by_server = {}
+        self._collecting_ts = rng.random() < 0.5
         self._ack_from = set()
         self._nack_from = set()
+        self._pending_write_ts = (
+            self.scheme.random_label(rng) if rng.random() < 0.5 else None
+        )

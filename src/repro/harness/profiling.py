@@ -11,8 +11,20 @@ from __future__ import annotations
 import cProfile
 import io
 import pstats
+import time
 from dataclasses import dataclass
 from typing import Any, Callable
+
+
+def wall_clock() -> float:
+    """The process wall clock, in seconds.
+
+    This module is the *only* place allowed to read host time (lint rule
+    DET001): everything on the simulation path must use simulated time, or
+    schedules stop being replayable. Human-facing timing output (the CLI's
+    "regenerated in N s" lines) routes through here.
+    """
+    return time.time()
 
 
 @dataclass

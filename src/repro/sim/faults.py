@@ -33,6 +33,129 @@ from repro.sim.process import Process
 # A forger receives (envelope, rng) and returns a replacement payload.
 Forger = Callable[[Envelope, random.Random], Any]
 
+# ---------------------------------------------------------------------------
+# The corruption registry: the injector's declared reach over process state.
+# ---------------------------------------------------------------------------
+#
+# The stabilization experiments (E6, E13) are sound only if the transient-
+# fault injector can reach *every* piece of process-local state — a state
+# variable outside the corruption surface would let the system "recover"
+# in runs that were never actually corrupted where it hurts. This registry
+# declares, attribute by attribute, what each process class carries and
+# how the fault model treats it; the STAB-series lint rules
+# (:mod:`repro.analysis.rules.stab`) cross-check it against the class
+# definitions on every CI run, so code and registry cannot drift apart.
+#
+# State kinds:
+
+#: Protocol state the injector scrambles — must be assigned by the class's
+#: ``corrupt_state``/``_corrupt*`` method (enforced by STAB002).
+CORRUPTIBLE = "corruptible"
+#: In-operation temporaries, unconditionally reset at the top of each
+#: operation (Figures 1-3, lines 01-03); corruption *during* an operation
+#: is modelled by crashing the client instead (see
+#: ``RegisterClient.corrupt_state``). Still scrambled where cheap.
+EPHEMERAL = "ephemeral"
+#: Simulation plumbing (pids, env handles, RNG streams, crash flags) —
+#: part of the *model*, not of the modelled process memory. Corrupting the
+#: crash flag would violate the "at most f faulty" bound, and corrupting
+#: an RNG stream changes the adversary, not the protocol.
+INFRASTRUCTURE = "infrastructure"
+#: Counters and diagnostics read only by experiment reports; they never
+#: feed back into protocol decisions.
+OBSERVABILITY = "observability"
+#: Byzantine-strategy state. A Byzantine server's behaviour is already
+#: arbitrary (Section II), so corrupting its private script adds no
+#: adversarial power — the strategies *are* the corruption.
+ADVERSARIAL = "adversarial"
+
+#: class name -> {attribute -> kind}, or a ``"exempt: reason"`` string for
+#: whole classes that are not simulated processes at all.
+CORRUPTION_REGISTRY: dict[str, Any] = {
+    # --- simulation base (sim/process.py) ------------------------------
+    "Process": {
+        "pid": INFRASTRUCTURE,
+        "env": INFRASTRUCTURE,
+        "crashed": INFRASTRUCTURE,
+        "rng": INFRASTRUCTURE,
+        "_pending_ops": INFRASTRUCTURE,
+    },
+    # --- correct servers (core/server.py) ------------------------------
+    "RegisterServer": {
+        "config": INFRASTRUCTURE,
+        "scheme": INFRASTRUCTURE,
+        "value": CORRUPTIBLE,
+        "ts": CORRUPTIBLE,
+        "old_vals": CORRUPTIBLE,
+        "running_read": CORRUPTIBLE,
+    },
+    # --- correct clients (core/client.py + mixins) ---------------------
+    "RegisterClient": {
+        "config": INFRASTRUCTURE,
+        "scheme": INFRASTRUCTURE,
+        "servers": INFRASTRUCTURE,
+        "recorder": INFRASTRUCTURE,
+        "_active_op": EPHEMERAL,
+    },
+    "ReaderMixin": {
+        "recent_labels": CORRUPTIBLE,
+        "recent_vals": CORRUPTIBLE,
+        "last_label": CORRUPTIBLE,
+        "r_label": CORRUPTIBLE,
+        "reading": CORRUPTIBLE,
+        "safe": CORRUPTIBLE,
+        "slow": CORRUPTIBLE,
+        "_replies": CORRUPTIBLE,
+        "_reply_servers": CORRUPTIBLE,
+        "read_path_stats": OBSERVABILITY,
+    },
+    "WriterMixin": {
+        "write_ts": CORRUPTIBLE,
+        "_wts_by_server": CORRUPTIBLE,
+        "_collecting_ts": CORRUPTIBLE,
+        "_ack_from": CORRUPTIBLE,
+        "_nack_from": CORRUPTIBLE,
+        "_pending_write_ts": CORRUPTIBLE,
+    },
+    "AtomicRegisterClient": {
+        "_wb_responders": CORRUPTIBLE,
+        "_wb_ts": CORRUPTIBLE,
+    },
+    # --- Byzantine strategies (byzantine/) -----------------------------
+    "PhaseSilentByzantine": {"silent_on": ADVERSARIAL},
+    "StaleReplayByzantine": {"stale_value": ADVERSARIAL, "stale_ts": ADVERSARIAL},
+    "InflatingByzantine": {"_seen": ADVERSARIAL},
+    "EquivocatingByzantine": {"stale_ts": ADVERSARIAL},
+    "ScriptedByzantine": {
+        "ts_script": ADVERSARIAL,
+        "read_script": ADVERSARIAL,
+        "_ts_cursor": ADVERSARIAL,
+        "_read_cursor": ADVERSARIAL,
+    },
+    # --- non-process classes under the scoped paths --------------------
+    "RegisterSystem": (
+        "exempt: experiment-harness orchestrator, not a simulated process; "
+        "it owns the injector rather than being subject to it"
+    ),
+}
+
+
+def state_kinds(cls: type) -> dict[str, str]:
+    """Merged attribute->kind declarations over ``cls``'s MRO."""
+    merged: dict[str, str] = {}
+    for base in reversed(cls.__mro__):
+        entry = CORRUPTION_REGISTRY.get(base.__name__)
+        if isinstance(entry, dict):
+            merged.update(entry)
+    return merged
+
+
+def corruption_surface(cls: type) -> frozenset[str]:
+    """Attributes of ``cls`` the fault injector is declared to reach."""
+    return frozenset(
+        attr for attr, kind in state_kinds(cls).items() if kind == CORRUPTIBLE
+    )
+
 
 def garbage_forger(env: Envelope, rng: random.Random) -> Any:
     """Default forger: replace the payload with unparseable garbage."""

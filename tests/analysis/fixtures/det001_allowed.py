@@ -1,0 +1,10 @@
+"""DET001 allowlist: this file is analyzed AS ``repro/harness/profiling.py``.
+
+The profiling module is the one place wall clocks are legitimate.
+"""
+
+import time
+
+
+def wall_clock() -> float:
+    return time.time()  # allowed: harness/profiling.py owns the wall clock

@@ -1,0 +1,17 @@
+"""DET001 positives: wall-clock reads outside harness/profiling.py.
+
+Analyzed with the simulated relpath ``repro/sim/det001_bad.py``.
+"""
+
+import time
+import time as clock
+from datetime import datetime
+
+
+def stamp_events(events):
+    started = time.time()  # expect: DET001
+    mark = clock.monotonic()  # expect: DET001
+    wall = datetime.now()  # expect: DET001
+    time.sleep(0.1)  # expect: DET001
+    nanos = time.perf_counter_ns()  # expect: DET001
+    return started, mark, wall, nanos, events

@@ -1,0 +1,15 @@
+"""DET001 negatives: simulated time and the profiling helper are fine.
+
+Analyzed with the simulated relpath ``repro/sim/det001_good.py``.
+"""
+
+from repro.harness.profiling import wall_clock
+
+
+def stamp_events(env, events):
+    # Simulated time is the only clock on the simulation path.
+    started = env.now
+    # Human-facing timing goes through the profiling module's helper;
+    # calling the *helper* is fine anywhere — only raw clock reads are not.
+    banner = wall_clock
+    return started, banner, events

@@ -1,0 +1,16 @@
+"""DET002 positives: shared module RNG and OS entropy.
+
+Analyzed with the simulated relpath ``repro/workloads/det002_bad.py``.
+"""
+
+import os
+import random
+from random import choice, shuffle  # expect: DET002
+
+
+def sample_delays(count):
+    jitter = [random.random() for _ in range(count)]  # expect: DET002
+    pick = random.choice(jitter)  # expect: DET002
+    rng = random.Random()  # expect: DET002
+    noise = os.urandom(4)  # expect: DET002
+    return jitter, pick, rng, noise, choice, shuffle

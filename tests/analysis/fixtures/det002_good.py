@@ -1,0 +1,16 @@
+"""DET002 negatives: seeded, injected randomness.
+
+Analyzed with the simulated relpath ``repro/workloads/det002_good.py``.
+"""
+
+import random
+
+
+def sample_delays(rng: random.Random, count):
+    # Drawing from an injected Random instance is the sanctioned pattern.
+    return [rng.random() for _ in range(count)]
+
+
+def derive_stream(seed: int) -> random.Random:
+    # Seeded construction is fine — the recipe replays it.
+    return random.Random(seed ^ 0x5EED)

@@ -1,0 +1,27 @@
+"""DET003 positives: hash-ordered set iteration on an order-sensitive layer.
+
+Analyzed with the simulated relpath ``repro/sim/det003_bad.py``.
+"""
+
+PEERS = {"s0", "s1", "s2"}
+
+
+def fan_out(send):
+    for peer in PEERS:  # expect: DET003
+        send(peer)
+    targets = set(["x", "y"])
+    for t in targets:  # expect: DET003
+        send(t)
+    for t in {"p", "q"}:  # expect: DET003
+        send(t)
+    upper = {p.upper() for p in PEERS}  # expect: DET003
+    return upper
+
+
+class Broadcaster:
+    def __init__(self):
+        self.safe = set()
+
+    def flood(self, send):
+        for s in self.safe:  # expect: DET003
+            send(s)

@@ -1,0 +1,27 @@
+"""DET003 negatives: sorted iteration and order-free aggregation.
+
+Analyzed with the simulated relpath ``repro/sim/det003_good.py``.
+"""
+
+PEERS = {"s0", "s1", "s2"}
+
+
+def fan_out(send):
+    for peer in sorted(PEERS):
+        send(peer)
+    # Membership tests and order-free reductions never observe the order.
+    if "s0" in PEERS:
+        send("s0")
+    return len(PEERS)
+
+
+class Broadcaster:
+    def __init__(self):
+        self.safe = set()
+        self.order = []  # a list: insertion-ordered, fine to iterate
+
+    def flood(self, send):
+        for s in sorted(self.safe):
+            send(s)
+        for s in self.order:
+            send(s)

@@ -1,0 +1,14 @@
+"""DET004 positives: id()/hash() feeding program logic.
+
+Analyzed with the simulated relpath ``repro/byzantine/det004_bad.py``.
+"""
+
+
+def split_clients(clients):
+    liars = [c for c in clients if hash(c) & 1]  # expect: DET004
+    ordered = sorted(clients, key=id)  # expect: DET004
+    return liars, ordered
+
+
+def tie_break(a, b):
+    return a if id(a) < id(b) else b  # expect: DET004, DET004

@@ -1,0 +1,16 @@
+"""DET004 negatives: stable digests and explicit keys.
+
+Analyzed with the simulated relpath ``repro/byzantine/det004_good.py``.
+"""
+
+import zlib
+
+
+def split_clients(clients):
+    liars = [c for c in clients if zlib.crc32(c.encode()) & 1]
+    ordered = sorted(clients)  # natural string order is stable
+    return liars, ordered
+
+
+def tie_break(a, b):
+    return a if a.pid < b.pid else b

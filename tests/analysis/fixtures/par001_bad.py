@@ -1,0 +1,27 @@
+"""PAR001 positives: workers that do not survive pickling.
+
+Analyzed with the simulated relpath ``repro/harness/par001_bad.py``.
+"""
+
+from functools import partial
+
+from repro.harness.parallel import parallel_map
+
+
+def run_sweep(tasks, jobs=1):
+    squares = parallel_map(lambda t: t * t, tasks, jobs=jobs)  # expect: PAR001
+
+    def local_trial(t):
+        return t + 1
+
+    bumped = parallel_map(local_trial, tasks, jobs=jobs)  # expect: PAR001
+    wrapped = parallel_map(partial(local_trial, 1), tasks, jobs=jobs)  # expect: PAR001
+    return squares, bumped, wrapped
+
+
+class Sweep:
+    def trial(self, t):
+        return t
+
+    def run(self, tasks, jobs=1):
+        return parallel_map(self.trial, tasks, jobs=jobs)  # expect: PAR001

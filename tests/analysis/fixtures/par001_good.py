@@ -1,0 +1,23 @@
+"""PAR001 negatives: importable top-level workers, plain or wrapped.
+
+Analyzed with the simulated relpath ``repro/harness/par001_good.py``.
+"""
+
+import functools
+
+from repro.harness.parallel import parallel_imap, parallel_map
+
+
+def _trial(task, trace="stats"):
+    return task, trace
+
+
+def run_sweep(tasks, jobs=1, trace="stats"):
+    direct = parallel_map(_trial, tasks, jobs=jobs)
+    wrapped = parallel_map(functools.partial(_trial, trace=trace), tasks, jobs=jobs)
+    # The conditional-worker idiom used by the fuzz campaign.
+    trial_fn = (
+        _trial if trace == "stats" else functools.partial(_trial, trace=trace)
+    )
+    streamed = list(parallel_imap(trial_fn, tasks, jobs=jobs))
+    return direct, wrapped, streamed

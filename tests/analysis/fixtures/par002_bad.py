@@ -1,0 +1,28 @@
+"""PAR002 positives: workers sharing mutable module state.
+
+Analyzed with the simulated relpath ``repro/harness/par002_bad.py``.
+"""
+
+from repro.harness.parallel import parallel_map
+
+_memo = {}
+_counter = 0
+
+
+def cached_trial(task):
+    if task in _memo:  # expect: PAR002
+        return _memo[task]  # expect: PAR002
+    _memo[task] = task * 2  # expect: PAR002
+    return task * 2
+
+
+def counting_trial(task):
+    global _counter  # expect: PAR002
+    _counter += 1
+    return task
+
+
+def run(tasks, jobs=1):
+    a = parallel_map(cached_trial, tasks, jobs=jobs)
+    b = parallel_map(counting_trial, tasks, jobs=jobs)
+    return a, b

@@ -1,0 +1,23 @@
+"""PAR002 negatives: pure workers; ALL_CAPS constants are fair game.
+
+Analyzed with the simulated relpath ``repro/harness/par002_good.py``.
+"""
+
+from repro.harness.parallel import parallel_map
+
+DEFAULTS = {"retries": 3}  # frozen-by-convention constant
+_scratch = []  # mutable, but only the parent touches it
+
+
+def pure_trial(task):
+    # Reads only its argument and an ALL_CAPS constant.
+    budget = DEFAULTS["retries"]
+    local = []  # locals shadow nothing
+    local.append(task)
+    return task, budget, local
+
+
+def run(tasks, jobs=1):
+    results = parallel_map(pure_trial, tasks, jobs=jobs)
+    _scratch.append(len(results))  # parent-side bookkeeping is fine
+    return results

@@ -1,0 +1,39 @@
+"""STAB positives: unregistered state and unreached corruptible state.
+
+Analyzed with the simulated relpath ``repro/core/stab_bad.py``. The class
+named ``RegisterServer`` deliberately reuses a registered name so the
+fixture exercises the real registry entry without importing the real class.
+"""
+
+
+class RogueProcess:
+    """Not in the corruption registry at all: every attribute flagged."""
+
+    def __init__(self, pid):
+        self.pid = pid  # expect: STAB001
+        self.shadow_ts = 0  # expect: STAB001
+
+
+class SlottedProbe:
+    """``__slots__`` entries count as state too."""
+
+    __slots__ = ("alpha",)  # expect: STAB001
+
+
+class RegisterServer:
+    """Registered, but drifts from the registry in both directions."""
+
+    def __init__(self, config, scheme):
+        self.config = config
+        self.scheme = scheme
+        self.value = None
+        self.ts = None
+        self.old_vals = []  # expect: STAB002
+        self.running_read = {}
+        self.hidden_cache = {}  # expect: STAB001
+
+    def corrupt_state(self, rng):
+        # old_vals is registered corruptible but never assigned here.
+        self.value = rng.random()
+        self.ts = rng.random()
+        self.running_read = {}

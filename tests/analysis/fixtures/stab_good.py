@@ -1,0 +1,32 @@
+"""STAB negatives: a class matching its registry entry exactly.
+
+Analyzed with the simulated relpath ``repro/core/stab_good.py``; the class
+name ``RegisterServer`` binds it to the real registry entry, and
+``RegisterSystem`` exercises the class-level exemption path.
+"""
+
+
+class RegisterServer:
+    """Initializes exactly the registered attributes; corrupts all four."""
+
+    def __init__(self, config, scheme):
+        self.config = config  # infrastructure: declared, not corrupted
+        self.scheme = scheme
+        self.value = None
+        self.ts = scheme.initial_label()
+        self.old_vals = []
+        self.running_read = {}
+
+    def corrupt_state(self, rng):
+        self.value = rng.random()
+        self.ts = rng.random()
+        self.old_vals = [(rng.random(), rng.random())]
+        self.running_read = {}
+
+
+class RegisterSystem:
+    """Class-level exemption: the harness owns the injector."""
+
+    def __init__(self, config):
+        self.config = config
+        self.anything_at_all = []

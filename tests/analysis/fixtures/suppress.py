@@ -1,0 +1,16 @@
+"""Suppression semantics: per-rule, bare, and wrong-rule comments.
+
+Analyzed with the simulated relpath ``repro/sim/suppress.py``.
+"""
+
+import random
+import time
+
+
+def mixed():
+    a = time.time()  # lint-ok: DET001 — justified: example of a suppressed read
+    b = time.time()  # lint-ok
+    c = time.time()  # lint-ok: DET002 expect: DET001
+    d = random.random()  # lint-ok: DET001, DET002
+    e = random.random()  # expect: DET002
+    return a, b, c, d, e

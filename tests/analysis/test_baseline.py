@@ -1,0 +1,87 @@
+"""Baseline semantics: fingerprint matching, drift resilience, multisets."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    ModuleInfo,
+    analyze_module,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _det001_findings(source: str):
+    module = ModuleInfo.from_source(source, "repro/sim/det001_bad.py")
+    return analyze_module(module)
+
+
+@pytest.fixture
+def bad_source() -> str:
+    return (FIXTURES / "det001_bad.py").read_text(encoding="utf-8")
+
+
+def test_roundtrip_silences_everything(tmp_path, bad_source) -> None:
+    findings = _det001_findings(bad_source)
+    assert findings
+    path = tmp_path / "baseline.json"
+    write_baseline(findings, path)
+    new, matched = apply_baseline(findings, load_baseline(path))
+    assert new == []
+    assert matched == findings
+
+
+def test_baseline_survives_line_drift(tmp_path, bad_source) -> None:
+    findings = _det001_findings(bad_source)
+    path = tmp_path / "baseline.json"
+    write_baseline(findings, path)
+    shifted = "# drift\n# drift\n# drift\n" + bad_source
+    drifted = _det001_findings(shifted)
+    assert {f.line for f in drifted} != {f.line for f in findings}
+    new, matched = apply_baseline(drifted, load_baseline(path))
+    assert new == []
+    assert len(matched) == len(findings)
+
+
+def test_baseline_dies_when_offending_line_changes(tmp_path, bad_source) -> None:
+    findings = _det001_findings(bad_source)
+    path = tmp_path / "baseline.json"
+    write_baseline(findings, path)
+    edited = bad_source.replace(
+        "started = time.time()", "restarted = time.time()"
+    )
+    assert edited != bad_source
+    new, matched = apply_baseline(_det001_findings(edited), load_baseline(path))
+    assert len(new) == 1
+    assert new[0].context.startswith("restarted = time.time()")
+    assert len(matched) == len(findings) - 1
+
+
+def test_baseline_matching_is_multiset(tmp_path) -> None:
+    source = "import time\n\n\ndef f():\n    t = time.time()\n    t = time.time()\n    return t\n"
+    findings = _det001_findings(source)
+    assert len(findings) == 2
+    assert findings[0].fingerprint == findings[1].fingerprint
+    path = tmp_path / "baseline.json"
+    write_baseline(findings[:1], path)
+    new, matched = apply_baseline(findings, load_baseline(path))
+    assert len(new) == 1 and len(matched) == 1
+
+
+def test_missing_baseline_is_empty(tmp_path) -> None:
+    assert load_baseline(tmp_path / "absent.json") == Counter()
+
+
+def test_unsupported_version_rejected(tmp_path) -> None:
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": 99, "entries": []}), encoding="utf-8")
+    with pytest.raises(ValueError, match="unsupported baseline version"):
+        load_baseline(path)

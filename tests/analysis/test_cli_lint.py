@@ -1,0 +1,82 @@
+"""End-to-end ``repro lint`` CLI: exit codes, JSON shape, baseline flags."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def _bad_module(tmp_path):
+    """A wall-clock read placed under a ``repro/sim/`` relpath."""
+    target = tmp_path / "repro" / "sim" / "probe.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(
+        "import time\n\n\ndef stamp():\n    return time.time()\n",
+        encoding="utf-8",
+    )
+    return target
+
+
+def test_clean_target_exits_zero(tmp_path, capsys) -> None:
+    good = tmp_path / "good.py"
+    good.write_text("VALUE = 1\n", encoding="utf-8")
+    assert main(["lint", str(good)]) == 0
+    assert "clean: no findings" in capsys.readouterr().out
+
+
+def test_findings_exit_one_with_json_report(tmp_path, capsys) -> None:
+    bad = _bad_module(tmp_path)
+    assert main(["lint", str(bad), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["count"] == 1
+    (finding,) = payload["findings"]
+    assert finding["rule"] == "DET001"
+    assert finding["path"] == "repro/sim/probe.py"
+    assert finding["line"] == 5
+    assert finding["context"] == "return time.time()"
+
+
+def test_text_report_includes_tally(tmp_path, capsys) -> None:
+    bad = _bad_module(tmp_path)
+    assert main(["lint", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "repro/sim/probe.py:5" in out
+    assert "DET001" in out
+    assert "1 finding(s)" in out
+
+
+def test_write_baseline_then_lint_is_clean(tmp_path, capsys) -> None:
+    bad = _bad_module(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    assert (
+        main(["lint", str(bad), "--baseline", str(baseline), "--write-baseline"])
+        == 0
+    )
+    assert "written to" in capsys.readouterr().out
+    assert main(["lint", str(bad), "--baseline", str(baseline)]) == 0
+    assert "1 baselined finding(s) suppressed" in capsys.readouterr().out
+
+
+def test_write_baseline_requires_baseline_path(tmp_path, capsys) -> None:
+    bad = _bad_module(tmp_path)
+    assert main(["lint", str(bad), "--write-baseline"]) == 2
+    assert "--write-baseline requires --baseline" in capsys.readouterr().err
+
+
+def test_list_rules_prints_full_catalogue(capsys) -> None:
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in (
+        "DET001",
+        "DET002",
+        "DET003",
+        "DET004",
+        "STAB001",
+        "STAB002",
+        "PAR001",
+        "PAR002",
+    ):
+        assert rule_id in out

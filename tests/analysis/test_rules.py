@@ -1,0 +1,118 @@
+"""Fixture-driven rule tests.
+
+Each fixture under ``fixtures/`` marks every expected violation with a
+``# expect: RULE[, RULE]`` comment on the offending line. The test parses
+those markers and demands the engine produce *exactly* that multiset of
+``(rule_id, line)`` pairs — no extras, no misses, no line drift. Good
+fixtures carry no markers, so they double as false-positive guards, and
+``suppress.py`` pins the suppression semantics (per-rule, bare, and
+wrong-rule ``# lint-ok`` comments).
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import ModuleInfo, analyze_module
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: fixture file -> simulated package relpath (drives the path-scoped rules).
+RELPATHS = {
+    "det001_bad.py": "repro/sim/det001_bad.py",
+    "det001_good.py": "repro/sim/det001_good.py",
+    "det001_allowed.py": "repro/harness/profiling.py",
+    "det002_bad.py": "repro/workloads/det002_bad.py",
+    "det002_good.py": "repro/workloads/det002_good.py",
+    "det003_bad.py": "repro/sim/det003_bad.py",
+    "det003_good.py": "repro/sim/det003_good.py",
+    "det004_bad.py": "repro/byzantine/det004_bad.py",
+    "det004_good.py": "repro/byzantine/det004_good.py",
+    "stab_bad.py": "repro/core/stab_bad.py",
+    "stab_good.py": "repro/core/stab_good.py",
+    "par001_bad.py": "repro/harness/par001_bad.py",
+    "par001_good.py": "repro/harness/par001_good.py",
+    "par002_bad.py": "repro/harness/par002_bad.py",
+    "par002_good.py": "repro/harness/par002_good.py",
+    "suppress.py": "repro/sim/suppress.py",
+}
+
+_EXPECT_RE = re.compile(
+    r"expect:\s*(?P<rules>[A-Z]{2,8}\d{3}(?:\s*,\s*[A-Z]{2,8}\d{3})*)"
+)
+
+
+def expected_markers(source: str) -> Counter:
+    """Multiset of ``(rule_id, line)`` from the ``# expect:`` comments."""
+    expected: Counter = Counter()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        if "#" not in text:
+            continue
+        match = _EXPECT_RE.search(text.split("#", 1)[1])
+        if match is None:
+            continue
+        for rule in match.group("rules").split(","):
+            expected[(rule.strip(), lineno)] += 1
+    return expected
+
+
+@pytest.mark.parametrize("name", sorted(RELPATHS))
+def test_fixture_matches_markers(name: str) -> None:
+    source = (FIXTURES / name).read_text(encoding="utf-8")
+    module = ModuleInfo.from_source(source, RELPATHS[name])
+    actual = Counter((f.rule_id, f.line) for f in analyze_module(module))
+    expected = expected_markers(source)
+    missing = expected - actual
+    extra = actual - expected
+    assert not missing and not extra, (
+        f"{name}: missing={sorted(missing)} extra={sorted(extra)}"
+    )
+
+
+def test_bad_fixtures_actually_fire() -> None:
+    """Guard against a silently broken marker parser: every *_bad fixture
+    must expect at least one finding for its own rule family."""
+    for name in RELPATHS:
+        if not name.endswith("_bad.py"):
+            continue
+        source = (FIXTURES / name).read_text(encoding="utf-8")
+        expected = expected_markers(source)
+        assert expected, f"{name} has no expect markers"
+        family = name.split("_")[0].upper()  # det001 -> DET001, stab -> STAB
+        assert any(rule.startswith(family[:3]) for rule, _ in expected)
+
+
+def test_suppression_is_per_rule() -> None:
+    """Direct (non-marker) pin of the three suppression shapes."""
+    source = (FIXTURES / "suppress.py").read_text(encoding="utf-8")
+    module = ModuleInfo.from_source(source, "repro/sim/suppress.py")
+    findings = analyze_module(module)
+    fired = {(f.rule_id, f.line) for f in findings}
+    named = next(
+        i
+        for i, text in enumerate(source.splitlines(), start=1)
+        if "lint-ok: DET001 " in text
+    )
+    bare = named + 1  # `# lint-ok` with no rule list
+    wrong = named + 2  # suppresses DET002, but DET001 is what fires
+    both = named + 3  # `# lint-ok: DET001, DET002`
+    assert ("DET001", named) not in fired
+    assert ("DET001", bare) not in fired
+    assert ("DET001", wrong) in fired
+    assert ("DET002", both) not in fired
+
+
+def test_four_letter_rule_ids_parse_in_suppressions() -> None:
+    """`# lint-ok: STAB001` must suppress exactly STAB001 — a rule-id
+    pattern that only fits three-letter prefixes silently degrades the
+    comment to a suppress-everything marker."""
+    module = ModuleInfo.from_source(
+        "class C:\n    def __init__(self):\n"
+        "        self.x = 0  # lint-ok: STAB001\n",
+        "repro/core/four_letter.py",
+    )
+    assert module.suppressions == {3: {"STAB001"}}

@@ -1,0 +1,46 @@
+"""The linter's self-test over the real package (acceptance criteria).
+
+``repro lint`` must run clean over ``src/repro`` with no baseline, and a
+deliberately injected violation of either family — a wall-clock call, or
+an unregistered process attribute — must be caught. The injection tests
+prove a clean report means "no violations", not "rules never fire".
+"""
+
+from __future__ import annotations
+
+from repro.analysis import analyze_paths, default_target
+
+
+def test_repro_package_is_clean() -> None:
+    findings = analyze_paths([default_target()])
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_injected_wall_clock_is_caught(tmp_path) -> None:
+    probe = tmp_path / "repro" / "sim" / "injected.py"
+    probe.parent.mkdir(parents=True)
+    probe.write_text(
+        "import time\n\n\ndef now():\n    return time.time()\n",
+        encoding="utf-8",
+    )
+    findings = analyze_paths([probe])
+    assert [(f.rule_id, f.line) for f in findings] == [("DET001", 5)]
+
+
+def test_injected_unregistered_attribute_is_caught(tmp_path) -> None:
+    probe = tmp_path / "repro" / "core" / "injected.py"
+    probe.parent.mkdir(parents=True)
+    probe.write_text(
+        "class RogueWidget:\n"
+        "    def __init__(self):\n"
+        "        self.leaked = 0\n",
+        encoding="utf-8",
+    )
+    findings = analyze_paths([probe])
+    assert [(f.rule_id, f.line) for f in findings] == [("STAB001", 3)]
+    assert "RogueWidget.leaked" in findings[0].message
+
+
+def test_rule_subset_selection() -> None:
+    findings = analyze_paths([default_target()], only=["DET001", "DET002"])
+    assert findings == []
