@@ -1,0 +1,62 @@
+"""Chaos nemesis layer: composable fault operators, plans, and shrinking.
+
+Jepsen-style robustness testing for the stabilizing register:
+
+* :mod:`repro.chaos.nemesis` — the nemesis *algebra*: small, declarative,
+  serializable fault operators (partition-then-heal, crash–restart of
+  clients and correct servers, corruption waves, message storms, latency
+  surges) that compile onto the existing
+  :class:`~repro.sim.faults.FaultSchedule` /
+  :class:`~repro.sim.adversary.Adversary` machinery;
+* :mod:`repro.chaos.plan` — :class:`ChaosPlan`, the serializable trial
+  description (deterministic replay, survives process pools), and the
+  plan sampler;
+* :mod:`repro.chaos.monitor` — the online :class:`InvariantMonitor` and
+  its watchdog/forensics;
+* :mod:`repro.chaos.engine` — :func:`run_plan` and the parallel campaign;
+* :mod:`repro.chaos.shrink` — delta-debugging of fuzz witnesses and chaos
+  plans down to locally minimal reproducers.
+"""
+
+from repro.chaos.engine import (
+    PRESETS,
+    ChaosOutcome,
+    ChaosReport,
+    chaos_campaign,
+    run_plan,
+)
+from repro.chaos.monitor import InvariantMonitor
+from repro.chaos.nemesis import (
+    CorruptionWaveNemesis,
+    CrashRestartNemesis,
+    LatencySurgeNemesis,
+    MessageStormNemesis,
+    Nemesis,
+    PartitionNemesis,
+    SurgeAdversary,
+)
+from repro.chaos.plan import ChaosPlan, plan_from_dict, plan_to_dict, sample_plan
+from repro.chaos.shrink import ShrinkResult, shrink_plan, shrink_witness
+
+__all__ = [
+    "ChaosOutcome",
+    "ChaosPlan",
+    "ChaosReport",
+    "CorruptionWaveNemesis",
+    "CrashRestartNemesis",
+    "InvariantMonitor",
+    "LatencySurgeNemesis",
+    "MessageStormNemesis",
+    "Nemesis",
+    "PRESETS",
+    "PartitionNemesis",
+    "ShrinkResult",
+    "SurgeAdversary",
+    "chaos_campaign",
+    "plan_from_dict",
+    "plan_to_dict",
+    "run_plan",
+    "sample_plan",
+    "shrink_plan",
+    "shrink_witness",
+]

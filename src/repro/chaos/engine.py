@@ -1,0 +1,323 @@
+"""The chaos engine: run one plan, or a parallel campaign of them.
+
+:func:`run_plan` is the real run-and-judge path shared by campaigns,
+witness replay, and the shrinker: build the system, compile and arm the
+nemeses, drive the workload in monitor-interval chunks under the
+:class:`~repro.chaos.monitor.InvariantMonitor`'s watchdog, probe, judge.
+It is a pure function of its plan — same plan, same outcome, serial or
+pooled — and module-level, so a multiprocessing pool can ship it to
+workers (the ``--jobs`` path).
+
+Expected outcomes mirror the fuzzer's contract: at ``n >= 5f + 1`` every
+campaign should come back clean — zero violations *and* zero watchdog
+hangs — however hostile the nemesis mix; below the bound, witnesses
+appear and each carries its full plan for deterministic replay.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.byzantine.strategies import STRATEGY_ZOO
+from repro.chaos.monitor import InvariantMonitor
+from repro.chaos.nemesis import (
+    CrashRestartNemesis,
+    SurgeAdversary,
+    compile_nemeses,
+)
+from repro.chaos.plan import ChaosPlan, plan_to_dict, sample_plan
+from repro.core.config import SystemConfig
+from repro.core.register import RegisterSystem
+from repro.harness.fuzz import _bounded_probe
+from repro.sim.adversary import FixedLatencyAdversary, UniformLatencyAdversary
+from repro.sim.partitions import PartitioningAdversary
+from repro.spec.stabilization import evaluate_stabilization
+from repro.workloads.generators import mixed_scripts, read_heavy_scripts, run_scripts
+
+WITNESS_FORMAT = "repro-chaos-witness/1"
+
+#: per-plan event allowance past which the watchdog declares a livelock
+#: (healthy plans process a few thousand events; 300k is ~50x headroom).
+_EVENT_BUDGET = 300_000
+
+
+@dataclass
+class ChaosOutcome:
+    """One plan's verdict (picklable; pooled campaigns merge these)."""
+
+    plan: ChaosPlan
+    kind: str  # "ok" | "violation" | "not-stabilized" | "stuck"
+    detail: str
+    forensics: Optional[dict[str, Any]] = None
+    reads_checked: int = 0
+    aborts: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.kind == "ok"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "format": WITNESS_FORMAT,
+            "kind": self.kind,
+            "detail": self.detail,
+            "forensics": self.forensics,
+            "plan": plan_to_dict(self.plan),
+        }
+
+
+@dataclass
+class ChaosReport:
+    """Aggregate outcome of a chaos campaign."""
+
+    trials: int
+    witnesses: list[ChaosOutcome] = field(default_factory=list)
+    stuck: int = 0
+    reads_checked: int = 0
+    aborts: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.witnesses
+
+    def summary(self) -> str:
+        status = "CLEAN" if self.clean else f"{len(self.witnesses)} WITNESSES"
+        return (
+            f"{status} over {self.trials} plans "
+            f"({self.reads_checked} reads judged, {self.aborts} aborts, "
+            f"{self.stuck} stuck)"
+        )
+
+
+def build_system(plan: ChaosPlan, trace: str = "stats") -> RegisterSystem:
+    """Deploy the system a plan describes, nemeses compiled and armed."""
+    config = SystemConfig(n=plan.n, f=plan.f, enforce_resilience=False)
+    lo, hi = plan.latency
+    base = (
+        FixedLatencyAdversary(lo)
+        if lo == hi
+        else UniformLatencyAdversary(lo, hi)
+    )
+    byz = (
+        {
+            f"s{plan.n - i - 1}": STRATEGY_ZOO[plan.strategy].factory()
+            for i in range(plan.f)
+        }
+        if plan.strategy
+        else {}
+    )
+    system = RegisterSystem(
+        config,
+        seed=plan.seed,
+        n_clients=plan.n_clients,
+        adversary=base,
+        byzantine=byz,
+        trace=trace,
+    )
+    schedule, windows, surges = compile_nemeses(plan.nemeses, system)
+    env = system.env
+
+    def clock() -> float:
+        return env.scheduler.now
+
+    adversary = base
+    if surges:
+        adversary = SurgeAdversary(adversary, surges, clock)
+    if windows:
+        adversary = PartitioningAdversary(windows, clock, base=adversary)
+    env.network.adversary = adversary
+    if plan.corrupt_at_start:
+        system.corrupt_servers()
+        system.corrupt_clients()
+    schedule.arm(env)
+    return system
+
+
+def _clients_down_at_end(plan: ChaosPlan) -> set[str]:
+    """Clients a plan crash-stops (never restarts)."""
+    down: set[str] = set()
+    for nem in plan.nemeses:
+        if isinstance(nem, CrashRestartNemesis) and not nem._is_server:
+            if nem.restart_at is None:
+                down.add(nem.target)
+            else:
+                down.discard(nem.target)
+    return down
+
+
+def run_plan(
+    plan: ChaosPlan,
+    trace: str = "stats",
+    monitor_interval: float = 10.0,
+) -> ChaosOutcome:
+    """Execute one chaos plan end to end; judge the outcome.
+
+    The simulation advances in ``monitor_interval`` chunks with an
+    :class:`InvariantMonitor` checkpoint between chunks (frontier record +
+    incremental prefix judgement), then drains fully. Runs that wedge
+    (pending operations, drained queue), exhaust the scheduler's event
+    cap, or deadlock during the post-fault probe come back as ``stuck``
+    witnesses with the monitor's forensics attached instead of hanging
+    the campaign.
+    """
+    system = build_system(plan, trace=trace)
+    monitor = InvariantMonitor(system)
+
+    maker = mixed_scripts if plan.workload == "mixed" else read_heavy_scripts
+    scripts = maker(
+        [f"c{i}" for i in range(plan.n_clients)],
+        random.Random(plan.seed ^ 0x5EED),
+        ops_per_client=plan.ops_per_client,
+    )
+    run_scripts(system, scripts, drain=False)
+    processed = 0
+    t = monitor_interval
+    while t <= plan.horizon:
+        processed += system.env.run(until=t)
+        monitor.checkpoint()
+        if monitor.wedged() or processed > _EVENT_BUDGET:
+            break
+        t += monitor_interval
+    # Bounded final drain: strictly positive latencies make run(until=...)
+    # terminate even under a message livelock (time advances), so the only
+    # unbounded phase is the drain — cap it and declare "stuck" instead of
+    # churning toward the scheduler's global event cap.
+    drained = system.env.drain_bounded(_EVENT_BUDGET)
+    monitor.checkpoint()
+    if not drained:
+        return ChaosOutcome(
+            plan=plan,
+            kind="stuck",
+            detail=(
+                f"watchdog: still churning at t={system.env.now:.1f} after "
+                f"the horizon"
+            ),
+            forensics=monitor.forensics(),
+        )
+    if monitor.wedged():
+        return ChaosOutcome(
+            plan=plan,
+            kind="stuck",
+            detail="watchdog: event queue drained with operations pending",
+            forensics=monitor.forensics(),
+        )
+
+    # Post-fault probe: a convergence anchor plus suffix reads, issued by
+    # a client the plan leaves alive (plans never crash-stop everyone; a
+    # shrunk plan might, and is then judged probe-less — safe, because it
+    # can only be less incriminating and the shrinker rejects it).
+    down = _clients_down_at_end(plan)
+    probers = [c for c in sorted(system.clients) if c not in down]
+    if probers:
+        detail = _bounded_probe(system, probers, f"probe-{plan.seed}")
+        if detail is not None:
+            return ChaosOutcome(
+                plan=plan,
+                kind="stuck",
+                detail=detail,
+                forensics=monitor.forensics(),
+            )
+
+    if plan.faulted():
+        report = evaluate_stabilization(
+            system.history,
+            system.checker(),
+            last_fault_time=plan.last_fault_time(),
+        )
+        verdict = report.suffix_verdict
+        reads = verdict.checked_reads if verdict else 0
+        aborts = verdict.aborted_reads if verdict else 0
+        if not report.stabilized:
+            return ChaosOutcome(
+                plan=plan,
+                kind="not-stabilized",
+                detail=report.summary(),
+                forensics=monitor.forensics(),
+                reads_checked=reads,
+                aborts=aborts,
+            )
+        return ChaosOutcome(
+            plan=plan,
+            kind="ok",
+            detail=report.summary(),
+            reads_checked=reads,
+            aborts=aborts,
+        )
+    verdict = system.check_regularity()
+    if not verdict.ok:
+        return ChaosOutcome(
+            plan=plan,
+            kind="violation",
+            detail=verdict.summary(),
+            forensics=monitor.forensics(),
+            reads_checked=verdict.checked_reads,
+            aborts=verdict.aborted_reads,
+        )
+    return ChaosOutcome(
+        plan=plan,
+        kind="ok",
+        detail=verdict.summary(),
+        reads_checked=verdict.checked_reads,
+        aborts=verdict.aborted_reads,
+    )
+
+
+def _plan_outcome(plan: ChaosPlan, trace: str = "stats") -> ChaosOutcome:
+    """Module-level pool worker (picklability — see PAR001)."""
+    return run_plan(plan, trace=trace)
+
+
+#: campaign presets for the CLI and CI (``repro chaos --preset smoke``).
+PRESETS: dict[str, dict[str, Any]] = {
+    "smoke": {"trials": 20, "n": 6, "f": 1},
+    "nightly": {"trials": 200, "n": 6, "f": 1},
+    "boundary": {"trials": 50, "n": 5, "f": 1},
+}
+
+
+def chaos_campaign(
+    trials: int = 50,
+    n: int = 6,
+    f: int = 1,
+    master_seed: int = 0,
+    jobs: int = 1,
+    trace: str = "stats",
+    max_nemeses: int = 3,
+    stop_at_first: bool = False,
+) -> ChaosReport:
+    """Run a chaos campaign; see the module docstring for the contract.
+
+    Plans are sampled serially from the master RNG before any trial runs
+    and outcomes are consumed in plan order, so the report is identical
+    for every ``jobs`` value (the fuzzer's determinism recipe).
+    """
+    import functools
+
+    from repro.harness.parallel import parallel_imap
+
+    rng = random.Random(master_seed)
+    plans = [
+        sample_plan(
+            rng, n=n, f=f, trial_seed=rng.getrandbits(30), max_nemeses=max_nemeses
+        )
+        for _ in range(trials)
+    ]
+    plan_fn = (
+        _plan_outcome
+        if trace == "stats"
+        else functools.partial(_plan_outcome, trace=trace)
+    )
+    report = ChaosReport(trials=0)
+    for outcome in parallel_imap(plan_fn, plans, jobs=jobs):
+        report.trials += 1
+        report.reads_checked += outcome.reads_checked
+        report.aborts += outcome.aborts
+        if not outcome.ok:
+            if outcome.kind == "stuck":
+                report.stuck += 1
+            report.witnesses.append(outcome)
+            if stop_at_first:
+                break
+    return report

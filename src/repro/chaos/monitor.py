@@ -1,0 +1,143 @@
+"""Online invariant monitoring and watchdog forensics.
+
+The chaos engine never runs a plan blind: it advances the simulation in
+monitor-interval chunks and lets the :class:`InvariantMonitor` observe the
+run between chunks. Each checkpoint records a *frontier* (clock, settled
+operation census, pending operations, in-flight envelope count) and feeds
+the growing history to the sweep
+:class:`~repro.spec.stabilization.StabilizationAnalyzer` through the
+:class:`~repro.spec.stabilization.IncrementalStabilization` cache — so
+whole-prefix anomalies are spotted *while the run executes* at the cost of
+one analyzer rebuild per completed operation, not per checkpoint.
+
+When a run wedges (pending operations with a drained event queue) or
+exhausts its horizon, :meth:`InvariantMonitor.forensics` assembles the
+JSON-friendly post-mortem the watchdog attaches to the witness: the last
+frontiers, who is blocked on what, and a sample of the envelopes still in
+flight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.spec.stabilization import IncrementalStabilization
+
+
+@dataclass
+class Frontier:
+    """One checkpoint's snapshot of run progress."""
+
+    time: float
+    settled_ops: int
+    pending_ops: int
+    in_flight: int
+    prefix_ok: bool
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "time": self.time,
+            "settled_ops": self.settled_ops,
+            "pending_ops": self.pending_ops,
+            "in_flight": self.in_flight,
+            "prefix_ok": self.prefix_ok,
+        }
+
+
+@dataclass
+class InvariantMonitor:
+    """Watches one register system while a chaos plan executes.
+
+    Args:
+        system: the :class:`~repro.core.register.RegisterSystem` under
+            test (any object exposing ``env``/``history``/``clients`` and
+            ``checker()`` works).
+        keep_frontiers: how many checkpoints the forensic tail retains.
+    """
+
+    system: Any
+    keep_frontiers: int = 8
+    frontiers: list[Frontier] = field(default_factory=list)
+    checkpoints: int = 0
+    first_anomaly_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        # Mid-run pending operations are normal, so the online prefix
+        # check must not flag them as termination violations; the final
+        # judge (with termination on) runs after the drain.
+        self._incremental = IncrementalStabilization(
+            self.system.history,
+            self.system.checker(check_termination=False),
+        )
+
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> Frontier:
+        """Record one frontier and judge the completed prefix."""
+        env = self.system.env
+        history = self.system.history
+        settled = sum(1 for op in history if op.responded_at is not None)
+        pending = len(history.pending())
+        verdict = self._incremental.full_verdict()
+        frontier = Frontier(
+            time=env.now,
+            settled_ops=settled,
+            pending_ops=pending,
+            in_flight=len(env.network.in_flight),
+            prefix_ok=verdict.ok,
+        )
+        if not verdict.ok and self.first_anomaly_time is None:
+            self.first_anomaly_time = env.now
+        self.frontiers.append(frontier)
+        del self.frontiers[: -self.keep_frontiers]
+        self.checkpoints += 1
+        return frontier
+
+    @property
+    def analyzer_rebuilds(self) -> int:
+        return self._incremental.rebuilds
+
+    # ------------------------------------------------------------------
+    def wedged(self) -> bool:
+        """Pending operations with nothing left to fire: a stuck run."""
+        return (
+            self.system.env.scheduler.idle()
+            and len(self.system.history.pending()) > 0
+        )
+
+    def pending_report(self) -> list[str]:
+        """Who is blocked on what (client handles still in flight)."""
+        blocked = []
+        for cid in sorted(self.system.clients):
+            proc = self.system.clients[cid]
+            for handle in proc.blocked_operations():
+                blocked.append(
+                    f"{handle.name} waiting on {handle.waiting_on!r}"
+                )
+        return blocked
+
+    def in_flight_report(self, limit: int = 20) -> list[str]:
+        """A sample of envelopes still in flight, oldest first."""
+        envelopes = self.system.env.network.in_flight_envelopes()
+        envelopes.sort(key=lambda e: (e.send_time, e.src, e.dst))
+        return [
+            f"{e.src}->{e.dst} {type(e.payload).__name__} @t={e.send_time:.2f}"
+            for e in envelopes[:limit]
+        ]
+
+    def forensics(self) -> dict[str, Any]:
+        """The watchdog's JSON-friendly post-mortem."""
+        env = self.system.env
+        adversary = env.network.adversary
+        return {
+            "now": env.now,
+            "checkpoints": self.checkpoints,
+            "first_anomaly_time": self.first_anomaly_time,
+            "last_frontiers": [f.to_dict() for f in self.frontiers],
+            "pending_ops": self.pending_report(),
+            "in_flight": self.in_flight_report(),
+            "in_flight_total": len(env.network.in_flight),
+            "deferred_messages": getattr(adversary, "deferred", 0),
+            "adversary": adversary.describe(),
+            "queue_idle": env.scheduler.idle(),
+        }

@@ -1,0 +1,401 @@
+"""The nemesis algebra: declarative, composable fault operators.
+
+A *nemesis* is a small frozen dataclass describing one adversarial
+episode. Nemeses carry no simulator handles — they are pure data, which
+is what makes a :class:`~repro.chaos.plan.ChaosPlan` serializable,
+replayable, and safe to ship across a ``--jobs`` process pool — and they
+*compile* onto the repo's existing fault machinery:
+
+* timed state faults become :class:`~repro.sim.faults.FaultSchedule`
+  actions (:meth:`Nemesis.add_actions`);
+* connectivity faults become
+  :class:`~repro.sim.partitions.PartitionWindow` s
+  (:meth:`Nemesis.partition_windows`) stacked into one
+  :class:`~repro.sim.partitions.PartitioningAdversary`;
+* latency faults become surge windows (:meth:`Nemesis.surge_windows`)
+  interpreted by :class:`SurgeAdversary`.
+
+Every nemesis also declares its *transient-fault instants*
+(:meth:`Nemesis.fault_times`): the times after which process state may
+have been scrambled. The chaos judge anchors pseudo-stabilization on the
+first write completing after the **last** such instant, exactly as the
+fuzzer does — a nemesis that only delays messages (partition, surge)
+contributes none, because asynchrony never corrupts state and the
+specification must hold across it.
+
+Model-compliance notes baked into the operators:
+
+* A *server* crash–restart is modelled as a single-process partition for
+  the outage window plus a state scramble at the heal. Under asynchrony a
+  crashed-then-recovering process is indistinguishable from a very slow
+  one, and messages sent to it are delayed, not destroyed — which keeps
+  the run inside the paper's reliable-channel model (losing a correct
+  server's messages would exceed the ``f`` bound and wedge quorums).
+* A *message storm* injects stale/forged envelopes via
+  :class:`~repro.sim.faults.ChannelCorruptor.inject_stale`; it never
+  destroys legitimately in-flight messages, for the same reason.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, fields
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from repro.sim.adversary import Adversary
+from repro.sim.faults import ChannelCorruptor, FaultSchedule, garbage_forger
+from repro.sim.partitions import PartitionWindow
+
+#: A latency surge: (start, end, factor) — base latency multiplied by
+#: ``factor`` for messages sent inside the window.
+Surge = tuple[float, float, float]
+
+
+class SurgeAdversary(Adversary):
+    """Multiplies the base latency inside declared surge windows.
+
+    Overlapping surges compound (their factors multiply), matching the
+    intuition that two simultaneous slowdowns are worse than either.
+    """
+
+    def __init__(
+        self,
+        base: Adversary,
+        surges: Iterable[Surge],
+        clock: Callable[[], float],
+    ) -> None:
+        self.base = base
+        self.surges = sorted(surges)
+        self.clock = clock
+
+    def latency(self, env: Any, rng: random.Random) -> float:
+        delay = self.base.latency(env, rng)
+        now = self.clock()
+        for start, end, factor in self.surges:
+            if start <= now < end:
+                delay *= factor
+        return delay
+
+    def describe(self) -> str:
+        spans = ", ".join(
+            f"[{s}..{e}]x{f}" for s, e, f in self.surges
+        )
+        return f"Surge({spans}) over {self.base.describe()}"
+
+
+@dataclass(frozen=True)
+class Nemesis:
+    """Base fault operator. Subclasses override the compile hooks."""
+
+    #: serialization tag; every concrete subclass sets one.
+    kind = "nemesis"
+
+    def fault_times(self) -> tuple[float, ...]:
+        """Instants after which process state may be scrambled."""
+        return ()
+
+    def partition_windows(self) -> list[PartitionWindow]:
+        """Connectivity cuts this nemesis contributes."""
+        return []
+
+    def surge_windows(self) -> list[Surge]:
+        """Latency surges this nemesis contributes."""
+        return []
+
+    def add_actions(self, system: Any, schedule: FaultSchedule) -> None:
+        """Append this nemesis's timed actions to the shared schedule."""
+
+    def size(self) -> int:
+        """The shrinker's per-nemesis weight (number of strikes)."""
+        return 1
+
+    def end_time(self) -> float:
+        """Last instant at which this nemesis still acts (horizon input)."""
+        return max([0.0, *self.fault_times()])
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {"kind": self.kind}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            data[f.name] = list(value) if isinstance(value, tuple) else value
+        return data
+
+
+@dataclass(frozen=True)
+class PartitionNemesis(Nemesis):
+    """Partition-then-heal: isolate ``island`` for ``duration`` time units.
+
+    Messages crossing the cut are *delayed* until the heal (the paper's
+    asynchronous model has no loss), so the specification must hold
+    throughout — a partition contributes no fault instant.
+    """
+
+    start: float
+    duration: float
+    island: tuple[str, ...]
+
+    kind = "partition"
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError(f"partition duration must be > 0: {self.duration}")
+        if not self.island:
+            raise ValueError("partition island must name at least one process")
+
+    def partition_windows(self) -> list[PartitionWindow]:
+        return [
+            PartitionWindow(
+                start=self.start,
+                end=self.start + self.duration,
+                island=frozenset(self.island),
+            )
+        ]
+
+    def end_time(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class CrashRestartNemesis(Nemesis):
+    """Crash ``target`` at ``time``; optionally recover at ``restart_at``.
+
+    Clients crash for real: the in-flight operation settles as ``CRASHED``
+    and a later restart recovers the client with *scrambled* state (the
+    crash–recovery-with-arbitrary-memory fault model). ``restart_at=None``
+    is a client crash-stop.
+
+    Correct servers are crash–*restarted* only (``restart_at`` required):
+    the outage compiles to a single-server partition window — under
+    asynchrony a recovering server is indistinguishable from a very slow
+    one — and the arbitrary recovered state is applied as a scramble at
+    the heal. Crash-*stopping* a correct server would exceed the model's
+    ``f``-bound and permanently wedge quorums, so it is rejected.
+    """
+
+    time: float
+    target: str
+    restart_at: Optional[float] = None
+
+    kind = "crash-restart"
+
+    def __post_init__(self) -> None:
+        if self.restart_at is not None and self.restart_at <= self.time:
+            raise ValueError(
+                f"restart must follow the crash: {self.restart_at} <= {self.time}"
+            )
+        if self._is_server and self.restart_at is None:
+            raise ValueError(
+                f"correct server {self.target!r} cannot crash-stop "
+                "(exceeds the f bound); give it a restart_at"
+            )
+
+    @property
+    def _is_server(self) -> bool:
+        return self.target.rpartition(":")[2].startswith("s")
+
+    def fault_times(self) -> tuple[float, ...]:
+        # The scramble (client restart / server heal) is the state fault;
+        # a client crash-stop corrupts nothing.
+        return () if self.restart_at is None else (self.restart_at,)
+
+    def partition_windows(self) -> list[PartitionWindow]:
+        if not self._is_server:
+            return []
+        return [
+            PartitionWindow(
+                start=self.time,
+                end=self.restart_at,
+                island=frozenset({self.target}),
+            )
+        ]
+
+    def add_actions(self, system: Any, schedule: FaultSchedule) -> None:
+        if self._is_server:
+            # The outage itself is the partition window; only the
+            # arbitrary recovered state needs an action. Byzantine
+            # targets get nothing: their behaviour is already arbitrary.
+            def recover(env: Any, sid: str = self.target) -> None:
+                if sid in system.byzantine_ids:
+                    return
+                rng = env.spawn_rng(f"chaos:recover:{sid}:{self.restart_at}")
+                system.servers[sid].corrupt_state(rng)
+
+            schedule.at(
+                self.restart_at,
+                recover,
+                label=f"server-recover {self.target}@{self.restart_at}",
+            )
+            return
+        schedule.at(
+            self.time,
+            lambda env, c=self.target: system.clients[c].crash(),
+            label=f"crash {self.target}@{self.time}",
+        )
+        if self.restart_at is not None:
+            schedule.at(
+                self.restart_at,
+                lambda env, c=self.target: system.restart_client(c),
+                label=f"restart {self.target}@{self.restart_at}",
+            )
+
+    def size(self) -> int:
+        return 1 if self.restart_at is None else 2
+
+    def end_time(self) -> float:
+        return self.time if self.restart_at is None else self.restart_at
+
+
+@dataclass(frozen=True)
+class CorruptionWaveNemesis(Nemesis):
+    """Transient corruption strikes at each instant in ``times``.
+
+    Each strike scrambles every correct server with probability
+    ``server_fraction`` and every *idle* client with ``client_fraction``
+    (clients hit mid-operation are modelled by :class:`CrashRestartNemesis`
+    instead — see the client corruption model note in
+    :func:`repro.workloads.schedules.corruption_schedule`).
+    """
+
+    times: tuple[float, ...]
+    server_fraction: float = 1.0
+    client_fraction: float = 0.5
+
+    kind = "corruption-wave"
+
+    def __post_init__(self) -> None:
+        if not self.times:
+            raise ValueError("corruption wave needs at least one strike time")
+
+    def fault_times(self) -> tuple[float, ...]:
+        return tuple(self.times)
+
+    def add_actions(self, system: Any, schedule: FaultSchedule) -> None:
+        from repro.workloads.schedules import corruption_schedule
+
+        wave = corruption_schedule(
+            system,
+            self.times,
+            server_fraction=self.server_fraction,
+            client_fraction=self.client_fraction,
+            rng=system.env.spawn_rng(f"chaos:wave:{self.times[0]}"),
+        )
+        schedule.actions.extend(wave.actions)
+
+    def size(self) -> int:
+        return len(self.times)
+
+
+@dataclass(frozen=True)
+class MessageStormNemesis(Nemesis):
+    """Inject a burst of stale garbage messages at ``time``.
+
+    ``pairs`` directed channels are picked deterministically from the
+    run's derived RNG and each receives ``burst`` unparseable envelopes —
+    the "arbitrary channel contents" corruption of Section II, scaled up.
+    Legitimate in-flight messages are never touched (reliable channels).
+    """
+
+    time: float
+    pairs: int = 4
+    burst: int = 2
+
+    kind = "message-storm"
+
+    def __post_init__(self) -> None:
+        if self.pairs < 1 or self.burst < 1:
+            raise ValueError("storm needs pairs >= 1 and burst >= 1")
+
+    def fault_times(self) -> tuple[float, ...]:
+        return (self.time,)
+
+    def add_actions(self, system: Any, schedule: FaultSchedule) -> None:
+        def storm(env: Any) -> None:
+            rng = env.spawn_rng(f"chaos:storm:{self.time}")
+            corruptor = ChannelCorruptor(env.network, rng)
+            pids = sorted(env.network.processes)
+            channels = [
+                (src, dst) for src in pids for dst in pids if src != dst
+            ]
+            count = min(self.pairs, len(channels))
+            for src, dst in rng.sample(channels, count):
+                corruptor.inject_stale(
+                    src,
+                    dst,
+                    lambda r: garbage_forger(None, r),
+                    count=self.burst,
+                )
+
+        schedule.at(self.time, storm, label=f"storm@{self.time}")
+
+
+@dataclass(frozen=True)
+class LatencySurgeNemesis(Nemesis):
+    """Multiply message latency by ``factor`` inside ``[start, end)``.
+
+    Pure asynchrony — finite delays are always admissible, so the
+    specification must hold across a surge and no fault instant is
+    contributed.
+    """
+
+    start: float
+    end: float
+    factor: float
+
+    kind = "latency-surge"
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(f"surge window empty: {self.start}..{self.end}")
+        if self.factor < 1.0:
+            raise ValueError(f"surge factor must be >= 1: {self.factor}")
+
+    def surge_windows(self) -> list[Surge]:
+        return [(self.start, self.end, self.factor)]
+
+    def end_time(self) -> float:
+        return self.end
+
+
+#: serialization registry: kind tag -> concrete nemesis class.
+NEMESIS_KINDS: dict[str, type] = {
+    cls.kind: cls
+    for cls in (
+        PartitionNemesis,
+        CrashRestartNemesis,
+        CorruptionWaveNemesis,
+        MessageStormNemesis,
+        LatencySurgeNemesis,
+    )
+}
+
+
+def nemesis_from_dict(data: dict[str, Any]) -> Nemesis:
+    """Rebuild one nemesis from its :meth:`Nemesis.to_dict` form."""
+    kind = data.get("kind")
+    cls = NEMESIS_KINDS.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown nemesis kind: {kind!r}")
+    kwargs: dict[str, Any] = {}
+    for f in fields(cls):
+        value = data[f.name]
+        kwargs[f.name] = tuple(value) if isinstance(value, list) else value
+    return cls(**kwargs)
+
+
+def compile_nemeses(
+    nemeses: Sequence[Nemesis], system: Any
+) -> tuple[FaultSchedule, list[PartitionWindow], list[Surge]]:
+    """Compile a nemesis sequence against a built register system.
+
+    Returns the (unarmed) fault schedule plus the partition windows and
+    latency surges the caller stacks onto the network adversary.
+    """
+    schedule = FaultSchedule()
+    windows: list[PartitionWindow] = []
+    surges: list[Surge] = []
+    for nemesis in nemeses:
+        nemesis.add_actions(system, schedule)
+        windows.extend(nemesis.partition_windows())
+        surges.extend(nemesis.surge_windows())
+    return schedule, windows, surges

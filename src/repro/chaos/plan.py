@@ -1,0 +1,236 @@
+"""Chaos plans: serializable trial descriptions and their sampler.
+
+A :class:`ChaosPlan` is to the chaos engine what a
+:class:`~repro.harness.fuzz.TrialRecipe` is to the fuzzer: *everything*
+needed to replay one trial deterministically — deployment shape, workload,
+Byzantine strategy, latency regime, and the nemesis timeline. Plans are
+plain frozen data, so they pickle across a ``--jobs`` pool and serialize
+to JSON for archival next to a witness (format tag
+``repro-chaos-plan/1``, the :mod:`repro.spec.serialize` idiom).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.byzantine.strategies import STRATEGY_ZOO
+from repro.chaos.nemesis import (
+    CorruptionWaveNemesis,
+    CrashRestartNemesis,
+    LatencySurgeNemesis,
+    MessageStormNemesis,
+    Nemesis,
+    PartitionNemesis,
+    nemesis_from_dict,
+)
+
+PLAN_FORMAT = "repro-chaos-plan/1"
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """One deterministic chaos trial.
+
+    ``strategy`` is a :data:`~repro.byzantine.strategies.STRATEGY_ZOO`
+    key, or ``""`` for a run with no Byzantine servers (crash/partition
+    chaos against an honest deployment). ``horizon`` is the watchdog
+    deadline on the simulation clock: a run still holding pending
+    operations once the event queue drains — or still churning past the
+    scheduler's event cap — is declared *stuck* and reported with
+    forensics instead of hanging the campaign.
+    """
+
+    seed: int
+    n: int
+    f: int
+    n_clients: int
+    ops_per_client: int
+    workload: str  # "mixed" | "read-heavy"
+    strategy: str  # STRATEGY_ZOO key or "" for none
+    latency: tuple[float, float]  # (lo, hi); lo == hi means fixed
+    corrupt_at_start: bool
+    nemeses: tuple[Nemesis, ...]
+    horizon: float
+
+    def __post_init__(self) -> None:
+        if self.strategy and self.strategy not in STRATEGY_ZOO:
+            raise ValueError(f"unknown strategy: {self.strategy!r}")
+        if self.workload not in ("mixed", "read-heavy"):
+            raise ValueError(f"unknown workload: {self.workload!r}")
+
+    def size(self) -> int:
+        """The shrinker's metric: ops + nemesis strikes + clients."""
+        return (
+            self.n_clients * self.ops_per_client
+            + sum(nem.size() for nem in self.nemeses)
+            + self.n_clients
+        )
+
+    def last_fault_time(self) -> float:
+        """The last instant any nemesis scrambles state (0.0 if none)."""
+        times = [t for nem in self.nemeses for t in nem.fault_times()]
+        return max(times) if times else 0.0
+
+    def faulted(self) -> bool:
+        return self.corrupt_at_start or any(
+            nem.fault_times() for nem in self.nemeses
+        )
+
+
+def plan_to_dict(plan: ChaosPlan) -> dict[str, Any]:
+    return {
+        "format": PLAN_FORMAT,
+        "seed": plan.seed,
+        "n": plan.n,
+        "f": plan.f,
+        "n_clients": plan.n_clients,
+        "ops_per_client": plan.ops_per_client,
+        "workload": plan.workload,
+        "strategy": plan.strategy,
+        "latency": list(plan.latency),
+        "corrupt_at_start": plan.corrupt_at_start,
+        "horizon": plan.horizon,
+        "nemeses": [nem.to_dict() for nem in plan.nemeses],
+    }
+
+
+def plan_from_dict(data: dict[str, Any]) -> ChaosPlan:
+    if data.get("format") != PLAN_FORMAT:
+        raise ValueError(f"unknown chaos plan format: {data.get('format')!r}")
+    return ChaosPlan(
+        seed=int(data["seed"]),
+        n=int(data["n"]),
+        f=int(data["f"]),
+        n_clients=int(data["n_clients"]),
+        ops_per_client=int(data["ops_per_client"]),
+        workload=str(data["workload"]),
+        strategy=str(data["strategy"]),
+        latency=(float(data["latency"][0]), float(data["latency"][1])),
+        corrupt_at_start=bool(data["corrupt_at_start"]),
+        horizon=float(data["horizon"]),
+        nemeses=tuple(nemesis_from_dict(d) for d in data["nemeses"]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# sampling
+# ---------------------------------------------------------------------------
+def _sample_nemesis(
+    rng: random.Random,
+    which: str,
+    n: int,
+    f: int,
+    n_clients: int,
+) -> Nemesis:
+    correct_servers = [f"s{i}" for i in range(n - f)]
+    clients = [f"c{i}" for i in range(n_clients)]
+    if which == "partition":
+        # Small islands: one or two processes cut off, mixing roles.
+        pool = correct_servers + clients
+        island = tuple(sorted(rng.sample(pool, rng.randint(1, 2))))
+        return PartitionNemesis(
+            start=round(rng.uniform(3.0, 30.0), 1),
+            duration=round(rng.uniform(5.0, 20.0), 1),
+            island=island,
+        )
+    if which == "crash-client":
+        # A surviving client is guaranteed by sampling one victim only.
+        t = round(rng.uniform(3.0, 30.0), 1)
+        restart = (
+            round(t + rng.uniform(3.0, 15.0), 1) if rng.random() < 0.6 else None
+        )
+        return CrashRestartNemesis(
+            time=t, target=rng.choice(clients), restart_at=restart
+        )
+    if which == "crash-server":
+        t = round(rng.uniform(3.0, 30.0), 1)
+        return CrashRestartNemesis(
+            time=t,
+            target=rng.choice(correct_servers),
+            restart_at=round(t + rng.uniform(3.0, 12.0), 1),
+        )
+    if which == "wave":
+        times = tuple(
+            sorted(
+                round(rng.uniform(5.0, 40.0), 1)
+                for _ in range(rng.randint(1, 2))
+            )
+        )
+        return CorruptionWaveNemesis(
+            times=times,
+            server_fraction=round(rng.uniform(0.3, 1.0), 2),
+            client_fraction=round(rng.uniform(0.0, 0.7), 2),
+        )
+    if which == "storm":
+        return MessageStormNemesis(
+            time=round(rng.uniform(3.0, 35.0), 1),
+            pairs=rng.randint(2, 6),
+            burst=rng.randint(1, 3),
+        )
+    if which == "surge":
+        start = round(rng.uniform(2.0, 25.0), 1)
+        return LatencySurgeNemesis(
+            start=start,
+            end=round(start + rng.uniform(5.0, 15.0), 1),
+            factor=round(rng.uniform(2.0, 8.0), 1),
+        )
+    raise ValueError(f"unknown nemesis family: {which!r}")
+
+
+#: the families :func:`sample_plan` draws from.
+NEMESIS_FAMILIES = (
+    "partition",
+    "crash-client",
+    "crash-server",
+    "wave",
+    "storm",
+    "surge",
+)
+
+
+def sample_plan(
+    rng: random.Random,
+    n: int,
+    f: int,
+    trial_seed: int,
+    max_nemeses: int = 3,
+) -> ChaosPlan:
+    """Draw one hostile chaos plan (the campaign's per-trial sampler).
+
+    At most one client-crash nemesis is drawn per plan so at least one
+    client always survives to issue the post-fault probe; everything else
+    composes freely.
+    """
+    if rng.random() < 0.5:
+        lo = round(rng.uniform(0.2, 1.0), 2)
+        latency = (lo, round(lo + rng.uniform(0.5, 3.0), 2))
+    else:
+        latency = (1.0, 1.0)
+    n_clients = rng.randint(2, 4)
+    strategy = rng.choice(sorted(STRATEGY_ZOO)) if rng.random() < 0.8 else ""
+    count = rng.randint(1, max_nemeses)
+    families = []
+    for _ in range(count):
+        which = rng.choice(NEMESIS_FAMILIES)
+        if which == "crash-client" and "crash-client" in families:
+            which = "partition"
+        families.append(which)
+    nemeses = tuple(
+        _sample_nemesis(rng, which, n, f, n_clients) for which in families
+    )
+    horizon = 80.0 + max((nem.end_time() for nem in nemeses), default=0.0)
+    return ChaosPlan(
+        seed=trial_seed,
+        n=n,
+        f=f,
+        n_clients=n_clients,
+        ops_per_client=rng.randint(4, 8),
+        workload=rng.choice(["mixed", "read-heavy"]),
+        strategy=strategy,
+        latency=latency,
+        corrupt_at_start=rng.random() < 0.5,
+        nemeses=nemeses,
+        horizon=horizon,
+    )

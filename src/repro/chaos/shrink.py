@@ -1,0 +1,332 @@
+"""Delta-debugging shrinker for fuzz witnesses and chaos plans.
+
+Given a failing trial — a fuzz :class:`~repro.harness.fuzz.Witness` or a
+chaos :class:`~repro.chaos.plan.ChaosPlan` — the shrinker searches for a
+*locally minimal* variant that still fails, in the ddmin tradition
+(Zeller's delta debugging; Hypothesis/Jepsen shrinking): greedy
+first-improvement passes over a deck of reduction candidates, repeated to
+fixpoint or until the evaluation budget runs out. Every candidate is
+re-validated through the **real** run-and-judge path
+(:func:`~repro.harness.fuzz.run_trial` / :func:`~repro.chaos.engine.run_plan`),
+so a shrunk reproducer is a genuine failing trial, not an approximation.
+
+Minimality is measured by a *complexity key* — a lexicographic tuple whose
+head is the trial's size metric (total operations + fault strikes +
+clients) followed by one-way simplification components (deployment size,
+start-state corruption, latency spread, restart count, nemesis span). A
+candidate is accepted only if its key is strictly smaller, which makes
+every pass monotone and guarantees termination; the result is locally
+minimal in the sense that no single remaining reduction keeps the trial
+failing.
+
+Determinism: candidate order is fixed, seeds are never mutated, and the
+judge is deterministic — shrinking the same witness twice yields the same
+reproducer, serial or under ``--jobs`` (the shrinker itself is
+sequential; each validation run is one deterministic simulation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Iterator, Optional
+
+from repro.chaos.engine import run_plan
+from repro.chaos.nemesis import (
+    CorruptionWaveNemesis,
+    CrashRestartNemesis,
+    PartitionNemesis,
+)
+from repro.chaos.plan import ChaosPlan
+from repro.harness.fuzz import TrialRecipe, Witness, run_trial
+
+
+@dataclass
+class ShrinkResult:
+    """The shrinker's report: what it started from, what it kept."""
+
+    original: Any  # TrialRecipe | ChaosPlan
+    shrunk: Any
+    original_size: int
+    shrunk_size: int
+    kind: str  # the shrunk reproducer's failure kind
+    detail: str
+    evals: int  # validation runs spent
+    passes: int  # greedy passes until fixpoint (or budget)
+
+    @property
+    def reduced(self) -> bool:
+        return self.shrunk_size < self.original_size
+
+    def summary(self) -> str:
+        return (
+            f"shrunk size {self.original_size} -> {self.shrunk_size} "
+            f"({self.kind}; {self.evals} evals, {self.passes} passes)"
+        )
+
+
+def _greedy_shrink(
+    current: Any,
+    candidates: Callable[[Any], Iterator[Any]],
+    complexity: Callable[[Any], tuple],
+    still_fails: Callable[[Any], Optional[tuple[str, str]]],
+    budget: int,
+) -> tuple[Any, str, str, int, int]:
+    """First-improvement descent over the candidate deck, to fixpoint.
+
+    ``still_fails`` returns ``(kind, detail)`` when the candidate still
+    fails, ``None`` otherwise. Returns the final trial, its failure kind
+    and detail, and the evals/passes spent.
+    """
+    kind, detail = "", ""
+    evals = 0
+    passes = 0
+    improved = True
+    while improved and evals < budget:
+        improved = False
+        passes += 1
+        for candidate in candidates(current):
+            if complexity(candidate) >= complexity(current):
+                continue
+            if evals >= budget:
+                break
+            evals += 1
+            failure = still_fails(candidate)
+            if failure is not None:
+                current = candidate
+                kind, detail = failure
+                improved = True
+                break
+    return current, kind, detail, evals, passes
+
+
+# ---------------------------------------------------------------------------
+# fuzz recipes
+# ---------------------------------------------------------------------------
+def _recipe_complexity(recipe: TrialRecipe) -> tuple:
+    restarts = sum(1 for _, _, r in recipe.crashes if r is not None)
+    return (
+        recipe.size(),
+        recipe.n,
+        int(recipe.corrupt_at_start),
+        recipe.latency[1] - recipe.latency[0],
+        restarts,
+        recipe.strike_severity,
+    )
+
+
+def _recipe_candidates(recipe: TrialRecipe) -> Iterator[TrialRecipe]:
+    # Fewer crash events (drop all, then each one), then crash-stops in
+    # place of crash–restarts (one fault instant less).
+    if recipe.crashes:
+        yield replace(recipe, crashes=())
+        for i in range(len(recipe.crashes)):
+            yield replace(
+                recipe,
+                crashes=recipe.crashes[:i] + recipe.crashes[i + 1 :],
+            )
+        for i, (t, cid, restart) in enumerate(recipe.crashes):
+            if restart is not None:
+                events = list(recipe.crashes)
+                events[i] = (t, cid, None)
+                yield replace(recipe, crashes=tuple(events))
+    # Fewer corruption strikes.
+    if recipe.strike_times:
+        yield replace(recipe, strike_times=())
+        for i in range(len(recipe.strike_times)):
+            yield replace(
+                recipe,
+                strike_times=recipe.strike_times[:i]
+                + recipe.strike_times[i + 1 :],
+            )
+    # Shorter scripts: halve first, then decrement.
+    if recipe.ops_per_client > 1:
+        half = recipe.ops_per_client // 2
+        yield replace(recipe, ops_per_client=half)
+        if recipe.ops_per_client - 1 != half:
+            yield replace(recipe, ops_per_client=recipe.ops_per_client - 1)
+    # Fewer clients (crash events on removed clients are dropped).
+    if recipe.n_clients > 1:
+        kept = recipe.n_clients - 1
+        crashes = tuple(
+            (t, cid, r)
+            for t, cid, r in recipe.crashes
+            if int(cid[1:]) < kept
+        )
+        yield replace(recipe, n_clients=kept, crashes=crashes)
+    # Smaller deployment (same f — deeper below the bound).
+    if recipe.n - 1 >= recipe.f + 2:
+        yield replace(recipe, n=recipe.n - 1)
+    # One-way simplifications (size-neutral, key-reducing).
+    if recipe.corrupt_at_start:
+        yield replace(recipe, corrupt_at_start=False)
+    if recipe.latency[0] != recipe.latency[1]:
+        yield replace(recipe, latency=(1.0, 1.0))
+
+
+def shrink_witness(
+    witness: Witness,
+    budget: int = 250,
+    match_kind: bool = True,
+    trace: str = "off",
+) -> ShrinkResult:
+    """Shrink a fuzz witness to a locally minimal failing recipe.
+
+    ``match_kind`` (the default) keeps only candidates reproducing the
+    *same* failure kind, which prevents ddmin *slippage*: without it,
+    shrinking a ``not-stabilized`` safety witness readily slides into an
+    unrelated tiny-deployment liveness artifact (e.g. the ``n = 3``
+    write livelock) — much smaller, but no longer the original bug.
+    ``match_kind=False`` restores the permissive contract where any
+    failure counts.
+    """
+
+    def still_fails(candidate: TrialRecipe) -> Optional[tuple[str, str]]:
+        found = run_trial(candidate, trace=trace)
+        if found is None:
+            return None
+        if match_kind and found.kind != witness.kind:
+            return None
+        return (found.kind, found.detail)
+
+    shrunk, kind, detail, evals, passes = _greedy_shrink(
+        witness.recipe,
+        _recipe_candidates,
+        _recipe_complexity,
+        still_fails,
+        budget,
+    )
+    return ShrinkResult(
+        original=witness.recipe,
+        shrunk=shrunk,
+        original_size=witness.recipe.size(),
+        shrunk_size=shrunk.size(),
+        kind=kind or witness.kind,
+        detail=detail or witness.detail,
+        evals=evals,
+        passes=passes,
+    )
+
+
+# ---------------------------------------------------------------------------
+# chaos plans
+# ---------------------------------------------------------------------------
+def _plan_complexity(plan: ChaosPlan) -> tuple:
+    span = sum(nem.end_time() for nem in plan.nemeses)
+    return (
+        plan.size(),
+        plan.n,
+        int(plan.corrupt_at_start),
+        plan.latency[1] - plan.latency[0],
+        round(span, 3),
+    )
+
+
+def _shrunk_nemesis_variants(nem: Any) -> Iterator[Any]:
+    """Smaller versions of one nemesis (same kind, reduced reach)."""
+    if isinstance(nem, CorruptionWaveNemesis) and len(nem.times) > 1:
+        for i in range(len(nem.times)):
+            yield replace(nem, times=nem.times[:i] + nem.times[i + 1 :])
+    if isinstance(nem, PartitionNemesis) and nem.duration > 2.0:
+        yield replace(nem, duration=round(nem.duration / 2, 2))
+    if isinstance(nem, CrashRestartNemesis) and nem.restart_at is not None:
+        if not nem._is_server:  # servers must restart
+            yield replace(nem, restart_at=None)
+
+
+def _plan_candidates(plan: ChaosPlan) -> Iterator[ChaosPlan]:
+    # Fewer nemeses: all gone, then each one dropped, then each shrunk.
+    if plan.nemeses:
+        yield replace(plan, nemeses=())
+        for i in range(len(plan.nemeses)):
+            yield replace(
+                plan, nemeses=plan.nemeses[:i] + plan.nemeses[i + 1 :]
+            )
+        for i, nem in enumerate(plan.nemeses):
+            for variant in _shrunk_nemesis_variants(nem):
+                nemeses = list(plan.nemeses)
+                nemeses[i] = variant
+                yield replace(plan, nemeses=tuple(nemeses))
+    if plan.ops_per_client > 1:
+        half = plan.ops_per_client // 2
+        yield replace(plan, ops_per_client=half)
+        if plan.ops_per_client - 1 != half:
+            yield replace(plan, ops_per_client=plan.ops_per_client - 1)
+    if plan.n_clients > 1:
+        kept = plan.n_clients - 1
+        gone = f"c{kept}"
+        nemeses = []
+        for nem in plan.nemeses:
+            if isinstance(nem, CrashRestartNemesis) and nem.target == gone:
+                continue
+            if isinstance(nem, PartitionNemesis) and gone in nem.island:
+                island = tuple(p for p in nem.island if p != gone)
+                if not island:
+                    continue
+                nem = replace(nem, island=island)
+            nemeses.append(nem)
+        yield replace(plan, n_clients=kept, nemeses=tuple(nemeses))
+    if plan.n - 1 >= plan.f + 2:
+        kept_n = plan.n - 1
+        gone = f"s{kept_n - plan.f - 1}"  # last still-correct server shifts
+        nemeses = []
+        for nem in plan.nemeses:
+            # Drop nemeses pinned to servers that stop being correct (or
+            # stop existing) in the smaller deployment.
+            if isinstance(nem, CrashRestartNemesis) and nem._is_server:
+                idx = int(nem.target[1:])
+                if idx >= kept_n - plan.f:
+                    continue
+            if isinstance(nem, PartitionNemesis):
+                island = tuple(
+                    p
+                    for p in nem.island
+                    if not (p.startswith("s") and int(p[1:]) >= kept_n)
+                )
+                if not island:
+                    continue
+                nem = replace(nem, island=island)
+            nemeses.append(nem)
+        yield replace(plan, n=kept_n, nemeses=tuple(nemeses))
+    if plan.corrupt_at_start:
+        yield replace(plan, corrupt_at_start=False)
+    if plan.latency[0] != plan.latency[1]:
+        yield replace(plan, latency=(1.0, 1.0))
+
+
+def shrink_plan(
+    plan: ChaosPlan,
+    budget: int = 150,
+    match_kind: bool = True,
+    trace: str = "off",
+) -> ShrinkResult:
+    """Shrink a failing chaos plan to a locally minimal reproducer.
+
+    ``match_kind`` (the default) keeps only candidates reproducing the
+    original outcome's failure kind — the same anti-slippage guard as
+    :func:`shrink_witness`.
+    """
+    first = run_plan(plan, trace=trace)
+    if first.ok:
+        raise ValueError("shrink_plan needs a plan that currently fails")
+    original_failure = (first.kind, first.detail)
+
+    def still_fails(candidate: ChaosPlan) -> Optional[tuple[str, str]]:
+        outcome = run_plan(candidate, trace=trace)
+        if outcome.ok:
+            return None
+        if match_kind and outcome.kind != first.kind:
+            return None
+        return (outcome.kind, outcome.detail)
+    shrunk, kind, detail, evals, passes = _greedy_shrink(
+        plan, _plan_candidates, _plan_complexity, still_fails, budget
+    )
+    return ShrinkResult(
+        original=plan,
+        shrunk=shrunk,
+        original_size=plan.size(),
+        shrunk_size=shrunk.size(),
+        kind=kind or original_failure[0],
+        detail=detail or original_failure[1],
+        evals=evals + 1,
+        passes=passes,
+    )

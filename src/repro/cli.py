@@ -9,6 +9,13 @@ Commands:
 * ``profile E2 [--out p.pstats]`` — cProfile an experiment, optionally
   dumping raw pstats for flamegraph tooling;
 * ``fuzz [--jobs N]``             — random hostile schedules, Jepsen-style;
+  ``--shrink`` delta-debugs every witness to a locally minimal
+  reproducer, ``--witness-out p.json`` archives the (shrunk) witnesses;
+* ``chaos [--preset smoke]``      — nemesis campaigns: composable
+  partition / crash–restart / corruption-wave / storm / surge plans with
+  an online invariant monitor and watchdog forensics (``docs/CHAOS.md``);
+* ``shrink WITNESS.json``         — shrink an archived fuzz witness or
+  chaos plan to a locally minimal failing reproducer;
 * ``check --seed N --ops K``      — run a random concurrent workload under
   full corruption and print the pseudo-stabilization verdict (a one-shot
   confidence check on any machine);
@@ -145,8 +152,17 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_json(path: str, payload) -> None:
+    import json
+    from pathlib import Path
+
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> int:
-    from repro.harness.fuzz import fuzz
+    from dataclasses import replace
+
+    from repro.harness.fuzz import fuzz, witness_to_dict
 
     report = fuzz(
         trials=args.trials,
@@ -158,9 +174,29 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         trace=args.trace,
     )
     print(report.summary())
-    for witness in report.witnesses[: args.show]:
+    witnesses = report.witnesses
+    if args.shrink and witnesses:
+        from repro.chaos.shrink import shrink_witness
+
+        shrunk = []
+        for witness in witnesses:
+            result = shrink_witness(witness, budget=args.shrink_budget)
+            print(f"  {witness.kind}: {result.summary()}")
+            shrunk.append(
+                replace(
+                    witness,
+                    recipe=result.shrunk,
+                    kind=result.kind,
+                    detail=result.detail,
+                )
+            )
+        witnesses = shrunk
+    for witness in witnesses[: args.show]:
         print(f"\n{witness.kind}: {witness.detail}")
         print(f"  recipe: {witness.recipe}")
+    if args.witness_out and witnesses:
+        _write_json(args.witness_out, [witness_to_dict(w) for w in witnesses])
+        print(f"\n{len(witnesses)} witness(es) written to {args.witness_out}")
     at_bound = args.n >= 5 * args.f + 1
     if at_bound and not report.clean:
         print(
@@ -169,6 +205,126 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos import PRESETS, chaos_campaign
+
+    settings = dict(PRESETS[args.preset]) if args.preset else {}
+    for key in ("trials", "n", "f"):
+        value = getattr(args, key)
+        if value is not None:
+            settings[key] = value
+    settings.setdefault("trials", 50)
+    settings.setdefault("n", 6)
+    settings.setdefault("f", 1)
+    report = chaos_campaign(
+        master_seed=args.seed,
+        jobs=args.jobs,
+        trace=args.trace,
+        max_nemeses=args.max_nemeses,
+        stop_at_first=args.stop_at_first,
+        **settings,
+    )
+    print(report.summary())
+    for outcome in report.witnesses[: args.show]:
+        print(f"\n{outcome.kind}: {outcome.detail}")
+        print(f"  plan: {outcome.plan}")
+    if args.witness_out and report.witnesses:
+        _write_json(
+            args.witness_out, [w.to_dict() for w in report.witnesses]
+        )
+        print(
+            f"\n{len(report.witnesses)} witness(es) written to "
+            f"{args.witness_out}"
+        )
+    at_bound = settings["n"] >= 5 * settings["f"] + 1
+    if at_bound and not report.clean:
+        print(
+            "\nWITNESS AT n >= 5f+1: this is a bug — the plan above "
+            "replays it deterministically.",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_shrink(args: argparse.Namespace) -> int:
+    """Shrink an archived witness: dispatch on its ``format`` tag."""
+    import json
+    from pathlib import Path
+
+    from repro.chaos.engine import WITNESS_FORMAT as CHAOS_WITNESS_FORMAT
+    from repro.chaos.plan import PLAN_FORMAT, plan_from_dict, plan_to_dict
+    from repro.chaos.shrink import shrink_plan, shrink_witness
+    from repro.harness.fuzz import (
+        RECIPE_FORMAT,
+        WITNESS_FORMAT,
+        Witness,
+        recipe_from_dict,
+        recipe_to_dict,
+        run_trial,
+        witness_from_dict,
+        witness_to_dict,
+    )
+
+    data = json.loads(Path(args.witness).read_text())
+    if isinstance(data, list):
+        if not data:
+            print("empty witness file", file=sys.stderr)
+            return 2
+        if len(data) > 1:
+            print(f"note: file holds {len(data)} witnesses; shrinking the first")
+        data = data[0]
+    fmt = data.get("format")
+    match_kind = not args.any_kind
+
+    if fmt == WITNESS_FORMAT:
+        result = shrink_witness(
+            witness_from_dict(data),
+            budget=args.budget,
+            match_kind=match_kind,
+        )
+        out = witness_to_dict(
+            Witness(recipe=result.shrunk, kind=result.kind, detail=result.detail)
+        )
+    elif fmt and fmt.startswith(RECIPE_FORMAT.rsplit("/", 1)[0]):
+        recipe = recipe_from_dict(data)
+        witness = run_trial(recipe, trace="off")
+        if witness is None:
+            print("recipe does not fail — nothing to shrink", file=sys.stderr)
+            return 1
+        result = shrink_witness(
+            witness, budget=args.budget, match_kind=match_kind
+        )
+        out = recipe_to_dict(result.shrunk)
+    elif fmt == CHAOS_WITNESS_FORMAT or fmt == PLAN_FORMAT:
+        plan = plan_from_dict(data["plan"] if fmt == CHAOS_WITNESS_FORMAT else data)
+        try:
+            result = shrink_plan(
+                plan, budget=args.budget, match_kind=match_kind
+            )
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
+        out = {
+            "format": CHAOS_WITNESS_FORMAT,
+            "kind": result.kind,
+            "detail": result.detail,
+            "forensics": None,
+            "plan": plan_to_dict(result.shrunk),
+        }
+    else:
+        print(f"unknown witness format: {fmt!r}", file=sys.stderr)
+        return 2
+
+    print(result.summary())
+    print(f"{result.kind}: {result.detail}")
+    print(f"  reproducer: {result.shrunk}")
+    if args.out:
+        _write_json(args.out, out)
+        print(f"shrunk witness written to {args.out}")
     return 0
 
 
@@ -310,8 +466,90 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--stop-at-first", action="store_true")
     fuzz.add_argument("--jobs", type=int, default=1, help=jobs_help)
     fuzz.add_argument(
+        "--shrink",
+        action="store_true",
+        help="delta-debug each witness to a locally minimal reproducer",
+    )
+    fuzz.add_argument(
+        "--shrink-budget",
+        type=int,
+        default=250,
+        metavar="N",
+        help="validation runs allowed per witness shrink (default 250)",
+    )
+    fuzz.add_argument(
+        "--witness-out",
+        default=None,
+        metavar="PATH",
+        help="write the (shrunk) witnesses to PATH as a JSON array",
+    )
+    fuzz.add_argument(
         "--trace", choices=("off", "stats", "full"), default="stats",
         help=trace_help,
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="nemesis campaigns with watchdog forensics (docs/CHAOS.md)",
+    )
+    chaos.add_argument(
+        "--preset",
+        choices=("smoke", "nightly", "boundary"),
+        default=None,
+        help="named campaign configuration (explicit flags override it)",
+    )
+    chaos.add_argument("--trials", type=int, default=None)
+    chaos.add_argument("--n", type=int, default=None)
+    chaos.add_argument("--f", type=int, default=None)
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--max-nemeses",
+        type=int,
+        default=3,
+        help="most nemeses sampled into one plan (default 3)",
+    )
+    chaos.add_argument("--show", type=int, default=3, help="witnesses to print")
+    chaos.add_argument("--stop-at-first", action="store_true")
+    chaos.add_argument("--jobs", type=int, default=1, help=jobs_help)
+    chaos.add_argument(
+        "--witness-out",
+        default=None,
+        metavar="PATH",
+        help="write witness plans + forensics to PATH as a JSON array",
+    )
+    chaos.add_argument(
+        "--trace", choices=("off", "stats", "full"), default="stats",
+        help=trace_help,
+    )
+
+    shrink = sub.add_parser(
+        "shrink",
+        help="shrink an archived fuzz witness / chaos plan to a minimal "
+        "failing reproducer",
+    )
+    shrink.add_argument(
+        "witness",
+        help="JSON file: fuzz witness/recipe or chaos witness/plan "
+        "(format tag dispatches)",
+    )
+    shrink.add_argument(
+        "--budget",
+        type=int,
+        default=250,
+        metavar="N",
+        help="validation runs allowed (default 250)",
+    )
+    shrink.add_argument(
+        "--any-kind",
+        action="store_true",
+        help="accept candidates that fail with a different kind "
+        "(permits ddmin slippage; default requires the same kind)",
+    )
+    shrink.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the shrunk witness JSON to PATH",
     )
 
     lint = sub.add_parser(
@@ -352,6 +590,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "profile": _cmd_profile,
         "check": _cmd_check,
         "fuzz": _cmd_fuzz,
+        "chaos": _cmd_chaos,
+        "shrink": _cmd_shrink,
         "lint": _cmd_lint,
     }[args.command]
     return handler(args)

@@ -111,8 +111,26 @@ class RegisterClient(WriterMixin, ReaderMixin, Process):
     # faults
     # ------------------------------------------------------------------
     def crash(self) -> None:
+        if self.crashed:
+            return
         super().crash()
         self.recorder.crashed(self.pid)
+
+    def restart(self, rng: Optional[random.Random] = None) -> None:
+        """Recover from a crash with freshly initialized protocol state.
+
+        The interrupted operation (if any) was settled as ``CRASHED`` in
+        the history at crash time; the recovered client starts from the
+        protocol's initial state, optionally scrambled by ``rng`` (the
+        crash–restart-with-arbitrary-recovered-state fault model). Either
+        way the client is immediately able to serve new operations.
+        """
+        if not self.crashed:
+            return
+        self._init_writer()
+        self._init_reader()
+        self._active_op = None
+        super().restart(rng)
 
     def corrupt_state(self, rng: random.Random) -> None:
         """Scramble every cross-operation protocol variable.

@@ -212,6 +212,26 @@ class RegisterSystem:
             proc.corrupt_state(rng)
         return [p.pid for p in targets]
 
+    def crash_client(self, cid: str) -> None:
+        """Crash-stop ``cid``; its in-flight operation fails as CRASHED."""
+        self.clients[cid].crash()
+
+    def restart_client(self, cid: str, scramble: bool = True) -> None:
+        """Recover a crashed client (no-op if alive).
+
+        With ``scramble`` (the default) the recovered state is arbitrary —
+        the crash–restart fault model the chaos layer exercises; the RNG is
+        derived from the run seed and the client's restart count, so every
+        restart is deterministic and distinct.
+        """
+        client = self.clients[cid]
+        rng = (
+            self.env.spawn_rng(f"restart:{cid}:{client.restarts}")
+            if scramble
+            else None
+        )
+        client.restart(rng)
+
     def corrupt_clients(self, cids: Optional[Sequence[str]] = None) -> list[str]:
         """Scramble the persistent state of the given (default: all) clients."""
         rng = self.env.spawn_rng("corrupt-clients")

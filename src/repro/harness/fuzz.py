@@ -35,7 +35,15 @@ from repro.workloads.schedules import corruption_schedule, crash_schedule
 
 @dataclass(frozen=True)
 class TrialRecipe:
-    """Everything needed to replay one fuzz trial deterministically."""
+    """Everything needed to replay one fuzz trial deterministically.
+
+    ``crashes`` holds ``(time, client, restart_at)`` events; ``restart_at``
+    is ``None`` for a crash-stop and an absolute instant for a
+    crash–restart (the client recovers with scrambled state). The field
+    defaults to empty so recipes serialized before crash–restart existed
+    (format 1, a single optional ``crash`` pair) still load — see
+    :func:`recipe_from_dict`.
+    """
 
     seed: int
     n: int
@@ -48,7 +56,16 @@ class TrialRecipe:
     corrupt_at_start: bool
     strike_times: tuple[float, ...]
     strike_severity: float
-    crash: Optional[tuple[float, str]]  # (time, client) or None
+    crashes: tuple[tuple[float, str, Optional[float]], ...] = ()
+
+    def size(self) -> int:
+        """The shrinker's metric: total ops + strikes + crashes + clients."""
+        return (
+            self.n_clients * self.ops_per_client
+            + len(self.strike_times)
+            + len(self.crashes)
+            + self.n_clients
+        )
 
 
 @dataclass
@@ -58,6 +75,93 @@ class Witness:
     recipe: TrialRecipe
     kind: str  # "violation" | "stuck" | "not-stabilized"
     detail: str
+
+
+# ---------------------------------------------------------------------------
+# serialization (the idiom of :mod:`repro.spec.serialize`)
+# ---------------------------------------------------------------------------
+RECIPE_FORMAT = "repro-fuzz-recipe/2"
+_RECIPE_FORMAT_V1 = "repro-fuzz-recipe/1"
+WITNESS_FORMAT = "repro-fuzz-witness/1"
+
+
+def recipe_to_dict(recipe: TrialRecipe) -> dict[str, Any]:
+    """One recipe as a JSON-friendly dict (format 2)."""
+    return {
+        "format": RECIPE_FORMAT,
+        "seed": recipe.seed,
+        "n": recipe.n,
+        "f": recipe.f,
+        "n_clients": recipe.n_clients,
+        "ops_per_client": recipe.ops_per_client,
+        "workload": recipe.workload,
+        "strategy": recipe.strategy,
+        "latency": list(recipe.latency),
+        "corrupt_at_start": recipe.corrupt_at_start,
+        "strike_times": list(recipe.strike_times),
+        "strike_severity": recipe.strike_severity,
+        "crashes": [[t, cid, restart] for t, cid, restart in recipe.crashes],
+    }
+
+
+def recipe_from_dict(data: dict[str, Any]) -> TrialRecipe:
+    """Rebuild a recipe; understands both format 2 and legacy format 1.
+
+    Format 1 predates crash–restart: it carried a single optional
+    ``"crash": [time, client]`` pair, which maps onto one crash-stop event
+    (no restart). Replays of archived format-1 witnesses therefore keep
+    their exact fault timeline.
+    """
+    fmt = data.get("format", _RECIPE_FORMAT_V1)
+    if fmt not in (RECIPE_FORMAT, _RECIPE_FORMAT_V1):
+        raise ValueError(f"unknown recipe format: {fmt!r}")
+    if fmt == _RECIPE_FORMAT_V1:
+        legacy = data.get("crash")
+        crashes: tuple[tuple[float, str, Optional[float]], ...] = (
+            ((float(legacy[0]), str(legacy[1]), None),) if legacy else ()
+        )
+    else:
+        crashes = tuple(
+            (
+                float(t),
+                str(cid),
+                None if restart is None else float(restart),
+            )
+            for t, cid, restart in data["crashes"]
+        )
+    return TrialRecipe(
+        seed=int(data["seed"]),
+        n=int(data["n"]),
+        f=int(data["f"]),
+        n_clients=int(data["n_clients"]),
+        ops_per_client=int(data["ops_per_client"]),
+        workload=str(data["workload"]),
+        strategy=str(data["strategy"]),
+        latency=(float(data["latency"][0]), float(data["latency"][1])),
+        corrupt_at_start=bool(data["corrupt_at_start"]),
+        strike_times=tuple(float(t) for t in data["strike_times"]),
+        strike_severity=float(data["strike_severity"]),
+        crashes=crashes,
+    )
+
+
+def witness_to_dict(witness: Witness) -> dict[str, Any]:
+    return {
+        "format": WITNESS_FORMAT,
+        "kind": witness.kind,
+        "detail": witness.detail,
+        "recipe": recipe_to_dict(witness.recipe),
+    }
+
+
+def witness_from_dict(data: dict[str, Any]) -> Witness:
+    if data.get("format") != WITNESS_FORMAT:
+        raise ValueError(f"unknown witness format: {data.get('format')!r}")
+    return Witness(
+        recipe=recipe_from_dict(data["recipe"]),
+        kind=str(data["kind"]),
+        detail=str(data["detail"]),
+    )
 
 
 @dataclass
@@ -96,12 +200,24 @@ def sample_recipe(
             sorted(round(rng.uniform(5.0, 40.0), 1) for _ in range(rng.randint(1, 2)))
         )
     n_clients = rng.randint(2, 4)
-    crash = None
+    crashes: tuple[tuple[float, str, Optional[float]], ...] = ()
     if rng.random() < 0.3:
-        crash = (
-            round(rng.uniform(3.0, 30.0), 1),
-            f"c{rng.randrange(n_clients)}",
+        # Crash one or two distinct clients; each independently either
+        # stays down (crash-stop) or restarts later with scrambled state.
+        # At least one client always survives to issue the post-fault probe.
+        victims = rng.sample(
+            range(n_clients), rng.randint(1, min(2, n_clients - 1))
         )
+        events = []
+        for v in sorted(victims):
+            t = round(rng.uniform(3.0, 30.0), 1)
+            restart = (
+                round(t + rng.uniform(2.0, 15.0), 1)
+                if rng.random() < 0.5
+                else None
+            )
+            events.append((t, f"c{v}", restart))
+        crashes = tuple(sorted(events))
     return TrialRecipe(
         seed=trial_seed,
         n=n,
@@ -114,8 +230,57 @@ def sample_recipe(
         corrupt_at_start=rng.random() < 0.7,
         strike_times=strikes,
         strike_severity=round(rng.uniform(0.3, 1.0), 2),
-        crash=crash,
+        crashes=crashes,
     )
+
+
+def crashed_at_end(
+    crashes: tuple[tuple[float, str, Optional[float]], ...]
+) -> set[str]:
+    """Clients still down after the last of their crash events."""
+    last: dict[str, Optional[float]] = {}
+    for t, cid, restart in sorted(crashes):
+        last[cid] = restart
+    return {cid for cid, restart in last.items() if restart is None}
+
+
+# Watchdog bounds: recipes schedule nothing past t ~ 60 and operations
+# quiesce in tens of time units; events per healthy trial number in the
+# low thousands.
+_TRIAL_HORIZON = 250.0
+_TRIAL_GRACE_EVENTS = 50_000
+_PROBE_EVENTS = 50_000
+
+
+def _bounded_probe(
+    system: Any, probers: list[str], value: str
+) -> Optional[str]:
+    """One anchor write + two reads under the watchdog.
+
+    Returns ``None`` on success, or a "stuck" detail string naming the
+    wedged/livelocked probe operation and who is blocked on what.
+    """
+
+    def blocked_report() -> str:
+        blocked = [
+            f"{h.name} waiting on {h.waiting_on!r}"
+            for cid in probers
+            for h in system.clients[cid].blocked_operations()
+        ]
+        return "; ".join(blocked) if blocked else "no blocked operations"
+
+    handle = system.write(probers[0], value)
+    status = system.env.run_op_bounded(lambda: handle.done, _PROBE_EVENTS)
+    if status != "done":
+        return f"watchdog: probe write {status} ({blocked_report()})"
+    system.env.tick()
+    for _ in range(2):
+        read = system.read(probers[-1])
+        status = system.env.run_op_bounded(lambda: read.done, _PROBE_EVENTS)
+        if status != "done":
+            return f"watchdog: probe read {status} ({blocked_report()})"
+        system.env.tick()
+    return None
 
 
 def run_trial(recipe: TrialRecipe, trace: str = "stats") -> Optional[Witness]:
@@ -159,8 +324,13 @@ def run_trial(recipe: TrialRecipe, trace: str = "stats") -> Optional[Witness]:
             client_fraction=recipe.strike_severity,
         ).arm(system.env)
         last_fault = max(recipe.strike_times)
-    if recipe.crash is not None:
-        crash_schedule(system, [recipe.crash]).arm(system.env)
+    restart_times = [r for _, _, r in recipe.crashes if r is not None]
+    if recipe.crashes:
+        crash_schedule(system, recipe.crashes).arm(system.env)
+        # A restart recovers with *scrambled* state — it is a transient
+        # fault the suffix must succeed, exactly like a corruption strike.
+        if restart_times:
+            last_fault = max(last_fault, max(restart_times))
 
     maker = mixed_scripts if recipe.workload == "mixed" else read_heavy_scripts
     scripts = maker(
@@ -168,17 +338,41 @@ def run_trial(recipe: TrialRecipe, trace: str = "stats") -> Optional[Witness]:
         random.Random(recipe.seed ^ 0x5EED),
         ops_per_client=recipe.ops_per_client,
     )
-    run_scripts(system, scripts)
+    # Watchdog-bounded execution: latencies are strictly positive, so
+    # ``run(until=...)`` always terminates even under a message livelock
+    # (time advances); a run still churning after the horizon *plus* a
+    # generous event grace is declared stuck instead of spinning toward
+    # the scheduler's global event cap. Shrunk recipes reach deployment
+    # sizes (e.g. n = 3) where such liveness failures are real.
+    run_scripts(system, scripts, drain=False)
+    system.env.run(until=_TRIAL_HORIZON)
+    if not system.env.drain_bounded(_TRIAL_GRACE_EVENTS):
+        return Witness(
+            recipe=recipe,
+            kind="stuck",
+            detail=(
+                f"watchdog: still churning at t={system.env.now:.1f} after "
+                f"the horizon ({len(system.env.network.in_flight)} in flight)"
+            ),
+        )
 
     # Post-fault probe: guarantee a convergence anchor and suffix reads,
-    # issued by a client that did not crash.
-    crashed = recipe.crash[1] if recipe.crash else None
-    probers = [c for c in system.clients if c != crashed]
-    system.write_sync(probers[0], f"probe-{recipe.seed}")
-    for _ in range(2):
-        system.read_sync(probers[-1])
+    # issued by a client that is alive at the end of the run. (A shrunk
+    # recipe may leave no survivor; such a candidate is judged without the
+    # probe and can only be *less* incriminating, which is safe — the
+    # shrinker simply rejects it.)
+    down = crashed_at_end(recipe.crashes)
+    probers = [c for c in system.clients if c not in down]
+    if probers:
+        detail = _bounded_probe(system, probers, f"probe-{recipe.seed}")
+        if detail is not None:
+            return Witness(recipe=recipe, kind="stuck", detail=detail)
 
-    faulted = recipe.corrupt_at_start or bool(recipe.strike_times)
+    faulted = (
+        recipe.corrupt_at_start
+        or bool(recipe.strike_times)
+        or bool(restart_times)
+    )
     if faulted:
         report = evaluate_stabilization(
             system.history, system.checker(), last_fault_time=last_fault

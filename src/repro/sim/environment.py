@@ -94,6 +94,31 @@ class SimEnvironment:
         self.scheduler.call_in(dt, lambda: fired.__setitem__("done", True), tag="tick")
         self.scheduler.run_until(lambda: fired["done"])
 
+    def drain_bounded(self, max_steps: int) -> bool:
+        """Pop at most ``max_steps`` events; True iff the queue drained.
+
+        The chaos/fuzz watchdogs use this instead of :meth:`run` for the
+        final drain: a livelocked protocol (messages begetting messages
+        forever) would otherwise churn until the scheduler's global event
+        cap — minutes of wall clock — before the run could be declared
+        stuck.
+        """
+        self.scheduler.run_until(lambda: False, max_steps=max_steps)
+        return self.scheduler.idle()
+
+    def run_op_bounded(
+        self, predicate: Callable[[], bool], max_steps: int
+    ) -> str:
+        """Run until ``predicate``, a drained queue, or the step budget.
+
+        Returns ``"done"`` (predicate holds), ``"wedged"`` (queue drained
+        first) or ``"budget"`` (still churning after ``max_steps`` events
+        — the watchdog's livelock verdict).
+        """
+        if self.scheduler.run_until(predicate, max_steps=max_steps):
+            return "done"
+        return "wedged" if self.scheduler.idle() else "budget"
+
     def run_to_completion(self, predicate: Callable[[], bool]) -> None:
         """Run until ``predicate`` holds; raise :class:`DeadlockError` if the
         queue drains first, with a report of who is blocked on what.

@@ -79,6 +79,11 @@ CORRUPTION_REGISTRY: dict[str, Any] = {
         "crashed": INFRASTRUCTURE,
         "rng": INFRASTRUCTURE,
         "_pending_ops": INFRASTRUCTURE,
+        # Crash–restart machinery (chaos nemesis layer): corrupting the
+        # restart counter or the parked-script hooks would change the
+        # *fault model*, not the modelled process memory.
+        "restarts": OBSERVABILITY,
+        "_restart_hooks": INFRASTRUCTURE,
     },
     # --- correct servers (core/server.py) ------------------------------
     "RegisterServer": {

@@ -85,4 +85,4 @@ class PartitioningAdversary(Adversary):
         spans = ", ".join(
             f"[{w.start}..{w.end}]x{len(w.island)}" for w in self.windows
         )
-        return f"Partitioning({spans})"
+        return f"Partitioning({spans}) over {self.base.describe()}"

@@ -80,6 +80,8 @@ class Process:
         self.crashed = False
         self.rng: random.Random = env.spawn_rng(pid)
         self._pending_ops: list[OperationHandle] = []
+        self.restarts = 0
+        self._restart_hooks: list[Callable[[], None]] = []
         env.network.register(self)
 
     # ------------------------------------------------------------------
@@ -168,11 +170,56 @@ class Process:
     # faults
     # ------------------------------------------------------------------
     def crash(self) -> None:
-        """Crash-stop the process: all pending operations fail silently."""
+        """Crash-stop the process: all pending operations fail.
+
+        Failed handles are *settled*: their completion callbacks fire with
+        ``failed=True`` set, so drivers chaining work off a handle (the
+        workload runner, the client's active-operation bookkeeping) observe
+        the crash instead of waiting forever on a handle that can never
+        complete.
+        """
+        if self.crashed:
+            return
         self.crashed = True
-        for handle in self._pending_ops:
+        settled = self._pending_ops
+        self._pending_ops = []
+        for handle in settled:
             handle.failed = True
-        self._pending_ops.clear()
+            handle.waiting_on = ""
+            handle._gen = None
+            callbacks = handle._callbacks
+            handle._callbacks = []
+            for fn in callbacks:
+                fn(handle)
+
+    def restart(self, rng: Optional[random.Random] = None) -> None:
+        """Recover a crashed process (crash–restart fault model).
+
+        The recovered process resumes with whatever state the subclass left
+        behind; passing ``rng`` additionally scrambles it via
+        :meth:`corrupt_state` — a recovering process whose volatile memory
+        is arbitrary, which is exactly the transient-fault model the
+        protocol must stabilize from. Hooks registered through
+        :meth:`when_restarted` fire after the state is settled (drivers use
+        them to resume parked workload scripts). No-op unless crashed.
+        """
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.restarts += 1
+        if rng is not None:
+            self.corrupt_state(rng)
+        hooks = self._restart_hooks
+        self._restart_hooks = []
+        for fn in hooks:
+            fn()
+
+    def when_restarted(self, fn: Callable[[], None]) -> None:
+        """Run ``fn`` after the next restart (immediately if not crashed)."""
+        if not self.crashed:
+            fn()
+            return
+        self._restart_hooks.append(fn)
 
     def corrupt_state(self, rng: random.Random) -> None:
         """Scramble local volatile state (transient fault).

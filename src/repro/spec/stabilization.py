@@ -248,6 +248,59 @@ class StabilizationAnalyzer:
         return candidates[lo]
 
 
+class IncrementalStabilization:
+    """Analyzer cache over a *growing* history (the chaos monitor's feed).
+
+    The chaos engine judges the prefix history at every monitor checkpoint
+    while the run is still executing. Rebuilding a
+    :class:`StabilizationAnalyzer` from scratch at each checkpoint would
+    redo the sorted write index and every read judgement; this helper
+    rebuilds only when the history's settled-operation census changed
+    since the last checkpoint and returns the cached analyzer otherwise —
+    checkpoints taken during a stall (partition open, nothing completing)
+    cost O(1).
+
+    The caller owns the history object and keeps appending to it; the
+    census (operation count, settled count) is what detects growth, so the
+    cache never serves judgements computed before an operation completed.
+    """
+
+    def __init__(self, history: History, checker: RegularityChecker) -> None:
+        if checker.algorithm != "sweep":
+            raise ValueError(
+                "IncrementalStabilization requires a sweep-algorithm checker"
+            )
+        self.history = history
+        self.checker = checker
+        self.rebuilds = 0  # observability: how often the cache missed
+        self._census: Optional[tuple[int, int]] = None
+        self._analyzer: Optional[StabilizationAnalyzer] = None
+
+    def _current_census(self) -> tuple[int, int]:
+        settled = sum(
+            1
+            for op in self.history
+            if op.status is not OpStatus.PENDING
+        )
+        return (len(self.history), settled)
+
+    def analyzer(self) -> StabilizationAnalyzer:
+        """The up-to-date analyzer (rebuilt only on history growth)."""
+        census = self._current_census()
+        if self._analyzer is None or census != self._census:
+            self._analyzer = StabilizationAnalyzer(self.history, self.checker)
+            self._census = census
+            self.rebuilds += 1
+        return self._analyzer
+
+    def full_verdict(self) -> RegularityVerdict:
+        """Whole-prefix verdict at this instant (cached per census)."""
+        return self.analyzer().full_verdict()
+
+    def suffix_verdict(self, point: float) -> RegularityVerdict:
+        return self.analyzer().suffix_verdict(point)
+
+
 def evaluate_stabilization(
     history: History,
     checker: RegularityChecker,

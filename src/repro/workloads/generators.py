@@ -54,6 +54,13 @@ def run_scripts(
     empties; a script whose operation never completes (a baseline wedged
     by corruption) leaves its handle pending — callers inspect handles or
     the history rather than crashing.
+
+    Crash–restart semantics: a client crashing mid-operation settles that
+    operation as ``CRASHED`` in the history (the crash path releases the
+    handle), and the *rest* of its script is parked on the client via
+    :meth:`~repro.sim.process.Process.when_restarted`. A client that never
+    restarts simply loses its remaining script (crash-stop, the old
+    behaviour); a restarted one resumes from the next scripted operation.
     """
     handles: list[OperationHandle] = []
 
@@ -65,17 +72,28 @@ def run_scripts(
         def begin() -> None:
             client = system.clients[cid]
             if client.crashed:
+                # Park this and every later op until a restart (if ever).
+                client.when_restarted(lambda: start_next(cid, remaining))
                 return
             if op.kind is OpKind.WRITE:
                 handle = client.write(op.value)
             else:
                 handle = client.read()
             handles.append(handle)
-            handle.on_done(lambda h: schedule_next(cid, rest))
+            handle.on_done(lambda h: schedule_next(cid, h, rest))
 
         system.env.scheduler.call_in(op.delay, begin, tag=f"wl:{cid}")
 
-    def schedule_next(cid: str, rest: list[ScriptedOp]) -> None:
+    def schedule_next(
+        cid: str, done: OperationHandle, rest: list[ScriptedOp]
+    ) -> None:
+        if done.failed:
+            # The client crashed mid-operation: the op is already CRASHED
+            # in the history; park the remainder for a possible restart.
+            system.clients[cid].when_restarted(
+                lambda: start_next(cid, rest)
+            )
+            return
         start_next(cid, rest)
 
     for cid, ops in scripts.items():

@@ -82,14 +82,41 @@ def corruption_schedule(
 
 def crash_schedule(
     system: Any,
-    crashes: Sequence[tuple[float, str]],
+    crashes: Sequence[tuple],
+    scramble_on_restart: bool = True,
 ) -> FaultSchedule:
-    """Crash-stop chosen clients at chosen times: ``[(time, cid), ...]``."""
+    """Crash (and optionally restart) chosen clients at chosen times.
+
+    Each event is ``(time, cid)`` — a crash-stop, the client stays down —
+    or ``(time, cid, restart_at)`` with ``restart_at`` either ``None``
+    (same thing) or an absolute instant ``> time`` at which the client
+    recovers. A client crashed mid-operation settles that operation as
+    ``CRASHED`` in the history at crash time (it is never left pending);
+    a recovering client restarts with scrambled state by default (see
+    :meth:`~repro.core.register.RegisterSystem.restart_client`) — the
+    crash–restart transient-fault model the chaos nemeses exercise.
+    """
     schedule = FaultSchedule()
-    for t, cid in crashes:
+    for event in crashes:
+        t, cid = event[0], event[1]
+        restart_at = event[2] if len(event) > 2 else None
         schedule.at(
             t,
             lambda env, c=cid: system.clients[c].crash(),
             label=f"crash {cid}@{t}",
+        )
+        if restart_at is None:
+            continue
+        if restart_at <= t:
+            raise ValueError(
+                f"restart must follow the crash: {restart_at} <= {t} "
+                f"for client {cid!r}"
+            )
+        schedule.at(
+            restart_at,
+            lambda env, c=cid: system.restart_client(
+                c, scramble=scramble_on_restart
+            ),
+            label=f"restart {cid}@{restart_at}",
         )
     return schedule

@@ -1,0 +1,112 @@
+"""CLI wiring: ``repro chaos``, ``repro shrink``, ``fuzz --shrink``."""
+
+import json
+
+from repro.cli import main
+
+
+class TestChaosCommand:
+    def test_clean_at_the_bound_exits_zero(self, capsys):
+        assert main(["chaos", "--trials", "8", "--n", "6"]) == 0
+        assert "CLEAN" in capsys.readouterr().out
+
+    def test_preset_with_overrides(self, capsys):
+        assert main(["chaos", "--preset", "smoke", "--trials", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "over 5 plans" in out
+
+    def test_below_bound_witnesses_exit_zero(self, capsys, tmp_path):
+        """Witnesses below the bound are expected, not an error."""
+        out_path = tmp_path / "witnesses.json"
+        code = main(
+            [
+                "chaos",
+                "--trials",
+                "30",
+                "--n",
+                "4",
+                "--stop-at-first",
+                "--witness-out",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert isinstance(payload, list) and payload
+        assert payload[0]["format"] == "repro-chaos-witness/1"
+
+
+class TestShrinkCommand:
+    def _witness_file(self, tmp_path):
+        path = tmp_path / "w.json"
+        main(
+            [
+                "chaos",
+                "--trials",
+                "30",
+                "--n",
+                "4",
+                "--stop-at-first",
+                "--witness-out",
+                str(path),
+            ]
+        )
+        return path
+
+    def test_shrinks_a_chaos_witness_file(self, capsys, tmp_path):
+        path = self._witness_file(tmp_path)
+        out_path = tmp_path / "shrunk.json"
+        code = main(["shrink", str(path), "--out", str(out_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "shrunk size" in out
+        shrunk = json.loads(out_path.read_text())
+        assert shrunk["format"] == "repro-chaos-witness/1"
+        assert shrunk["plan"]["format"] == "repro-chaos-plan/1"
+
+    def test_shrinks_a_fuzz_witness_file(self, capsys, tmp_path):
+        from repro.harness.fuzz import fuzz, witness_to_dict
+
+        report = fuzz(trials=30, n=4, f=1, master_seed=0, stop_at_first=True)
+        path = tmp_path / "fuzz.json"
+        path.write_text(json.dumps(witness_to_dict(report.witnesses[0])))
+        out_path = tmp_path / "shrunk.json"
+        assert main(["shrink", str(path), "--out", str(out_path)]) == 0
+        assert "shrunk size" in capsys.readouterr().out
+        shrunk = json.loads(out_path.read_text())
+        assert shrunk["format"] == "repro-fuzz-witness/1"
+
+    def test_unknown_format_exits_two(self, capsys, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text(json.dumps({"format": "not-a-witness/1"}))
+        assert main(["shrink", str(path)]) == 2
+        assert "unknown witness format" in capsys.readouterr().err
+
+
+class TestFuzzShrinkFlag:
+    def test_fuzz_shrink_writes_reduced_witnesses(self, capsys, tmp_path):
+        from repro.harness.fuzz import recipe_from_dict, run_trial
+
+        out_path = tmp_path / "witnesses.json"
+        code = main(
+            [
+                "fuzz",
+                "--trials",
+                "30",
+                "--n",
+                "4",
+                "--stop-at-first",
+                "--shrink",
+                "--witness-out",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        assert "shrunk size" in capsys.readouterr().out
+        payload = json.loads(out_path.read_text())
+        assert payload[0]["format"] == "repro-fuzz-witness/1"
+        # The archived recipe is the *shrunk* one and still fails.
+        recipe = recipe_from_dict(payload[0]["recipe"])
+        replay = run_trial(recipe)
+        assert replay is not None
+        assert replay.kind == payload[0]["kind"]

@@ -1,0 +1,149 @@
+"""Chaos engine: campaign contract, determinism, replay, watchdog."""
+
+import json
+
+from repro.chaos import (
+    ChaosPlan,
+    CorruptionWaveNemesis,
+    PartitionNemesis,
+    chaos_campaign,
+    run_plan,
+)
+from repro.chaos.engine import PRESETS, build_system
+
+
+def make_plan(**overrides):
+    base = dict(
+        seed=11,
+        n=6,
+        f=1,
+        n_clients=2,
+        ops_per_client=3,
+        workload="mixed",
+        strategy="stale-replay",
+        latency=(1.0, 1.0),
+        corrupt_at_start=False,
+        nemeses=(),
+        horizon=60.0,
+    )
+    base.update(overrides)
+    return ChaosPlan(**base)
+
+
+class TestCampaigns:
+    def test_clean_at_the_bound(self):
+        report = chaos_campaign(trials=15, n=6, f=1, master_seed=0)
+        assert report.clean, report.summary()
+        assert report.stuck == 0
+        assert report.reads_checked > 0
+
+    def test_witnesses_below_the_bound(self):
+        report = chaos_campaign(trials=30, n=4, f=1, master_seed=0)
+        assert not report.clean
+        kinds = {w.kind for w in report.witnesses}
+        assert kinds <= {"violation", "stuck", "not-stabilized"}
+
+    def test_stop_at_first(self):
+        report = chaos_campaign(
+            trials=30, n=4, f=1, master_seed=0, stop_at_first=True
+        )
+        assert len(report.witnesses) == 1
+        assert report.trials < 30
+
+    def test_presets_are_well_formed(self):
+        for name, settings in PRESETS.items():
+            assert settings["trials"] > 0, name
+            assert settings["n"] >= settings["f"] + 2, name
+
+
+class TestDeterminism:
+    def test_serial_equals_pooled(self):
+        a = chaos_campaign(trials=12, n=5, f=1, master_seed=9, jobs=1)
+        b = chaos_campaign(trials=12, n=5, f=1, master_seed=9, jobs=2)
+        assert [w.plan for w in a.witnesses] == [w.plan for w in b.witnesses]
+        assert [w.kind for w in a.witnesses] == [w.kind for w in b.witnesses]
+        assert [w.detail for w in a.witnesses] == [
+            w.detail for w in b.witnesses
+        ]
+        assert a.reads_checked == b.reads_checked
+        assert a.summary() == b.summary()
+
+    def test_witness_plan_replays(self):
+        report = chaos_campaign(
+            trials=30, n=4, f=1, master_seed=0, stop_at_first=True
+        )
+        witness = report.witnesses[0]
+        replay = run_plan(witness.plan)
+        assert replay.kind == witness.kind
+        assert replay.detail == witness.detail
+
+    def test_outcome_serializes_to_json(self):
+        report = chaos_campaign(
+            trials=30, n=4, f=1, master_seed=0, stop_at_first=True
+        )
+        payload = report.witnesses[0].to_dict()
+        restored = json.loads(json.dumps(payload))
+        assert restored["format"] == "repro-chaos-witness/1"
+        assert restored["plan"]["format"] == "repro-chaos-plan/1"
+
+
+class TestBuildSystem:
+    def test_adversary_stacking(self):
+        from repro.chaos.nemesis import LatencySurgeNemesis
+
+        plan = make_plan(
+            nemeses=(
+                PartitionNemesis(start=2.0, duration=5.0, island=("s0",)),
+                LatencySurgeNemesis(start=1.0, end=4.0, factor=2.0),
+            )
+        )
+        system = build_system(plan)
+        described = system.env.network.adversary.describe()
+        assert "Partition" in described
+        assert "Surge" in described
+
+    def test_byzantine_servers_are_the_top_indices(self):
+        system = build_system(make_plan())
+        assert system.byzantine_ids == {"s5"}
+
+    def test_honest_deployment_has_no_byzantines(self):
+        system = build_system(make_plan(strategy=""))
+        assert system.byzantine_ids == set()
+
+
+class TestWatchdog:
+    def test_livelock_detected_as_stuck_with_forensics(self):
+        # Below the bound (n = 2f + 1) one stale-replay Byzantine server
+        # livelocks the write path: messages beget messages forever while
+        # the clock advances. The watchdog must declare it, not hang.
+        plan = make_plan(
+            n=3,
+            n_clients=1,
+            ops_per_client=1,
+            corrupt_at_start=True,
+            horizon=60.0,
+        )
+        outcome = run_plan(plan, trace="off")
+        assert outcome.kind == "stuck"
+        assert outcome.forensics is not None
+        assert outcome.forensics["in_flight_total"] > 0
+        json.dumps(outcome.forensics)  # picklable/archivable post-mortem
+
+
+class TestHealRestabilizes:
+    def test_heal_then_write_restabilizes_across_the_zoo(self):
+        """Partition + corruption wave (FaultSchedule composition), then
+        heal: one completed post-heal write re-anchors the suffix at
+        n = 5f + 1 for every Byzantine strategy in the zoo."""
+        from repro.byzantine.strategies import STRATEGY_ZOO
+
+        for name in sorted(STRATEGY_ZOO):
+            plan = make_plan(
+                strategy=name,
+                nemeses=(
+                    PartitionNemesis(start=4.0, duration=10.0, island=("s0",)),
+                    CorruptionWaveNemesis(times=(8.0,)),
+                ),
+            )
+            outcome = run_plan(plan, trace="off")
+            assert outcome.ok, f"{name}: {outcome.kind}: {outcome.detail}"

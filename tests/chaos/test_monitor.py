@@ -1,0 +1,94 @@
+"""Invariant monitor: frontiers, incremental judging, forensics."""
+
+import json
+
+from repro.chaos.monitor import InvariantMonitor
+from repro.core import RegisterSystem, SystemConfig
+
+
+def make_system(**kwargs):
+    return RegisterSystem(SystemConfig(n=6, f=1), seed=0, n_clients=2, **kwargs)
+
+
+class TestCheckpoints:
+    def test_frontiers_advance_with_the_run(self):
+        system = make_system()
+        monitor = InvariantMonitor(system)
+        first = monitor.checkpoint()
+        assert first.settled_ops == 0
+        system.write_sync("c0", "v1")
+        system.read_sync("c1")
+        frontier = monitor.checkpoint()
+        assert frontier.settled_ops == 2
+        assert frontier.pending_ops == 0
+        assert frontier.prefix_ok
+        assert monitor.checkpoints == 2
+
+    def test_frontier_tail_is_bounded(self):
+        system = make_system()
+        monitor = InvariantMonitor(system, keep_frontiers=3)
+        for _ in range(10):
+            monitor.checkpoint()
+        assert len(monitor.frontiers) == 3
+        assert monitor.checkpoints == 10
+
+    def test_incremental_analyzer_rebuilds_only_on_new_ops(self):
+        system = make_system()
+        monitor = InvariantMonitor(system)
+        monitor.checkpoint()
+        monitor.checkpoint()  # nothing settled in between
+        rebuilds_idle = monitor.analyzer_rebuilds
+        system.write_sync("c0", "v1")
+        monitor.checkpoint()
+        assert monitor.analyzer_rebuilds == rebuilds_idle + 1
+
+
+class TestWedgeDetection:
+    def test_healthy_run_is_not_wedged(self):
+        system = make_system()
+        monitor = InvariantMonitor(system)
+        system.write_sync("c0", "v1")
+        assert not monitor.wedged()
+
+    def test_pending_op_with_drained_queue_is_wedged(self):
+        system = make_system()
+        monitor = InvariantMonitor(system)
+        # Crash every server: the client's write can never gather a
+        # quorum, and once the queue drains the run is wedged.
+        handle = system.write("c0", "doomed")
+        for server in system.servers.values():
+            server.crash()
+        system.env.run()
+        assert not handle.done
+        assert monitor.wedged()
+        report = monitor.pending_report()
+        assert report and "write" in report[0]
+
+
+class TestForensics:
+    def test_forensics_is_json_friendly_and_complete(self):
+        system = make_system()
+        monitor = InvariantMonitor(system)
+        system.write_sync("c0", "v1")
+        monitor.checkpoint()
+        data = monitor.forensics()
+        json.dumps(data)
+        for key in (
+            "now",
+            "checkpoints",
+            "last_frontiers",
+            "pending_ops",
+            "in_flight",
+            "in_flight_total",
+            "adversary",
+            "queue_idle",
+        ):
+            assert key in data
+        assert data["queue_idle"] is True
+        assert data["checkpoints"] == 1
+
+    def test_first_anomaly_time_latches(self):
+        system = make_system()
+        monitor = InvariantMonitor(system)
+        monitor.checkpoint()
+        assert monitor.first_anomaly_time is None

@@ -1,0 +1,150 @@
+"""Nemesis algebra: validation, compile hooks, serialization."""
+
+import random
+
+import pytest
+
+from repro.chaos.nemesis import (
+    CorruptionWaveNemesis,
+    CrashRestartNemesis,
+    LatencySurgeNemesis,
+    MessageStormNemesis,
+    NEMESIS_KINDS,
+    PartitionNemesis,
+    SurgeAdversary,
+    compile_nemeses,
+    nemesis_from_dict,
+)
+from repro.sim.adversary import FixedLatencyAdversary
+
+ONE_OF_EACH = [
+    PartitionNemesis(start=3.0, duration=8.0, island=("s0", "c1")),
+    CrashRestartNemesis(time=5.0, target="c0", restart_at=12.0),
+    CrashRestartNemesis(time=5.0, target="c0", restart_at=None),
+    CrashRestartNemesis(time=5.0, target="s1", restart_at=11.0),
+    CorruptionWaveNemesis(times=(4.0, 9.0), server_fraction=0.5),
+    MessageStormNemesis(time=7.0, pairs=3, burst=2),
+    LatencySurgeNemesis(start=2.0, end=10.0, factor=4.0),
+]
+
+
+class TestValidation:
+    def test_partition_needs_positive_duration(self):
+        with pytest.raises(ValueError):
+            PartitionNemesis(start=1.0, duration=0.0, island=("s0",))
+
+    def test_partition_needs_an_island(self):
+        with pytest.raises(ValueError):
+            PartitionNemesis(start=1.0, duration=5.0, island=())
+
+    def test_server_crash_stop_rejected(self):
+        # Crash-stopping a correct server exceeds the f bound.
+        with pytest.raises(ValueError, match="crash-stop"):
+            CrashRestartNemesis(time=3.0, target="s0", restart_at=None)
+
+    def test_restart_must_follow_crash(self):
+        with pytest.raises(ValueError):
+            CrashRestartNemesis(time=5.0, target="c0", restart_at=5.0)
+
+    def test_wave_needs_strikes(self):
+        with pytest.raises(ValueError):
+            CorruptionWaveNemesis(times=())
+
+    def test_storm_bounds(self):
+        with pytest.raises(ValueError):
+            MessageStormNemesis(time=1.0, pairs=0)
+
+    def test_surge_bounds(self):
+        with pytest.raises(ValueError):
+            LatencySurgeNemesis(start=5.0, end=5.0, factor=2.0)
+        with pytest.raises(ValueError):
+            LatencySurgeNemesis(start=1.0, end=5.0, factor=0.5)
+
+
+class TestFaultInstants:
+    """Asynchrony (partitions, surges) contributes no fault instant;
+    state scrambles (waves, restarts, storms) do."""
+
+    def test_partition_and_surge_are_pure_asynchrony(self):
+        assert PartitionNemesis(1.0, 5.0, ("s0",)).fault_times() == ()
+        assert LatencySurgeNemesis(1.0, 5.0, 3.0).fault_times() == ()
+
+    def test_client_crash_stop_corrupts_nothing(self):
+        nem = CrashRestartNemesis(time=3.0, target="c0")
+        assert nem.fault_times() == ()
+        assert nem.size() == 1
+
+    def test_restart_is_the_fault_instant(self):
+        nem = CrashRestartNemesis(time=3.0, target="c0", restart_at=9.0)
+        assert nem.fault_times() == (9.0,)
+        assert nem.size() == 2
+        assert nem.end_time() == 9.0
+
+    def test_wave_and_storm_strike_times(self):
+        assert CorruptionWaveNemesis(times=(4.0, 9.0)).fault_times() == (4.0, 9.0)
+        assert MessageStormNemesis(time=7.0).fault_times() == (7.0,)
+
+
+class TestSerialization:
+    def test_roundtrip_every_kind(self):
+        for nem in ONE_OF_EACH:
+            assert nemesis_from_dict(nem.to_dict()) == nem
+
+    def test_registry_covers_every_concrete_kind(self):
+        assert {nem.kind for nem in ONE_OF_EACH} == set(NEMESIS_KINDS)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown nemesis kind"):
+            nemesis_from_dict({"kind": "meteor"})
+
+
+class TestSurgeAdversary:
+    def test_multiplies_inside_window_only(self):
+        clock = {"now": 0.0}
+        adv = SurgeAdversary(
+            FixedLatencyAdversary(2.0), [(5.0, 10.0, 3.0)], lambda: clock["now"]
+        )
+        rng = random.Random(0)
+        assert adv.latency(None, rng) == 2.0
+        clock["now"] = 7.0
+        assert adv.latency(None, rng) == 6.0
+        clock["now"] = 10.0
+        assert adv.latency(None, rng) == 2.0
+
+    def test_overlapping_surges_compound(self):
+        adv = SurgeAdversary(
+            FixedLatencyAdversary(1.0),
+            [(0.0, 10.0, 2.0), (5.0, 15.0, 3.0)],
+            lambda: 7.0,
+        )
+        assert adv.latency(None, random.Random(0)) == 6.0
+
+    def test_describe_mentions_base(self):
+        adv = SurgeAdversary(
+            FixedLatencyAdversary(1.0), [(0.0, 1.0, 2.0)], lambda: 0.0
+        )
+        assert "Surge" in adv.describe()
+
+
+class TestCompile:
+    def test_windows_surges_and_actions_collected(self):
+        from repro.core import RegisterSystem, SystemConfig
+
+        system = RegisterSystem(SystemConfig(n=6, f=1), seed=0, n_clients=2)
+        nemeses = [
+            PartitionNemesis(start=3.0, duration=8.0, island=("s0",)),
+            CrashRestartNemesis(time=5.0, target="s1", restart_at=11.0),
+            LatencySurgeNemesis(start=2.0, end=10.0, factor=4.0),
+            CorruptionWaveNemesis(times=(4.0,)),
+            CrashRestartNemesis(time=6.0, target="c0", restart_at=13.0),
+        ]
+        schedule, windows, surges = compile_nemeses(nemeses, system)
+        # Partition + server-outage windows; one surge; wave strike,
+        # server recovery scramble, client crash and client restart.
+        assert len(windows) == 2
+        assert {w.island for w in windows} == {
+            frozenset({"s0"}),
+            frozenset({"s1"}),
+        }
+        assert surges == [(2.0, 10.0, 4.0)]
+        assert len(schedule.actions) == 4

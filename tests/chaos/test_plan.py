@@ -1,0 +1,142 @@
+"""Chaos plans: sampling, serialization, derived metrics."""
+
+import json
+import random
+
+import pytest
+
+from repro.chaos.nemesis import CrashRestartNemesis, PartitionNemesis
+from repro.chaos.plan import (
+    ChaosPlan,
+    NEMESIS_FAMILIES,
+    plan_from_dict,
+    plan_to_dict,
+    sample_plan,
+)
+
+
+def make_plan(**overrides):
+    base = dict(
+        seed=42,
+        n=6,
+        f=1,
+        n_clients=2,
+        ops_per_client=3,
+        workload="mixed",
+        strategy="silent",
+        latency=(1.0, 1.0),
+        corrupt_at_start=False,
+        nemeses=(),
+        horizon=60.0,
+    )
+    base.update(overrides)
+    return ChaosPlan(**base)
+
+
+class TestValidation:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            make_plan(strategy="chaotic-evil")
+
+    def test_empty_strategy_means_honest(self):
+        assert make_plan(strategy="").strategy == ""
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            make_plan(workload="write-only")
+
+
+class TestDerivedMetrics:
+    def test_size_counts_ops_strikes_clients(self):
+        plan = make_plan(
+            nemeses=(
+                CrashRestartNemesis(time=3.0, target="c0", restart_at=9.0),
+                PartitionNemesis(start=2.0, duration=5.0, island=("s0",)),
+            )
+        )
+        # 2 clients * 3 ops + (2 + 1) nemesis strikes + 2 clients
+        assert plan.size() == 11
+
+    def test_last_fault_time_ignores_asynchrony(self):
+        plan = make_plan(
+            nemeses=(
+                PartitionNemesis(start=2.0, duration=50.0, island=("s0",)),
+                CrashRestartNemesis(time=3.0, target="c0", restart_at=9.0),
+            )
+        )
+        assert plan.last_fault_time() == 9.0
+
+    def test_faulted_flags(self):
+        assert not make_plan().faulted()
+        assert make_plan(corrupt_at_start=True).faulted()
+        partition_only = make_plan(
+            nemeses=(PartitionNemesis(start=1.0, duration=5.0, island=("c0",)),)
+        )
+        assert not partition_only.faulted()
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        rng = random.Random(0)
+        for i in range(30):
+            plan = sample_plan(rng, n=6, f=1, trial_seed=i, max_nemeses=3)
+            data = plan_to_dict(plan)
+            json.dumps(data)  # JSON-friendly all the way down
+            assert plan_from_dict(data) == plan
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="unknown chaos plan format"):
+            plan_from_dict({"format": "repro-chaos-plan/99"})
+
+
+class TestSampling:
+    def test_plans_are_diverse(self):
+        rng = random.Random(0)
+        plans = [
+            sample_plan(rng, n=6, f=1, trial_seed=i, max_nemeses=3)
+            for i in range(60)
+        ]
+        kinds = {nem.kind for plan in plans for nem in plan.nemeses}
+        assert len(kinds) >= 4
+        assert any(p.strategy == "" for p in plans)
+        assert len({p.strategy for p in plans}) > 3
+        assert any(p.corrupt_at_start for p in plans)
+
+    def test_at_most_one_client_crash_per_plan(self):
+        # A surviving client must always remain for the post-fault probe.
+        rng = random.Random(1)
+        for i in range(80):
+            plan = sample_plan(rng, n=6, f=1, trial_seed=i, max_nemeses=3)
+            crashes = [
+                nem
+                for nem in plan.nemeses
+                if isinstance(nem, CrashRestartNemesis)
+                and not nem._is_server
+            ]
+            assert len(crashes) <= 1
+
+    def test_horizon_covers_every_nemesis(self):
+        rng = random.Random(2)
+        for i in range(40):
+            plan = sample_plan(rng, n=6, f=1, trial_seed=i, max_nemeses=3)
+            assert all(
+                nem.end_time() < plan.horizon for nem in plan.nemeses
+            )
+
+    def test_family_catalogue_is_exercised(self):
+        rng = random.Random(3)
+        plans = [
+            sample_plan(rng, n=6, f=1, trial_seed=i, max_nemeses=3)
+            for i in range(200)
+        ]
+        kinds = {nem.kind for plan in plans for nem in plan.nemeses}
+        # Every family shows up across a large sample (families map onto
+        # kinds; both crash families share one kind).
+        assert kinds == {
+            "partition",
+            "crash-restart",
+            "corruption-wave",
+            "message-storm",
+            "latency-surge",
+        }
+        assert len(NEMESIS_FAMILIES) == 6

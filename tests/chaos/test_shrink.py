@@ -1,0 +1,102 @@
+"""Shrinker: minimality, anti-slippage, determinism, acceptance rate."""
+
+import pytest
+
+from repro.chaos import ChaosPlan, run_plan, shrink_plan, shrink_witness
+from repro.harness.fuzz import fuzz, run_trial
+
+
+def collect_witnesses(count, n=4, f=1, master_seed=0, batch=40):
+    """Seeded witnesses from real below-the-bound fuzz campaigns."""
+    witnesses = []
+    seed = master_seed
+    while len(witnesses) < count:
+        report = fuzz(trials=batch, n=n, f=f, master_seed=seed)
+        witnesses.extend(report.witnesses)
+        seed += 1
+    return witnesses[:count]
+
+
+class TestShrinkWitness:
+    def test_shrunk_recipe_still_fails_with_the_same_kind(self):
+        witness = collect_witnesses(1)[0]
+        result = shrink_witness(witness)
+        replay = run_trial(result.shrunk)
+        assert replay is not None
+        assert replay.kind == result.kind == witness.kind
+        assert replay.detail == result.detail
+
+    def test_shrinking_is_deterministic(self):
+        witness = collect_witnesses(1)[0]
+        a = shrink_witness(witness)
+        b = shrink_witness(witness)
+        assert a.shrunk == b.shrunk
+        assert a.evals == b.evals
+        assert (a.kind, a.detail) == (b.kind, b.detail)
+
+    def test_shrunk_is_a_fixpoint(self):
+        witness = collect_witnesses(1)[0]
+        result = shrink_witness(witness)
+        replay = run_trial(result.shrunk)
+        again = shrink_witness(
+            type(witness)(
+                recipe=result.shrunk, kind=replay.kind, detail=replay.detail
+            )
+        )
+        assert again.shrunk == result.shrunk
+        assert not again.reduced
+
+    def test_acceptance_rate_over_seeded_witnesses(self):
+        # The PR's acceptance bar, scaled for test runtime: >= 90% of
+        # seeded witnesses shrink strictly smaller (CI runs the full 20).
+        witnesses = collect_witnesses(8)
+        results = [shrink_witness(w) for w in witnesses]
+        reduced = sum(1 for r in results if r.reduced)
+        assert reduced / len(results) >= 0.9, [r.summary() for r in results]
+
+    def test_budget_is_respected(self):
+        witness = collect_witnesses(1)[0]
+        result = shrink_witness(witness, budget=3)
+        assert result.evals <= 3
+
+    def test_match_kind_off_allows_any_failure(self):
+        witness = collect_witnesses(1)[0]
+        permissive = shrink_witness(witness, match_kind=False)
+        replay = run_trial(permissive.shrunk)
+        assert replay is not None  # still fails, kind unconstrained
+
+
+class TestShrinkPlan:
+    def _failing_plan(self):
+        from repro.chaos import chaos_campaign
+
+        report = chaos_campaign(
+            trials=30, n=4, f=1, master_seed=0, stop_at_first=True
+        )
+        return report.witnesses[0]
+
+    def test_shrunk_plan_still_fails_with_the_same_kind(self):
+        witness = self._failing_plan()
+        result = shrink_plan(witness.plan)
+        assert result.reduced
+        assert result.kind == witness.kind
+        replay = run_plan(result.shrunk)
+        assert replay.kind == result.kind
+        assert replay.detail == result.detail
+
+    def test_passing_plan_is_rejected(self):
+        healthy = ChaosPlan(
+            seed=1,
+            n=6,
+            f=1,
+            n_clients=2,
+            ops_per_client=2,
+            workload="mixed",
+            strategy="",
+            latency=(1.0, 1.0),
+            corrupt_at_start=False,
+            nemeses=(),
+            horizon=40.0,
+        )
+        with pytest.raises(ValueError, match="currently fails"):
+            shrink_plan(healthy)

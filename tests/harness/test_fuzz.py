@@ -55,9 +55,143 @@ class TestRecipeSampling:
         recipes = [sample_recipe(rng, 6, 1, i) for i in range(50)]
         assert len({r.strategy for r in recipes}) > 3
         assert len({r.workload for r in recipes}) == 2
-        assert any(r.crash for r in recipes)
+        assert any(r.crashes for r in recipes)
+        assert any(
+            restart is not None
+            for r in recipes
+            for _, _, restart in r.crashes
+        )
         assert any(r.strike_times for r in recipes)
         assert any(r.corrupt_at_start for r in recipes)
+
+
+class TestSerialization:
+    def test_recipe_roundtrip_format_2(self):
+        import random
+
+        from repro.harness.fuzz import recipe_from_dict, recipe_to_dict
+
+        rng = random.Random(0)
+        for i in range(30):
+            recipe = sample_recipe(rng, 6, 1, i)
+            data = recipe_to_dict(recipe)
+            assert data["format"] == "repro-fuzz-recipe/2"
+            assert recipe_from_dict(data) == recipe
+
+    def test_legacy_format_1_loads_as_crash_stop(self):
+        """Replay compatibility: a format-1 recipe's single optional
+        ``crash: [t, cid]`` pair becomes one crash-stop event."""
+        from repro.harness.fuzz import recipe_from_dict, recipe_to_dict
+
+        legacy = {
+            "format": "repro-fuzz-recipe/1",
+            "seed": 7,
+            "n": 5,
+            "f": 1,
+            "n_clients": 2,
+            "ops_per_client": 3,
+            "workload": "mixed",
+            "strategy": "silent",
+            "latency": [1.0, 1.0],
+            "corrupt_at_start": True,
+            "strike_times": [4.0],
+            "strike_severity": 0.5,
+            "crash": [6.0, "c1"],
+        }
+        recipe = recipe_from_dict(legacy)
+        assert recipe.crashes == ((6.0, "c1", None),)
+        # Re-serializing upgrades to format 2 with the same fault timeline.
+        upgraded = recipe_from_dict(recipe_to_dict(recipe))
+        assert upgraded == recipe
+        # The legacy recipe replays: same deterministic run-and-judge path.
+        assert run_trial(recipe) == run_trial(recipe)
+
+    def test_legacy_format_1_without_crash(self):
+        from repro.harness.fuzz import recipe_from_dict
+
+        legacy = {
+            "seed": 1,
+            "n": 6,
+            "f": 1,
+            "n_clients": 2,
+            "ops_per_client": 2,
+            "workload": "mixed",
+            "strategy": "",
+            "latency": [1.0, 2.0],
+            "corrupt_at_start": False,
+            "strike_times": [],
+            "strike_severity": 0.0,
+            "crash": None,
+        }
+        assert recipe_from_dict(legacy).crashes == ()
+
+    def test_unknown_format_rejected(self):
+        from repro.harness.fuzz import recipe_from_dict
+
+        with pytest.raises(ValueError, match="unknown recipe format"):
+            recipe_from_dict({"format": "repro-fuzz-recipe/99"})
+
+    def test_witness_roundtrip(self):
+        import json
+
+        from repro.harness.fuzz import witness_from_dict, witness_to_dict
+
+        report = fuzz(trials=30, n=4, f=1, master_seed=0, stop_at_first=True)
+        witness = report.witnesses[0]
+        data = json.loads(json.dumps(witness_to_dict(witness)))
+        assert witness_from_dict(data) == witness
+
+    def test_unknown_witness_format_rejected(self):
+        from repro.harness.fuzz import witness_from_dict
+
+        with pytest.raises(ValueError, match="unknown witness format"):
+            witness_from_dict({"format": "nope/1"})
+
+
+class TestCrashRelease:
+    def test_crashed_trials_never_leave_pending_ops(self):
+        """The satellite fix: a client crashed mid-op settles the op as
+        CRASHED instead of leaving it pending forever."""
+        import random
+
+        rng = random.Random(5)
+        seen_crashes = 0
+        for i in range(30):
+            recipe = sample_recipe(rng, 6, 1, i)
+            if not recipe.crashes:
+                continue
+            seen_crashes += 1
+            witness = run_trial(recipe)
+            # At the bound, crashes alone must never produce a witness.
+            assert witness is None, witness.detail
+        assert seen_crashes >= 3
+
+    def test_crash_stop_then_restart_both_replay(self):
+        from repro.harness.fuzz import TrialRecipe
+
+        base = TrialRecipe(
+            seed=3,
+            n=6,
+            f=1,
+            n_clients=3,
+            ops_per_client=4,
+            workload="mixed",
+            strategy="silent",
+            latency=(1.0, 1.0),
+            corrupt_at_start=False,
+            strike_times=(),
+            strike_severity=0.0,
+            crashes=((5.0, "c1", None),),
+        )
+        assert run_trial(base) is None
+        with_restart = replace_crashes(base, ((5.0, "c1", 12.0),))
+        assert run_trial(with_restart) is None
+
+
+def replace_crashes(recipe, crashes):
+    from dataclasses import replace
+
+    return replace(recipe, crashes=crashes)
 
 
 class TestCliFuzz:

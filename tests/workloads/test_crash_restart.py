@@ -1,0 +1,103 @@
+"""Crash–restart fault model: settled operations, resumed scripts."""
+
+import pytest
+
+from repro.core import RegisterSystem, SystemConfig
+from repro.spec.history import OpKind, OpStatus
+from repro.workloads.generators import ScriptedOp, run_scripts
+from repro.workloads.schedules import crash_schedule
+
+
+def make_system(n_clients=2):
+    return RegisterSystem(
+        SystemConfig(n=6, f=1), seed=0, n_clients=n_clients
+    )
+
+
+def write_script(count, cid, first_delay=0.5, gap=3.0):
+    return [
+        ScriptedOp(
+            kind=OpKind.WRITE,
+            value=f"{cid}-v{i}",
+            delay=first_delay if i == 0 else gap,
+        )
+        for i in range(count)
+    ]
+
+
+class TestMidOperationCrash:
+    def test_crashed_op_settles_as_crashed_not_pending(self):
+        system = make_system()
+        handle = system.write("c0", "doomed")
+        # Crash strictly inside the operation (before any reply lands).
+        system.env.scheduler.call_at(0.5, lambda: system.clients["c0"].crash())
+        system.env.run()
+        assert handle.failed
+        assert not system.history.pending()
+        ops = [op for op in system.history if op.client == "c0"]
+        assert len(ops) == 1
+        assert ops[0].status is OpStatus.CRASHED
+        assert ops[0].responded_at is not None
+
+    def test_crash_stop_loses_the_rest_of_the_script(self):
+        system = make_system()
+        scripts = {"c0": write_script(4, "c0"), "c1": write_script(2, "c1")}
+        schedule = crash_schedule(system, [(4.0, "c0")])
+        schedule.arm(system.env)
+        run_scripts(system, scripts)
+        c0_ops = [op for op in system.history if op.client == "c0"]
+        c1_ops = [op for op in system.history if op.client == "c1"]
+        assert len(c0_ops) < 4  # crash-stop: script abandoned
+        assert len(c1_ops) == 2  # the survivor is untouched
+        assert all(op.status is not OpStatus.PENDING for op in c0_ops)
+
+
+class TestRestart:
+    def test_restarted_client_resumes_its_script(self):
+        system = make_system()
+        scripts = {"c0": write_script(4, "c0")}
+        schedule = crash_schedule(system, [(4.0, "c0", 10.0)])
+        schedule.arm(system.env)
+        run_scripts(system, scripts)
+        assert system.clients["c0"].restarts == 1
+        ops = [op for op in system.history if op.client == "c0"]
+        # The crash interrupts one op (settled CRASHED); the parked script
+        # resumes after the restart and finishes every remaining op.
+        assert not system.history.pending()
+        crashed = [op for op in ops if op.status is OpStatus.CRASHED]
+        completed = [op for op in ops if op.status is OpStatus.OK]
+        assert len(crashed) == 1
+        assert len(completed) == 3
+        assert len(ops) == 4
+        # The resumed ops ran strictly after the restart instant.
+        resumed = [op for op in completed if op.invoked_at > 10.0]
+        assert len(resumed) >= 2
+
+    def test_restarted_client_serves_fresh_operations(self):
+        system = make_system()
+        system.write_sync("c1", "anchor")
+        system.crash_client("c0")
+        system.restart_client("c0")  # scrambled recovered state (default)
+        assert not system.clients["c0"].crashed
+        system.write_sync("c0", "post-restart")
+        assert system.read_sync("c1") == "post-restart"
+
+    def test_restart_without_crash_is_a_noop(self):
+        system = make_system()
+        system.restart_client("c0")
+        assert system.clients["c0"].restarts == 0
+
+
+class TestScheduleValidation:
+    def test_restart_must_follow_crash(self):
+        system = make_system()
+        with pytest.raises(ValueError, match="restart must follow"):
+            crash_schedule(system, [(5.0, "c0", 5.0)])
+
+    def test_two_item_and_three_item_events_mix(self):
+        system = make_system()
+        schedule = crash_schedule(
+            system, [(4.0, "c0"), (6.0, "c1", 12.0)]
+        )
+        # crash c0, crash c1, restart c1
+        assert len(schedule.actions) == 3
