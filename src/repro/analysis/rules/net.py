@@ -1,0 +1,66 @@
+"""NET-series rules: the sim/live separation that keeps the bridge sound.
+
+The live runtime (:mod:`repro.net`) hosts the protocol classes
+*unmodified* — that reuse claim only holds while the protocol layers stay
+transport-blind. The moment ``core/`` (or the labels, WTsG, or Byzantine
+strategies it moves over the wire) imports asyncio, sockets, or the live
+tier itself, there are two protocols: the one the simulator verifies and
+the one deployments run. NET001 pins the import direction: ``repro.net``
+imports the protocol, never the reverse.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.core import Finding, ModuleInfo, Rule, register_rule
+
+#: Layers that must stay transport-blind.
+PROTOCOL_LAYERS = (
+    "repro/core/",
+    "repro/labels/",
+    "repro/wtsg/",
+    "repro/byzantine/",
+)
+
+#: Module prefixes that mean live-transport machinery.
+FORBIDDEN_IMPORTS = ("asyncio", "socket", "repro.net")
+
+
+def _forbidden(module_name: str) -> Optional[str]:
+    for banned in FORBIDDEN_IMPORTS:
+        if module_name == banned or module_name.startswith(banned + "."):
+            return banned
+    return None
+
+
+@register_rule
+class TransportImportRule(Rule):
+    rule_id = "NET001"
+    title = "transport import inside a protocol layer"
+    rationale = (
+        "Live deployments reuse core/, labels/, wtsg/ and byzantine/ "
+        "byte-for-byte; importing asyncio, socket or repro.net there "
+        "forks the verified protocol from the deployed one."
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not any(layer in module.relpath for layer in PROTOCOL_LAYERS):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                names = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                names = [node.module] if node.module else []
+            else:
+                continue
+            for name in names:
+                banned = _forbidden(name)
+                if banned is not None:
+                    yield module.finding(
+                        node,
+                        self.rule_id,
+                        f"protocol layer imports {name} — {banned} belongs "
+                        f"on the repro.net side of the transport seam",
+                    )

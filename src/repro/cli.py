@@ -21,7 +21,13 @@ Commands:
   confidence check on any machine);
 * ``lint [--format json]``        — the determinism & stabilization-
   soundness static analysis (see :mod:`repro.analysis` and
-  ``docs/ANALYSIS.md``); exits 1 on any non-baselined finding.
+  ``docs/ANALYSIS.md``); exits 1 on any non-baselined finding;
+* ``serve SID``                   — host one register server (correct or
+  ``--byzantine STRATEGY``) on a real socket until interrupted;
+* ``loadgen``                     — boot a live loopback cluster (or dial
+  ``--servers``), drive a closed-loop mixed workload, judge the captured
+  history with the regularity checker, write ``BENCH_live.json``
+  (``docs/LIVE.md``).
 
 ``--jobs`` fans independent trials over a process pool; every sweep's
 output is byte-identical to the serial run (see
@@ -396,6 +402,158 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.byzantine.strategies import STRATEGY_ZOO
+    from repro.core.config import SystemConfig
+    from repro.net import ServerDaemon
+
+    config = SystemConfig(n=args.n, f=args.f)
+    if args.sid not in config.server_ids:
+        print(
+            f"unknown server id {args.sid!r} for n={args.n} "
+            f"(expected one of {config.server_ids})",
+            file=sys.stderr,
+        )
+        return 2
+    factory = None
+    if args.byzantine:
+        cls = STRATEGY_ZOO.get(args.byzantine)
+        if cls is None:
+            print(
+                f"unknown strategy {args.byzantine!r}; "
+                f"known: {sorted(STRATEGY_ZOO)}",
+                file=sys.stderr,
+            )
+            return 2
+        factory = cls
+
+    async def serve() -> None:
+        daemon = ServerDaemon(
+            args.sid,
+            config,
+            address=args.address,
+            factory=factory,
+            seed=args.seed,
+        )
+        address = await daemon.start()
+        role = args.byzantine or "correct"
+        print(f"{args.sid} ({role}) listening on {address}", flush=True)
+        try:
+            await asyncio.Event().wait()  # until interrupted
+        finally:
+            await daemon.stop()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        print("interrupted; shut down cleanly")
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.byzantine.strategies import STRATEGY_ZOO
+    from repro.core.config import SystemConfig
+    from repro.net import FaultPolicy, LiveRegisterCluster, benchmark
+
+    config = SystemConfig(n=args.n, f=args.f)
+
+    byzantine = None
+    if args.byzantine:
+        cls = STRATEGY_ZOO.get(args.byzantine)
+        if cls is None:
+            print(
+                f"unknown strategy {args.byzantine!r}; "
+                f"known: {sorted(STRATEGY_ZOO)}",
+                file=sys.stderr,
+            )
+            return 2
+        sid = args.byzantine_server or config.server_ids[-1]
+        byzantine = {sid: cls}
+
+    external = None
+    if args.servers:
+        external = {}
+        for item in args.servers.split(","):
+            sid, sep, address = item.partition("=")
+            if not sep:
+                print(f"bad --servers entry {item!r} (want SID=ADDR)", file=sys.stderr)
+                return 2
+            external[sid] = address
+
+    policy = None
+    if args.proxy_loss or args.proxy_delay or args.proxy_jitter or args.proxy_duplication:
+        policy = FaultPolicy(
+            loss=args.proxy_loss,
+            duplication=args.proxy_duplication,
+            delay=args.proxy_delay,
+            jitter=args.proxy_jitter,
+        )
+
+    async def run() -> dict:
+        cluster = LiveRegisterCluster(
+            config,
+            n_clients=args.clients,
+            seed=args.seed,
+            byzantine=byzantine,
+            family=args.family,
+            socket_dir=args.socket_dir,
+            proxy_policy=policy,
+            op_timeout=args.op_timeout,
+            external_servers=external,
+        )
+        async with cluster:
+            return await benchmark(
+                cluster,
+                duration=args.duration,
+                warmup=args.warmup,
+                read_fraction=args.read_fraction,
+                seed=args.seed,
+            )
+
+    bench = asyncio.run(run())
+    load, verdict = bench["load"], bench["verdict"]
+    print(
+        f"n={args.n} f={args.f} clients={args.clients} "
+        f"byzantine={sorted(bench['config']['byzantine']) or 'none'} "
+        f"proxied={bench['config']['proxied']}"
+    )
+    print(
+        f"  {load['ops_per_s']:.1f} ops/s over {load['duration_s']:.2f}s "
+        f"({load['reads']} reads, {load['writes']} writes, "
+        f"{load['aborts']} aborts, {load['timeouts']} timeouts)"
+    )
+    for kind in ("read", "write"):
+        lat = load[f"{kind}_latency_s"]
+        if lat["count"]:
+            print(
+                f"  {kind:5s} p50={lat['p50'] * 1e3:.2f}ms "
+                f"p95={lat['p95'] * 1e3:.2f}ms p99={lat['p99'] * 1e3:.2f}ms "
+                f"max={lat['max'] * 1e3:.2f}ms"
+            )
+    print(
+        f"  regularity: {'CLEAN' if verdict['clean'] else 'VIOLATIONS'} "
+        f"({verdict['checked_reads']} reads checked, "
+        f"{verdict['violations']} violations)"
+    )
+    if args.out:
+        _write_json(args.out, bench)
+        print(f"  benchmark written to {args.out}")
+    if not verdict["clean"]:
+        return 1
+    if args.min_ops_per_s and load["ops_per_s"] < args.min_ops_per_s:
+        print(
+            f"throughput {load['ops_per_s']:.1f} ops/s below floor "
+            f"{args.min_ops_per_s}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -552,6 +710,84 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the shrunk witness JSON to PATH",
     )
 
+    serve = sub.add_parser(
+        "serve", help="host one live register server on a real socket"
+    )
+    serve.add_argument("sid", help="server id, e.g. s0")
+    serve.add_argument("--n", type=int, default=6)
+    serve.add_argument("--f", type=int, default=1)
+    serve.add_argument(
+        "--address",
+        default="tcp:127.0.0.1:0",
+        help="listen address: tcp:HOST:PORT (port 0 = ephemeral) or unix:PATH",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--byzantine",
+        default=None,
+        metavar="STRATEGY",
+        help="host a Byzantine zoo strategy instead of a correct server",
+    )
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="live loopback cluster + closed-loop load + regularity verdict",
+    )
+    loadgen.add_argument("--n", type=int, default=6)
+    loadgen.add_argument("--f", type=int, default=1)
+    loadgen.add_argument("--clients", type=int, default=3)
+    loadgen.add_argument("--duration", type=float, default=5.0)
+    loadgen.add_argument(
+        "--warmup",
+        type=float,
+        default=1.0,
+        help="seconds of samples to discard before measuring",
+    )
+    loadgen.add_argument(
+        "--read-fraction",
+        type=float,
+        default=0.5,
+        help="probability each operation is a read (default 0.5)",
+    )
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument(
+        "--byzantine",
+        default=None,
+        metavar="STRATEGY",
+        help="substitute one server with this zoo strategy",
+    )
+    loadgen.add_argument(
+        "--byzantine-server",
+        default=None,
+        metavar="SID",
+        help="which server --byzantine replaces (default: the last)",
+    )
+    loadgen.add_argument(
+        "--servers",
+        default=None,
+        metavar="SID=ADDR,...",
+        help="dial externally served daemons instead of booting local ones",
+    )
+    loadgen.add_argument("--family", choices=("tcp", "unix"), default="tcp")
+    loadgen.add_argument("--socket-dir", default=None)
+    loadgen.add_argument("--op-timeout", type=float, default=30.0)
+    loadgen.add_argument("--proxy-loss", type=float, default=0.0)
+    loadgen.add_argument("--proxy-duplication", type=float, default=0.0)
+    loadgen.add_argument("--proxy-delay", type=float, default=0.0)
+    loadgen.add_argument("--proxy-jitter", type=float, default=0.0)
+    loadgen.add_argument(
+        "--min-ops-per-s",
+        type=float,
+        default=0.0,
+        help="exit 1 if measured throughput falls below this floor",
+    )
+    loadgen.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the benchmark JSON (BENCH_live.json) here",
+    )
+
     lint = sub.add_parser(
         "lint",
         help="determinism & stabilization-soundness static analysis",
@@ -593,6 +829,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "chaos": _cmd_chaos,
         "shrink": _cmd_shrink,
         "lint": _cmd_lint,
+        "serve": _cmd_serve,
+        "loadgen": _cmd_loadgen,
     }[args.command]
     return handler(args)
 

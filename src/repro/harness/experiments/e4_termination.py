@@ -20,6 +20,7 @@ import random
 
 from repro.byzantine.strategies import STRATEGY_ZOO
 from repro.core.config import SystemConfig
+from repro.harness.metrics import LogHistogram
 from repro.harness.runner import ExperimentReport, run_register_workload
 from repro.workloads.generators import mixed_scripts
 
@@ -42,8 +43,8 @@ def run(f: int = 1, seeds: int = 4, n_clients: int = 3) -> ExperimentReport:
     n = 5 * f + 1
     for name, cls in STRATEGY_ZOO.items():
         done = pending = aborts = 0
-        wl: list[float] = []
-        rl: list[float] = []
+        wl = LogHistogram()
+        rl = LogHistogram()
         for seed in range(seeds):
             config = SystemConfig(n=n, f=f)
             rng = random.Random(seed * 7 + 11)
@@ -60,18 +61,16 @@ def run(f: int = 1, seeds: int = 4, n_clients: int = 3) -> ExperimentReport:
             for op in result.history:
                 if op.complete and op.responded_at is not None:
                     latency = op.responded_at - op.invoked_at
-                    (wl if op.is_write else rl).append(latency)
-        import numpy as np
-
+                    (wl if op.is_write else rl).add(latency)
         report.rows.append(
             (
                 name,
                 done,
                 pending,
-                round(float(np.mean(wl)), 2) if wl else 0,
-                round(float(np.percentile(wl, 95)), 2) if wl else 0,
-                round(float(np.mean(rl)), 2) if rl else 0,
-                round(float(np.percentile(rl, 95)), 2) if rl else 0,
+                round(wl.mean, 2),
+                round(wl.quantile(0.95), 2),
+                round(rl.mean, 2),
+                round(rl.quantile(0.95), 2),
                 aborts,
             )
         )

@@ -2,18 +2,145 @@
 
 Latency is measured in simulation time units; under the default
 :class:`~repro.sim.adversary.FixedLatencyAdversary` one unit is one
-message delay, so a two-round-trip operation reads as latency 4.0.
-NumPy does the aggregation — sweeps produce thousands of samples.
+message delay, so a two-round-trip operation reads as latency 4.0. Live
+runs (:mod:`repro.net`) measure in seconds instead; the machinery is
+unit-agnostic.
+
+Percentiles come from :class:`LogHistogram`, a streaming fixed-log-bucket
+histogram: O(1) memory per sample, mergeable across shards/runs, with a
+bounded relative error set by the bucket growth factor (4% by default).
+That replaces sort-the-whole-list percentile math — a live load generator
+producing millions of samples cannot afford to keep them, and a sweep
+aggregating thousands of runs wants ``merge``, not concatenation.
 """
 
 from __future__ import annotations
 
+import math
+from collections import Counter
 from dataclasses import dataclass
-from typing import Any, Optional
-
-import numpy as np
+from typing import Any, Iterable, Optional
 
 from repro.spec.history import History, OpKind, OpStatus
+
+
+class LogHistogram:
+    """Streaming percentile histogram with fixed logarithmic buckets.
+
+    Values land in buckets whose bounds grow geometrically by ``growth``
+    per bucket, starting at ``min_value`` (everything at or below it —
+    including zero — shares the underflow bucket). A reported quantile is
+    the geometric midpoint of its bucket, so its relative error is at most
+    ``sqrt(growth) - 1``; count, sum, min and max are tracked exactly, and
+    every quantile is clamped to ``[min, max]`` — a one-sample histogram
+    reports that sample exactly, not its bucket's midpoint.
+
+    Two histograms with the same ``growth``/``min_value`` merge by bucket
+    addition (:meth:`merge`): aggregate per-client or per-run histograms
+    without resampling.
+    """
+
+    __slots__ = ("growth", "min_value", "_log_growth", "_buckets",
+                 "count", "total", "_min", "_max")
+
+    def __init__(self, growth: float = 1.04, min_value: float = 1e-6) -> None:
+        if growth <= 1.0:
+            raise ValueError(f"growth factor must exceed 1: {growth}")
+        if min_value <= 0.0:
+            raise ValueError(f"min_value must be positive: {min_value}")
+        self.growth = growth
+        self.min_value = min_value
+        self._log_growth = math.log(growth)
+        self._buckets: Counter[int] = Counter()
+        self.count = 0
+        self.total = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    # -- recording -------------------------------------------------------
+    def _index(self, value: float) -> int:
+        if value <= self.min_value:
+            return 0
+        return 1 + int(math.log(value / self.min_value) / self._log_growth)
+
+    def add(self, value: float) -> None:
+        self._buckets[self._index(value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    def merge(self, other: "LogHistogram") -> None:
+        """Fold ``other`` into this histogram (same bucketing required)."""
+        if (other.growth, other.min_value) != (self.growth, self.min_value):
+            raise ValueError(
+                "cannot merge histograms with different bucketing: "
+                f"({self.growth}, {self.min_value}) vs "
+                f"({other.growth}, {other.min_value})"
+            )
+        self._buckets.update(other._buckets)
+        self.count += other.count
+        self.total += other.total
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+
+    # -- reading ---------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def min(self) -> float:
+        return self._min if self.count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self.count else 0.0
+
+    def _representative(self, index: int) -> float:
+        if index == 0:
+            return self.min_value
+        # Geometric midpoint of [min_value*g^(i-1), min_value*g^i).
+        return self.min_value * self.growth ** (index - 0.5)
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile (0 <= q <= 1), nearest-rank over buckets."""
+        if self.count == 0:
+            return 0.0
+        if q <= 0.0:
+            return self._min
+        if q >= 1.0:
+            return self._max
+        target = max(1, math.ceil(q * self.count))
+        cumulative = 0
+        value = self._max
+        for index in sorted(self._buckets):
+            cumulative += self._buckets[index]
+            if cumulative >= target:
+                value = self._representative(index)
+                break
+        return min(max(value, self._min), self._max)
+
+    def quantiles(self, qs: Iterable[float]) -> list[float]:
+        return [self.quantile(q) for q in qs]
+
+    def summary(self) -> dict[str, float]:
+        """The JSON-artifact shape (BENCH_live.json and friends)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "max": self.max,
+        }
 
 
 @dataclass
@@ -27,17 +154,22 @@ class LatencyStats:
     maximum: float
 
     @classmethod
-    def from_samples(cls, samples: list[float]) -> "LatencyStats":
-        if not samples:
+    def from_histogram(cls, hist: LogHistogram) -> "LatencyStats":
+        if hist.count == 0:
             return cls(count=0, mean=0.0, p50=0.0, p95=0.0, maximum=0.0)
-        arr = np.asarray(samples, dtype=float)
         return cls(
-            count=int(arr.size),
-            mean=float(arr.mean()),
-            p50=float(np.percentile(arr, 50)),
-            p95=float(np.percentile(arr, 95)),
-            maximum=float(arr.max()),
+            count=hist.count,
+            mean=hist.mean,
+            p50=hist.quantile(0.50),
+            p95=hist.quantile(0.95),
+            maximum=hist.max,
         )
+
+    @classmethod
+    def from_samples(cls, samples: list[float]) -> "LatencyStats":
+        hist = LogHistogram()
+        hist.extend(samples)
+        return cls.from_histogram(hist)
 
     def row(self) -> tuple:
         return (
@@ -68,8 +200,8 @@ class HistoryMetrics:
 
 def history_metrics(history: History) -> HistoryMetrics:
     """Aggregate operation metrics for one history."""
-    write_samples: list[float] = []
-    read_samples: list[float] = []
+    write_hist = LogHistogram()
+    read_hist = LogHistogram()
     completed_writes = completed_reads = aborted = pending = 0
     for op in history:
         if op.status is OpStatus.PENDING:
@@ -80,15 +212,15 @@ def history_metrics(history: History) -> HistoryMetrics:
         latency = op.responded_at - op.invoked_at
         if op.kind is OpKind.WRITE and op.status is OpStatus.OK:
             completed_writes += 1
-            write_samples.append(latency)
+            write_hist.add(latency)
         elif op.kind is OpKind.READ and op.status is OpStatus.OK:
             completed_reads += 1
-            read_samples.append(latency)
+            read_hist.add(latency)
         elif op.kind is OpKind.READ and op.status is OpStatus.ABORT:
             aborted += 1
     return HistoryMetrics(
-        write_latency=LatencyStats.from_samples(write_samples),
-        read_latency=LatencyStats.from_samples(read_samples),
+        write_latency=LatencyStats.from_histogram(write_hist),
+        read_latency=LatencyStats.from_histogram(read_hist),
         completed_writes=completed_writes,
         completed_reads=completed_reads,
         aborted_reads=aborted,

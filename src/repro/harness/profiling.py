@@ -27,6 +27,17 @@ def wall_clock() -> float:
     return time.time()
 
 
+def monotonic_clock() -> float:
+    """A monotonic host clock, in seconds (arbitrary epoch).
+
+    The live runtime (:mod:`repro.net`) timestamps history events with
+    this: operation precedence needs a clock that never steps backwards,
+    which :func:`wall_clock` (NTP-adjusted) does not guarantee. Same
+    DET001 story as above — host time is read here and nowhere else.
+    """
+    return time.monotonic()
+
+
 @dataclass
 class ProfileRow:
     """One pstats line, structured."""

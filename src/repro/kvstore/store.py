@@ -38,6 +38,18 @@ class StabilizingKVStore:
         byzantine_factory: optional — when given, every shard gets ``f``
             Byzantine replicas built by this factory (the "compromised
             provider" scenario).
+        trace: observability level for the shared environment (``off`` |
+            ``stats`` | ``full``), reaching every shard — they all ride
+            one network.
+        shard_factory: optional hook replacing the shard *backend*: called
+            as ``shard_factory(store, key, byzantine)`` and returning a
+            register deployment exposing the :class:`RegisterSystem`
+            operations surface (``write_sync``/``read_sync``/history/
+            checker). This is the seam a live deployment tier plugs into —
+            sharding ``put``/``get`` over
+            :class:`~repro.net.cluster.LiveRegisterCluster` wrappers
+            instead of simulated shards — without the store knowing which
+            world it is in.
     """
 
     def __init__(
@@ -48,13 +60,19 @@ class StabilizingKVStore:
         clients_per_key: int = 2,
         adversary: Optional[Adversary] = None,
         byzantine_factory: Optional[ServerFactory] = None,
+        trace: str = "stats",
+        shard_factory: Optional[
+            Callable[["StabilizingKVStore", str, Optional[dict]], Any]
+        ] = None,
     ) -> None:
         self.n = n
         self.f = f
         self.seed = seed
         self.clients_per_key = clients_per_key
         self.byzantine_factory = byzantine_factory
-        self.env = SimEnvironment(seed=seed, adversary=adversary)
+        self.trace = trace
+        self.shard_factory = shard_factory
+        self.env = SimEnvironment(seed=seed, adversary=adversary, trace=trace)
         self.shards: dict[str, RegisterSystem] = {}
         self._fault_times: list[float] = []
 
@@ -73,14 +91,17 @@ class StabilizingKVStore:
                     f"s{self.n - i - 1}": self.byzantine_factory
                     for i in range(self.f)
                 }
-            system = RegisterSystem(
-                SystemConfig(n=self.n, f=self.f),
-                seed=self.seed,
-                n_clients=self.clients_per_key,
-                byzantine=byz,
-                env=self.env,
-                namespace=f"{key}:",
-            )
+            if self.shard_factory is not None:
+                system = self.shard_factory(self, key, byz)
+            else:
+                system = RegisterSystem(
+                    SystemConfig(n=self.n, f=self.f),
+                    seed=self.seed,
+                    n_clients=self.clients_per_key,
+                    byzantine=byz,
+                    env=self.env,
+                    namespace=f"{key}:",
+                )
             self.shards[key] = system
         return system
 

@@ -1,0 +1,45 @@
+"""Live deployment tier: the simulator's protocol over real sockets.
+
+Layers (each importable alone):
+
+* :mod:`repro.net.wire` — the ``repro-wire/1`` framed codec.
+* :mod:`repro.net.transport` — the :class:`Transport` seam with the sim
+  and asyncio-stream backends.
+* :mod:`repro.net.bridge` — :class:`NetEnvironment`, the environment
+  stand-in that lets unmodified protocol classes run live.
+* :mod:`repro.net.daemon` — :class:`ServerDaemon` / :class:`ClientEndpoint`.
+* :mod:`repro.net.proxy` — socket-layer FairLossyChannel twin.
+* :mod:`repro.net.cluster` — :class:`LiveRegisterCluster` on loopback.
+* :mod:`repro.net.loadgen` — closed-loop load + ``BENCH_live.json``.
+
+The import direction is strictly one-way: ``repro.net`` imports the
+protocol layers, never the reverse (lint rule NET001).
+"""
+
+from repro.net.bridge import LiveClock, NetEnvironment
+from repro.net.cluster import LiveRegisterCluster
+from repro.net.daemon import TIMED_OUT, ClientEndpoint, ServerDaemon
+from repro.net.loadgen import LoadResult, benchmark, run_load
+from repro.net.proxy import FaultPolicy, FaultProxy
+from repro.net.transport import SimTransport, StreamTransport, Transport
+from repro.net.wire import WIRE_FORMAT, WIRE_VERSION, WireError
+
+__all__ = [
+    "LiveClock",
+    "NetEnvironment",
+    "LiveRegisterCluster",
+    "TIMED_OUT",
+    "ClientEndpoint",
+    "ServerDaemon",
+    "LoadResult",
+    "benchmark",
+    "run_load",
+    "FaultPolicy",
+    "FaultProxy",
+    "SimTransport",
+    "StreamTransport",
+    "Transport",
+    "WIRE_FORMAT",
+    "WIRE_VERSION",
+    "WireError",
+]

@@ -1,0 +1,116 @@
+"""Bridging the unmodified protocol classes onto a :class:`Transport`.
+
+:class:`~repro.sim.process.Process` subclasses touch their environment
+through exactly three seams:
+
+* ``env.network.register(self)`` at construction,
+* ``env.network.send / broadcast`` from :meth:`Process.send` /
+  :meth:`Process.broadcast`,
+* ``env.spawn_rng(name)`` for their private deterministic RNG stream.
+
+:class:`NetEnvironment` implements that surface over a transport, so
+``RegisterServer``, ``RegisterClient`` and every Byzantine strategy run
+**byte-for-byte unmodified** outside the simulator. There is no scheduler
+behind it: message arrival *is* the schedule, and the transport's read
+pump calls :meth:`Process.receive`, which dispatches the handler and
+re-polls blocked operation generators exactly as the sim does.
+
+The clock is the one live-specific ingredient. History timestamps come
+from a shared :class:`LiveClock` — monotonic host seconds rebased to the
+cluster's boot instant — giving the captured history the same "fictional
+global clock" shape the checkers expect. Host time is read through
+:func:`repro.harness.profiling.monotonic_clock`, the module sanctioned by
+lint rule DET001.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Any, Iterable
+
+from repro.errors import SimulationError
+from repro.harness.profiling import monotonic_clock
+from repro.net.transport import Transport
+from repro.sim.environment import derive_seed
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.process import Process
+
+__all__ = ["LiveClock", "NetEnvironment"]
+
+
+class LiveClock:
+    """Monotonic host seconds since :meth:`start` (0.0 until started).
+
+    One instance is shared by every process of a live cluster, so
+    invocation/response instants across clients are mutually ordered —
+    the property the regularity checker's real-time precedence needs.
+    """
+
+    __slots__ = ("_epoch",)
+
+    def __init__(self) -> None:
+        self._epoch: float = monotonic_clock()
+
+    def start(self) -> None:
+        """Rebase time zero to now (called at cluster boot)."""
+        self._epoch = monotonic_clock()
+
+    def now(self) -> float:
+        return monotonic_clock() - self._epoch
+
+
+class _BridgeNetwork:
+    """The ``env.network`` facade: transport-backed routing + registry."""
+
+    def __init__(self, transport: Transport) -> None:
+        self.transport = transport
+        self.processes: dict[str, "Process"] = {}
+        self.stats = transport.stats
+
+    def register(self, process: "Process") -> None:
+        if process.pid in self.processes:
+            raise SimulationError(f"duplicate process id {process.pid!r}")
+        self.processes[process.pid] = process
+        self.transport.attach(process.pid, process.receive)
+
+    def send(self, src: str, dst: str, payload: Any) -> None:
+        self.transport.send(src, dst, payload)
+
+    def broadcast(self, src: str, dsts: Iterable[str], payload: Any) -> None:
+        # Live fan-out has no batched-scheduler fast path to exploit; the
+        # semantics are the sim's (one logical send per destination).
+        for dst in dsts:
+            self.transport.send(src, dst, payload)
+
+
+class NetEnvironment:
+    """A ``SimEnvironment`` stand-in whose network is a transport.
+
+    Args:
+        transport: message backend (stream or sim).
+        seed: master seed; per-process RNG streams derive from it with the
+            same stable hashing the simulator uses, so a live process and
+            its simulated twin draw identical randomness.
+        clock: shared cluster clock (a fresh one if omitted).
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        seed: int = 0,
+        clock: LiveClock | None = None,
+    ) -> None:
+        self.seed = seed
+        self.transport = transport
+        self.network = _BridgeNetwork(transport)
+        self.clock = clock if clock is not None else LiveClock()
+
+    # -- Process surface ------------------------------------------------
+    def spawn_rng(self, name: str) -> random.Random:
+        """Private deterministic RNG stream for component ``name``."""
+        return random.Random(derive_seed(self.seed, name))
+
+    @property
+    def now(self) -> float:
+        return self.clock.now()

@@ -1,0 +1,238 @@
+"""A whole live register deployment on loopback, checked like a sim run.
+
+:class:`LiveRegisterCluster` is the live twin of
+:class:`~repro.core.register.RegisterSystem`: it boots ``config.n``
+:class:`~repro.net.daemon.ServerDaemon` processes (substituting Byzantine
+zoo factories where requested, at most ``f``), dials ``n_clients``
+:class:`~repro.net.daemon.ClientEndpoint` clients into all of them, and
+records every invocation/response into one shared
+:class:`~repro.spec.history.History` stamped by one shared
+:class:`~repro.net.bridge.LiveClock` — so the captured run is judged by
+the very same :class:`~repro.spec.regularity.RegularityChecker` that
+judges simulated histories.
+
+Everything lives in one OS process and one event loop ("live" means real
+sockets and kernel scheduling, not real distribution); an optional
+:class:`~repro.net.proxy.FaultProxy` per server interposes
+FairLossyChannel-style faults on the wire. Seeding matches the sim: every
+hosted process draws its RNG stream from ``derive_seed(seed, pid)``, so a
+live Byzantine server and its simulated twin emit identical forgeries.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.config import SystemConfig
+from repro.core.server import INITIAL_VALUE
+from repro.errors import ConfigurationError
+from repro.net.bridge import LiveClock
+from repro.net.daemon import ClientEndpoint, ServerDaemon, ServerFactory, default_scheme
+from repro.net.proxy import FaultPolicy, FaultProxy
+from repro.sim.environment import derive_seed
+from repro.sim.tracing import MessageStats
+from repro.spec.history import History
+from repro.spec.regularity import RegularityChecker, RegularityVerdict
+
+__all__ = ["LiveRegisterCluster"]
+
+
+class LiveRegisterCluster:
+    """Servers + clients + shared history over loopback sockets.
+
+    Args:
+        config: quorum configuration (same object the sim takes).
+        n_clients: endpoints ``c0 .. c{m-1}``.
+        seed: master seed for every hosted process's RNG stream.
+        byzantine: bare server id -> factory, at most ``config.f`` entries
+            (the :data:`~repro.byzantine.strategies.STRATEGY_ZOO` classes
+            slot straight in).
+        family: ``"tcp"`` (loopback, ephemeral ports) or ``"unix"``
+            (sockets under ``socket_dir``, required then).
+        proxy_policy: when set, every server is fronted by a
+            :class:`FaultProxy` with this policy and clients dial the
+            proxies. Lossy/reordering policies break the protocol's
+            reliable-FIFO channel assumption — use them to demonstrate
+            stabilization, not to certify histories.
+        op_timeout: per-operation deadline before an endpoint
+            crash-restarts its client (see :mod:`repro.net.daemon`).
+        external_servers: server id -> address of daemons running
+            elsewhere (``repro serve``). The cluster then boots only the
+            client side: no daemons, no proxies; ``byzantine`` must be
+            empty (whoever runs the servers picks their strategies).
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        n_clients: int = 2,
+        seed: int = 0,
+        byzantine: Optional[dict[str, ServerFactory]] = None,
+        family: str = "tcp",
+        socket_dir: Optional[str] = None,
+        proxy_policy: Optional[FaultPolicy] = None,
+        op_timeout: float = 30.0,
+        mwmr: bool = True,
+        external_servers: Optional[dict[str, str]] = None,
+    ) -> None:
+        if n_clients < 1:
+            raise ConfigurationError("need at least one client")
+        byzantine = dict(byzantine or {})
+        if external_servers is not None:
+            if byzantine:
+                raise ConfigurationError(
+                    "byzantine factories cannot be applied to external servers"
+                )
+            missing = set(config.server_ids) - set(external_servers)
+            if missing:
+                raise ConfigurationError(
+                    f"external_servers missing addresses for: {sorted(missing)}"
+                )
+        if len(byzantine) > config.f:
+            raise ConfigurationError(
+                f"{len(byzantine)} Byzantine servers configured but f={config.f}"
+            )
+        unknown = set(byzantine) - set(config.server_ids)
+        if unknown:
+            raise ConfigurationError(f"unknown Byzantine server ids: {unknown}")
+        if family == "unix" and not socket_dir:
+            raise ConfigurationError("family='unix' needs a socket_dir")
+        if family not in ("tcp", "unix"):
+            raise ConfigurationError(f"unknown address family {family!r}")
+
+        self.config = config
+        self.seed = seed
+        self.n_clients = n_clients
+        self.byzantine_ids = set(byzantine)
+        self._byzantine = byzantine
+        self._family = family
+        self._socket_dir = socket_dir
+        self.proxy_policy = proxy_policy
+        self.op_timeout = op_timeout
+        self._external = dict(external_servers) if external_servers else None
+
+        self.scheme = default_scheme(config, mwmr=mwmr)
+        self.clock = LiveClock()
+        self.history = History()
+        self.daemons: dict[str, ServerDaemon] = {}
+        self.proxies: dict[str, FaultProxy] = {}
+        self.endpoints: dict[str, ClientEndpoint] = {}
+        self.addresses: dict[str, str] = {}  # as dialed by clients
+        self.started = False
+
+    # -- lifecycle -------------------------------------------------------
+    def _listen_address(self, sid: str) -> str:
+        if self._family == "unix":
+            return f"unix:{self._socket_dir}/{sid}.sock"
+        return "tcp:127.0.0.1:0"
+
+    async def start(self) -> None:
+        """Boot daemons, proxies and endpoints; rebase the cluster clock."""
+        if self._external is not None:
+            self.addresses.update(self._external)
+            await self._start_clients()
+            return
+        for sid in self.config.server_ids:
+            daemon = ServerDaemon(
+                sid,
+                self.config,
+                address=self._listen_address(sid),
+                factory=self._byzantine.get(sid),
+                scheme=self.scheme,
+                seed=self.seed,
+                clock=self.clock,
+            )
+            await daemon.start()
+            self.daemons[sid] = daemon
+            self.addresses[sid] = daemon.address
+
+        if self.proxy_policy is not None:
+            for sid in self.config.server_ids:
+                listen = (
+                    f"unix:{self._socket_dir}/{sid}-proxy.sock"
+                    if self._family == "unix"
+                    else "tcp:127.0.0.1:0"
+                )
+                proxy = FaultProxy(
+                    upstream=self.addresses[sid],
+                    listen=listen,
+                    policy=self.proxy_policy,
+                    seed=derive_seed(self.seed, f"proxy:{sid}"),
+                )
+                await proxy.start()
+                self.proxies[sid] = proxy
+                self.addresses[sid] = proxy.address
+
+        await self._start_clients()
+
+    async def _start_clients(self) -> None:
+        for i in range(self.n_clients):
+            cid = f"c{i}"
+            endpoint = ClientEndpoint(
+                cid,
+                self.config,
+                self.addresses,
+                history=self.history,
+                clock=self.clock,
+                scheme=self.scheme,
+                seed=self.seed,
+                op_timeout=self.op_timeout,
+            )
+            await endpoint.connect()
+            self.endpoints[cid] = endpoint
+
+        self.clock.start()  # history time zero = "cluster fully wired"
+        self.started = True
+
+    async def stop(self) -> None:
+        """Tear everything down (idempotent)."""
+        for endpoint in self.endpoints.values():
+            await endpoint.close()
+        for proxy in self.proxies.values():
+            await proxy.stop()
+        for daemon in self.daemons.values():
+            await daemon.stop()
+        self.started = False
+
+    async def __aenter__(self) -> "LiveRegisterCluster":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.stop()
+
+    # -- operations ------------------------------------------------------
+    def endpoint(self, cid: str) -> ClientEndpoint:
+        return self.endpoints[cid]
+
+    async def write(self, cid: str, value: Any) -> Any:
+        return await self.endpoints[cid].write(value)
+
+    async def read(self, cid: str) -> Any:
+        return await self.endpoints[cid].read()
+
+    # -- verification & accounting --------------------------------------
+    def checker(self, **overrides: Any) -> RegularityChecker:
+        """A checker wired like :meth:`RegisterSystem.checker`."""
+        kwargs: dict[str, Any] = dict(
+            scheme=self.scheme, initial_value=INITIAL_VALUE
+        )
+        kwargs.update(overrides)
+        return RegularityChecker(**kwargs)
+
+    def check_regularity(self, **overrides: Any) -> RegularityVerdict:
+        """Judge the captured live history with the sim's own checker."""
+        return self.checker(**overrides).check(self.history)
+
+    def stats(self) -> MessageStats:
+        """Message accounting merged across every host in the cluster."""
+        merged = MessageStats()
+        for daemon in self.daemons.values():
+            merged = merged.merged_with(daemon.stats)
+        for endpoint in self.endpoints.values():
+            merged = merged.merged_with(endpoint.stats)
+        return merged
+
+    @property
+    def timeouts(self) -> int:
+        return sum(e.timeouts for e in self.endpoints.values())

@@ -1,0 +1,277 @@
+"""Hosting the unmodified protocol classes behind real sockets.
+
+A :class:`ServerDaemon` is one listening socket plus one
+:class:`~repro.core.server.RegisterServer` (or a Byzantine zoo product —
+the factory signature is the same ``ServerFactory`` the simulator's
+:class:`~repro.core.register.RegisterSystem` takes). A
+:class:`ClientEndpoint` is one :class:`~repro.core.client.RegisterClient`
+plus a dialed connection to every server, with the client's
+:class:`~repro.sim.process.OperationHandle` completions adapted onto
+asyncio futures.
+
+Identity is connection-scoped: each side names itself exactly once, in
+the HELLO that opens the stream, and every subsequent inbound payload is
+attributed to that pid regardless of what ``src`` the envelope claims.
+That mirrors the simulator's authenticated per-process channels — a
+Byzantine server can lie about *values* but cannot impersonate another
+server mid-stream — which is an assumption the ``n > 5f`` bound needs.
+
+Timeouts are the one failure mode streams add that the reliable-channel
+simulator lacks: a dropped frame (fault proxy, peer death) can strand an
+operation forever, since the protocol does not retransmit. The endpoint
+maps an operation deadline onto the model's own vocabulary: the client
+*crash–restarts* (history records CRASHED, protocol state reinitializes),
+which the regularity checker and the stabilization story already account
+for.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Optional
+
+from repro.core.client import RegisterClient
+from repro.core.config import SystemConfig
+from repro.core.server import RegisterServer
+from repro.labels.alon import AlonLabelingScheme
+from repro.labels.base import LabelingScheme
+from repro.labels.ordering import MwmrOrdering
+from repro.net.bridge import LiveClock, NetEnvironment
+from repro.net.transport import (
+    StreamConnection,
+    StreamTransport,
+    open_connection,
+    start_server,
+)
+from repro.net.wire import WireError
+from repro.sim.messages import Envelope
+from repro.sim.process import OperationHandle, Process
+from repro.spec.history import History, HistoryRecorder
+
+__all__ = ["ServerDaemon", "ClientEndpoint", "TIMED_OUT", "default_scheme"]
+
+# A live server factory: (pid, env, config, scheme) -> Process. Same shape
+# as core.register.ServerFactory; env is duck-typed (NetEnvironment).
+ServerFactory = Callable[[str, Any, SystemConfig, LabelingScheme], Process]
+
+
+class _TimedOut:
+    """Sentinel: the operation missed its deadline and the client
+    crash-restarted. Distinct from ``ABORT`` (a protocol-level outcome)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "TIMED_OUT"
+
+
+TIMED_OUT = _TimedOut()
+
+
+def default_scheme(config: SystemConfig, mwmr: bool = True) -> LabelingScheme:
+    """The scheme :class:`RegisterSystem` would build for ``config``.
+
+    Schemes are parameterized only by ``k``, so hosts constructing them
+    independently (daemon process vs client process) agree byte-for-byte.
+    """
+    base = config.scheme or AlonLabelingScheme(k=config.n + 1)
+    return MwmrOrdering(base) if mwmr else base
+
+
+class ServerDaemon:
+    """One listening register server (correct or Byzantine).
+
+    Args:
+        sid: the server's process id (must be one of
+            ``config.server_ids`` for quorums to add up).
+        config: the shared quorum configuration.
+        address: listen address; ``tcp:HOST:0`` picks an ephemeral port,
+            readable from :attr:`address` after :meth:`start`.
+        factory: substitute process factory (Byzantine zoo ``.factory()``
+            products slot in here); default hosts a correct
+            :class:`RegisterServer`.
+        seed: RNG seed for the hosted process (Byzantine strategies and
+            corruption draw from it, exactly as in the sim).
+    """
+
+    def __init__(
+        self,
+        sid: str,
+        config: SystemConfig,
+        address: str = "tcp:127.0.0.1:0",
+        factory: Optional[ServerFactory] = None,
+        scheme: Optional[LabelingScheme] = None,
+        seed: int = 0,
+        clock: Optional[LiveClock] = None,
+    ) -> None:
+        self.sid = sid
+        self.config = config
+        self._address_spec = address
+        self.transport = StreamTransport()
+        self.env = NetEnvironment(self.transport, seed=seed, clock=clock)
+        self.scheme = scheme if scheme is not None else default_scheme(config)
+        make = factory if factory is not None else RegisterServer
+        self.process: Process = make(sid, self.env, config, self.scheme)
+        self.server: Optional[asyncio.AbstractServer] = None
+        self.address: Optional[str] = None
+        self._conns: set[StreamConnection] = set()
+
+    @property
+    def stats(self):
+        return self.transport.stats
+
+    async def start(self) -> str:
+        """Bind and listen; returns the concrete address."""
+        self.server, self.address = await start_server(
+            self._address_spec, self._accept
+        )
+        return self.address
+
+    async def _accept(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = StreamConnection(
+            reader,
+            writer,
+            self.transport.stats,
+            self._on_envelope,
+            on_close=self._on_conn_close,
+        )
+        self._conns.add(conn)
+        try:
+            pid = await conn.expect_hello()
+        except (WireError, asyncio.TimeoutError, ConnectionError, OSError):
+            # Not a repro-wire peer (port scanner, wrong version, dead
+            # dialer): drop the connection, keep the daemon.
+            await conn.close()
+            return
+        conn.send_hello(self.sid)
+        self.transport.bind_peer(pid, conn)
+        conn.start_pump()
+
+    def _on_envelope(self, conn: StreamConnection, env: Envelope) -> None:
+        src = conn.peer_pid if conn.peer_pid is not None else env.src
+        self.transport.deliver_local(env.dst, src, env.payload)
+
+    def _on_conn_close(self, conn: StreamConnection) -> None:
+        self._conns.discard(conn)
+        self.transport.drop_peer(conn)
+
+    async def stop(self) -> None:
+        if self.server is not None:
+            self.server.close()
+            await self.server.wait_closed()
+            self.server = None
+        for conn in list(self._conns):
+            await conn.close()
+        await self.transport.close()
+
+
+class ClientEndpoint:
+    """One register client dialed into every server.
+
+    ``write``/``read`` are coroutines: the protocol's
+    :class:`OperationHandle` completion callback resolves an asyncio
+    future. A miss of ``op_timeout`` crash-restarts the client and
+    resolves to :data:`TIMED_OUT` (see module docstring for why that is
+    the model-faithful reaction).
+    """
+
+    def __init__(
+        self,
+        cid: str,
+        config: SystemConfig,
+        server_addresses: dict[str, str],
+        history: Optional[History] = None,
+        clock: Optional[LiveClock] = None,
+        scheme: Optional[LabelingScheme] = None,
+        seed: int = 0,
+        op_timeout: float = 30.0,
+    ) -> None:
+        self.cid = cid
+        self.config = config
+        self._addresses = dict(server_addresses)
+        self.op_timeout = op_timeout
+        self.transport = StreamTransport()
+        self.clock = clock if clock is not None else LiveClock()
+        self.env = NetEnvironment(self.transport, seed=seed, clock=self.clock)
+        self.history = history if history is not None else History()
+        self.recorder = HistoryRecorder(self.history, self.clock.now)
+        self.scheme = scheme if scheme is not None else default_scheme(config)
+        self.client = RegisterClient(
+            cid,
+            self.env,
+            config,
+            self.scheme,
+            sorted(self._addresses),
+            self.recorder,
+        )
+        self.timeouts = 0
+        self._conns: list[StreamConnection] = []
+
+    @property
+    def stats(self):
+        return self.transport.stats
+
+    async def connect(self) -> None:
+        """Dial every server, exchange HELLOs, start the read pumps."""
+        for sid in sorted(self._addresses):
+            reader, writer = await open_connection(self._addresses[sid])
+            conn = StreamConnection(
+                reader,
+                writer,
+                self.transport.stats,
+                self._on_envelope,
+                on_close=self.transport.drop_peer,
+            )
+            conn.send_hello(self.cid)
+            peer = await conn.expect_hello()
+            if peer != sid:
+                await conn.close()
+                raise WireError(
+                    f"dialed {sid!r} at {self._addresses[sid]} but peer "
+                    f"identifies as {peer!r}"
+                )
+            self.transport.bind_peer(sid, conn)
+            conn.start_pump()
+            self._conns.append(conn)
+
+    def _on_envelope(self, conn: StreamConnection, env: Envelope) -> None:
+        src = conn.peer_pid if conn.peer_pid is not None else env.src
+        self.transport.deliver_local(env.dst, src, env.payload)
+
+    # -- operations ------------------------------------------------------
+    async def write(self, value: Any) -> Any:
+        """Live ``write(value)``; returns the handle result or TIMED_OUT."""
+        return await self._complete(self.client.write, value)
+
+    async def read(self) -> Any:
+        """Live ``read()``; the value, ``ABORT``, or :data:`TIMED_OUT`."""
+        return await self._complete(self.client.read)
+
+    async def _complete(
+        self, start: Callable[..., OperationHandle], *args: Any
+    ) -> Any:
+        loop = asyncio.get_running_loop()
+        handle = start(*args)
+        future: asyncio.Future = loop.create_future()
+
+        def settle(done: OperationHandle) -> None:
+            if not future.done():
+                future.set_result(done)
+
+        handle.on_done(settle)
+        try:
+            finished = await asyncio.wait_for(future, self.op_timeout)
+        except asyncio.TimeoutError:
+            self.timeouts += 1
+            self.client.crash()
+            self.client.restart()
+            return TIMED_OUT
+        if finished.failed:
+            return TIMED_OUT
+        return finished.result
+
+    async def close(self) -> None:
+        await self.transport.close()
+        self._conns.clear()

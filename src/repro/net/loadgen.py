@@ -1,0 +1,178 @@
+"""Closed-loop load generation against a live register cluster.
+
+One worker coroutine per client endpoint, each issuing one operation at a
+time (the protocol's clients are sequential — a closed loop is the only
+shape that fits). Each iteration flips a seeded coin for read vs write,
+awaits the operation, and records the latency into a per-kind
+:class:`~repro.harness.metrics.LogHistogram` — streaming percentiles, no
+sample list. Samples completed during the warmup window are discarded
+(connection setup and first-contact label flushing pollute the steady
+state); counters are not, so the report still accounts for every
+operation the run issued.
+
+Shutdown is graceful by construction: the deadline is checked *between*
+operations, so a worker never abandons an in-flight op — the loop drains
+itself. The history the cluster captured therefore ends with complete
+(or crash-marked) operations and is ready for the regularity checker;
+:func:`benchmark` bundles load, verdict and message accounting into the
+``BENCH_live.json`` artifact shape.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.client import ABORT
+from repro.harness.metrics import LogHistogram
+from repro.net.cluster import LiveRegisterCluster
+from repro.net.daemon import TIMED_OUT
+from repro.net.wire import WIRE_FORMAT
+from repro.sim.environment import derive_seed
+
+__all__ = ["LoadResult", "run_load", "benchmark"]
+
+
+@dataclass
+class LoadResult:
+    """What a load run did and how fast the register answered."""
+
+    duration: float  # measured window (post-warmup), seconds
+    reads: int = 0
+    writes: int = 0
+    aborts: int = 0
+    timeouts: int = 0
+    read_latency: LogHistogram = field(default_factory=LogHistogram)
+    write_latency: LogHistogram = field(default_factory=LogHistogram)
+
+    @property
+    def completed(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def throughput(self) -> float:
+        """Completed operations per second over the measured window."""
+        return self.completed / self.duration if self.duration > 0 else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "duration_s": self.duration,
+            "reads": self.reads,
+            "writes": self.writes,
+            "aborts": self.aborts,
+            "timeouts": self.timeouts,
+            "ops_per_s": self.throughput,
+            "read_latency_s": self.read_latency.summary(),
+            "write_latency_s": self.write_latency.summary(),
+        }
+
+
+async def run_load(
+    cluster: LiveRegisterCluster,
+    duration: float = 5.0,
+    warmup: float = 1.0,
+    read_fraction: float = 0.5,
+    seed: int = 0,
+) -> LoadResult:
+    """Drive every endpoint of ``cluster`` for ``duration`` seconds.
+
+    ``warmup`` seconds of samples (and counts) at the front are excluded
+    from the result; ``read_fraction`` sets the per-operation coin. The
+    workload stream is seeded per client, so two runs against equal
+    clusters issue the same operation sequences (completion *timing*
+    remains the kernel's business — see docs/LIVE.md).
+    """
+    clock = cluster.clock
+    start = clock.now()
+    warm_until = start + warmup
+    deadline = warm_until + duration
+    result = LoadResult(duration=duration)
+
+    async def worker(cid: str) -> None:
+        endpoint = cluster.endpoints[cid]
+        rng = random.Random(derive_seed(seed, f"loadgen:{cid}"))
+        sequence = 0
+        while clock.now() < deadline:
+            is_read = rng.random() < read_fraction
+            begin = clock.now()
+            if is_read:
+                value = await endpoint.read()
+            else:
+                sequence += 1
+                value = await endpoint.write(f"{cid}#{sequence}")
+            elapsed = clock.now() - begin
+            if begin < warm_until:
+                continue  # warmup: setup effects, not steady state
+            if value is TIMED_OUT:
+                result.timeouts += 1
+            elif is_read and value is ABORT:
+                result.aborts += 1
+            elif is_read:
+                result.reads += 1
+                result.read_latency.add(elapsed)
+            else:
+                result.writes += 1
+                result.write_latency.add(elapsed)
+
+    await asyncio.gather(*(worker(cid) for cid in cluster.endpoints))
+    # The window closes when the last in-flight operation drains, not at
+    # the nominal deadline: throughput honesty over round numbers.
+    result.duration = max(clock.now() - warm_until, duration)
+    return result
+
+
+async def benchmark(
+    cluster: LiveRegisterCluster,
+    duration: float = 5.0,
+    warmup: float = 1.0,
+    read_fraction: float = 0.5,
+    seed: int = 0,
+) -> dict[str, Any]:
+    """Run a load and assemble the ``BENCH_live.json`` payload.
+
+    The cluster must already be started; the caller stops it. The verdict
+    comes from the sweep-algorithm regularity checker over the complete
+    captured history (including warmup operations — correctness has no
+    warmup exclusion).
+    """
+    load = await run_load(
+        cluster,
+        duration=duration,
+        warmup=warmup,
+        read_fraction=read_fraction,
+        seed=seed,
+    )
+    verdict = cluster.check_regularity(algorithm="sweep")
+    stats = cluster.stats()
+    return {
+        "format": "repro-bench-live/1",
+        "wire": WIRE_FORMAT,
+        "config": {
+            "n": cluster.config.n,
+            "f": cluster.config.f,
+            "clients": cluster.n_clients,
+            "byzantine": sorted(cluster.byzantine_ids),
+            "family": cluster._family,
+            "proxied": cluster.proxy_policy is not None,
+            "seed": cluster.seed,
+            "read_fraction": read_fraction,
+            "warmup_s": warmup,
+        },
+        "load": load.to_dict(),
+        "verdict": {
+            "clean": bool(verdict.ok),
+            "violations": len(verdict.violations),
+            "checked_reads": verdict.checked_reads,
+            "aborted_reads": verdict.aborted_reads,
+        },
+        "messages": {
+            "sent": stats.total_sent,
+            "delivered": stats.total_delivered,
+            "dropped": stats.dropped,
+            "corrupted": stats.corrupted,
+            "client_timeouts": cluster.timeouts,
+        },
+        "history_ops": len(list(cluster.history)),
+    }

@@ -1,0 +1,232 @@
+"""A socket-layer fault injector mirroring :class:`FairLossyChannel`.
+
+The simulator injects channel faults through per-pair
+:class:`~repro.sim.channels.Channel` policies; live deployments get the
+same story from a man-in-the-middle proxy. Clients dial the proxy, the
+proxy dials the real server, and every *frame* crossing it is subjected
+to the FairLossyChannel treatment:
+
+* dropped with probability ``loss``, capped at ``fairness_bound``
+  consecutive drops (the fairness requirement — a message retransmitted
+  forever is eventually delivered — in its finite form);
+* duplicated with probability ``duplication`` (independent delays);
+* delayed by ``delay + U(0, jitter)`` seconds. A nonzero ``jitter``
+  makes the link non-FIFO (later frames can overtake earlier ones),
+  exactly how the sim channel loses FIFO order. ``jitter=0`` keeps
+  send order, which is what the protocol's reliable-channel assumption
+  needs for CLEAN benchmark runs — lossy/reordering settings are for
+  demonstrating the stabilization story, not for certifying histories.
+
+Faults operate on whole frames (split by
+:class:`~repro.net.wire.FrameAssembler`, forwarded opaquely, never
+decoded): dropping raw bytes would desynchronize the stream, which is a
+*corruption* fault, not a *lossy channel* fault. The first frame in each
+direction — the HELLO — always passes through untouched; connection
+establishment has no sim analogue and wedging it models a crash, not a
+lossy link.
+
+Randomness derives from ``derive_seed`` per pipe, so a proxy run's fault
+pattern is reproducible for a fixed seed and connection order.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass
+
+from repro.net.transport import open_connection, start_server
+from repro.net.wire import FrameAssembler, WireError, pack_frame
+from repro.sim.environment import derive_seed
+
+__all__ = ["FaultPolicy", "FaultProxy"]
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """Per-direction fault parameters (see module docstring).
+
+    Defaults are the identity policy: forward everything immediately.
+    """
+
+    loss: float = 0.0
+    duplication: float = 0.0
+    fairness_bound: int = 10
+    delay: float = 0.0
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss < 1.0:
+            raise ValueError(f"loss probability out of range: {self.loss}")
+        if not 0.0 <= self.duplication <= 1.0:
+            raise ValueError(
+                f"duplication probability out of range: {self.duplication}"
+            )
+        if self.fairness_bound < 1:
+            raise ValueError(
+                f"fairness bound must be >= 1: {self.fairness_bound}"
+            )
+
+
+class _Pipe:
+    """One proxied direction: read frames, apply the policy, re-emit."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        policy: FaultPolicy,
+        rng: random.Random,
+        proxy: "FaultProxy",
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.policy = policy
+        self.rng = rng
+        self.proxy = proxy
+        self._drops = 0
+        self._closed = False
+
+    def _plan(self) -> list[float]:
+        # Verbatim FairLossyChannel.plan, with `delay` standing in for the
+        # adversary latency (relative emission offsets instead of absolute
+        # delivery times).
+        p = self.policy
+        if self._drops < p.fairness_bound and self.rng.random() < p.loss:
+            self._drops += 1
+            return []
+        self._drops = 0
+        times = [p.delay + self.rng.uniform(0.0, p.jitter)]
+        if self.rng.random() < p.duplication:
+            times.append(p.delay + self.rng.uniform(0.0, p.jitter))
+        return times
+
+    def _emit(self, data: bytes) -> None:
+        if self._closed or self.writer.is_closing():
+            return
+        self.writer.write(data)
+
+    async def run(self) -> None:
+        loop = asyncio.get_running_loop()
+        assembler = FrameAssembler()
+        first = True
+        try:
+            while True:
+                data = await self.reader.read(65536)
+                if not data:
+                    break
+                try:
+                    frames = assembler.feed(data)
+                except WireError:
+                    break  # desynchronized stream: kill this direction
+                for body in frames:
+                    frame = pack_frame(body)
+                    if first:
+                        first = False  # the HELLO rides through clean
+                        self._emit(frame)
+                        continue
+                    offsets = self._plan()
+                    if not offsets:
+                        self.proxy.dropped += 1
+                        continue
+                    self.proxy.forwarded += 1
+                    self.proxy.duplicated += len(offsets) - 1
+                    for offset in offsets:
+                        if offset <= 0.0:
+                            self._emit(frame)
+                        else:
+                            loop.call_later(offset, self._emit, frame)
+        except (ConnectionError, asyncio.CancelledError, OSError):
+            pass
+        finally:
+            await self.close()
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.writer.close()
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+class FaultProxy:
+    """Listens on one address, forwards to one upstream, injects faults.
+
+    Run one proxy per server to fault that server's links; point the
+    clients at :attr:`address` instead of the real server address.
+
+    Counters (:attr:`forwarded` / :attr:`dropped` / :attr:`duplicated`)
+    count frames across both directions of every proxied connection.
+    """
+
+    def __init__(
+        self,
+        upstream: str,
+        listen: str = "tcp:127.0.0.1:0",
+        policy: FaultPolicy | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.upstream = upstream
+        self._listen = listen
+        self.policy = policy if policy is not None else FaultPolicy()
+        self.seed = seed
+        self.server: asyncio.AbstractServer | None = None
+        self.address: str | None = None
+        self.forwarded = 0
+        self.dropped = 0
+        self.duplicated = 0
+        self._n_conns = 0
+        self._pipes: list[_Pipe] = []
+        self._tasks: list[asyncio.Task] = []
+
+    async def start(self) -> str:
+        self.server, self.address = await start_server(
+            self._listen, self._accept
+        )
+        return self.address
+
+    async def _accept(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            up_reader, up_writer = await open_connection(self.upstream)
+        except OSError:
+            writer.close()
+            return
+        n = self._n_conns
+        self._n_conns += 1
+        forward = _Pipe(
+            reader,
+            up_writer,
+            self.policy,
+            random.Random(derive_seed(self.seed, f"fwd:{n}")),
+            self,
+        )
+        backward = _Pipe(
+            up_reader,
+            writer,
+            self.policy,
+            random.Random(derive_seed(self.seed, f"bwd:{n}")),
+            self,
+        )
+        loop = asyncio.get_running_loop()
+        self._pipes += [forward, backward]
+        self._tasks += [
+            loop.create_task(forward.run()),
+            loop.create_task(backward.run()),
+        ]
+
+    async def stop(self) -> None:
+        if self.server is not None:
+            self.server.close()
+            await self.server.wait_closed()
+            self.server = None
+        for task in self._tasks:
+            task.cancel()
+        for pipe in self._pipes:
+            await pipe.close()
+        self._tasks.clear()
+        self._pipes.clear()

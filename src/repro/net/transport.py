@@ -1,0 +1,339 @@
+"""The transport seam: where simulated and live deployments diverge.
+
+Everything above this module — the protocol automata, the history
+recorder, the spec checkers — is transport-agnostic. A
+:class:`Transport` moves ``(src, dst, payload)`` triples between named
+processes and tells locally attached processes about arrivals; the two
+backends are:
+
+* :class:`SimTransport` — the existing simulator. Deliveries run through
+  the scheduler, the latency adversary and the per-pair channel policies,
+  so code written against the seam inherits every deterministic-replay
+  guarantee of the sim.
+* :class:`StreamTransport` — asyncio TCP or unix-domain streams framed by
+  the ``repro-wire/1`` codec (:mod:`repro.net.wire`). Deliveries are
+  whenever the kernel says so; determinism of the *schedule* is
+  explicitly not promised (see ``docs/LIVE.md``), only faithfulness of
+  the payloads.
+
+Both directions share :class:`~repro.sim.tracing.MessageStats`, so the
+message-complexity accounting of live runs is comparable with simulated
+ones.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Optional
+
+from repro.net.wire import (
+    FrameAssembler,
+    WireError,
+    decode_envelope,
+    decode_hello,
+    encode_envelope,
+    hello_frame,
+)
+from repro.sim.environment import SimEnvironment
+from repro.sim.messages import Envelope
+from repro.sim.process import Process
+from repro.sim.tracing import MessageStats
+
+__all__ = [
+    "Transport",
+    "SimTransport",
+    "StreamConnection",
+    "StreamTransport",
+    "parse_address",
+    "format_address",
+]
+
+ReceiveFn = Callable[[str, Any], None]
+
+
+class Transport(ABC):
+    """Moves payloads between named processes.
+
+    A transport instance serves one *host* — the group of processes living
+    in the caller's address space (one daemon's server, one endpoint's
+    client). ``attach`` declares those local processes; ``send`` routes to
+    anyone reachable, local or remote.
+    """
+
+    def __init__(self) -> None:
+        self.stats = MessageStats()
+
+    @abstractmethod
+    def attach(self, pid: str, receive: ReceiveFn) -> None:
+        """Register a local process; ``receive(src, payload)`` on arrival."""
+
+    @abstractmethod
+    def send(self, src: str, dst: str, payload: Any) -> None:
+        """Best-effort delivery of ``payload`` to ``dst``.
+
+        Unroutable destinations are dropped and counted, mirroring
+        :meth:`repro.sim.network.Network.send` — corrupted server state
+        can name phantom readers, and that must not crash a live daemon
+        any more than it crashes the sim.
+        """
+
+
+# ----------------------------------------------------------------------
+# backend 1: the simulator
+# ----------------------------------------------------------------------
+class _SimStub(Process):
+    """A sim process standing in for a transport-attached endpoint."""
+
+    def __init__(self, pid: str, env: SimEnvironment, receive: ReceiveFn) -> None:
+        super().__init__(pid, env)
+        self._receive = receive
+
+    def on_message(self, src: str, payload: Any) -> None:
+        self._receive(src, payload)
+
+
+class SimTransport(Transport):
+    """The deterministic simulator as a transport backend.
+
+    Attached processes become first-class sim processes: deliveries obey
+    the environment's adversary, channel policies and event ordering, and
+    draining ``env`` drives all pending traffic. Useful for exercising
+    transport-seam machinery under the full replay discipline before
+    pointing it at real sockets.
+    """
+
+    def __init__(self, env: SimEnvironment) -> None:
+        super().__init__()
+        self.env = env
+        self.stats = env.network.stats  # share the sim's accounting
+
+    def attach(self, pid: str, receive: ReceiveFn) -> None:
+        _SimStub(pid, self.env, receive)
+
+    def send(self, src: str, dst: str, payload: Any) -> None:
+        self.env.network.send(src, dst, payload)
+
+
+# ----------------------------------------------------------------------
+# backend 2: asyncio streams
+# ----------------------------------------------------------------------
+class StreamConnection:
+    """One framed, identified stream to a peer.
+
+    Owns the read pump: every inbound frame is decoded and handed to
+    ``on_envelope``; frames that fail to decode are counted as corrupted
+    and dropped (a live channel can carry garbage; correct hosts shrug).
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        stats: MessageStats,
+        on_envelope: Callable[["StreamConnection", Envelope], None],
+        on_close: Optional[Callable[["StreamConnection"], None]] = None,
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.stats = stats
+        self.peer_pid: Optional[str] = None
+        self._on_envelope = on_envelope
+        self._on_close = on_close
+        self._assembler = FrameAssembler()
+        self._extra: list[bytes] = []  # frames read past the HELLO
+        self._pump: Optional[asyncio.Task] = None
+        self.closed = False
+
+    # -- handshake -----------------------------------------------------
+    def send_hello(self, pid: str) -> None:
+        self.writer.write(hello_frame(pid))
+
+    async def expect_hello(self, timeout: float = 10.0) -> str:
+        """Read frames until the peer identifies itself (or fails to)."""
+        frame = await asyncio.wait_for(self._read_frame(), timeout)
+        if frame is None:
+            raise WireError("connection closed before HELLO")
+        self.peer_pid = decode_hello(frame)
+        return self.peer_pid
+
+    # -- frames --------------------------------------------------------
+    async def _read_frame(self) -> Optional[bytes]:
+        while True:
+            data = await self.reader.read(65536)
+            if not data:
+                return None
+            frames = self._assembler.feed(data)
+            if frames:
+                # Frames that arrived piggybacked on the HELLO bytes are
+                # replayed by the pump in order.
+                self._extra = frames[1:]
+                return frames[0]
+
+    def send_envelope(self, env: Envelope) -> None:
+        """Queue one envelope on the stream (no await: writes are buffered
+        and flushed by the event loop; loopback benches never build enough
+        backlog for backpressure to matter, and the proxy throttles the
+        adversarial cases)."""
+        if self.closed:
+            return
+        self.writer.write(encode_envelope(env))
+
+    # -- pump ----------------------------------------------------------
+    def start_pump(self) -> None:
+        self._pump = asyncio.get_running_loop().create_task(self._run_pump())
+
+    async def _run_pump(self) -> None:
+        try:
+            for frame in self._extra:
+                self._dispatch(frame)
+            self._extra = []
+            while True:
+                data = await self.reader.read(65536)
+                if not data:
+                    break
+                try:
+                    frames = self._assembler.feed(data)
+                except WireError:
+                    # Desynchronized stream (garbage length word): the
+                    # connection is unrecoverable, but the host is not.
+                    self.stats.corrupted += 1
+                    break
+                for frame in frames:
+                    self._dispatch(frame)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            await self.close()
+
+    def _dispatch(self, frame: bytes) -> None:
+        try:
+            env = decode_envelope(frame)
+        except WireError:
+            self.stats.corrupted += 1
+            return
+        self.stats.note_delivery(env.payload)
+        self._on_envelope(self, env)
+
+    # -- lifecycle -----------------------------------------------------
+    async def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        if self._pump is not None and self._pump is not asyncio.current_task():
+            self._pump.cancel()
+        try:
+            self.writer.close()
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+        if self._on_close is not None:
+            self._on_close(self)
+
+
+class StreamTransport(Transport):
+    """Routing over a set of identified :class:`StreamConnection` peers.
+
+    Subclass-free: daemons and endpoints both use it, differing only in
+    how connections come to exist (accepted vs dialed — that wiring lives
+    in :mod:`repro.net.daemon`).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._local: dict[str, ReceiveFn] = {}
+        self._peers: dict[str, StreamConnection] = {}
+
+    # -- Transport -----------------------------------------------------
+    def attach(self, pid: str, receive: ReceiveFn) -> None:
+        self._local[pid] = receive
+
+    def send(self, src: str, dst: str, payload: Any) -> None:
+        local = self._local.get(dst)
+        if local is not None:
+            # Same-host shortcut (a daemon forwarding to itself); still
+            # counted, never serialized.
+            self.stats.note_send(src, payload)
+            self.stats.note_delivery(payload)
+            local(src, payload)
+            return
+        conn = self._peers.get(dst)
+        if conn is None or conn.closed:
+            self.stats.dropped += 1
+            return
+        self.stats.note_send(src, payload)
+        conn.send_envelope(Envelope(src=src, dst=dst, payload=payload))
+
+    # -- peer management -----------------------------------------------
+    def bind_peer(self, pid: str, conn: StreamConnection) -> None:
+        """Route traffic for ``pid`` over ``conn`` (latest wins)."""
+        self._peers[pid] = conn
+
+    def drop_peer(self, conn: StreamConnection) -> None:
+        for pid, existing in list(self._peers.items()):
+            if existing is conn:
+                del self._peers[pid]
+
+    def peers(self) -> list[str]:
+        return sorted(self._peers)
+
+    def deliver_local(self, dst: str, src: str, payload: Any) -> bool:
+        """Hand an inbound payload to an attached process (False: no such
+        process — the live analogue of the sim's unknown-dst drop)."""
+        local = self._local.get(dst)
+        if local is None:
+            self.stats.dropped += 1
+            return False
+        local(src, payload)
+        return True
+
+    async def close(self) -> None:
+        for conn in list(self._peers.values()):
+            await conn.close()
+        self._peers.clear()
+
+
+# ----------------------------------------------------------------------
+# addresses
+# ----------------------------------------------------------------------
+def parse_address(spec: str) -> tuple[str, Any]:
+    """Parse ``tcp:HOST:PORT`` or ``unix:PATH`` into (family, detail)."""
+    if spec.startswith("unix:"):
+        return ("unix", spec[len("unix:") :])
+    body = spec[len("tcp:") :] if spec.startswith("tcp:") else spec
+    host, sep, port = body.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(f"bad address {spec!r}; want tcp:HOST:PORT or unix:PATH")
+    return ("tcp", (host or "127.0.0.1", int(port)))
+
+
+def format_address(family: str, detail: Any) -> str:
+    if family == "unix":
+        return f"unix:{detail}"
+    host, port = detail
+    return f"tcp:{host}:{port}"
+
+
+async def open_connection(address: str) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    """Dial ``address`` (either family)."""
+    family, detail = parse_address(address)
+    if family == "unix":
+        return await asyncio.open_unix_connection(detail)
+    host, port = detail
+    return await asyncio.open_connection(host, port)
+
+
+async def start_server(address: str, handler) -> tuple[asyncio.AbstractServer, str]:
+    """Listen on ``address``; returns (server, actual address).
+
+    ``tcp:HOST:0`` binds an ephemeral port; the returned address carries
+    the real one so callers can wire clients to it.
+    """
+    family, detail = parse_address(address)
+    if family == "unix":
+        server = await asyncio.start_unix_server(handler, path=detail)
+        return server, format_address("unix", detail)
+    host, port = detail
+    server = await asyncio.start_server(handler, host=host, port=port)
+    bound = server.sockets[0].getsockname()
+    return server, format_address("tcp", (host, bound[1]))

@@ -1,0 +1,328 @@
+"""The ``repro-wire/1`` codec: length-prefixed, versioned frames.
+
+Live transports move the exact payload dataclasses the simulator moves —
+:mod:`repro.core.messages` protocol messages, bounded labels, MWMR
+timestamps, :class:`~repro.sim.messages.Garbage` — wrapped in
+:class:`~repro.sim.messages.Envelope` records, over byte streams. The
+codec is deliberately value-faithful rather than schema-strict: a
+*corrupted lookalike* (an ``AlonLabel`` whose antistings field is a list,
+a ``WriteRequest`` whose ``ts`` is ``()``) must survive the wire
+unchanged, because receiver-side validation is part of the protocol under
+test. Rejecting malformed labels at the codec would silently launder the
+very inputs the stabilization story is about.
+
+Framing::
+
+    +----------------+------+---------+------------------+
+    | length (u32 BE)| b"RW"| version | JSON body (utf-8)|
+    +----------------+------+---------+------------------+
+
+``length`` counts everything after the length word. A frame whose magic,
+version, or body does not parse raises :class:`WireError`; stream readers
+drop the frame (and count it) rather than crash — garbage on a live
+channel is the moral equivalent of the simulator's corrupted envelopes.
+
+The JSON body is a tagged tree: scalars pass through verbatim; every
+composite carries a ``"§"`` tag (``tuple``, ``fset``, ``alon``, ``mwmr``,
+``msg``, ...). Decoding an unknown tag or a non-scalar without a tag is a
+:class:`WireError`. Unknown *extra keys* on a tagged object are ignored,
+so a later ``repro-wire/1.x`` producer can add fields without breaking
+this decoder; a bumped *version byte* is rejected outright (the
+``repro-fuzz-recipe/1`` → ``/2`` pattern: minor additions are tolerated,
+major revisions are explicit).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import struct
+from typing import Any, Optional
+
+from repro.core import messages as protocol_messages
+from repro.sim.messages import Envelope, Garbage
+
+__all__ = [
+    "WIRE_FORMAT",
+    "WIRE_VERSION",
+    "MAX_FRAME",
+    "WireError",
+    "encode_value",
+    "decode_value",
+    "encode_frame",
+    "decode_frame",
+    "pack_frame",
+    "encode_envelope",
+    "decode_envelope",
+    "hello_frame",
+    "decode_hello",
+    "FrameAssembler",
+]
+
+#: The format tag advertised in HELLO frames and benchmark artifacts.
+WIRE_FORMAT = "repro-wire/1"
+#: The version byte every frame carries. Bump = incompatible revision.
+WIRE_VERSION = 1
+
+_MAGIC = b"RW"
+_HEADER = struct.Struct(">I")
+
+#: Hard per-frame cap. A corrupted or adversarial length word must not be
+#: able to make a reader buffer gigabytes before noticing the garbage.
+MAX_FRAME = 1 << 20
+
+_TAG = "§"  # "§": cannot collide with dataclass field names
+
+
+class WireError(ValueError):
+    """A frame or value that the codec refuses to encode or decode."""
+
+
+# ----------------------------------------------------------------------
+# value codec (tagged JSON tree)
+# ----------------------------------------------------------------------
+_SCALARS = (str, int, float, bool, type(None))
+
+#: Protocol message registry: class name -> class. Everything the fuzz
+#: harness, the Byzantine zoo, or a corrupted server can put on a channel
+#: is one of these (or Garbage, or a scrambled lookalike thereof).
+_MESSAGE_TYPES: dict[str, type] = {
+    cls.__name__: cls
+    for cls in (
+        protocol_messages.GetTs,
+        protocol_messages.TsReply,
+        protocol_messages.WriteRequest,
+        protocol_messages.WriteAck,
+        protocol_messages.WriteNack,
+        protocol_messages.ReadRequest,
+        protocol_messages.ReadReply,
+        protocol_messages.CompleteRead,
+        protocol_messages.Flush,
+        protocol_messages.FlushAck,
+    )
+}
+
+
+def _label_types() -> tuple[type, type]:
+    # Deferred import: labels/ must stay importable without net/ (NET001
+    # enforces the reverse direction; this keeps module import light).
+    from repro.labels.alon import AlonLabel
+    from repro.labels.ordering import MwmrTimestamp
+
+    return AlonLabel, MwmrTimestamp
+
+
+def encode_value(value: Any) -> Any:
+    """Lower ``value`` to a JSON-able tagged tree.
+
+    Raises :class:`WireError` for objects outside the wire vocabulary —
+    better to fail loudly at the sender than to deliver something the
+    receiving side cannot reconstruct faithfully.
+    """
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        return value
+    AlonLabel, MwmrTimestamp = _label_types()
+    if isinstance(value, AlonLabel):
+        return {_TAG: "alon", "s": encode_value(value.sting), "a": encode_value(value.antistings)}
+    if isinstance(value, MwmrTimestamp):
+        return {_TAG: "mwmr", "l": encode_value(value.label), "w": encode_value(value.writer_id)}
+    if isinstance(value, Garbage):
+        return {_TAG: "garbage", "n": encode_value(value.noise)}
+    if isinstance(value, tuple):
+        return {_TAG: "tuple", "v": [encode_value(v) for v in value]}
+    if isinstance(value, list):
+        return {_TAG: "list", "v": [encode_value(v) for v in value]}
+    if isinstance(value, frozenset):
+        # Deterministic element order: identical values encode to identical
+        # bytes regardless of set iteration order (PYTHONHASHSEED).
+        items = sorted((encode_value(v) for v in value), key=repr)
+        return {_TAG: "fset", "v": items}
+    if type(value).__name__ in _MESSAGE_TYPES and dataclasses.is_dataclass(value):
+        fields = {
+            f.name: encode_value(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        return {_TAG: "msg", "t": type(value).__name__, "f": fields}
+    raise WireError(f"value outside the wire vocabulary: {value!r}")
+
+
+def decode_value(node: Any) -> Any:
+    """Rebuild a value from :func:`encode_value` output."""
+    if isinstance(node, _SCALARS):
+        return node
+    if not isinstance(node, dict):
+        raise WireError(f"undecodable wire node: {node!r}")
+    tag = node.get(_TAG)
+    if tag == "tuple":
+        return tuple(decode_value(v) for v in _want(node, "v", list))
+    if tag == "list":
+        return [decode_value(v) for v in _want(node, "v", list)]
+    if tag == "fset":
+        return frozenset(decode_value(v) for v in _want(node, "v", list))
+    if tag == "alon":
+        from repro.labels.alon import AlonLabel
+
+        return AlonLabel(
+            sting=decode_value(node.get("s")),
+            antistings=decode_value(node.get("a")),
+        )
+    if tag == "mwmr":
+        from repro.labels.ordering import MwmrTimestamp
+
+        return MwmrTimestamp(
+            label=decode_value(node.get("l")),
+            writer_id=decode_value(node.get("w")),
+        )
+    if tag == "garbage":
+        return Garbage(noise=decode_value(node.get("n")))
+    if tag == "msg":
+        cls = _MESSAGE_TYPES.get(_want(node, "t", str))
+        if cls is None:
+            raise WireError(f"unknown message type: {node.get('t')!r}")
+        fields = _want(node, "f", dict)
+        known = {f.name for f in dataclasses.fields(cls)}
+        # Extra keys from a newer minor revision are dropped; missing keys
+        # are a malformed frame (every v1 field is required).
+        kwargs = {k: decode_value(v) for k, v in fields.items() if k in known}
+        if set(kwargs) != known:
+            raise WireError(
+                f"message {cls.__name__} missing fields: {sorted(known - set(kwargs))}"
+            )
+        return cls(**kwargs)
+    raise WireError(f"unknown wire tag: {tag!r}")
+
+
+def _want(node: dict, key: str, kind: type) -> Any:
+    value = node.get(key)
+    if not isinstance(value, kind):
+        raise WireError(f"malformed wire node: {key}={value!r}")
+    return value
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+def _encode_body(obj: Any) -> bytes:
+    body = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    frame = _MAGIC + bytes([WIRE_VERSION]) + body
+    if len(frame) > MAX_FRAME:
+        raise WireError(f"frame of {len(frame)} bytes exceeds MAX_FRAME")
+    return _HEADER.pack(len(frame)) + frame
+
+
+def _decode_body(frame: bytes) -> Any:
+    if len(frame) < 3 or frame[:2] != _MAGIC:
+        raise WireError("bad frame magic")
+    version = frame[2]
+    if version != WIRE_VERSION:
+        raise WireError(
+            f"unsupported wire version {version} (this build speaks "
+            f"{WIRE_FORMAT})"
+        )
+    try:
+        return json.loads(frame[3:].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"unparseable frame body: {exc}") from None
+
+
+def pack_frame(body: bytes) -> bytes:
+    """Re-attach a length header to a frame body.
+
+    The fault proxy forwards frames *opaquely* — split by
+    :class:`FrameAssembler`, never decoded — and this puts the header
+    back on the way out.
+    """
+    return _HEADER.pack(len(body)) + body
+
+
+def encode_frame(value: Any) -> bytes:
+    """One length-prefixed frame holding a bare tagged value."""
+    return _encode_body(encode_value(value))
+
+
+def decode_frame(frame: bytes) -> Any:
+    """Inverse of :func:`encode_frame` (frame = header-less body bytes)."""
+    return decode_value(_decode_body(frame))
+
+
+def encode_envelope(env: Envelope) -> bytes:
+    """One frame carrying a routed protocol message."""
+    return _encode_body(
+        {
+            _TAG: "env",
+            "src": env.src,
+            "dst": env.dst,
+            "p": encode_value(env.payload),
+            "st": env.send_time,
+        }
+    )
+
+
+def decode_envelope(frame: bytes) -> Envelope:
+    node = _decode_body(frame)
+    if not isinstance(node, dict) or node.get(_TAG) != "env":
+        raise WireError(f"expected an envelope frame, got {node!r}")
+    src = _want(node, "src", str)
+    dst = _want(node, "dst", str)
+    send_time = node.get("st", 0.0)
+    if not isinstance(send_time, (int, float)) or isinstance(send_time, bool):
+        raise WireError(f"malformed envelope send_time: {send_time!r}")
+    return Envelope(
+        src=src, dst=dst, payload=decode_value(node.get("p")), send_time=float(send_time)
+    )
+
+
+def hello_frame(pid: str) -> bytes:
+    """The connection-opening identification frame."""
+    return _encode_body({_TAG: "hello", "format": WIRE_FORMAT, "pid": pid})
+
+
+def decode_hello(frame: bytes) -> str:
+    """Validate a HELLO frame; returns the peer pid."""
+    node = _decode_body(frame)
+    if not isinstance(node, dict) or node.get(_TAG) != "hello":
+        raise WireError(f"expected a hello frame, got {node!r}")
+    fmt = node.get("format")
+    if fmt != WIRE_FORMAT:
+        raise WireError(f"peer speaks {fmt!r}, this build speaks {WIRE_FORMAT!r}")
+    return _want(node, "pid", str)
+
+
+class FrameAssembler:
+    """Incremental frame splitter for stream readers.
+
+    Feed raw bytes; iterate complete frame bodies (header stripped, magic
+    and version *not yet* checked — that is the decoder's job, so a
+    corrupt frame surfaces as a :class:`WireError` at decode time rather
+    than desynchronizing the splitter).
+    """
+
+    __slots__ = ("_buf",)
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def feed(self, data: bytes) -> list[bytes]:
+        """Append ``data``; return every now-complete frame body."""
+        self._buf.extend(data)
+        frames: list[bytes] = []
+        while True:
+            if len(self._buf) < _HEADER.size:
+                return frames
+            (length,) = _HEADER.unpack_from(self._buf)
+            if length > MAX_FRAME:
+                raise WireError(
+                    f"declared frame length {length} exceeds MAX_FRAME — "
+                    f"stream is garbage or adversarial"
+                )
+            end = _HEADER.size + length
+            if len(self._buf) < end:
+                return frames
+            frames.append(bytes(self._buf[_HEADER.size : end]))
+            del self._buf[:end]
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buf)

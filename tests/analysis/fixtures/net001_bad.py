@@ -1,0 +1,19 @@
+"""NET001 fixtures: transport machinery imported inside a protocol layer.
+
+Relpath (see RELPATHS) places this file in ``repro/core/`` — every import
+below forks the verified protocol from the deployed one.
+"""
+
+import asyncio  # expect: NET001
+import socket  # expect: NET001
+import repro.net.transport  # expect: NET001
+from asyncio import StreamReader  # expect: NET001
+from socket import AF_INET  # expect: NET001
+from repro.net import LiveRegisterCluster  # expect: NET001
+from repro.net.wire import encode_frame  # expect: NET001
+
+
+def lazy_import_is_still_a_fork():
+    import asyncio  # expect: NET001
+
+    return asyncio

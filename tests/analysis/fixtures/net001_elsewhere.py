@@ -1,0 +1,15 @@
+"""NET001 scope guard: transport imports OUTSIDE the protocol layers.
+
+Relpath places this in ``repro/harness/`` — asyncio and repro.net are
+exactly where they belong, so the rule must stay silent.
+"""
+
+import asyncio
+import socket
+
+from repro.net import LiveRegisterCluster
+
+
+def drive(cluster: LiveRegisterCluster) -> None:
+    asyncio.run(cluster.start())
+    socket.gethostname()

@@ -1,0 +1,21 @@
+"""Protocol-layer module whose imports are all legal under NET001.
+
+Includes prefix lookalikes: ``socketserver`` is not ``socket``, and
+``repro.network_utils`` is not ``repro.net`` — the rule must match module
+boundaries, not string prefixes.
+"""
+
+import json
+import socketserver
+from dataclasses import dataclass
+
+from repro.labels.base import LabelingScheme
+from repro.network_utils import helper
+
+
+@dataclass
+class Carrier:
+    scheme: LabelingScheme
+    payload: str = json.dumps({"ok": True})
+    server_cls: type = socketserver.BaseServer
+    helper_fn: object = helper

@@ -34,6 +34,9 @@ RELPATHS = {
     "det004_good.py": "repro/byzantine/det004_good.py",
     "stab_bad.py": "repro/core/stab_bad.py",
     "stab_good.py": "repro/core/stab_good.py",
+    "net001_bad.py": "repro/core/net001_bad.py",
+    "net001_good.py": "repro/labels/net001_good.py",
+    "net001_elsewhere.py": "repro/harness/net001_elsewhere.py",
     "par001_bad.py": "repro/harness/par001_bad.py",
     "par001_good.py": "repro/harness/par001_good.py",
     "par002_bad.py": "repro/harness/par002_bad.py",

@@ -48,6 +48,37 @@ class TestBasics:
         store.put("b", "2")
         assert store.shard("a").env is store.shard("b").env
 
+    def test_trace_knob_reaches_the_shards(self):
+        # trace="off" silences the shared network's stats; every shard
+        # rides that network, so no shard accumulates counters.
+        quiet = StabilizingKVStore(seed=7, trace="off")
+        quiet.put("a", "1")
+        assert quiet.message_stats.total_sent == 0
+        full = StabilizingKVStore(seed=7, trace="full")
+        full.put("a", "1")
+        assert full.message_stats.total_sent > 0
+        assert full.env.network.trace.enabled
+
+    def test_shard_factory_hook(self):
+        built = []
+
+        def factory(store, key, byz):
+            from repro.core.config import SystemConfig
+            from repro.core.register import RegisterSystem
+
+            built.append((key, byz))
+            return RegisterSystem(
+                SystemConfig(n=store.n, f=store.f),
+                n_clients=store.clients_per_key,
+                env=store.env,
+                namespace=f"{key}:",
+            )
+
+        store = StabilizingKVStore(seed=9, shard_factory=factory)
+        store.put("k", "v")
+        assert store.get("k") == "v"
+        assert built == [("k", None)]
+
     def test_audit_clean_run(self):
         store = StabilizingKVStore(seed=8)
         store.put("x", "1")

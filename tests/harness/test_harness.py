@@ -7,6 +7,7 @@ import pytest
 from repro.core.config import SystemConfig
 from repro.harness.metrics import (
     LatencyStats,
+    LogHistogram,
     history_metrics,
     messages_per_operation,
 )
@@ -25,13 +26,69 @@ class TestLatencyStats:
     def test_basic_statistics(self):
         s = LatencyStats.from_samples([1.0, 2.0, 3.0, 4.0])
         assert s.count == 4
-        assert s.mean == 2.5
-        assert s.maximum == 4.0
-        assert s.p50 == 2.5
+        assert s.mean == 2.5  # exact: tracked as a running sum
+        assert s.maximum == 4.0  # exact: tracked directly
+        # p50 is nearest-rank through the log-bucket histogram: the 2nd of
+        # 4 samples, reported to within the bucket's relative error.
+        assert s.p50 == pytest.approx(2.0, rel=0.05)
 
     def test_row_rounding(self):
         s = LatencyStats.from_samples([1.23456])
         assert s.row() == (1, 1.23, 1.23, 1.23, 1.23)
+
+
+class TestLogHistogram:
+    def test_exact_aggregates_bounded_quantile_error(self):
+        rng = random.Random(7)
+        samples = [rng.uniform(0.001, 5.0) for _ in range(5000)]
+        hist = LogHistogram()
+        hist.extend(samples)
+        assert hist.count == len(samples)
+        assert hist.mean == pytest.approx(sum(samples) / len(samples))
+        assert hist.min == min(samples)
+        assert hist.max == max(samples)
+        ordered = sorted(samples)
+        for q in (0.5, 0.95, 0.99):
+            exact = ordered[max(0, int(q * len(ordered)) - 1)]
+            assert hist.quantile(q) == pytest.approx(exact, rel=0.05)
+
+    def test_quantiles_clamped_to_observed_range(self):
+        hist = LogHistogram()
+        hist.add(1.23456)
+        assert hist.quantile(0.5) == 1.23456
+        assert hist.quantile(0.99) == 1.23456
+        assert hist.quantile(0.0) == 1.23456
+
+    def test_underflow_bucket(self):
+        hist = LogHistogram(min_value=1e-6)
+        hist.extend([0.0, 1e-9, 1e-7])
+        assert hist.count == 3
+        assert hist.quantile(0.5) <= 1e-6
+        assert hist.min == 0.0
+
+    def test_merge_matches_pooled(self):
+        rng = random.Random(11)
+        a, b = [rng.expovariate(1.0) for _ in range(300)], [
+            rng.expovariate(5.0) for _ in range(500)
+        ]
+        ha, hb, pooled = LogHistogram(), LogHistogram(), LogHistogram()
+        ha.extend(a)
+        hb.extend(b)
+        pooled.extend(a + b)
+        ha.merge(hb)
+        assert ha.count == pooled.count
+        assert ha.total == pytest.approx(pooled.total)
+        for q in (0.25, 0.5, 0.9, 0.99):
+            assert ha.quantile(q) == pooled.quantile(q)
+
+    def test_merge_rejects_mismatched_bucketing(self):
+        with pytest.raises(ValueError):
+            LogHistogram(growth=1.04).merge(LogHistogram(growth=1.1))
+
+    def test_empty(self):
+        hist = LogHistogram()
+        assert hist.quantile(0.5) == 0.0
+        assert hist.summary()["count"] == 0
 
 
 class TestHistoryMetrics:

@@ -1,0 +1,302 @@
+"""Wire codec tests: value-faithful round trips and hostile-input rejection.
+
+The property tests cover every payload family the fuzz harness and the
+Byzantine zoo can put on a channel — protocol messages, valid labels,
+*corrupted lookalike* labels (wrong domains, wrong antisting sizes,
+foreign types in typed fields), Garbage blobs, and nested containers of
+all of the above. Faithfulness is the property: ``decode(encode(x)) ==
+x`` exactly, because receiver-side validation of malformed values is part
+of the protocol under test.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import messages as pm
+from repro.labels.alon import AlonLabel
+from repro.labels.ordering import MwmrTimestamp
+from repro.net.wire import (
+    MAX_FRAME,
+    WIRE_FORMAT,
+    WIRE_VERSION,
+    FrameAssembler,
+    WireError,
+    decode_envelope,
+    decode_frame,
+    decode_hello,
+    encode_envelope,
+    encode_frame,
+    hello_frame,
+    pack_frame,
+)
+from repro.sim.messages import Envelope, Garbage
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.text(max_size=24),
+)
+
+#: Labels both valid and corrupted: negative stings, oversized antisting
+#: sets, empty sets — everything a scrambled replica can present.
+alon_labels = st.builds(
+    AlonLabel,
+    sting=st.integers(min_value=-100, max_value=10**6),
+    antistings=st.frozensets(
+        st.integers(min_value=-100, max_value=10**6), max_size=9
+    ),
+)
+
+#: Timestamps whose label slot may hold a label, a raw int, or junk —
+#: the shapes stale/forging Byzantines and corruption actually produce.
+mwmr_timestamps = st.builds(
+    MwmrTimestamp,
+    label=st.one_of(alon_labels, st.integers(), st.none(), st.text(max_size=8)),
+    writer_id=st.one_of(st.text(max_size=8), st.none(), st.integers()),
+)
+
+label_like = st.one_of(alon_labels, mwmr_timestamps, st.integers(), st.none())
+garbage = st.builds(Garbage, noise=st.one_of(st.integers(), st.text(max_size=12)))
+
+old_vals = st.lists(
+    st.tuples(scalars, label_like), max_size=3
+).map(tuple)
+
+messages = st.one_of(
+    st.builds(pm.GetTs),
+    st.builds(pm.TsReply, ts=label_like),
+    st.builds(pm.WriteRequest, value=scalars, ts=label_like),
+    st.builds(pm.WriteAck, ts=label_like),
+    st.builds(pm.WriteNack, ts=label_like),
+    st.builds(pm.ReadRequest, label=st.integers(), reader=st.text(max_size=8)),
+    st.builds(
+        pm.ReadReply,
+        server=st.text(max_size=8),
+        value=scalars,
+        ts=label_like,
+        old_vals=old_vals,
+        label=st.integers(),
+    ),
+    st.builds(pm.CompleteRead, label=st.integers(), reader=st.text(max_size=8)),
+    st.builds(pm.Flush, label=st.integers()),
+    st.builds(pm.FlushAck, label=st.integers(), server=st.text(max_size=8)),
+)
+
+payloads = st.one_of(messages, garbage, label_like, scalars)
+
+composites = st.recursive(
+    payloads,
+    lambda inner: st.one_of(
+        st.lists(inner, max_size=4),
+        st.lists(inner, max_size=4).map(tuple),
+        st.frozensets(
+            st.one_of(
+                st.integers(), st.text(max_size=6), alon_labels
+            ),
+            max_size=4,
+        ),
+    ),
+    max_leaves=8,
+)
+
+
+def first_frame(raw: bytes) -> bytes:
+    """Strip the length header via the assembler (single complete frame)."""
+    frames = FrameAssembler().feed(raw)
+    assert len(frames) == 1
+    return frames[0]
+
+
+# ----------------------------------------------------------------------
+# round trips
+# ----------------------------------------------------------------------
+class TestRoundTrip:
+    @given(composites)
+    @settings(max_examples=400)
+    def test_every_fuzzable_payload_round_trips_exactly(self, value):
+        assert decode_frame(first_frame(encode_frame(value))) == value
+
+    @given(messages)
+    @settings(max_examples=200)
+    def test_message_types_preserved(self, msg):
+        out = decode_frame(first_frame(encode_frame(msg)))
+        assert type(out) is type(msg)
+        assert out == msg
+
+    @given(
+        src=st.text(max_size=8),
+        dst=st.text(max_size=8),
+        payload=payloads,
+        send_time=st.floats(
+            min_value=0, max_value=1e9, allow_nan=False, allow_infinity=False
+        ),
+    )
+    @settings(max_examples=200)
+    def test_envelope_round_trip(self, src, dst, payload, send_time):
+        env = Envelope(src=src, dst=dst, payload=payload, send_time=send_time)
+        out = decode_envelope(first_frame(encode_envelope(env)))
+        assert (out.src, out.dst, out.payload, out.send_time) == (
+            src,
+            dst,
+            payload,
+            send_time,
+        )
+
+    def test_corrupted_lookalike_label_survives_unvalidated(self):
+        # The stabilization story depends on these reaching the receiver
+        # as-is: the codec must not "fix" or reject them.
+        lookalike = AlonLabel(sting=-7, antistings=frozenset({-1, 0, 10**9}))
+        ts = MwmrTimestamp(label=lookalike, writer_id=None)
+        msg = pm.TsReply(ts=ts)
+        out = decode_frame(first_frame(encode_frame(msg)))
+        assert out.ts.label.sting == -7
+        assert out.ts.label.antistings == frozenset({-1, 0, 10**9})
+        assert out.ts.writer_id is None
+
+    def test_frozenset_encoding_is_order_independent(self):
+        a = encode_frame(frozenset({3, 1, 2}))
+        b = encode_frame(frozenset({2, 3, 1}))
+        assert a == b
+
+    def test_hello_round_trip(self):
+        assert decode_hello(first_frame(hello_frame("c0"))) == "c0"
+
+
+# ----------------------------------------------------------------------
+# rejection
+# ----------------------------------------------------------------------
+class TestRejection:
+    def test_out_of_vocabulary_value_fails_at_the_sender(self):
+        with pytest.raises(WireError):
+            encode_frame(object())
+        with pytest.raises(WireError):
+            encode_frame({"raw": "dict"})  # untagged mappings are not values
+
+    def test_truncated_frame_is_incomplete_not_garbled(self):
+        raw = encode_frame("hello")
+        assembler = FrameAssembler()
+        assert assembler.feed(raw[: len(raw) - 3]) == []
+        assert assembler.pending_bytes == len(raw) - 3
+        # The remainder completes it — nothing was lost or misparsed.
+        [frame] = assembler.feed(raw[len(raw) - 3 :])
+        assert decode_frame(frame) == "hello"
+
+    def test_truncated_body_rejected_at_decode(self):
+        body = first_frame(encode_frame("payload"))
+        with pytest.raises(WireError):
+            decode_frame(body[:-4])  # JSON cut mid-stream
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(WireError, match="magic"):
+            decode_frame(b"XX" + bytes([WIRE_VERSION]) + b'"x"')
+
+    def test_garbage_length_word_rejected_before_buffering(self):
+        huge = (MAX_FRAME + 1).to_bytes(4, "big") + b"junk"
+        with pytest.raises(WireError, match="MAX_FRAME"):
+            FrameAssembler().feed(huge)
+
+    def test_oversized_value_rejected_at_encode(self):
+        with pytest.raises(WireError, match="MAX_FRAME"):
+            encode_frame("x" * (MAX_FRAME + 10))
+
+    @given(st.binary(min_size=0, max_size=64))
+    @settings(max_examples=200)
+    def test_arbitrary_bytes_never_crash_the_decoder(self, blob):
+        # Either a clean WireError or (vanishingly) a valid value — never
+        # an unhandled exception.
+        try:
+            decode_frame(blob)
+        except WireError:
+            pass
+
+    def test_unknown_tag_rejected(self):
+        node = json.dumps({"§": "mystery"}).encode()
+        with pytest.raises(WireError, match="unknown wire tag"):
+            decode_frame(b"RW" + bytes([WIRE_VERSION]) + node)
+
+    def test_unknown_message_type_rejected(self):
+        node = json.dumps({"§": "msg", "t": "EvilRequest", "f": {}}).encode()
+        with pytest.raises(WireError, match="unknown message type"):
+            decode_frame(b"RW" + bytes([WIRE_VERSION]) + node)
+
+    def test_envelope_expected_but_bare_value_sent(self):
+        with pytest.raises(WireError, match="envelope"):
+            decode_envelope(first_frame(encode_frame("not an envelope")))
+
+
+# ----------------------------------------------------------------------
+# versioning / forward compatibility (the recipe v1/v2 pattern)
+# ----------------------------------------------------------------------
+class TestVersioning:
+    def _reframe(self, node: dict) -> bytes:
+        return b"RW" + bytes([WIRE_VERSION]) + json.dumps(node).encode()
+
+    def test_extra_fields_from_a_newer_minor_revision_are_ignored(self):
+        msg = pm.FlushAck(label=3, server="s1")
+        node = json.loads(first_frame(encode_frame(msg))[3:])
+        node["f"]["shiny_new_field"] = {"§": "tuple", "v": [1, 2]}
+        node["experimental_top_level"] = True
+        assert decode_frame(self._reframe(node)) == msg
+
+    def test_missing_required_field_is_malformed(self):
+        node = json.loads(first_frame(encode_frame(pm.FlushAck(label=3, server="s1")))[3:])
+        del node["f"]["server"]
+        with pytest.raises(WireError, match="missing fields"):
+            decode_frame(self._reframe(node))
+
+    def test_bumped_version_byte_rejected_outright(self):
+        body = first_frame(encode_frame("v2 payload"))
+        bumped = b"RW" + bytes([WIRE_VERSION + 1]) + body[3:]
+        with pytest.raises(WireError, match="unsupported wire version"):
+            decode_frame(bumped)
+
+    def test_hello_format_tag_mismatch_rejected(self):
+        node = {"§": "hello", "format": "repro-wire/2", "pid": "c0"}
+        with pytest.raises(WireError, match="repro-wire/1"):
+            decode_hello(self._reframe(node))
+
+    def test_format_constants(self):
+        assert WIRE_FORMAT == "repro-wire/1"
+        assert WIRE_VERSION == 1
+
+
+# ----------------------------------------------------------------------
+# stream reassembly
+# ----------------------------------------------------------------------
+class TestFrameAssembler:
+    @given(
+        values=st.lists(payloads, min_size=1, max_size=6),
+        cuts=st.lists(st.integers(min_value=1, max_value=64), max_size=12),
+        data=st.data(),
+    )
+    @settings(max_examples=150)
+    def test_arbitrary_chunking_reassembles_exactly(self, values, cuts, data):
+        stream = b"".join(encode_frame(v) for v in values)
+        pieces = []
+        pos = 0
+        for cut in cuts:
+            if pos >= len(stream):
+                break
+            pieces.append(stream[pos : pos + cut])
+            pos += cut
+        pieces.append(stream[pos:])
+        assembler = FrameAssembler()
+        frames: list[bytes] = []
+        for piece in pieces:
+            frames.extend(assembler.feed(piece))
+        assert [decode_frame(f) for f in frames] == values
+        assert assembler.pending_bytes == 0
+
+    def test_pack_frame_inverts_assembly(self):
+        raw = encode_frame(pm.GetTs())
+        body = first_frame(raw)
+        assert pack_frame(body) == raw

@@ -14,6 +14,31 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run"])
 
+    def test_serve_requires_sid(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_loadgen_defaults(self):
+        args = build_parser().parse_args(["loadgen"])
+        assert (args.n, args.f, args.clients) == (6, 1, 3)
+        assert args.duration == 5.0 and args.byzantine is None
+        assert args.min_ops_per_s == 0.0 and args.out is None
+
+    def test_loadgen_proxy_and_floor_flags(self):
+        args = build_parser().parse_args(
+            [
+                "loadgen",
+                "--byzantine", "stale-replay",
+                "--proxy-duplication", "0.25",
+                "--proxy-delay", "0.001",
+                "--min-ops-per-s", "50",
+                "--out", "BENCH_live.json",
+            ]
+        )
+        assert args.byzantine == "stale-replay"
+        assert args.proxy_duplication == 0.25
+        assert args.min_ops_per_s == 50.0
+
 
 class TestCommands:
     def test_experiments_lists_catalogue(self, capsys):
@@ -50,3 +75,49 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "recovered!" in out
         assert "STABILIZED" in out
+
+    def test_serve_unknown_sid_fails(self, capsys):
+        assert main(["serve", "s9"]) == 2
+        assert "unknown server id" in capsys.readouterr().err
+
+    def test_serve_unknown_strategy_fails(self, capsys):
+        assert main(["serve", "s0", "--byzantine", "nope"]) == 2
+        assert "unknown strategy" in capsys.readouterr().err
+
+    def test_loadgen_bad_servers_spec_fails(self, capsys):
+        assert main(["loadgen", "--servers", "garbage"]) == 2
+        assert "bad --servers entry" in capsys.readouterr().err
+
+    def test_loadgen_end_to_end(self, capsys, tmp_path):
+        out_path = tmp_path / "bench.json"
+        code = main(
+            [
+                "loadgen",
+                "--duration", "0.5",
+                "--warmup", "0.1",
+                "--byzantine", "stale-replay",
+                "--min-ops-per-s", "1",
+                "--out", str(out_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "regularity: CLEAN" in out
+        import json
+
+        bench = json.loads(out_path.read_text())
+        assert bench["format"] == "repro-bench-live/1"
+        assert bench["verdict"]["clean"] is True
+
+    def test_loadgen_floor_violation_fails(self, capsys):
+        # An unreachably high floor turns a clean run into exit 1.
+        code = main(
+            [
+                "loadgen",
+                "--duration", "0.3",
+                "--warmup", "0.1",
+                "--min-ops-per-s", "1e9",
+            ]
+        )
+        assert code == 1
+        assert "below floor" in capsys.readouterr().err

@@ -124,3 +124,22 @@ class TestTutorial:
         import pstats
 
         assert pstats.Stats(str(prof)).total_tt >= 0
+
+    def test_section_10_live(self):
+        import asyncio
+
+        from repro.byzantine.strategies import STRATEGY_ZOO
+        from repro.net import LiveRegisterCluster, run_load
+
+        async def main():
+            byz = {"s5": STRATEGY_ZOO["stale-replay"]}
+            async with LiveRegisterCluster(
+                SystemConfig(n=6, f=1), n_clients=3, seed=0, byzantine=byz
+            ) as cluster:
+                await cluster.write("c0", "hello-live")
+                assert await cluster.read("c1") == "hello-live"
+                load = await run_load(cluster, duration=0.5, warmup=0.1)
+                assert cluster.check_regularity(algorithm="sweep").ok
+                return load.throughput
+
+        assert asyncio.run(main()) > 0
