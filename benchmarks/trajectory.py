@@ -6,12 +6,21 @@ derived throughputs such as fuzz trials/sec), and prints a comparison
 against the previous snapshot when one exists. CI and future PRs diff
 this file to catch kernel regressions the unit suite cannot see.
 
+``--live`` regenerates ``BENCH_live.json`` instead: it drives the
+real-socket tier through ``python -m repro loadgen`` (stale-replay
+Byzantine config, open-loop saturation sweep) and prints ops/s and
+p50/p99 latency deltas against the committed snapshot. The comparison
+understands both the ``repro-bench-live/1`` (closed-loop JSON wire) and
+``repro-bench-live/2`` (binary wire + sweep) snapshot shapes, so the
+first /2 regeneration still diffs cleanly against a /1 baseline.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/trajectory.py            # writes BENCH_kernel.json
     PYTHONPATH=src python benchmarks/trajectory.py --out X.json
+    PYTHONPATH=src python benchmarks/trajectory.py --live     # writes BENCH_live.json
 
-The snapshot schema::
+The kernel snapshot schema::
 
     {
       "kernels": {"<benchmark name>": {"median_s": ..., "ops_per_s": ...}},
@@ -34,6 +43,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_FILE = Path(__file__).resolve().parent / "bench_kernel.py"
 DEFAULT_OUT = REPO_ROOT / "BENCH_kernel.json"
+DEFAULT_LIVE_OUT = REPO_ROOT / "BENCH_live.json"
 FUZZ_KERNEL = "test_fuzz_trial_throughput"
 
 
@@ -93,13 +103,97 @@ def compare(old: dict, new: dict) -> list[str]:
     return lines
 
 
+def run_live(out_path: Path, duration: float, sweep: str) -> None:
+    """Regenerate the live snapshot via the real CLI (fresh interpreter)."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    cmd = [
+        sys.executable,
+        "-m",
+        "repro",
+        "loadgen",
+        "--byzantine", "stale-replay",
+        "--duration", str(duration),
+        "--sweep", sweep,
+        "--out", str(out_path),
+    ]
+    subprocess.run(cmd, check=True, cwd=REPO_ROOT, env=env)
+
+
+def live_compare(old: dict, new: dict) -> list[str]:
+    """ops/s and p50/p99 deltas between two live snapshots (any version)."""
+    lines = [
+        f"wire: {old.get('wire', '?')} -> {new.get('wire', '?')}  "
+        f"(format {old.get('format', '?')} -> {new.get('format', '?')})"
+    ]
+    o_load, n_load = old.get("load", {}), new.get("load", {})
+    o_ops, n_ops = o_load.get("ops_per_s"), n_load.get("ops_per_s")
+    if o_ops and n_ops:
+        lines.append(
+            f"ops/s: {o_ops:.1f} -> {n_ops:.1f} ({n_ops / o_ops:.2f}x)"
+        )
+    for kind in ("read_latency_s", "write_latency_s"):
+        o_lat, n_lat = o_load.get(kind, {}), n_load.get(kind, {})
+        for q in ("p50", "p99"):
+            if o_lat.get(q) and n_lat.get(q):
+                lines.append(
+                    f"{kind.split('_')[0]} {q}: {o_lat[q] * 1e3:.2f}ms -> "
+                    f"{n_lat[q] * 1e3:.2f}ms "
+                    f"({o_lat[q] / n_lat[q]:.2f}x faster)"
+                )
+    knee = max(
+        (pt.get("ops_per_s", 0.0) for pt in new.get("sweep", [])),
+        default=None,
+    )
+    if knee is not None:
+        lines.append(f"saturation knee (best sweep point): {knee:.1f} ops/s")
+    return lines
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--out", type=Path, default=DEFAULT_OUT, help="snapshot destination"
+        "--out", type=Path, default=None, help="snapshot destination"
+    )
+    parser.add_argument(
+        "--live",
+        action="store_true",
+        help="regenerate BENCH_live.json (real sockets) instead of kernels",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=5.0,
+        help="headline measurement window for --live",
+    )
+    parser.add_argument(
+        "--sweep",
+        default="auto",
+        help="--live saturation ladder: 'auto' or comma-separated rates",
     )
     args = parser.parse_args(argv)
 
+    if args.live:
+        out = args.out or DEFAULT_LIVE_OUT
+        previous = json.loads(out.read_text()) if out.exists() else None
+        with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+            live_path = Path(tmp.name)
+        try:
+            run_live(live_path, args.duration, args.sweep)
+            snapshot = json.loads(live_path.read_text())
+        finally:
+            live_path.unlink(missing_ok=True)
+        if previous is not None:
+            for line in live_compare(previous, snapshot):
+                print(line)
+        out.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {out}")
+        return 0
+
+    args.out = args.out or DEFAULT_OUT
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
         raw_path = Path(tmp.name)
     try:

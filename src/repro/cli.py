@@ -436,6 +436,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             address=args.address,
             factory=factory,
             seed=args.seed,
+            wire=args.wire,
         )
         address = await daemon.start()
         role = args.byzantine or "correct"
@@ -452,14 +453,42 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Offered-rate ladder used by bare ``--sweep`` (ops/s). Geometric, wide
+#: enough to bracket the saturation knee on anything from a laptop to CI.
+DEFAULT_SWEEP_RATES = (250.0, 500.0, 1000.0, 2000.0, 4000.0)
+
+
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     import asyncio
 
     from repro.byzantine.strategies import STRATEGY_ZOO
     from repro.core.config import SystemConfig
-    from repro.net import FaultPolicy, LiveRegisterCluster, benchmark
+    from repro.net import (
+        FaultPolicy,
+        LiveRegisterCluster,
+        benchmark,
+        install_event_loop,
+        saturation_sweep,
+    )
 
     config = SystemConfig(n=args.n, f=args.f)
+    if args.open_loop and args.rate is None and not args.sweep:
+        print("--open-loop needs --rate (or --sweep)", file=sys.stderr)
+        return 2
+
+    sweep_rates = None
+    if args.sweep:
+        if args.sweep == "auto":
+            sweep_rates = list(DEFAULT_SWEEP_RATES)
+        else:
+            try:
+                sweep_rates = [float(r) for r in args.sweep.split(",") if r]
+            except ValueError:
+                print(f"bad --sweep {args.sweep!r} (want R1,R2,...)", file=sys.stderr)
+                return 2
+        if len(sweep_rates) < 2:
+            print("--sweep needs at least two rates", file=sys.stderr)
+            return 2
 
     byzantine = None
     if args.byzantine:
@@ -493,8 +522,16 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             jitter=args.proxy_jitter,
         )
 
-    async def run() -> dict:
-        cluster = LiveRegisterCluster(
+    from repro.net.transport import DEFAULT_FLUSH_WATERMARK
+
+    watermark = (
+        args.flush_watermark
+        if args.flush_watermark is not None
+        else DEFAULT_FLUSH_WATERMARK
+    )
+
+    def make_cluster() -> "LiveRegisterCluster":
+        return LiveRegisterCluster(
             config,
             n_clients=args.clients,
             seed=args.seed,
@@ -504,7 +541,24 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             proxy_policy=policy,
             op_timeout=args.op_timeout,
             external_servers=external,
+            wire=args.wire,
+            flush_watermark=watermark,
         )
+
+    mode = "open" if (args.open_loop and args.rate is not None) else "closed"
+
+    async def run() -> dict:
+        sweep = None
+        if sweep_rates is not None:
+            sweep = saturation_sweep(
+                make_cluster,
+                sweep_rates,
+                duration=args.sweep_duration,
+                warmup=min(args.warmup, 0.5),
+                read_fraction=args.read_fraction,
+                seed=args.seed,
+            )
+        cluster = make_cluster()
         async with cluster:
             return await benchmark(
                 cluster,
@@ -512,14 +566,27 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                 warmup=args.warmup,
                 read_fraction=args.read_fraction,
                 seed=args.seed,
+                mode=mode,
+                rate=args.rate,
+                sweep=sweep,
             )
 
+    try:
+        runtime = install_event_loop(args.loop)
+    except ImportError:
+        print(
+            "uvloop requested but not installed (pip install 'repro[perf]')",
+            file=sys.stderr,
+        )
+        return 2
     bench = asyncio.run(run())
+    bench["runtime"] = runtime
     load, verdict = bench["load"], bench["verdict"]
     print(
         f"n={args.n} f={args.f} clients={args.clients} "
         f"byzantine={sorted(bench['config']['byzantine']) or 'none'} "
-        f"proxied={bench['config']['proxied']}"
+        f"proxied={bench['config']['proxied']} "
+        f"wire={bench['wire']} loop={runtime} mode={mode}"
     )
     print(
         f"  {load['ops_per_s']:.1f} ops/s over {load['duration_s']:.2f}s "
@@ -539,6 +606,20 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         f"({verdict['checked_reads']} reads checked, "
         f"{verdict['violations']} violations)"
     )
+    if bench.get("sweep"):
+        print("  saturation sweep (open loop, fresh cluster per point):")
+        print(
+            "    offered    achieved   read p50/p99 ms    "
+            "write p50/p99 ms   verdict"
+        )
+        for pt in bench["sweep"]:
+            print(
+                f"    {pt['offered_ops_per_s']:8.0f} "
+                f"{pt['ops_per_s']:10.1f} "
+                f"{pt['read_p50_s'] * 1e3:8.2f}/{pt['read_p99_s'] * 1e3:<8.2f} "
+                f"{pt['write_p50_s'] * 1e3:8.2f}/{pt['write_p99_s'] * 1e3:<8.2f} "
+                f"{'CLEAN' if pt['clean'] else 'VIOLATIONS'}"
+            )
     if args.out:
         _write_json(args.out, bench)
         print(f"  benchmark written to {args.out}")
@@ -728,15 +809,75 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="STRATEGY",
         help="host a Byzantine zoo strategy instead of a correct server",
     )
+    serve.add_argument(
+        "--wire",
+        type=int,
+        choices=(1, 2),
+        default=2,
+        help="wire codec version spoken on every connection (default 2, "
+        "the repro-wire/2 binary codec; 1 = JSON)",
+    )
 
     loadgen = sub.add_parser(
         "loadgen",
-        help="live loopback cluster + closed-loop load + regularity verdict",
+        help="live loopback cluster + closed/open-loop load + regularity "
+        "verdict (+ saturation sweep)",
     )
     loadgen.add_argument("--n", type=int, default=6)
     loadgen.add_argument("--f", type=int, default=1)
     loadgen.add_argument("--clients", type=int, default=3)
     loadgen.add_argument("--duration", type=float, default=5.0)
+    loadgen.add_argument(
+        "--wire",
+        type=int,
+        choices=(1, 2),
+        default=2,
+        help="wire codec version (default 2 = repro-wire/2 binary; 1 = JSON)",
+    )
+    loadgen.add_argument(
+        "--flush-watermark",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="outbound coalescing threshold per connection "
+        "(default 65536; 0 = eager per-frame writes)",
+    )
+    loadgen.add_argument(
+        "--open-loop",
+        action="store_true",
+        help="headline load uses Poisson arrivals at --rate instead of the "
+        "closed loop (latency then includes queueing delay)",
+    )
+    loadgen.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        metavar="OPS_PER_S",
+        help="aggregate offered rate for --open-loop",
+    )
+    loadgen.add_argument(
+        "--sweep",
+        nargs="?",
+        const="auto",
+        default=None,
+        metavar="R1,R2,...",
+        help="also trace an open-loop saturation curve at these offered "
+        "rates (bare --sweep picks a default geometric ladder); one fresh "
+        "cluster and one regularity verdict per point",
+    )
+    loadgen.add_argument(
+        "--sweep-duration",
+        type=float,
+        default=3.0,
+        help="measured seconds per sweep point (default 3)",
+    )
+    loadgen.add_argument(
+        "--loop",
+        choices=("auto", "uvloop", "asyncio"),
+        default="auto",
+        help="event-loop runtime: auto = uvloop when installed, stdlib "
+        "otherwise (the [perf] extra installs uvloop)",
+    )
     loadgen.add_argument(
         "--warmup",
         type=float,

@@ -29,6 +29,8 @@ from repro.errors import ConfigurationError
 from repro.net.bridge import LiveClock
 from repro.net.daemon import ClientEndpoint, ServerDaemon, ServerFactory, default_scheme
 from repro.net.proxy import FaultPolicy, FaultProxy
+from repro.net.transport import DEFAULT_FLUSH_WATERMARK
+from repro.net.wire import DEFAULT_WIRE, get_codec
 from repro.sim.environment import derive_seed
 from repro.sim.tracing import MessageStats
 from repro.spec.history import History
@@ -60,6 +62,10 @@ class LiveRegisterCluster:
             elsewhere (``repro serve``). The cluster then boots only the
             client side: no daemons, no proxies; ``byzantine`` must be
             empty (whoever runs the servers picks their strategies).
+        wire: the wire codec version every host speaks (both hosts of a
+            connection must agree; HELLO enforces it).
+        flush_watermark: outbound coalescing threshold per connection, in
+            bytes (:data:`~repro.net.transport.DEFAULT_FLUSH_WATERMARK`).
     """
 
     def __init__(
@@ -74,6 +80,8 @@ class LiveRegisterCluster:
         op_timeout: float = 30.0,
         mwmr: bool = True,
         external_servers: Optional[dict[str, str]] = None,
+        wire: int = DEFAULT_WIRE,
+        flush_watermark: int = DEFAULT_FLUSH_WATERMARK,
     ) -> None:
         if n_clients < 1:
             raise ConfigurationError("need at least one client")
@@ -110,6 +118,9 @@ class LiveRegisterCluster:
         self.proxy_policy = proxy_policy
         self.op_timeout = op_timeout
         self._external = dict(external_servers) if external_servers else None
+        self.wire = wire
+        self.wire_format = get_codec(wire).format  # validates `wire` early
+        self.flush_watermark = flush_watermark
 
         self.scheme = default_scheme(config, mwmr=mwmr)
         self.clock = LiveClock()
@@ -141,6 +152,8 @@ class LiveRegisterCluster:
                 scheme=self.scheme,
                 seed=self.seed,
                 clock=self.clock,
+                wire=self.wire,
+                flush_watermark=self.flush_watermark,
             )
             await daemon.start()
             self.daemons[sid] = daemon
@@ -177,6 +190,8 @@ class LiveRegisterCluster:
                 scheme=self.scheme,
                 seed=self.seed,
                 op_timeout=self.op_timeout,
+                wire=self.wire,
+                flush_watermark=self.flush_watermark,
             )
             await endpoint.connect()
             self.endpoints[cid] = endpoint

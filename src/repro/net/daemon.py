@@ -38,13 +38,13 @@ from repro.labels.base import LabelingScheme
 from repro.labels.ordering import MwmrOrdering
 from repro.net.bridge import LiveClock, NetEnvironment
 from repro.net.transport import (
+    DEFAULT_FLUSH_WATERMARK,
     StreamConnection,
     StreamTransport,
-    open_connection,
-    start_server,
+    open_frame_connection,
+    start_frame_server,
 )
-from repro.net.wire import WireError
-from repro.sim.messages import Envelope
+from repro.net.wire import DEFAULT_WIRE, WireError, get_codec
 from repro.sim.process import OperationHandle, Process
 from repro.spec.history import History, HistoryRecorder
 
@@ -92,6 +92,10 @@ class ServerDaemon:
             :class:`RegisterServer`.
         seed: RNG seed for the hosted process (Byzantine strategies and
             corruption draw from it, exactly as in the sim).
+        wire: wire codec version spoken on every connection (see
+            :func:`repro.net.wire.get_codec`).
+        flush_watermark: outbound coalescing threshold, in bytes (see
+            :class:`StreamConnection`).
     """
 
     def __init__(
@@ -103,10 +107,14 @@ class ServerDaemon:
         scheme: Optional[LabelingScheme] = None,
         seed: int = 0,
         clock: Optional[LiveClock] = None,
+        wire: int = DEFAULT_WIRE,
+        flush_watermark: int = DEFAULT_FLUSH_WATERMARK,
     ) -> None:
         self.sid = sid
         self.config = config
         self._address_spec = address
+        self.codec = get_codec(wire)
+        self.flush_watermark = flush_watermark
         self.transport = StreamTransport()
         self.env = NetEnvironment(self.transport, seed=seed, clock=clock)
         self.scheme = scheme if scheme is not None else default_scheme(config)
@@ -115,6 +123,7 @@ class ServerDaemon:
         self.server: Optional[asyncio.AbstractServer] = None
         self.address: Optional[str] = None
         self._conns: set[StreamConnection] = set()
+        self._handshakes: set[asyncio.Task] = set()
 
     @property
     def stats(self):
@@ -122,22 +131,29 @@ class ServerDaemon:
 
     async def start(self) -> str:
         """Bind and listen; returns the concrete address."""
-        self.server, self.address = await start_server(
-            self._address_spec, self._accept
+        self.server, self.address = await start_frame_server(
+            self._address_spec, self._make_connection
         )
         return self.address
 
-    async def _accept(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        conn = StreamConnection(
-            reader,
-            writer,
+    def _make_connection(self) -> StreamConnection:
+        return StreamConnection(
             self.transport.stats,
-            self._on_envelope,
+            self._on_message,
             on_close=self._on_conn_close,
+            codec=self.codec,
+            flush_watermark=self.flush_watermark,
+            on_connected=self._on_accept,
+            flusher=self.transport.flusher,
         )
+
+    def _on_accept(self, conn: StreamConnection) -> None:
         self._conns.add(conn)
+        task = asyncio.get_running_loop().create_task(self._handshake(conn))
+        self._handshakes.add(task)
+        task.add_done_callback(self._handshakes.discard)
+
+    async def _handshake(self, conn: StreamConnection) -> None:
         try:
             pid = await conn.expect_hello()
         except (WireError, asyncio.TimeoutError, ConnectionError, OSError):
@@ -149,9 +165,12 @@ class ServerDaemon:
         self.transport.bind_peer(pid, conn)
         conn.start_pump()
 
-    def _on_envelope(self, conn: StreamConnection, env: Envelope) -> None:
-        src = conn.peer_pid if conn.peer_pid is not None else env.src
-        self.transport.deliver_local(env.dst, src, env.payload)
+    def _on_message(
+        self, conn: StreamConnection, src: str, dst: str, payload: Any
+    ) -> None:
+        if conn.peer_pid is not None:
+            src = conn.peer_pid
+        self.transport.deliver_local(dst, src, payload)
 
     def _on_conn_close(self, conn: StreamConnection) -> None:
         self._conns.discard(conn)
@@ -162,6 +181,8 @@ class ServerDaemon:
             self.server.close()
             await self.server.wait_closed()
             self.server = None
+        for task in list(self._handshakes):
+            task.cancel()
         for conn in list(self._conns):
             await conn.close()
         await self.transport.close()
@@ -187,11 +208,15 @@ class ClientEndpoint:
         scheme: Optional[LabelingScheme] = None,
         seed: int = 0,
         op_timeout: float = 30.0,
+        wire: int = DEFAULT_WIRE,
+        flush_watermark: int = DEFAULT_FLUSH_WATERMARK,
     ) -> None:
         self.cid = cid
         self.config = config
         self._addresses = dict(server_addresses)
         self.op_timeout = op_timeout
+        self.codec = get_codec(wire)
+        self.flush_watermark = flush_watermark
         self.transport = StreamTransport()
         self.clock = clock if clock is not None else LiveClock()
         self.env = NetEnvironment(self.transport, seed=seed, clock=self.clock)
@@ -214,15 +239,18 @@ class ClientEndpoint:
         return self.transport.stats
 
     async def connect(self) -> None:
-        """Dial every server, exchange HELLOs, start the read pumps."""
+        """Dial every server, exchange HELLOs, start the dispatchers."""
         for sid in sorted(self._addresses):
-            reader, writer = await open_connection(self._addresses[sid])
-            conn = StreamConnection(
-                reader,
-                writer,
-                self.transport.stats,
-                self._on_envelope,
-                on_close=self.transport.drop_peer,
+            conn = await open_frame_connection(
+                self._addresses[sid],
+                lambda: StreamConnection(
+                    self.transport.stats,
+                    self._on_message,
+                    on_close=self.transport.drop_peer,
+                    codec=self.codec,
+                    flush_watermark=self.flush_watermark,
+                    flusher=self.transport.flusher,
+                ),
             )
             conn.send_hello(self.cid)
             peer = await conn.expect_hello()
@@ -236,9 +264,12 @@ class ClientEndpoint:
             conn.start_pump()
             self._conns.append(conn)
 
-    def _on_envelope(self, conn: StreamConnection, env: Envelope) -> None:
-        src = conn.peer_pid if conn.peer_pid is not None else env.src
-        self.transport.deliver_local(env.dst, src, env.payload)
+    def _on_message(
+        self, conn: StreamConnection, src: str, dst: str, payload: Any
+    ) -> None:
+        if conn.peer_pid is not None:
+            src = conn.peer_pid
+        self.transport.deliver_local(dst, src, payload)
 
     # -- operations ------------------------------------------------------
     async def write(self, value: Any) -> Any:
@@ -252,6 +283,9 @@ class ClientEndpoint:
     async def _complete(
         self, start: Callable[..., OperationHandle], *args: Any
     ) -> Any:
+        # Deadline via call_later, not wait_for: wait_for spawns and
+        # cancels a task per operation, which at saturation throughput is
+        # measurable loop overhead for a timer that almost never fires.
         loop = asyncio.get_running_loop()
         handle = start(*args)
         future: asyncio.Future = loop.create_future()
@@ -260,10 +294,17 @@ class ClientEndpoint:
             if not future.done():
                 future.set_result(done)
 
+        def expire() -> None:
+            if not future.done():
+                future.set_result(TIMED_OUT)
+
         handle.on_done(settle)
+        timer = loop.call_later(self.op_timeout, expire)
         try:
-            finished = await asyncio.wait_for(future, self.op_timeout)
-        except asyncio.TimeoutError:
+            finished = await future
+        finally:
+            timer.cancel()
+        if finished is TIMED_OUT:
             self.timeouts += 1
             self.client.crash()
             self.client.restart()

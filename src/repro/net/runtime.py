@@ -1,0 +1,40 @@
+"""Event-loop selection for the live tier: uvloop when present, stdlib always.
+
+uvloop is an optional accelerator (the ``perf`` extra in pyproject), not a
+dependency: every live-tier feature runs identically on the stdlib loop,
+and the codebase never imports uvloop outside this module. Callers ask
+once, before any loop exists, and get told which runtime they got — the
+benchmark artifact records it so numbers are never compared across
+runtimes unknowingly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+__all__ = ["install_event_loop"]
+
+
+def install_event_loop(policy: str = "auto") -> str:
+    """Install the asyncio event-loop policy; returns the runtime name.
+
+    ``policy`` is ``"auto"`` (uvloop if importable, else stdlib),
+    ``"uvloop"`` (require it; ImportError if absent) or ``"asyncio"``
+    (force the stdlib loop even when uvloop is installed). Call before
+    ``asyncio.run``; returns ``"uvloop"`` or ``"asyncio"``.
+    """
+    if policy not in ("auto", "uvloop", "asyncio"):
+        raise ValueError(f"unknown loop policy {policy!r}")
+    if policy == "asyncio":
+        asyncio.set_event_loop_policy(asyncio.DefaultEventLoopPolicy())
+        return "asyncio"
+    try:
+        import uvloop  # type: ignore[import-not-found]
+    except ImportError:
+        if policy == "uvloop":
+            raise
+        # auto: the advertised fallback — stdlib loop, identical semantics.
+        asyncio.set_event_loop_policy(asyncio.DefaultEventLoopPolicy())
+        return "asyncio"
+    asyncio.set_event_loop_policy(uvloop.EventLoopPolicy())
+    return "uvloop"

@@ -11,14 +11,24 @@ backends are:
   so code written against the seam inherits every deterministic-replay
   guarantee of the sim.
 * :class:`StreamTransport` — asyncio TCP or unix-domain streams framed by
-  the ``repro-wire/1`` codec (:mod:`repro.net.wire`). Deliveries are
-  whenever the kernel says so; determinism of the *schedule* is
-  explicitly not promised (see ``docs/LIVE.md``), only faithfulness of
-  the payloads.
+  a ``repro-wire`` codec (:mod:`repro.net.wire`; v2 binary by default,
+  v1 JSON by configuration). Deliveries are whenever the kernel says so;
+  determinism of the *schedule* is explicitly not promised (see
+  ``docs/LIVE.md``), only faithfulness of the payloads.
 
 Both directions share :class:`~repro.sim.tracing.MessageStats`, so the
 message-complexity accounting of live runs is comparable with simulated
 ones.
+
+:class:`StreamConnection` is an :class:`asyncio.Protocol`, not a
+StreamReader pump: inbound bytes dispatch synchronously from
+``data_received`` (no per-frame task wakeups), and outbound envelopes
+*coalesce* — encoded frames accumulate in a buffer that flushes either on
+the next event-loop tick (``call_soon``) or as soon as it crosses a
+tunable watermark, so a burst of n messages to one peer costs one
+``send(2)`` instead of n. TCP_NODELAY (asyncio's default) makes the
+flush leave the host immediately; the watermark bounds latency under
+sustained load.
 """
 
 from __future__ import annotations
@@ -28,12 +38,10 @@ from abc import ABC, abstractmethod
 from typing import Any, Callable, Optional
 
 from repro.net.wire import (
+    DEFAULT_WIRE,
     FrameAssembler,
     WireError,
-    decode_envelope,
-    decode_hello,
-    encode_envelope,
-    hello_frame,
+    get_codec,
 )
 from repro.sim.environment import SimEnvironment
 from repro.sim.messages import Envelope
@@ -45,8 +53,12 @@ __all__ = [
     "SimTransport",
     "StreamConnection",
     "StreamTransport",
+    "HostFlusher",
+    "DEFAULT_FLUSH_WATERMARK",
     "parse_address",
     "format_address",
+    "open_frame_connection",
+    "start_frame_server",
 ]
 
 ReceiveFn = Callable[[str, Any], None]
@@ -116,119 +128,252 @@ class SimTransport(Transport):
 
 
 # ----------------------------------------------------------------------
-# backend 2: asyncio streams
+# backend 2: asyncio protocols
 # ----------------------------------------------------------------------
-class StreamConnection:
-    """One framed, identified stream to a peer.
+#: Flush the coalescing buffer immediately once it holds this many bytes;
+#: below it, frames batch until the end of the current dispatch burst. 64
+#: KiB keeps a full quorum round's worth of replies in one syscall without
+#: letting an open-loop burst build unbounded latency in user space.
+DEFAULT_FLUSH_WATERMARK = 64 * 1024
 
-    Owns the read pump: every inbound frame is decoded and handed to
-    ``on_envelope``; frames that fail to decode are counted as corrupted
-    and dropped (a live channel can carry garbage; correct hosts shrug).
+
+class HostFlusher:
+    """End-of-burst write coalescing shared by one host's connections.
+
+    A protocol step usually emits its sends *synchronously* — a server
+    answers from inside ``data_received``, a client fires the next phase's
+    broadcast from inside the reply dispatch. Connections mark themselves
+    dirty as frames accumulate; whoever finishes a dispatch burst calls
+    :meth:`flush` and every buffered frame leaves in one write per
+    connection. A ``call_soon`` backstop covers sends that originate
+    outside any burst (an operation's opening broadcast from a coroutine),
+    costing one loop callback per burst instead of one per frame.
+    """
+
+    __slots__ = ("_dirty", "_scheduled", "_in_burst")
+
+    def __init__(self) -> None:
+        self._dirty: list["StreamConnection"] = []
+        self._scheduled = False
+        # True while a connection of this host is inside data_received:
+        # the end-of-burst flush is guaranteed, so marks need no backstop.
+        self._in_burst = False
+
+    def mark(self, conn: "StreamConnection") -> None:
+        if not conn._dirty:
+            conn._dirty = True
+            self._dirty.append(conn)
+            if not (self._scheduled or self._in_burst):
+                self._scheduled = True
+                conn._loop.call_soon(self.flush)
+
+    def flush(self) -> None:
+        self._scheduled = False
+        dirty = self._dirty
+        if not dirty:
+            return
+        self._dirty = []
+        for conn in dirty:
+            conn._dirty = False
+            conn._flush()
+
+
+class StreamConnection(asyncio.Protocol):
+    """One framed, identified, *pipelined* stream to a peer.
+
+    Inbound: ``data_received`` feeds the assembler and dispatches every
+    complete frame synchronously — no reader task, no pump wakeups.
+    Frames that fail to decode are counted as corrupted and dropped (a
+    live channel can carry garbage; correct hosts shrug).
+
+    Outbound: :meth:`send_envelope` appends the encoded frame to a
+    coalescing buffer. The buffer flushes as one ``transport.write`` when
+    it crosses ``flush_watermark``, otherwise on the next loop tick — so
+    the burst of messages a protocol step emits (a broadcast, a quorum of
+    replies) leaves in a single writev-style send with no per-frame drain
+    stalls.
+
+    Construction is factory-style (the asyncio protocol contract): make
+    the instance, hand it to ``loop.create_connection``/``create_server``
+    via :func:`open_frame_connection`/:func:`start_frame_server`, then
+    handshake with :meth:`send_hello`/:meth:`expect_hello` and finally
+    :meth:`start_pump` to begin dispatching envelopes.
     """
 
     def __init__(
         self,
-        reader: asyncio.StreamReader,
-        writer: asyncio.StreamWriter,
         stats: MessageStats,
-        on_envelope: Callable[["StreamConnection", Envelope], None],
+        on_message: Callable[["StreamConnection", str, str, Any], None],
         on_close: Optional[Callable[["StreamConnection"], None]] = None,
+        codec: Optional[Any] = None,
+        flush_watermark: int = DEFAULT_FLUSH_WATERMARK,
+        on_connected: Optional[Callable[["StreamConnection"], None]] = None,
+        flusher: Optional[HostFlusher] = None,
     ) -> None:
-        self.reader = reader
-        self.writer = writer
         self.stats = stats
+        self.codec = codec if codec is not None else get_codec(DEFAULT_WIRE)
+        self.flush_watermark = flush_watermark
+        self._flusher = flusher
+        self._dirty = False
         self.peer_pid: Optional[str] = None
-        self._on_envelope = on_envelope
-        self._on_close = on_close
-        self._assembler = FrameAssembler()
-        self._extra: list[bytes] = []  # frames read past the HELLO
-        self._pump: Optional[asyncio.Task] = None
+        self.transport: Optional[asyncio.Transport] = None
         self.closed = False
+        self._on_message = on_message
+        self._on_close = on_close
+        self._on_connected = on_connected
+        self._assembler = FrameAssembler()
+        self._pending: list[bytes] = []  # frames received before start_pump
+        self._pumping = False
+        self._frame_waiter: Optional[asyncio.Future] = None
+        self._out = bytearray()
+        self._flush_scheduled = False
+        self._close_notified = False
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._closed_event = asyncio.Event()
+
+    # -- asyncio.Protocol ----------------------------------------------
+    def connection_made(self, transport: asyncio.BaseTransport) -> None:
+        self.transport = transport  # type: ignore[assignment]
+        self._loop = asyncio.get_running_loop()
+        if self._on_connected is not None:
+            self._on_connected(self)
+
+    def data_received(self, data: bytes) -> None:
+        try:
+            frames = self._assembler.feed(data)
+        except WireError:
+            # Desynchronized stream (garbage length word): the connection
+            # is unrecoverable, but the host is not.
+            self.stats.corrupted += 1
+            self._teardown()
+            return
+        flusher = self._flusher
+        if flusher is not None:
+            flusher._in_burst = True
+        try:
+            for frame in frames:
+                waiter = self._frame_waiter
+                if waiter is not None and not waiter.done():
+                    waiter.set_result(frame)
+                elif self._pumping:
+                    self._dispatch(frame)
+                else:
+                    # Piggybacked on the HELLO bytes; replayed by start_pump.
+                    self._pending.append(frame)
+        finally:
+            # End of this dispatch burst: everything the protocol replied
+            # with (on this or any sibling connection of the host) leaves
+            # now, one coalesced write per connection — no per-frame loop
+            # callbacks.
+            if flusher is not None:
+                flusher._in_burst = False
+                flusher.flush()
+
+    def connection_lost(self, exc: Optional[Exception]) -> None:
+        self.closed = True
+        self._closed_event.set()
+        waiter = self._frame_waiter
+        if waiter is not None and not waiter.done():
+            waiter.set_exception(WireError("connection closed before HELLO"))
+        self._notify_close()
 
     # -- handshake -----------------------------------------------------
     def send_hello(self, pid: str) -> None:
-        self.writer.write(hello_frame(pid))
+        # The handshake is latency-bound, not throughput-bound: bypass
+        # the coalescing buffer so the peer sees it on the first segment.
+        if self.transport is not None:
+            self.transport.write(self.codec.hello_frame(pid))
 
     async def expect_hello(self, timeout: float = 10.0) -> str:
-        """Read frames until the peer identifies itself (or fails to)."""
-        frame = await asyncio.wait_for(self._read_frame(), timeout)
-        if frame is None:
-            raise WireError("connection closed before HELLO")
-        self.peer_pid = decode_hello(frame)
+        """Wait for the peer to identify itself (or fail to)."""
+        frame = await asyncio.wait_for(self._next_frame(), timeout)
+        self.peer_pid = self.codec.decode_hello(frame)
         return self.peer_pid
 
-    # -- frames --------------------------------------------------------
-    async def _read_frame(self) -> Optional[bytes]:
-        while True:
-            data = await self.reader.read(65536)
-            if not data:
-                return None
-            frames = self._assembler.feed(data)
-            if frames:
-                # Frames that arrived piggybacked on the HELLO bytes are
-                # replayed by the pump in order.
-                self._extra = frames[1:]
-                return frames[0]
+    async def _next_frame(self) -> bytes:
+        if self._pending:
+            return self._pending.pop(0)
+        if self.closed:
+            raise WireError("connection closed before HELLO")
+        loop = asyncio.get_running_loop()
+        self._frame_waiter = loop.create_future()
+        try:
+            return await self._frame_waiter
+        finally:
+            self._frame_waiter = None
 
+    # -- outbound ------------------------------------------------------
     def send_envelope(self, env: Envelope) -> None:
-        """Queue one envelope on the stream (no await: writes are buffered
-        and flushed by the event loop; loopback benches never build enough
-        backlog for backpressure to matter, and the proxy throttles the
-        adversarial cases)."""
+        """Queue one envelope; see :meth:`send_payload`."""
+        self.send_payload(env.src, env.dst, env.payload, env.send_time)
+
+    def send_payload(
+        self, src: str, dst: str, payload: Any, send_time: float = 0.0
+    ) -> None:
+        """Queue one message; coalesced with whatever else this tick
+        produces (no await: backpressure never builds on loopback benches,
+        and the fault proxy throttles the adversarial cases)."""
         if self.closed:
             return
-        self.writer.write(encode_envelope(env))
+        out = self._out
+        self.codec.encode_payload_into(src, dst, send_time, payload, out)
+        if len(out) >= self.flush_watermark:
+            self._flush()
+        elif self._flusher is not None:
+            self._flusher.mark(self)
+        elif not self._flush_scheduled:
+            self._flush_scheduled = True
+            self._loop.call_soon(self._flush)
 
-    # -- pump ----------------------------------------------------------
+    def _flush(self) -> None:
+        self._flush_scheduled = False
+        if not self._out or self.closed or self.transport is None:
+            return
+        # bytes() copy: uvloop keeps a reference to the buffer until the
+        # kernel takes it, so handing over the mutable bytearray races.
+        self.transport.write(bytes(self._out))
+        self._out.clear()
+
+    # -- inbound dispatch ----------------------------------------------
     def start_pump(self) -> None:
-        self._pump = asyncio.get_running_loop().create_task(self._run_pump())
-
-    async def _run_pump(self) -> None:
-        try:
-            for frame in self._extra:
-                self._dispatch(frame)
-            self._extra = []
-            while True:
-                data = await self.reader.read(65536)
-                if not data:
-                    break
-                try:
-                    frames = self._assembler.feed(data)
-                except WireError:
-                    # Desynchronized stream (garbage length word): the
-                    # connection is unrecoverable, but the host is not.
-                    self.stats.corrupted += 1
-                    break
-                for frame in frames:
-                    self._dispatch(frame)
-        except (ConnectionError, asyncio.CancelledError):
-            pass
-        finally:
-            await self.close()
+        """Begin dispatching envelopes (replaying any buffered frames)."""
+        self._pumping = True
+        pending, self._pending = self._pending, []
+        for frame in pending:
+            self._dispatch(frame)
 
     def _dispatch(self, frame: bytes) -> None:
         try:
-            env = decode_envelope(frame)
+            src, dst, _send_time, payload = self.codec.decode_parts(frame)
         except WireError:
             self.stats.corrupted += 1
             return
-        self.stats.note_delivery(env.payload)
-        self._on_envelope(self, env)
+        self.stats.note_delivery(payload)
+        self._on_message(self, src, dst, payload)
 
     # -- lifecycle -----------------------------------------------------
-    async def close(self) -> None:
+    def _notify_close(self) -> None:
+        if not self._close_notified:
+            self._close_notified = True
+            if self._on_close is not None:
+                self._on_close(self)
+
+    def _teardown(self) -> None:
         if self.closed:
             return
         self.closed = True
-        if self._pump is not None and self._pump is not asyncio.current_task():
-            self._pump.cancel()
+        if self.transport is not None:
+            self.transport.close()
+        self._notify_close()
+
+    async def close(self) -> None:
+        if not self.closed:
+            self._flush()  # drain coalesced frames before FIN
+            self._teardown()
         try:
-            self.writer.close()
-            await self.writer.wait_closed()
-        except (ConnectionError, OSError):
+            await asyncio.wait_for(self._closed_event.wait(), 1.0)
+        except asyncio.TimeoutError:  # pragma: no cover - defensive
             pass
-        if self._on_close is not None:
-            self._on_close(self)
 
 
 class StreamTransport(Transport):
@@ -243,6 +388,9 @@ class StreamTransport(Transport):
         super().__init__()
         self._local: dict[str, ReceiveFn] = {}
         self._peers: dict[str, StreamConnection] = {}
+        #: Shared end-of-burst write coalescer for this host's connections
+        #: (pass to every StreamConnection the host creates).
+        self.flusher = HostFlusher()
 
     # -- Transport -----------------------------------------------------
     def attach(self, pid: str, receive: ReceiveFn) -> None:
@@ -262,7 +410,7 @@ class StreamTransport(Transport):
             self.stats.dropped += 1
             return
         self.stats.note_send(src, payload)
-        conn.send_envelope(Envelope(src=src, dst=dst, payload=payload))
+        conn.send_payload(src, dst, payload)
 
     # -- peer management -----------------------------------------------
     def bind_peer(self, pid: str, conn: StreamConnection) -> None:
@@ -335,5 +483,38 @@ async def start_server(address: str, handler) -> tuple[asyncio.AbstractServer, s
         return server, format_address("unix", detail)
     host, port = detail
     server = await asyncio.start_server(handler, host=host, port=port)
+    bound = server.sockets[0].getsockname()
+    return server, format_address("tcp", (host, bound[1]))
+
+
+async def open_frame_connection(
+    address: str, protocol_factory: Callable[[], StreamConnection]
+) -> StreamConnection:
+    """Dial ``address`` with a :class:`StreamConnection` protocol."""
+    loop = asyncio.get_running_loop()
+    family, detail = parse_address(address)
+    if family == "unix":
+        _, conn = await loop.create_unix_connection(protocol_factory, detail)
+    else:
+        host, port = detail
+        _, conn = await loop.create_connection(protocol_factory, host, port)
+    return conn
+
+
+async def start_frame_server(
+    address: str, protocol_factory: Callable[[], StreamConnection]
+) -> tuple[asyncio.AbstractServer, str]:
+    """Listen on ``address`` with :class:`StreamConnection` protocols.
+
+    Same address contract as :func:`start_server`; connection setup (the
+    HELLO handshake) belongs to the factory's ``on_connected`` hook.
+    """
+    loop = asyncio.get_running_loop()
+    family, detail = parse_address(address)
+    if family == "unix":
+        server = await loop.create_unix_server(protocol_factory, detail)
+        return server, format_address("unix", detail)
+    host, port = detail
+    server = await loop.create_server(protocol_factory, host=host, port=port)
     bound = server.sockets[0].getsockname()
     return server, format_address("tcp", (host, bound[1]))

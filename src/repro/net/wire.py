@@ -1,4 +1,4 @@
-"""The ``repro-wire/1`` codec: length-prefixed, versioned frames.
+"""The ``repro-wire/1`` and ``repro-wire/2`` codecs: length-prefixed frames.
 
 Live transports move the exact payload dataclasses the simulator moves —
 :mod:`repro.core.messages` protocol messages, bounded labels, MWMR
@@ -30,6 +30,19 @@ so a later ``repro-wire/1.x`` producer can add fields without breaking
 this decoder; a bumped *version byte* is rejected outright (the
 ``repro-fuzz-recipe/1`` → ``/2`` pattern: minor additions are tolerated,
 major revisions are explicit).
+
+``repro-wire/2`` (version byte 2) keeps the framing and the faithfulness
+contract but swaps the body for a struct-packed binary tree: fixed-width
+ints, length-prefixed strings and containers, a packed fast path for
+well-shaped Alon labels (sting + sorted antisting array as ``u32``), and
+a **tagged-JSON escape hatch** — any node the binary vocabulary cannot
+carry byte-faithfully (Garbage blobs, corrupted lookalike labels whose
+fields hold the wrong types or out-of-range values) is embedded as its
+``repro-wire/1`` JSON encoding. The hot protocol path never touches
+JSON; the adversarial path loses nothing. Both codecs are exposed as
+:func:`get_codec` objects with identical surfaces; a frame of either
+version is rejected by the other's decoder exactly as an unknown future
+version would be.
 """
 
 from __future__ import annotations
@@ -45,8 +58,15 @@ from repro.sim.messages import Envelope, Garbage
 __all__ = [
     "WIRE_FORMAT",
     "WIRE_VERSION",
+    "WIRE_FORMAT_V2",
+    "WIRE_VERSION_V2",
+    "DEFAULT_WIRE",
     "MAX_FRAME",
     "WireError",
+    "get_codec",
+    "CODECS",
+    "JsonCodec",
+    "BinaryCodec",
     "encode_value",
     "decode_value",
     "encode_frame",
@@ -103,13 +123,20 @@ _MESSAGE_TYPES: dict[str, type] = {
 }
 
 
+_LABEL_TYPES: Optional[tuple[type, type]] = None
+
+
 def _label_types() -> tuple[type, type]:
     # Deferred import: labels/ must stay importable without net/ (NET001
     # enforces the reverse direction; this keeps module import light).
-    from repro.labels.alon import AlonLabel
-    from repro.labels.ordering import MwmrTimestamp
+    # Cached after the first call — this sits on the per-message hot path.
+    global _LABEL_TYPES
+    if _LABEL_TYPES is None:
+        from repro.labels.alon import AlonLabel
+        from repro.labels.ordering import MwmrTimestamp
 
-    return AlonLabel, MwmrTimestamp
+        _LABEL_TYPES = (AlonLabel, MwmrTimestamp)
+    return _LABEL_TYPES
 
 
 def encode_value(value: Any) -> Any:
@@ -306,8 +333,30 @@ class FrameAssembler:
 
     def feed(self, data: bytes) -> list[bytes]:
         """Append ``data``; return every now-complete frame body."""
+        if not self._buf:
+            # Fast path: no partial frame pending, so complete frames can
+            # be sliced straight out of ``data`` without the extend/del
+            # churn on the carry buffer (the overwhelmingly common case —
+            # a read usually delivers whole frames).
+            frames: list[bytes] = []
+            pos, size = 0, len(data)
+            while size - pos >= 4:
+                length = _HEADER.unpack_from(data, pos)[0]
+                if length > MAX_FRAME:
+                    raise WireError(
+                        f"declared frame length {length} exceeds MAX_FRAME — "
+                        f"stream is garbage or adversarial"
+                    )
+                end = pos + 4 + length
+                if end > size:
+                    break
+                frames.append(bytes(data[pos + 4 : end]))
+                pos = end
+            if pos < size:
+                self._buf.extend(data[pos:])
+            return frames
         self._buf.extend(data)
-        frames: list[bytes] = []
+        frames = []
         while True:
             if len(self._buf) < _HEADER.size:
                 return frames
@@ -326,3 +375,602 @@ class FrameAssembler:
     @property
     def pending_bytes(self) -> int:
         return len(self._buf)
+
+
+# ----------------------------------------------------------------------
+# repro-wire/2: struct-packed binary bodies with a JSON escape hatch
+# ----------------------------------------------------------------------
+#: Format tag / version byte of the binary codec.
+WIRE_FORMAT_V2 = "repro-wire/2"
+WIRE_VERSION_V2 = 2
+#: The version new connections speak unless configured otherwise.
+DEFAULT_WIRE = 2
+
+_U32 = struct.Struct(">I")
+_I64 = struct.Struct(">q")
+_F64 = struct.Struct(">d")
+_I64_MIN, _I64_MAX = -(2**63), 2**63 - 1
+
+# One-byte node tags. The vocabulary is closed: every tag below, and
+# nothing else, may appear in a v2 body. ENV and HELLO are frame-level
+# tags — meeting one where a value is expected is a WireError.
+_T_NONE = 0x00
+_T_TRUE = 0x01
+_T_FALSE = 0x02
+_T_I64 = 0x03
+_T_BIGINT = 0x04  # decimal ASCII, for ints beyond 64 bits
+_T_F64 = 0x05
+_T_STR = 0x06
+_T_TUPLE = 0x07
+_T_LIST = 0x08
+_T_FSET = 0x09
+_T_ALONP = 0x0A  # packed well-shaped AlonLabel: u32 sting + u8 n + n*u32
+_T_MWMR = 0x0B
+_T_MSG = 0x0C
+_T_ENV = 0x0D
+_T_HELLO = 0x0E
+_T_JSONESC = 0x0F  # embedded repro-wire/1 JSON node (the escape hatch)
+
+#: Fixed positional registry for _T_MSG: index on the wire is position in
+#: this tuple. Append-only — reordering is a wire-breaking change.
+_MESSAGE_ORDER: tuple[type, ...] = (
+    protocol_messages.GetTs,
+    protocol_messages.TsReply,
+    protocol_messages.WriteRequest,
+    protocol_messages.WriteAck,
+    protocol_messages.WriteNack,
+    protocol_messages.ReadRequest,
+    protocol_messages.ReadReply,
+    protocol_messages.CompleteRead,
+    protocol_messages.Flush,
+    protocol_messages.FlushAck,
+)
+_MESSAGE_INDEX: dict[type, int] = {cls: i for i, cls in enumerate(_MESSAGE_ORDER)}
+_MESSAGE_FIELDS: dict[type, tuple] = {
+    cls: dataclasses.fields(cls) for cls in _MESSAGE_ORDER
+}
+
+#: Capped memo of packed label encodings/decodings (the Alon domain for a
+#: deployed n is tiny — n=6 has 57 labels — so these saturate instantly;
+#: the cap only matters under fuzzing). Same pattern as
+#: ``AlonLabelingScheme._CACHE_LIMIT``.
+_ALON_CACHE_LIMIT = 65536
+_ALON_DEC: dict[bytes, Any] = {}
+
+#: Identity-memo "empty" marker; `is`-distinct from every encodable value.
+_MEMO_UNSET = object()
+
+
+def _enc2_rawstr(out: bytearray, s: str) -> None:
+    raw = s.encode("utf-8", "surrogatepass")
+    out += _U32.pack(len(raw))
+    out += raw
+
+
+def _pack_alon(label: Any, codec: "BinaryCodec") -> Optional[bytes]:
+    """The ALONP fast path, or ``None`` if the label is not well-shaped.
+
+    Only exact-``int`` stings in ``[0, 2**32)`` and frozensets of at most
+    255 such ints qualify — anything a scrambled replica bent out of that
+    shape (negative stings, alien types, oversized sets) falls through to
+    the JSON escape hatch so it survives byte-faithfully.
+    """
+    cache = codec._alon_enc
+    try:
+        hit = cache.get(label)
+    except TypeError:  # unhashable lookalike fields (e.g. list antistings)
+        return None
+    if hit is not None:
+        return hit
+    sting, ants = label.sting, label.antistings
+    if type(sting) is not int or not 0 <= sting < 2**32:
+        return None
+    if type(ants) is not frozenset or len(ants) > 255:
+        return None
+    for a in ants:
+        if type(a) is not int or not 0 <= a < 2**32:
+            return None
+    out = bytearray((_T_ALONP,))
+    out += _U32.pack(sting)
+    out.append(len(ants))
+    for a in sorted(ants):
+        out += _U32.pack(a)
+    packed = bytes(out)
+    if len(cache) < _ALON_CACHE_LIMIT:
+        cache[label] = packed
+    return packed
+
+
+def _enc2_escape(value: Any, out: bytearray, codec: "BinaryCodec") -> None:
+    # encode_value raises WireError for out-of-vocabulary objects, so the
+    # escape hatch widens *faithfulness*, never the vocabulary itself.
+    blob = json.dumps(encode_value(value), separators=(",", ":")).encode("utf-8")
+    codec.esc_encodes += 1
+    out.append(_T_JSONESC)
+    out += _U32.pack(len(blob))
+    out += blob
+
+
+def _enc2(value: Any, out: bytearray, codec: "BinaryCodec") -> None:
+    # Exact-type dispatch: bool is not int, 1 is not 1.0, subclasses and
+    # lookalikes drop to the escape hatch. Faithfulness includes types.
+    if value is None:
+        out.append(_T_NONE)
+        return
+    t = type(value)
+    if t is bool:
+        out.append(_T_TRUE if value else _T_FALSE)
+        return
+    if t is int:
+        if _I64_MIN <= value <= _I64_MAX:
+            out.append(_T_I64)
+            out += _I64.pack(value)
+        else:
+            digits = str(value).encode("ascii")
+            out.append(_T_BIGINT)
+            out += _U32.pack(len(digits))
+            out += digits
+        return
+    if t is float:
+        out.append(_T_F64)
+        out += _F64.pack(value)
+        return
+    if t is str:
+        out.append(_T_STR)
+        _enc2_rawstr(out, value)
+        return
+    AlonLabel, MwmrTimestamp = _label_types()
+    if t is AlonLabel:
+        packed = _pack_alon(value, codec)
+        if packed is not None:
+            out += packed
+        else:
+            _enc2_escape(value, out, codec)
+        return
+    if t is MwmrTimestamp:
+        # Identity-keyed memo: a server's current `ts` object is stable
+        # across many replies and rides along inside every old_vals entry.
+        # The strong ref in the entry keeps the id valid; only shapes with
+        # no reachable mutable state (packed label + str/None writer) are
+        # cached, so in-place mutation can never stale an entry. The id()
+        # is a cache key only, revalidated by identity below — a miss or
+        # collision re-encodes to identical bytes, so run-to-run id
+        # variation cannot reach the wire.
+        cache = codec._mwmr_enc
+        entry = cache.get(id(value))  # lint-ok: DET004
+        if entry is not None and entry[0] is value:
+            out += entry[1]
+            return
+        start = len(out)
+        out.append(_T_MWMR)
+        label = value.label
+        writer = value.writer_id
+        packed = None
+        if type(label) is AlonLabel:
+            packed = _pack_alon(label, codec)
+        if packed is not None:
+            out += packed
+        else:
+            _enc2(label, out, codec)
+        _enc2(writer, out, codec)
+        if packed is not None and (writer is None or type(writer) is str):
+            if len(cache) >= _ALON_CACHE_LIMIT:
+                cache.clear()
+            cache[id(value)] = (value, bytes(out[start:]))  # lint-ok: DET004
+        return
+    if t is tuple or t is list:
+        out.append(_T_TUPLE if t is tuple else _T_LIST)
+        out += _U32.pack(len(value))
+        for v in value:
+            _enc2(v, out, codec)
+        return
+    if t is frozenset:
+        # Canonical order = sort by encoded bytes: identical sets encode
+        # to identical frames regardless of iteration order.
+        encoded = []
+        for v in value:
+            item = bytearray()
+            _enc2(v, item, codec)
+            encoded.append(bytes(item))
+        encoded.sort()
+        out.append(_T_FSET)
+        out += _U32.pack(len(encoded))
+        for item in encoded:
+            out += item
+        return
+    idx = _MESSAGE_INDEX.get(t)
+    if idx is not None:
+        fields = _MESSAGE_FIELDS[t]
+        out.append(_T_MSG)
+        out.append(idx)
+        out.append(len(fields))
+        for f in fields:
+            _enc2(getattr(value, f.name), out, codec)
+        return
+    _enc2_escape(value, out, codec)
+
+
+def _need(buf: bytes, pos: int, n: int) -> None:
+    if pos + n > len(buf):
+        raise WireError("truncated v2 frame body")
+
+
+def _dec2_len(buf: bytes, pos: int) -> tuple[int, int]:
+    _need(buf, pos, 4)
+    return _U32.unpack_from(buf, pos)[0], pos + 4
+
+
+def _dec2_count(buf: bytes, pos: int) -> tuple[int, int]:
+    n, pos = _dec2_len(buf, pos)
+    # Each element occupies at least one byte; an adversarial count can
+    # never allocate more elements than there are bytes left.
+    if n > len(buf) - pos:
+        raise WireError(f"v2 container count {n} exceeds remaining bytes")
+    return n, pos
+
+
+def _dec2_rawstr(buf: bytes, pos: int) -> tuple[str, int]:
+    n, pos = _dec2_len(buf, pos)
+    _need(buf, pos, n)
+    try:
+        return bytes(buf[pos : pos + n]).decode("utf-8", "surrogatepass"), pos + n
+    except UnicodeDecodeError as exc:
+        raise WireError(f"undecodable v2 string: {exc}") from None
+
+
+def _dec2(buf: bytes, pos: int) -> tuple[Any, int]:
+    # Bounds guards and the string path are inlined: this function runs
+    # ~18 times per hot envelope and call overhead dominated the profile.
+    size = len(buf)
+    if pos >= size:
+        raise WireError("truncated v2 frame body")
+    tag = buf[pos]
+    pos += 1
+    if tag == _T_NONE:
+        return None, pos
+    if tag == _T_TRUE:
+        return True, pos
+    if tag == _T_FALSE:
+        return False, pos
+    if tag == _T_I64:
+        if pos + 8 > size:
+            raise WireError("truncated v2 frame body")
+        return _I64.unpack_from(buf, pos)[0], pos + 8
+    if tag == _T_F64:
+        if pos + 8 > size:
+            raise WireError("truncated v2 frame body")
+        return _F64.unpack_from(buf, pos)[0], pos + 8
+    if tag == _T_STR:
+        if pos + 4 > size:
+            raise WireError("truncated v2 frame body")
+        n = _U32.unpack_from(buf, pos)[0]
+        pos += 4
+        if pos + n > size:
+            raise WireError("truncated v2 frame body")
+        try:
+            return bytes(buf[pos : pos + n]).decode("utf-8", "surrogatepass"), pos + n
+        except UnicodeDecodeError as exc:
+            raise WireError(f"undecodable v2 string: {exc}") from None
+    if tag == _T_BIGINT:
+        n, pos = _dec2_len(buf, pos)
+        _need(buf, pos, n)
+        raw = bytes(buf[pos : pos + n])
+        try:
+            return int(raw.decode("ascii")), pos + n
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise WireError(f"malformed v2 bigint: {exc}") from None
+    if tag == _T_TUPLE or tag == _T_LIST:
+        n, pos = _dec2_count(buf, pos)
+        items = []
+        for _ in range(n):
+            v, pos = _dec2(buf, pos)
+            items.append(v)
+        return (tuple(items) if tag == _T_TUPLE else items), pos
+    if tag == _T_FSET:
+        n, pos = _dec2_count(buf, pos)
+        items = []
+        for _ in range(n):
+            v, pos = _dec2(buf, pos)
+            items.append(v)
+        try:
+            return frozenset(items), pos
+        except TypeError as exc:  # adversarial bytes: unhashable elements
+            raise WireError(f"unhashable v2 frozenset element: {exc}") from None
+    if tag == _T_ALONP:
+        start = pos - 1
+        _need(buf, pos, 5)
+        sting = _U32.unpack_from(buf, pos)[0]
+        count = buf[pos + 4]
+        pos += 5
+        _need(buf, pos, 4 * count)
+        end = pos + 4 * count
+        span = bytes(buf[start:end])
+        label = _ALON_DEC.get(span)
+        if label is None:
+            AlonLabel, _ = _label_types()
+            label = AlonLabel(
+                sting=sting,
+                antistings=frozenset(
+                    _U32.unpack_from(buf, pos + 4 * i)[0] for i in range(count)
+                ),
+            )
+            if len(_ALON_DEC) < _ALON_CACHE_LIMIT:
+                _ALON_DEC[span] = label
+        return label, end
+    if tag == _T_MWMR:
+        _, MwmrTimestamp = _label_types()
+        label, pos = _dec2(buf, pos)
+        writer, pos = _dec2(buf, pos)
+        return MwmrTimestamp(label=label, writer_id=writer), pos
+    if tag == _T_MSG:
+        _need(buf, pos, 2)
+        idx = buf[pos]
+        nvals = buf[pos + 1]
+        pos += 2
+        if idx >= len(_MESSAGE_ORDER):
+            raise WireError(f"unknown message type index {idx}")
+        cls = _MESSAGE_ORDER[idx]
+        fields = _MESSAGE_FIELDS[cls]
+        if nvals < len(fields):
+            raise WireError(
+                f"message {cls.__name__} missing fields: carries {nvals} of "
+                f"{len(fields)}"
+            )
+        vals = []
+        for _ in range(nvals):
+            v, pos = _dec2(buf, pos)
+            vals.append(v)
+        # Extra positional values from a newer minor revision are dropped,
+        # mirroring v1's ignore-unknown-keys rule.
+        return cls(*vals[: len(fields)]), pos
+    if tag == _T_JSONESC:
+        n, pos = _dec2_len(buf, pos)
+        _need(buf, pos, n)
+        try:
+            node = json.loads(bytes(buf[pos : pos + n]).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise WireError(f"unparseable v2 escape blob: {exc}") from None
+        return decode_value(node), pos + n
+    raise WireError(f"unknown v2 wire tag 0x{tag:02x}")
+
+
+def _encode_body2(payload: bytes) -> bytes:
+    frame = _MAGIC + b"\x02" + payload
+    if len(frame) > MAX_FRAME:
+        raise WireError(f"frame of {len(frame)} bytes exceeds MAX_FRAME")
+    return _HEADER.pack(len(frame)) + frame
+
+
+def _check_body2(frame: bytes) -> bytes:
+    if len(frame) < 3 or frame[:2] != _MAGIC:
+        raise WireError("bad frame magic")
+    if frame[2] != WIRE_VERSION_V2:
+        raise WireError(
+            f"unsupported wire version {frame[2]} (this codec speaks "
+            f"{WIRE_FORMAT_V2})"
+        )
+    return frame
+
+
+def _guard_dec2(body: bytes, pos: int) -> tuple[Any, int]:
+    """Run :func:`_dec2` with every parse failure folded into WireError."""
+    try:
+        return _dec2(body, pos)
+    except WireError:
+        raise
+    except (struct.error, ValueError, TypeError, OverflowError, IndexError) as exc:
+        raise WireError(f"unparseable v2 frame body: {exc}") from None
+
+
+class BinaryCodec:
+    """The ``repro-wire/2`` codec: packed hot path, JSON escape hatch.
+
+    Mirrors the module-level v1 functions method-for-method so transports
+    can hold either codec behind one variable. ``esc_encodes`` counts how
+    often the escape hatch fired — live tests use it to prove lookalike
+    labels really took the adversarial path.
+    """
+
+    version = WIRE_VERSION_V2
+    format = WIRE_FORMAT_V2
+
+    pack_frame = staticmethod(pack_frame)
+
+    #: Decode-side payload memo cap; cleared wholesale when full (payload
+    #: spans churn with every new timestamp, so LRU bookkeeping would
+    #: cost more than the occasional cold refill).
+    _PAYLOAD_CACHE_LIMIT = 4096
+
+    def __init__(self) -> None:
+        self.esc_encodes = 0
+        self._alon_enc: dict[Any, bytes] = {}
+        # Broadcast amortization: a protocol step sends one payload object
+        # to many destinations (and, loopback, many hosts decode identical
+        # payload bytes). Both memos are restricted to registered message
+        # dataclasses — frozen, so sharing one decoded object between
+        # receivers is safe, and identity-keying the encoder is sound.
+        # Sentinel, not None: a literal None payload must never match an
+        # empty memo (the differential suite caught exactly that).
+        self._enc_payload_obj: Any = _MEMO_UNSET
+        self._enc_payload_bytes: bytes = b""
+        self._dec_payloads: dict[bytes, Any] = {}
+        self._mwmr_enc: dict[int, tuple[Any, bytes]] = {}
+        self._env_prefix: dict[tuple[str, str], bytes] = {}
+        # Decode twin of _env_prefix: raw (src, dst) header bytes -> the
+        # parsed pair and its end offset. The v2 encoding is length-
+        # prefixed, hence prefix-free: if the first L bytes of a body
+        # equal a cached L-byte key, the full parse is already determined
+        # byte-for-byte, so replaying the cached result is exact. A
+        # cluster has ~n*m (src, dst) pairs — a handful of key lengths.
+        self._dec_prefix: dict[bytes, tuple[str, str, int]] = {}
+        self._dec_prefix_lens: list[int] = []
+
+    def encode_frame(self, value: Any) -> bytes:
+        out = bytearray()
+        _enc2(value, out, self)
+        return _encode_body2(bytes(out))
+
+    def decode_frame(self, frame: bytes) -> Any:
+        body = _check_body2(frame)
+        value, end = _guard_dec2(body, 3)
+        if end != len(body):
+            raise WireError(f"{len(body) - end} trailing bytes after v2 value")
+        return value
+
+    def encode_envelope(self, env: Envelope) -> bytes:
+        out = bytearray()
+        self.encode_payload_into(env.src, env.dst, env.send_time, env.payload, out)
+        return bytes(out)
+
+    def encode_envelope_into(self, env: Envelope, out: bytearray) -> None:
+        """Append the full framed envelope to ``out``."""
+        self.encode_payload_into(env.src, env.dst, env.send_time, env.payload, out)
+
+    def encode_payload_into(
+        self, src: str, dst: str, send_time: float, payload: Any, out: bytearray
+    ) -> None:
+        """Append a framed envelope built from its parts to ``out``.
+
+        The hot-path variant: connections pass their coalescing buffer so
+        the frame is built in place, with no intermediate bytes objects
+        and no :class:`Envelope` allocation.
+        """
+        base = len(out)
+        out += b"\x00\x00\x00\x00"  # length placeholder, patched below
+        out += _MAGIC
+        out.append(WIRE_VERSION_V2)
+        key = (src, dst)
+        prefix = self._env_prefix.get(key)
+        if prefix is None:
+            head = bytearray((_T_ENV,))
+            _enc2_rawstr(head, src)
+            _enc2_rawstr(head, dst)
+            prefix = bytes(head)
+            if len(self._env_prefix) < self._PAYLOAD_CACHE_LIMIT:
+                self._env_prefix[key] = prefix
+        out += prefix
+        out += _F64.pack(send_time)
+        if payload is self._enc_payload_obj:
+            out += self._enc_payload_bytes
+        else:
+            start = len(out)
+            _enc2(payload, out, self)
+            if type(payload) in _MESSAGE_INDEX:
+                self._enc_payload_obj = payload  # strong ref: id stays valid
+                self._enc_payload_bytes = bytes(out[start:])
+        length = len(out) - base - 4
+        if length > MAX_FRAME:
+            raise WireError(f"frame of {length} bytes exceeds MAX_FRAME")
+        _HEADER.pack_into(out, base, length)
+
+    def decode_parts(self, frame: bytes) -> tuple[str, str, float, Any]:
+        """Decode an envelope frame to ``(src, dst, send_time, payload)``.
+
+        The hot-path variant of :meth:`decode_envelope`: same validation,
+        no :class:`Envelope` allocation, and the (src, dst) header parse
+        is memoized on its raw byte prefix.
+        """
+        body = _check_body2(frame)
+        if len(body) < 4 or body[3] != _T_ENV:
+            raise WireError("expected an envelope frame")
+        src = None
+        for ln in self._dec_prefix_lens:
+            hit = self._dec_prefix.get(body[4 : 4 + ln])
+            if hit is not None:
+                src, dst, pos = hit
+                break
+        if src is None:
+            try:
+                src, pos = _dec2_rawstr(body, 4)
+                dst, pos = _dec2_rawstr(body, pos)
+            except WireError:
+                raise
+            except struct.error as exc:
+                raise WireError(f"malformed v2 envelope: {exc}") from None
+            if len(self._dec_prefix) < self._PAYLOAD_CACHE_LIMIT:
+                self._dec_prefix[bytes(body[4:pos])] = (src, dst, pos)
+                if pos - 4 not in self._dec_prefix_lens:
+                    self._dec_prefix_lens.append(pos - 4)
+        _need(body, pos, 8)
+        send_time = _F64.unpack_from(body, pos)[0]
+        pos += 8
+        span = bytes(body[pos:])
+        payload = self._dec_payloads.get(span)
+        if payload is None:
+            payload, end = _guard_dec2(body, pos)
+            if end != len(body):
+                raise WireError(
+                    f"{len(body) - end} trailing bytes after v2 envelope"
+                )
+            if type(payload) in _MESSAGE_INDEX:
+                if len(self._dec_payloads) >= self._PAYLOAD_CACHE_LIMIT:
+                    self._dec_payloads.clear()
+                self._dec_payloads[span] = payload
+        return src, dst, send_time, payload
+
+    def decode_envelope(self, frame: bytes) -> Envelope:
+        src, dst, send_time, payload = self.decode_parts(frame)
+        return Envelope(src=src, dst=dst, payload=payload, send_time=send_time)
+
+    def hello_frame(self, pid: str) -> bytes:
+        out = bytearray((_T_HELLO,))
+        _enc2_rawstr(out, self.format)
+        _enc2_rawstr(out, pid)
+        return _encode_body2(bytes(out))
+
+    def decode_hello(self, frame: bytes) -> str:
+        body = _check_body2(frame)
+        if len(body) < 4 or body[3] != _T_HELLO:
+            raise WireError("expected a hello frame")
+        fmt, pos = _dec2_rawstr(body, 4)
+        if fmt != self.format:
+            raise WireError(
+                f"peer speaks {fmt!r}, this codec speaks {self.format!r}"
+            )
+        pid, end = _dec2_rawstr(body, pos)
+        if end != len(body):
+            raise WireError("trailing bytes after v2 hello")
+        return pid
+
+
+class JsonCodec:
+    """The ``repro-wire/1`` functions wrapped as a codec object."""
+
+    version = WIRE_VERSION
+    format = WIRE_FORMAT
+    #: Surface parity with BinaryCodec; v1 is all-JSON so this never moves.
+    esc_encodes = 0
+
+    encode_frame = staticmethod(encode_frame)
+    decode_frame = staticmethod(decode_frame)
+    encode_envelope = staticmethod(encode_envelope)
+    decode_envelope = staticmethod(decode_envelope)
+    hello_frame = staticmethod(hello_frame)
+    decode_hello = staticmethod(decode_hello)
+    pack_frame = staticmethod(pack_frame)
+
+    def encode_envelope_into(self, env: Envelope, out: bytearray) -> None:
+        out += encode_envelope(env)
+
+    def encode_payload_into(
+        self, src: str, dst: str, send_time: float, payload: Any, out: bytearray
+    ) -> None:
+        out += encode_envelope(
+            Envelope(src=src, dst=dst, payload=payload, send_time=send_time)
+        )
+
+    def decode_parts(self, frame: bytes) -> tuple[str, str, float, Any]:
+        env = decode_envelope(frame)
+        return env.src, env.dst, env.send_time, env.payload
+
+
+#: Singleton codec registry; transports resolve versions through this.
+CODECS: dict[int, Any] = {WIRE_VERSION: JsonCodec(), WIRE_VERSION_V2: BinaryCodec()}
+
+
+def get_codec(version: int = DEFAULT_WIRE) -> Any:
+    """Resolve a wire version to its codec singleton."""
+    try:
+        return CODECS[version]
+    except KeyError:
+        raise WireError(f"unknown wire version {version!r}") from None

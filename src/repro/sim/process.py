@@ -157,6 +157,8 @@ class Process:
             handle._callbacks.clear()
 
     def _poll_waits(self) -> None:
+        if not self._pending_ops:
+            return  # servers: every delivery pays this check, nothing more
         # Iterate over a copy: resuming an operation may complete it (and
         # remove it) or, in principle, start new ones.
         for handle in list(self._pending_ops):

@@ -59,7 +59,13 @@ class MessageStats:
         return name
 
     def note_send(self, src: str, payload: Any) -> None:
-        self.sent_by_type[self._type_name(payload)] += 1
+        # Memo inlined: these two run once per message on the live tier's
+        # hot path, where even one extra function call is visible.
+        tp = type(payload)
+        name = self._type_names.get(tp)
+        if name is None:
+            name = self._type_names[tp] = tp.__name__
+        self.sent_by_type[name] += 1
         self.sent_by_process[src] += 1
 
     def note_sends(self, src: str, payload: Any, count: int) -> None:
@@ -68,7 +74,11 @@ class MessageStats:
         self.sent_by_process[src] += count
 
     def note_delivery(self, payload: Any) -> None:
-        self.delivered_by_type[self._type_name(payload)] += 1
+        tp = type(payload)
+        name = self._type_names.get(tp)
+        if name is None:
+            name = self._type_names[tp] = tp.__name__
+        self.delivered_by_type[name] += 1
 
     def merged_with(self, other: "MessageStats") -> "MessageStats":
         out = MessageStats()

@@ -19,7 +19,10 @@ from repro.net import (
     FaultPolicy,
     LiveRegisterCluster,
     benchmark,
+    get_codec,
     run_load,
+    run_open_load,
+    saturation_sweep,
 )
 from repro.spec.history import OpStatus
 
@@ -107,6 +110,60 @@ class TestLiveCluster:
         assert value == "over-uds"
         assert verdict.ok
 
+    def test_wire_v1_cluster_still_interoperates(self):
+        # The JSON codec stays a first-class configuration: a whole
+        # cluster speaking repro-wire/1 behaves identically.
+        async def scenario():
+            async with LiveRegisterCluster(
+                CONFIG, n_clients=2, seed=8, wire=1
+            ) as c:
+                assert c.wire_format == "repro-wire/1"
+                await c.write("c0", "json-wire")
+                value = await c.read("c1")
+                return value, c.check_regularity(algorithm="sweep")
+
+        value, verdict = run(scenario())
+        assert value == "json-wire"
+        assert verdict.ok
+
+    def test_lookalike_labels_cross_the_v2_wire_and_stay_clean(self):
+        # The acceptance scenario for byte-faithfulness: a stale-replay
+        # Byzantine server plus a *correct* server whose volatile state is
+        # seeded with a corrupted lookalike timestamp (negative sting,
+        # out-of-domain antistings — unpackable, so it must ride the JSON
+        # escape hatch). The protocol stabilizes past both and the sweep
+        # checker stays CLEAN; esc_encodes moving proves the lookalike
+        # really took the adversarial encode path.
+        from repro.labels.alon import AlonLabel
+        from repro.labels.ordering import MwmrTimestamp
+
+        async def scenario():
+            codec = get_codec(2)
+            esc_before = codec.esc_encodes
+            byz = {"s5": STRATEGY_ZOO["stale-replay"]}
+            async with LiveRegisterCluster(
+                CONFIG, n_clients=2, seed=13, byzantine=byz
+            ) as c:
+                lookalike = MwmrTimestamp(
+                    label=AlonLabel(
+                        sting=-7, antistings=frozenset({-1, 0, 10**9})
+                    ),
+                    writer_id=None,
+                )
+                c.daemons["s0"].process.ts = lookalike
+                load = await run_load(c, duration=1.0, warmup=0.2, seed=13)
+                return (
+                    load,
+                    c.check_regularity(algorithm="sweep"),
+                    codec.esc_encodes - esc_before,
+                )
+
+        load, verdict, esc_delta = run(scenario())
+        assert load.completed > 0
+        assert load.timeouts == 0
+        assert verdict.ok, verdict.violations
+        assert esc_delta > 0  # the lookalike crossed the wire via the hatch
+
     def test_abort_is_distinct_from_timeout(self):
         # ABORT is a protocol outcome and flows through the live path
         # unchanged; TIMED_OUT is a deployment outcome. They must never
@@ -121,11 +178,13 @@ class TestBenchmarkArtifact:
                 return await benchmark(c, duration=0.6, warmup=0.2, seed=6)
 
         bench = run(scenario())
-        assert bench["format"] == "repro-bench-live/1"
-        assert bench["wire"] == "repro-wire/1"
+        assert bench["format"] == "repro-bench-live/2"
+        assert bench["wire"] == "repro-wire/2"
         assert bench["config"]["n"] == 6 and bench["config"]["f"] == 1
+        assert bench["config"]["mode"] == "closed"
         assert bench["verdict"]["clean"] is True
         load = bench["load"]
+        assert load["mode"] == "closed"
         assert load["ops_per_s"] > 0
         for kind in ("read_latency_s", "write_latency_s"):
             summary = load[kind]
@@ -136,6 +195,62 @@ class TestBenchmarkArtifact:
                 assert 0 < summary["p50"] <= summary["p99"] <= summary["max"]
         assert bench["messages"]["sent"] > 0
         assert bench["history_ops"] > 0
+
+    def test_open_loop_benchmark_and_sweep_artifact(self):
+        async def scenario():
+            def make_cluster():
+                return LiveRegisterCluster(CONFIG, n_clients=2, seed=11)
+
+            sweep = saturation_sweep(
+                make_cluster,
+                rates=[150.0, 300.0],
+                duration=0.6,
+                warmup=0.2,
+                seed=11,
+            )
+            async with make_cluster() as c:
+                return await benchmark(
+                    c,
+                    duration=0.6,
+                    warmup=0.2,
+                    seed=11,
+                    mode="open",
+                    rate=200.0,
+                    sweep=sweep,
+                )
+
+        bench = run(scenario())
+        assert bench["config"]["mode"] == "open"
+        load = bench["load"]
+        assert load["mode"] == "open"
+        assert load["offered_ops_per_s"] == 200.0
+        assert bench["verdict"]["clean"] is True
+        points = bench["sweep"]
+        assert [pt["offered_ops_per_s"] for pt in points] == [150.0, 300.0]
+        for pt in points:
+            assert pt["clean"] is True
+            assert pt["completed"] > 0
+            assert 0 <= pt["read_p50_s"] <= pt["read_p99_s"]
+            assert 0 <= pt["write_p50_s"] <= pt["write_p99_s"]
+
+    def test_open_loop_latency_includes_queueing_delay(self):
+        # Offered load far beyond saturation: achieved throughput caps at
+        # the service rate and p99 latency inflates with queueing — the
+        # signal a closed loop structurally cannot produce.
+        async def scenario():
+            async with LiveRegisterCluster(CONFIG, n_clients=1, seed=12) as c:
+                load = await run_open_load(
+                    c, rate=100_000.0, duration=0.6, warmup=0.1, seed=12
+                )
+                return load
+
+        load = run(scenario())
+        assert load.completed > 0
+        assert load.throughput < 50_000  # nowhere near the offered rate
+        # Queueing delay accumulates: the p99 sample is far above one
+        # closed-loop service time (~ms) because arrivals outpace service.
+        worst = max(load.read_latency.max, load.write_latency.max)
+        assert worst > 0.05
 
     def test_seeded_workload_issues_identical_op_sequences(self):
         # The *sequence* of operations is deterministic per seed (the

@@ -143,16 +143,112 @@ class TestAddresses:
             parse_address("tcp:nonsense")
 
 
-class TestStreamLoopback:
-    def test_hello_then_envelopes_over_a_real_socket(self):
-        # Minimal two-host exchange exercising StreamConnection pumps,
-        # piggybacked-frame replay and peer binding.
+class TestCoalescingPipeline:
+    async def _loopback_pair(self, flush_watermark, got, client_transport):
+        # One dialed connection with a counting transport.write wrapper.
         from repro.net.transport import (
             StreamConnection,
-            open_connection,
-            start_server,
+            open_frame_connection,
+            start_frame_server,
         )
-        from repro.sim.messages import Envelope
+
+        server_transport = StreamTransport()
+        server_transport.attach("s0", lambda src, p: got.put_nowait((src, p)))
+
+        async def handshake(conn):
+            pid = await conn.expect_hello()
+            server_transport.bind_peer(pid, conn)
+            conn.start_pump()
+
+        server, address = await start_frame_server(
+            "tcp:127.0.0.1:0",
+            lambda: StreamConnection(
+                server_transport.stats,
+                lambda c, src, dst, p: server_transport.deliver_local(
+                    dst, c.peer_pid, p
+                ),
+                on_connected=lambda c: asyncio.get_running_loop().create_task(
+                    handshake(c)
+                ),
+            ),
+        )
+        conn = await open_frame_connection(
+            address,
+            lambda: StreamConnection(
+                client_transport.stats,
+                lambda c, s, d, p: None,
+                flush_watermark=flush_watermark,
+                flusher=client_transport.flusher,
+            ),
+        )
+        conn.send_hello("c0")
+        return server, conn
+
+    def test_burst_coalesces_into_one_socket_write(self):
+        # Ten frames queued in one synchronous burst must leave as ONE
+        # transport.write (the HostFlusher backstop), not ten.
+        async def scenario():
+            got = asyncio.Queue()
+            client_transport = StreamTransport()
+            server, conn = await self._loopback_pair(
+                64 * 1024, got, client_transport
+            )
+            writes = []
+            original = conn.transport.write
+            conn.transport.write = lambda data: (
+                writes.append(len(data)),
+                original(data),
+            )
+            client_transport.bind_peer("s0", conn)
+            for i in range(10):
+                client_transport.send("c0", "s0", f"burst-{i}")
+            received = [await asyncio.wait_for(got.get(), 5) for _ in range(10)]
+            await conn.close()
+            server.close()
+            await server.wait_closed()
+            return writes, received
+
+        writes, received = asyncio.run(scenario())
+        assert len(writes) == 1  # the whole burst, one send(2)
+        assert received == [("c0", f"burst-{i}") for i in range(10)]
+
+    def test_zero_watermark_degenerates_to_eager_writes(self):
+        # flush_watermark=0 is the documented escape valve: every frame
+        # crosses the watermark immediately, so nothing ever coalesces.
+        async def scenario():
+            got = asyncio.Queue()
+            client_transport = StreamTransport()
+            server, conn = await self._loopback_pair(0, got, client_transport)
+            writes = []
+            original = conn.transport.write
+            conn.transport.write = lambda data: (
+                writes.append(len(data)),
+                original(data),
+            )
+            client_transport.bind_peer("s0", conn)
+            for i in range(5):
+                client_transport.send("c0", "s0", f"eager-{i}")
+            received = [await asyncio.wait_for(got.get(), 5) for _ in range(5)]
+            await conn.close()
+            server.close()
+            await server.wait_closed()
+            return writes, received
+
+        writes, received = asyncio.run(scenario())
+        assert len(writes) == 5  # one write per frame, no batching
+        assert received == [("c0", f"eager-{i}") for i in range(5)]
+
+    def test_proxy_applies_faults_per_logical_frame_under_coalescing(self):
+        # A coalesced segment carrying k frames must yield k independent
+        # fault decisions, not one per TCP segment: with duplication=1.0
+        # every logical frame (except the HELLO) is duplicated exactly
+        # once, so the server sees 2k envelopes for k sent.
+        from repro.net.proxy import FaultPolicy, FaultProxy
+        from repro.net.transport import (
+            StreamConnection,
+            open_frame_connection,
+            start_frame_server,
+        )
 
         async def scenario():
             got = asyncio.Queue()
@@ -161,28 +257,114 @@ class TestStreamLoopback:
                 "s0", lambda src, p: got.put_nowait((src, p))
             )
 
-            async def on_client(reader, writer):
-                conn = StreamConnection(
-                    reader,
-                    writer,
-                    server_transport.stats,
-                    lambda c, env: server_transport.deliver_local(
-                        env.dst, c.peer_pid, env.payload
-                    ),
-                )
+            async def handshake(conn):
                 pid = await conn.expect_hello()
                 server_transport.bind_peer(pid, conn)
                 conn.start_pump()
 
-            server, address = await start_server("tcp:127.0.0.1:0", on_client)
-            reader, writer = await open_connection(address)
+            server, address = await start_frame_server(
+                "tcp:127.0.0.1:0",
+                lambda: StreamConnection(
+                    server_transport.stats,
+                    lambda c, src, dst, p: server_transport.deliver_local(
+                        dst, c.peer_pid, p
+                    ),
+                    on_connected=lambda c: asyncio.get_running_loop().create_task(
+                        handshake(c)
+                    ),
+                ),
+            )
+            proxy = FaultProxy(
+                upstream=address, policy=FaultPolicy(duplication=1.0), seed=9
+            )
+            await proxy.start()
             client_transport = StreamTransport()
-            conn = StreamConnection(
-                reader, writer, client_transport.stats, lambda c, e: None
+            conn = await open_frame_connection(
+                proxy.address,
+                lambda: StreamConnection(
+                    client_transport.stats, lambda c, s, d, p: None
+                ),
             )
             conn.send_hello("c0")
-            # Frames written immediately after the HELLO arrive piggybacked
-            # and must be replayed in order by the pump.
+            # Build one TCP segment holding 6 logical frames by hand:
+            # queue without flushing, then flush once.
+            for i in range(6):
+                conn.send_payload("c0", "s0", f"batched-{i}")
+            assert len(conn._out) > 0
+            conn._flush()
+            received = [
+                await asyncio.wait_for(got.get(), 5) for _ in range(12)
+            ]
+            forwarded, duplicated = proxy.forwarded, proxy.duplicated
+            await conn.close()
+            await proxy.stop()
+            server.close()
+            await server.wait_closed()
+            return received, forwarded, duplicated
+
+        received, forwarded, duplicated = asyncio.run(scenario())
+        # Per-frame accounting: 6 logical frames forwarded, 6 duplicates
+        # (the HELLO rides through uncounted).
+        assert forwarded == 6
+        assert duplicated == 6
+        counts = {}
+        for src, payload in received:
+            assert src == "c0"
+            counts[payload] = counts.get(payload, 0) + 1
+        assert counts == {f"batched-{i}": 2 for i in range(6)}
+
+
+class TestStreamLoopback:
+    @pytest.mark.parametrize("wire", [1, 2])
+    def test_hello_then_envelopes_over_a_real_socket(self, wire):
+        # Minimal two-host exchange exercising synchronous dispatch,
+        # piggybacked-frame replay and peer binding — under both codecs.
+        from repro.net.transport import (
+            StreamConnection,
+            open_frame_connection,
+            start_frame_server,
+        )
+        from repro.net.wire import get_codec
+        from repro.sim.messages import Envelope
+
+        codec = get_codec(wire)
+
+        async def scenario():
+            got = asyncio.Queue()
+            server_transport = StreamTransport()
+            server_transport.attach(
+                "s0", lambda src, p: got.put_nowait((src, p))
+            )
+
+            async def handshake(conn):
+                pid = await conn.expect_hello()
+                server_transport.bind_peer(pid, conn)
+                conn.start_pump()
+
+            def accept(conn):
+                asyncio.get_running_loop().create_task(handshake(conn))
+
+            server, address = await start_frame_server(
+                "tcp:127.0.0.1:0",
+                lambda: StreamConnection(
+                    server_transport.stats,
+                    lambda c, src, dst, payload: server_transport.deliver_local(
+                        dst, c.peer_pid, payload
+                    ),
+                    codec=codec,
+                    on_connected=accept,
+                ),
+            )
+            client_transport = StreamTransport()
+            conn = await open_frame_connection(
+                address,
+                lambda: StreamConnection(
+                    client_transport.stats, lambda c, s, d, p: None, codec=codec
+                ),
+            )
+            conn.send_hello("c0")
+            # Frames written immediately after the HELLO arrive coalesced
+            # and piggybacked; start_pump must replay them in order.
             conn.send_envelope(Envelope(src="c0", dst="s0", payload="one"))
             conn.send_envelope(Envelope(src="c0", dst="s0", payload="two"))
             first = await asyncio.wait_for(got.get(), 5)

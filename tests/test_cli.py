@@ -23,6 +23,31 @@ class TestParser:
         assert (args.n, args.f, args.clients) == (6, 1, 3)
         assert args.duration == 5.0 and args.byzantine is None
         assert args.min_ops_per_s == 0.0 and args.out is None
+        assert args.wire == 2  # repro-wire/2 binary is the default
+        assert args.open_loop is False and args.rate is None
+        assert args.sweep is None and args.loop == "auto"
+
+    def test_loadgen_open_loop_and_sweep_flags(self):
+        args = build_parser().parse_args(
+            [
+                "loadgen",
+                "--wire", "1",
+                "--open-loop",
+                "--rate", "800",
+                "--sweep", "250,500,1000",
+                "--flush-watermark", "0",
+                "--loop", "asyncio",
+            ]
+        )
+        assert args.wire == 1
+        assert args.open_loop is True and args.rate == 800.0
+        assert args.sweep == "250,500,1000"
+        assert args.flush_watermark == 0
+        assert args.loop == "asyncio"
+
+    def test_loadgen_bare_sweep_means_auto_ladder(self):
+        args = build_parser().parse_args(["loadgen", "--sweep"])
+        assert args.sweep == "auto"
 
     def test_loadgen_proxy_and_floor_flags(self):
         args = build_parser().parse_args(
@@ -106,8 +131,54 @@ class TestCommands:
         import json
 
         bench = json.loads(out_path.read_text())
-        assert bench["format"] == "repro-bench-live/1"
+        assert bench["format"] == "repro-bench-live/2"
+        assert bench["wire"] == "repro-wire/2"
         assert bench["verdict"]["clean"] is True
+
+    def test_loadgen_open_loop_sweep_end_to_end(self, capsys, tmp_path):
+        out_path = tmp_path / "bench.json"
+        code = main(
+            [
+                "loadgen",
+                "--duration", "0.5",
+                "--warmup", "0.1",
+                "--open-loop",
+                "--rate", "150",
+                "--sweep", "100,200",
+                "--sweep-duration", "0.4",
+                "--out", str(out_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "mode=open" in out
+        assert "saturation sweep" in out
+        import json
+
+        bench = json.loads(out_path.read_text())
+        assert bench["load"]["mode"] == "open"
+        assert bench["load"]["offered_ops_per_s"] == 150.0
+        assert [pt["offered_ops_per_s"] for pt in bench["sweep"]] == [
+            100.0,
+            200.0,
+        ]
+        assert all(pt["clean"] for pt in bench["sweep"])
+
+    def test_loadgen_open_loop_without_rate_or_sweep_fails(self, capsys):
+        assert main(["loadgen", "--open-loop"]) == 2
+        assert "--rate" in capsys.readouterr().err
+
+    def test_loadgen_uvloop_unavailable_fails_cleanly(self, capsys):
+        pytest.importorskip  # not used: we want the *absence* path
+        try:
+            import uvloop  # noqa: F401
+
+            pytest.skip("uvloop installed; the absence path is elsewhere")
+        except ImportError:
+            pass
+        code = main(["loadgen", "--duration", "0.1", "--loop", "uvloop"])
+        assert code == 2
+        assert "uvloop requested but not installed" in capsys.readouterr().err
 
     def test_loadgen_floor_violation_fails(self, capsys):
         # An unreachably high floor turns a clean run into exit 1.
