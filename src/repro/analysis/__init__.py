@@ -1,6 +1,6 @@
 """Determinism & stabilization-soundness static analysis (``repro lint``).
 
-Three rule families guard the properties every experimental claim in this
+Six rule families guard the properties every experimental claim in this
 reproduction rests on:
 
 * **DET** — no hidden nondeterminism: no wall clocks outside profiling,
@@ -10,7 +10,19 @@ reproduction rests on:
   variable is declared in :data:`repro.sim.faults.CORRUPTION_REGISTRY`
   and every corruptible one is provably reached by the fault injector;
 * **PAR** — pool safety: workers handed to :mod:`repro.harness.parallel`
-  pickle and share no mutable module state.
+  pickle and share no mutable module state;
+* **NET** — layering: the protocol never imports the transport;
+* **ASYNC** — await-point discipline in the live tier: no torn
+  read-modify-writes across awaits, no orphaned tasks, no blocking calls
+  or swallowed cancellation in coroutines, no loop-bound primitives
+  built outside a running loop;
+* **WIRE** — codec conformance: v2 tags have both dispatch arms, every
+  registered payload type is in the differential fuzz corpus, and live
+  hosting-layer state is declared in the corruption registry.
+
+The engine is two-phase: phase 1 builds a cross-module
+:class:`~repro.analysis.model.ProgramModel` (class-state and wire-schema
+tables), phase 2 runs every rule with model + AST together.
 
 See ``docs/ANALYSIS.md`` for the rule-by-rule rationale and its tie to
 the paper's theorems.
@@ -25,23 +37,49 @@ from repro.analysis.core import (
     all_rules,
     register_rule,
 )
-from repro.analysis.engine import analyze_module, analyze_paths, default_target
-from repro.analysis.report import render_json, render_rule_list, render_text
+from repro.analysis.engine import (
+    analyze_module,
+    analyze_modules,
+    analyze_paths,
+    default_target,
+    load_modules,
+)
+from repro.analysis.model import (
+    ProgramModel,
+    build_model,
+    load_model_cache,
+    model_cache_key,
+    save_model_cache,
+)
+from repro.analysis.report import (
+    render_github,
+    render_json,
+    render_rule_list,
+    render_text,
+)
 
 __all__ = [
     "Finding",
     "ModuleInfo",
+    "ProgramModel",
     "Rule",
     "RULE_REGISTRY",
     "all_rules",
     "analyze_module",
+    "analyze_modules",
     "analyze_paths",
     "apply_baseline",
+    "build_model",
     "default_target",
     "load_baseline",
+    "load_model_cache",
+    "load_modules",
+    "model_cache_key",
     "register_rule",
+    "render_github",
     "render_json",
     "render_rule_list",
     "render_text",
+    "save_model_cache",
     "write_baseline",
 ]

@@ -20,13 +20,27 @@ import ast
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator, Optional
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (model imports core)
+    from repro.analysis.model import ProgramModel
 
 #: Marks a line whose suppression applies to every rule.
 SUPPRESS_ALL = "*"
 
+# Rule ids are FAMILY + 3 digits with a family name of any length ≥ 2
+# (DET001, STAB001, ASYNC001, ...). Keeping the length open-ended means a
+# new family never silently degrades its suppression comments into
+# non-matches (which would *unsuppress*) or bare lint-ok markers (which
+# would suppress everything).
+_RULE_ID_PATTERN = r"[A-Z]{2,}\d{3}"
+
 _SUPPRESS_RE = re.compile(
-    r"#\s*lint-ok\b(?:\s*:\s*(?P<rules>[A-Z]{2,8}\d{3}(?:\s*,\s*[A-Z]{2,8}\d{3})*))?"
+    r"#\s*lint-ok\b(?:\s*:\s*(?P<rules>"
+    + _RULE_ID_PATTERN
+    + r"(?:\s*,\s*"
+    + _RULE_ID_PATTERN
+    + r")*))?"
 )
 
 
@@ -59,16 +73,22 @@ class ModuleInfo:
 
     ``relpath`` is the package-relative posix path (``repro/core/server.py``)
     — rules scope themselves by it, so tests can exercise path-scoped rules
-    on fixture sources by supplying a crafted relpath.
+    on fixture sources by supplying a crafted relpath. ``srcpath`` is the
+    on-disk origin when the module came from a file (None for synthetic
+    sources); the model builder uses it to locate the test tree, and the
+    GitHub reporter to emit repo-relative annotation paths.
     """
 
     relpath: str
     tree: ast.Module
     lines: list[str] = field(default_factory=list)
     suppressions: dict[int, set[str]] = field(default_factory=dict)
+    srcpath: Optional[Path] = None
 
     @classmethod
-    def from_source(cls, source: str, relpath: str) -> "ModuleInfo":
+    def from_source(
+        cls, source: str, relpath: str, srcpath: Optional[Path] = None
+    ) -> "ModuleInfo":
         tree = ast.parse(source)
         lines = source.splitlines()
         suppressions: dict[int, set[str]] = {}
@@ -90,12 +110,15 @@ class ModuleInfo:
             tree=tree,
             lines=lines,
             suppressions=suppressions,
+            srcpath=srcpath,
         )
 
     @classmethod
     def from_file(cls, path: Path, relpath: Optional[str] = None) -> "ModuleInfo":
         source = path.read_text(encoding="utf-8")
-        return cls.from_source(source, relpath or package_relpath(path))
+        return cls.from_source(
+            source, relpath or package_relpath(path), srcpath=path
+        )
 
     # ------------------------------------------------------------------
     def source_line(self, lineno: int) -> str:
@@ -119,6 +142,17 @@ class ModuleInfo:
             context=self.source_line(line),
         )
 
+    def finding_at(self, line: int, rule_id: str, message: str) -> Finding:
+        """Build a :class:`Finding` from a bare line number — for rules
+        whose evidence comes from the program model, not an AST node."""
+        return Finding(
+            path=self.relpath,
+            line=line,
+            rule_id=rule_id,
+            message=message,
+            context=self.source_line(line),
+        )
+
 
 def package_relpath(path: Path) -> str:
     """Posix path from the last ``repro`` package component, else the name.
@@ -137,20 +171,27 @@ def package_relpath(path: Path) -> str:
 class Rule:
     """One static check. Subclasses set the class attrs and ``check``.
 
-    ``check`` yields raw findings; the engine applies suppressions and the
-    baseline afterwards, so rules stay oblivious to both mechanisms.
+    ``check`` receives the module *and* the phase-1
+    :class:`~repro.analysis.model.ProgramModel` built over the whole lint
+    target, and yields raw findings; the engine applies suppressions and
+    the baseline afterwards, so rules stay oblivious to both mechanisms.
+    Rules that need no cross-module facts simply ignore ``model``.
     """
 
     rule_id: str = ""
     title: str = ""
     rationale: str = ""
 
-    def check(self, module: ModuleInfo) -> Iterator[Finding]:  # pragma: no cover
+    def check(
+        self, module: ModuleInfo, model: "ProgramModel"
+    ) -> Iterator[Finding]:  # pragma: no cover
         raise NotImplementedError
 
-    def run(self, module: ModuleInfo) -> Iterator[Finding]:
+    def run(
+        self, module: ModuleInfo, model: "ProgramModel"
+    ) -> Iterator[Finding]:
         """``check`` minus suppressed lines."""
-        for finding in self.check(module):
+        for finding in self.check(module, model):
             if not module.suppressed(finding.line, self.rule_id):
                 yield finding
 

@@ -1,4 +1,12 @@
-"""File discovery and rule execution for ``repro lint``."""
+"""File discovery and two-phase rule execution for ``repro lint``.
+
+Phase 1 parses every module under the target paths and builds one shared
+:class:`~repro.analysis.model.ProgramModel` (class-state and wire-schema
+tables). Phase 2 runs each rule over each module with the model in hand,
+so rules can reason about cross-module facts — which coroutines share an
+attribute, whether a tag byte has both codec arms — that no single-module
+pass can see.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +14,7 @@ from pathlib import Path
 from typing import Iterable, Optional, Sequence
 
 from repro.analysis.core import Finding, ModuleInfo, Rule, all_rules
+from repro.analysis.model import ProgramModel, build_model
 
 #: Directories never descended into.
 _SKIP_DIRS = {"__pycache__", ".git", ".pytest_cache", "build", "dist"}
@@ -28,27 +37,54 @@ def default_target() -> Path:
     return Path(repro.__file__).resolve().parent
 
 
+def load_modules(paths: Sequence[Path]) -> list[ModuleInfo]:
+    """Parse every module under ``paths`` (phase-1 input)."""
+    modules: list[ModuleInfo] = []
+    for root in paths:
+        for path in iter_python_files(Path(root)):
+            modules.append(ModuleInfo.from_file(path))
+    return modules
+
+
+def analyze_modules(
+    modules: Sequence[ModuleInfo],
+    rules: Optional[Sequence[Rule]] = None,
+    only: Optional[Iterable[str]] = None,
+    model: Optional[ProgramModel] = None,
+) -> list[Finding]:
+    """Run the rules over already-parsed modules; sorted findings.
+
+    ``model`` lets callers supply a prebuilt (e.g. cached) phase-1 model;
+    by default it is built here over exactly the given modules.
+    """
+    active = list(rules) if rules is not None else all_rules(only)
+    if model is None:
+        model = build_model(modules)
+    findings: list[Finding] = []
+    for module in modules:
+        for rule in active:
+            findings.extend(rule.run(module, model))
+    return sorted(findings)
+
+
 def analyze_paths(
     paths: Sequence[Path],
     rules: Optional[Sequence[Rule]] = None,
     only: Optional[Iterable[str]] = None,
+    model: Optional[ProgramModel] = None,
 ) -> list[Finding]:
     """Run the rules over every module under ``paths``; sorted findings."""
-    active = list(rules) if rules is not None else all_rules(only)
-    findings: list[Finding] = []
-    for root in paths:
-        for path in iter_python_files(Path(root)):
-            module = ModuleInfo.from_file(path)
-            findings.extend(analyze_module(module, active))
-    return sorted(findings)
+    return analyze_modules(load_modules(paths), rules, only, model)
 
 
 def analyze_module(
-    module: ModuleInfo, rules: Optional[Sequence[Rule]] = None
+    module: ModuleInfo,
+    rules: Optional[Sequence[Rule]] = None,
+    model: Optional[ProgramModel] = None,
 ) -> list[Finding]:
-    """Run the rules over one parsed module (suppressions applied)."""
-    active = list(rules) if rules is not None else all_rules()
-    findings: list[Finding] = []
-    for rule in active:
-        findings.extend(rule.run(module))
-    return sorted(findings)
+    """Run the rules over one parsed module (suppressions applied).
+
+    Single-module convenience: the model degrades to what one module's
+    AST can provide, which is exactly the PR 3 behaviour.
+    """
+    return analyze_modules([module], rules, model=model)

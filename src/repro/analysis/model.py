@@ -1,0 +1,669 @@
+"""Phase-1 program model: cross-module facts the rules consume.
+
+PR 3's rules were independent single-module AST passes; the properties
+the live tier needs checked are not single-module properties. Whether a
+``self.X`` update torn across an ``await`` is racy depends on which
+*other* coroutines of the class touch ``X``; whether a v2 tag byte is
+dead vocabulary depends on both the encoder and the decoder; whether the
+fuzz corpus covers a payload type depends on the *test* tree. So the
+engine now runs in two phases: phase 1 builds this :class:`ProgramModel`
+over every module in the lint target, phase 2 hands model + AST to each
+rule together.
+
+Everything here is purely syntactic (the analyzed source is parsed, never
+imported) with one deliberate exception: the corruption registry falls
+back to importing :mod:`repro.sim.faults` when ``faults.py`` is not among
+the analyzed modules, exactly like the STAB rules always did.
+
+The model is JSON-serializable (:meth:`ProgramModel.to_dict` /
+:meth:`ProgramModel.from_dict`) so CI can cache the parsed artifact keyed
+on a source hash (:func:`model_cache_key`), and cheap enough to rebuild
+that a cache miss costs nothing but the parse the rules needed anyway.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Optional, Sequence, Union
+
+from repro.analysis.astutil import self_attr_target, slots_entries
+from repro.analysis.core import ModuleInfo
+
+#: Bumped whenever the extracted shape changes; stale caches are rebuilt.
+MODEL_VERSION = 1
+
+#: v2 wire-tag constants: ``_T_NAME = 0x0B`` at module scope.
+_TAG_NAME_RE = re.compile(r"^_T_[A-Z0-9_]+$")
+
+#: Module-scope assignments whose value enumerates protocol message
+#: classes (``_MESSAGE_TYPES``, ``_MESSAGE_ORDER``).
+_MESSAGE_REGISTRY_RE = re.compile(r"^_?MESSAGE")
+
+#: Non-message payload roots the codecs special-case; they must survive
+#: the differential corpus too (labels and garbage are exactly the values
+#: whose faithfulness the stabilization story depends on).
+EXTRA_PAYLOAD_TYPES = ("AlonLabel", "Garbage", "MwmrTimestamp")
+
+#: Test files that constitute the differential v1/v2 fuzz corpus.
+_CORPUS_GLOB = "test_wire*.py"
+
+
+# ---------------------------------------------------------------------------
+# class-state table
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MethodModel:
+    """One method's attribute traffic, positioned relative to awaits.
+
+    ``events`` is the in-execution-order list of ``self.X`` touches as
+    ``(attr, kind, awaits_before, lineno)`` with ``kind`` one of "read",
+    "write" (rebinding the attribute itself) or "mutate" (item
+    assignment/deletion through it, ``self.x[k] = v``), and
+    ``awaits_before`` the number of await points crossed before the
+    touch. ``async for``/``async with`` count as await points.
+    """
+
+    name: str
+    lineno: int
+    is_coroutine: bool
+    awaits: int = 0
+    events: list[tuple[str, str, int, int]] = field(default_factory=list)
+
+    @property
+    def touched(self) -> frozenset[str]:
+        return frozenset(attr for attr, _, _, _ in self.events)
+
+    @property
+    def written(self) -> frozenset[str]:
+        return frozenset(
+            attr for attr, kind, _, _ in self.events if kind == "write"
+        )
+
+    def torn_updates(self) -> list[tuple[str, int, int]]:
+        """``(attr, read_line, write_line)`` for every attribute read
+        before an await point and *rebound* after it — the
+        read-modify-write shapes an interleaved coroutine can tear.
+        Item mutation ("mutate" events) is not a rebinding: setting a
+        dict key after an await cannot clobber a concurrent rebind the
+        way ``self.x = f(self.x)`` can, so it does not pair."""
+        first_read: dict[str, tuple[int, int]] = {}
+        reported: set[str] = set()
+        out: list[tuple[str, int, int]] = []
+        for attr, kind, awaits, line in self.events:
+            if kind == "read":
+                prior = first_read.get(attr)
+                if prior is None or awaits < prior[0]:
+                    first_read[attr] = (awaits, line)
+            elif kind == "write":
+                prior = first_read.get(attr)
+                if prior is not None and awaits > prior[0] and attr not in reported:
+                    reported.add(attr)
+                    out.append((attr, prior[1], line))
+        return out
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "lineno": self.lineno,
+            "is_coroutine": self.is_coroutine,
+            "awaits": self.awaits,
+            "events": [list(e) for e in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "MethodModel":
+        return cls(
+            name=data["name"],
+            lineno=data["lineno"],
+            is_coroutine=data["is_coroutine"],
+            awaits=data["awaits"],
+            events=[tuple(e) for e in data["events"]],
+        )
+
+
+@dataclass
+class ClassModel:
+    """One class's declared state and per-method attribute traffic."""
+
+    name: str
+    relpath: str
+    lineno: int
+    bases: tuple[str, ...] = ()
+    #: attr -> declaring line (``__init__``/``_init_*`` assignments and
+    #: literal ``__slots__`` entries), mirroring STAB001's notion of state.
+    attrs: dict[str, int] = field(default_factory=dict)
+    methods: dict[str, MethodModel] = field(default_factory=dict)
+
+    def coroutines_touching(
+        self, attr: str, exclude: Optional[str] = None
+    ) -> list[str]:
+        """Names of coroutine methods (other than ``exclude``) that read
+        or write ``self.<attr>`` — the potential interleaving partners."""
+        return sorted(
+            m.name
+            for m in self.methods.values()
+            if m.is_coroutine and m.name != exclude and attr in m.touched
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "relpath": self.relpath,
+            "lineno": self.lineno,
+            "bases": list(self.bases),
+            "attrs": self.attrs,
+            "methods": {n: m.to_dict() for n, m in sorted(self.methods.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ClassModel":
+        return cls(
+            name=data["name"],
+            relpath=data["relpath"],
+            lineno=data["lineno"],
+            bases=tuple(data["bases"]),
+            attrs=dict(data["attrs"]),
+            methods={
+                n: MethodModel.from_dict(m) for n, m in data["methods"].items()
+            },
+        )
+
+
+class _MethodScan(ast.NodeVisitor):
+    """Walk one method body in execution order, counting await points and
+    recording ``self.X`` reads/writes relative to them.
+
+    Nested ``def``/``async def``/``lambda`` bodies are skipped: their
+    attribute traffic happens on their own schedule, not at this method's
+    await points.
+    """
+
+    def __init__(self) -> None:
+        self.awaits = 0
+        self.events: list[tuple[str, str, int, int]] = []
+
+    # -- await points ---------------------------------------------------
+    def visit_Await(self, node: ast.Await) -> None:
+        self.visit(node.value)  # argument evaluates before the suspension
+        self.awaits += 1
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self.visit(node.iter)
+        self.awaits += 1  # __anext__ suspends before each binding
+        self.visit(node.target)
+        for stmt in node.body + node.orelse:
+            self.visit(stmt)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        for item in node.items:
+            self.visit(item.context_expr)
+            if item.optional_vars is not None:
+                self.visit(item.optional_vars)
+        self.awaits += 1  # __aenter__
+        for stmt in node.body:
+            self.visit(stmt)
+        self.awaits += 1  # __aexit__
+
+    # -- attribute traffic ----------------------------------------------
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.value, ast.Name) and node.value.id == "self":
+            kind = "write" if isinstance(node.ctx, (ast.Store, ast.Del)) else "read"
+            self.events.append((node.attr, kind, self.awaits, node.lineno))
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        if isinstance(node.ctx, (ast.Store, ast.Del)):
+            attr = self_attr_target(node)
+            if attr is not None:  # self.x[k] = v mutates self.x in place
+                self.events.append((attr, "mutate", self.awaits, node.lineno))
+        self.generic_visit(node)
+
+    # -- execution order fixups -----------------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.visit(node.value)  # RHS evaluates (and may await) first
+        for target in node.targets:
+            self.visit(target)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self.visit(node.value)
+        self.visit(node.target)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        attr = self_attr_target(node.target)
+        if attr is not None:  # `self.x += v` reads self.x first
+            self.events.append((attr, "read", self.awaits, node.target.lineno))
+        self.visit(node.value)
+        self.visit(node.target)
+
+    # -- nested scopes are not this method ------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+
+def _scan_method(
+    fn: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+) -> MethodModel:
+    scan = _MethodScan()
+    for stmt in fn.body:
+        scan.visit(stmt)
+    return MethodModel(
+        name=fn.name,
+        lineno=fn.lineno,
+        is_coroutine=isinstance(fn, ast.AsyncFunctionDef),
+        awaits=scan.awaits,
+        events=scan.events,
+    )
+
+
+def _extract_classes(module: ModuleInfo) -> list[ClassModel]:
+    classes: list[ClassModel] = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        model = ClassModel(
+            name=node.name,
+            relpath=module.relpath,
+            lineno=node.lineno,
+            bases=tuple(
+                filter(None, (_base_name(base) for base in node.bases))
+            ),
+        )
+        for attr, site in slots_entries(node):
+            model.attrs.setdefault(attr, getattr(site, "lineno", node.lineno))
+        for stmt in node.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            method = _scan_method(stmt)
+            model.methods[method.name] = method
+            if method.name == "__init__" or method.name.startswith("_init"):
+                for attr, kind, _, line in method.events:
+                    if kind == "write":
+                        model.attrs.setdefault(attr, line)
+        classes.append(model)
+    return classes
+
+
+def _base_name(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+# ---------------------------------------------------------------------------
+# wire-schema table
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class WireModel:
+    """The codec vocabulary of one wire module.
+
+    ``encode_arms``/``decode_arms`` classify every reference to a tag
+    constant by *role*: a tag written into an output buffer
+    (``out.append(_T_X)``, ``bytearray((_T_X,))``) is an encode-dispatch
+    arm; a tag matched against input (any comparison) is a decode-dispatch
+    arm. A registered tag missing either role is drift between the two
+    halves of the codec — exactly the v1/v2 skew WIRE001 exists to catch.
+    """
+
+    relpath: str
+    #: tag name -> (value, defining line)
+    tags: dict[str, tuple[int, int]] = field(default_factory=dict)
+    encode_arms: set[str] = field(default_factory=set)
+    decode_arms: set[str] = field(default_factory=set)
+    #: message/payload class name -> registry line
+    payload_types: dict[str, int] = field(default_factory=dict)
+    registry_lineno: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "relpath": self.relpath,
+            "tags": {k: list(v) for k, v in sorted(self.tags.items())},
+            "encode_arms": sorted(self.encode_arms),
+            "decode_arms": sorted(self.decode_arms),
+            "payload_types": dict(sorted(self.payload_types.items())),
+            "registry_lineno": self.registry_lineno,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "WireModel":
+        return cls(
+            relpath=data["relpath"],
+            tags={k: tuple(v) for k, v in data["tags"].items()},
+            encode_arms=set(data["encode_arms"]),
+            decode_arms=set(data["decode_arms"]),
+            payload_types=dict(data["payload_types"]),
+            registry_lineno=data["registry_lineno"],
+        )
+
+
+def _extract_wire(module: ModuleInfo) -> Optional[WireModel]:
+    tags: dict[str, tuple[int, int]] = {}
+    for stmt in module.tree.body:
+        targets: list[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            targets, value = [stmt.target], stmt.value
+        if not isinstance(value, ast.Constant) or not isinstance(
+            value.value, int
+        ):
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and _TAG_NAME_RE.match(target.id):
+                tags[target.id] = (value.value, stmt.lineno)
+    if not tags:
+        return None
+
+    wire = WireModel(relpath=module.relpath, tags=tags)
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call):
+            func = node.func
+            is_writer = (
+                isinstance(func, ast.Attribute)
+                and func.attr in {"append", "extend"}
+            ) or (
+                isinstance(func, ast.Name)
+                and func.id in {"bytearray", "bytes"}
+            )
+            if is_writer:
+                for arg in node.args:
+                    wire.encode_arms.update(_tag_refs(arg, tags))
+        elif isinstance(node, ast.Compare):
+            wire.decode_arms.update(_tag_refs(node, tags))
+
+    for stmt in module.tree.body:
+        targets = []
+        value = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            targets, value = [stmt.target], stmt.value
+        if value is None:
+            continue
+        named = any(
+            isinstance(t, ast.Name) and _MESSAGE_REGISTRY_RE.match(t.id)
+            for t in targets
+        )
+        if not named:
+            continue
+        wire.registry_lineno = wire.registry_lineno or stmt.lineno
+        for ref in ast.walk(value):
+            name: Optional[str] = None
+            if isinstance(ref, ast.Attribute):
+                name = ref.attr
+            elif isinstance(ref, ast.Name):
+                name = ref.id
+            if name and name[:1].isupper():
+                wire.payload_types.setdefault(name, stmt.lineno)
+
+    if wire.payload_types:
+        # The codec special-cases label/garbage payloads outside the
+        # message registry; if this module references them, the corpus
+        # must cover them too.
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            name = None
+            if isinstance(node, ast.Attribute):
+                name = node.attr
+            elif isinstance(node, ast.Name):
+                name = node.id
+            if name in EXTRA_PAYLOAD_TYPES:
+                wire.payload_types.setdefault(name, node.lineno)
+    return wire
+
+
+def _tag_refs(node: ast.AST, tags: dict[str, tuple[int, int]]) -> set[str]:
+    return {
+        sub.id
+        for sub in ast.walk(node)
+        if isinstance(sub, ast.Name) and sub.id in tags
+    }
+
+
+# ---------------------------------------------------------------------------
+# corruption registry (AST of faults.py)
+# ---------------------------------------------------------------------------
+
+
+def _extract_registry(
+    module: ModuleInfo,
+) -> Optional[dict[str, Union[dict[str, str], str]]]:
+    """``CORRUPTION_REGISTRY`` as data, resolving kind-constant names
+    (``CORRUPTIBLE``) through the module's own string assignments."""
+    consts: dict[str, str] = {}
+    registry_node: Optional[ast.Dict] = None
+    for stmt in module.tree.body:
+        targets: list[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            targets, value = [stmt.target], stmt.value
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if (
+                isinstance(value, ast.Constant)
+                and isinstance(value.value, str)
+            ):
+                consts[target.id] = value.value
+            if target.id == "CORRUPTION_REGISTRY" and isinstance(
+                value, ast.Dict
+            ):
+                registry_node = value
+    if registry_node is None:
+        return None
+
+    registry: dict[str, Union[dict[str, str], str]] = {}
+    for key, value in zip(registry_node.keys, registry_node.values):
+        if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+            continue
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            registry[key.value] = value.value
+        elif isinstance(value, ast.Dict):
+            entry: dict[str, str] = {}
+            for akey, aval in zip(value.keys, value.values):
+                if not (
+                    isinstance(akey, ast.Constant)
+                    and isinstance(akey.value, str)
+                ):
+                    continue
+                if isinstance(aval, ast.Name):
+                    entry[akey.value] = consts.get(aval.id, aval.id)
+                elif isinstance(aval, ast.Constant) and isinstance(
+                    aval.value, str
+                ):
+                    entry[akey.value] = aval.value
+            registry[key.value] = entry
+    return registry
+
+
+# ---------------------------------------------------------------------------
+# differential corpus discovery
+# ---------------------------------------------------------------------------
+
+
+def _corpus_identifiers(tree: ast.Module) -> set[str]:
+    idents: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            idents.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            idents.add(node.attr)
+    return idents
+
+
+def _discover_corpus(srcpath: Path) -> Optional[tuple[set[str], list[str]]]:
+    """Find ``tests/net/test_wire*.py`` above the wire module's source.
+
+    Returns ``(identifiers, files)`` or None when no corpus is reachable
+    (linting an installed package, say) — WIRE002 then has nothing to
+    check against and stays silent rather than guessing.
+    """
+    try:
+        parents = list(srcpath.resolve().parents)
+    except OSError:  # pragma: no cover - unresolvable path
+        return None
+    for ancestor in parents:
+        corpus_dir = ancestor / "tests" / "net"
+        if not corpus_dir.is_dir():
+            continue
+        idents: set[str] = set()
+        files: list[str] = []
+        for path in sorted(corpus_dir.glob(_CORPUS_GLOB)):
+            try:
+                tree = ast.parse(path.read_text(encoding="utf-8"))
+            except (OSError, SyntaxError):  # pragma: no cover - defensive
+                continue
+            idents.update(_corpus_identifiers(tree))
+            files.append(path.name)
+        if files:
+            return idents, files
+    return None
+
+
+# ---------------------------------------------------------------------------
+# the model
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ProgramModel:
+    """Cross-module facts shared by every phase-2 rule."""
+
+    #: relpath -> classes defined there
+    classes: dict[str, list[ClassModel]] = field(default_factory=dict)
+    #: relpath -> wire schema, for modules that define tag constants
+    wire: dict[str, WireModel] = field(default_factory=dict)
+    #: CORRUPTION_REGISTRY content (AST-extracted when faults.py is in
+    #: the analyzed set, else None — rules fall back to importing it)
+    corruption_registry: Optional[dict[str, Union[dict[str, str], str]]] = None
+    #: identifiers appearing in the differential wire-test corpus, or
+    #: None when no corpus was reachable
+    corpus: Optional[frozenset[str]] = None
+    #: corpus file names, for finding messages
+    corpus_files: tuple[str, ...] = ()
+
+    def classes_in(self, relpath: str) -> list[ClassModel]:
+        return self.classes.get(relpath, [])
+
+    def wire_in(self, relpath: str) -> Optional[WireModel]:
+        return self.wire.get(relpath)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "version": MODEL_VERSION,
+            "classes": {
+                rel: [c.to_dict() for c in classes]
+                for rel, classes in sorted(self.classes.items())
+            },
+            "wire": {
+                rel: w.to_dict() for rel, w in sorted(self.wire.items())
+            },
+            "corruption_registry": self.corruption_registry,
+            "corpus": sorted(self.corpus) if self.corpus is not None else None,
+            "corpus_files": list(self.corpus_files),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ProgramModel":
+        corpus = data.get("corpus")
+        return cls(
+            classes={
+                rel: [ClassModel.from_dict(c) for c in classes]
+                for rel, classes in data["classes"].items()
+            },
+            wire={
+                rel: WireModel.from_dict(w)
+                for rel, w in data["wire"].items()
+            },
+            corruption_registry=data.get("corruption_registry"),
+            corpus=frozenset(corpus) if corpus is not None else None,
+            corpus_files=tuple(data.get("corpus_files", ())),
+        )
+
+
+def build_model(modules: Sequence[ModuleInfo]) -> ProgramModel:
+    """Phase 1: one pass over every module, no rule logic."""
+    model = ProgramModel()
+    wire_sources: list[Path] = []
+    for module in modules:
+        classes = _extract_classes(module)
+        if classes:
+            model.classes[module.relpath] = classes
+        wire = _extract_wire(module)
+        if wire is not None:
+            model.wire[module.relpath] = wire
+            if module.srcpath is not None:
+                wire_sources.append(module.srcpath)
+        if module.relpath.endswith("faults.py"):
+            registry = _extract_registry(module)
+            if registry is not None:
+                model.corruption_registry = registry
+        if Path(module.relpath).name.startswith("test_wire"):
+            # The corpus can also be *part of* the analyzed set.
+            idents = _corpus_identifiers(module.tree)
+            model.corpus = (model.corpus or frozenset()) | idents
+            model.corpus_files = model.corpus_files + (
+                Path(module.relpath).name,
+            )
+    if model.corpus is None:
+        for srcpath in wire_sources:
+            found = _discover_corpus(srcpath)
+            if found is not None:
+                idents, files = found
+                model.corpus = frozenset(idents)
+                model.corpus_files = tuple(files)
+                break
+    return model
+
+
+# ---------------------------------------------------------------------------
+# cache (CI artifact keyed on source hash)
+# ---------------------------------------------------------------------------
+
+
+def model_cache_key(modules: Iterable[ModuleInfo]) -> str:
+    """Hash of every analyzed module's (relpath, source)."""
+    digest = hashlib.sha256(f"model-v{MODEL_VERSION}".encode())
+    for module in sorted(modules, key=lambda m: m.relpath):
+        digest.update(module.relpath.encode("utf-8"))
+        digest.update(b"\0")
+        digest.update("\n".join(module.lines).encode("utf-8"))
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def load_model_cache(path: Path, key: str) -> Optional[ProgramModel]:
+    """The cached model, or None on miss/stale/corrupt (never raises)."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if payload.get("key") != key:
+            return None
+        return ProgramModel.from_dict(payload["model"])
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+def save_model_cache(path: Path, key: str, model: ProgramModel) -> None:
+    payload = {"key": key, "model": model.to_dict()}
+    path.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")

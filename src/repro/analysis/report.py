@@ -1,9 +1,9 @@
-"""Text and JSON renderers for lint findings."""
+"""Text, JSON, and GitHub-annotation renderers for lint findings."""
 
 from __future__ import annotations
 
 import json
-from typing import Sequence
+from typing import Mapping, Optional, Sequence
 
 from repro.analysis.core import RULE_REGISTRY, Finding, all_rules
 
@@ -46,6 +46,39 @@ def render_json(findings: Sequence[Finding], baselined: int = 0) -> str:
         "baselined": baselined,
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _escape_workflow_data(text: str) -> str:
+    # GitHub workflow-command data: %, CR, LF must be URL-style escaped.
+    return text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def render_github(
+    findings: Sequence[Finding],
+    baselined: int = 0,
+    pathmap: Optional[Mapping[str, str]] = None,
+) -> str:
+    """GitHub Actions workflow commands — one ``::error`` per finding, so
+    CI findings annotate the PR diff inline.
+
+    ``pathmap`` maps a finding's package relpath to the repo-relative
+    file path (``repro/net/wire.py`` → ``src/repro/net/wire.py``); without
+    it the relpath is emitted as-is, which GitHub simply fails to anchor.
+    """
+    lines = []
+    for f in sorted(findings):
+        path = pathmap.get(f.path, f.path) if pathmap else f.path
+        message = _escape_workflow_data(f"{f.rule_id} {f.message}")
+        lines.append(
+            f"::error file={path},line={f.line},col={f.col},"
+            f"title={f.rule_id}::{message}"
+        )
+    lines.append(
+        f"{len(findings)} finding(s)" if findings else "clean: no findings"
+    )
+    if baselined:
+        lines.append(f"{baselined} baselined finding(s) suppressed")
+    return "\n".join(lines)
 
 
 def render_rule_list() -> str:

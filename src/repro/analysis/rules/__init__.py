@@ -1,3 +1,3 @@
 """Rule modules; importing this package registers every rule."""
 
-from repro.analysis.rules import det, net, par, stab  # noqa: F401
+from repro.analysis.rules import async_, det, net, par, stab, wire  # noqa: F401

@@ -1,0 +1,354 @@
+"""ASYNC-series rules: await-point discipline for the live tier.
+
+The simulator executes one handler at a time under a deterministic event
+queue, so the protocol code never sees interleaving. The live tier
+(:mod:`repro.net`) runs the same protocol under asyncio, where every
+``await`` is a point at which *any* other coroutine or callback of the
+host may run. These rules guard the failure classes that asyncio makes
+possible and the test suite is worst at catching, because they only bite
+under contention:
+
+* **ASYNC001** — a ``self.X`` read before an ``await`` and written after
+  it, in a class where other coroutines also touch ``X``: the classic
+  torn read-modify-write. The interleaved coroutine's update is silently
+  overwritten — a lost write, which for protocol state is exactly the
+  corruption the paper's fault model assumes *cannot* happen outside a
+  transient fault.
+* **ASYNC002** — ``create_task``/``ensure_future`` whose result is
+  dropped on the floor: the task can be garbage-collected mid-flight and
+  its exception is never retrieved, so a crashed pump looks like a quiet
+  network.
+* **ASYNC003** — synchronous blocking calls inside a coroutine stall the
+  whole event loop: every daemon hosted on it stops serving, which the
+  latency-bounded liveness arguments (and the loadgen's ops/s floors)
+  cannot tolerate.
+* **ASYNC004** — an except clause that catches ``CancelledError`` (bare
+  ``except:``, ``except BaseException:``, or naming it) without
+  re-raising swallows cooperative shutdown: the task reports *completed*
+  when it was cancelled, and cleanup ordering silently inverts.
+* **ASYNC005** — ``asyncio.Lock``/``Event``/``Queue``/... constructed at
+  module scope or in ``__init__`` may bind to (or outlive) the wrong
+  event loop; primitives must be created where a loop is running.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Union
+
+from repro.analysis.astutil import dotted_name, import_aliases, resolve_call_target
+from repro.analysis.core import Finding, ModuleInfo, Rule, register_rule
+from repro.analysis.model import ProgramModel
+
+#: Callables that block the event loop. DET001 already bans wall-clock
+#: sleeps everywhere; the overlap on ``time.sleep`` is intentional — the
+#: two rules state different reasons.
+BLOCKING_CALLS = {
+    "time.sleep",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "subprocess.Popen",
+    "os.system",
+    "os.popen",
+    "os.waitpid",
+    "socket.create_connection",
+    "socket.getaddrinfo",
+    "socket.gethostbyname",
+    "urllib.request.urlopen",
+    "requests.get",
+    "requests.post",
+    "requests.request",
+}
+
+#: asyncio synchronization/queue primitives that must be created inside a
+#: running loop (cross-loop reuse raises at first await, long after the
+#: construction site that caused it).
+LOOP_BOUND_FACTORIES = {
+    "asyncio.Lock",
+    "asyncio.Event",
+    "asyncio.Condition",
+    "asyncio.Semaphore",
+    "asyncio.BoundedSemaphore",
+    "asyncio.Queue",
+    "asyncio.LifoQueue",
+    "asyncio.PriorityQueue",
+}
+
+_TASK_SPAWNERS = {"create_task", "ensure_future"}
+
+AnyFunc = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _walk_function_body(fn: AnyFunc) -> Iterator[ast.AST]:
+    """Every node of ``fn``'s own body, skipping nested function scopes."""
+    stack: list[ast.AST] = list(fn.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            stack.append(child)
+
+
+def _functions(tree: ast.Module) -> Iterator[AnyFunc]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+@register_rule
+class TornAwaitUpdateRule(Rule):
+    rule_id = "ASYNC001"
+    title = "read-modify-write of shared self state spans an await"
+    rationale = (
+        "Reading self.X, awaiting, then writing self.X loses any update "
+        "an interleaved coroutine made in between; shared protocol state "
+        "must be read and written without crossing a suspension point."
+    )
+
+    def check(self, module: ModuleInfo, model: ProgramModel) -> Iterator[Finding]:
+        for cls in model.classes_in(module.relpath):
+            for method in cls.methods.values():
+                if not method.is_coroutine:
+                    continue
+                for attr, read_line, write_line in method.torn_updates():
+                    others = cls.coroutines_touching(attr, exclude=method.name)
+                    if not others:
+                        continue
+                    yield module.finding_at(
+                        write_line,
+                        self.rule_id,
+                        f"{cls.name}.{attr} is read (line {read_line}) "
+                        f"before an await and written after it in coroutine "
+                        f"{method.name!r}; coroutine(s) "
+                        f"{', '.join(others)} also touch it — an "
+                        f"interleaved update would be lost",
+                    )
+
+
+@register_rule
+class FireAndForgetTaskRule(Rule):
+    rule_id = "ASYNC002"
+    title = "fire-and-forget task with no retained reference"
+    rationale = (
+        "A task whose reference is dropped can be garbage-collected "
+        "mid-flight and its exception is never retrieved; keep the "
+        "handle (and discard it in a done-callback) like "
+        "ServerDaemon._on_accept does."
+    )
+
+    def check(self, module: ModuleInfo, model: ProgramModel) -> Iterator[Finding]:
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Expr) or not isinstance(
+                node.value, ast.Call
+            ):
+                continue
+            call = node.value
+            func = call.func
+            spawns = (
+                isinstance(func, ast.Attribute) and func.attr in _TASK_SPAWNERS
+            ) or resolve_call_target(call, aliases) in {
+                "asyncio.create_task",
+                "asyncio.ensure_future",
+            }
+            if spawns:
+                name = (
+                    func.attr
+                    if isinstance(func, ast.Attribute)
+                    else dotted_name(func)
+                )
+                yield module.finding(
+                    node,
+                    self.rule_id,
+                    f"result of {name}() is discarded — the task can be "
+                    f"collected mid-flight and its exception is lost; "
+                    f"retain the handle or add a done-callback",
+                )
+
+
+@register_rule
+class BlockingCallInCoroutineRule(Rule):
+    rule_id = "ASYNC003"
+    title = "blocking call inside a coroutine"
+    rationale = (
+        "A synchronous sleep/IO/subprocess call stalls the event loop "
+        "and every daemon on it; use the asyncio equivalent or "
+        "run_in_executor."
+    )
+
+    def check(self, module: ModuleInfo, model: ProgramModel) -> Iterator[Finding]:
+        aliases = import_aliases(module.tree)
+        for fn in _functions(module.tree):
+            if not isinstance(fn, ast.AsyncFunctionDef):
+                continue
+            for node in _walk_function_body(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                target = resolve_call_target(node, aliases)
+                if target in BLOCKING_CALLS:
+                    yield module.finding(
+                        node,
+                        self.rule_id,
+                        f"{target}() blocks the event loop inside "
+                        f"coroutine {fn.name!r}",
+                    )
+
+
+@register_rule
+class SwallowedCancellationRule(Rule):
+    rule_id = "ASYNC004"
+    title = "except clause swallows CancelledError in a coroutine"
+    rationale = (
+        "Catching CancelledError (or BaseException, or a bare except) "
+        "without re-raising makes a cancelled task report success; "
+        "cooperative shutdown then races its own cleanup."
+    )
+
+    def check(self, module: ModuleInfo, model: ProgramModel) -> Iterator[Finding]:
+        aliases = import_aliases(module.tree)
+        for fn in _functions(module.tree):
+            if not isinstance(fn, ast.AsyncFunctionDef):
+                continue
+            for node in _walk_function_body(fn):
+                if not isinstance(node, ast.Try):
+                    continue
+                if not _body_awaits(node.body):
+                    continue  # no suspension point -> no CancelledError
+                for handler in node.handlers:
+                    clause = _cancellation_clause(handler, aliases)
+                    if clause is None:
+                        continue
+                    if _reraises(handler):
+                        continue
+                    yield module.finding(
+                        handler,
+                        self.rule_id,
+                        f"{clause} catches CancelledError around an await "
+                        f"in coroutine {fn.name!r} without re-raising — "
+                        f"cancellation is swallowed",
+                    )
+
+
+def _body_awaits(body: list[ast.stmt]) -> bool:
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.Await, ast.AsyncFor, ast.AsyncWith)):
+            return True
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            stack.append(child)
+    return False
+
+
+def _cancellation_clause(
+    handler: ast.ExceptHandler, aliases: dict[str, str]
+) -> Optional[str]:
+    """A human-readable description of how this handler catches
+    CancelledError, or None when it cannot."""
+    if handler.type is None:
+        return "bare `except:`"
+    exprs = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for expr in exprs:
+        name = dotted_name(expr)
+        if name is None:
+            continue
+        head, _, rest = name.partition(".")
+        resolved = aliases.get(head)
+        full = f"{resolved}.{rest}" if resolved and rest else (resolved or name)
+        if full in {
+            "BaseException",
+            "CancelledError",
+            "asyncio.CancelledError",
+            "concurrent.futures.CancelledError",
+        }:
+            return f"`except {name}`"
+    return None
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """True when the handler re-raises (bare ``raise`` or ``raise e``)."""
+    stack: list[ast.AST] = list(handler.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Raise):
+            if node.exc is None:
+                return True
+            if (
+                handler.name is not None
+                and isinstance(node.exc, ast.Name)
+                and node.exc.id == handler.name
+            ):
+                return True
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            stack.append(child)
+    return False
+
+
+@register_rule
+class LoopBoundPrimitiveRule(Rule):
+    rule_id = "ASYNC005"
+    title = "asyncio primitive created outside a running loop"
+    rationale = (
+        "Lock/Event/Queue constructed at import time or in __init__ can "
+        "bind to or outlive the wrong event loop (RuntimeError at first "
+        "await); create them where a loop is guaranteed running, e.g. "
+        "connection_made or the coroutine that first needs them."
+    )
+
+    def check(self, module: ModuleInfo, model: ProgramModel) -> Iterator[Finding]:
+        aliases = import_aliases(module.tree)
+        yield from self._scan(module, aliases, module.tree.body, scope="module")
+
+    def _scan(
+        self,
+        module: ModuleInfo,
+        aliases: dict[str, str],
+        body: list[ast.stmt],
+        scope: str,
+    ) -> Iterator[Finding]:
+        stack: list[tuple[ast.AST, str]] = [(stmt, scope) for stmt in body]
+        while stack:
+            node, where = stack.pop()
+            if isinstance(node, ast.AsyncFunctionDef):
+                continue  # a coroutine body runs inside a loop
+            if isinstance(node, (ast.FunctionDef, ast.Lambda)):
+                name = getattr(node, "name", "<lambda>")
+                if isinstance(node, ast.FunctionDef) and (
+                    name == "__init__" or name.startswith("_init")
+                ):
+                    children = [(c, "__init__") for c in node.body]
+                    stack.extend(children)
+                continue  # other sync functions: call site unknowable
+            if isinstance(node, ast.Call):
+                target = resolve_call_target(node, aliases)
+                if target in LOOP_BOUND_FACTORIES:
+                    where_desc = (
+                        "at module scope" if where == "module" else "in __init__"
+                    )
+                    yield module.finding(
+                        node,
+                        self.rule_id,
+                        f"{target}() {where_desc} is outside any running "
+                        f"event loop — create it where the serving loop "
+                        f"exists",
+                    )
+            for child in ast.iter_child_nodes(node):
+                stack.append((child, where))

@@ -21,6 +21,7 @@ from repro.analysis.astutil import (
     resolve_call_target,
 )
 from repro.analysis.core import Finding, ModuleInfo, Rule, register_rule
+from repro.analysis.model import ProgramModel
 
 #: The one module allowed to read wall clocks: profiling/observability.
 WALL_CLOCK_ALLOWED = ("harness/profiling.py",)
@@ -53,7 +54,7 @@ class WallClockRule(Rule):
         "simulation path makes schedules irreproducible."
     )
 
-    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+    def check(self, module: ModuleInfo, model: ProgramModel) -> Iterator[Finding]:
         if module.relpath.endswith(WALL_CLOCK_ALLOWED):
             return
         aliases = import_aliases(module.tree)
@@ -84,7 +85,7 @@ class UnseededRandomnessRule(Rule):
         "(seed, config) recipe replays the run exactly."
     )
 
-    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+    def check(self, module: ModuleInfo, model: ProgramModel) -> Iterator[Finding]:
         aliases = import_aliases(module.tree)
         for node in ast.walk(module.tree):
             if isinstance(node, ast.ImportFrom) and node.module == "random":
@@ -146,7 +147,7 @@ class UnorderedIterationRule(Rule):
         "recipe diverge. Iterate sorted(...) instead."
     )
 
-    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+    def check(self, module: ModuleInfo, model: ProgramModel) -> Iterator[Finding]:
         if not module.relpath.startswith(ORDER_SENSITIVE_PREFIXES):
             return
         set_symbols = _collect_set_symbols(module.tree)
@@ -212,7 +213,7 @@ class IdentityHashRule(Rule):
         "explicit key."
     )
 
-    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+    def check(self, module: ModuleInfo, model: ProgramModel) -> Iterator[Finding]:
         for node in ast.walk(module.tree):
             if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
                 if node.func.id in {"id", "hash"}:

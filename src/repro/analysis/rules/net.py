@@ -15,6 +15,7 @@ import ast
 from typing import Iterator, Optional
 
 from repro.analysis.core import Finding, ModuleInfo, Rule, register_rule
+from repro.analysis.model import ProgramModel
 
 #: Layers that must stay transport-blind.
 PROTOCOL_LAYERS = (
@@ -45,7 +46,7 @@ class TransportImportRule(Rule):
         "forks the verified protocol from the deployed one."
     )
 
-    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+    def check(self, module: ModuleInfo, model: ProgramModel) -> Iterator[Finding]:
         if not any(layer in module.relpath for layer in PROTOCOL_LAYERS):
             return
         for node in ast.walk(module.tree):

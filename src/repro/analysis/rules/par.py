@@ -20,6 +20,7 @@ import ast
 from typing import Iterator, Optional
 
 from repro.analysis.core import Finding, ModuleInfo, Rule, register_rule
+from repro.analysis.model import ProgramModel
 
 _POOL_ENTRYPOINTS = {"parallel_map", "parallel_imap"}
 
@@ -158,7 +159,7 @@ class NonPicklableWorkerRule(Rule):
         "functools.partial."
     )
 
-    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+    def check(self, module: ModuleInfo, model: ProgramModel) -> Iterator[Finding]:
         owner = _enclosing_function_map(module.tree)
         for call in _pool_calls(module.tree):
             resolution = _WorkerResolution(module.tree, owner.get(call))
@@ -182,7 +183,7 @@ class WorkerMutableGlobalRule(Rule):
         "silently lost per-process — both break jobs-invariance."
     )
 
-    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+    def check(self, module: ModuleInfo, model: ProgramModel) -> Iterator[Finding]:
         workers = self._worker_defs(module.tree)
         if not workers:
             return

@@ -25,6 +25,7 @@ from typing import Iterator, Union
 
 from repro.analysis.astutil import assigned_self_attrs, class_methods, slots_entries
 from repro.analysis.core import Finding, ModuleInfo, Rule, register_rule
+from repro.analysis.model import ProgramModel
 
 #: Files whose classes hold process-local protocol state.
 STATE_SCOPE_PREFIXES = ("repro/core/", "repro/byzantine/")
@@ -35,7 +36,12 @@ def _in_scope(relpath: str) -> bool:
     return relpath.startswith(STATE_SCOPE_PREFIXES) or relpath in STATE_SCOPE_FILES
 
 
-def _load_registry() -> dict[str, Union[dict[str, str], str]]:
+def _load_registry(model: ProgramModel) -> dict[str, Union[dict[str, str], str]]:
+    """The corruption registry: AST-extracted from ``faults.py`` when it
+    is part of the analyzed set (whole-package lint), else imported — the
+    two views are identical because the registry is a literal dict."""
+    if model.corruption_registry is not None:
+        return model.corruption_registry
     from repro.sim.faults import CORRUPTION_REGISTRY
 
     return CORRUPTION_REGISTRY
@@ -72,10 +78,10 @@ class UnregisteredStateRule(Rule):
         "justified) in repro.sim.faults.CORRUPTION_REGISTRY."
     )
 
-    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+    def check(self, module: ModuleInfo, model: ProgramModel) -> Iterator[Finding]:
         if not _in_scope(module.relpath):
             return
-        registry = _load_registry()
+        registry = _load_registry(model)
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.ClassDef):
                 continue
@@ -123,12 +129,12 @@ class UncorruptedRegisteredStateRule(Rule):
         "registry over-promises and E6/E13 under-test."
     )
 
-    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+    def check(self, module: ModuleInfo, model: ProgramModel) -> Iterator[Finding]:
         if not _in_scope(module.relpath):
             return
         from repro.sim.faults import CORRUPTIBLE
 
-        registry = _load_registry()
+        registry = _load_registry(model)
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.ClassDef):
                 continue

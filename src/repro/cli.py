@@ -363,25 +363,91 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0 if report.stabilized else 1
 
 
+def _changed_python_files() -> Optional[list]:
+    """Repo-relative ``.py`` files touched vs HEAD (plus untracked ones),
+    or None when git is unavailable — ``repro lint --changed``."""
+    import subprocess
+    from pathlib import Path
+
+    def _git(*argv: str) -> str:
+        return subprocess.run(
+            ["git", *argv], capture_output=True, text=True, check=True
+        ).stdout
+
+    try:
+        top = Path(_git("rev-parse", "--show-toplevel").strip())
+        changed = _git(
+            "diff", "--name-only", "-z", "--diff-filter=d", "HEAD", "--", "*.py"
+        )
+        untracked = _git(
+            "ls-files", "--others", "--exclude-standard", "-z", "--", "*.py"
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    names = set(changed.split("\0")) | set(untracked.split("\0"))
+    return sorted(
+        top / name
+        for name in names
+        if name.endswith(".py") and (top / name).is_file()
+    )
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from repro.analysis import (
-        analyze_paths,
+        analyze_modules,
         apply_baseline,
+        build_model,
         default_target,
         load_baseline,
+        load_model_cache,
+        load_modules,
+        model_cache_key,
+        render_github,
         render_json,
         render_rule_list,
         render_text,
+        save_model_cache,
         write_baseline,
     )
 
     if args.list_rules:
         print(render_rule_list())
         return 0
-    targets = [Path(p) for p in args.paths] or [default_target()]
-    findings = analyze_paths(targets)
+    if args.changed:
+        changed = _changed_python_files()
+        if changed is None:
+            print("--changed requires a git checkout", file=sys.stderr)
+            return 2
+        if args.paths:  # optional scope filter on top of the diff
+            scopes = [Path(p).resolve() for p in args.paths]
+            changed = [
+                path
+                for path in changed
+                if any(
+                    path.resolve().is_relative_to(scope) for scope in scopes
+                )
+            ]
+        targets = changed
+        if not targets:
+            print("clean: no changed python files")
+            return 0
+    else:
+        targets = [Path(p) for p in args.paths] or [default_target()]
+
+    modules = load_modules(targets)
+    model = None
+    if args.model_cache:
+        # Phase-1 artifact cache: keyed on a hash of every analyzed
+        # source, so any edit (or a different file set) rebuilds.
+        cache_path = Path(args.model_cache)
+        key = model_cache_key(modules)
+        model = load_model_cache(cache_path, key)
+        if model is None:
+            model = build_model(modules)
+            save_model_cache(cache_path, key, model)
+    findings = analyze_modules(modules, model=model)
 
     baseline_path = Path(args.baseline) if args.baseline else None
     if args.write_baseline:
@@ -397,8 +463,21 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         findings, matched = apply_baseline(findings, load_baseline(baseline_path))
         baselined = len(matched)
 
-    render = render_json if args.format == "json" else render_text
-    print(render(findings, baselined=baselined))
+    if args.format == "github":
+        cwd = Path.cwd()
+        pathmap = {}
+        for module in modules:
+            if module.srcpath is None:
+                continue
+            try:
+                display = module.srcpath.resolve().relative_to(cwd)
+            except ValueError:
+                display = module.srcpath
+            pathmap[module.relpath] = display.as_posix()
+        print(render_github(findings, baselined=baselined, pathmap=pathmap))
+    else:
+        render = render_json if args.format == "json" else render_text
+        print(render(findings, baselined=baselined))
     return 1 if findings else 0
 
 
@@ -938,7 +1017,21 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         help="files or directories to analyze (default: the repro package)",
     )
-    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument(
+        "--format", choices=("text", "json", "github"), default="text"
+    )
+    lint.add_argument(
+        "--changed",
+        action="store_true",
+        help="lint only .py files changed vs HEAD (plus untracked ones); "
+        "positional paths become a scope filter",
+    )
+    lint.add_argument(
+        "--model-cache",
+        default=None,
+        metavar="PATH",
+        help="cache the phase-1 program model here, keyed on a source hash",
+    )
     lint.add_argument(
         "--baseline",
         default=None,

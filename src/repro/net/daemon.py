@@ -177,10 +177,13 @@ class ServerDaemon:
         self.transport.drop_peer(conn)
 
     async def stop(self) -> None:
-        if self.server is not None:
-            self.server.close()
-            await self.server.wait_closed()
-            self.server = None
+        # Take ownership of the handle before the first await: rebinding
+        # self.server after wait_closed() would race a concurrent start()
+        # (torn read-modify-write across the suspension point).
+        server, self.server = self.server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
         for task in list(self._handshakes):
             task.cancel()
         for conn in list(self._conns):

@@ -136,7 +136,13 @@ class _Pipe:
                             self._emit(frame)
                         else:
                             loop.call_later(offset, self._emit, frame)
-        except (ConnectionError, asyncio.CancelledError, OSError):
+        except asyncio.CancelledError:
+            # stop() cancels the pipe tasks; swallowing the cancellation
+            # would let them finish as "completed" and leave stop()'s
+            # gather believing the pipe is still draining. Clean up in
+            # ``finally`` and let the cancellation propagate.
+            raise
+        except (ConnectionError, OSError):
             pass
         finally:
             await self.close()
@@ -220,12 +226,19 @@ class FaultProxy:
         ]
 
     async def stop(self) -> None:
-        if self.server is not None:
-            self.server.close()
-            await self.server.wait_closed()
-            self.server = None
-        for task in self._tasks:
+        # Take ownership of the handle before the first await: rebinding
+        # self.server after wait_closed() would race a concurrent start()
+        # (torn read-modify-write across the suspension point).
+        server, self.server = self.server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+        tasks = list(self._tasks)
+        for task in tasks:
             task.cancel()
+        # Reap the cancellations: run() re-raises CancelledError, so an
+        # unawaited task would die with a never-retrieved exception.
+        await asyncio.gather(*tasks, return_exceptions=True)
         for pipe in self._pipes:
             await pipe.close()
         self._tasks.clear()

@@ -229,12 +229,16 @@ class StreamConnection(asyncio.Protocol):
         self._flush_scheduled = False
         self._close_notified = False
         self._loop: Optional[asyncio.AbstractEventLoop] = None
-        self._closed_event = asyncio.Event()
+        # Created in connection_made: an Event built here would bind the
+        # loop that happens to be current (or, on 3.10+, none at all) at
+        # construction time, not the loop the connection runs on.
+        self._closed_event: Optional[asyncio.Event] = None
 
     # -- asyncio.Protocol ----------------------------------------------
     def connection_made(self, transport: asyncio.BaseTransport) -> None:
         self.transport = transport  # type: ignore[assignment]
         self._loop = asyncio.get_running_loop()
+        self._closed_event = asyncio.Event()
         if self._on_connected is not None:
             self._on_connected(self)
 
@@ -271,7 +275,8 @@ class StreamConnection(asyncio.Protocol):
 
     def connection_lost(self, exc: Optional[Exception]) -> None:
         self.closed = True
-        self._closed_event.set()
+        if self._closed_event is not None:
+            self._closed_event.set()
         waiter = self._frame_waiter
         if waiter is not None and not waiter.done():
             waiter.set_exception(WireError("connection closed before HELLO"))
@@ -370,6 +375,8 @@ class StreamConnection(asyncio.Protocol):
         if not self.closed:
             self._flush()  # drain coalesced frames before FIN
             self._teardown()
+        if self._closed_event is None:
+            return  # never connected: nothing to wait out
         try:
             await asyncio.wait_for(self._closed_event.wait(), 1.0)
         except asyncio.TimeoutError:  # pragma: no cover - defensive

@@ -142,6 +142,65 @@ CORRUPTION_REGISTRY: dict[str, Any] = {
         "exempt: experiment-harness orchestrator, not a simulated process; "
         "it owns the injector rather than being subject to it"
     ),
+    # --- live hosting layer (net/, cross-checked by WIRE003) -----------
+    # The live tier hosts the *unmodified* protocol classes, so the
+    # corruption surface is still theirs (RegisterServer/RegisterClient
+    # entries above). Everything a host carries is plumbing around that
+    # process — corrupting a socket handle or a codec object models an
+    # infrastructure crash, not a transient memory fault, and the paper's
+    # fault model covers crashes separately.
+    "ServerDaemon": {
+        "sid": INFRASTRUCTURE,
+        "config": INFRASTRUCTURE,
+        "_address_spec": INFRASTRUCTURE,
+        "codec": INFRASTRUCTURE,
+        "flush_watermark": INFRASTRUCTURE,
+        "transport": INFRASTRUCTURE,
+        "env": INFRASTRUCTURE,
+        "scheme": INFRASTRUCTURE,
+        # The hosted RegisterServer: its own attributes are the actual
+        # corruption surface, declared under "RegisterServer" above.
+        "process": INFRASTRUCTURE,
+        "server": INFRASTRUCTURE,
+        "address": INFRASTRUCTURE,
+        "_conns": INFRASTRUCTURE,
+        "_handshakes": INFRASTRUCTURE,
+    },
+    "ClientEndpoint": {
+        "cid": INFRASTRUCTURE,
+        "config": INFRASTRUCTURE,
+        "_addresses": INFRASTRUCTURE,
+        "op_timeout": INFRASTRUCTURE,
+        "codec": INFRASTRUCTURE,
+        "flush_watermark": INFRASTRUCTURE,
+        "transport": INFRASTRUCTURE,
+        "clock": INFRASTRUCTURE,
+        "env": INFRASTRUCTURE,
+        "history": OBSERVABILITY,
+        "recorder": OBSERVABILITY,
+        "scheme": INFRASTRUCTURE,
+        # The hosted RegisterClient (surface declared above).
+        "client": INFRASTRUCTURE,
+        "timeouts": OBSERVABILITY,
+        "_conns": INFRASTRUCTURE,
+    },
+    "LiveClock": {"_epoch": INFRASTRUCTURE},
+    "_BridgeNetwork": {
+        "transport": INFRASTRUCTURE,
+        "processes": INFRASTRUCTURE,
+        "stats": OBSERVABILITY,
+    },
+    "NetEnvironment": {
+        "seed": INFRASTRUCTURE,
+        "transport": INFRASTRUCTURE,
+        "network": INFRASTRUCTURE,
+        "clock": INFRASTRUCTURE,
+    },
+    "LiveRegisterCluster": (
+        "exempt: live-deployment orchestrator (boots daemons, proxies and "
+        "endpoints); like RegisterSystem it runs the experiment rather "
+        "than being part of the modelled process memory"
+    ),
 }
 
 

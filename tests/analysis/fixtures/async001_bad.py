@@ -1,0 +1,37 @@
+"""ASYNC001 positives: torn read-modify-write across an await.
+
+Analyzed with the simulated relpath ``repro/net/async001_bad.py``.
+"""
+
+import asyncio
+
+
+class TokenBucket:
+    """``consume`` reads tokens, suspends, then rebinds it — and
+    ``refill`` can run in the gap, so its update is lost."""
+
+    def __init__(self):
+        self.tokens = 0
+
+    async def consume(self, n):
+        have = self.tokens
+        await asyncio.sleep(0)
+        self.tokens = have - n  # expect: ASYNC001
+
+    async def refill(self, n):
+        self.tokens = self.tokens + n
+
+
+class SuppressedBucket:
+    """Same shape, suppressed with a justification."""
+
+    def __init__(self):
+        self.level = 0
+
+    async def drain(self):
+        snapshot = self.level
+        await asyncio.sleep(0)
+        self.level = snapshot - 1  # lint-ok: ASYNC001 — caller serializes drain/top_up
+
+    async def top_up(self):
+        self.level += 1

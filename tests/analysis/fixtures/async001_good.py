@@ -1,0 +1,51 @@
+"""ASYNC001 negatives: shapes that look torn but are not.
+
+Analyzed with the simulated relpath ``repro/net/async001_good.py``.
+"""
+
+import asyncio
+
+
+class PrivateCounter:
+    """Torn shape, but no *other* coroutine touches the attribute — there
+    is nothing to interleave with."""
+
+    def __init__(self):
+        self.hits = 0
+
+    async def bump(self):
+        n = self.hits
+        await asyncio.sleep(0)
+        self.hits = n + 1
+
+
+class Teardown:
+    """The ownership-swap idiom: read and rebind happen before the
+    suspension point, so a concurrent ``start`` cannot be clobbered."""
+
+    def __init__(self):
+        self.server = None
+
+    async def stop(self):
+        server, self.server = self.server, None
+        if server is not None:
+            await server.wait_closed()
+
+    async def start(self):
+        self.server = object()
+
+
+class AddressBook:
+    """Item mutation after an await is not a torn rebinding: setting a
+    dict key cannot lose a concurrent rebind of the attribute."""
+
+    def __init__(self):
+        self.addresses = {}
+
+    async def boot(self, sid, daemon):
+        spec = self.addresses.get(sid)
+        await daemon.start(spec)
+        self.addresses[sid] = daemon.address
+
+    async def lookup(self, sid):
+        return self.addresses[sid]

@@ -1,0 +1,21 @@
+"""ASYNC002 positives: task handles dropped on the floor.
+
+Analyzed with the simulated relpath ``repro/net/async002_bad.py``.
+"""
+
+import asyncio
+
+
+class Pump:
+    async def accept(self, conn):
+        asyncio.create_task(conn.run())  # expect: ASYNC002
+        asyncio.ensure_future(conn.drain())  # expect: ASYNC002
+
+    def kick(self, loop, conn):
+        loop.create_task(conn.run())  # expect: ASYNC002
+
+    async def heartbeat(self):
+        asyncio.create_task(self._beat())  # lint-ok: ASYNC002 — demo of a justified drop
+
+    async def _beat(self):
+        await asyncio.sleep(0)

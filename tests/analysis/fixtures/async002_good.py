@@ -1,0 +1,18 @@
+"""ASYNC002 negatives: every spawned task keeps a reference.
+
+Analyzed with the simulated relpath ``repro/net/async002_good.py``.
+"""
+
+import asyncio
+
+
+class Pump:
+    def __init__(self):
+        self._tasks = []
+        self._task = None
+
+    async def accept(self, loop, conn):
+        self._task = asyncio.create_task(conn.run())
+        self._tasks.append(loop.create_task(conn.drain()))
+        handle = asyncio.ensure_future(conn.flush())
+        await handle

@@ -1,0 +1,21 @@
+"""ASYNC003 positives: blocking calls inside coroutines.
+
+Analyzed with the simulated relpath ``repro/net/async003_bad.py``.
+``time.sleep`` trips DET001 too — the overlap is deliberate (the rules
+state different reasons) and the marker pins both.
+"""
+
+import subprocess
+import time
+import urllib.request
+
+
+class Prober:
+    async def probe(self, cmd, url):
+        time.sleep(0.5)  # expect: ASYNC003, DET001
+        subprocess.run(cmd)  # expect: ASYNC003
+        return urllib.request.urlopen(url)  # expect: ASYNC003
+
+    def snapshot(self, cmd):
+        # Sync helper: ASYNC003 only applies inside coroutines.
+        return subprocess.run(cmd)

@@ -1,0 +1,15 @@
+"""ASYNC003 negatives: async equivalents and executor offload.
+
+Analyzed with the simulated relpath ``repro/net/async003_good.py``.
+"""
+
+import asyncio
+import shutil
+
+
+class Prober:
+    async def pause(self):
+        await asyncio.sleep(0.01)
+
+    async def offload(self, loop, cmd):
+        return await loop.run_in_executor(None, shutil.which, cmd)

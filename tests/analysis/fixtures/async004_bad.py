@@ -1,0 +1,32 @@
+"""ASYNC004 positives: handlers that swallow cancellation.
+
+Analyzed with the simulated relpath ``repro/net/async004_bad.py``.
+"""
+
+import asyncio
+
+
+class Pipe:
+    async def run(self, reader):
+        try:
+            await reader.read()
+        except:  # expect: ASYNC004
+            pass
+
+    async def drain(self, writer):
+        try:
+            await writer.drain()
+        except BaseException:  # expect: ASYNC004
+            return None
+
+    async def pump(self, sock):
+        try:
+            await sock.recv()
+        except (ConnectionError, asyncio.CancelledError):  # expect: ASYNC004
+            pass
+
+    async def finalize(self, conn):
+        try:
+            await conn.close()
+        except asyncio.CancelledError:  # lint-ok: ASYNC004 — terminal cleanup, task ends anyway
+            pass

@@ -1,0 +1,44 @@
+"""ASYNC004 negatives: cancellation propagates (or cannot occur).
+
+Analyzed with the simulated relpath ``repro/net/async004_good.py``.
+"""
+
+import asyncio
+
+
+class Pipe:
+    async def run(self, reader):
+        try:
+            await reader.read()
+        except asyncio.CancelledError:
+            raise
+        except (ConnectionError, OSError):
+            pass
+
+    async def named_reraise(self, writer):
+        try:
+            await writer.drain()
+        except asyncio.CancelledError as exc:
+            writer.close()
+            raise exc
+
+    async def drain(self, writer):
+        try:
+            await writer.drain()
+        except Exception:
+            # CancelledError subclasses BaseException on 3.8+, so a
+            # plain Exception clause does not catch it.
+            pass
+
+    def sync_guard(self, fh):
+        try:
+            fh.flush()
+        except:
+            pass
+
+    async def no_suspension(self, items):
+        try:
+            items.sort()
+        except BaseException:
+            pass
+        await asyncio.sleep(0)

@@ -1,0 +1,18 @@
+"""ASYNC005 positives: loop-bound primitives built outside a loop.
+
+Analyzed with the simulated relpath ``repro/net/async005_bad.py``.
+"""
+
+import asyncio
+
+_GATE = asyncio.Event()  # expect: ASYNC005
+
+
+class Host:
+    def __init__(self):
+        self.lock = asyncio.Lock()  # expect: ASYNC005
+        self.queue = asyncio.Queue()  # expect: ASYNC005
+        self.cond = asyncio.Condition()  # lint-ok: ASYNC005 — demo of a justified exception
+
+    def _init_limits(self):
+        self.sem = asyncio.Semaphore(4)  # expect: ASYNC005

@@ -1,0 +1,21 @@
+"""ASYNC005 negatives: primitives created where a loop is running.
+
+Analyzed with the simulated relpath ``repro/net/async005_good.py``.
+"""
+
+import asyncio
+
+
+class Host:
+    def __init__(self):
+        self._ready = None
+
+    def connection_made(self, transport):
+        # Sync, but only ever invoked by the serving loop — a plain
+        # method is out of ASYNC005's scope (call site unknowable).
+        self._ready = asyncio.Event()
+
+    async def serve(self):
+        lock = asyncio.Lock()
+        async with lock:
+            await self._ready.wait()

@@ -1,0 +1,25 @@
+"""WIRE001 positives: tag bytes with one-sided (or no) dispatch.
+
+Analyzed with the simulated relpath ``repro/net/wire001_bad.py``.
+"""
+
+_T_INT = 0x01
+_T_ORPHAN = 0x02  # expect: WIRE001
+_T_GHOST = 0x03  # expect: WIRE001
+_T_DEAD = 0x04  # expect: WIRE001
+_T_HUSH = 0x05  # lint-ok: WIRE001 — reserved for the next frame revision
+
+
+def encode(value, out):
+    if isinstance(value, int):
+        out.append(_T_INT)
+    else:
+        out.append(_T_ORPHAN)  # encoded, never decoded
+
+
+def decode(tag, body):
+    if tag == _T_INT:
+        return int.from_bytes(body, "big")
+    if tag == _T_GHOST:  # decoded, never encoded
+        return None
+    raise ValueError(tag)

@@ -1,0 +1,28 @@
+"""WIRE001 negatives: every tag has both dispatch arms.
+
+Analyzed with the simulated relpath ``repro/net/wire001_good.py``.
+"""
+
+_T_NIL = 0x00
+_T_STR = 0x01
+_T_PAIR = 0x02
+
+
+def encode(value, out):
+    if value is None:
+        out.append(_T_NIL)
+    elif isinstance(value, str):
+        out.append(_T_STR)
+        out.extend(value.encode("utf-8"))
+    else:
+        out.extend(bytearray((_T_PAIR,)))
+
+
+def decode(tag, body):
+    if tag == _T_NIL:
+        return None
+    if tag == _T_STR:
+        return body.decode("utf-8")
+    if tag != _T_PAIR:
+        raise ValueError(tag)
+    return (body[:1], body[1:])

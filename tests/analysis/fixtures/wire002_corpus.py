@@ -1,0 +1,12 @@
+"""The differential-corpus twin of ``wire002_registry.py``.
+
+Analyzed with the simulated relpath ``tests/net/test_wire_corpus.py``
+(the ``test_wire*`` basename is what marks it as corpus). It exercises
+``Ping`` but never mentions ``Pong``.
+"""
+
+
+def test_ping_roundtrip(wire):
+    msg = wire.Ping()
+    assert wire.decode(wire._T_PING) is not None
+    assert msg is not None

@@ -1,0 +1,34 @@
+"""WIRE002 positive: ``Pong`` is registered but absent from the corpus.
+
+Analyzed *together with* ``wire002_corpus.py`` (simulated relpath
+``tests/net/test_wire_corpus.py``) by a dedicated test in
+``test_rules.py`` — corpus coverage is a cross-module fact the
+single-module marker harness cannot drive. Alone, no corpus is
+reachable and the rule stays silent.
+"""
+
+
+class Ping:
+    pass
+
+
+class Pong:
+    pass
+
+
+_T_PING = 0x01
+_T_PONG = 0x02
+
+_MESSAGE_ORDER = (Ping, Pong)  # expect: WIRE002
+
+
+def encode(msg, out):
+    out.append(_T_PING if isinstance(msg, Ping) else _T_PONG)
+
+
+def decode(tag):
+    if tag == _T_PING:
+        return Ping()
+    if tag == _T_PONG:
+        return Pong()
+    raise ValueError(tag)

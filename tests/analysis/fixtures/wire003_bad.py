@@ -1,0 +1,43 @@
+"""WIRE003 positives, analyzed as ``repro/net/daemon.py``.
+
+``ServerDaemon`` and ``LiveClock`` deliberately reuse registered names so
+the fixture exercises the real registry entries without importing the
+live classes.
+"""
+
+
+class RogueHost:
+    """No registry entry at all: every attribute flagged."""
+
+    def __init__(self, sid):
+        self.sid = sid  # expect: WIRE003
+        self.socket_cache = {}  # expect: WIRE003
+        self.scratch = []  # lint-ok: WIRE003 — demo of a justified omission
+
+
+class ServerDaemon:
+    """Registered, but carries one attribute the registry never heard of."""
+
+    def __init__(self, sid, config):
+        self.sid = sid
+        self.config = config
+        self._address_spec = None
+        self.codec = None
+        self.flush_watermark = 0
+        self.transport = None
+        self.env = None
+        self.scheme = None
+        self.process = None
+        self.server = None
+        self.address = None
+        self._conns = set()
+        self._handshakes = set()
+        self.hidden_latch = None  # expect: WIRE003
+
+
+class LiveClock:  # expect: WIRE003
+    """Drifted both ways: ``skew`` is undeclared, and the registered
+    ``_epoch`` is never initialized (stale entry, reported at the class)."""
+
+    def __init__(self):
+        self.skew = 0.0  # expect: WIRE003

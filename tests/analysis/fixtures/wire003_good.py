@@ -1,0 +1,27 @@
+"""WIRE003 negatives, analyzed as ``repro/net/bridge.py``.
+
+``LiveClock`` matches its registry entry exactly;
+``LiveRegisterCluster`` is exempted with a reason string; ``Stateless``
+has no attributes to declare.
+"""
+
+
+class LiveClock:
+    __slots__ = ("_epoch",)
+
+    def __init__(self):
+        self._epoch = 0.0
+
+    def now(self):
+        return self._epoch
+
+
+class LiveRegisterCluster:
+    def __init__(self):
+        self.daemons = []
+        self.started = False
+
+
+class Stateless:
+    def run(self):
+        return None

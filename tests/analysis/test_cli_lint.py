@@ -4,8 +4,6 @@ from __future__ import annotations
 
 import json
 
-import pytest
-
 from repro.cli import main
 
 
@@ -78,5 +76,89 @@ def test_list_rules_prints_full_catalogue(capsys) -> None:
         "STAB002",
         "PAR001",
         "PAR002",
+        "NET001",
+        "ASYNC001",
+        "ASYNC002",
+        "ASYNC003",
+        "ASYNC004",
+        "ASYNC005",
+        "WIRE001",
+        "WIRE002",
+        "WIRE003",
     ):
         assert rule_id in out
+
+
+def test_github_format_emits_workflow_commands(tmp_path, capsys) -> None:
+    bad = _bad_module(tmp_path)
+    assert main(["lint", str(bad), "--format", "github"]) == 1
+    out = capsys.readouterr().out
+    (error_line,) = [l for l in out.splitlines() if l.startswith("::error ")]
+    assert "line=5" in error_line
+    assert "title=DET001" in error_line
+    assert "::DET001 " in error_line
+    assert "1 finding(s)" in out
+
+
+def test_github_format_clean(tmp_path, capsys) -> None:
+    good = tmp_path / "good.py"
+    good.write_text("VALUE = 1\n", encoding="utf-8")
+    assert main(["lint", str(good), "--format", "github"]) == 0
+    out = capsys.readouterr().out
+    assert "::error" not in out
+    assert "clean: no findings" in out
+
+
+def test_model_cache_written_and_reused(tmp_path, capsys) -> None:
+    bad = _bad_module(tmp_path)
+    cache = tmp_path / "model.json"
+    assert main(["lint", str(bad), "--model-cache", str(cache)]) == 1
+    assert cache.is_file()
+    first = json.loads(cache.read_text(encoding="utf-8"))
+    assert "key" in first and "model" in first
+    capsys.readouterr()
+    # Warm run: same findings, cache untouched.
+    assert main(["lint", str(bad), "--model-cache", str(cache)]) == 1
+    assert "DET001" in capsys.readouterr().out
+    assert json.loads(cache.read_text(encoding="utf-8")) == first
+    # A corrupt cache is rebuilt, never trusted.
+    cache.write_text("not json", encoding="utf-8")
+    assert main(["lint", str(bad), "--model-cache", str(cache)]) == 1
+    assert json.loads(cache.read_text(encoding="utf-8")) == first
+
+
+def _git_repo(tmp_path):
+    import subprocess
+
+    def git(*argv):
+        subprocess.run(
+            ["git", "-c", "user.email=t@t", "-c", "user.name=t", *argv],
+            cwd=tmp_path,
+            check=True,
+            capture_output=True,
+        )
+
+    git("init", "-q")
+    (tmp_path / "anchor.py").write_text("ANCHOR = 1\n", encoding="utf-8")
+    git("add", "anchor.py")
+    git("commit", "-qm", "anchor")
+    return git
+
+
+def test_changed_lints_only_the_diff(tmp_path, capsys, monkeypatch) -> None:
+    _git_repo(tmp_path)
+    monkeypatch.chdir(tmp_path)
+    assert main(["lint", "--changed"]) == 0
+    assert "clean: no changed python files" in capsys.readouterr().out
+    # An untracked offending file enters the diff scope...
+    bad = tmp_path / "repro" / "sim" / "probe.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text(
+        "import time\n\n\ndef stamp():\n    return time.time()\n",
+        encoding="utf-8",
+    )
+    assert main(["lint", "--changed"]) == 1
+    assert "DET001" in capsys.readouterr().out
+    # ...and positional paths narrow it back down.
+    assert main(["lint", "--changed", str(tmp_path / "docs")]) == 0
+    assert "clean" in capsys.readouterr().out

@@ -1,0 +1,379 @@
+"""Unit tests for the phase-1 program model (``repro.analysis.model``).
+
+The fixture-driven tests pin rule *behaviour*; these pin the extraction
+layer the rules consume — class-state tables, await-relative event
+ordering, the wire-schema roles, registry resolution, corpus discovery,
+and the JSON cache round-trip.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.analysis import ModuleInfo, build_model
+from repro.analysis.model import (
+    ProgramModel,
+    load_model_cache,
+    model_cache_key,
+    save_model_cache,
+)
+
+
+def _module(source: str, relpath: str = "repro/net/mod.py", srcpath=None):
+    return ModuleInfo.from_source(
+        textwrap.dedent(source), relpath, srcpath=srcpath
+    )
+
+
+# ---------------------------------------------------------------------------
+# class-state table
+# ---------------------------------------------------------------------------
+
+
+def test_class_attrs_from_init_and_slots() -> None:
+    model = build_model(
+        [
+            _module(
+                """
+                class Host:
+                    __slots__ = ("alpha", "beta")
+
+                    def __init__(self):
+                        self.alpha = 1
+                        self.gamma = {}
+
+                    def _init_extra(self):
+                        self.delta = None
+                """
+            )
+        ]
+    )
+    (cls,) = model.classes_in("repro/net/mod.py")
+    assert set(cls.attrs) == {"alpha", "beta", "gamma", "delta"}
+
+
+def test_coroutine_flag_and_await_positions() -> None:
+    model = build_model(
+        [
+            _module(
+                """
+                class Host:
+                    async def pump(self):
+                        before = self.buf
+                        await self.drain()
+                        self.buf = before
+
+                    def sync(self):
+                        return self.buf
+                """
+            )
+        ]
+    )
+    (cls,) = model.classes_in("repro/net/mod.py")
+    pump = cls.methods["pump"]
+    assert pump.is_coroutine and not cls.methods["sync"].is_coroutine
+    assert pump.awaits == 1
+    # buf read at 0 awaits, drain read at 0 (inside the await's value),
+    # buf written after the suspension.
+    events = [(a, k, n) for a, k, n, _ in pump.events]
+    assert ("buf", "read", 0) in events
+    assert ("buf", "write", 1) in events
+
+
+def test_torn_update_detected_and_reported_once() -> None:
+    model = build_model(
+        [
+            _module(
+                """
+                class Host:
+                    async def pump(self):
+                        v = self.state
+                        await self.tick()
+                        self.state = v + 1
+                        self.state = v + 2
+                """
+            )
+        ]
+    )
+    (cls,) = model.classes_in("repro/net/mod.py")
+    torn = cls.methods["pump"].torn_updates()
+    assert len(torn) == 1
+    attr, read_line, write_line = torn[0]
+    assert attr == "state" and write_line > read_line
+
+
+def test_same_side_rmw_is_not_torn() -> None:
+    model = build_model(
+        [
+            _module(
+                """
+                class Host:
+                    async def bump(self):
+                        self.n = self.n + 1
+                        await self.tick()
+                """
+            )
+        ]
+    )
+    (cls,) = model.classes_in("repro/net/mod.py")
+    assert cls.methods["bump"].torn_updates() == []
+
+
+def test_item_mutation_is_not_a_torn_rebinding() -> None:
+    model = build_model(
+        [
+            _module(
+                """
+                class Host:
+                    async def boot(self, sid, daemon):
+                        spec = self.addrs.get(sid)
+                        await daemon.start(spec)
+                        self.addrs[sid] = daemon.address
+                """
+            )
+        ]
+    )
+    (cls,) = model.classes_in("repro/net/mod.py")
+    boot = cls.methods["boot"]
+    assert boot.torn_updates() == []
+    # ... but the attribute still counts as touched (interleaving partner).
+    assert "addrs" in boot.touched
+
+
+def test_async_for_and_async_with_count_as_suspensions() -> None:
+    model = build_model(
+        [
+            _module(
+                """
+                class Host:
+                    async def scan(self, source):
+                        n = self.count
+                        async for item in source:
+                            pass
+                        self.count = n + 1
+
+                    async def guard(self, lock):
+                        n = self.count
+                        async with lock:
+                            pass
+                        self.count = n + 1
+                """
+            )
+        ]
+    )
+    (cls,) = model.classes_in("repro/net/mod.py")
+    assert cls.methods["scan"].torn_updates()
+    assert cls.methods["guard"].torn_updates()
+
+
+def test_nested_function_traffic_is_excluded() -> None:
+    model = build_model(
+        [
+            _module(
+                """
+                class Host:
+                    async def outer(self):
+                        def cb():
+                            self.hidden = 1
+                        await self.tick()
+                """
+            )
+        ]
+    )
+    (cls,) = model.classes_in("repro/net/mod.py")
+    assert "hidden" not in cls.methods["outer"].touched
+
+
+def test_coroutines_touching_excludes_self_and_sync() -> None:
+    model = build_model(
+        [
+            _module(
+                """
+                class Host:
+                    async def a(self):
+                        self.x = 1
+
+                    async def b(self):
+                        return self.x
+
+                    def c(self):
+                        return self.x
+                """
+            )
+        ]
+    )
+    (cls,) = model.classes_in("repro/net/mod.py")
+    assert cls.coroutines_touching("x", exclude="a") == ["b"]
+
+
+# ---------------------------------------------------------------------------
+# wire-schema table
+# ---------------------------------------------------------------------------
+
+WIRE_SRC = """
+class Ping:
+    pass
+
+
+_T_A = 0x01
+_T_B = 0x02
+_T_C = 0x03
+
+_MESSAGE_ORDER = (Ping,)
+
+
+def encode(out):
+    out.append(_T_A)
+    out.extend(bytearray((_T_B,)))
+
+
+def decode(tag):
+    if tag == _T_A:
+        return 1
+    return tag != _T_C
+"""
+
+
+def test_wire_roles_extracted() -> None:
+    model = build_model([_module(WIRE_SRC, "repro/net/wirey.py")])
+    wire = model.wire_in("repro/net/wirey.py")
+    assert wire is not None
+    assert set(wire.tags) == {"_T_A", "_T_B", "_T_C"}
+    assert wire.tags["_T_A"][0] == 0x01
+    assert wire.encode_arms == {"_T_A", "_T_B"}
+    assert wire.decode_arms == {"_T_A", "_T_C"}
+    assert set(wire.payload_types) == {"Ping"}
+
+
+def test_module_without_tags_has_no_wire_model() -> None:
+    model = build_model([_module("x = 1\n")])
+    assert model.wire_in("repro/net/mod.py") is None
+
+
+# ---------------------------------------------------------------------------
+# corruption registry
+# ---------------------------------------------------------------------------
+
+
+def test_registry_extraction_resolves_kind_names() -> None:
+    model = build_model(
+        [
+            _module(
+                """
+                KINDA = "corruptible"
+
+                CORRUPTION_REGISTRY = {
+                    "Host": {"x": KINDA, "y": "infrastructure"},
+                    "Harness": "exempt: not a process",
+                }
+                """,
+                "repro/sim/faults.py",
+            )
+        ]
+    )
+    assert model.corruption_registry == {
+        "Host": {"x": "corruptible", "y": "infrastructure"},
+        "Harness": "exempt: not a process",
+    }
+
+
+def test_registry_none_when_faults_not_analyzed() -> None:
+    model = build_model([_module("x = 1\n")])
+    assert model.corruption_registry is None
+
+
+# ---------------------------------------------------------------------------
+# corpus discovery
+# ---------------------------------------------------------------------------
+
+
+def test_corpus_discovered_from_source_tree(tmp_path: Path) -> None:
+    corpus_dir = tmp_path / "tests" / "net"
+    corpus_dir.mkdir(parents=True)
+    (corpus_dir / "test_wire_x.py").write_text(
+        "def test_roundtrip(codec):\n    assert codec.Ping\n",
+        encoding="utf-8",
+    )
+    srcfile = tmp_path / "src" / "repro" / "net" / "wirey.py"
+    srcfile.parent.mkdir(parents=True)
+    srcfile.write_text("unused = 0\n", encoding="utf-8")
+    model = build_model(
+        [_module(WIRE_SRC, "repro/net/wirey.py", srcpath=srcfile)]
+    )
+    assert model.corpus is not None and "Ping" in model.corpus
+    assert model.corpus_files == ("test_wire_x.py",)
+
+
+def test_corpus_none_without_test_tree(tmp_path: Path) -> None:
+    srcfile = tmp_path / "wirey.py"
+    srcfile.write_text("unused = 0\n", encoding="utf-8")
+    model = build_model(
+        [_module(WIRE_SRC, "repro/net/wirey.py", srcpath=srcfile)]
+    )
+    assert model.corpus is None
+
+
+def test_corpus_module_in_analyzed_set() -> None:
+    model = build_model(
+        [
+            _module(WIRE_SRC, "repro/net/wirey.py"),
+            _module(
+                "def test_ping(w):\n    assert w.Ping\n",
+                "tests/net/test_wire_inline.py",
+            ),
+        ]
+    )
+    assert model.corpus is not None and "Ping" in model.corpus
+    assert model.corpus_files == ("test_wire_inline.py",)
+
+
+# ---------------------------------------------------------------------------
+# serialization and cache
+# ---------------------------------------------------------------------------
+
+
+def test_model_round_trips_through_json() -> None:
+    model = build_model(
+        [
+            _module(WIRE_SRC, "repro/net/wirey.py"),
+            _module(
+                """
+                class Host:
+                    async def pump(self):
+                        v = self.state
+                        await self.tick()
+                        self.state = v
+                """,
+                "repro/net/host.py",
+            ),
+        ]
+    )
+    clone = ProgramModel.from_dict(
+        json.loads(json.dumps(model.to_dict()))
+    )
+    assert clone.to_dict() == model.to_dict()
+    (cls,) = clone.classes_in("repro/net/host.py")
+    assert cls.methods["pump"].torn_updates()
+
+
+def test_cache_key_tracks_source_changes() -> None:
+    a = [_module("x = 1\n")]
+    b = [_module("x = 2\n")]
+    assert model_cache_key(a) == model_cache_key(a)
+    assert model_cache_key(a) != model_cache_key(b)
+
+
+def test_cache_save_load_and_invalidation(tmp_path: Path) -> None:
+    modules = [_module(WIRE_SRC, "repro/net/wirey.py")]
+    key = model_cache_key(modules)
+    model = build_model(modules)
+    cache = tmp_path / "model.json"
+    save_model_cache(cache, key, model)
+    loaded = load_model_cache(cache, key)
+    assert loaded is not None and loaded.to_dict() == model.to_dict()
+    assert load_model_cache(cache, "stale-key") is None
+    assert load_model_cache(tmp_path / "missing.json", key) is None
+    cache.write_text("not json", encoding="utf-8")
+    assert load_model_cache(cache, key) is None

@@ -1,0 +1,123 @@
+"""Regression pins for the ASYNC-rule findings fixed in the live tier.
+
+The interprocedural lint pass (``repro.analysis.rules.async_``) surfaced
+two real defects in ``repro.net``:
+
+* ``_Pipe.run`` swallowed ``asyncio.CancelledError`` (ASYNC004), so a
+  pipe task cancelled by ``FaultProxy.stop`` finished as *completed* and
+  stop() could not tell a drained pipe from a wedged one;
+* ``StreamConnection.__init__`` built its ``asyncio.Event`` outside any
+  running loop (ASYNC005), and ``close()`` on a never-connected
+  connection then waited out the full 1 s timeout on an event nobody
+  could ever set.
+
+These tests pin the fixed behaviour at the asyncio-semantics level, which
+the fixture-driven lint tests cannot see.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.net.proxy import FaultProxy
+from repro.net.transport import StreamConnection, StreamTransport, open_connection
+
+
+class TestProxyCancellation:
+    def test_pipe_tasks_end_cancelled_not_completed(self):
+        async def scenario():
+            async def hold(reader, writer):
+                await reader.read(1)
+
+            upstream = await asyncio.start_server(hold, "127.0.0.1", 0)
+            host, port = upstream.sockets[0].getsockname()[:2]
+            proxy = FaultProxy(upstream=f"tcp:{host}:{port}")
+            await proxy.start()
+            reader, writer = await open_connection(proxy.address)
+            # Both pipe tasks exist once _accept has dialed the upstream.
+            while len(proxy._tasks) < 2:
+                await asyncio.sleep(0.01)
+            tasks = list(proxy._tasks)
+            await proxy.stop()
+            states = [t.cancelled() for t in tasks]
+            writer.close()
+            upstream.close()
+            await upstream.wait_closed()
+            return states, proxy.server
+
+        states, server = asyncio.run(scenario())
+        # Pre-fix, run() caught CancelledError and the tasks finished as
+        # "completed"; cancellation must propagate out of the task.
+        assert states == [True, True]
+        assert server is None
+
+    def test_stop_tolerates_concurrent_stop(self):
+        # The ownership swap makes double-stop idempotent even when the
+        # second stop interleaves at the first await.
+        async def scenario():
+            async def hold(reader, writer):
+                await reader.read(1)
+
+            upstream = await asyncio.start_server(hold, "127.0.0.1", 0)
+            host, port = upstream.sockets[0].getsockname()[:2]
+            proxy = FaultProxy(upstream=f"tcp:{host}:{port}")
+            await proxy.start()
+            await asyncio.gather(proxy.stop(), proxy.stop())
+            upstream.close()
+            await upstream.wait_closed()
+            return proxy.server
+
+        assert asyncio.run(scenario()) is None
+
+
+class TestLazyClosedEvent:
+    def test_never_connected_close_returns_immediately(self):
+        conn = StreamConnection(StreamTransport().stats, lambda *a: None)
+        assert conn._closed_event is None
+
+        async def scenario():
+            # Pre-fix this waited out the full 1 s event timeout; the
+            # wait_for bound fails the test if that regresses.
+            await asyncio.wait_for(conn.close(), 0.5)
+
+        asyncio.run(scenario())
+        assert conn.closed
+        assert conn._closed_event is None
+
+    def test_event_created_on_connection_and_released_on_loss(self):
+        class FakeTransport:
+            def __init__(self):
+                self.fin = False
+
+            def write(self, data):
+                pass
+
+            def close(self):
+                self.fin = True
+
+        async def scenario():
+            conn = StreamConnection(StreamTransport().stats, lambda *a: None)
+            transport = FakeTransport()
+            conn.connection_made(transport)
+            assert isinstance(conn._closed_event, asyncio.Event)
+            closer = asyncio.ensure_future(conn.close())
+            await asyncio.sleep(0)  # close() is now parked on the event
+            assert transport.fin and not closer.done()
+            conn.connection_lost(None)
+            await asyncio.wait_for(closer, 1.0)
+            return conn.closed
+
+        assert asyncio.run(scenario()) is True
+
+    def test_connection_lost_before_connection_made_is_harmless(self):
+        # Defensive path: a protocol torn down before connection_made
+        # (transport pairing failed) must not trip on the missing event.
+        conn = StreamConnection(StreamTransport().stats, lambda *a: None)
+        conn.connection_lost(ConnectionResetError())
+        assert conn.closed
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(pytest.main([__file__, "-q"]))
