@@ -13,6 +13,7 @@ All strategies expose a ``factory()`` classmethod matching the
 """
 
 from repro.byzantine.base import ByzantineServer
+from repro.byzantine.mobile import MobileByzantineCarrier
 from repro.byzantine.strategies import (
     SilentByzantine,
     PhaseSilentByzantine,
@@ -23,11 +24,13 @@ from repro.byzantine.strategies import (
     NackSpammerByzantine,
     AckWithoutStoringByzantine,
     RandomNoiseByzantine,
+    RESPONSIVE_STRATEGIES,
     STRATEGY_ZOO,
 )
 
 __all__ = [
     "ByzantineServer",
+    "MobileByzantineCarrier",
     "SilentByzantine",
     "PhaseSilentByzantine",
     "StaleReplayByzantine",
@@ -37,5 +40,6 @@ __all__ = [
     "NackSpammerByzantine",
     "AckWithoutStoringByzantine",
     "RandomNoiseByzantine",
+    "RESPONSIVE_STRATEGIES",
     "STRATEGY_ZOO",
 ]

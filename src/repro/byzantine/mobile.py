@@ -1,0 +1,105 @@
+"""The mobile-Byzantine carrier: the fault that travels.
+
+The mobile-Byzantine model (arXiv:1609.02694, by the source paper's
+authors) changes exactly one assumption: the ``f`` Byzantine identities
+are not pinned. An adversarial *agent* moves between servers on a round
+schedule — at every instant at most ``f`` servers are faulty, but the
+cumulative set of servers whose state the agent has touched grows with
+every move, a strictly harder regime than the static model the IPPS-2015
+proofs assume.
+
+:class:`MobileByzantineCarrier` realizes the agent on a built
+:class:`~repro.core.register.RegisterSystem`:
+
+* :meth:`possess` swaps the resident correct server out of the network
+  registry and swaps a fresh :data:`~repro.byzantine.strategies.STRATEGY_ZOO`
+  instance in under the same pid (:meth:`~repro.sim.network.Network.swap`
+  keeps registry order and channel identity). Same pid means the same
+  derived RNG stream, so a possession performed at deployment time is
+  *bit-identical* to configuring the strategy statically — the
+  mobility-rate-0 differential the E15 map anchors on.
+* :meth:`depart` restores the stashed correct server and scrambles its
+  state through the ordinary ``corrupt_state`` machinery: what the agent
+  leaves behind is a transiently corrupted correct server, so every
+  departure is a fault instant for the stabilization judge.
+* :meth:`relocate` is one round of the mobile model: depart, then
+  possess the next itinerary stop.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Optional
+
+from repro.byzantine.strategies import STRATEGY_ZOO
+from repro.errors import SimulationError
+from repro.sim.process import Process
+
+__all__ = ["MobileByzantineCarrier"]
+
+
+class MobileByzantineCarrier:
+    """At most one Byzantine *role*, relocatable between servers."""
+
+    def __init__(self, system: Any, strategy: str) -> None:
+        if strategy not in STRATEGY_ZOO:
+            raise SimulationError(f"unknown strategy: {strategy!r}")
+        self.system = system
+        self.strategy = strategy
+        #: pid currently possessed, or None while the agent is between hosts.
+        self.host: Optional[str] = None
+        #: every pid the agent has possessed, in first-possession order.
+        self.visited: tuple[str, ...] = ()
+        #: completed relocations.
+        self.moves = 0
+        self._original: Optional[Process] = None
+
+    def possess(self, pid: str) -> None:
+        """Take over ``pid``: its correct server is stashed, a fresh
+        strategy instance answers under its identity."""
+        if self.host is not None:
+            raise SimulationError(
+                f"carrier already possesses {self.host!r}; depart first"
+            )
+        system = self.system
+        original = system.servers[pid]
+        if original.crashed:
+            raise SimulationError(f"cannot possess departed server {pid!r}")
+        if pid not in system.byzantine_ids and (
+            len(system.byzantine_ids) >= system.config.f
+        ):
+            raise SimulationError(
+                f"possessing {pid!r} would exceed the f={system.config.f} "
+                "bound (static Byzantine servers already present)"
+            )
+        cls = STRATEGY_ZOO[self.strategy]
+        net = system.env.network
+        net.swap(
+            pid, lambda: cls(pid, system.env, system.config, system.scheme)
+        )
+        self._original = original
+        system.servers[pid] = net.processes[pid]
+        system.byzantine_ids.add(pid)
+        self.host = pid
+        if pid not in self.visited:
+            self.visited = self.visited + (pid,)
+
+    def depart(self, rng: random.Random) -> None:
+        """Leave the current host: the stashed correct server returns,
+        with its state scrambled — the agent's parting gift and the
+        model's per-relocation transient fault."""
+        if self.host is None:
+            raise SimulationError("carrier possesses no server")
+        system = self.system
+        pid, self.host = self.host, None
+        original, self._original = self._original, None
+        system.env.network.swap(pid, original)
+        system.servers[pid] = original
+        system.byzantine_ids.discard(pid)
+        original.corrupt_state(rng)
+
+    def relocate(self, pid: str, rng: random.Random) -> None:
+        """One round of the mobile model: depart, possess ``pid``."""
+        self.depart(rng)
+        self.possess(pid)
+        self.moves += 1

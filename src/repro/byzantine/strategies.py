@@ -325,3 +325,14 @@ STRATEGY_ZOO: dict[str, type[ByzantineServer]] = {
         RandomNoiseByzantine,
     )
 }
+
+#: Strategies that answer every protocol phase (possibly with lies).
+#: Liveness-sensitive campaigns draw from this subset: under churn a
+#: departed server's replies are really gone, so pairing the absence with
+#: a *non-responsive* Byzantine server starves the ``n - f`` reply quorum
+#: by arithmetic, not by protocol failure. (``random-noise`` is excluded
+#: because it goes silent on some rolls.) E15 maps that starvation cliff
+#: deliberately; routine churn campaigns should not drown in it.
+RESPONSIVE_STRATEGIES: tuple[str, ...] = tuple(
+    sorted(set(STRATEGY_ZOO) - {"silent", "phase-silent", "random-noise"})
+)

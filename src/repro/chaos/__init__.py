@@ -5,7 +5,8 @@ Jepsen-style robustness testing for the stabilizing register:
 * :mod:`repro.chaos.nemesis` — the nemesis *algebra*: small, declarative,
   serializable fault operators (partition-then-heal, crash–restart of
   clients and correct servers, corruption waves, message storms, latency
-  surges) that compile onto the existing
+  surges, server churn, the mobile-Byzantine carrier) that compile onto
+  the existing
   :class:`~repro.sim.faults.FaultSchedule` /
   :class:`~repro.sim.adversary.Adversary` machinery;
 * :mod:`repro.chaos.plan` — :class:`ChaosPlan`, the serializable trial
@@ -27,36 +28,55 @@ from repro.chaos.engine import (
 )
 from repro.chaos.monitor import InvariantMonitor
 from repro.chaos.nemesis import (
+    ChurnNemesis,
     CorruptionWaveNemesis,
     CrashRestartNemesis,
     LatencySurgeNemesis,
     MessageStormNemesis,
+    MobileByzantineNemesis,
     Nemesis,
     PartitionNemesis,
     SurgeAdversary,
 )
-from repro.chaos.plan import ChaosPlan, plan_from_dict, plan_to_dict, sample_plan
+from repro.chaos.plan import (
+    CHURN_FAMILIES,
+    MOBILITY_FAMILIES,
+    NEMESIS_FAMILIES,
+    ChaosPlan,
+    max_concurrent_down,
+    plan_from_dict,
+    plan_to_dict,
+    sample_plan,
+    server_down_windows,
+)
 from repro.chaos.shrink import ShrinkResult, shrink_plan, shrink_witness
 
 __all__ = [
+    "CHURN_FAMILIES",
     "ChaosOutcome",
     "ChaosPlan",
     "ChaosReport",
+    "ChurnNemesis",
     "CorruptionWaveNemesis",
     "CrashRestartNemesis",
     "InvariantMonitor",
     "LatencySurgeNemesis",
+    "MOBILITY_FAMILIES",
     "MessageStormNemesis",
+    "MobileByzantineNemesis",
+    "NEMESIS_FAMILIES",
     "Nemesis",
     "PRESETS",
     "PartitionNemesis",
     "ShrinkResult",
     "SurgeAdversary",
     "chaos_campaign",
+    "max_concurrent_down",
     "plan_from_dict",
     "plan_to_dict",
     "run_plan",
     "sample_plan",
+    "server_down_windows",
     "shrink_plan",
     "shrink_witness",
 ]

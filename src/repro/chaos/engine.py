@@ -18,16 +18,23 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Optional, Sequence
 
-from repro.byzantine.strategies import STRATEGY_ZOO
+from repro.byzantine.strategies import RESPONSIVE_STRATEGIES, STRATEGY_ZOO
 from repro.chaos.monitor import InvariantMonitor
 from repro.chaos.nemesis import (
     CrashRestartNemesis,
     SurgeAdversary,
     compile_nemeses,
 )
-from repro.chaos.plan import ChaosPlan, plan_to_dict, sample_plan
+from repro.chaos.plan import (
+    CHURN_FAMILIES,
+    MOBILITY_FAMILIES,
+    NEMESIS_FAMILIES,
+    ChaosPlan,
+    plan_to_dict,
+    sample_plan,
+)
 from repro.core.config import SystemConfig
 from repro.core.register import RegisterSystem
 from repro.harness.fuzz import _bounded_probe
@@ -270,10 +277,27 @@ def _plan_outcome(plan: ChaosPlan, trace: str = "stats") -> ChaosOutcome:
 
 
 #: campaign presets for the CLI and CI (``repro chaos --preset smoke``).
+#: The membership presets re-weight the nemesis mix: ``churn`` draws
+#: server departures (responsive strategies only — a silent Byzantine
+#: server plus a departed one starves the n-f quorum by arithmetic, see
+#: RESPONSIVE_STRATEGIES); ``mobility`` draws the relocating carrier.
 PRESETS: dict[str, dict[str, Any]] = {
     "smoke": {"trials": 20, "n": 6, "f": 1},
     "nightly": {"trials": 200, "n": 6, "f": 1},
     "boundary": {"trials": 50, "n": 5, "f": 1},
+    "churn": {
+        "trials": 30,
+        "n": 6,
+        "f": 1,
+        "families": CHURN_FAMILIES,
+        "strategies": RESPONSIVE_STRATEGIES,
+    },
+    "mobility": {
+        "trials": 30,
+        "n": 6,
+        "f": 1,
+        "families": MOBILITY_FAMILIES,
+    },
 }
 
 
@@ -286,12 +310,16 @@ def chaos_campaign(
     trace: str = "stats",
     max_nemeses: int = 3,
     stop_at_first: bool = False,
+    families: Sequence[str] = NEMESIS_FAMILIES,
+    strategies: Optional[Sequence[str]] = None,
 ) -> ChaosReport:
     """Run a chaos campaign; see the module docstring for the contract.
 
     Plans are sampled serially from the master RNG before any trial runs
     and outcomes are consumed in plan order, so the report is identical
     for every ``jobs`` value (the fuzzer's determinism recipe).
+    ``families``/``strategies`` shape the sampler — see
+    :func:`~repro.chaos.plan.sample_plan` and the membership presets.
     """
     import functools
 
@@ -300,7 +328,13 @@ def chaos_campaign(
     rng = random.Random(master_seed)
     plans = [
         sample_plan(
-            rng, n=n, f=f, trial_seed=rng.getrandbits(30), max_nemeses=max_nemeses
+            rng,
+            n=n,
+            f=f,
+            trial_seed=rng.getrandbits(30),
+            max_nemeses=max_nemeses,
+            families=families,
+            strategies=strategies,
         )
         for _ in range(trials)
     ]

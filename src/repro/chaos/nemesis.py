@@ -357,6 +357,139 @@ class LatencySurgeNemesis(Nemesis):
         return self.end
 
 
+@dataclass(frozen=True)
+class MobileByzantineNemesis(Nemesis):
+    """The Byzantine role *moves* between servers (arXiv:1609.02694).
+
+    A :class:`~repro.byzantine.mobile.MobileByzantineCarrier` possesses
+    the first itinerary stop at deployment time — compile-time possession
+    is what makes ``moves=0`` bit-identical to a statically configured
+    strategy — then relocates every ``period`` time units starting at
+    ``start``, ``moves`` times in total, walking the itinerary
+    cyclically. Each relocation scrambles the departed server, so the
+    relocation instants are the fault instants; the agent's *presence* is
+    the standing ≤f fault, not a transient one. At any moment exactly one
+    server is Byzantine, but the cumulative corrupted set grows with
+    every move.
+
+    Plans carrying this nemesis must leave ``plan.strategy`` empty: the
+    carrier brings its own strategy, and a static Byzantine server plus
+    the carrier would exceed the ``f`` bound (enforced by
+    :class:`~repro.chaos.plan.ChaosPlan` validation and by the carrier
+    itself).
+    """
+
+    strategy: str
+    start: float = 10.0
+    period: float = 10.0
+    moves: int = 0
+    path: tuple[str, ...] = ()
+
+    kind = "mobile-byzantine"
+
+    def __post_init__(self) -> None:
+        from repro.byzantine.strategies import STRATEGY_ZOO
+
+        if self.strategy not in STRATEGY_ZOO:
+            raise ValueError(f"unknown strategy: {self.strategy!r}")
+        if self.period <= 0:
+            raise ValueError(f"relocation period must be > 0: {self.period}")
+        if self.moves < 0:
+            raise ValueError(f"moves must be >= 0: {self.moves}")
+
+    def fault_times(self) -> tuple[float, ...]:
+        # One per relocation: the scramble of the departed server.
+        return tuple(self.start + i * self.period for i in range(self.moves))
+
+    def size(self) -> int:
+        return 1 + self.moves
+
+    def end_time(self) -> float:
+        if not self.moves:
+            return 0.0
+        return self.start + (self.moves - 1) * self.period
+
+    def itinerary(self, system: Any) -> tuple[str, ...]:
+        """The host cycle: the explicit ``path``, or every server with
+        the static-Byzantine slot (``s{n-1}``) first — so that at rate 0
+        the carrier sits exactly where ``plan.strategy`` would put it."""
+        if self.path:
+            return self.path
+        return tuple(reversed(system.server_ids))
+
+    def add_actions(self, system: Any, schedule: FaultSchedule) -> None:
+        from repro.byzantine.mobile import MobileByzantineCarrier
+
+        carrier = MobileByzantineCarrier(system, self.strategy)
+        system.mobile_carrier = carrier
+        stops = self.itinerary(system)
+        carrier.possess(stops[0])
+        for i in range(self.moves):
+            t = self.start + i * self.period
+            nxt = stops[(i + 1) % len(stops)]
+
+            def move(env: Any, nxt: str = nxt, t: float = t) -> None:
+                carrier.relocate(nxt, env.spawn_rng(f"chaos:mobile:{t}"))
+
+            schedule.at(t, move, label=f"mobile-relocate {nxt}@{t}")
+
+
+@dataclass(frozen=True)
+class ChurnNemesis(Nemesis):
+    """Server leave at ``time``, rejoin at ``rejoin_at`` (arXiv:1910.06716).
+
+    ``target`` *really* departs — unlike the server crash–restart nemesis
+    this is not a partition in disguise: the process crashes, and
+    messages sent to it while absent are dropped, which steps outside the
+    paper's reliable-channel model on purpose. At ``rejoin_at`` the
+    server boots with scrambled state and (with ``transfer``) runs the
+    state-transfer handshake against the peers still present
+    (:meth:`~repro.core.register.RegisterSystem.join_server`). The rejoin
+    is the fault instant; the absence window itself is a liveness hazard
+    the quorum-aware plan validation caps at ``f`` concurrent
+    departures/outages.
+    """
+
+    time: float
+    target: str
+    rejoin_at: float
+    transfer: bool = True
+
+    kind = "churn"
+
+    def __post_init__(self) -> None:
+        if self.rejoin_at <= self.time:
+            raise ValueError(
+                f"rejoin must follow the departure: "
+                f"{self.rejoin_at} <= {self.time}"
+            )
+        if not self.target.rpartition(":")[2].startswith("s"):
+            raise ValueError(f"churn targets servers, got {self.target!r}")
+
+    def fault_times(self) -> tuple[float, ...]:
+        return (self.rejoin_at,)
+
+    def add_actions(self, system: Any, schedule: FaultSchedule) -> None:
+        schedule.at(
+            self.time,
+            lambda env, s=self.target: system.leave_server(s),
+            label=f"leave {self.target}@{self.time}",
+        )
+        schedule.at(
+            self.rejoin_at,
+            lambda env, s=self.target: system.join_server(
+                s, transfer=self.transfer
+            ),
+            label=f"join {self.target}@{self.rejoin_at}",
+        )
+
+    def size(self) -> int:
+        return 2
+
+    def end_time(self) -> float:
+        return self.rejoin_at
+
+
 #: serialization registry: kind tag -> concrete nemesis class.
 NEMESIS_KINDS: dict[str, type] = {
     cls.kind: cls
@@ -366,6 +499,8 @@ NEMESIS_KINDS: dict[str, type] = {
         CorruptionWaveNemesis,
         MessageStormNemesis,
         LatencySurgeNemesis,
+        MobileByzantineNemesis,
+        ChurnNemesis,
     )
 }
 

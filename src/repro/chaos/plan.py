@@ -12,21 +12,58 @@ to JSON for archival next to a witness (format tag
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Any, Optional
+from dataclasses import dataclass, replace
+from typing import Any, Optional, Sequence
 
 from repro.byzantine.strategies import STRATEGY_ZOO
 from repro.chaos.nemesis import (
+    ChurnNemesis,
     CorruptionWaveNemesis,
     CrashRestartNemesis,
     LatencySurgeNemesis,
     MessageStormNemesis,
+    MobileByzantineNemesis,
     Nemesis,
     PartitionNemesis,
     nemesis_from_dict,
 )
 
 PLAN_FORMAT = "repro-chaos-plan/1"
+
+
+def server_down_windows(
+    nemeses: Sequence[Nemesis],
+) -> list[tuple[float, float, str]]:
+    """``(start, end, target)`` spans during which a server is unavailable.
+
+    Covers both flavours of server absence: crash–restart outages (the
+    server is partitioned away) and churn departures (the server is really
+    gone). Either way no quorum can count it while the window is open.
+    """
+    windows: list[tuple[float, float, str]] = []
+    for nem in nemeses:
+        if isinstance(nem, CrashRestartNemesis) and nem._is_server:
+            windows.append((nem.time, nem.restart_at, nem.target))
+        elif isinstance(nem, ChurnNemesis):
+            windows.append((nem.time, nem.rejoin_at, nem.target))
+    return windows
+
+
+def max_concurrent_down(windows: Sequence[tuple[float, float, str]]) -> int:
+    """Worst-case number of simultaneously absent servers."""
+    events: list[tuple[float, int]] = []
+    for start, end, _ in windows:
+        events.append((start, 1))
+        events.append((end, -1))
+    # Heal-before-strike at equal instants: a server back at t is
+    # available to quorums formed at t.
+    events.sort(key=lambda e: (e[0], e[1]))
+    worst = live = 0
+    for _, delta in events:
+        live += delta
+        if live > worst:
+            worst = live
+    return worst
 
 
 @dataclass(frozen=True)
@@ -59,6 +96,38 @@ class ChaosPlan:
             raise ValueError(f"unknown strategy: {self.strategy!r}")
         if self.workload not in ("mixed", "read-heavy"):
             raise ValueError(f"unknown workload: {self.workload!r}")
+        mobiles = [
+            nem
+            for nem in self.nemeses
+            if isinstance(nem, MobileByzantineNemesis)
+        ]
+        if len(mobiles) > 1:
+            raise ValueError(
+                "at most one mobile-Byzantine nemesis per plan: two "
+                f"carriers would mean 2 > f={self.f} simultaneous agents"
+            )
+        if mobiles and self.strategy:
+            raise ValueError(
+                "a mobile-Byzantine plan must leave `strategy` empty: the "
+                "carrier brings its own strategy, and a static Byzantine "
+                f"server plus the carrier would exceed f={self.f}"
+            )
+        if mobiles and any(
+            isinstance(nem, ChurnNemesis) for nem in self.nemeses
+        ):
+            raise ValueError(
+                "mobile-Byzantine and churn nemeses cannot share a plan: "
+                "possessing a departed server would resurrect it as a "
+                "Byzantine process, breaking both fault models' accounting"
+            )
+        down = max_concurrent_down(server_down_windows(self.nemeses))
+        if down > self.f:
+            raise ValueError(
+                f"plan leaves fewer than n-f servers live: {down} "
+                f"concurrent server outages/departures exceed f={self.f}, "
+                "so operations in that window could never gather a quorum "
+                "(stagger the windows or drop a nemesis)"
+            )
 
     def size(self) -> int:
         """The shrinker's metric: ops + nemesis strikes + clients."""
@@ -123,6 +192,7 @@ def _sample_nemesis(
     n: int,
     f: int,
     n_clients: int,
+    strategy_pool: Sequence[str] = (),
 ) -> Nemesis:
     correct_servers = [f"s{i}" for i in range(n - f)]
     clients = [f"c{i}" for i in range(n_clients)]
@@ -176,10 +246,24 @@ def _sample_nemesis(
             end=round(start + rng.uniform(5.0, 15.0), 1),
             factor=round(rng.uniform(2.0, 8.0), 1),
         )
+    if which == "churn":
+        t = round(rng.uniform(3.0, 30.0), 1)
+        return ChurnNemesis(
+            time=t,
+            target=rng.choice(correct_servers),
+            rejoin_at=round(t + rng.uniform(4.0, 12.0), 1),
+        )
+    if which == "mobile":
+        return MobileByzantineNemesis(
+            strategy=rng.choice(strategy_pool),
+            start=round(rng.uniform(5.0, 20.0), 1),
+            period=round(rng.uniform(5.0, 15.0), 1),
+            moves=rng.randint(1, 3),
+        )
     raise ValueError(f"unknown nemesis family: {which!r}")
 
 
-#: the families :func:`sample_plan` draws from.
+#: the families :func:`sample_plan` draws from by default.
 NEMESIS_FAMILIES = (
     "partition",
     "crash-client",
@@ -189,6 +273,48 @@ NEMESIS_FAMILIES = (
     "surge",
 )
 
+#: preset family mixes for the membership campaigns (duplicates weight
+#: the draw toward the campaign's namesake).
+CHURN_FAMILIES = ("churn", "churn", "partition", "surge", "crash-client")
+MOBILITY_FAMILIES = ("mobile", "mobile", "crash-server", "storm", "surge")
+
+
+def _serialize_outages(nemeses: list[Nemesis], f: int) -> list[Nemesis]:
+    """Deterministically stagger sampled server-absence windows.
+
+    The sampler must emit valid plans by construction —
+    :class:`ChaosPlan` rejects more than ``f`` concurrent server
+    outages/departures — so overlapping windows are shifted later (same
+    duration) until at most ``f`` overlap. Processing windows in start
+    order and re-checking after every shift keeps the result exact, not
+    merely heuristic.
+    """
+    outages: list[tuple[float, int, float]] = []  # (start, index, end)
+    for i, nem in enumerate(nemeses):
+        if isinstance(nem, CrashRestartNemesis) and nem._is_server:
+            outages.append((nem.time, i, nem.restart_at))
+        elif isinstance(nem, ChurnNemesis):
+            outages.append((nem.time, i, nem.rejoin_at))
+    if len(outages) <= f:
+        return nemeses
+    outages.sort()
+    ends: list[float] = []  # accepted absence-window end times
+    for start, i, end in outages:
+        while True:
+            active = [e for e in ends if e > start]
+            if len(active) < f:
+                break
+            bump = round(min(active) + 0.1, 1)
+            end = round(end + (bump - start), 1)
+            start = bump
+        ends.append(end)
+        nem = nemeses[i]
+        if isinstance(nem, CrashRestartNemesis):
+            nemeses[i] = replace(nem, time=start, restart_at=end)
+        else:
+            nemeses[i] = replace(nem, time=start, rejoin_at=end)
+    return nemeses
+
 
 def sample_plan(
     rng: random.Random,
@@ -196,12 +322,23 @@ def sample_plan(
     f: int,
     trial_seed: int,
     max_nemeses: int = 3,
+    families: Sequence[str] = NEMESIS_FAMILIES,
+    strategies: Optional[Sequence[str]] = None,
 ) -> ChaosPlan:
     """Draw one hostile chaos plan (the campaign's per-trial sampler).
 
     At most one client-crash nemesis is drawn per plan so at least one
     client always survives to issue the post-fault probe; everything else
-    composes freely.
+    composes freely within :class:`ChaosPlan`'s validity rules — the
+    sampler repairs draws that would violate them (duplicate mobile
+    carriers, mobile+churn mixes, more than ``f`` concurrent server
+    absences) instead of rejection-sampling, so every seed yields exactly
+    one plan.
+
+    ``families`` selects the nemesis mix (e.g. :data:`CHURN_FAMILIES`);
+    ``strategies`` restricts the Byzantine strategy pool (e.g.
+    :data:`~repro.byzantine.strategies.RESPONSIVE_STRATEGIES` for
+    liveness-sensitive churn campaigns).
     """
     if rng.random() < 0.5:
         lo = round(rng.uniform(0.2, 1.0), 2)
@@ -209,16 +346,33 @@ def sample_plan(
     else:
         latency = (1.0, 1.0)
     n_clients = rng.randint(2, 4)
-    strategy = rng.choice(sorted(STRATEGY_ZOO)) if rng.random() < 0.8 else ""
+    pool = sorted(strategies) if strategies is not None else sorted(STRATEGY_ZOO)
+    strategy = rng.choice(pool) if rng.random() < 0.8 else ""
     count = rng.randint(1, max_nemeses)
-    families = []
+    chosen: list[str] = []
     for _ in range(count):
-        which = rng.choice(NEMESIS_FAMILIES)
-        if which == "crash-client" and "crash-client" in families:
+        which = rng.choice(tuple(families))
+        # Repair draws into a valid combination deterministically (no
+        # rerolls: rerolling would consume rng state data-dependently).
+        if which == "crash-client" and "crash-client" in chosen:
             which = "partition"
-        families.append(which)
-    nemeses = tuple(
-        _sample_nemesis(rng, which, n, f, n_clients) for which in families
+        if which == "mobile" and "mobile" in chosen:
+            which = "wave"
+        if which == "churn" and "mobile" in chosen:
+            which = "crash-server"
+        if which == "mobile" and "churn" in chosen:
+            which = "wave"
+        chosen.append(which)
+    if "mobile" in chosen:
+        # The carrier brings its own strategy; a static Byzantine server
+        # on top of it would exceed f.
+        strategy = ""
+    nemeses = _serialize_outages(
+        [
+            _sample_nemesis(rng, which, n, f, n_clients, strategy_pool=pool)
+            for which in chosen
+        ],
+        f,
     )
     horizon = 80.0 + max((nem.end_time() for nem in nemeses), default=0.0)
     return ChaosPlan(
@@ -231,6 +385,6 @@ def sample_plan(
         strategy=strategy,
         latency=latency,
         corrupt_at_start=rng.random() < 0.5,
-        nemeses=nemeses,
+        nemeses=tuple(nemeses),
         horizon=horizon,
     )

@@ -32,8 +32,10 @@ from typing import Any, Callable, Iterator, Optional
 
 from repro.chaos.engine import run_plan
 from repro.chaos.nemesis import (
+    ChurnNemesis,
     CorruptionWaveNemesis,
     CrashRestartNemesis,
+    MobileByzantineNemesis,
     PartitionNemesis,
 )
 from repro.chaos.plan import ChaosPlan
@@ -231,6 +233,14 @@ def _shrunk_nemesis_variants(nem: Any) -> Iterator[Any]:
     if isinstance(nem, CrashRestartNemesis) and nem.restart_at is not None:
         if not nem._is_server:  # servers must restart
             yield replace(nem, restart_at=None)
+    if isinstance(nem, MobileByzantineNemesis) and nem.moves > 0:
+        yield replace(nem, moves=nem.moves - 1)
+    if isinstance(nem, ChurnNemesis):
+        absence = nem.rejoin_at - nem.time
+        if absence > 2.0:
+            yield replace(
+                nem, rejoin_at=round(nem.time + absence / 2, 2)
+            )
 
 
 def _plan_candidates(plan: ChaosPlan) -> Iterator[ChaosPlan]:
@@ -276,6 +286,16 @@ def _plan_candidates(plan: ChaosPlan) -> Iterator[ChaosPlan]:
                 idx = int(nem.target[1:])
                 if idx >= kept_n - plan.f:
                     continue
+            if isinstance(nem, ChurnNemesis):
+                if int(nem.target[1:]) >= kept_n - plan.f:
+                    continue
+            if isinstance(nem, MobileByzantineNemesis) and nem.path:
+                path = tuple(
+                    p for p in nem.path if int(p[1:]) < kept_n
+                )
+                if not path:
+                    continue
+                nem = replace(nem, path=path)
             if isinstance(nem, PartitionNemesis):
                 island = tuple(
                     p
@@ -298,12 +318,18 @@ def shrink_plan(
     budget: int = 150,
     match_kind: bool = True,
     trace: str = "off",
+    keep: Optional[Callable[[ChaosPlan], bool]] = None,
 ) -> ShrinkResult:
     """Shrink a failing chaos plan to a locally minimal reproducer.
 
     ``match_kind`` (the default) keeps only candidates reproducing the
     original outcome's failure kind — the same anti-slippage guard as
-    :func:`shrink_witness`.
+    :func:`shrink_witness`. ``keep`` adds a structural guard on top:
+    candidates it rejects are never even evaluated. Kind-matching alone
+    cannot stop slippage *within* a kind (e.g. a churn-starvation
+    ``stuck`` witness sliding into the unrelated tiny-deployment
+    ``stuck`` artifact once every nemesis is dropped); a ``keep`` like
+    "still contains a churn nemesis" pins the failure's character.
     """
     first = run_plan(plan, trace=trace)
     if first.ok:
@@ -317,8 +343,14 @@ def shrink_plan(
         if match_kind and outcome.kind != first.kind:
             return None
         return (outcome.kind, outcome.detail)
+
+    def candidates(current: ChaosPlan) -> Iterator[ChaosPlan]:
+        for cand in _plan_candidates(current):
+            if keep is None or keep(cand):
+                yield cand
+
     shrunk, kind, detail, evals, passes = _greedy_shrink(
-        plan, _plan_candidates, _plan_complexity, still_fails, budget
+        plan, candidates, _plan_complexity, still_fails, budget
     )
     return ShrinkResult(
         original=plan,

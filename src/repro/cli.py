@@ -245,15 +245,59 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             f"\n{len(report.witnesses)} witness(es) written to "
             f"{args.witness_out}"
         )
+    status = 0
     at_bound = settings["n"] >= 5 * settings["f"] + 1
-    if at_bound and not report.clean:
+    # Churn/mobility campaigns deliberately leave the paper's model
+    # (fixed membership, pinned Byzantine identities), where `stuck` at
+    # the bound is the charted boundary, not a bug: an operation
+    # straddling a churn-window edge loses both the departed and the
+    # not-yet-rejoined server, and one straddling a relocation sees a
+    # per-lifetime union of Byzantine hosts larger than f. Safety kinds
+    # (violation, not-stabilized) still gate — those are bugs anywhere.
+    beyond_model = any(
+        fam in ("churn", "mobile") for fam in settings.get("families", ())
+    )
+    gating = [
+        w
+        for w in report.witnesses
+        if not (beyond_model and w.kind == "stuck")
+    ]
+    if at_bound and report.witnesses and not gating:
+        print(
+            "\nstuck witnesses at n >= 5f+1 under churn/mobility are the "
+            "resilience boundary this campaign charts (see E15), not a "
+            "bug; a safety witness would still fail the run."
+        )
+    if at_bound and gating:
         print(
             "\nWITNESS AT n >= 5f+1: this is a bug — the plan above "
             "replays it deterministically.",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        status = 1
+    if args.map_out:
+        from repro.harness.experiments.e15_resilience_map import (
+            render_map,
+            resilience_map,
+        )
+
+        map_data = resilience_map(
+            seed=args.seed, small=True, jobs=args.jobs
+        )
+        _write_json(args.map_out, map_data)
+        print(f"\nresilience map written to {args.map_out}")
+        print(render_map(map_data).table())
+        surprises = [
+            c for c in map_data["cells"] if not c["matches_expectation"]
+        ]
+        if surprises:
+            print(
+                f"\n{len(surprises)} cell(s) off the expected boundary — "
+                "see the map JSON for the witnesses.",
+                file=sys.stderr,
+            )
+            status = 1
+    return status
 
 
 def _cmd_shrink(args: argparse.Namespace) -> int:
@@ -812,7 +856,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument(
         "--preset",
-        choices=("smoke", "nightly", "boundary"),
+        choices=("smoke", "nightly", "boundary", "churn", "mobility"),
         default=None,
         help="named campaign configuration (explicit flags override it)",
     )
@@ -834,6 +878,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="write witness plans + forensics to PATH as a JSON array",
+    )
+    chaos.add_argument(
+        "--map-out",
+        default=None,
+        metavar="PATH",
+        help="also run the E15 resilience-boundary grid (small, seeded) "
+        "and write the map JSON to PATH",
     )
     chaos.add_argument(
         "--trace", choices=("off", "stats", "full"), default="stats",

@@ -118,3 +118,32 @@ class FlushAck:
 
     label: int
     server: str
+
+
+# ----------------------------------------------------------------------
+# membership / state-transfer handshake (continuous-churn extension —
+# arXiv:1910.06716 territory, not in the paper's figures)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StateRequest:
+    """Joining server -> peers: request a register snapshot after a rejoin.
+
+    ``nonce`` is the joiner's restart counter: replies provoked by an
+    earlier join attempt carry a stale nonce and are ignored.
+    """
+
+    nonce: int
+
+
+@dataclass(frozen=True)
+class StateReply:
+    """Peer server -> joiner: its current ``(value, ts)`` register copy.
+
+    The joiner adopts the ≺-maximal pair reported by at least ``f + 1``
+    peers; any smaller multiset could be Byzantine fabrication.
+    """
+
+    nonce: int
+    server: str
+    value: Any
+    ts: Any

@@ -122,6 +122,11 @@ class RegisterSystem:
         self.server_ids = [namespace + sid for sid in config.server_ids]
         self.servers: dict[str, Process] = {}
         self.byzantine_ids: set[str] = {namespace + sid for sid in byzantine}
+        #: servers currently departed under churn: really crashed, so
+        #: messages to them are dropped (not delayed) until they rejoin.
+        self.departed: set[str] = set()
+        #: the mobile-Byzantine carrier, when a mobility nemesis owns one.
+        self.mobile_carrier: Optional[Any] = None
         for sid in config.server_ids:
             pid = namespace + sid
             factory = byzantine.get(sid)
@@ -196,6 +201,55 @@ class RegisterSystem:
     def settle(self) -> int:
         """Drain all in-flight events (between workload phases)."""
         return self.env.run()
+
+    # ------------------------------------------------------------------
+    # membership (continuous churn)
+    # ------------------------------------------------------------------
+    def leave_server(self, sid: str) -> None:
+        """Remove ``sid`` from the deployment (continuous-churn model).
+
+        Unlike the crash–restart nemesis — which models a server outage
+        as a partition window, so messages are *delayed* — a departed
+        server is really gone: the process crashes and the network drops
+        every message addressed to it while absent. That is the regime
+        of arXiv:1910.06716 and deliberately outside the paper's
+        reliable-channel model; experiment E15 charts what it costs.
+        No-op for a server already departed.
+        """
+        self.departed.add(sid)
+        self.servers[sid].crash()
+
+    def join_server(self, sid: str, transfer: bool = True) -> None:
+        """Re-admit a departed server, with a state-transfer handshake.
+
+        The joiner restarts with scrambled state (a fresh boot knows
+        nothing — the crash–recovery-with-arbitrary-memory model), then,
+        for a correct server with ``transfer`` on, polls the peers still
+        present with a ``StateRequest`` and adopts the best witnessed
+        snapshot (:meth:`RegisterServer.begin_join`). No-op for a server
+        that never left.
+        """
+        server = self.servers[sid]
+        if not server.crashed:
+            return
+        rng = self.env.spawn_rng(f"join:{sid}:{server.restarts}")
+        server.restart(rng)
+        self.departed.discard(sid)
+        if (
+            transfer
+            and sid not in self.byzantine_ids
+            and isinstance(server, RegisterServer)
+        ):
+            peers = [
+                pid
+                for pid in self.server_ids
+                if pid != sid and pid not in self.departed
+            ]
+            server.begin_join(peers)
+
+    def present_servers(self) -> list[str]:
+        """Server pids currently in the deployment (live membership view)."""
+        return [sid for sid in self.server_ids if sid not in self.departed]
 
     # ------------------------------------------------------------------
     # fault injection

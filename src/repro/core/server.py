@@ -30,7 +30,7 @@ variable above within its type domain.
 from __future__ import annotations
 
 import random
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Optional, Sequence
 
 from repro.core.config import SystemConfig
 from repro.core.messages import (
@@ -40,6 +40,8 @@ from repro.core.messages import (
     GetTs,
     ReadReply,
     ReadRequest,
+    StateReply,
+    StateRequest,
     TsReply,
     WriteAck,
     WriteNack,
@@ -54,6 +56,40 @@ from repro.sim.process import Process
 
 #: The register's conceptual initial value (never written by a client).
 INITIAL_VALUE = None
+
+
+def adopt_snapshot(
+    replies: dict[str, tuple[Any, Any]],
+    scheme: LabelingScheme,
+    f: int,
+) -> Optional[tuple[Any, Any]]:
+    """The joiner's adoption rule over collected ``(value, ts)`` snapshots.
+
+    A pair needs at least ``f + 1`` reporters to rule out Byzantine
+    fabrication (up to ``f`` peers may lie in concert); among the
+    witnessed pairs, the ≺-maximal one wins. Returns ``None`` when no
+    pair reaches the witness threshold — the joiner then keeps whatever
+    state it booted with, which the stabilization story already covers.
+
+    Shared by the simulator's peer-to-peer handshake
+    (:meth:`RegisterServer._finalize_join`) and the live cluster's
+    mediated transfer (:meth:`~repro.net.cluster.LiveRegisterCluster.respawn_server`).
+    """
+    votes: dict[tuple[Any, Any], int] = {}
+    for peer in sorted(replies):
+        pair = replies[peer]
+        try:
+            votes[pair] = votes.get(pair, 0) + 1
+        except TypeError:
+            # Unhashable fabricated value: cannot be witnessed by count.
+            continue
+    winner: Optional[tuple[Any, Any]] = None
+    for pair, count in votes.items():
+        if count < f + 1:
+            continue
+        if winner is None or scheme.precedes(winner[1], pair[1]):
+            winner = pair
+    return winner
 
 
 class RegisterServer(Process):
@@ -73,6 +109,10 @@ class RegisterServer(Process):
         self.ts: Any = scheme.initial_label()
         self.old_vals: list[tuple[Any, Any]] = []
         self.running_read: dict[str, int] = {}
+        # Churn state-transfer handshake (populated by begin_join).
+        self._join_nonce: Any = None
+        self._join_replies: dict[str, tuple[Any, Any]] = {}
+        self._join_quorum: Any = 0
 
     # ------------------------------------------------------------------
     # dispatch
@@ -88,6 +128,10 @@ class RegisterServer(Process):
             self.on_complete_read(src, payload)
         elif isinstance(payload, Flush):
             self.on_flush(src, payload)
+        elif isinstance(payload, StateRequest):
+            self.on_state_request(src, payload)
+        elif isinstance(payload, StateReply):
+            self.on_state_reply(src, payload)
         # anything else (garbage, stale foreign types) is silently dropped
 
     # ------------------------------------------------------------------
@@ -160,6 +204,81 @@ class RegisterServer(Process):
         self.send(src, FlushAck(label=msg.label, server=self.pid))
 
     # ------------------------------------------------------------------
+    # churn state transfer (membership extension, not in the paper)
+    # ------------------------------------------------------------------
+    def begin_join(self, peers: Sequence[str]) -> None:
+        """Start the joiner's state-transfer handshake after a rejoin.
+
+        The joiner keeps serving the protocol while it collects peer
+        snapshots — there is deliberately *no* "joining" gate on
+        :meth:`on_message`. A gate active while ``_join_nonce`` is set
+        would be a state-triggered crash-stop: transient corruption of
+        the handshake fields could then permanently silence a correct
+        server, exceeding the ``f`` bound. Ungated, corrupted handshake
+        state is harmless — the worst a forged flood of replies can do
+        is trigger an adoption, and adoption is guarded (see
+        :meth:`_finalize_join`).
+        """
+        self._join_nonce = self.restarts
+        self._join_replies = {}
+        # Enough replies that f liars cannot stall the handshake, yet at
+        # least f+1 so some pair *can* reach the witness threshold.
+        self._join_quorum = max(
+            self.config.f + 1, len(peers) - self.config.f
+        )
+        self.broadcast(peers, StateRequest(nonce=self._join_nonce))
+
+    def on_state_request(self, src: str, msg: StateRequest) -> None:
+        if not isinstance(msg.nonce, int):
+            return
+        self.send(
+            src,
+            StateReply(
+                nonce=msg.nonce, server=self.pid, value=self.value, ts=self.ts
+            ),
+        )
+
+    def on_state_reply(self, src: str, msg: StateReply) -> None:
+        if self._join_nonce is None or msg.nonce != self._join_nonce:
+            return  # no handshake running, or a stale/forged one
+        if not self.scheme.is_label(msg.ts):
+            return  # structurally invalid snapshot: not adoptable
+        self._join_replies[src] = (msg.value, msg.ts)
+        quorum = self._join_quorum
+        if not isinstance(quorum, int) or quorum < 1:
+            quorum = self.config.f + 1  # corrupted threshold: re-derive
+        if len(self._join_replies) < quorum:
+            return
+        self._finalize_join()
+
+    def _finalize_join(self) -> None:
+        """Adopt the best witnessed peer snapshot; end the handshake.
+
+        Adoption obeys the same ≺-monotonicity rule as WRITE: the winner
+        is taken only if it strictly follows the current timestamp. A
+        write adopted *during* the handshake must not be rolled back by
+        the snapshot — otherwise a single rejoined server plus ``f``
+        stale-but-honest reporters could resurrect an overwritten value
+        (the replay-rollback hazard of tests/core/test_design_deviations).
+        When the current state is corrupted garbage the guard sometimes
+        refuses a genuine snapshot too; that leaves the joiner exactly as
+        corrupted as a corruption-wave victim, which stabilization
+        already absorbs.
+        """
+        winner = adopt_snapshot(self._join_replies, self.scheme, self.config.f)
+        self._join_nonce = None
+        self._join_replies = {}
+        self._join_quorum = 0
+        if winner is None:
+            return
+        if not self.scheme.precedes(self.ts, winner[1]):
+            return
+        self.value, self.ts = winner
+        # A fresh boot has no verified history window; replies built from
+        # a scrambled window would vouch for values no write produced.
+        self.old_vals = []
+
+    # ------------------------------------------------------------------
     # transient faults
     # ------------------------------------------------------------------
     def corrupt_state(self, rng: random.Random) -> None:
@@ -181,6 +300,18 @@ class RegisterServer(Process):
                 self.running_read[f"ghost{rng.randrange(8)}"] = rng.randrange(
                     self.config.read_label_count
                 )
+        # The churn handshake fields corrupt like any other state: the
+        # server may wake believing it is mid-transfer, with arbitrary
+        # collected snapshots and a nonsense threshold. The handlers
+        # tolerate every shape (no gate to wedge, adoption is guarded).
+        self._join_nonce = rng.randrange(8) if rng.random() < 0.3 else None
+        self._join_quorum = rng.randrange(self.config.n + 2)
+        self._join_replies = {}
+        for _ in range(rng.randrange(3)):
+            self._join_replies[f"ghost{rng.randrange(8)}"] = (
+                f"corrupt-{rng.getrandbits(24):06x}",
+                self.scheme.random_label(rng),
+            )
 
     # ------------------------------------------------------------------
     # diagnostics

@@ -21,6 +21,7 @@ from repro.harness.experiments import (  # noqa: F401
     e11_atomicity_gap,
     e12_partitions,
     e13_label_recycling,
+    e15_resilience_map,
 )
 
 ALL_EXPERIMENTS = {
@@ -37,4 +38,5 @@ ALL_EXPERIMENTS = {
     "E11": e11_atomicity_gap,
     "E12": e12_partitions,
     "E13": e13_label_recycling,
+    "E15": e15_resilience_map,
 }

@@ -21,15 +21,21 @@ live Byzantine server and its simulated twin emit identical forgeries.
 
 from __future__ import annotations
 
+import asyncio
 from typing import Any, Optional
 
 from repro.core.config import SystemConfig
-from repro.core.server import INITIAL_VALUE
+from repro.core.messages import StateReply, StateRequest
+from repro.core.server import INITIAL_VALUE, adopt_snapshot
 from repro.errors import ConfigurationError
 from repro.net.bridge import LiveClock
 from repro.net.daemon import ClientEndpoint, ServerDaemon, ServerFactory, default_scheme
 from repro.net.proxy import FaultPolicy, FaultProxy
-from repro.net.transport import DEFAULT_FLUSH_WATERMARK
+from repro.net.transport import (
+    DEFAULT_FLUSH_WATERMARK,
+    StreamConnection,
+    open_frame_connection,
+)
 from repro.net.wire import DEFAULT_WIRE, get_codec
 from repro.sim.environment import derive_seed
 from repro.sim.tracing import MessageStats
@@ -129,6 +135,8 @@ class LiveRegisterCluster:
         self.proxies: dict[str, FaultProxy] = {}
         self.endpoints: dict[str, ClientEndpoint] = {}
         self.addresses: dict[str, str] = {}  # as dialed by clients
+        self.departed: set[str] = set()  # retired, awaiting respawn
+        self._generations: dict[str, int] = {}  # respawn counts per sid
         self.started = False
 
     # -- lifecycle -------------------------------------------------------
@@ -225,6 +233,158 @@ class LiveRegisterCluster:
 
     async def read(self, cid: str) -> Any:
         return await self.endpoints[cid].read()
+
+    # -- membership (continuous churn) -----------------------------------
+    async def retire_server(self, sid: str) -> None:
+        """Take one server out of the deployment for real.
+
+        The daemon's socket closes and its hosted process is gone —
+        unlike a proxy :meth:`~repro.net.proxy.FaultProxy.kill`, nothing
+        of the server survives. Clients see dead connections and missing
+        replies; with at most ``f`` servers absent the ``n - f`` quorums
+        still assemble from the remainder.
+        """
+        if self._external is not None:
+            raise ConfigurationError("cannot retire external servers")
+        if sid not in self.daemons:
+            raise ConfigurationError(f"unknown server id: {sid!r}")
+        if sid in self.departed:
+            raise ConfigurationError(f"server {sid!r} is already retired")
+        self.departed.add(sid)
+        proxy = self.proxies.pop(sid, None)
+        if proxy is not None:
+            await proxy.stop()
+        await self.daemons[sid].stop()
+
+    async def respawn_server(self, sid: str, transfer: bool = True) -> str:
+        """Bring a retired server back as a brand-new daemon.
+
+        The replacement listens on a fresh address with a fresh RNG
+        stream (``derive_seed(seed, "respawn:{sid}:{gen}")``) and — when
+        ``transfer`` is on and the slot is not Byzantine — adopts the
+        ``(value, ts)`` snapshot the live peers vouch for: the cluster
+        polls each of them over the wire with a real
+        :class:`~repro.core.messages.StateRequest` one-shot connection
+        and runs the same f+1-vote
+        :func:`~repro.core.server.adopt_snapshot` the sim-tier joiner
+        runs on its own broadcast. Every endpoint then redials the new
+        address. Returns the address clients now dial.
+        """
+        if sid not in self.departed:
+            raise ConfigurationError(f"server {sid!r} is not retired")
+        gen = self._generations.get(sid, 0) + 1
+        self._generations[sid] = gen
+        listen = (
+            f"unix:{self._socket_dir}/{sid}-g{gen}.sock"
+            if self._family == "unix"
+            else "tcp:127.0.0.1:0"
+        )
+        daemon = ServerDaemon(
+            sid,
+            self.config,
+            address=listen,
+            factory=self._byzantine.get(sid),
+            scheme=self.scheme,
+            seed=derive_seed(self.seed, f"respawn:{sid}:{gen}"),
+            clock=self.clock,
+            wire=self.wire,
+            flush_watermark=self.flush_watermark,
+        )
+        await daemon.start()
+        self.daemons[sid] = daemon
+        address = daemon.address
+        if transfer and sid not in self.byzantine_ids:
+            replies = await self._poll_state(sid, nonce=gen)
+            winner = adopt_snapshot(replies, self.scheme, self.config.f)
+            process = daemon.process
+            if winner is not None:
+                # Unconditional, unlike the sim joiner's ≺-guarded
+                # adoption: no endpoint learns the new address until
+                # after this block, so nothing can have reached the
+                # fresh daemon — its boot label is an arbitrary point
+                # of the bounded (cyclic, bottomless) label graph, not
+                # adopted write state, and a ≺-guard against it would
+                # refuse genuine snapshots without protecting anything.
+                process.value, process.ts = winner
+                process.old_vals = []
+        if self.proxy_policy is not None:
+            proxy_listen = (
+                f"unix:{self._socket_dir}/{sid}-proxy-g{gen}.sock"
+                if self._family == "unix"
+                else "tcp:127.0.0.1:0"
+            )
+            proxy = FaultProxy(
+                upstream=address,
+                listen=proxy_listen,
+                policy=self.proxy_policy,
+                seed=derive_seed(self.seed, f"proxy:{sid}:g{gen}"),
+            )
+            await proxy.start()
+            self.proxies[sid] = proxy
+            address = proxy.address
+        self.addresses[sid] = address
+        self.departed.discard(sid)
+        for endpoint in self.endpoints.values():
+            await endpoint.redial(sid, address=address)
+        return address
+
+    async def _poll_state(
+        self, joiner: str, nonce: int
+    ) -> dict[str, tuple[Any, Any]]:
+        """Ask every live peer for its ``(value, ts)`` snapshot."""
+        replies: dict[str, tuple[Any, Any]] = {}
+        probe = f"join:{joiner}:{nonce}"
+        for peer, daemon in sorted(self.daemons.items()):
+            if peer == joiner or peer in self.departed:
+                continue
+            try:
+                reply = await asyncio.wait_for(
+                    self._one_shot_state(probe, peer, daemon.address, nonce),
+                    timeout=5.0,
+                )
+            except (asyncio.TimeoutError, ConnectionError, OSError):
+                continue
+            if reply is not None:
+                replies[peer] = (reply.value, reply.ts)
+        return replies
+
+    async def _one_shot_state(
+        self, probe: str, peer: str, address: str, nonce: int
+    ) -> Optional[StateReply]:
+        """One wire-level StateRequest/StateReply exchange with ``peer``.
+
+        ``flush_watermark=0``: a single below-watermark request with no
+        flusher attached would otherwise sit in the coalescing buffer
+        forever.
+        """
+        got: asyncio.Future = asyncio.get_running_loop().create_future()
+
+        def on_message(
+            conn: StreamConnection, src: str, dst: str, payload: Any
+        ) -> None:
+            if isinstance(payload, StateReply) and payload.nonce == nonce:
+                if not got.done():
+                    got.set_result(payload)
+
+        conn = await open_frame_connection(
+            address,
+            lambda: StreamConnection(
+                MessageStats(),
+                on_message,
+                codec=get_codec(self.wire),
+                flush_watermark=0,
+            ),
+        )
+        try:
+            conn.send_hello(probe)
+            peer_pid = await conn.expect_hello()
+            if peer_pid != peer:
+                return None
+            conn.start_pump()
+            conn.send_payload(probe, peer, StateRequest(nonce=nonce))
+            return await got
+        finally:
+            await conn.close()
 
     # -- verification & accounting --------------------------------------
     def checker(self, **overrides: Any) -> RegularityChecker:

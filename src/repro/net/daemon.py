@@ -235,7 +235,7 @@ class ClientEndpoint:
             self.recorder,
         )
         self.timeouts = 0
-        self._conns: list[StreamConnection] = []
+        self._conns: dict[str, StreamConnection] = {}
 
     @property
     def stats(self):
@@ -244,28 +244,43 @@ class ClientEndpoint:
     async def connect(self) -> None:
         """Dial every server, exchange HELLOs, start the dispatchers."""
         for sid in sorted(self._addresses):
-            conn = await open_frame_connection(
-                self._addresses[sid],
-                lambda: StreamConnection(
-                    self.transport.stats,
-                    self._on_message,
-                    on_close=self.transport.drop_peer,
-                    codec=self.codec,
-                    flush_watermark=self.flush_watermark,
-                    flusher=self.transport.flusher,
-                ),
+            await self.redial(sid)
+
+    async def redial(self, sid: str, address: Optional[str] = None) -> None:
+        """(Re)dial one server: drop any stale connection, dial, HELLO.
+
+        Respawned servers come back on a fresh ephemeral port, so churn
+        hands the endpoint a new ``address`` for the same ``sid``; a
+        killed-then-healed proxy keeps its address and only needs the
+        re-HELLO.
+        """
+        if address is not None:
+            self._addresses[sid] = address
+        stale = self._conns.pop(sid, None)
+        if stale is not None:
+            await stale.close()
+        conn = await open_frame_connection(
+            self._addresses[sid],
+            lambda: StreamConnection(
+                self.transport.stats,
+                self._on_message,
+                on_close=self.transport.drop_peer,
+                codec=self.codec,
+                flush_watermark=self.flush_watermark,
+                flusher=self.transport.flusher,
+            ),
+        )
+        conn.send_hello(self.cid)
+        peer = await conn.expect_hello()
+        if peer != sid:
+            await conn.close()
+            raise WireError(
+                f"dialed {sid!r} at {self._addresses[sid]} but peer "
+                f"identifies as {peer!r}"
             )
-            conn.send_hello(self.cid)
-            peer = await conn.expect_hello()
-            if peer != sid:
-                await conn.close()
-                raise WireError(
-                    f"dialed {sid!r} at {self._addresses[sid]} but peer "
-                    f"identifies as {peer!r}"
-                )
-            self.transport.bind_peer(sid, conn)
-            conn.start_pump()
-            self._conns.append(conn)
+        self.transport.bind_peer(sid, conn)
+        conn.start_pump()
+        self._conns[sid] = conn
 
     def _on_message(
         self, conn: StreamConnection, src: str, dst: str, payload: Any

@@ -185,6 +185,7 @@ class FaultProxy:
         self.dropped = 0
         self.duplicated = 0
         self._n_conns = 0
+        self._killed = False
         self._pipes: list[_Pipe] = []
         self._tasks: list[asyncio.Task] = []
 
@@ -194,9 +195,39 @@ class FaultProxy:
         )
         return self.address
 
+    @property
+    def killed(self) -> bool:
+        return self._killed
+
+    async def kill(self) -> None:
+        """Hard-kill the proxied server's links: sever every live
+        connection and refuse new ones until :meth:`heal`.
+
+        The listening socket stays open — a killed server looks *crashed*
+        (connects succeed at the TCP layer, then the proxy hangs up),
+        not *removed from the address book*, which is what a client's
+        redial loop needs to keep probing for the heal.
+        """
+        self._killed = True
+        tasks = list(self._tasks)
+        for task in tasks:
+            task.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)
+        for pipe in self._pipes:
+            await pipe.close()
+        self._tasks.clear()
+        self._pipes.clear()
+
+    def heal(self) -> None:
+        """Accept connections again (clients must redial and re-HELLO)."""
+        self._killed = False
+
     async def _accept(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        if self._killed:
+            writer.close()
+            return
         try:
             up_reader, up_writer = await open_connection(self.upstream)
         except OSError:

@@ -119,6 +119,8 @@ _MESSAGE_TYPES: dict[str, type] = {
         protocol_messages.CompleteRead,
         protocol_messages.Flush,
         protocol_messages.FlushAck,
+        protocol_messages.StateRequest,
+        protocol_messages.StateReply,
     )
 }
 
@@ -424,6 +426,8 @@ _MESSAGE_ORDER: tuple[type, ...] = (
     protocol_messages.CompleteRead,
     protocol_messages.Flush,
     protocol_messages.FlushAck,
+    protocol_messages.StateRequest,
+    protocol_messages.StateReply,
 )
 _MESSAGE_INDEX: dict[type, int] = {cls: i for i, cls in enumerate(_MESSAGE_ORDER)}
 _MESSAGE_FIELDS: dict[type, tuple] = {

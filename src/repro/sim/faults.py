@@ -93,6 +93,13 @@ CORRUPTION_REGISTRY: dict[str, Any] = {
         "ts": CORRUPTIBLE,
         "old_vals": CORRUPTIBLE,
         "running_read": CORRUPTIBLE,
+        # Churn state-transfer handshake (begin_join/on_state_reply): a
+        # corrupted joiner may believe it is mid-transfer with arbitrary
+        # collected snapshots. The handlers tolerate any shape, so these
+        # are ordinary corruptible state, not infrastructure.
+        "_join_nonce": CORRUPTIBLE,
+        "_join_replies": CORRUPTIBLE,
+        "_join_quorum": CORRUPTIBLE,
     },
     # --- correct clients (core/client.py + mixins) ---------------------
     "RegisterClient": {
@@ -141,6 +148,13 @@ CORRUPTION_REGISTRY: dict[str, Any] = {
     "RegisterSystem": (
         "exempt: experiment-harness orchestrator, not a simulated process; "
         "it owns the injector rather than being subject to it"
+    ),
+    "MobileByzantineCarrier": (
+        "exempt: the mobile-Byzantine adversary itself (byzantine/mobile.py) "
+        "— fault machinery that performs the possess/depart swaps; its "
+        "bookkeeping (current host, stashed original, itinerary) is the "
+        "fault model's state, not modelled process memory, and corrupting "
+        "it would change which servers are Byzantine, i.e. the f bound"
     ),
     # --- live hosting layer (net/, cross-checked by WIRE003) -----------
     # The live tier hosts the *unmodified* protocol classes, so the

@@ -84,6 +84,45 @@ class Network:
             raise SimulationError(f"duplicate process id {process.pid!r}")
         self.processes[process.pid] = process
 
+    def swap(self, pid: str, replacement: Any) -> "Process":
+        """Replace the process registered at ``pid``; returns the old one.
+
+        Membership machinery (mobile-Byzantine possession and its
+        departure) substitutes one process object for another *in
+        place*: registry insertion order — a deterministic surface every
+        dict iteration over :attr:`processes` relies on — is preserved,
+        and messages already in flight to ``pid`` are delivered to the
+        replacement, because the channel belongs to the identity, not to
+        the object.
+
+        ``replacement`` is either an already-constructed process whose
+        pid is ``pid``, or a zero-argument factory whose product
+        registers itself during construction (:class:`Process`
+        auto-registers) — the factory form exists because constructing
+        the replacement first would trip the duplicate-pid check.
+        """
+        old = self.processes.get(pid)
+        if old is None:
+            raise SimulationError(f"cannot swap unknown process {pid!r}")
+        if hasattr(replacement, "pid"):
+            if replacement.pid != pid:
+                raise SimulationError(
+                    f"swap replacement has pid {replacement.pid!r}, "
+                    f"expected {pid!r}"
+                )
+            self.processes[pid] = replacement
+            return old
+        order = list(self.processes)
+        del self.processes[pid]
+        product = replacement()
+        if self.processes.get(pid) is not product:
+            raise SimulationError(
+                f"swap factory for {pid!r} produced a process that did "
+                f"not register itself as {pid!r}"
+            )
+        self.processes = {p: self.processes[p] for p in order}
+        return old
+
     def channel(self, src: str, dst: str) -> Channel:
         """The (lazily created) channel policy for the directed pair."""
         key = (src, dst)

@@ -30,6 +30,9 @@ class RegisterServer:
         self.ts = None
         self.old_vals = []  # expect: STAB002
         self.running_read = {}
+        self._join_nonce = None
+        self._join_replies = {}
+        self._join_quorum = 0
         self.hidden_cache = {}  # expect: STAB001
 
     def corrupt_state(self, rng):
@@ -37,3 +40,6 @@ class RegisterServer:
         self.value = rng.random()
         self.ts = rng.random()
         self.running_read = {}
+        self._join_nonce = rng.random()
+        self._join_replies = {}
+        self._join_quorum = rng.random()

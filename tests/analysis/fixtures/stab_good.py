@@ -7,7 +7,7 @@ name ``RegisterServer`` binds it to the real registry entry, and
 
 
 class RegisterServer:
-    """Initializes exactly the registered attributes; corrupts all four."""
+    """Initializes exactly the registered attributes; corrupts them all."""
 
     def __init__(self, config, scheme):
         self.config = config  # infrastructure: declared, not corrupted
@@ -16,12 +16,18 @@ class RegisterServer:
         self.ts = scheme.initial_label()
         self.old_vals = []
         self.running_read = {}
+        self._join_nonce = None
+        self._join_replies = {}
+        self._join_quorum = 0
 
     def corrupt_state(self, rng):
         self.value = rng.random()
         self.ts = rng.random()
         self.old_vals = [(rng.random(), rng.random())]
         self.running_read = {}
+        self._join_nonce = rng.random()
+        self._join_replies = {}
+        self._join_quorum = rng.random()
 
 
 class RegisterSystem:

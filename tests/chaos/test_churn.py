@@ -1,0 +1,226 @@
+"""Continuous churn: state transfer, quorum-aware validation, sampling.
+
+Churn (arXiv:1910.06716) steps outside the paper's fixed-membership,
+reliable-channel model on purpose: a departed server is really gone and
+messages to it are dropped. These tests pin the state-transfer handshake
+on rejoin, the quorum-aware plan validation that refuses plans leaving
+fewer than ``n - f`` servers live, and the sampler repairs that keep
+randomly drawn churn/mobility plans inside that envelope.
+"""
+
+import random
+
+import pytest
+
+from repro.chaos import (
+    CHURN_FAMILIES,
+    ChaosPlan,
+    ChurnNemesis,
+    MOBILITY_FAMILIES,
+    MobileByzantineNemesis,
+    max_concurrent_down,
+    run_plan,
+    server_down_windows,
+)
+from repro.chaos.engine import build_system
+from repro.chaos.nemesis import CrashRestartNemesis
+from repro.chaos.plan import sample_plan
+from repro.core.server import adopt_snapshot
+
+
+def make_plan(**overrides):
+    base = dict(
+        seed=11,
+        n=6,
+        f=1,
+        n_clients=2,
+        ops_per_client=3,
+        workload="mixed",
+        strategy="",
+        latency=(1.0, 1.0),
+        corrupt_at_start=False,
+        nemeses=(),
+        horizon=60.0,
+    )
+    base.update(overrides)
+    return ChaosPlan(**base)
+
+
+class TestMembership:
+    def test_leave_drops_join_restores_presence(self):
+        system = build_system(make_plan())
+        assert system.present_servers() == system.server_ids
+        system.leave_server("s0")
+        assert "s0" not in system.present_servers()
+        assert system.servers["s0"].crashed
+        system.join_server("s0")
+        assert "s0" in system.present_servers()
+        assert not system.servers["s0"].crashed
+
+    def test_quorums_assemble_while_one_server_is_away(self):
+        system = build_system(make_plan())
+        system.leave_server("s0")
+        assert system.write_sync("c0", "while-away") is not None
+        assert system.read_sync("c1") == "while-away"
+
+    def test_join_runs_the_state_transfer_handshake(self):
+        system = build_system(make_plan())
+        system.write_sync("c0", "durable")
+        system.leave_server("s0")
+        system.write_sync("c0", "while-away")
+        system.join_server("s0")
+        s0 = system.servers["s0"]
+        assert s0._join_nonce is not None  # handshake in flight
+        system.settle()
+        assert s0._join_nonce is None  # enough replies arrived
+        # Adoption is ≺-guarded, so scrambled boot state may or may not
+        # yield — either way the deployment answers correctly afterwards.
+        assert system.read_sync("c1") == "while-away"
+
+    def test_adopt_snapshot_needs_f_plus_1_witnesses(self):
+        system = build_system(make_plan())
+        scheme = system.scheme
+        system.write_sync("c0", "one")
+        ts1 = system.servers["s0"].ts
+        system.write_sync("c0", "two")
+        ts2 = system.servers["s0"].ts
+        assert scheme.precedes(ts1, ts2)
+        # A lone (Byzantine-fabricable) report never wins ...
+        assert (
+            adopt_snapshot({"s1": ("fake", ts2)}, scheme, f=1) is None
+        )
+        # ... f+1 concurring reports do, and the ≺-maximal pair beats a
+        # witnessed-but-older one.
+        replies = {
+            "s1": ("one", ts1),
+            "s2": ("one", ts1),
+            "s3": ("two", ts2),
+            "s4": ("two", ts2),
+        }
+        assert adopt_snapshot(replies, scheme, f=1) == ("two", ts2)
+
+
+class TestChurnPlans:
+    def test_responsive_churn_run_is_clean(self):
+        plan = make_plan(
+            strategy="stale-replay",
+            ops_per_client=5,
+            nemeses=(ChurnNemesis(time=6.0, target="s0", rejoin_at=14.0),),
+            horizon=94.0,
+        )
+        outcome = run_plan(plan, trace="off")
+        assert outcome.ok, f"{outcome.kind}: {outcome.detail}"
+
+    def test_hostile_churn_degrades_gracefully(self):
+        """A departed server plus a *silent* Byzantine one leaves
+        ``n - f - 1`` responders for an ``n - f`` quorum: an operation
+        invoked inside the window wedges forever. The judge must report
+        a stuck witness with forensics — never hang."""
+        plan = make_plan(
+            strategy="silent",
+            ops_per_client=5,
+            nemeses=(ChurnNemesis(time=6.0, target="s0", rejoin_at=14.0),),
+            horizon=94.0,
+        )
+        outcome = run_plan(plan, trace="off")
+        assert outcome.kind == "stuck"
+        assert outcome.forensics is not None
+
+
+class TestQuorumAwareValidation:
+    def test_concurrent_churn_beyond_f_rejected(self):
+        with pytest.raises(ValueError, match="fewer than n-f servers live"):
+            make_plan(
+                nemeses=(
+                    ChurnNemesis(time=5.0, target="s0", rejoin_at=20.0),
+                    ChurnNemesis(time=6.0, target="s1", rejoin_at=19.0),
+                )
+            )
+
+    def test_churn_and_server_crash_windows_compose(self):
+        with pytest.raises(ValueError, match="fewer than n-f servers live"):
+            make_plan(
+                nemeses=(
+                    ChurnNemesis(time=5.0, target="s0", rejoin_at=20.0),
+                    CrashRestartNemesis(time=6.0, target="s1", restart_at=19.0),
+                )
+            )
+
+    def test_sequential_windows_are_fine(self):
+        plan = make_plan(
+            nemeses=(
+                ChurnNemesis(time=5.0, target="s0", rejoin_at=12.0),
+                ChurnNemesis(time=12.0, target="s1", rejoin_at=19.0),
+            )
+        )
+        assert max_concurrent_down(server_down_windows(plan.nemeses)) == 1
+
+    def test_mobile_with_static_strategy_rejected(self):
+        with pytest.raises(ValueError, match="strategy"):
+            make_plan(
+                strategy="silent",
+                nemeses=(MobileByzantineNemesis(strategy="forging"),),
+            )
+
+    def test_two_mobiles_rejected(self):
+        with pytest.raises(ValueError, match="one mobile"):
+            make_plan(
+                nemeses=(
+                    MobileByzantineNemesis(strategy="forging"),
+                    MobileByzantineNemesis(strategy="silent"),
+                )
+            )
+
+    def test_mobility_and_churn_do_not_mix(self):
+        with pytest.raises(ValueError, match="churn"):
+            make_plan(
+                nemeses=(
+                    MobileByzantineNemesis(strategy="forging"),
+                    ChurnNemesis(time=5.0, target="s0", rejoin_at=12.0),
+                )
+            )
+
+
+class TestSampling:
+    def test_sampled_plans_stay_inside_the_quorum_envelope(self):
+        # Construction *is* validation: if a drawn plan left fewer than
+        # n-f servers live, ChaosPlan would raise right here.
+        for families in (CHURN_FAMILIES, MOBILITY_FAMILIES):
+            for seed in range(150):
+                rng = random.Random(seed)
+                plan = sample_plan(
+                    rng, n=6, f=1, trial_seed=seed, families=families
+                )
+                downs = server_down_windows(plan.nemeses)
+                assert max_concurrent_down(downs) <= plan.f
+                mobiles = [
+                    nem
+                    for nem in plan.nemeses
+                    if isinstance(nem, MobileByzantineNemesis)
+                ]
+                assert len(mobiles) <= 1
+                if mobiles:
+                    assert plan.strategy == ""
+                assert plan.horizon >= max(
+                    (nem.end_time() for nem in plan.nemeses), default=0.0
+                )
+
+    def test_churn_families_actually_draw_churn(self):
+        drawn = set()
+        for seed in range(60):
+            rng = random.Random(seed)
+            plan = sample_plan(
+                rng, n=6, f=1, trial_seed=seed, families=CHURN_FAMILIES
+            )
+            drawn.update(type(nem).__name__ for nem in plan.nemeses)
+        assert "ChurnNemesis" in drawn
+
+    def test_mobility_families_actually_draw_carriers(self):
+        drawn = set()
+        for seed in range(60):
+            rng = random.Random(seed)
+            plan = sample_plan(
+                rng, n=6, f=1, trial_seed=seed, families=MOBILITY_FAMILIES
+            )
+            drawn.update(type(nem).__name__ for nem in plan.nemeses)
+        assert "MobileByzantineNemesis" in drawn

@@ -1,0 +1,143 @@
+"""Mobile Byzantine agents: carrier mechanics, zoo coverage, rate-0 anchor.
+
+The carrier realizes the mobile-Byzantine model (arXiv:1609.02694) on a
+built system; these tests pin its three contracts: possession swaps the
+Byzantine role in under the resident pid (same pid, same derived RNG
+stream), every zoo strategy survives a full relocation round at the
+n = 5f + 1 bound with the invariant monitor attached, and a carrier that
+never moves is *bit-identical* to configuring the strategy statically.
+"""
+
+import pytest
+
+from repro.byzantine.mobile import MobileByzantineCarrier
+from repro.byzantine.strategies import STRATEGY_ZOO
+from repro.chaos import ChaosPlan, MobileByzantineNemesis, run_plan
+from repro.chaos.engine import build_system
+from repro.core.server import RegisterServer
+from repro.errors import SimulationError
+
+
+def make_plan(**overrides):
+    base = dict(
+        seed=11,
+        n=6,
+        f=1,
+        n_clients=2,
+        ops_per_client=3,
+        workload="mixed",
+        strategy="",
+        latency=(1.0, 1.0),
+        corrupt_at_start=False,
+        nemeses=(),
+        horizon=60.0,
+    )
+    base.update(overrides)
+    return ChaosPlan(**base)
+
+
+def mobile_plan(strategy, moves, **overrides):
+    return make_plan(
+        nemeses=(
+            MobileByzantineNemesis(
+                strategy=strategy, start=6.0, period=7.0, moves=moves
+            ),
+        ),
+        **overrides,
+    )
+
+
+class TestCarrier:
+    def test_rate0_possession_sits_on_the_static_slot(self):
+        system = build_system(mobile_plan("forging", moves=0))
+        carrier = system.mobile_carrier
+        assert carrier is not None
+        assert carrier.host == "s5"  # where plan.strategy would put it
+        assert system.byzantine_ids == {"s5"}
+        assert carrier.visited == ("s5",)
+        assert carrier.moves == 0
+
+    def test_depart_restores_the_correct_server_scrambled(self):
+        system = build_system(mobile_plan("forging", moves=0))
+        carrier = system.mobile_carrier
+        carrier.depart(system.env.spawn_rng("test-depart"))
+        assert carrier.host is None
+        assert system.byzantine_ids == set()
+        restored = system.servers["s5"]
+        assert isinstance(restored, RegisterServer)
+        # the registry and the system agree on who answers as s5
+        assert system.env.network.processes["s5"] is restored
+
+    def test_relocate_walks_the_itinerary(self):
+        system = build_system(mobile_plan("forging", moves=0))
+        carrier = system.mobile_carrier
+        carrier.relocate("s2", system.env.spawn_rng("test-move"))
+        assert carrier.host == "s2"
+        assert system.byzantine_ids == {"s2"}
+        assert carrier.visited == ("s5", "s2")
+        assert carrier.moves == 1
+        # the abandoned host is a correct server again
+        assert isinstance(system.servers["s5"], RegisterServer)
+
+    def test_double_possession_rejected(self):
+        system = build_system(mobile_plan("forging", moves=0))
+        with pytest.raises(SimulationError, match="already possesses"):
+            system.mobile_carrier.possess("s0")
+
+    def test_possession_respects_the_f_bound(self):
+        # A static Byzantine server is already present: the carrier may
+        # not add a second faulty identity.
+        system = build_system(make_plan(strategy="silent"))
+        carrier = MobileByzantineCarrier(system, "forging")
+        with pytest.raises(SimulationError, match="exceed the f"):
+            carrier.possess("s0")
+
+    def test_cannot_possess_a_departed_server(self):
+        system = build_system(make_plan(strategy=""))
+        system.leave_server("s0")
+        carrier = MobileByzantineCarrier(system, "forging")
+        with pytest.raises(SimulationError, match="departed"):
+            carrier.possess("s0")
+
+
+class TestZooRelocationSmoke:
+    def test_every_strategy_survives_a_full_relocation_round(self):
+        """Every zoo strategy, one full relocation round at n = 5f + 1:
+        the run must complete under the invariant monitor with no wedge
+        — relocations are fault instants the suffix-judge absorbs."""
+        for name in sorted(STRATEGY_ZOO):
+            plan = mobile_plan(name, moves=2, horizon=80.0)
+            outcome = run_plan(plan, trace="off")
+            assert outcome.ok, f"{name}: {outcome.kind}: {outcome.detail}"
+
+
+class TestRateZeroDifferential:
+    def test_rate0_verdicts_match_static_for_every_strategy(self):
+        for name in sorted(STRATEGY_ZOO):
+            static = run_plan(make_plan(strategy=name), trace="off")
+            mobile = run_plan(mobile_plan(name, moves=0), trace="off")
+            probe = (
+                static.kind == mobile.kind,
+                static.detail == mobile.detail,
+                static.reads_checked == mobile.reads_checked,
+                static.aborts == mobile.aborts,
+            )
+            assert all(probe), f"{name}: {probe}"
+
+    def test_rate0_history_is_bit_identical_to_static(self):
+        """Not just same verdict — the same fictional-clock transcript,
+        operation for operation: possession under the resident pid keeps
+        the derived RNG streams identical to the static configuration."""
+
+        def transcript(plan):
+            system = build_system(plan)
+            for i in range(3):
+                system.write_sync("c0", f"v{i}")
+                system.read_sync("c1")
+            system.settle()
+            return [repr(op) for op in system.history.operations]
+
+        name = "stale-replay"
+        assert transcript(make_plan(strategy=name)) == transcript(
+            mobile_plan(name, moves=0)
+        )

@@ -5,10 +5,12 @@ import random
 import pytest
 
 from repro.chaos.nemesis import (
+    ChurnNemesis,
     CorruptionWaveNemesis,
     CrashRestartNemesis,
     LatencySurgeNemesis,
     MessageStormNemesis,
+    MobileByzantineNemesis,
     NEMESIS_KINDS,
     PartitionNemesis,
     SurgeAdversary,
@@ -25,6 +27,10 @@ ONE_OF_EACH = [
     CorruptionWaveNemesis(times=(4.0, 9.0), server_fraction=0.5),
     MessageStormNemesis(time=7.0, pairs=3, burst=2),
     LatencySurgeNemesis(start=2.0, end=10.0, factor=4.0),
+    ChurnNemesis(time=6.0, target="s2", rejoin_at=14.0),
+    MobileByzantineNemesis(
+        strategy="forging", start=10.0, period=8.0, moves=2, path=("s0", "s1")
+    ),
 ]
 
 

@@ -77,6 +77,10 @@ def test_server_surface_matches_registry() -> None:
         "ts",
         "old_vals",
         "running_read",
+        # churn state-transfer handshake (begin_join/on_state_reply)
+        "_join_nonce",
+        "_join_replies",
+        "_join_quorum",
     }
 
 

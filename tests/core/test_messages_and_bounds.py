@@ -10,6 +10,8 @@ from repro.core.messages import (
     GetTs,
     ReadReply,
     ReadRequest,
+    StateReply,
+    StateRequest,
     TsReply,
     WriteAck,
     WriteNack,
@@ -28,6 +30,8 @@ ALL_MESSAGE_TYPES = [
     CompleteRead(label=0, reader="c0"),
     Flush(label=0),
     FlushAck(label=0, server="s0"),
+    StateRequest(nonce=0),
+    StateReply(nonce=0, server="s0", value="v", ts=1),
 ]
 
 

@@ -1,0 +1,118 @@
+"""Live-tier membership: proxy hard kill/heal and real server churn.
+
+Two escalating ways a live server goes away. A *killed* FaultProxy
+severs every connection and refuses new ones until healed — the server
+looks crashed, and a client re-enters with one redial + re-HELLO. A
+*retired* server is really gone (daemon stopped, socket closed); a
+respawn brings a brand-new daemon up on a fresh address, runs the
+mediated state-transfer handshake over real StateRequest frames, and
+every endpoint redials. Both must leave histories the simulator's own
+RegularityChecker accepts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.errors import ConfigurationError
+from repro.net import FaultPolicy, LiveRegisterCluster, WireError
+
+CONFIG = SystemConfig(n=6, f=1)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestKillHeal:
+    def test_kill_heal_re_hello_resumes_service(self):
+        async def scenario():
+            policy = FaultPolicy()  # pass-through: the toggle is the test
+            async with LiveRegisterCluster(
+                CONFIG, n_clients=1, seed=21, proxy_policy=policy
+            ) as c:
+                await c.write("c0", "before")
+                proxy = c.proxies["s0"]
+                await proxy.kill()
+                assert proxy.killed
+                # One dead server of six: n - f quorums still assemble.
+                await c.write("c0", "during")
+                # A killed proxy hangs up on dialers before the HELLO.
+                with pytest.raises((WireError, ConnectionError, OSError)):
+                    await c.endpoints["c0"].redial("s0")
+                proxy.heal()
+                assert not proxy.killed
+                await c.endpoints["c0"].redial("s0")  # re-HELLO succeeds
+                await c.write("c0", "after")
+                value = await c.read("c0")
+                return value, c.check_regularity(algorithm="sweep")
+
+        value, verdict = run(scenario())
+        assert value == "after"
+        assert verdict.ok, verdict.violations
+
+
+class TestChurnMembership:
+    def test_retire_respawn_transfers_state_and_resumes(self):
+        async def scenario():
+            async with LiveRegisterCluster(CONFIG, n_clients=2, seed=22) as c:
+                await c.write("c0", "while-away")
+                old_address = c.addresses["s0"]
+                await c.retire_server("s0")
+                assert "s0" in c.departed
+                # Quorums survive the absence; this write happens while
+                # s0 is really gone (daemon stopped, socket closed).
+                await c.write("c0", "mid-churn")
+                address = await c.respawn_server("s0")
+                assert address != old_address  # fresh ephemeral port
+                assert "s0" not in c.departed
+                # The mediated handshake adopted the peers' snapshot.
+                joined = c.daemons["s0"].process
+                value = await c.read("c1")
+                verdict = c.check_regularity(algorithm="sweep")
+                return joined.value, value, verdict
+
+        adopted, value, verdict = run(scenario())
+        assert adopted == "mid-churn"
+        assert value == "mid-churn"
+        assert verdict.ok, verdict.violations
+
+    def test_retire_guards(self):
+        async def scenario():
+            async with LiveRegisterCluster(CONFIG, n_clients=1, seed=23) as c:
+                with pytest.raises(ConfigurationError, match="unknown"):
+                    await c.retire_server("s9")
+                await c.retire_server("s0")
+                with pytest.raises(ConfigurationError, match="already"):
+                    await c.retire_server("s0")
+                with pytest.raises(ConfigurationError, match="not retired"):
+                    await c.respawn_server("s1")
+                await c.respawn_server("s0")
+
+        run(scenario())
+
+    def test_respawn_over_unix_sockets(self, tmp_path):
+        # Unix sockets don't unlink on close; the respawn generation
+        # suffix must keep the new daemon off the dead socket path.
+        async def scenario():
+            async with LiveRegisterCluster(
+                CONFIG,
+                n_clients=1,
+                seed=24,
+                family="unix",
+                socket_dir=str(tmp_path),
+            ) as c:
+                await c.write("c0", "over-uds")
+                await c.retire_server("s2")
+                address = await c.respawn_server("s2")
+                assert "-g1.sock" in address
+                await c.write("c0", "post-churn")
+                value = await c.read("c0")
+                return value, c.check_regularity(algorithm="sweep")
+
+        value, verdict = run(scenario())
+        assert value == "post-churn"
+        assert verdict.ok, verdict.violations

@@ -89,6 +89,14 @@ messages = st.one_of(
     st.builds(pm.CompleteRead, label=st.integers(), reader=st.text(max_size=8)),
     st.builds(pm.Flush, label=st.integers()),
     st.builds(pm.FlushAck, label=st.integers(), server=st.text(max_size=8)),
+    st.builds(pm.StateRequest, nonce=st.integers()),
+    st.builds(
+        pm.StateReply,
+        nonce=st.integers(),
+        server=st.text(max_size=8),
+        value=scalars,
+        ts=label_like,
+    ),
 )
 
 payloads = st.one_of(messages, garbage, label_like, scalars)
