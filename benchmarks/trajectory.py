@@ -14,11 +14,21 @@ understands both the ``repro-bench-live/1`` (closed-loop JSON wire) and
 ``repro-bench-live/2`` (binary wire + sweep) snapshot shapes, so the
 first /2 regeneration still diffs cleanly against a /1 baseline.
 
+``--fabric`` regenerates ``BENCH_fabric.json``: the sharded-KV scale-out
+curve through ``python -m repro fabric loadgen --sweep`` (1 -> 2 -> 4
+OS-process shards, open loop at a fixed per-shard rate) and prints
+per-point throughput/latency deltas against the committed snapshot.
+The numbers are honest for the box they ran on — the snapshot's
+``meta.cpus`` field says how many cores the multi-process fabric
+actually had (CI's 1-CPU container measures process overhead, not
+scale-up).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/trajectory.py            # writes BENCH_kernel.json
     PYTHONPATH=src python benchmarks/trajectory.py --out X.json
     PYTHONPATH=src python benchmarks/trajectory.py --live     # writes BENCH_live.json
+    PYTHONPATH=src python benchmarks/trajectory.py --fabric   # writes BENCH_fabric.json
 
 The kernel snapshot schema::
 
@@ -44,6 +54,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_FILE = Path(__file__).resolve().parent / "bench_kernel.py"
 DEFAULT_OUT = REPO_ROOT / "BENCH_kernel.json"
 DEFAULT_LIVE_OUT = REPO_ROOT / "BENCH_live.json"
+DEFAULT_FABRIC_OUT = REPO_ROOT / "BENCH_fabric.json"
 FUZZ_KERNEL = "test_fuzz_trial_throughput"
 
 
@@ -153,6 +164,56 @@ def live_compare(old: dict, new: dict) -> list[str]:
     return lines
 
 
+def run_fabric(
+    out_path: Path, shards: int, duration: float, rate_per_shard: float
+) -> None:
+    """Regenerate the fabric snapshot via the real CLI (fresh interpreter,
+    one OS process per shard — the deployment shape, not inline mode)."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    cmd = [
+        sys.executable,
+        "-m",
+        "repro",
+        "fabric",
+        "loadgen",
+        "--sweep",
+        "--shards", str(shards),
+        "--duration", str(duration),
+        "--rate-per-shard", str(rate_per_shard),
+        "--out", str(out_path),
+    ]
+    subprocess.run(cmd, check=True, cwd=REPO_ROOT, env=env)
+
+
+def fabric_compare(old: dict, new: dict) -> list[str]:
+    """Per-shard-count deltas between two fabric snapshots."""
+    lines = [
+        f"cpus: {old.get('meta', {}).get('cpus', '?')} -> "
+        f"{new.get('meta', {}).get('cpus', '?')}"
+    ]
+    old_points = {pt["shards"]: pt for pt in old.get("points", [])}
+    for pt in new.get("points", []):
+        prev = old_points.get(pt["shards"])
+        if not prev:
+            continue
+        o_agg, n_agg = prev["aggregate"], pt["aggregate"]
+        line = (
+            f"{pt['shards']} shard(s): {o_agg['ops_per_s']:.1f} -> "
+            f"{n_agg['ops_per_s']:.1f} ops/s"
+        )
+        o_p99 = o_agg.get("read_latency_s", {}).get("p99")
+        n_p99 = n_agg.get("read_latency_s", {}).get("p99")
+        if o_p99 and n_p99:
+            line += f", read p99 {o_p99 * 1e3:.2f}ms -> {n_p99 * 1e3:.2f}ms"
+        line += f", clean={pt['all_clean']}"
+        lines.append(line)
+    return lines
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -174,7 +235,44 @@ def main(argv: list[str] | None = None) -> int:
         default="auto",
         help="--live saturation ladder: 'auto' or comma-separated rates",
     )
+    parser.add_argument(
+        "--fabric",
+        action="store_true",
+        help="regenerate BENCH_fabric.json (multi-process shard scale-out) "
+        "instead of kernels",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        help="--fabric ladder top: sweeps 1, 2, ... up to this count",
+    )
+    parser.add_argument(
+        "--rate-per-shard",
+        type=float,
+        default=120.0,
+        help="--fabric offered open-loop ops/s per shard",
+    )
     args = parser.parse_args(argv)
+
+    if args.fabric:
+        out = args.out or DEFAULT_FABRIC_OUT
+        previous = json.loads(out.read_text()) if out.exists() else None
+        with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+            fabric_path = Path(tmp.name)
+        try:
+            run_fabric(
+                fabric_path, args.shards, args.duration, args.rate_per_shard
+            )
+            snapshot = json.loads(fabric_path.read_text())
+        finally:
+            fabric_path.unlink(missing_ok=True)
+        if previous is not None:
+            for line in fabric_compare(previous, snapshot):
+                print(line)
+        out.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {out}")
+        return 0
 
     if args.live:
         out = args.out or DEFAULT_LIVE_OUT

@@ -36,6 +36,12 @@ HOSTING_LAYER_FILES = (
     "repro/net/daemon.py",
     "repro/net/bridge.py",
     "repro/net/cluster.py",
+    "repro/fabric/ring.py",
+    "repro/fabric/topology.py",
+    "repro/fabric/host.py",
+    "repro/fabric/supervisor.py",
+    "repro/fabric/client.py",
+    "repro/fabric/kv.py",
 )
 
 

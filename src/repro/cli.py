@@ -27,7 +27,13 @@ Commands:
 * ``loadgen``                     — boot a live loopback cluster (or dial
   ``--servers``), drive a closed-loop mixed workload, judge the captured
   history with the regularity checker, write ``BENCH_live.json``
-  (``docs/LIVE.md``).
+  (``docs/LIVE.md``);
+* ``fabric``                      — the sharded KV fabric
+  (``docs/FABRIC.md``): ``fabric loadgen`` scales register groups out
+  across OS processes behind the consistent-hash router and writes
+  ``BENCH_fabric.json``; ``fabric chaos`` aims a nemesis at one shard
+  and gates on blast-radius containment; ``fabric serve`` hosts a
+  fabric and prints its topology until interrupted.
 
 ``--jobs`` fans independent trials over a process pool; every sweep's
 output is byte-identical to the serial run (see
@@ -758,6 +764,197 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _shard_ladder(shards: int) -> list[int]:
+    """The --sweep shard counts: powers of two up to ``shards``, plus
+    ``shards`` itself (1, 2, 4, ... k)."""
+    ladder = []
+    k = 1
+    while k < shards:
+        ladder.append(k)
+        k *= 2
+    ladder.append(shards)
+    return ladder
+
+
+def _cmd_fabric(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.fabric import (
+        FabricClient,
+        FabricSupervisor,
+        ShardNemesis,
+        fabric_scaleout,
+        run_targeted_chaos,
+    )
+    from repro.net import install_event_loop
+
+    try:
+        runtime = install_event_loop(args.loop)
+    except ImportError:
+        print(
+            "uvloop requested but not installed (pip install 'repro[perf]')",
+            file=sys.stderr,
+        )
+        return 2
+    mode = "inline" if args.inline else "process"
+
+    if args.fabric_command == "serve":
+        import json
+
+        async def serve() -> None:
+            async with FabricSupervisor(
+                shards=args.shards,
+                n=args.n,
+                f=args.f,
+                seed=args.seed,
+                byzantine=args.byzantine,
+                proxied=args.proxied,
+                wire=args.wire,
+                mode=mode,
+            ) as sup:
+                print(json.dumps(sup.topology.to_dict(), indent=2, sort_keys=True))
+                sys.stdout.flush()
+                while True:
+                    await asyncio.sleep(3600)
+
+        try:
+            asyncio.run(serve())
+        except KeyboardInterrupt:
+            pass
+        return 0
+
+    if args.fabric_command == "chaos":
+        nemesis = ShardNemesis(
+            target=args.target,
+            kind=args.nemesis,
+            start=args.start,
+            length=args.length,
+        )
+        proxied = args.proxied or nemesis.kind == "partition"
+
+        async def chaos() -> dict:
+            async with FabricSupervisor(
+                shards=args.shards,
+                n=args.n,
+                f=args.f,
+                seed=args.seed,
+                byzantine=args.byzantine,
+                proxied=proxied,
+                wire=args.wire,
+                mode=mode,
+            ) as sup:
+                async with FabricClient(
+                    sup.topology,
+                    clients_per_shard=args.clients,
+                    seed=args.seed,
+                    op_timeout=args.op_timeout,
+                ) as client:
+                    return await run_targeted_chaos(
+                        sup,
+                        client,
+                        nemesis,
+                        rate_per_shard=args.rate_per_shard,
+                        duration=args.duration,
+                        warmup=args.warmup,
+                        read_fraction=args.read_fraction,
+                        keys=args.keys,
+                        skew=args.skew,
+                        zipf_s=args.zipf_s,
+                        seed=args.seed,
+                    )
+
+        report = asyncio.run(chaos())
+        report["runtime"] = runtime
+        blast = report["blast_radius"]
+        print(
+            f"fabric chaos: {nemesis.kind} on {nemesis.target} "
+            f"({args.shards} shards, mode={mode})"
+        )
+        for shard_id in sorted(report["per_shard"]):
+            entry = report["per_shard"][shard_id]
+            health = (
+                f"stabilized={entry['stabilized']}"
+                if entry["role"] == "target"
+                else f"clean={entry['clean']}"
+            )
+            print(
+                f"  {shard_id:8s} {entry['role']:9s} "
+                f"{entry['reads'] + entry['writes']:5d} ops "
+                f"{entry['timeouts']} timeouts  {health}"
+            )
+        print(
+            f"  blast radius: "
+            f"{'CONTAINED' if blast['contained'] else 'ESCAPED'} "
+            f"(degraded: {', '.join(blast['degraded']) or 'none'})"
+        )
+        if args.out:
+            _write_json(args.out, report)
+            print(f"  report written to {args.out}")
+        return 0 if blast["contained"] and blast["target_stabilized"] else 1
+
+    # fabric loadgen
+    counts = _shard_ladder(args.shards) if args.sweep else [args.shards]
+    artifact = asyncio.run(
+        fabric_scaleout(
+            counts,
+            n=args.n,
+            f=args.f,
+            seed=args.seed,
+            byzantine=args.byzantine,
+            proxied=args.proxied,
+            wire=args.wire,
+            mode=mode,
+            clients_per_shard=args.clients,
+            op_timeout=args.op_timeout,
+            load_mode="closed" if args.closed else "open",
+            rate_per_shard=args.rate_per_shard,
+            duration=args.duration,
+            warmup=args.warmup,
+            read_fraction=args.read_fraction,
+            keys=args.keys,
+            skew=args.skew,
+            zipf_s=args.zipf_s,
+        )
+    )
+    artifact["meta"]["runtime"] = runtime
+    print(
+        f"fabric loadgen: n={args.n} f={args.f} per shard, mode={mode}, "
+        f"skew={args.skew}, "
+        f"{'closed loop' if args.closed else 'open loop'}"
+    )
+    print(
+        "    shards    offered    achieved   read p50/p99 ms    "
+        "write p50/p99 ms   verdict"
+    )
+    exit_code = 0
+    for point in artifact["points"]:
+        agg = point["aggregate"]
+        read_lat = agg["read_latency_s"]
+        write_lat = agg["write_latency_s"]
+        print(
+            f"    {point['shards']:6d} "
+            f"{point['offered_ops_per_s']:10.0f} "
+            f"{agg['ops_per_s']:10.1f} "
+            f"{read_lat['p50'] * 1e3:8.2f}/{read_lat['p99'] * 1e3:<8.2f} "
+            f"{write_lat['p50'] * 1e3:8.2f}/{write_lat['p99'] * 1e3:<8.2f} "
+            f"{'CLEAN' if point['all_clean'] else 'VIOLATIONS'}"
+        )
+        if not point["all_clean"]:
+            exit_code = 1
+    top = artifact["points"][-1]["aggregate"]
+    if args.min_ops_per_s and top["ops_per_s"] < args.min_ops_per_s:
+        print(
+            f"throughput {top['ops_per_s']:.1f} ops/s below floor "
+            f"{args.min_ops_per_s}",
+            file=sys.stderr,
+        )
+        exit_code = 1
+    if args.out:
+        _write_json(args.out, artifact)
+        print(f"  benchmark written to {args.out}")
+    return exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1059,6 +1256,150 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the benchmark JSON (BENCH_live.json) here",
     )
 
+    fabric = sub.add_parser(
+        "fabric",
+        help="sharded KV fabric: scale-out loadgen, targeted chaos, serve "
+        "(docs/FABRIC.md)",
+    )
+    fabric_sub = fabric.add_subparsers(dest="fabric_command", required=True)
+
+    def _fabric_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--shards", type=int, default=2, help="register groups (default 2)"
+        )
+        p.add_argument("--n", type=int, default=6, help="servers per shard")
+        p.add_argument("--f", type=int, default=1, help="fault budget per shard")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--byzantine",
+            default=None,
+            metavar="STRATEGY",
+            help="every shard hosts one server of this zoo strategy",
+        )
+        p.add_argument(
+            "--proxied",
+            action="store_true",
+            help="front every server with a fault proxy (partition verbs "
+            "need this; fabric chaos --nemesis partition implies it)",
+        )
+        p.add_argument(
+            "--inline",
+            action="store_true",
+            help="host shards on this process's loop instead of one OS "
+            "process per shard (fast, for tests and smoke runs)",
+        )
+        p.add_argument(
+            "--wire",
+            type=int,
+            choices=(1, 2),
+            default=2,
+            help="wire codec version (default 2 = repro-wire/2 binary)",
+        )
+        p.add_argument(
+            "--loop",
+            choices=("auto", "uvloop", "asyncio"),
+            default="auto",
+            help="event-loop runtime (parent process only)",
+        )
+
+    def _fabric_load_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--clients", type=int, default=2, help="worker endpoints per shard"
+        )
+        p.add_argument("--op-timeout", type=float, default=30.0)
+        p.add_argument(
+            "--rate-per-shard",
+            type=float,
+            default=150.0,
+            help="offered open-loop ops/s per shard (aggregate scales with "
+            "the shard count; default 150)",
+        )
+        p.add_argument("--duration", type=float, default=5.0)
+        p.add_argument("--warmup", type=float, default=1.0)
+        p.add_argument("--read-fraction", type=float, default=0.5)
+        p.add_argument(
+            "--keys", type=int, default=256, help="keyspace size (default 256)"
+        )
+        p.add_argument(
+            "--skew",
+            choices=("uniform", "zipf"),
+            default="uniform",
+            help="key popularity: uniform or zipf (1/rank^s)",
+        )
+        p.add_argument(
+            "--zipf-s",
+            type=float,
+            default=1.1,
+            help="zipf exponent (default 1.1; only with --skew zipf)",
+        )
+        p.add_argument(
+            "--out",
+            default=None,
+            metavar="PATH",
+            help="write the JSON artifact here",
+        )
+
+    fab_load = fabric_sub.add_parser(
+        "loadgen",
+        help="scale-out load over 1..K shards + per-shard regularity "
+        "verdicts (repro-bench-fabric/1)",
+    )
+    _fabric_common(fab_load)
+    _fabric_load_common(fab_load)
+    fab_load.add_argument(
+        "--sweep",
+        action="store_true",
+        help="run the shard ladder 1, 2, 4, ... up to --shards (fresh "
+        "fabric per point) instead of --shards only",
+    )
+    fab_load.add_argument(
+        "--closed",
+        action="store_true",
+        help="closed-loop workers (capacity) instead of open-loop Poisson "
+        "arrivals at --rate-per-shard",
+    )
+    fab_load.add_argument(
+        "--min-ops-per-s",
+        type=float,
+        default=0.0,
+        help="exit 1 if the largest point's throughput is below this floor",
+    )
+
+    fab_chaos = fabric_sub.add_parser(
+        "chaos",
+        help="aim one nemesis at one shard under load; exit 0 only if the "
+        "blast radius is contained and the target stabilizes",
+    )
+    _fabric_common(fab_chaos)
+    _fabric_load_common(fab_chaos)
+    fab_chaos.add_argument(
+        "--target", default="shard0", help="shard to attack (default shard0)"
+    )
+    fab_chaos.add_argument(
+        "--nemesis",
+        choices=("partition", "corrupt", "crash"),
+        default="partition",
+        help="fault kind aimed at --target",
+    )
+    fab_chaos.add_argument(
+        "--start",
+        type=float,
+        default=1.0,
+        help="seconds into the measured window the fault lands",
+    )
+    fab_chaos.add_argument(
+        "--length",
+        type=float,
+        default=2.0,
+        help="seconds the fault holds before heal/respawn",
+    )
+
+    fab_serve = fabric_sub.add_parser(
+        "serve",
+        help="boot a fabric, print its topology JSON, serve until ^C",
+    )
+    _fabric_common(fab_serve)
+
     lint = sub.add_parser(
         "lint",
         help="determinism & stabilization-soundness static analysis",
@@ -1116,6 +1457,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "lint": _cmd_lint,
         "serve": _cmd_serve,
         "loadgen": _cmd_loadgen,
+        "fabric": _cmd_fabric,
     }[args.command]
     return handler(args)
 

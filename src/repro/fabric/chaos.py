@@ -1,0 +1,230 @@
+"""A nemesis aimed at one shard while the rest of the fabric serves.
+
+Sharding earns its keep only if a shard failure is *contained*: the
+blast-radius contract (``docs/FABRIC.md``) says a nemesis on one shard
+may degrade that shard — stuck operations, timeouts, a stabilization
+(rather than plain-regularity) verdict — but every other shard must
+stay CLEAN under the sweep checker, keep completing operations, and
+record zero timeouts. :func:`run_targeted_chaos` runs exactly that
+scenario and returns a ``repro-fabric-chaos/1`` report whose
+``blast_radius.contained`` field is the machine-checkable verdict.
+
+Nemesis kinds (all aimed at ``ShardNemesis.target``):
+
+* ``partition`` — sever every fault proxy of the target (needs a
+  ``proxied`` fabric); heal after the window and redial. Operations
+  scheduled into the window strand until the endpoint's ``op_timeout``
+  crash-restarts its client, so the run should use a short one.
+* ``corrupt`` — a corruption wave over the target's correct servers
+  (each hosted process's own ``corrupt_state``), the paper's transient
+  fault, live. Subsequent writes re-anchor the register.
+* ``crash`` — retire the target's last correct server for real, then
+  respawn it with PR 8 state transfer after the window.
+
+The targeted shard is judged by
+:func:`~repro.spec.stabilization.evaluate_stabilization` with the
+fault window's edge as ``last_fault_time`` — degradation inside the
+window is *attributed*, not excused: it must still stabilize after.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.fabric.client import FabricClient
+from repro.fabric.loadgen import run_fabric_load
+from repro.fabric.supervisor import FabricSupervisor
+from repro.sim.environment import derive_seed
+from repro.spec.stabilization import evaluate_stabilization
+
+__all__ = ["FABRIC_CHAOS_FORMAT", "NEMESIS_KINDS", "ShardNemesis", "run_targeted_chaos"]
+
+FABRIC_CHAOS_FORMAT = "repro-fabric-chaos/1"
+
+NEMESIS_KINDS = ("partition", "corrupt", "crash")
+
+
+@dataclass(frozen=True)
+class ShardNemesis:
+    """One targeted fault window.
+
+    ``start`` is seconds after the measured window opens; ``length`` is
+    how long the fault holds before the heal/respawn step.
+    """
+
+    target: str
+    kind: str = "partition"
+    start: float = 1.0
+    length: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in NEMESIS_KINDS:
+            raise ConfigurationError(
+                f"unknown nemesis kind {self.kind!r}; known: {NEMESIS_KINDS}"
+            )
+        if self.start < 0 or self.length <= 0:
+            raise ConfigurationError(
+                f"bad nemesis window: start={self.start} length={self.length}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "target": self.target,
+            "kind": self.kind,
+            "start": self.start,
+            "length": self.length,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ShardNemesis":
+        return cls(
+            target=data["target"],
+            kind=data.get("kind", "partition"),
+            start=data.get("start", 1.0),
+            length=data.get("length", 2.0),
+        )
+
+
+async def run_targeted_chaos(
+    supervisor: FabricSupervisor,
+    client: FabricClient,
+    nemesis: ShardNemesis,
+    rate_per_shard: float = 100.0,
+    duration: float = 6.0,
+    warmup: float = 0.5,
+    read_fraction: float = 0.5,
+    keys: int = 256,
+    skew: str = "uniform",
+    zipf_s: float = 1.1,
+    seed: int = 0,
+) -> dict[str, Any]:
+    """Open-loop load over every shard + one fault window on the target.
+
+    The fabric must be started and the client connected. Returns the
+    ``repro-fabric-chaos/1`` report (see module docstring).
+    """
+    shard_ids = client.topology.shard_ids
+    if nemesis.target not in shard_ids:
+        raise ConfigurationError(f"unknown target shard {nemesis.target!r}")
+    spec = client.topology.spec(nemesis.target)
+    if nemesis.kind == "partition" and not spec.proxied:
+        raise ConfigurationError(
+            "partition nemesis needs a proxied fabric (FabricSupervisor("
+            "proxied=True))"
+        )
+    if nemesis.start + nemesis.length >= duration:
+        raise ConfigurationError(
+            f"nemesis window [{nemesis.start}, "
+            f"{nemesis.start + nemesis.length}) must close before the "
+            f"duration {duration}s so the target can be observed healing"
+        )
+    clock = client.clock
+    rate = rate_per_shard * len(shard_ids)
+    load_task = asyncio.create_task(
+        run_fabric_load(
+            client,
+            mode="open",
+            rate=rate,
+            duration=duration,
+            warmup=warmup,
+            read_fraction=read_fraction,
+            keys=keys,
+            skew=skew,
+            zipf_s=zipf_s,
+            seed=seed,
+        )
+    )
+
+    await asyncio.sleep(warmup + nemesis.start)
+    fault_time = clock.now()
+    victim = None
+    if nemesis.kind == "partition":
+        await supervisor.kill_shard(nemesis.target)
+    elif nemesis.kind == "corrupt":
+        await supervisor.corrupt_shard(
+            nemesis.target, wave_seed=derive_seed(seed, "fabric:chaos-wave")
+        )
+    else:  # crash
+        correct = [
+            sid
+            for sid in spec.config().server_ids
+            if sid not in {byz_sid for byz_sid, _ in spec.byzantine}
+        ]
+        victim = correct[-1]
+        await supervisor.retire(nemesis.target, victim)
+
+    await asyncio.sleep(nemesis.length)
+    heal_time = clock.now()
+    if nemesis.kind == "partition":
+        await supervisor.heal_shard(nemesis.target)
+        await client.redial_shard(nemesis.target)
+    elif nemesis.kind == "crash":
+        address = await supervisor.respawn(nemesis.target, victim, True)
+        await client.redial_server(nemesis.target, victim, address=address)
+
+    load = await load_task
+
+    # Judging: bystanders owe plain regularity; the target owes
+    # stabilization after the last moment the fault could still act.
+    last_fault = fault_time if nemesis.kind == "corrupt" else heal_time
+    per_shard: dict[str, Any] = {}
+    degraded: list[str] = []
+    bystanders_clean = True
+    bystanders_completing = True
+    bystander_timeouts = 0
+    for shard_id in shard_ids:
+        result = load.shards[shard_id]
+        entry = result.to_dict()
+        entry["role"] = "target" if shard_id == nemesis.target else "bystander"
+        healthy = True
+        if shard_id == nemesis.target:
+            report = evaluate_stabilization(
+                client.histories[shard_id],
+                client.checker(shard_id),
+                last_fault_time=last_fault,
+            )
+            entry["stabilized"] = bool(report.stabilized)
+            entry["stabilization"] = report.summary()
+            healthy = bool(report.stabilized)
+        else:
+            verdict = client.check_shard(shard_id, algorithm="sweep")
+            entry["clean"] = bool(verdict.ok)
+            bystanders_clean = bystanders_clean and bool(verdict.ok)
+            bystanders_completing = bystanders_completing and result.completed > 0
+            bystander_timeouts += result.timeouts
+            healthy = bool(verdict.ok)
+        if result.timeouts or not healthy:
+            degraded.append(shard_id)
+        per_shard[shard_id] = entry
+
+    target_result = load.shards[nemesis.target]
+    target_stabilized = bool(per_shard[nemesis.target]["stabilized"])
+    contained = (
+        bystanders_clean
+        and bystanders_completing
+        and bystander_timeouts == 0
+        and set(degraded) <= {nemesis.target}
+    )
+    aggregate = load.aggregate
+    return {
+        "format": FABRIC_CHAOS_FORMAT,
+        "nemesis": nemesis.to_dict(),
+        "fault_time": fault_time,
+        "heal_time": heal_time,
+        "offered_ops_per_s": rate,
+        "per_shard": per_shard,
+        "aggregate": aggregate.to_dict(),
+        "blast_radius": {
+            "contained": contained,
+            "bystanders_clean": bystanders_clean,
+            "bystanders_completing": bystanders_completing,
+            "bystander_timeouts": bystander_timeouts,
+            "degraded": sorted(degraded),
+            "target_stabilized": target_stabilized,
+            "target_timeouts": target_result.timeouts,
+            "target_completed": target_result.completed,
+        },
+    }

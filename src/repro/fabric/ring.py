@@ -1,0 +1,84 @@
+"""Consistent-hash key placement, deterministic across interpreters.
+
+The ring hashes with :func:`zlib.crc32` — the same choice the Byzantine
+zoo's ``stable_parity`` made — because builtin ``hash()`` is salted per
+interpreter run (``PYTHONHASHSEED``): a placement that moved between the
+CLI process and a shard host, or between two runs of the same benchmark,
+would silently route the same key to different registers. crc32 of the
+UTF-8 bytes is a pure function of the string on every platform.
+
+Each shard contributes :data:`DEFAULT_VNODES` virtual points so the
+keyspace splits evenly and adding a shard steals roughly ``1/k`` of the
+keys (and *only* steals: a consistent-hash insertion can reassign a key
+to the new shard, never between two old ones — the rebalance-bound test
+pins both properties).
+"""
+
+from __future__ import annotations
+
+import bisect
+import zlib
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["DEFAULT_VNODES", "HashRing", "ring_hash"]
+
+#: Virtual points per shard. 64 keeps the per-shard share within a few
+#: percent of 1/k for single-digit shard counts while the ring stays
+#: tiny (k*64 sorted ints).
+DEFAULT_VNODES = 64
+
+
+def ring_hash(text: str) -> int:
+    """crc32 of the UTF-8 bytes — process- and seed-invariant."""
+    return zlib.crc32(text.encode("utf-8")) & 0xFFFFFFFF
+
+
+class HashRing:
+    """Key -> shard id via first-clockwise-vnode placement.
+
+    Args:
+        shard_ids: the shards, in any order (the ring sorts points by
+            hash; ties break by shard id, so construction order never
+            matters).
+        vnodes: virtual points per shard.
+    """
+
+    def __init__(
+        self, shard_ids: Sequence[str], vnodes: int = DEFAULT_VNODES
+    ) -> None:
+        ids = list(shard_ids)
+        if not ids:
+            raise ConfigurationError("a ring needs at least one shard")
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError(f"duplicate shard ids: {ids}")
+        if vnodes < 1:
+            raise ConfigurationError(f"vnodes must be >= 1: {vnodes}")
+        self.shard_ids = tuple(sorted(ids))
+        self.vnodes = vnodes
+        self._points = sorted(
+            (ring_hash(f"{sid}#{i}"), sid)
+            for sid in self.shard_ids
+            for i in range(vnodes)
+        )
+        self._hashes = [point for point, _ in self._points]
+
+    def place(self, key: str) -> str:
+        """The shard owning ``key``: the first vnode strictly clockwise
+        of ``ring_hash(key)`` (wrapping past the top of the ring)."""
+        idx = bisect.bisect_right(self._hashes, ring_hash(key))
+        return self._points[idx % len(self._points)][1]
+
+    def spread(self, keys: Sequence[str]) -> dict[str, int]:
+        """How many of ``keys`` each shard owns (all shards present)."""
+        counts = {sid: 0 for sid in self.shard_ids}
+        for key in keys:
+            counts[self.place(key)] += 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self.shard_ids)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"HashRing({list(self.shard_ids)!r}, vnodes={self.vnodes})"

@@ -1,0 +1,183 @@
+"""The serializable fabric layout: ``repro-fabric-topology/1``.
+
+A :class:`ShardSpec` is everything a shard host needs to boot its
+register group — and nothing else, so it pickles cleanly across the
+``multiprocessing`` spawn boundary (Byzantine servers travel as zoo
+strategy *names*, resolved against
+:data:`~repro.byzantine.strategies.STRATEGY_ZOO` inside the host).
+
+A :class:`FabricTopology` is the started fabric's public shape: the
+specs plus the concrete server addresses each shard actually bound, and
+the hash ring derived from the shard ids. Its dict form is the
+``repro-fabric-topology/1`` artifact — enough for a client in another
+process (or another machine, for tcp addresses) to dial every shard and
+route keys identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+from repro.byzantine.strategies import STRATEGY_ZOO
+from repro.core.config import SystemConfig
+from repro.errors import ConfigurationError
+from repro.fabric.ring import DEFAULT_VNODES, HashRing
+from repro.net.transport import DEFAULT_FLUSH_WATERMARK
+from repro.net.wire import DEFAULT_WIRE
+
+__all__ = ["TOPOLOGY_FORMAT", "FabricTopology", "ShardSpec"]
+
+TOPOLOGY_FORMAT = "repro-fabric-topology/1"
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard's boot parameters (picklable; see module docstring).
+
+    ``byzantine`` pairs ``(server id, zoo strategy name)`` — at most
+    ``f`` of them, exactly like the sim's per-shard budget.
+    """
+
+    shard_id: str
+    n: int = 6
+    f: int = 1
+    seed: int = 0
+    byzantine: tuple[tuple[str, str], ...] = ()
+    proxied: bool = False
+    wire: int = DEFAULT_WIRE
+    family: str = "tcp"
+    socket_dir: Optional[str] = None
+    flush_watermark: int = DEFAULT_FLUSH_WATERMARK
+
+    def __post_init__(self) -> None:
+        if not self.shard_id:
+            raise ConfigurationError("shard_id must be non-empty")
+        config = self.config()  # validates the n >= 5f+1 bound
+        if len(self.byzantine) > self.f:
+            raise ConfigurationError(
+                f"{self.shard_id}: {len(self.byzantine)} Byzantine servers "
+                f"configured but f={self.f}"
+            )
+        for sid, strategy in self.byzantine:
+            if sid not in config.server_ids:
+                raise ConfigurationError(
+                    f"{self.shard_id}: unknown Byzantine server id {sid!r}"
+                )
+            if strategy not in STRATEGY_ZOO:
+                raise ConfigurationError(
+                    f"{self.shard_id}: unknown strategy {strategy!r}; "
+                    f"known: {sorted(STRATEGY_ZOO)}"
+                )
+        if self.family not in ("tcp", "unix"):
+            raise ConfigurationError(f"unknown address family {self.family!r}")
+        if self.family == "unix" and not self.socket_dir:
+            raise ConfigurationError("family='unix' needs a socket_dir")
+
+    def config(self) -> SystemConfig:
+        return SystemConfig(n=self.n, f=self.f)
+
+    def factories(self) -> dict[str, Any]:
+        """Server id -> zoo class, resolved locally (never pickled)."""
+        return {sid: STRATEGY_ZOO[name] for sid, name in self.byzantine}
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "shard_id": self.shard_id,
+            "n": self.n,
+            "f": self.f,
+            "seed": self.seed,
+            "byzantine": [list(pair) for pair in self.byzantine],
+            "proxied": self.proxied,
+            "wire": self.wire,
+            "family": self.family,
+            "socket_dir": self.socket_dir,
+            "flush_watermark": self.flush_watermark,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ShardSpec":
+        return cls(
+            shard_id=data["shard_id"],
+            n=data["n"],
+            f=data["f"],
+            seed=data["seed"],
+            byzantine=tuple(
+                (sid, name) for sid, name in data.get("byzantine", ())
+            ),
+            proxied=data.get("proxied", False),
+            wire=data.get("wire", DEFAULT_WIRE),
+            family=data.get("family", "tcp"),
+            socket_dir=data.get("socket_dir"),
+            flush_watermark=data.get("flush_watermark", DEFAULT_FLUSH_WATERMARK),
+        )
+
+
+class FabricTopology:
+    """Specs + bound addresses + the derived ring (serializable)."""
+
+    def __init__(
+        self,
+        specs: Sequence[ShardSpec],
+        addresses: dict[str, dict[str, str]],
+        vnodes: int = DEFAULT_VNODES,
+    ) -> None:
+        specs = tuple(specs)
+        ids = [spec.shard_id for spec in specs]
+        missing = set(ids) - set(addresses)
+        if missing:
+            raise ConfigurationError(
+                f"no addresses for shards: {sorted(missing)}"
+            )
+        for spec in specs:
+            absent = set(spec.config().server_ids) - set(addresses[spec.shard_id])
+            if absent:
+                raise ConfigurationError(
+                    f"{spec.shard_id}: missing addresses for {sorted(absent)}"
+                )
+        self.specs = specs
+        self.vnodes = vnodes
+        self.addresses = {sid: dict(addresses[sid]) for sid in ids}
+        self.ring = HashRing(ids, vnodes=vnodes)
+        self._by_id = {spec.shard_id: spec for spec in specs}
+
+    @property
+    def shard_ids(self) -> tuple[str, ...]:
+        return tuple(spec.shard_id for spec in self.specs)
+
+    def spec(self, shard_id: str) -> ShardSpec:
+        try:
+            return self._by_id[shard_id]
+        except KeyError:
+            raise ConfigurationError(f"unknown shard id {shard_id!r}") from None
+
+    def place(self, key: str) -> str:
+        """The shard id owning ``key`` (the ring's placement rule)."""
+        return self.ring.place(key)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "format": TOPOLOGY_FORMAT,
+            "vnodes": self.vnodes,
+            "shards": [
+                {**spec.to_dict(), "servers": dict(self.addresses[spec.shard_id])}
+                for spec in self.specs
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FabricTopology":
+        fmt = data.get("format")
+        if fmt != TOPOLOGY_FORMAT:
+            raise ConfigurationError(
+                f"not a {TOPOLOGY_FORMAT} document: format={fmt!r}"
+            )
+        specs = []
+        addresses = {}
+        for entry in data["shards"]:
+            entry = dict(entry)
+            servers = entry.pop("servers")
+            spec = ShardSpec.from_dict(entry)
+            specs.append(spec)
+            addresses[spec.shard_id] = dict(servers)
+        return cls(specs, addresses, vnodes=data.get("vnodes", DEFAULT_VNODES))

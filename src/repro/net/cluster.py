@@ -42,7 +42,80 @@ from repro.sim.tracing import MessageStats
 from repro.spec.history import History
 from repro.spec.regularity import RegularityChecker, RegularityVerdict
 
-__all__ = ["LiveRegisterCluster"]
+__all__ = ["LiveRegisterCluster", "one_shot_state", "poll_state_snapshots"]
+
+
+async def one_shot_state(
+    probe: str,
+    peer: str,
+    address: str,
+    nonce: int,
+    wire: int = DEFAULT_WIRE,
+) -> Optional[StateReply]:
+    """One wire-level StateRequest/StateReply exchange with ``peer``.
+
+    ``flush_watermark=0``: a single below-watermark request with no
+    flusher attached would otherwise sit in the coalescing buffer
+    forever. Returns ``None`` when the peer at ``address`` identifies
+    as someone other than ``peer`` (stale address after churn).
+    """
+    got: asyncio.Future = asyncio.get_running_loop().create_future()
+
+    def on_message(
+        conn: StreamConnection, src: str, dst: str, payload: Any
+    ) -> None:
+        if isinstance(payload, StateReply) and payload.nonce == nonce:
+            if not got.done():
+                got.set_result(payload)
+
+    conn = await open_frame_connection(
+        address,
+        lambda: StreamConnection(
+            MessageStats(),
+            on_message,
+            codec=get_codec(wire),
+            flush_watermark=0,
+        ),
+    )
+    try:
+        conn.send_hello(probe)
+        peer_pid = await conn.expect_hello()
+        if peer_pid != peer:
+            return None
+        conn.start_pump()
+        conn.send_payload(probe, peer, StateRequest(nonce=nonce))
+        return await got
+    finally:
+        await conn.close()
+
+
+async def poll_state_snapshots(
+    peers: dict[str, str],
+    probe: str,
+    nonce: int,
+    wire: int = DEFAULT_WIRE,
+    timeout: float = 5.0,
+) -> dict[str, tuple[Any, Any]]:
+    """Ask every peer (id -> address) for its ``(value, ts)`` snapshot.
+
+    This is the PR 8 state-transfer poll: the live analogue of the sim
+    joiner's StateRequest broadcast, one one-shot connection per peer.
+    Peers that time out, refuse the connection, or misidentify are
+    simply absent from the result — :func:`adopt_snapshot` then decides
+    whether the ``f+1`` witnesses it needs are among the answers.
+    """
+    replies: dict[str, tuple[Any, Any]] = {}
+    for peer, address in sorted(peers.items()):
+        try:
+            reply = await asyncio.wait_for(
+                one_shot_state(probe, peer, address, nonce, wire=wire),
+                timeout=timeout,
+            )
+        except (asyncio.TimeoutError, ConnectionError, OSError):
+            continue
+        if reply is not None:
+            replies[peer] = (reply.value, reply.ts)
+    return replies
 
 
 class LiveRegisterCluster:
@@ -332,59 +405,14 @@ class LiveRegisterCluster:
         self, joiner: str, nonce: int
     ) -> dict[str, tuple[Any, Any]]:
         """Ask every live peer for its ``(value, ts)`` snapshot."""
-        replies: dict[str, tuple[Any, Any]] = {}
-        probe = f"join:{joiner}:{nonce}"
-        for peer, daemon in sorted(self.daemons.items()):
-            if peer == joiner or peer in self.departed:
-                continue
-            try:
-                reply = await asyncio.wait_for(
-                    self._one_shot_state(probe, peer, daemon.address, nonce),
-                    timeout=5.0,
-                )
-            except (asyncio.TimeoutError, ConnectionError, OSError):
-                continue
-            if reply is not None:
-                replies[peer] = (reply.value, reply.ts)
-        return replies
-
-    async def _one_shot_state(
-        self, probe: str, peer: str, address: str, nonce: int
-    ) -> Optional[StateReply]:
-        """One wire-level StateRequest/StateReply exchange with ``peer``.
-
-        ``flush_watermark=0``: a single below-watermark request with no
-        flusher attached would otherwise sit in the coalescing buffer
-        forever.
-        """
-        got: asyncio.Future = asyncio.get_running_loop().create_future()
-
-        def on_message(
-            conn: StreamConnection, src: str, dst: str, payload: Any
-        ) -> None:
-            if isinstance(payload, StateReply) and payload.nonce == nonce:
-                if not got.done():
-                    got.set_result(payload)
-
-        conn = await open_frame_connection(
-            address,
-            lambda: StreamConnection(
-                MessageStats(),
-                on_message,
-                codec=get_codec(self.wire),
-                flush_watermark=0,
-            ),
+        peers = {
+            peer: daemon.address
+            for peer, daemon in self.daemons.items()
+            if peer != joiner and peer not in self.departed
+        }
+        return await poll_state_snapshots(
+            peers, probe=f"join:{joiner}:{nonce}", nonce=nonce, wire=self.wire
         )
-        try:
-            conn.send_hello(probe)
-            peer_pid = await conn.expect_hello()
-            if peer_pid != peer:
-                return None
-            conn.start_pump()
-            conn.send_payload(probe, peer, StateRequest(nonce=nonce))
-            return await got
-        finally:
-            await conn.close()
 
     # -- verification & accounting --------------------------------------
     def checker(self, **overrides: Any) -> RegularityChecker:

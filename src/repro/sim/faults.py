@@ -215,6 +215,81 @@ CORRUPTION_REGISTRY: dict[str, Any] = {
         "endpoints); like RegisterSystem it runs the experiment rather "
         "than being part of the modelled process memory"
     ),
+    # --- sharded fabric (fabric/, cross-checked by WIRE003) ------------
+    # Same stance as the hosting layer above: every shard hosts the
+    # unmodified protocol classes inside ServerDaemon/ClientEndpoint, so
+    # the corruption surface stays theirs. Fabric classes are routing and
+    # lifecycle plumbing around those hosts; their state is infrastructure
+    # (corrupting a hash ring or a pipe handle models an operator error /
+    # crash, not the paper's transient memory fault).
+    "HashRing": {
+        "shard_ids": INFRASTRUCTURE,
+        "vnodes": INFRASTRUCTURE,
+        "_points": INFRASTRUCTURE,
+        "_hashes": INFRASTRUCTURE,
+    },
+    "FabricTopology": {
+        "specs": INFRASTRUCTURE,
+        "vnodes": INFRASTRUCTURE,
+        "addresses": INFRASTRUCTURE,
+        "ring": INFRASTRUCTURE,
+        "_by_id": INFRASTRUCTURE,
+    },
+    "ShardServerGroup": {
+        "spec": INFRASTRUCTURE,
+        "config": INFRASTRUCTURE,
+        "scheme": INFRASTRUCTURE,
+        "clock": INFRASTRUCTURE,
+        "byzantine_ids": INFRASTRUCTURE,
+        "_factories": INFRASTRUCTURE,
+        # The hosted ServerDaemons (each wrapping a RegisterServer whose
+        # surface is declared above) plus their fault proxies.
+        "daemons": INFRASTRUCTURE,
+        "proxies": INFRASTRUCTURE,
+        "addresses": INFRASTRUCTURE,
+        "departed": INFRASTRUCTURE,
+        "_generations": INFRASTRUCTURE,
+        "started": INFRASTRUCTURE,
+    },
+    "InlineShardHost": {
+        "spec": INFRASTRUCTURE,
+        "group": INFRASTRUCTURE,
+    },
+    "ProcessShardHost": {
+        "spec": INFRASTRUCTURE,
+        "process": INFRASTRUCTURE,
+        "_conn": INFRASTRUCTURE,
+        "_lock": INFRASTRUCTURE,
+    },
+    "FabricSupervisor": (
+        "exempt: fabric orchestrator (spawns shard hosts, relays control "
+        "verbs); like LiveRegisterCluster it runs the deployment rather "
+        "than being part of the modelled process memory"
+    ),
+    "FabricClient": {
+        "topology": INFRASTRUCTURE,
+        "clients_per_shard": INFRASTRUCTURE,
+        "seed": INFRASTRUCTURE,
+        "op_timeout": INFRASTRUCTURE,
+        "clock": INFRASTRUCTURE,
+        "histories": OBSERVABILITY,
+        "schemes": INFRASTRUCTURE,
+        # The per-shard ClientEndpoints (surface declared above).
+        "endpoints": INFRASTRUCTURE,
+        "started": INFRASTRUCTURE,
+    },
+    "FabricKV": (
+        "exempt: synchronous facade over FabricSupervisor + FabricClient "
+        "for the KV store's shard_factory seam; orchestrator, not modelled "
+        "process memory"
+    ),
+    "_LiveShardBackend": {
+        "fabric": INFRASTRUCTURE,
+        "key": INFRASTRUCTURE,
+        "shard_id": INFRASTRUCTURE,
+        "clients": INFRASTRUCTURE,
+        "_endpoints": INFRASTRUCTURE,
+    },
 }
 
 

@@ -97,6 +97,41 @@ def test_corrupt_state_assigns_the_whole_declared_surface(client_cls) -> None:
         assert not missed, f"{type(proc).__name__} never corrupts {sorted(missed)}"
 
 
+def test_fabric_registry_entries_match_runtime_attrs() -> None:
+    """The fabric hosting-layer declarations (WIRE003's input) must track
+    reality: for every fabric class with a dict entry, the registry's
+    attribute set equals exactly what ``__init__`` assigns at runtime."""
+    from repro.fabric.client import FabricClient
+    from repro.fabric.host import InlineShardHost, ProcessShardHost, ShardServerGroup
+    from repro.fabric.kv import FabricKV, _LiveShardBackend
+    from repro.fabric.ring import HashRing
+    from repro.fabric.supervisor import FabricSupervisor
+    from repro.fabric.topology import FabricTopology, ShardSpec
+
+    spec = ShardSpec(shard_id="shard0", n=6, f=1)
+    addresses = {
+        "shard0": {sid: f"tcp:127.0.0.1:{9000 + i}" for i, sid in enumerate(spec.config().server_ids)}
+    }
+    topology = FabricTopology((spec,), addresses)
+    kv = FabricKV(shards=1)  # never started: __init__ surface only
+    instances = [
+        HashRing(("shard0",)),
+        topology,
+        ShardServerGroup(spec),
+        InlineShardHost(spec),
+        ProcessShardHost(spec),
+        FabricClient(topology),
+        _LiveShardBackend(kv, "key", "shard0", 1),
+    ]
+    for obj in instances:
+        entry = CORRUPTION_REGISTRY[type(obj).__name__]
+        assert isinstance(entry, dict), type(obj).__name__
+        assert set(vars(obj)) == set(entry), type(obj).__name__
+    for orchestrator in (FabricSupervisor, FabricKV):
+        entry = CORRUPTION_REGISTRY[orchestrator.__name__]
+        assert isinstance(entry, str) and entry.startswith("exempt:")
+
+
 @pytest.mark.parametrize("client_cls", [RegisterClient, AtomicRegisterClient])
 def test_recovery_after_scrambling_newly_registered_fields(client_cls) -> None:
     """E6-style regression: corrupt everything — including the reader/writer

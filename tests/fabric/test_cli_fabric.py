@@ -1,0 +1,108 @@
+"""The ``repro fabric`` verb: parsing, artifacts, and exit-code gates."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import _shard_ladder, build_parser, main
+
+
+class TestFabricParsing:
+    def test_fabric_requires_subcommand(self):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fabric"])
+
+    def test_loadgen_defaults(self):
+        args = build_parser().parse_args(["fabric", "loadgen"])
+        assert args.fabric_command == "loadgen"
+        assert args.shards == 2
+        assert args.rate_per_shard == 150.0
+        assert not args.sweep and not args.closed and not args.inline
+
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(
+            ["fabric", "chaos", "--target", "shard1", "--nemesis", "crash"]
+        )
+        assert args.fabric_command == "chaos"
+        assert args.target == "shard1"
+        assert args.nemesis == "crash"
+
+    def test_shard_ladder(self):
+        assert _shard_ladder(1) == [1]
+        assert _shard_ladder(4) == [1, 2, 4]
+        assert _shard_ladder(6) == [1, 2, 4, 6]
+
+
+class TestFabricEndToEnd:
+    def test_loadgen_writes_artifact_and_gates_clean(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_fabric.json"
+        code = main(
+            [
+                "fabric", "loadgen", "--inline",
+                "--shards", "2",
+                "--duration", "1.2", "--warmup", "0.3",
+                "--rate-per-shard", "50", "--keys", "64",
+                "--seed", "9", "--op-timeout", "10",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "CLEAN" in text
+        artifact = json.loads(out.read_text())
+        assert artifact["format"] == "repro-bench-fabric/1"
+        assert artifact["meta"]["cpus"] is not None
+        assert [p["shards"] for p in artifact["points"]] == [2]
+        assert all(p["all_clean"] for p in artifact["points"])
+
+    def test_loadgen_sweep_runs_the_ladder(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_fabric.json"
+        code = main(
+            [
+                "fabric", "loadgen", "--inline", "--sweep",
+                "--shards", "2",
+                "--duration", "0.8", "--warmup", "0.2",
+                "--rate-per-shard", "40", "--keys", "32",
+                "--seed", "10", "--op-timeout", "10",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        artifact = json.loads(out.read_text())
+        assert [p["shards"] for p in artifact["points"]] == [1, 2]
+
+    def test_loadgen_floor_miss_fails(self, capsys):
+        code = main(
+            [
+                "fabric", "loadgen", "--inline",
+                "--shards", "1",
+                "--duration", "0.8", "--warmup", "0.2",
+                "--rate-per-shard", "30", "--keys", "32",
+                "--op-timeout", "10",
+                "--min-ops-per-s", "1000000",
+            ]
+        )
+        assert code == 1
+
+    def test_chaos_contained_exits_zero(self, capsys, tmp_path):
+        out = tmp_path / "chaos.json"
+        code = main(
+            [
+                "fabric", "chaos", "--inline",
+                "--shards", "2", "--target", "shard1",
+                "--nemesis", "partition",
+                "--start", "0.5", "--length", "1.0",
+                "--duration", "4", "--warmup", "0.5",
+                "--rate-per-shard", "40", "--keys", "64",
+                "--seed", "6", "--op-timeout", "1.5",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "CONTAINED" in text
+        report = json.loads(out.read_text())
+        assert report["format"] == "repro-fabric-chaos/1"
+        assert report["blast_radius"]["contained"] is True

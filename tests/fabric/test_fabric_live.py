@@ -1,0 +1,214 @@
+"""Fabric acceptance, inline-mode: routing, load, churn, blast radius.
+
+Inline hosting runs every shard's register group on this test's event
+loop — same daemons, proxies, and wire protocol as process mode, minus
+the spawn cost — so these tests exercise the full fabric data path at
+CI speed. One spawn-boundary test lives in ``test_process_host.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.fabric import (
+    FabricClient,
+    FabricSupervisor,
+    ShardNemesis,
+    fabric_benchmark,
+    run_fabric_load,
+    run_targeted_chaos,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestFabricOperations:
+    def test_routed_ops_land_on_distinct_clean_shards(self):
+        async def scenario():
+            async with FabricSupervisor(shards=2, mode="inline", seed=7) as sup:
+                async with FabricClient(
+                    sup.topology, clients_per_shard=2, seed=7, op_timeout=10.0
+                ) as client:
+                    placed = {}
+                    for i in range(10):
+                        key = f"k{i:05d}"
+                        await client.put(key, f"v{i}")
+                        assert await client.get(key) == f"v{i}"
+                        placed[key] = client.place(key)
+                    verdicts = client.check_all(algorithm="sweep")
+                    ops = {
+                        sid: len(list(client.histories[sid]))
+                        for sid in sup.topology.shard_ids
+                    }
+                    return placed, verdicts, ops
+
+        placed, verdicts, ops = run(scenario())
+        assert set(placed.values()) == {"shard0", "shard1"}  # both shards used
+        assert all(v.ok for v in verdicts.values())
+        # operations really landed where the ring said they would
+        for shard_id, count in ops.items():
+            expected = 2 * sum(1 for s in placed.values() if s == shard_id)
+            assert count == expected, (shard_id, count, expected)
+
+    def test_server_kill_heal_within_f_stays_clean(self):
+        async def scenario():
+            async with FabricSupervisor(
+                shards=2, mode="inline", seed=8, proxied=True
+            ) as sup:
+                async with FabricClient(
+                    sup.topology, clients_per_shard=1, seed=8, op_timeout=10.0
+                ) as client:
+                    await client.put("k00000", "before")
+                    target = client.place("k00000")
+                    await sup.kill_server(target, "s0")  # one of n=6, f=1
+                    await client.put("k00000", "during")
+                    value = await client.get("k00000")
+                    await sup.heal_server(target, "s0")
+                    return value, client.check_shard(target, algorithm="sweep")
+
+        value, verdict = run(scenario())
+        assert value == "during"
+        assert verdict.ok, verdict.violations
+
+    def test_byzantine_shard_under_load_stays_regular(self):
+        async def scenario():
+            async with FabricSupervisor(
+                shards=2, mode="inline", seed=9, byzantine="stale-replay"
+            ) as sup:
+                async with FabricClient(
+                    sup.topology, clients_per_shard=2, seed=9, op_timeout=10.0
+                ) as client:
+                    load = await run_fabric_load(
+                        client, mode="open", rate=60.0, duration=1.5,
+                        warmup=0.3, keys=64, seed=9,
+                    )
+                    return load, client.check_all(algorithm="sweep")
+
+        load, verdicts = run(scenario())
+        assert load.aggregate.completed > 0
+        assert load.aggregate.timeouts == 0
+        assert all(v.ok for v in verdicts.values())
+
+
+class TestFabricLoad:
+    def test_open_loop_attributes_ops_per_shard(self):
+        async def scenario():
+            async with FabricSupervisor(shards=2, mode="inline", seed=10) as sup:
+                async with FabricClient(
+                    sup.topology, clients_per_shard=2, seed=10, op_timeout=10.0
+                ) as client:
+                    return await run_fabric_load(
+                        client, mode="open", rate=80.0, duration=1.5,
+                        warmup=0.3, keys=64, seed=10,
+                    )
+
+        load = run(scenario())
+        assert set(load.shards) == {"shard0", "shard1"}
+        assert all(r.completed > 0 for r in load.shards.values())
+        assert load.aggregate.completed == sum(
+            r.completed for r in load.shards.values()
+        )
+
+    def test_closed_loop_and_zipf_skew(self):
+        async def scenario():
+            async with FabricSupervisor(shards=2, mode="inline", seed=11) as sup:
+                async with FabricClient(
+                    sup.topology, clients_per_shard=1, seed=11, op_timeout=10.0
+                ) as client:
+                    return await run_fabric_load(
+                        client, mode="closed", duration=1.0, warmup=0.2,
+                        keys=64, skew="zipf", zipf_s=1.2, seed=11,
+                    )
+
+        load = run(scenario())
+        assert load.aggregate.completed > 0
+        assert load.skew == "zipf"
+
+    def test_benchmark_point_shape_and_verdicts(self):
+        async def scenario():
+            async with FabricSupervisor(shards=2, mode="inline", seed=12) as sup:
+                async with FabricClient(
+                    sup.topology, clients_per_shard=2, seed=12, op_timeout=10.0
+                ) as client:
+                    return await fabric_benchmark(
+                        sup, client, mode="open", rate=80.0, duration=1.2,
+                        warmup=0.3, keys=64, seed=12,
+                    )
+
+        point = run(scenario())
+        assert point["shards"] == 2
+        assert point["all_clean"] is True
+        assert set(point["per_shard"]) == {"shard0", "shard1"}
+        for entry in point["per_shard"].values():
+            assert entry["verdict"]["clean"] is True
+            assert entry["messages"]["delivered"] >= 0
+        assert point["topology"]["format"] == "repro-fabric-topology/1"
+
+
+class TestBlastRadius:
+    def test_partitioned_shard_is_contained(self):
+        """The tentpole acceptance check: sever one shard mid-load; every
+        other shard must stay CLEAN, keep completing, and record zero
+        timeouts, with degradation attributed only to the target."""
+
+        async def scenario():
+            async with FabricSupervisor(
+                shards=2, mode="inline", seed=6, proxied=True
+            ) as sup:
+                async with FabricClient(
+                    sup.topology, clients_per_shard=2, seed=6, op_timeout=1.5
+                ) as client:
+                    nemesis = ShardNemesis(
+                        target="shard1", kind="partition", start=0.5, length=1.0
+                    )
+                    return await run_targeted_chaos(
+                        sup, client, nemesis, rate_per_shard=40.0,
+                        duration=4.0, warmup=0.5, keys=64, seed=6,
+                    )
+
+        report = run(scenario())
+        blast = report["blast_radius"]
+        assert blast["contained"], blast
+        assert blast["target_stabilized"]
+        assert blast["bystander_timeouts"] == 0
+        assert set(blast["degraded"]) <= {"shard1"}
+        assert report["per_shard"]["shard0"]["role"] == "bystander"
+        assert report["per_shard"]["shard0"]["clean"] is True
+        assert report["per_shard"]["shard1"]["role"] == "target"
+        assert report["format"] == "repro-fabric-chaos/1"
+
+    def test_corruption_wave_on_one_shard_is_contained(self):
+        async def scenario():
+            async with FabricSupervisor(shards=2, mode="inline", seed=14) as sup:
+                async with FabricClient(
+                    sup.topology, clients_per_shard=2, seed=14, op_timeout=5.0
+                ) as client:
+                    nemesis = ShardNemesis(
+                        target="shard0", kind="corrupt", start=0.5, length=0.5
+                    )
+                    return await run_targeted_chaos(
+                        sup, client, nemesis, rate_per_shard=40.0,
+                        duration=3.0, warmup=0.3, keys=64, seed=14,
+                    )
+
+        report = run(scenario())
+        blast = report["blast_radius"]
+        assert blast["contained"], blast
+        assert blast["target_stabilized"]
+
+    def test_partition_without_proxies_is_rejected(self):
+        async def scenario():
+            async with FabricSupervisor(shards=2, mode="inline", seed=15) as sup:
+                async with FabricClient(
+                    sup.topology, clients_per_shard=1, seed=15, op_timeout=5.0
+                ) as client:
+                    nemesis = ShardNemesis(target="shard0", kind="partition")
+                    await run_targeted_chaos(sup, client, nemesis, duration=4.0)
+
+        import pytest
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            run(scenario())

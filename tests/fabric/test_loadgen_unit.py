@@ -1,0 +1,66 @@
+"""KeyPicker and FabricLoadResult: pure-function pieces of the loadgen."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fabric.loadgen import FabricLoadResult, KeyPicker
+from repro.net.loadgen import LoadResult
+
+
+class TestKeyPicker:
+    def test_uniform_draws_are_seed_deterministic(self):
+        a = [KeyPicker(keys=32).pick(random.Random(7)) for _ in range(3)]
+        b = [KeyPicker(keys=32).pick(random.Random(7)) for _ in range(3)]
+        assert a == b
+
+    def test_zipf_concentrates_on_the_head(self):
+        picker = KeyPicker(keys=128, skew="zipf", zipf_s=1.2)
+        rng = random.Random(11)
+        draws = [picker.pick(rng) for _ in range(4000)]
+        head = sum(1 for k in draws if k in ("k00000", "k00001", "k00002"))
+        # uniform would put ~3/128 = 2.3% on the head; zipf(1.2) puts
+        # a large multiple of that.
+        assert head / len(draws) > 0.15
+
+    def test_zipf_cdf_is_closed_and_all_keys_reachable(self):
+        picker = KeyPicker(keys=8, skew="zipf", zipf_s=1.0)
+        assert picker._cdf is not None and picker._cdf[-1] == 1.0
+        rng = random.Random(3)
+        assert {picker.pick(rng) for _ in range(2000)} == set(picker.all_keys())
+
+    def test_key_names_are_stable_and_colon_free(self):
+        # KV-store client ids are "{key}:c{i}"; keys must stay colon-free.
+        assert KeyPicker.key_name(42) == "k00042"
+        assert all(":" not in k for k in KeyPicker(keys=64).all_keys())
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [dict(keys=0), dict(skew="pareto"), dict(skew="zipf", zipf_s=0.0)],
+    )
+    def test_validation_rejects(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            KeyPicker(**kwargs)
+
+
+class TestFabricLoadResult:
+    def test_aggregate_merges_counts_and_histograms(self):
+        shard_a = LoadResult(duration=2.0)
+        shard_a.reads, shard_a.writes, shard_a.timeouts = 10, 5, 1
+        for v in (0.001, 0.002):
+            shard_a.read_latency.add(v)
+        shard_b = LoadResult(duration=2.0)
+        shard_b.reads, shard_b.aborts = 4, 2
+        shard_b.read_latency.add(0.004)
+        result = FabricLoadResult(
+            duration=2.0, shards={"shard0": shard_a, "shard1": shard_b}
+        )
+        agg = result.aggregate
+        assert (agg.reads, agg.writes, agg.aborts, agg.timeouts) == (14, 5, 2, 1)
+        assert agg.read_latency.count == 3
+        data = result.to_dict()
+        assert set(data["shards"]) == {"shard0", "shard1"}
+        assert data["aggregate"]["reads"] == 14

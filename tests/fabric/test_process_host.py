@@ -1,0 +1,73 @@
+"""The spawn boundary: one end-to-end run with real OS-process shards.
+
+Everything here crosses a ``multiprocessing`` spawn boundary: the spec
+pickles into the child, the child boots its register group on its own
+event loop, addresses come back over the pipe, and control verbs
+(retire / respawn with PR 8 state transfer, corruption wave, stats) are
+relayed while clients talk to the shard over real sockets. Kept to two
+tests because spawn start-up dominates wall time on the 1-CPU CI box;
+the functional matrix runs inline in ``test_fabric_live.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.fabric import FabricClient, FabricSupervisor
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestProcessShards:
+    def test_ops_retire_respawn_and_stats_across_processes(self):
+        async def scenario():
+            async with FabricSupervisor(shards=2, mode="process", seed=21) as sup:
+                modes = {type(h).mode for h in sup.hosts.values()}
+                async with FabricClient(
+                    sup.topology, clients_per_shard=1, seed=21, op_timeout=15.0
+                ) as client:
+                    await client.put("alpha", "a1")
+                    target = client.place("alpha")
+                    assert await sup.ping(target) == "pong"
+                    # churn one correct server with state transfer
+                    await sup.retire(target, "s0")
+                    await client.put("alpha", "a2")
+                    address = await sup.respawn(target, "s0", True)
+                    await client.redial_server(target, "s0", address=address)
+                    value = await client.get("alpha")
+                    verdict = client.check_shard(target, algorithm="sweep")
+                    stats = await sup.stats()
+                    return modes, target, value, verdict, stats
+
+        modes, target, value, verdict, stats = run(scenario())
+        assert modes == {"process"}
+        assert value == "a2"
+        assert verdict.ok, verdict.violations
+        assert stats[target]["delivered"] > 0
+
+    def test_corruption_wave_across_the_pipe_then_reanchor(self):
+        async def scenario():
+            async with FabricSupervisor(shards=1, mode="process", seed=22) as sup:
+                async with FabricClient(
+                    sup.topology, clients_per_shard=1, seed=22, op_timeout=15.0
+                ) as client:
+                    await client.put("k00000", "before")
+                    fault_time = client.clock.now()
+                    touched = await sup.corrupt_shard("shard0", wave_seed=5)
+                    await client.put("k00000", "anchor")
+                    value = await client.get("k00000")
+                    return touched, fault_time, value, client
+
+        touched, fault_time, value, client = run(scenario())
+        assert touched  # the child really scrambled live server state
+        assert value == "anchor"
+        from repro.spec.stabilization import evaluate_stabilization
+
+        report = evaluate_stabilization(
+            client.histories["shard0"],
+            client.checker("shard0"),
+            last_fault_time=fault_time,
+        )
+        assert report.stabilized, report.summary()

@@ -1,0 +1,98 @@
+"""ShardSpec / FabricTopology: validation, pickling, round-trips."""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fabric.topology import TOPOLOGY_FORMAT, FabricTopology, ShardSpec
+
+
+def addresses_for(spec: ShardSpec, base: int = 9000) -> dict[str, str]:
+    return {
+        sid: f"tcp:127.0.0.1:{base + i}"
+        for i, sid in enumerate(spec.config().server_ids)
+    }
+
+
+class TestShardSpec:
+    def test_round_trip_and_pickle(self):
+        spec = ShardSpec(
+            shard_id="shard3",
+            n=6,
+            f=1,
+            seed=42,
+            byzantine=(("s5", "stale-replay"),),
+            proxied=True,
+        )
+        assert ShardSpec.from_dict(spec.to_dict()) == spec
+        assert pickle.loads(pickle.dumps(spec)) == spec
+        json.dumps(spec.to_dict())  # spawn-pipe payloads must be plain data
+
+    def test_factories_resolve_zoo_names(self):
+        spec = ShardSpec(shard_id="a", byzantine=(("s5", "stale-replay"),))
+        factories = spec.factories()
+        assert set(factories) == {"s5"}
+        assert callable(factories["s5"])
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(shard_id=""),
+            dict(shard_id="a", n=5, f=1),  # violates n >= 5f+1
+            dict(shard_id="a", byzantine=(("s5", "x"), ("s4", "x"))),  # > f
+            dict(shard_id="a", byzantine=(("s9", "stale-replay"),)),
+            dict(shard_id="a", byzantine=(("s5", "no-such-strategy"),)),
+            dict(shard_id="a", family="ipx"),
+            dict(shard_id="a", family="unix"),  # needs socket_dir
+        ],
+    )
+    def test_validation_rejects(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ShardSpec(**kwargs)
+
+
+class TestFabricTopology:
+    def build(self) -> FabricTopology:
+        specs = [ShardSpec(shard_id=f"shard{i}", seed=i) for i in range(3)]
+        addresses = {
+            spec.shard_id: addresses_for(spec, base=9000 + 100 * i)
+            for i, spec in enumerate(specs)
+        }
+        return FabricTopology(specs, addresses)
+
+    def test_round_trip_preserves_placement(self):
+        topology = self.build()
+        data = topology.to_dict()
+        assert data["format"] == TOPOLOGY_FORMAT
+        json.dumps(data)  # the artifact is plain JSON
+        again = FabricTopology.from_dict(data)
+        assert again.shard_ids == topology.shard_ids
+        assert again.addresses == topology.addresses
+        for i in range(200):
+            key = f"k{i:05d}"
+            assert again.place(key) == topology.place(key)
+
+    def test_spec_lookup_and_unknown_shard(self):
+        topology = self.build()
+        assert topology.spec("shard1").seed == 1
+        with pytest.raises(ConfigurationError):
+            topology.spec("shard9")
+
+    def test_missing_addresses_rejected(self):
+        spec = ShardSpec(shard_id="shard0")
+        with pytest.raises(ConfigurationError):
+            FabricTopology([spec], {})
+        partial = addresses_for(spec)
+        partial.pop("s0")
+        with pytest.raises(ConfigurationError):
+            FabricTopology([spec], {"shard0": partial})
+
+    def test_format_tag_is_checked(self):
+        data = self.build().to_dict()
+        data["format"] = "something/9"
+        with pytest.raises(ConfigurationError):
+            FabricTopology.from_dict(data)

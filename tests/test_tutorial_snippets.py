@@ -143,3 +143,33 @@ class TestTutorial:
                 return load.throughput
 
         assert asyncio.run(main()) > 0
+
+    def test_section_11_fabric(self):
+        import asyncio
+
+        from repro.fabric import FabricClient, FabricSupervisor
+
+        async def main():
+            async with FabricSupervisor(
+                shards=2, mode="inline", seed=0
+            ) as fabric:
+                async with FabricClient(
+                    fabric.topology, clients_per_shard=2, seed=0
+                ) as client:
+                    await client.put("alpha", "hello-fabric")
+                    assert await client.get("alpha") == "hello-fabric"
+                    shard = client.place("alpha")
+                    assert client.check_shard(shard, algorithm="sweep").ok
+                    return shard
+
+        assert asyncio.run(main()) in ("shard0", "shard1")
+
+    def test_section_11_fabric_kv(self):
+        from repro.fabric import FabricKV
+        from repro.kvstore.store import StabilizingKVStore
+
+        with FabricKV(shards=2, mode="inline", seed=0) as fabric:
+            store = StabilizingKVStore(shard_factory=fabric.shard_factory)
+            store.put("alpha", 1)
+            assert store.get("alpha") == 1
+            assert store.all_ok()
